@@ -1,0 +1,89 @@
+//! Criterion benchmark: event-driven simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_bench::paper_system;
+use dpm_core::{optimize, PmPolicy};
+use dpm_sim::controller::{GreedyController, TableController, TimeoutController};
+use dpm_sim::workload::PoissonWorkload;
+use dpm_sim::{SimConfig, Simulator};
+
+fn bench_simulator(c: &mut Criterion) {
+    let system = paper_system(1.0 / 6.0).expect("paper parameters");
+    let optimal = optimize::optimal_policy(&system, 1.0).expect("solvable");
+    let greedy = PmPolicy::greedy(&system).expect("valid");
+    let requests = 10_000u64;
+
+    let mut group = c.benchmark_group("simulator_10k_requests");
+    group.bench_with_input(
+        BenchmarkId::new("table_optimal", requests),
+        &requests,
+        |b, &n| {
+            b.iter(|| {
+                Simulator::new(
+                    system.provider().clone(),
+                    system.capacity(),
+                    PoissonWorkload::new(1.0 / 6.0).expect("rate"),
+                    TableController::new(&system, optimal.policy()).expect("valid"),
+                    SimConfig::new(1).max_requests(n),
+                )
+                .run()
+                .expect("completes")
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("table_greedy", requests),
+        &requests,
+        |b, &n| {
+            b.iter(|| {
+                Simulator::new(
+                    system.provider().clone(),
+                    system.capacity(),
+                    PoissonWorkload::new(1.0 / 6.0).expect("rate"),
+                    TableController::new(&system, &greedy).expect("valid"),
+                    SimConfig::new(1).max_requests(n),
+                )
+                .run()
+                .expect("completes")
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("behavioral_greedy", requests),
+        &requests,
+        |b, &n| {
+            b.iter(|| {
+                Simulator::new(
+                    system.provider().clone(),
+                    system.capacity(),
+                    PoissonWorkload::new(1.0 / 6.0).expect("rate"),
+                    GreedyController::new(system.provider()).expect("valid"),
+                    SimConfig::new(1).max_requests(n),
+                )
+                .run()
+                .expect("completes")
+            });
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("timeout", requests), &requests, |b, &n| {
+        b.iter(|| {
+            Simulator::new(
+                system.provider().clone(),
+                system.capacity(),
+                PoissonWorkload::new(1.0 / 6.0).expect("rate"),
+                TimeoutController::new(system.provider(), 3.0, 2).expect("valid"),
+                SimConfig::new(1).max_requests(n),
+            )
+            .run()
+            .expect("completes")
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator
+}
+criterion_main!(benches);

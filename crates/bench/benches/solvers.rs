@@ -1,0 +1,72 @@
+//! Criterion benchmark: policy-optimization solvers (A1 companion).
+//!
+//! Measures policy iteration, the occupation-measure LP, and relative
+//! value iteration on the paper's model at several queue capacities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_core::{PmPolicy, PmSystem, SpModel, SrModel};
+use dpm_mdp::{average, lp, value_iteration};
+
+fn system(capacity: usize) -> PmSystem {
+    PmSystem::builder()
+        .provider(SpModel::dac99_server().expect("paper parameters"))
+        .requestor(SrModel::poisson(1.0 / 6.0).expect("positive rate"))
+        .capacity(capacity)
+        .instant_rate(100.0)
+        .build()
+        .expect("valid system")
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_optimization");
+    for capacity in [5usize, 10, 20] {
+        let sys = system(capacity);
+        let mdp = sys.ctmdp(1.0).expect("valid weight");
+        let initial = PmPolicy::always_on(&sys, 0)
+            .expect("valid policy")
+            .to_mdp_policy(&sys)
+            .expect("matches system");
+
+        group.bench_with_input(
+            BenchmarkId::new("policy_iteration", capacity),
+            &capacity,
+            |b, _| {
+                b.iter(|| {
+                    average::policy_iteration_multichain(
+                        &mdp,
+                        initial.clone(),
+                        &average::Options::default(),
+                    )
+                    .expect("solvable")
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("lp", capacity), &capacity, |b, _| {
+            b.iter(|| lp::solve_average(&mdp).expect("feasible"));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("value_iteration", capacity),
+            &capacity,
+            |b, _| {
+                b.iter(|| {
+                    value_iteration::solve(
+                        &mdp,
+                        &value_iteration::Options {
+                            tolerance: 1e-4,
+                            ..value_iteration::Options::default()
+                        },
+                    )
+                    .expect("converges")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solvers
+}
+criterion_main!(benches);

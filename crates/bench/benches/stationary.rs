@@ -1,0 +1,75 @@
+//! Criterion benchmark: stationary-distribution solvers (A3).
+//!
+//! GTH vs direct LU vs power iteration on birth–death chains of growing
+//! size and on the (stiff) power-managed system chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_core::{PmPolicy, PmSystem, SpModel, SrModel};
+use dpm_ctmc::stationary;
+
+fn bench_birth_death(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stationary_birth_death");
+    for size in [10usize, 50, 200] {
+        let g = stationary::mm1k_generator(0.4, 1.0, size).expect("valid rates");
+        group.bench_with_input(BenchmarkId::new("gth", size), &size, |b, _| {
+            b.iter(|| stationary::solve_gth(&g).expect("irreducible"));
+        });
+        group.bench_with_input(BenchmarkId::new("lu", size), &size, |b, _| {
+            b.iter(|| stationary::solve_lu(&g).expect("irreducible"));
+        });
+        group.bench_with_input(BenchmarkId::new("power", size), &size, |b, _| {
+            b.iter(|| stationary::solve_power(&g, 1e-10, 10_000_000).expect("converges"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dpm_chain(c: &mut Criterion) {
+    // The greedy policy's chain on the paper system: stiff (instant-rate
+    // transfer surrogates), the workload GTH was chosen for. GTH needs an
+    // irreducible chain, so the benchmark runs on the recurrent class
+    // (policies leave parts of the full state space unreachable).
+    let system = PmSystem::builder()
+        .provider(SpModel::dac99_server().expect("paper parameters"))
+        .requestor(SrModel::poisson(1.0 / 6.0).expect("positive rate"))
+        .capacity(5)
+        .build()
+        .expect("valid system");
+    let full = system
+        .generator_for(&PmPolicy::greedy(&system).expect("valid policy"))
+        .expect("valid chain");
+    let g = recurrent_class_chain(&full);
+    let mut group = c.benchmark_group("stationary_dpm_chain");
+    group.bench_function("gth", |b| {
+        b.iter(|| stationary::solve_gth(&g).expect("irreducible"));
+    });
+    group.bench_function("lu", |b| {
+        b.iter(|| stationary::solve_lu(&g).expect("irreducible"));
+    });
+    group.finish();
+}
+
+/// Restricts a chain to its (unique, reachable) closed communicating class.
+fn recurrent_class_chain(full: &dpm_ctmc::Generator) -> dpm_ctmc::Generator {
+    let recurrent = dpm_ctmc::graph::recurrent_states(full);
+    let members: Vec<usize> = (0..full.n_states()).filter(|&i| recurrent[i]).collect();
+    let index_of: std::collections::HashMap<usize, usize> = members
+        .iter()
+        .enumerate()
+        .map(|(local, &global)| (global, local))
+        .collect();
+    let mut b = dpm_ctmc::Generator::builder(members.len());
+    for (from, to, rate) in full.transitions() {
+        if let (Some(&lf), Some(&lt)) = (index_of.get(&from), index_of.get(&to)) {
+            b.add_rate(lf, lt, rate);
+        }
+    }
+    b.build().expect("closed class is a valid chain")
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_birth_death, bench_dpm_chain
+}
+criterion_main!(benches);

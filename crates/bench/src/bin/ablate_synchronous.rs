@@ -1,0 +1,91 @@
+//! Ablation A7: asynchronous vs synchronous power management.
+//!
+//! The paper's introduction criticizes the discrete-time formulation
+//! because "the power management program needs to send control signals to
+//! the components in every time-slice, which results in heavy signal
+//! traffic and heavy load on the system resources (therefore more power
+//! dissipation)", and touts that "the resulting power management policy is
+//! asynchronous".
+//!
+//! This ablation measures it: the asynchronous CTMDP-optimal policy versus
+//! the lumped-model optimum deployed through a synchronous per-time-slice
+//! PM at several slice lengths Δ, with the power-manager invocation rate
+//! (signal traffic) reported alongside power and delay.
+//!
+//! Run with `cargo run --release -p dpm-bench --bin ablate_synchronous`.
+
+use dpm_bench::{paper_system, row, rule, simulate_controller, PAPER_REQUESTS};
+use dpm_core::{lumped, optimize};
+use dpm_sim::controller::{LumpedTableController, PollingController, TableController};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = paper_system(1.0 / 6.0)?;
+    let weight = 1.0;
+    let widths = [26usize, 12, 10, 12, 14];
+    println!("Ablation A7 — asynchronous vs synchronous (time-sliced) PM, w = {weight}");
+    row(
+        &[
+            "power manager".into(),
+            "power (W)".into(),
+            "wait (s)".into(),
+            "switches/s".into(),
+            "PM calls/s".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    // Asynchronous CTMDP-optimal.
+    let optimal = optimize::optimal_policy(&system, weight)?;
+    let async_report = simulate_controller(
+        &system,
+        TableController::new(&system, optimal.policy())?.named("async optimal"),
+        1_000,
+        PAPER_REQUESTS,
+    )?;
+    row(
+        &[
+            "async CTMDP-optimal".into(),
+            format!("{:.4}", async_report.average_power()),
+            format!("{:.3}", async_report.average_waiting_time()),
+            format!(
+                "{:.4}",
+                async_report.switches() as f64 / async_report.duration()
+            ),
+            format!("{:.3}", async_report.consultation_rate()),
+        ],
+        &widths,
+    );
+
+    // Synchronous lumped-model optimum at several slice lengths. The
+    // lumped model is optimized the way DAC'98 actually posed it — minimum
+    // power under a queue-length constraint (matched to the asynchronous
+    // optimum's achieved queue) — because its unconstrained small-weight
+    // optimum degenerates to "never serve".
+    let lumped_model = lumped::LumpedSystem::from_system(&system);
+    let bound = optimal.metrics().queue_length().max(0.2);
+    let table = lumped_model.optimal_destinations_constrained(bound)?;
+    for (i, delta) in [0.5, 2.0, 10.0].into_iter().enumerate() {
+        let controller = PollingController::new(
+            LumpedTableController::new(system.provider(), system.capacity(), table.clone())?,
+            delta,
+        )?;
+        let report = simulate_controller(&system, controller, 1_001 + i as u64, PAPER_REQUESTS)?;
+        row(
+            &[
+                format!("sync lumped, slice {delta}s"),
+                format!("{:.4}", report.average_power()),
+                format!("{:.3}", report.average_waiting_time()),
+                format!("{:.4}", report.switches() as f64 / report.duration()),
+                format!("{:.3}", report.consultation_rate()),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nshape check: shrinking the slice improves the synchronous policy's\n\
+         power/delay but inflates PM invocations toward 1/slice + event rate;\n\
+         the asynchronous optimum needs only the state-change rate."
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Figure 4: power/performance comparison of the CTMDP-optimal policies
+//! (weight sweep) against the N-policies, N = 1..5 — simulated values, as
+//! in the paper, with the functional (analytic) values alongside.
+//!
+//! Run with `cargo run --release -p dpm-bench --bin fig4`.
+
+use dpm_bench::{paper_system, row, rule, simulate_policy, PAPER_REQUESTS};
+use dpm_core::{optimize, PmPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = paper_system(1.0 / 6.0)?;
+    let widths = [10usize, 12, 12, 12, 12, 12];
+    println!("Figure 4 — optimal policies vs N-policies (lambda = 1/6, Q = 5)");
+    row(
+        &[
+            "policy".into(),
+            "weight/N".into(),
+            "power(fn)".into(),
+            "queue(fn)".into(),
+            "power(sim)".into(),
+            "queue(sim)".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    // Weight sweep (geometric), deduplicating repeated frontier points.
+    let mut weight = 0.05;
+    let mut frontier: Vec<(f64, f64)> = Vec::new();
+    let mut seed = 400;
+    while weight < 300.0 {
+        let solution = optimize::optimal_policy(&system, weight)?;
+        let point = (
+            solution.metrics().power(),
+            solution.metrics().queue_length(),
+        );
+        let duplicate = frontier
+            .iter()
+            .any(|&(p, q)| (p - point.0).abs() < 1e-9 && (q - point.1).abs() < 1e-9);
+        if !duplicate {
+            frontier.push(point);
+            seed += 1;
+            let report =
+                simulate_policy(&system, solution.policy(), "optimal", seed, PAPER_REQUESTS)?;
+            row(
+                &[
+                    "optimal".into(),
+                    format!("{weight:.3}"),
+                    format!("{:.4}", point.0),
+                    format!("{:.4}", point.1),
+                    format!("{:.4}", report.average_power()),
+                    format!("{:.4}", report.average_queue_length()),
+                ],
+                &widths,
+            );
+        }
+        weight *= 1.25;
+    }
+    rule(&widths);
+
+    for n in 1..=5 {
+        let policy = PmPolicy::n_policy(&system, n, 2)?;
+        let metrics = system.evaluate(&policy)?;
+        let report = simulate_policy(&system, &policy, "n-policy", 500 + n as u64, PAPER_REQUESTS)?;
+        row(
+            &[
+                "n-policy".into(),
+                format!("{n}"),
+                format!("{:.4}", metrics.power()),
+                format!("{:.4}", metrics.queue_length()),
+                format!("{:.4}", report.average_power()),
+                format!("{:.4}", report.average_queue_length()),
+            ],
+            &widths,
+        );
+    }
+
+    println!(
+        "\nshape check: at every weight the optimal frontier's weighted cost is <= every\n\
+         N-policy's (the N-policy points sit on or above the optimal trade-off curve)."
+    );
+    Ok(())
+}

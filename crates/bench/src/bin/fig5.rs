@@ -1,0 +1,88 @@
+//! Figure 5: power and average waiting time of the CTMDP-optimal policy
+//! versus four heuristics — greedy, and three time-out policies (fixed
+//! 1 s, the mean inter-arrival time, half the mean inter-arrival time) —
+//! across input rates 1/8 .. 1/3.
+//!
+//! The optimal policy at each rate is solved under the paper's performance
+//! constraint (average waiting time ≤ mean inter-arrival time).
+//!
+//! Run with `cargo run --release -p dpm-bench --bin fig5`.
+
+use dpm_bench::{paper_system, row, rule, simulate_controller, simulate_policy, PAPER_REQUESTS};
+use dpm_core::optimize;
+use dpm_sim::controller::{GreedyController, TimeoutController};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let widths = [12usize, 22, 12, 12];
+    println!("Figure 5 — optimal vs heuristic policies across input rates");
+    row(
+        &[
+            "input rate".into(),
+            "policy".into(),
+            "power (W)".into(),
+            "wait (s)".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    for denominator in [8, 7, 6, 5, 4, 3] {
+        let lambda = 1.0 / f64::from(denominator);
+        let mean_gap = f64::from(denominator);
+        let system = paper_system(lambda)?;
+        let seed_base = 700 + 10 * denominator as u64;
+
+        // CTMDP-optimal under the waiting-time constraint.
+        let solution = optimize::constrained_policy(&system, 1.0)?;
+        let optimal = simulate_policy(
+            &system,
+            solution.policy(),
+            "optimal",
+            seed_base,
+            PAPER_REQUESTS,
+        )?;
+
+        // Greedy.
+        let greedy = simulate_controller(
+            &system,
+            GreedyController::new(system.provider())?,
+            seed_base + 1,
+            PAPER_REQUESTS,
+        )?;
+
+        // Time-outs: 1 s fixed, mean inter-arrival, half of it.
+        let timeouts = [
+            ("timeout 1s", 1.0),
+            ("timeout 1/lambda", mean_gap),
+            ("timeout 0.5/lambda", 0.5 * mean_gap),
+        ];
+        let mut reports = vec![("optimal (constrained)", optimal), ("greedy", greedy)];
+        for (i, (name, t)) in timeouts.iter().enumerate() {
+            let report = simulate_controller(
+                &system,
+                TimeoutController::new(system.provider(), *t, 2)?,
+                seed_base + 2 + i as u64,
+                PAPER_REQUESTS,
+            )?;
+            reports.push((name, report));
+        }
+
+        for (name, report) in &reports {
+            row(
+                &[
+                    format!("1/{denominator}"),
+                    (*name).to_owned(),
+                    format!("{:.4}", report.average_power()),
+                    format!("{:.4}", report.average_waiting_time()),
+                ],
+                &widths,
+            );
+        }
+        rule(&widths);
+    }
+    println!(
+        "shape check: the optimal policy gives the lowest power of all policies that\n\
+         keep the average waiting time within the mean inter-arrival time."
+    );
+    Ok(())
+}

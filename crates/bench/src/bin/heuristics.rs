@@ -1,0 +1,217 @@
+//! Grand heuristic shoot-out: every policy family the paper discusses —
+//! the CTMDP optimum, N-policies, time-outs, greedy, predictive shutdown
+//! (\[16\]/\[17\]-style), always-on, and the randomized constrained-LP policy —
+//! simulated head-to-head on the paper's workload.
+//!
+//! Run with `cargo run --release -p dpm-bench --bin heuristics`.
+
+use dpm_bench::{paper_system, row, rule, simulate_controller, PAPER_REQUESTS};
+use dpm_core::{optimize, PmPolicy};
+use dpm_sim::controller::{
+    AlwaysOnController, GreedyController, NPolicyController, PredictiveController,
+    RandomizedController, TableController, TimeoutController,
+};
+use dpm_sim::SimReport;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = paper_system(1.0 / 6.0)?;
+    let weight = 1.0;
+    let widths = [22usize, 11, 10, 10, 11, 12];
+    println!("Heuristic shoot-out (lambda = 1/6, Q = 5, w = {weight})");
+    row(
+        &[
+            "policy".into(),
+            "power (W)".into(),
+            "queue".into(),
+            "wait (s)".into(),
+            "switches/s".into(),
+            "weighted".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    let mut reports: Vec<SimReport> = Vec::new();
+    let mut seed = 2_000u64;
+    let mut run = |r: SimReport| {
+        reports.push(r);
+    };
+
+    let optimal = optimize::optimal_policy(&system, weight)?;
+    seed += 1;
+    run(simulate_controller(
+        &system,
+        TableController::new(&system, optimal.policy())?.named("ctmdp-optimal"),
+        seed,
+        PAPER_REQUESTS,
+    )?);
+
+    let exact = optimize::constrained_lp(&system, optimal.metrics().queue_length())?;
+    seed += 1;
+    run(simulate_controller(
+        &system,
+        RandomizedController::new(&system, exact.policy())?,
+        seed,
+        PAPER_REQUESTS,
+    )?);
+
+    for n in [1usize, 2, 3] {
+        seed += 1;
+        run(simulate_controller(
+            &system,
+            NPolicyController::new(system.provider(), n, 2)?,
+            seed,
+            PAPER_REQUESTS,
+        )?);
+    }
+
+    seed += 1;
+    run(simulate_controller(
+        &system,
+        GreedyController::new(system.provider())?,
+        seed,
+        PAPER_REQUESTS,
+    )?);
+
+    for timeout in [1.0, 3.0, 6.0] {
+        seed += 1;
+        run(simulate_controller(
+            &system,
+            TimeoutController::new(system.provider(), timeout, 2)?,
+            seed,
+            PAPER_REQUESTS,
+        )?);
+    }
+
+    seed += 1;
+    run(simulate_controller(
+        &system,
+        PredictiveController::new(system.provider(), 2, 0.25)?,
+        seed,
+        PAPER_REQUESTS,
+    )?);
+
+    seed += 1;
+    run(simulate_controller(
+        &system,
+        AlwaysOnController::new(system.provider()),
+        seed,
+        PAPER_REQUESTS,
+    )?);
+
+    // Keep the analytic optimum's weighted cost as the reference line.
+    let reference = optimal.metrics().power() + weight * optimal.metrics().queue_length();
+    for report in &reports {
+        let weighted = report.average_power() + weight * report.average_queue_length();
+        row(
+            &[
+                report.policy().to_owned(),
+                format!("{:.4}", report.average_power()),
+                format!("{:.4}", report.average_queue_length()),
+                format!("{:.3}", report.average_waiting_time()),
+                format!("{:.4}", report.switches() as f64 / report.duration()),
+                format!("{weighted:.4}"),
+            ],
+            &widths,
+        );
+    }
+    rule(&widths);
+    println!("analytic optimum weighted cost: {reference:.4}");
+    println!(
+        "\nshape check: no simulated policy beats the CTMDP optimum's weighted cost\n\
+         beyond simulation noise. Under a memoryless (Poisson) workload the\n\
+         predictive policy cannot beat greedy — as the paper notes, prediction\n\
+         helps only when requests are highly correlated [16, 17]."
+    );
+
+    // Part 2: a *correlated* workload — bursts of closely spaced requests
+    // separated by long quiet gaps — where prediction earns its keep.
+    println!("\ncorrelated (bursty) workload: 5-request bursts, 1.6 s spacing, 60 s gaps");
+    let burst_gaps: Vec<f64> = {
+        let mut gaps = Vec::with_capacity(2_000 * 5);
+        for _ in 0..2_000 {
+            gaps.push(60.0);
+            gaps.extend(std::iter::repeat_n(1.6, 4));
+        }
+        gaps
+    };
+    let widths2 = [22usize, 11, 10, 12];
+    row(
+        &[
+            "policy".into(),
+            "power (W)".into(),
+            "wait (s)".into(),
+            "switches/s".into(),
+        ],
+        &widths2,
+    );
+    rule(&widths2);
+    let bursty = |name: &str, r: dpm_sim::SimReport| {
+        row(
+            &[
+                name.to_owned(),
+                format!("{:.4}", r.average_power()),
+                format!("{:.3}", r.average_waiting_time()),
+                format!("{:.4}", r.switches() as f64 / r.duration()),
+            ],
+            &widths2,
+        );
+    };
+    use dpm_sim::workload::TraceWorkload;
+    use dpm_sim::{SimConfig, Simulator};
+    let greedy_bursty = Simulator::new(
+        system.provider().clone(),
+        system.capacity(),
+        TraceWorkload::new(burst_gaps.clone())?,
+        GreedyController::new(system.provider())?,
+        SimConfig::new(3_001),
+    )
+    .run()?;
+    bursty("greedy", greedy_bursty);
+    let predictive_bursty = Simulator::new(
+        system.provider().clone(),
+        system.capacity(),
+        TraceWorkload::new(burst_gaps.clone())?,
+        PredictiveController::new(system.provider(), 2, 0.25)?,
+        SimConfig::new(3_001),
+    )
+    .run()?;
+    bursty("predictive", predictive_bursty);
+    let timeout_bursty = Simulator::new(
+        system.provider().clone(),
+        system.capacity(),
+        TraceWorkload::new(burst_gaps)?,
+        TimeoutController::new(system.provider(), 1.0, 2)?,
+        SimConfig::new(3_001),
+    )
+    .run()?;
+    bursty("timeout(1s)", timeout_bursty);
+    println!(
+        "\nshape check: on the correlated trace prediction edges out greedy (it skips\n\
+         some unprofitable sleeps inside bursts) — the paper's [16, 17] setting; the\n\
+         margin is modest because exponential service times blur the gap structure."
+    );
+
+    // Also verify the N-policy table encoding and behavioral controllers
+    // agree (same seeds would give identical paths; different seeds give
+    // statistical agreement) — a consistency line for the curious.
+    let np2_table = PmPolicy::n_policy(&system, 2, 2)?;
+    let a = simulate_controller(
+        &system,
+        TableController::new(&system, &np2_table)?.named("np2-table"),
+        9_999,
+        PAPER_REQUESTS,
+    )?;
+    let b = simulate_controller(
+        &system,
+        NPolicyController::new(system.provider(), 2, 2)?,
+        9_999,
+        PAPER_REQUESTS,
+    )?;
+    println!(
+        "\nconsistency: N=2 table vs behavioral (same seed): {:.6} vs {:.6} W",
+        a.average_power(),
+        b.average_power()
+    );
+    Ok(())
+}

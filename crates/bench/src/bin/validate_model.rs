@@ -1,0 +1,67 @@
+//! Model validation (Section V, first experiment): "we also calculated the
+//! functional value of the queue length and energy cost (by using the
+//! state probability and the state cost) and found that the functional
+//! value and the simulated value are almost the same."
+//!
+//! For a spread of policies this prints functional (analytic) vs simulated
+//! power and queue length, with relative deviations.
+//!
+//! Run with `cargo run --release -p dpm-bench --bin validate_model`.
+
+use dpm_bench::{paper_system, row, rule, simulate_policy, PAPER_REQUESTS};
+use dpm_core::{optimize, PmPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = paper_system(1.0 / 6.0)?;
+    let widths = [16usize, 12, 12, 10, 12, 12, 10];
+    println!("Model validation — functional vs simulated values (lambda = 1/6)");
+    row(
+        &[
+            "policy".into(),
+            "pow fn(W)".into(),
+            "pow sim(W)".into(),
+            "dev (%)".into(),
+            "queue fn".into(),
+            "queue sim".into(),
+            "dev (%)".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    let mut policies: Vec<(String, PmPolicy)> = vec![
+        ("always-on".into(), PmPolicy::always_on(&system, 0)?),
+        ("greedy".into(), PmPolicy::greedy(&system)?),
+    ];
+    for n in [2, 4] {
+        policies.push((format!("n-policy({n})"), PmPolicy::n_policy(&system, n, 2)?));
+    }
+    for weight in [0.5, 1.0, 5.0] {
+        let solution = optimize::optimal_policy(&system, weight)?;
+        policies.push((format!("optimal(w={weight})"), solution.policy().clone()));
+    }
+
+    let mut worst: f64 = 0.0;
+    for (seed, (name, policy)) in policies.iter().enumerate() {
+        let functional = system.evaluate(policy)?;
+        let report = simulate_policy(&system, policy, name, 800 + seed as u64, PAPER_REQUESTS)?;
+        let pow_dev = 100.0 * (report.average_power() - functional.power()) / functional.power();
+        let queue_dev = 100.0 * (report.average_queue_length() - functional.queue_length())
+            / functional.queue_length().max(1e-9);
+        worst = worst.max(pow_dev.abs()).max(queue_dev.abs());
+        row(
+            &[
+                name.clone(),
+                format!("{:.4}", functional.power()),
+                format!("{:.4}", report.average_power()),
+                format!("{pow_dev:+.2}"),
+                format!("{:.4}", functional.queue_length()),
+                format!("{:.4}", report.average_queue_length()),
+                format!("{queue_dev:+.2}"),
+            ],
+            &widths,
+        );
+    }
+    println!("\nworst absolute deviation: {worst:.2}% (paper: \"almost the same\")");
+    Ok(())
+}

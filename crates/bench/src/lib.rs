@@ -1,0 +1,101 @@
+//! Shared experiment plumbing for the paper-reproduction binaries and the
+//! Criterion benchmarks.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of
+//! Qiu & Pedram (DAC 1999); see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
+
+use dpm_core::{DpmError, PmPolicy, PmSystem, SpModel, SrModel};
+use dpm_sim::controller::{Controller, TableController};
+use dpm_sim::workload::PoissonWorkload;
+use dpm_sim::{SimConfig, SimError, SimReport, Simulator};
+
+/// The paper's Section V experimental setup for a given arrival rate:
+/// three-mode server, queue capacity 5.
+///
+/// # Errors
+///
+/// Propagates model validation failures (none for the paper's parameters).
+pub fn paper_system(lambda: f64) -> Result<PmSystem, DpmError> {
+    PmSystem::builder()
+        .provider(SpModel::dac99_server()?)
+        .requestor(SrModel::poisson(lambda)?)
+        .capacity(5)
+        .build()
+}
+
+/// The paper's workload size.
+pub const PAPER_REQUESTS: u64 = 50_000;
+
+/// Simulates a stationary policy on the paper's setup.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn simulate_policy(
+    system: &PmSystem,
+    policy: &PmPolicy,
+    name: &str,
+    seed: u64,
+    requests: u64,
+) -> Result<SimReport, SimError> {
+    let controller = TableController::new(system, policy)?.named(name);
+    simulate_controller(system, controller, seed, requests)
+}
+
+/// Simulates an arbitrary controller on the paper's setup.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn simulate_controller<C: Controller>(
+    system: &PmSystem,
+    controller: C,
+    seed: u64,
+    requests: u64,
+) -> Result<SimReport, SimError> {
+    Simulator::new(
+        system.provider().clone(),
+        system.capacity(),
+        PoissonWorkload::new(system.requestor().rate())?,
+        controller,
+        SimConfig::new(seed).max_requests(requests),
+    )
+    .run()
+}
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = *w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a rule matching [`row`] widths.
+pub fn rule(widths: &[usize]) {
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_system_builds() {
+        let sys = paper_system(1.0 / 6.0).unwrap();
+        assert_eq!(sys.n_states(), 23);
+    }
+
+    #[test]
+    fn simulate_policy_runs() {
+        let sys = paper_system(1.0 / 6.0).unwrap();
+        let policy = PmPolicy::greedy(&sys).unwrap();
+        let report = simulate_policy(&sys, &policy, "greedy", 1, 2_000).unwrap();
+        assert_eq!(report.arrivals(), 2_000);
+        assert_eq!(report.policy(), "greedy");
+    }
+}

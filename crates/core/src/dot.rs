@@ -1,0 +1,131 @@
+//! Graphviz (DOT) export of the models — reproducing the paper's Figure 1
+//! (SP Markov process) and Figure 2 (SQ/SYS Markov process) as render-ready
+//! graphs.
+
+use std::fmt::Write as _;
+
+use crate::{DpmError, PmPolicy, PmSystem, SpModel, SysState};
+
+/// Renders the service-provider model under a fixed command per mode (the
+/// paper's Figure 1 shows the policy `{<A, wait>, <W, sleep>, <S, wakeup>}`).
+///
+/// `commands[mode]` is the destination mode commanded while in `mode`;
+/// self-commands draw no edge (self-loops are omitted, as in the paper).
+///
+/// # Errors
+///
+/// Returns [`DpmError::InvalidPolicy`] if `commands` has the wrong length
+/// or names an impossible switch.
+pub fn sp_to_dot(sp: &SpModel, commands: &[usize]) -> Result<String, DpmError> {
+    if commands.len() != sp.n_modes() {
+        return Err(DpmError::InvalidPolicy {
+            reason: format!("{} commands for {} modes", commands.len(), sp.n_modes()),
+        });
+    }
+    let mut out = String::new();
+    out.push_str("digraph sp {\n  rankdir=LR;\n");
+    for m in 0..sp.n_modes() {
+        let shape = if sp.is_active(m) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(
+            out,
+            "  m{m} [label=\"{}\\npow={}W\" shape={shape}];",
+            sp.label(m),
+            sp.power(m)
+        );
+    }
+    for (m, &dest) in commands.iter().enumerate() {
+        if dest == m {
+            continue;
+        }
+        if dest >= sp.n_modes() || !sp.can_switch(m, dest) {
+            return Err(DpmError::InvalidPolicy {
+                reason: format!("impossible switch {m} -> {dest}"),
+            });
+        }
+        let _ = writeln!(
+            out,
+            "  m{m} -> m{dest} [label=\"chi={:.3}\"];",
+            sp.switch_rate(m, dest)
+        );
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+/// Renders the composed system under `policy`: stable states as circles,
+/// transfer states as boxes, transition rates as edge labels (Figure 2
+/// generalized to the full SYS process). Self-loops are omitted.
+///
+/// # Errors
+///
+/// Propagates policy validation failures.
+pub fn system_to_dot(system: &PmSystem, policy: &PmPolicy) -> Result<String, DpmError> {
+    let mdp_policy = policy.to_mdp_policy(system)?;
+    let mut out = String::new();
+    out.push_str("digraph sys {\n  rankdir=LR;\n");
+    for (i, &state) in system.states().iter().enumerate() {
+        let label = describe(system, state);
+        let shape = if state.is_transfer() { "box" } else { "circle" };
+        let _ = writeln!(out, "  x{i} [label=\"{label}\" shape={shape}];");
+    }
+    for i in 0..system.n_states() {
+        for (to, rate) in system.transitions(i, mdp_policy.action(i)) {
+            let _ = writeln!(out, "  x{i} -> x{to} [label=\"{rate:.3}\"];");
+        }
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+fn describe(system: &PmSystem, state: SysState) -> String {
+    let sp = system.provider();
+    match state {
+        SysState::Stable { mode, jobs } => format!("{}, q{jobs}", sp.label(mode)),
+        SysState::Transfer { mode, departing } => {
+            format!("{}, q{departing}->{}", sp.label(mode), departing - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpModel, SrModel};
+
+    #[test]
+    fn sp_dot_reproduces_figure_1_policy() {
+        let sp = SpModel::dac99_server().unwrap();
+        // Figure 1: active -> waiting, waiting -> sleeping, sleeping -> active.
+        let dot = sp_to_dot(&sp, &[1, 2, 0]).unwrap();
+        assert!(dot.contains("digraph sp"));
+        assert!(dot.contains("m0 -> m1"));
+        assert!(dot.contains("m1 -> m2"));
+        assert!(dot.contains("m2 -> m0"));
+        assert!(dot.contains("active"));
+    }
+
+    #[test]
+    fn sp_dot_validates_commands() {
+        let sp = SpModel::dac99_server().unwrap();
+        assert!(sp_to_dot(&sp, &[0, 0]).is_err());
+        assert!(sp_to_dot(&sp, &[5, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn system_dot_contains_transfer_boxes() {
+        let sys = PmSystem::builder()
+            .provider(SpModel::dac99_server().unwrap())
+            .requestor(SrModel::poisson(0.2).unwrap())
+            .capacity(2)
+            .build()
+            .unwrap();
+        let dot = system_to_dot(&sys, &PmPolicy::greedy(&sys).unwrap()).unwrap();
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("->"));
+    }
+}

@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+use dpm_ctmc::CtmcError;
+use dpm_mdp::MdpError;
+
+/// Error type for power-management model construction and optimization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DpmError {
+    /// A model parameter was rejected.
+    InvalidModel {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A policy refers to a mode or state that does not exist, or violates
+    /// the action-validity constraints.
+    InvalidPolicy {
+        /// What was wrong.
+        reason: String,
+    },
+    /// No policy satisfies the requested performance constraint.
+    ConstraintUnsatisfiable {
+        /// The requested bound on the average number of waiting requests.
+        bound: f64,
+    },
+    /// The decision-process layer failed.
+    Mdp(MdpError),
+    /// The chain-analysis layer failed.
+    Chain(CtmcError),
+}
+
+impl fmt::Display for DpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpmError::InvalidModel { reason } => write!(f, "invalid model: {reason}"),
+            DpmError::InvalidPolicy { reason } => write!(f, "invalid policy: {reason}"),
+            DpmError::ConstraintUnsatisfiable { bound } => {
+                write!(f, "no policy attains average queue length <= {bound}")
+            }
+            DpmError::Mdp(e) => write!(f, "decision-process failure: {e}"),
+            DpmError::Chain(e) => write!(f, "chain-analysis failure: {e}"),
+        }
+    }
+}
+
+impl Error for DpmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DpmError::Mdp(e) => Some(e),
+            DpmError::Chain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MdpError> for DpmError {
+    fn from(e: MdpError) -> Self {
+        DpmError::Mdp(e)
+    }
+}
+
+impl From<CtmcError> for DpmError {
+    fn from(e: CtmcError) -> Self {
+        DpmError::Chain(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = DpmError::ConstraintUnsatisfiable { bound: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = DpmError::from(MdpError::Infeasible);
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DpmError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! Dynamic power management by continuous-time Markov decision processes.
+//!
+//! This crate is a from-scratch implementation of the system model and
+//! policy-optimization method of **Qiu & Pedram, "Dynamic Power Management
+//! Based on Continuous-Time Markov Decision Processes" (DAC 1999)**.
+//!
+//! # The model
+//!
+//! A power-managed system consists of:
+//!
+//! * a **service provider** ([`SpModel`]) — a device with several power
+//!   modes (e.g. *active*, *waiting*, *sleeping*), each with a service rate
+//!   `μ(s)`, a power draw `pow(s)`, pairwise switching speeds `χ` and
+//!   switching energies `ene`;
+//! * a **service requestor** ([`SrModel`]) — a Poisson request source with
+//!   rate `λ`;
+//! * a **service queue** — a FIFO buffer of capacity `Q` that extends the
+//!   M/M/1/Q chain with *transfer states* `q_{i→i-1}`, occupied while the
+//!   provider switches modes at a service-completion epoch;
+//! * a **power manager** — the controller being synthesized: it observes
+//!   the joint state and issues a target power mode.
+//!
+//! [`PmSystem`] composes these into a single controllable Markov process
+//! over the state space `S × Q_stable ∪ S_active × Q_transfer`, applies the
+//! paper's action-validity constraints (1)–(3), attaches the cost structure
+//! `Cost = C_pow + w · C_sq` (Eqn. 3.1), and hands the result to the
+//! `dpm-mdp` solvers. [`optimize`] finds optimal policies: per weight, as a
+//! frontier sweep (Figure 4), or under an explicit performance constraint
+//! (Section IV / Figure 5).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpm_core::{optimize, PmSystem, SpModel, SrModel};
+//!
+//! # fn main() -> Result<(), dpm_core::DpmError> {
+//! let system = PmSystem::builder()
+//!     .provider(SpModel::dac99_server()?)
+//!     .requestor(SrModel::poisson(1.0 / 6.0)?)
+//!     .capacity(5)
+//!     .build()?;
+//! let optimal = optimize::optimal_policy(&system, 0.5)?;
+//! let metrics = system.evaluate(optimal.policy())?;
+//! assert!(metrics.power() < 40.0); // beats always-on
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dot;
+mod error;
+pub mod lumped;
+pub mod optimize;
+mod policy;
+mod provider;
+mod requestor;
+mod system;
+pub mod tensor;
+
+pub use analysis::PolicyMetrics;
+pub use error::DpmError;
+pub use policy::PmPolicy;
+pub use provider::{SpModel, SpModelBuilder};
+pub use requestor::SrModel;
+pub use system::{PmSystem, PmSystemBuilder, SysState, DEFAULT_INSTANT_RATE};

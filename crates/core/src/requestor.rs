@@ -1,0 +1,107 @@
+//! The service-requestor (SR) model: a Poisson request source.
+
+use std::fmt;
+
+use crate::DpmError;
+
+/// A single-mode service requestor generating requests as a Poisson process
+/// with rate `λ` (exponential inter-arrival times with mean `1/λ`).
+///
+/// The paper argues (Section III) that a single-mode SR suffices in
+/// practice because `λ` can be estimated online within ~5% after observing
+/// about 50 events, and the power manager can then re-solve for a new
+/// policy; `dpm-sim`'s adaptive controller implements exactly that loop.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_core::SrModel;
+///
+/// # fn main() -> Result<(), dpm_core::DpmError> {
+/// let sr = SrModel::poisson(1.0 / 6.0)?;
+/// assert!((sr.mean_interarrival() - 6.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SrModel {
+    rate: f64,
+}
+
+impl SrModel {
+    /// Creates a Poisson requestor with arrival rate `λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpmError::InvalidModel`] unless `λ` is positive and
+    /// finite.
+    pub fn poisson(lambda: f64) -> Result<Self, DpmError> {
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(DpmError::InvalidModel {
+                reason: format!("arrival rate {lambda} must be positive and finite"),
+            });
+        }
+        Ok(SrModel { rate: lambda })
+    }
+
+    /// Creates a requestor from the mean inter-arrival time `1/λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpmError::InvalidModel`] unless the mean is positive and
+    /// finite.
+    pub fn from_mean_interarrival(mean: f64) -> Result<Self, DpmError> {
+        if !(mean > 0.0 && mean.is_finite()) {
+            return Err(DpmError::InvalidModel {
+                reason: format!("mean inter-arrival time {mean} must be positive and finite"),
+            });
+        }
+        SrModel::poisson(1.0 / mean)
+    }
+
+    /// Arrival rate `λ`.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean inter-arrival time `1/λ`.
+    #[must_use]
+    pub fn mean_interarrival(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+impl fmt::Display for SrModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SrModel (Poisson, lambda = {})", self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_between_rate_and_mean() {
+        let sr = SrModel::poisson(0.25).unwrap();
+        assert_eq!(sr.rate(), 0.25);
+        assert_eq!(sr.mean_interarrival(), 4.0);
+        let sr2 = SrModel::from_mean_interarrival(4.0).unwrap();
+        assert_eq!(sr, sr2);
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(SrModel::poisson(0.0).is_err());
+        assert!(SrModel::poisson(-1.0).is_err());
+        assert!(SrModel::poisson(f64::INFINITY).is_err());
+        assert!(SrModel::from_mean_interarrival(0.0).is_err());
+        assert!(SrModel::from_mean_interarrival(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_mentions_rate() {
+        assert!(SrModel::poisson(0.5).unwrap().to_string().contains("0.5"));
+    }
+}

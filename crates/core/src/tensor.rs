@@ -1,0 +1,305 @@
+//! Compositional (tensor-algebra) construction of the SYS generator.
+//!
+//! The paper expresses the composed generator as a block matrix over the
+//! stable and transfer partitions (Section III, using Definition 4.4's
+//! tensor product `⊗` and tensor sum `⊕`):
+//!
+//! ```text
+//!            ⎡ G_SP(a) ⊕ G_SQ^SS      M(a)                    ⎤
+//! G_SYS(a) = ⎢                                                ⎥
+//!            ⎣ G_SP^A(a) ⊗ N          I_{S_active} ⊗ G_SQ^TT  ⎦
+//! ```
+//!
+//! This module rebuilds the generator from exactly those pieces for a
+//! *uniform command* `a` (the same destination mode issued in every state
+//! where it is valid). It is deliberately an independent implementation
+//! from [`crate::PmSystem::generator_for`]'s direct state-by-state
+//! assembly; tests assert the two agree entry-for-entry, validating both
+//! the paper's formula and the direct code.
+//!
+//! One caveat the paper glosses over: the paper's constraint (2) makes the
+//! SP's *masked* switch matrix depend on the queue level (only at `q_Q`,
+//! only for inactive → inactive commands), which breaks the pure tensor
+//! structure. [`compose_uniform`] therefore rejects commands whose masking
+//! is queue-dependent; every other command composes exactly.
+
+use dpm_linalg::{kron, kron_sum, DMatrix};
+
+#[cfg(test)]
+use crate::SysState;
+use crate::{DpmError, PmPolicy, PmSystem};
+
+/// Builds the uniform policy "command `dest` wherever valid, otherwise
+/// stay".
+///
+/// # Errors
+///
+/// Returns [`DpmError::InvalidPolicy`] if `dest` is out of range.
+pub fn uniform_policy(system: &PmSystem, dest: usize) -> Result<PmPolicy, DpmError> {
+    if dest >= system.provider().n_modes() {
+        return Err(DpmError::InvalidPolicy {
+            reason: format!("destination mode {dest} out of range"),
+        });
+    }
+    let destinations = system
+        .states()
+        .iter()
+        .enumerate()
+        .map(|(i, &state)| {
+            let valid = system.action_destinations(i);
+            if valid.contains(&dest) {
+                dest
+            } else if valid.contains(&state.mode()) {
+                state.mode()
+            } else {
+                // Forced-wakeup states (inactive mode at q_Q) where the
+                // command is also invalid: take the first legal command.
+                valid[0]
+            }
+        })
+        .collect();
+    PmPolicy::new(system, destinations)
+}
+
+/// Composes the SYS generator for the uniform command `dest` from the SP
+/// and SQ component matrices per the paper's block formula.
+///
+/// # Errors
+///
+/// Returns [`DpmError::InvalidPolicy`] if `dest` is out of range, or
+/// [`DpmError::InvalidModel`] if constraint (2) would make the SP masking
+/// queue-dependent for this command (`dest` inactive and some inactive
+/// mode allowed to switch to it below `q_Q` but not at `q_Q`) — the one
+/// case the paper's pure tensor structure cannot express.
+pub fn compose_uniform(system: &PmSystem, dest: usize) -> Result<DMatrix, DpmError> {
+    let sp = system.provider();
+    let s = sp.n_modes();
+    if dest >= s {
+        return Err(DpmError::InvalidPolicy {
+            reason: format!("destination mode {dest} out of range"),
+        });
+    }
+    let q = system.capacity();
+    let lambda = system.requestor().rate();
+    let active = sp.active_modes();
+    let n_active = active.len();
+    let n_stable = s * (q + 1);
+    let n = n_stable + n_active * q;
+
+    // Queue-dependence check: the pure tensor form needs the effective
+    // stable-state command of every mode to be identical at q < Q and at
+    // q_Q. Constraint (2) (strengthened: inactive modes may not idle at
+    // q_Q) is the only queue-dependent masking, so for every *inactive*
+    // mode the command must be executable everywhere: a possible switch to
+    // an active mode, or to an inactive mode with strictly shorter wakeup.
+    for mode in 0..s {
+        if sp.is_active(mode) {
+            continue;
+        }
+        let command_executable = mode != dest && sp.switch_rate(mode, dest) > 0.0;
+        let valid_at_full = command_executable
+            && (sp.is_active(dest) || sp.wakeup_time(dest) < sp.wakeup_time(mode));
+        if !valid_at_full {
+            return Err(DpmError::InvalidModel {
+                reason: format!(
+                    "command {dest} has queue-dependent masking for inactive mode {mode}; \
+                     the pure tensor form cannot express it"
+                ),
+            });
+        }
+    }
+
+    // --- Component matrices ---
+    // Masked SP switch generator under the uniform command (stable states).
+    let mut g_sp = DMatrix::zeros(s, s);
+    for mode in 0..s {
+        // Constraint (1): active modes may not be commanded inactive.
+        let blocked_by_constraint_1 = sp.is_active(mode) && !sp.is_active(dest);
+        if dest != mode && sp.switch_rate(mode, dest) > 0.0 && !blocked_by_constraint_1 {
+            g_sp[(mode, dest)] = sp.switch_rate(mode, dest);
+            g_sp[(mode, mode)] = -sp.switch_rate(mode, dest);
+        }
+    }
+    // Arrival-only SQ generator on stable states (the SS block).
+    let mut g_sq_ss = DMatrix::zeros(q + 1, q + 1);
+    for jobs in 0..q {
+        g_sq_ss[(jobs, jobs + 1)] = lambda;
+        g_sq_ss[(jobs, jobs)] = -lambda;
+    }
+    // Arrival-only SQ generator on transfer states (the TT block), without
+    // the departure exits (those live in the transfer -> stable block).
+    let mut g_sq_tt = DMatrix::zeros(q, q);
+    for i in 0..q - 1 {
+        g_sq_tt[(i, i + 1)] = lambda;
+        g_sq_tt[(i, i)] = -lambda;
+    }
+
+    // --- Assemble the blocks ---
+    let mut g = DMatrix::zeros(n, n);
+
+    // Stable-stable: G_SP ⊕ G_SQ^SS, corrected on the diagonal by the
+    // service exits into the transfer partition.
+    let ss = kron_sum(&g_sp, &g_sq_ss);
+    g.set_block(0, 0, &ss);
+    for mode in 0..s {
+        let mu = sp.service_rate(mode);
+        if mu > 0.0 {
+            for jobs in 1..=q {
+                let i = mode * (q + 1) + jobs;
+                g[(i, i)] -= mu;
+            }
+        }
+    }
+
+    // Stable-transfer: M = I_{S_active} ⊗ G_SQ^ST restricted to the active
+    // rows; G_SQ^ST is the (q+1) x q matrix with mu at (jobs, jobs-1).
+    for (a_pos, &mode) in active.iter().enumerate() {
+        let mu = sp.service_rate(mode);
+        let mut g_sq_st = DMatrix::zeros(q + 1, q);
+        for jobs in 1..=q {
+            g_sq_st[(jobs, jobs - 1)] = mu;
+        }
+        g.set_block(mode * (q + 1), n_stable + a_pos * q, &g_sq_st);
+    }
+
+    // Transfer-stable: G_SP^A(a) ⊗ N. Row per active mode; the SP row under
+    // the command (self entry uses the instantaneous surrogate), times the
+    // positional matrix N = [I_Q | 0] mapping transfer i to stable i-1.
+    let mut n_map = DMatrix::zeros(q, q + 1);
+    for i in 0..q {
+        n_map[(i, i)] = 1.0;
+    }
+    for (a_pos, &mode) in active.iter().enumerate() {
+        // SP behavior at a transfer state of `mode` under the command:
+        // switch to dest at chi (or the instant surrogate for dest == mode),
+        // masked by constraint (3) — vacuous unless dest is a slower active
+        // mode, in which case the command reverts to stay.
+        let (target, rate) = if dest == mode || sp.switch_rate(mode, dest) <= 0.0 {
+            (mode, system.instant_rate())
+        } else if sp.is_active(dest) && sp.service_rate(dest) < sp.service_rate(mode) {
+            // Constraint (3) masks the command at i = Q only; like
+            // constraint (2) this is queue-dependent.
+            return Err(DpmError::InvalidModel {
+                reason: format!(
+                    "command {dest} is masked only at q_Q->Q-1 for mode {mode}; \
+                     the pure tensor form cannot express it"
+                ),
+            });
+        } else {
+            (dest, sp.switch_rate(mode, dest))
+        };
+        // (mode, i) -> (target, i-1) at `rate`: a 1 x S one-hot SP row
+        // tensored with N.
+        let mut sp_row = DMatrix::zeros(1, s);
+        sp_row[(0, target)] = rate;
+        let block = kron(&sp_row, &n_map); // q x s(q+1)
+        g.set_block(n_stable + a_pos * q, 0, &block);
+        // Its exit rate on the transfer diagonal.
+        for i in 0..q {
+            let r = n_stable + a_pos * q + i;
+            g[(r, r)] -= rate;
+        }
+    }
+
+    // Transfer-transfer: I_{S_active} ⊗ G_SQ^TT.
+    let tt = kron(&DMatrix::identity(n_active), &g_sq_tt);
+    for r in 0..n_active * q {
+        for c in 0..n_active * q {
+            g[(n_stable + r, n_stable + c)] += tt[(r, c)];
+        }
+    }
+
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpModel, SrModel};
+
+    fn paper_system() -> PmSystem {
+        PmSystem::builder()
+            .provider(SpModel::dac99_server().unwrap())
+            .requestor(SrModel::poisson(1.0 / 6.0).unwrap())
+            .capacity(5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tensor_form_matches_direct_assembly_for_wakeup_command() {
+        let sys = paper_system();
+        let composed = compose_uniform(&sys, 0).unwrap();
+        let policy = uniform_policy(&sys, 0).unwrap();
+        let direct = sys.generator_for(&policy).unwrap();
+        let diff = &composed - direct.matrix();
+        assert!(diff.max_abs() < 1e-9, "max deviation {}", diff.max_abs());
+    }
+
+    #[test]
+    fn queue_dependent_masking_is_rejected() {
+        // Command "waiting" leaves the waiting mode itself idle, which is
+        // illegal at q_Q; command "sleeping" is masked at q_Q for the
+        // waiting mode (longer wakeup). Both are queue-dependent.
+        let sys = paper_system();
+        for dest in [1, 2] {
+            assert!(
+                matches!(
+                    compose_uniform(&sys, dest),
+                    Err(DpmError::InvalidModel { .. })
+                ),
+                "dest {dest}"
+            );
+        }
+    }
+
+    #[test]
+    fn composed_matrix_is_a_generator() {
+        let sys = paper_system();
+        let composed = compose_uniform(&sys, 0).unwrap();
+        let g = dpm_ctmc::Generator::from_matrix(composed);
+        assert!(g.is_ok());
+    }
+
+    #[test]
+    fn two_mode_system_composes_for_every_command() {
+        let mut b = SpModel::builder();
+        b.mode("on", 1.0, 10.0);
+        b.mode("off", 0.0, 0.5);
+        b.switch_time(0, 1, 0.2).unwrap().energy(0, 1, 0.3).unwrap();
+        b.switch_time(1, 0, 0.4).unwrap().energy(1, 0, 0.6).unwrap();
+        let sys = PmSystem::builder()
+            .provider(b.build().unwrap())
+            .requestor(SrModel::poisson(0.5).unwrap())
+            .capacity(3)
+            .build()
+            .unwrap();
+        // Only the wake-up command is queue-independent for every mode.
+        let composed = compose_uniform(&sys, 0).unwrap();
+        let direct = sys
+            .generator_for(&uniform_policy(&sys, 0).unwrap())
+            .unwrap();
+        let diff = &composed - direct.matrix();
+        assert!(diff.max_abs() < 1e-9);
+        assert!(compose_uniform(&sys, 1).is_err());
+    }
+
+    #[test]
+    fn uniform_policy_falls_back_to_stay() {
+        let sys = paper_system();
+        let p = uniform_policy(&sys, 2).unwrap();
+        // Active mode in a stable state cannot sleep: falls back to stay.
+        assert_eq!(
+            p.command(&sys, SysState::Stable { mode: 0, jobs: 2 })
+                .unwrap(),
+            0
+        );
+        // Inactive mode heads to sleep.
+        assert_eq!(
+            p.command(&sys, SysState::Stable { mode: 1, jobs: 2 })
+                .unwrap(),
+            2
+        );
+        assert!(uniform_policy(&sys, 9).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Closed-form results for birth–death queues.
+//!
+//! The service-queue model of the paper is an M/M/1/Q queue extended with
+//! transfer states. The plain M/M/1/K closed forms here serve as ground
+//! truth for the numeric solvers and the event-driven simulator.
+
+use crate::CtmcError;
+
+/// Analytic M/M/1/K queue: Poisson arrivals at rate `λ` (blocked when `K`
+/// customers are present), exponential service at rate `μ`.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_ctmc::birth_death::Mm1k;
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// let q = Mm1k::new(0.5, 1.0, 4)?;
+/// // Utilization below 1: most mass near empty.
+/// assert!(q.probability(0) > q.probability(4));
+/// // Little's law: L = λ_eff · W.
+/// let little = q.effective_arrival_rate() * q.mean_waiting_time();
+/// assert!((q.mean_customers() - little).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mm1k {
+    lambda: f64,
+    mu: f64,
+    capacity: usize,
+    /// Probability of an empty system, precomputed.
+    p0: f64,
+}
+
+impl Mm1k {
+    /// Creates the analytic queue model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidParameter`] if `capacity == 0` or either
+    /// rate is not positive and finite.
+    pub fn new(lambda: f64, mu: f64, capacity: usize) -> Result<Self, CtmcError> {
+        if capacity == 0 {
+            return Err(CtmcError::InvalidParameter {
+                reason: "capacity must be at least 1".to_owned(),
+            });
+        }
+        if !(lambda > 0.0 && lambda.is_finite() && mu > 0.0 && mu.is_finite()) {
+            return Err(CtmcError::InvalidParameter {
+                reason: format!("rates must be positive and finite: lambda={lambda}, mu={mu}"),
+            });
+        }
+        let rho = lambda / mu;
+        let p0 = if (rho - 1.0).abs() < 1e-12 {
+            1.0 / (capacity as f64 + 1.0)
+        } else {
+            (1.0 - rho) / (1.0 - rho.powi(capacity as i32 + 1))
+        };
+        Ok(Mm1k {
+            lambda,
+            mu,
+            capacity,
+            p0,
+        })
+    }
+
+    /// Arrival rate `λ`.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Service rate `μ`.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Capacity `K` (maximum number of customers in the system).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offered load `ρ = λ/μ`.
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Stationary probability of exactly `i` customers in the system.
+    ///
+    /// Returns `0.0` for `i > K`.
+    #[must_use]
+    pub fn probability(&self, i: usize) -> f64 {
+        if i > self.capacity {
+            return 0.0;
+        }
+        self.p0 * self.rho().powi(i as i32)
+    }
+
+    /// Probability that an arriving customer is blocked (system full).
+    #[must_use]
+    pub fn blocking_probability(&self) -> f64 {
+        self.probability(self.capacity)
+    }
+
+    /// Effective (accepted) arrival rate `λ(1 - P_block)`.
+    #[must_use]
+    pub fn effective_arrival_rate(&self) -> f64 {
+        self.lambda * (1.0 - self.blocking_probability())
+    }
+
+    /// Mean number of customers in the system, `L = Σ i·π_i`.
+    #[must_use]
+    pub fn mean_customers(&self) -> f64 {
+        (0..=self.capacity)
+            .map(|i| i as f64 * self.probability(i))
+            .sum()
+    }
+
+    /// Mean time an accepted customer spends in the system (Little's law,
+    /// `W = L / λ_eff`).
+    #[must_use]
+    pub fn mean_waiting_time(&self) -> f64 {
+        self.mean_customers() / self.effective_arrival_rate()
+    }
+
+    /// Server utilization `1 - π_0`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.probability(0)
+    }
+
+    /// Long-run throughput (service completions per unit time), which equals
+    /// the effective arrival rate in steady state.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        self.mu * self.utilization()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let q = Mm1k::new(0.7, 1.0, 5).unwrap();
+        let total: f64 = (0..=5).map(|i| q.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_rho_equal_one() {
+        let q = Mm1k::new(1.0, 1.0, 4).unwrap();
+        for i in 0..=4 {
+            assert!((q.probability(i) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beyond_capacity_has_zero_mass() {
+        let q = Mm1k::new(0.5, 1.0, 3).unwrap();
+        assert_eq!(q.probability(4), 0.0);
+    }
+
+    #[test]
+    fn blocking_matches_last_state() {
+        let q = Mm1k::new(2.0, 1.0, 2).unwrap();
+        assert!((q.blocking_probability() - q.probability(2)).abs() < 1e-15);
+        // Overloaded queue: blocking is substantial.
+        assert!(q.blocking_probability() > 0.5);
+    }
+
+    #[test]
+    fn throughput_equals_effective_arrivals() {
+        let q = Mm1k::new(0.8, 1.3, 7).unwrap();
+        assert!((q.throughput() - q.effective_arrival_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let q = Mm1k::new(0.9, 1.1, 6).unwrap();
+        let l = q.mean_customers();
+        let w = q.mean_waiting_time();
+        assert!((l - q.effective_arrival_rate() * w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Mm1k::new(0.0, 1.0, 3).is_err());
+        assert!(Mm1k::new(1.0, -1.0, 3).is_err());
+        assert!(Mm1k::new(1.0, 1.0, 0).is_err());
+        assert!(Mm1k::new(f64::NAN, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn light_load_concentrates_at_empty() {
+        let q = Mm1k::new(0.01, 1.0, 10).unwrap();
+        assert!(q.probability(0) > 0.98);
+        assert!(q.mean_customers() < 0.02);
+    }
+}

@@ -1,0 +1,323 @@
+use std::fmt;
+
+use dpm_linalg::{DMatrix, DVector};
+
+use crate::CtmcError;
+
+/// Validation slack for stochastic rows.
+const ROW_SUM_TOL: f64 = 1e-9;
+
+/// A discrete-time Markov chain with a validated (row-)stochastic transition
+/// matrix.
+///
+/// Used directly by the DAC'98 discrete-time baseline formulation and
+/// internally by uniformization-based CTMC algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_ctmc::Dtmc;
+/// use dpm_linalg::DMatrix;
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// let p = Dtmc::from_matrix(DMatrix::from_rows(&[
+///     &[0.5, 0.5],
+///     &[0.25, 0.75],
+/// ]).map_err(dpm_ctmc::CtmcError::from)?)?;
+/// let pi = p.stationary_gth()?;
+/// assert!((pi[0] - 1.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dtmc {
+    matrix: DMatrix,
+}
+
+impl Dtmc {
+    /// Validates `matrix` as a row-stochastic transition matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidStochastic`] if the matrix is not square,
+    /// has entries outside `[0, 1]`, or has a row not summing to one.
+    pub fn from_matrix(matrix: DMatrix) -> Result<Self, CtmcError> {
+        if !matrix.is_square() || matrix.nrows() == 0 {
+            return Err(CtmcError::InvalidStochastic {
+                reason: format!(
+                    "transition matrix must be square and non-empty, got {}x{}",
+                    matrix.nrows(),
+                    matrix.ncols()
+                ),
+            });
+        }
+        for i in 0..matrix.nrows() {
+            let row = matrix.row(i);
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > ROW_SUM_TOL {
+                return Err(CtmcError::InvalidStochastic {
+                    reason: format!("row {i} sums to {sum}, expected 1"),
+                });
+            }
+            for (j, &p) in row.iter().enumerate() {
+                if !(0.0..=1.0 + ROW_SUM_TOL).contains(&p) {
+                    return Err(CtmcError::InvalidStochastic {
+                        reason: format!("probability {p} at ({i}, {j}) outside [0, 1]"),
+                    });
+                }
+            }
+        }
+        Ok(Dtmc { matrix })
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    /// One-step transition probability from `i` to `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn probability(&self, i: usize, j: usize) -> f64 {
+        self.matrix[(i, j)]
+    }
+
+    /// Borrows the transition matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &DMatrix {
+        &self.matrix
+    }
+
+    /// Advances a distribution one step: `π' = π P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != self.n_states()`.
+    #[must_use]
+    pub fn step(&self, pi: &DVector) -> DVector {
+        self.matrix.vec_mul(pi)
+    }
+
+    /// Stationary distribution by the Grassmann–Taksar–Heyman (GTH)
+    /// elimination, which is subtraction-free and therefore numerically
+    /// stable even for stiff chains.
+    ///
+    /// Requires the chain to be irreducible; on a reducible chain the result
+    /// is the stationary distribution of the class containing the last
+    /// state, which is usually not what you want — callers should check
+    /// irreducibility first (see [`crate::graph::is_irreducible`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::Numerical`] if a normalization sum degenerates
+    /// to zero (which happens only on reducible chains).
+    pub fn stationary_gth(&self) -> Result<DVector, CtmcError> {
+        let n = self.n_states();
+        let mut p = self.matrix.clone();
+        // Eliminate states n-1 down to 1.
+        for k in (1..n).rev() {
+            let s: f64 = (0..k).map(|j| p[(k, j)]).sum();
+            if s <= 0.0 {
+                return Err(CtmcError::Numerical(
+                    dpm_linalg::LinalgError::InvalidInput {
+                        reason: format!(
+                            "GTH elimination degenerate at state {k} (reducible chain?)"
+                        ),
+                    },
+                ));
+            }
+            for i in 0..k {
+                p[(i, k)] /= s;
+            }
+            for i in 0..k {
+                let pik = p[(i, k)];
+                if pik != 0.0 {
+                    for j in 0..k {
+                        let delta = pik * p[(k, j)];
+                        p[(i, j)] += delta;
+                    }
+                }
+            }
+        }
+        // Back substitution.
+        let mut pi = DVector::zeros(n);
+        pi[0] = 1.0;
+        for k in 1..n {
+            let mut sum = 0.0;
+            for i in 0..k {
+                sum += pi[i] * p[(i, k)];
+            }
+            pi[k] = sum;
+        }
+        pi.normalize_l1().map_err(CtmcError::Numerical)?;
+        Ok(pi)
+    }
+
+    /// Stationary distribution by power iteration from the uniform
+    /// distribution.
+    ///
+    /// Requires irreducibility and aperiodicity (a chain produced by
+    /// [`crate::Generator::uniformize`] with margin > 1 is always
+    /// aperiodic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::Numerical`] wrapping
+    /// [`dpm_linalg::LinalgError::NotConverged`] if the iteration budget is
+    /// exhausted.
+    pub fn stationary_power(
+        &self,
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> Result<DVector, CtmcError> {
+        let n = self.n_states();
+        let mut pi = DVector::constant(n, 1.0 / n as f64);
+        let mut residual = f64::INFINITY;
+        for _ in 0..max_iterations {
+            let next = self.step(&pi);
+            residual = (&next - &pi).norm_inf();
+            pi = next;
+            if residual <= tolerance {
+                return Ok(pi);
+            }
+        }
+        Err(CtmcError::Numerical(
+            dpm_linalg::LinalgError::NotConverged {
+                iterations: max_iterations,
+                residual,
+            },
+        ))
+    }
+
+    /// Expected discounted total cost `v = c + β P v` for discount
+    /// `β ∈ [0, 1)`, solved directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidParameter`] if `beta` is outside
+    /// `[0, 1)` or `costs` has the wrong length, and propagates numerical
+    /// failures.
+    pub fn discounted_value(&self, costs: &DVector, beta: f64) -> Result<DVector, CtmcError> {
+        if !(0.0..1.0).contains(&beta) {
+            return Err(CtmcError::InvalidParameter {
+                reason: format!("discount factor {beta} must be in [0, 1)"),
+            });
+        }
+        let n = self.n_states();
+        if costs.len() != n {
+            return Err(CtmcError::InvalidParameter {
+                reason: format!("cost vector length {} != {n}", costs.len()),
+            });
+        }
+        // (I - beta P) v = c
+        let a = &DMatrix::identity(n) - &self.matrix.scaled(beta);
+        let v = a.lu()?.solve(costs)?;
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Dtmc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dtmc ({} states)\n{}", self.n_states(), self.matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Dtmc {
+        Dtmc::from_matrix(DMatrix::from_rows(&[&[0.5, 0.5], &[0.25, 0.75]]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn validates_row_sums() {
+        let m = DMatrix::from_rows(&[&[0.5, 0.4], &[0.5, 0.5]]).unwrap();
+        assert!(matches!(
+            Dtmc::from_matrix(m),
+            Err(CtmcError::InvalidStochastic { .. })
+        ));
+    }
+
+    #[test]
+    fn validates_entry_range() {
+        let m = DMatrix::from_rows(&[&[1.5, -0.5], &[0.5, 0.5]]).unwrap();
+        assert!(Dtmc::from_matrix(m).is_err());
+    }
+
+    #[test]
+    fn step_advances_distribution() {
+        let p = two_state();
+        let pi = DVector::from_vec(vec![1.0, 0.0]);
+        let next = p.step(&pi);
+        assert_eq!(next.as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn gth_matches_hand_computed_stationary() {
+        // pi P = pi with P as in two_state(): pi = (1/3, 2/3).
+        let pi = two_state().stationary_gth().unwrap();
+        assert!((pi[0] - 1.0 / 3.0).abs() < 1e-14);
+        assert!((pi[1] - 2.0 / 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn power_matches_gth() {
+        let p = two_state();
+        let gth = p.stationary_gth().unwrap();
+        let pow = p.stationary_power(1e-14, 100_000).unwrap();
+        assert!((&gth - &pow).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn gth_handles_three_state_ring() {
+        let p = Dtmc::from_matrix(
+            DMatrix::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0]]).unwrap(),
+        )
+        .unwrap();
+        let pi = p.stationary_gth().unwrap();
+        for i in 0..3 {
+            assert!((pi[i] - 1.0 / 3.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn power_method_reports_non_convergence_on_periodic_chain() {
+        // Period-2 chain: power iteration from a non-stationary start point
+        // oscillates. Uniform start is actually stationary here, so perturb
+        // via an asymmetric chain with slow mixing and tiny budget instead.
+        let p =
+            Dtmc::from_matrix(DMatrix::from_rows(&[&[0.999, 0.001], &[0.0005, 0.9995]]).unwrap())
+                .unwrap();
+        assert!(p.stationary_power(1e-15, 3).is_err());
+    }
+
+    #[test]
+    fn discounted_value_solves_fixed_point() {
+        let p = two_state();
+        let c = DVector::from_vec(vec![1.0, 2.0]);
+        let beta = 0.9;
+        let v = p.discounted_value(&c, beta).unwrap();
+        let rhs = &c + &p.step_value(&v, beta);
+        assert!((&v - &rhs).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn discounted_value_validates_inputs() {
+        let p = two_state();
+        let c = DVector::from_vec(vec![1.0, 2.0]);
+        assert!(p.discounted_value(&c, 1.0).is_err());
+        assert!(p.discounted_value(&DVector::zeros(3), 0.5).is_err());
+    }
+
+    impl Dtmc {
+        /// Test helper: `β P v`.
+        fn step_value(&self, v: &DVector, beta: f64) -> DVector {
+            self.matrix.mul_vec(v).scaled(beta)
+        }
+    }
+}

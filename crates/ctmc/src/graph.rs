@@ -1,0 +1,339 @@
+//! Graph structure of Markov chains: communicating classes, irreducibility
+//! and connectivity (paper Definitions 2.3–2.6).
+//!
+//! States are vertices; a directed edge `i → j` exists whenever the
+//! transition rate `s_{i,j}` is positive. Two states *communicate* when each
+//! is accessible from the other; the communicating classes are exactly the
+//! strongly connected components of this digraph, computed here with an
+//! iterative Tarjan algorithm (no recursion, so deep chains cannot overflow
+//! the stack).
+
+use crate::Generator;
+
+/// The communicating-class decomposition of a chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Classes {
+    /// `class_of[i]` is the index of the class containing state `i`.
+    class_of: Vec<usize>,
+    /// Members of each class, in ascending state order.
+    members: Vec<Vec<usize>>,
+}
+
+impl Classes {
+    /// Number of communicating classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if there are no classes (empty chain).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Class index of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn class_of(&self, state: usize) -> usize {
+        self.class_of[state]
+    }
+
+    /// Members of class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.members[c]
+    }
+
+    /// Iterates over all classes.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        self.members.iter().map(Vec::as_slice)
+    }
+}
+
+/// Adjacency lists of the transition digraph (positive-rate edges only).
+fn adjacency(generator: &Generator) -> Vec<Vec<usize>> {
+    let n = generator.n_states();
+    let mut adj = vec![Vec::new(); n];
+    for (from, to, _) in generator.transitions() {
+        adj[from].push(to);
+    }
+    adj
+}
+
+/// Computes the communicating classes (strongly connected components) of the
+/// chain with an iterative Tarjan algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_ctmc::{graph, Generator};
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// // 0 <-> 1 communicate; 2 is absorbing and only reachable from 1.
+/// let g = Generator::builder(3)
+///     .rate(0, 1, 1.0)
+///     .rate(1, 0, 1.0)
+///     .rate(1, 2, 1.0)
+///     .build()?;
+/// let classes = graph::communicating_classes(&g);
+/// assert_eq!(classes.len(), 2);
+/// assert_eq!(classes.class_of(0), classes.class_of(1));
+/// assert_ne!(classes.class_of(0), classes.class_of(2));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn communicating_classes(generator: &Generator) -> Classes {
+    let n = generator.n_states();
+    let adj = adjacency(generator);
+
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut class_of = vec![UNVISITED; n];
+    let mut members: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative Tarjan: each frame is (vertex, next child position).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        call_stack.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut child)) = call_stack.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let class_id = members.len();
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        class_of[w] = class_id;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    members.push(component);
+                }
+            }
+        }
+    }
+
+    Classes { class_of, members }
+}
+
+/// Returns `true` if the chain is irreducible (a single communicating
+/// class, Definition 2.5).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_ctmc::{graph, Generator};
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// let g = Generator::builder(2).rate(0, 1, 1.0).rate(1, 0, 2.0).build()?;
+/// assert!(graph::is_irreducible(&g));
+/// let h = Generator::builder(2).rate(0, 1, 1.0).build()?;
+/// assert!(!graph::is_irreducible(&h));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn is_irreducible(generator: &Generator) -> bool {
+    communicating_classes(generator).len() == 1
+}
+
+/// Returns the set of states reachable from `start` (including `start`).
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+#[must_use]
+pub fn reachable_from(generator: &Generator, start: usize) -> Vec<bool> {
+    let n = generator.n_states();
+    assert!(start < n, "state {start} out of range for {n} states");
+    let adj = adjacency(generator);
+    let mut seen = vec![false; n];
+    let mut queue = vec![start];
+    seen[start] = true;
+    while let Some(v) = queue.pop() {
+        for &w in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                queue.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns `true` if the transition graph is weakly connected — the paper's
+/// "connected Markov process" (Definition 2.6), treating edges as
+/// undirected.
+#[must_use]
+pub fn is_connected(generator: &Generator) -> bool {
+    let n = generator.n_states();
+    if n == 0 {
+        return true;
+    }
+    let mut adj = vec![Vec::new(); n];
+    for (from, to, _) in generator.transitions() {
+        adj[from].push(to);
+        adj[to].push(from);
+    }
+    let mut seen = vec![false; n];
+    let mut queue = vec![0usize];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(v) = queue.pop() {
+        for &w in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                count += 1;
+                queue.push(w);
+            }
+        }
+    }
+    count == n
+}
+
+/// Classifies each state as recurrent (`true`) or transient (`false`) in the
+/// finite-chain sense: a state is recurrent iff its communicating class has
+/// no transition leaving the class (Definition 2.3 specialized to finite
+/// chains, where every closed class is positive recurrent).
+#[must_use]
+pub fn recurrent_states(generator: &Generator) -> Vec<bool> {
+    let classes = communicating_classes(generator);
+    let n = generator.n_states();
+    let mut class_is_closed = vec![true; classes.len()];
+    for (from, to, _) in generator.transitions() {
+        if classes.class_of(from) != classes.class_of(to) {
+            class_is_closed[classes.class_of(from)] = false;
+        }
+    }
+    (0..n)
+        .map(|i| class_is_closed[classes.class_of(i)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(edges: &[(usize, usize)], n: usize) -> Generator {
+        let mut b = Generator::builder(n);
+        for &(i, j) in edges {
+            b.add_rate(i, j, 1.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_ring_is_one_class() {
+        let g = chain(&[(0, 1), (1, 2), (2, 0)], 3);
+        let c = communicating_classes(&g);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.members(0), &[0, 1, 2]);
+        assert!(is_irreducible(&g));
+    }
+
+    #[test]
+    fn two_rings_with_bridge() {
+        let g = chain(&[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)], 4);
+        let c = communicating_classes(&g);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.class_of(0), c.class_of(1));
+        assert_eq!(c.class_of(2), c.class_of(3));
+        assert_ne!(c.class_of(0), c.class_of(2));
+        assert!(!is_irreducible(&g));
+        // Weakly connected even though not strongly.
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_state_breaks_connectivity() {
+        let g = chain(&[(0, 1), (1, 0)], 3);
+        assert!(!is_connected(&g));
+        let c = communicating_classes(&g);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = chain(&[(0, 1), (1, 2)], 4);
+        let r = reachable_from(&g, 0);
+        assert_eq!(r, vec![true, true, true, false]);
+        let r2 = reachable_from(&g, 2);
+        assert_eq!(r2, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn recurrent_and_transient_classification() {
+        // 0 -> 1 <-> 2 : state 0 is transient, {1, 2} recurrent.
+        let g = chain(&[(0, 1), (1, 2), (2, 1)], 3);
+        assert_eq!(recurrent_states(&g), vec![false, true, true]);
+    }
+
+    #[test]
+    fn absorbing_state_is_recurrent() {
+        let g = chain(&[(0, 1)], 2);
+        assert_eq!(recurrent_states(&g), vec![false, true]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // A 20k-state ring exercises the iterative Tarjan on a deep path.
+        let n = 20_000;
+        let mut b = Generator::builder(n);
+        for i in 0..n {
+            b.add_rate(i, (i + 1) % n, 1.0);
+        }
+        let g = b.build().unwrap();
+        assert!(is_irreducible(&g));
+    }
+
+    #[test]
+    fn classes_iter_visits_all() {
+        let g = chain(&[(0, 1), (1, 0), (2, 3), (3, 2)], 4);
+        let c = communicating_classes(&g);
+        let total: usize = c.iter().map(<[usize]>::len).sum();
+        assert_eq!(total, 4);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,413 @@
+//! First-passage (hitting) times and the embedded jump chain.
+//!
+//! Power-management questions like "starting asleep with an empty queue,
+//! how long until the provider is serving again?" are first-passage
+//! questions on the policy-induced chain. For a CTMC with generator `G`
+//! and target set `T`, the expected hitting times `h` solve
+//!
+//! ```text
+//! h_i = 0                      for i ∈ T,
+//! Σ_j G_{i,j} h_j = −1         for i ∉ T.
+//! ```
+
+use dpm_linalg::{DMatrix, DVector};
+
+use crate::{CtmcError, Dtmc, Generator};
+
+/// Expected time to first reach any state in `targets`, from every state.
+///
+/// States that cannot reach the target set get `f64::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::InvalidParameter`] if `targets` is empty or
+/// contains an out-of-range state, and propagates solver failures.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_ctmc::{hitting, Generator};
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// // 0 -> 1 at rate 2, 1 -> 2 at rate 4: E[time 0 to 2] = 1/2 + 1/4.
+/// let g = Generator::builder(3)
+///     .rate(0, 1, 2.0)
+///     .rate(1, 2, 4.0)
+///     .build()?;
+/// let h = hitting::expected_hitting_times(&g, &[2])?;
+/// assert!((h[0] - 0.75).abs() < 1e-12);
+/// assert!((h[1] - 0.25).abs() < 1e-12);
+/// assert_eq!(h[2], 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expected_hitting_times(
+    generator: &Generator,
+    targets: &[usize],
+) -> Result<DVector, CtmcError> {
+    let n = generator.n_states();
+    if targets.is_empty() {
+        return Err(CtmcError::InvalidParameter {
+            reason: "target set must be non-empty".to_owned(),
+        });
+    }
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        if t >= n {
+            return Err(CtmcError::StateOutOfRange {
+                state: t,
+                n_states: n,
+            });
+        }
+        is_target[t] = true;
+    }
+    // Split off the states that can reach the target at all.
+    let mut can_reach = is_target.clone();
+    // Reverse reachability by fixed point (small chains; O(n·edges)).
+    loop {
+        let mut changed = false;
+        for (from, to, _) in generator.transitions() {
+            if can_reach[to] && !can_reach[from] {
+                can_reach[from] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let interior: Vec<usize> = (0..n).filter(|&i| !is_target[i] && can_reach[i]).collect();
+    let mut h = DVector::from_fn(n, |i| if can_reach[i] { 0.0 } else { f64::INFINITY });
+    if interior.is_empty() {
+        return Ok(h);
+    }
+    let col_of: Vec<Option<usize>> = {
+        let mut map = vec![None; n];
+        for (c, &i) in interior.iter().enumerate() {
+            map[i] = Some(c);
+        }
+        map
+    };
+    let k = interior.len();
+    let mut a = DMatrix::zeros(k, k);
+    let b = DVector::constant(k, -1.0);
+    for (row, &i) in interior.iter().enumerate() {
+        for (j, &col_slot) in col_of.iter().enumerate() {
+            let rate = generator.rate(i, j);
+            if let Some(col) = col_slot {
+                a[(row, col)] = rate;
+            }
+            // Transitions into target states contribute h_j = 0 and need
+            // no matrix entry. Transitions into states that cannot reach
+            // the target make the unconditional expectation diverge; those
+            // rows are detected and marked infinite below.
+        }
+    }
+    // States from which the target is not reached almost surely have
+    // infinite expected hitting time: that happens exactly when some path
+    // escapes to a state that cannot reach the target.
+    let mut diverges = vec![false; k];
+    for (row, &i) in interior.iter().enumerate() {
+        for (j, &reaches) in can_reach.iter().enumerate() {
+            if generator.rate(i, j) > 0.0 && i != j && !reaches {
+                diverges[row] = true;
+            }
+        }
+    }
+    // Propagate divergence backwards through interior transitions.
+    loop {
+        let mut changed = false;
+        for (row, &i) in interior.iter().enumerate() {
+            if diverges[row] {
+                continue;
+            }
+            for (col, &j) in interior.iter().enumerate() {
+                if diverges[col] && generator.rate(i, j) > 0.0 && i != j {
+                    diverges[row] = true;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let solvable: Vec<usize> = (0..k).filter(|&r| !diverges[r]).collect();
+    if solvable.len() < k {
+        // Re-solve on the convergent subset only.
+        let sub_col: Vec<Option<usize>> = {
+            let mut map = vec![None; k];
+            for (c, &r) in solvable.iter().enumerate() {
+                map[r] = Some(c);
+            }
+            map
+        };
+        let m = solvable.len();
+        if m > 0 {
+            let mut sa = DMatrix::zeros(m, m);
+            let sb = DVector::constant(m, -1.0);
+            for (srow, &r) in solvable.iter().enumerate() {
+                for c in 0..k {
+                    if let Some(scol) = sub_col[c] {
+                        sa[(srow, scol)] = a[(r, c)];
+                    }
+                }
+            }
+            let sh = sa.lu().map_err(CtmcError::Numerical)?.solve(&sb)?;
+            for (srow, &r) in solvable.iter().enumerate() {
+                h[interior[r]] = sh[srow];
+            }
+        }
+        for (row, &i) in interior.iter().enumerate() {
+            if diverges[row] {
+                h[i] = f64::INFINITY;
+            }
+        }
+        return Ok(h);
+    }
+    let solved = a.lu().map_err(CtmcError::Numerical)?.solve(&b)?;
+    for (row, &i) in interior.iter().enumerate() {
+        h[i] = solved[row];
+    }
+    Ok(h)
+}
+
+/// Probability of reaching `targets` before `avoid`, from every state.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::InvalidParameter`] for empty/overlapping sets or
+/// out-of-range states, and propagates solver failures.
+pub fn hitting_probabilities(
+    generator: &Generator,
+    targets: &[usize],
+    avoid: &[usize],
+) -> Result<DVector, CtmcError> {
+    let n = generator.n_states();
+    if targets.is_empty() {
+        return Err(CtmcError::InvalidParameter {
+            reason: "target set must be non-empty".to_owned(),
+        });
+    }
+    let mut kind = vec![0u8; n]; // 0 interior, 1 target, 2 avoid
+    for &t in targets {
+        if t >= n {
+            return Err(CtmcError::StateOutOfRange {
+                state: t,
+                n_states: n,
+            });
+        }
+        kind[t] = 1;
+    }
+    for &x in avoid {
+        if x >= n {
+            return Err(CtmcError::StateOutOfRange {
+                state: x,
+                n_states: n,
+            });
+        }
+        if kind[x] == 1 {
+            return Err(CtmcError::InvalidParameter {
+                reason: format!("state {x} is both target and avoided"),
+            });
+        }
+        kind[x] = 2;
+    }
+    let interior: Vec<usize> = (0..n).filter(|&i| kind[i] == 0).collect();
+    let col_of: Vec<Option<usize>> = {
+        let mut map = vec![None; n];
+        for (c, &i) in interior.iter().enumerate() {
+            map[i] = Some(c);
+        }
+        map
+    };
+    let k = interior.len();
+    let mut p = DVector::from_fn(n, |i| if kind[i] == 1 { 1.0 } else { 0.0 });
+    if k == 0 {
+        return Ok(p);
+    }
+    // Σ_j G_{i,j} p_j = 0 for interior i, with boundary values fixed. An
+    // interior state with zero exit rate never reaches the target.
+    let mut a = DMatrix::zeros(k, k);
+    let mut b = DVector::zeros(k);
+    for (row, &i) in interior.iter().enumerate() {
+        if generator.exit_rate(i) == 0.0 {
+            // Absorbing interior state: p = 0 (equation p_i = 0).
+            a[(row, row)] = 1.0;
+            continue;
+        }
+        for j in 0..n {
+            let rate = generator.rate(i, j);
+            match col_of[j] {
+                Some(col) => a[(row, col)] = rate,
+                None => {
+                    if kind[j] == 1 && i != j {
+                        b[row] -= rate; // move known p_j = 1 across
+                    }
+                }
+            }
+        }
+    }
+    let solved = a.lu().map_err(CtmcError::Numerical)?.solve(&b)?;
+    for (row, &i) in interior.iter().enumerate() {
+        p[i] = solved[row].clamp(0.0, 1.0);
+    }
+    Ok(p)
+}
+
+/// The embedded (jump) chain of a CTMC: transition probabilities
+/// `P_{i,j} = s_{i,j} / s_i` at jump epochs. Absorbing states get a
+/// self-loop.
+///
+/// # Errors
+///
+/// Propagates stochastic-matrix validation (cannot fail for a valid
+/// generator).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_ctmc::{hitting, Generator};
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// let g = Generator::builder(2).rate(0, 1, 3.0).rate(1, 0, 5.0).build()?;
+/// let jump = hitting::embedded_chain(&g)?;
+/// assert_eq!(jump.probability(0, 1), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn embedded_chain(generator: &Generator) -> Result<Dtmc, CtmcError> {
+    let n = generator.n_states();
+    let m = DMatrix::from_fn(n, n, |i, j| {
+        let exit = generator.exit_rate(i);
+        if exit == 0.0 {
+            // Absorbing: self-loop in the jump chain.
+            if i == j {
+                1.0
+            } else {
+                0.0
+            }
+        } else if i == j {
+            0.0
+        } else {
+            generator.rate(i, j) / exit
+        }
+    });
+    Dtmc::from_matrix(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_hitting_time_adds_means() {
+        let g = Generator::builder(3)
+            .rate(0, 1, 2.0)
+            .rate(1, 2, 4.0)
+            .build()
+            .unwrap();
+        let h = expected_hitting_times(&g, &[2]).unwrap();
+        assert!((h[0] - 0.75).abs() < 1e-12);
+        assert!((h[1] - 0.25).abs() < 1e-12);
+        assert_eq!(h[2], 0.0);
+    }
+
+    #[test]
+    fn hitting_time_with_detour() {
+        // 0 -> 1 (rate 1) or 0 -> 2 (rate 1); 1 -> 2 at rate 1.
+        // h_0 = 1/2 + (1/2) h_1, h_1 = 1.
+        let g = Generator::builder(3)
+            .rate(0, 1, 1.0)
+            .rate(0, 2, 1.0)
+            .rate(1, 2, 1.0)
+            .build()
+            .unwrap();
+        let h = expected_hitting_times(&g, &[2]).unwrap();
+        assert!((h[0] - 1.0).abs() < 1e-12);
+        assert!((h[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_states_get_infinity() {
+        // 2 cannot reach 0.
+        let g = Generator::builder(3)
+            .rate(0, 1, 1.0)
+            .rate(1, 0, 1.0)
+            .build()
+            .unwrap();
+        let h = expected_hitting_times(&g, &[0]).unwrap();
+        assert!(h[1].is_finite());
+        assert!(h[2].is_infinite());
+    }
+
+    #[test]
+    fn escape_route_makes_expectation_infinite() {
+        // From 1 the chain may fall into absorbing 2, never reaching 0.
+        let g = Generator::builder(3)
+            .rate(1, 0, 1.0)
+            .rate(1, 2, 1.0)
+            .build()
+            .unwrap();
+        let h = expected_hitting_times(&g, &[0]).unwrap();
+        assert_eq!(h[0], 0.0);
+        assert!(h[1].is_infinite());
+        assert!(h[2].is_infinite());
+    }
+
+    #[test]
+    fn hitting_time_validates() {
+        let g = Generator::builder(2).rate(0, 1, 1.0).build().unwrap();
+        assert!(expected_hitting_times(&g, &[]).is_err());
+        assert!(expected_hitting_times(&g, &[5]).is_err());
+    }
+
+    #[test]
+    fn hitting_probability_gamblers_ruin() {
+        // Symmetric walk on 0..4 with absorbing ends: P(hit 4 before 0 | start 2) = 1/2.
+        let mut b = Generator::builder(5);
+        for i in 1..4 {
+            b.add_rate(i, i - 1, 1.0);
+            b.add_rate(i, i + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let p = hitting_probabilities(&g, &[4], &[0]).unwrap();
+        assert!((p[2] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.25).abs() < 1e-12);
+        assert!((p[3] - 0.75).abs() < 1e-12);
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[4], 1.0);
+    }
+
+    #[test]
+    fn hitting_probability_validates() {
+        let g = Generator::builder(2).rate(0, 1, 1.0).build().unwrap();
+        assert!(hitting_probabilities(&g, &[], &[0]).is_err());
+        assert!(hitting_probabilities(&g, &[1], &[1]).is_err());
+        assert!(hitting_probabilities(&g, &[9], &[]).is_err());
+    }
+
+    #[test]
+    fn embedded_chain_normalizes_rates() {
+        let g = Generator::builder(3)
+            .rate(0, 1, 1.0)
+            .rate(0, 2, 3.0)
+            .rate(1, 0, 5.0)
+            .rate(2, 0, 5.0)
+            .build()
+            .unwrap();
+        let jump = embedded_chain(&g).unwrap();
+        assert!((jump.probability(0, 1) - 0.25).abs() < 1e-12);
+        assert!((jump.probability(0, 2) - 0.75).abs() < 1e-12);
+        assert_eq!(jump.probability(1, 0), 1.0);
+    }
+
+    #[test]
+    fn embedded_chain_handles_absorbing() {
+        let g = Generator::builder(2).rate(0, 1, 2.0).build().unwrap();
+        let jump = embedded_chain(&g).unwrap();
+        assert_eq!(jump.probability(1, 1), 1.0);
+    }
+}

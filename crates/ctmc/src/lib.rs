@@ -1,0 +1,58 @@
+//! Continuous-time Markov chains (CTMCs) and Markov reward processes.
+//!
+//! This crate provides the stochastic-process substrate of the `dpm`
+//! workspace, following Section II of Qiu & Pedram (DAC 1999):
+//!
+//! * [`Generator`] — a validated transition-rate (generator) matrix **G**
+//!   (Eqns. 2.1–2.4): off-diagonal entries non-negative, rows summing to
+//!   zero;
+//! * [`stationary`] — limiting-distribution solvers (`πG = 0`, `Σπ = 1`,
+//!   Theorem 2.1) by direct LU solve, by the numerically stable
+//!   Grassmann–Taksar–Heyman elimination, and by power iteration on the
+//!   uniformized chain;
+//! * [`graph`] — communicating classes (Definitions 2.3–2.6) via Tarjan's
+//!   strongly-connected-components algorithm, irreducibility and
+//!   connectivity checks;
+//! * [`transient`] — transient state probabilities by uniformization;
+//! * [`reward`] — Markov processes with reward rates and transition rewards
+//!   (the `r_{i,i}` / `r_{i,j}` structure of Section II and Eqn. 2.5);
+//! * [`Dtmc`] — discrete-time chains (used by uniformization, GTH, and the
+//!   DAC'98 discrete-time baseline);
+//! * [`birth_death`] — closed-form M/M/1/K results used as ground truth in
+//!   tests.
+//!
+//! # Examples
+//!
+//! A two-state machine that breaks at rate 1 and is repaired at rate 3
+//! spends 3/4 of its time up:
+//!
+//! ```
+//! use dpm_ctmc::{Generator, stationary};
+//!
+//! # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+//! let g = Generator::builder(2)
+//!     .rate(0, 1, 1.0) // up -> down
+//!     .rate(1, 0, 3.0) // down -> up
+//!     .build()?;
+//! let pi = stationary::solve_lu(&g)?;
+//! assert!((pi[0] - 0.75).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod birth_death;
+mod dtmc;
+mod error;
+mod generator;
+pub mod graph;
+pub mod hitting;
+pub mod reward;
+pub mod stationary;
+pub mod transient;
+
+pub use dtmc::Dtmc;
+pub use error::CtmcError;
+pub use generator::{Generator, GeneratorBuilder};
+pub use reward::RewardProcess;

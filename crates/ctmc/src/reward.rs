@@ -1,0 +1,317 @@
+//! Markov processes with rewards (paper Section II).
+//!
+//! A reward structure attaches a *reward rate* `r_{i,i}` (earned per unit
+//! time while occupying state `i`) and a *transition reward* `r_{i,j}`
+//! (earned instantaneously on each `i → j` jump). The paper's *earning
+//! rate* combines them:
+//!
+//! ```text
+//! r_i = r_{i,i} + Σ_{j≠i} s_{i,j} · r_{i,j}
+//! ```
+//!
+//! The expected total reward over a horizon obeys the linear ODE system of
+//! Eqn. 2.5, `dv/dt = r + G v`, integrated here with classic fixed-step
+//! RK4. (The paper minimizes *cost*; cost is simply negated reward, and the
+//! MDP layer adopts the cost convention.)
+
+use dpm_linalg::{DMatrix, DVector};
+
+use crate::{stationary, CtmcError, Generator};
+
+/// A continuous-time Markov process with reward rates and transition
+/// rewards.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_ctmc::{Generator, RewardProcess};
+/// use dpm_linalg::{DMatrix, DVector};
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// let g = Generator::builder(2).rate(0, 1, 1.0).rate(1, 0, 3.0).build()?;
+/// // Earn 4/unit-time in state 0, nothing in state 1, no jump rewards.
+/// let mrp = RewardProcess::new(
+///     g,
+///     DVector::from_vec(vec![4.0, 0.0]),
+///     DMatrix::zeros(2, 2),
+/// )?;
+/// // pi = (3/4, 1/4), so the long-run rate is 3.
+/// assert!((mrp.average_reward()? - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewardProcess {
+    generator: Generator,
+    occupancy_rewards: DVector,
+    transition_rewards: DMatrix,
+}
+
+impl RewardProcess {
+    /// Creates a reward process over `generator`.
+    ///
+    /// `occupancy_rewards[i]` is `r_{i,i}`; `transition_rewards[(i, j)]` is
+    /// `r_{i,j}` (the diagonal of `transition_rewards` is ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidParameter`] if the shapes do not match
+    /// the chain or any reward is non-finite.
+    pub fn new(
+        generator: Generator,
+        occupancy_rewards: DVector,
+        transition_rewards: DMatrix,
+    ) -> Result<Self, CtmcError> {
+        let n = generator.n_states();
+        if occupancy_rewards.len() != n {
+            return Err(CtmcError::InvalidParameter {
+                reason: format!("occupancy reward length {} != {n}", occupancy_rewards.len()),
+            });
+        }
+        if transition_rewards.shape() != (n, n) {
+            return Err(CtmcError::InvalidParameter {
+                reason: format!(
+                    "transition reward shape {:?} != ({n}, {n})",
+                    transition_rewards.shape()
+                ),
+            });
+        }
+        if !occupancy_rewards.is_finite() || !transition_rewards.is_finite() {
+            return Err(CtmcError::InvalidParameter {
+                reason: "rewards must be finite".to_owned(),
+            });
+        }
+        Ok(RewardProcess {
+            generator,
+            occupancy_rewards,
+            transition_rewards,
+        })
+    }
+
+    /// The underlying chain.
+    #[must_use]
+    pub fn generator(&self) -> &Generator {
+        &self.generator
+    }
+
+    /// The earning-rate vector `r_i = r_{i,i} + Σ_{j≠i} s_{i,j} r_{i,j}`.
+    #[must_use]
+    pub fn earning_rates(&self) -> DVector {
+        let n = self.generator.n_states();
+        DVector::from_fn(n, |i| {
+            let mut r = self.occupancy_rewards[i];
+            for j in 0..n {
+                if j != i {
+                    r += self.generator.rate(i, j) * self.transition_rewards[(i, j)];
+                }
+            }
+            r
+        })
+    }
+
+    /// Long-run average reward per unit time, `π · r` (the limiting average
+    /// reward of Section II, identical for every start state of an
+    /// irreducible chain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stationary-solver failures (e.g. reducible chains).
+    pub fn average_reward(&self) -> Result<f64, CtmcError> {
+        let pi = stationary::solve_checked(&self.generator)?;
+        Ok(pi.dot(&self.earning_rates()))
+    }
+
+    /// Expected total reward `v_i(t)` accumulated over `[0, t]` from every
+    /// start state, integrating Eqn. 2.5 with fixed-step RK4.
+    ///
+    /// The step count is chosen so each step resolves the fastest rate in
+    /// the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidParameter`] for a negative or non-finite
+    /// horizon.
+    pub fn expected_total_reward(&self, t: f64) -> Result<DVector, CtmcError> {
+        if !(t >= 0.0 && t.is_finite()) {
+            return Err(CtmcError::InvalidParameter {
+                reason: format!("horizon {t} must be finite and non-negative"),
+            });
+        }
+        let n = self.generator.n_states();
+        if t == 0.0 {
+            return Ok(DVector::zeros(n));
+        }
+        let r = self.earning_rates();
+        let g = self.generator.matrix();
+        // Resolve the stiffest timescale: ~20 steps per mean holding time,
+        // at least 1000 steps overall.
+        let fastest = self.generator.max_exit_rate().max(1e-9);
+        let steps = ((t * fastest * 20.0).ceil() as usize).clamp(1_000, 2_000_000);
+        let h = t / steps as f64;
+        let deriv = |v: &DVector| -> DVector {
+            let mut d = g.mul_vec(v);
+            d += &r;
+            d
+        };
+        let mut v = DVector::zeros(n);
+        for _ in 0..steps {
+            let k1 = deriv(&v);
+            let mut v2 = v.clone();
+            v2.axpy(h / 2.0, &k1);
+            let k2 = deriv(&v2);
+            let mut v3 = v.clone();
+            v3.axpy(h / 2.0, &k2);
+            let k3 = deriv(&v3);
+            let mut v4 = v.clone();
+            v4.axpy(h, &k3);
+            let k4 = deriv(&v4);
+            v.axpy(h / 6.0, &k1);
+            v.axpy(h / 3.0, &k2);
+            v.axpy(h / 3.0, &k3);
+            v.axpy(h / 6.0, &k4);
+        }
+        Ok(v)
+    }
+
+    /// Expected discounted reward `∫ e^{-αt} … dt` over an infinite horizon
+    /// for discount rate `α > 0`: the solution of `(αI − G) v = r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidParameter`] for a non-positive `α` and
+    /// propagates linear-solver failures.
+    pub fn discounted_reward(&self, alpha: f64) -> Result<DVector, CtmcError> {
+        if !(alpha > 0.0 && alpha.is_finite()) {
+            return Err(CtmcError::InvalidParameter {
+                reason: format!("discount rate {alpha} must be positive and finite"),
+            });
+        }
+        let n = self.generator.n_states();
+        let a = &DMatrix::identity(n).scaled(alpha) - self.generator.matrix();
+        let v = a.lu()?.solve(&self.earning_rates())?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Generator {
+        Generator::builder(2)
+            .rate(0, 1, 1.0)
+            .rate(1, 0, 3.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn earning_rates_combine_occupancy_and_jumps() {
+        let g = two_state();
+        let mrp = RewardProcess::new(
+            g,
+            DVector::from_vec(vec![10.0, 0.0]),
+            DMatrix::from_rows(&[&[0.0, 5.0], &[2.0, 0.0]]).unwrap(),
+        )
+        .unwrap();
+        let r = mrp.earning_rates();
+        // r_0 = 10 + 1*5, r_1 = 0 + 3*2.
+        assert_eq!(r.as_slice(), &[15.0, 6.0]);
+    }
+
+    #[test]
+    fn average_reward_weights_by_stationary() {
+        let mrp = RewardProcess::new(
+            two_state(),
+            DVector::from_vec(vec![4.0, 0.0]),
+            DMatrix::zeros(2, 2),
+        )
+        .unwrap();
+        assert!((mrp.average_reward().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_reward_grows_linearly_for_large_t() {
+        let mrp = RewardProcess::new(
+            two_state(),
+            DVector::from_vec(vec![4.0, 0.0]),
+            DMatrix::zeros(2, 2),
+        )
+        .unwrap();
+        let g = mrp.average_reward().unwrap();
+        let v10 = mrp.expected_total_reward(10.0).unwrap();
+        let v11 = mrp.expected_total_reward(11.0).unwrap();
+        // After burn-in, v(t+1) - v(t) ~ average reward for every start.
+        for i in 0..2 {
+            assert!(((v11[i] - v10[i]) - g).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn total_reward_at_zero_is_zero() {
+        let mrp = RewardProcess::new(
+            two_state(),
+            DVector::from_vec(vec![4.0, 0.0]),
+            DMatrix::zeros(2, 2),
+        )
+        .unwrap();
+        assert_eq!(mrp.expected_total_reward(0.0).unwrap(), DVector::zeros(2));
+    }
+
+    #[test]
+    fn single_state_total_reward_is_rate_times_time() {
+        let g = Generator::from_matrix(DMatrix::zeros(1, 1)).unwrap();
+        let mrp =
+            RewardProcess::new(g, DVector::from_vec(vec![2.5]), DMatrix::zeros(1, 1)).unwrap();
+        let v = mrp.expected_total_reward(4.0).unwrap();
+        assert!((v[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discounted_reward_satisfies_fixed_point() {
+        let mrp = RewardProcess::new(
+            two_state(),
+            DVector::from_vec(vec![4.0, 1.0]),
+            DMatrix::zeros(2, 2),
+        )
+        .unwrap();
+        let alpha = 0.5;
+        let v = mrp.discounted_reward(alpha).unwrap();
+        // alpha v = r + G v
+        let lhs = v.scaled(alpha);
+        let mut rhs = mrp.generator().matrix().mul_vec(&v);
+        rhs += &mrp.earning_rates();
+        assert!((&lhs - &rhs).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn discounted_reward_approaches_total_as_alpha_vanishes() {
+        // For small alpha, alpha * v_dis ~ average reward.
+        let mrp = RewardProcess::new(
+            two_state(),
+            DVector::from_vec(vec![4.0, 0.0]),
+            DMatrix::zeros(2, 2),
+        )
+        .unwrap();
+        let alpha = 1e-6;
+        let v = mrp.discounted_reward(alpha).unwrap();
+        let g = mrp.average_reward().unwrap();
+        assert!((v[0] * alpha - g).abs() < 1e-4);
+    }
+
+    #[test]
+    fn validates_shapes_and_parameters() {
+        let g = two_state();
+        assert!(RewardProcess::new(g.clone(), DVector::zeros(3), DMatrix::zeros(2, 2)).is_err());
+        assert!(RewardProcess::new(g.clone(), DVector::zeros(2), DMatrix::zeros(3, 3)).is_err());
+        assert!(RewardProcess::new(
+            g.clone(),
+            DVector::from_vec(vec![f64::NAN, 0.0]),
+            DMatrix::zeros(2, 2)
+        )
+        .is_err());
+        let mrp = RewardProcess::new(g, DVector::zeros(2), DMatrix::zeros(2, 2)).unwrap();
+        assert!(mrp.expected_total_reward(-1.0).is_err());
+        assert!(mrp.discounted_reward(0.0).is_err());
+    }
+}

@@ -1,0 +1,579 @@
+//! Limiting (stationary) distributions of irreducible CTMCs.
+//!
+//! Theorem 2.1 of the paper: for an irreducible, positive-recurrent chain
+//! the limiting distribution is the unique solution of `πG = 0`,
+//! `Σ_j π_j = 1`. Three solvers are provided with different
+//! accuracy/robustness/speed trade-offs:
+//!
+//! * [`solve_lu`] — direct dense solve; fast and exact to rounding for
+//!   well-conditioned chains;
+//! * [`solve_gth`] — Grassmann–Taksar–Heyman elimination on the uniformized
+//!   chain; subtraction-free, the method of choice for stiff chains (rates
+//!   spanning many orders of magnitude, as power-managed systems have:
+//!   wake-up rates vs. request rates);
+//! * [`solve_power`] — power iteration on the uniformized chain; matrix-free
+//!   apart from one dense multiply per step, useful as an independent
+//!   cross-check.
+//!
+//! All three require irreducibility, which callers can check with
+//! [`crate::graph::is_irreducible`]; [`solve_checked`] does so on your
+//! behalf.
+
+use dpm_linalg::DVector;
+
+use crate::{graph, CtmcError, Generator};
+
+/// Margin applied to the uniformization constant by the GTH and power
+/// solvers.
+const UNIFORMIZATION_MARGIN: f64 = 1.05;
+
+/// Solves `πG = 0`, `Σπ = 1` by replacing the last balance equation with the
+/// normalization constraint and LU-factorizing.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::Numerical`] if the linear system is singular, which
+/// for a validated generator indicates a reducible chain.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_ctmc::{stationary, Generator};
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// let g = Generator::builder(2).rate(0, 1, 1.0).rate(1, 0, 3.0).build()?;
+/// let pi = stationary::solve_lu(&g)?;
+/// assert!((pi[0] - 0.75).abs() < 1e-12);
+/// assert!((pi[1] - 0.25).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_lu(generator: &Generator) -> Result<DVector, CtmcError> {
+    let n = generator.n_states();
+    // πG = 0  ⟺  Gᵀ πᵀ = 0. Replace the last row of Gᵀ with 1s and solve
+    // against e_{n-1} to impose Σπ = 1.
+    let gt = generator.matrix().transpose();
+    let mut a = gt;
+    for c in 0..n {
+        a[(n - 1, c)] = 1.0;
+    }
+    let mut b = DVector::zeros(n);
+    b[n - 1] = 1.0;
+    let pi = a.lu()?.solve(&b)?;
+    sanitize(pi)
+}
+
+/// Solves for the stationary distribution with the numerically stable GTH
+/// elimination (via uniformization).
+///
+/// # Errors
+///
+/// Returns [`CtmcError::InvalidParameter`] for a chain with no transitions,
+/// or [`CtmcError::Numerical`] if elimination degenerates (reducible chain).
+pub fn solve_gth(generator: &Generator) -> Result<DVector, CtmcError> {
+    let (dtmc, _) = generator.uniformize(UNIFORMIZATION_MARGIN)?;
+    dtmc.stationary_gth()
+}
+
+/// Solves for the stationary distribution by power iteration on the
+/// uniformized chain.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::Numerical`] if iteration does not converge within
+/// `max_iterations`.
+pub fn solve_power(
+    generator: &Generator,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<DVector, CtmcError> {
+    let (dtmc, _) = generator.uniformize(UNIFORMIZATION_MARGIN)?;
+    dtmc.stationary_power(tolerance, max_iterations)
+}
+
+/// Verifies irreducibility, then solves with GTH (the most robust method).
+///
+/// # Errors
+///
+/// Returns [`CtmcError::Reducible`] for reducible chains, otherwise as
+/// [`solve_gth`].
+pub fn solve_checked(generator: &Generator) -> Result<DVector, CtmcError> {
+    let classes = graph::communicating_classes(generator);
+    if classes.len() != 1 {
+        return Err(CtmcError::Reducible {
+            classes: classes.len(),
+        });
+    }
+    solve_gth(generator)
+}
+
+/// Residual `‖πG‖_∞` of a candidate stationary vector — a cheap a-posteriori
+/// accuracy check used by tests and benches.
+///
+/// # Panics
+///
+/// Panics if `pi.len() != generator.n_states()`.
+#[must_use]
+pub fn residual(generator: &Generator, pi: &DVector) -> f64 {
+    generator.matrix().vec_mul(pi).norm_inf()
+}
+
+/// Expected long-run cost rate `π · c` for per-state cost rates `c`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[must_use]
+pub fn long_run_average(pi: &DVector, cost_rates: &DVector) -> f64 {
+    pi.dot(cost_rates)
+}
+
+/// Long-run average of per-state cost rates `c` for a *unichain* chain
+/// (a single recurrent class plus arbitrarily many transient states),
+/// obtained from the gain/bias equations `c − g·1 + G v = 0`, `v_0 = 0`.
+///
+/// Unlike [`long_run_average`] this does not need the chain to be
+/// irreducible — policies that make parts of a decision process
+/// unreachable still have a well-defined average cost.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::InvalidParameter`] on a length mismatch and
+/// [`CtmcError::Numerical`] if the equations are singular (multichain).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_ctmc::{stationary, Generator};
+/// use dpm_linalg::DVector;
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// // State 0 is transient: 0 -> 1 <-> 2.
+/// let g = Generator::builder(3)
+///     .rate(0, 1, 1.0)
+///     .rate(1, 2, 1.0)
+///     .rate(2, 1, 1.0)
+///     .build()?;
+/// let costs = DVector::from_vec(vec![100.0, 2.0, 4.0]);
+/// // Long run: half the time in 1, half in 2; state 0 never returns.
+/// let avg = stationary::unichain_average(&g, &costs)?;
+/// assert!((avg - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn unichain_average(generator: &Generator, costs: &DVector) -> Result<f64, CtmcError> {
+    let n = generator.n_states();
+    if costs.len() != n {
+        return Err(CtmcError::InvalidParameter {
+            reason: format!("cost vector length {} != {n}", costs.len()),
+        });
+    }
+    // Unknowns x = (g, v_1, ..., v_{n-1}) with v_0 = 0; equation per state:
+    //   -g + Σ_j G_ij v_j = -c_i
+    let mut a = dpm_linalg::DMatrix::zeros(n, n);
+    let mut b = DVector::zeros(n);
+    for i in 0..n {
+        a[(i, 0)] = -1.0;
+        for j in 1..n {
+            a[(i, j)] = generator.rate(i, j);
+        }
+        b[i] = -costs[i];
+    }
+    let x = a.lu().map_err(CtmcError::Numerical)?.solve(&b)?;
+    Ok(x[0])
+}
+
+/// Per-state long-run average cost (the *gain vector*) for an arbitrary —
+/// possibly multichain — finite chain.
+///
+/// For a state in a closed (recurrent) communicating class the gain is the
+/// class's stationary average of `costs`; for a transient state it is the
+/// absorption-probability-weighted mixture of the reachable classes' gains,
+/// obtained by solving `G_TT g_T = −G_TR g_R`.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::InvalidParameter`] on a length mismatch and
+/// propagates solver failures.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_ctmc::{stationary, Generator};
+/// use dpm_linalg::DVector;
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// // State 0 splits between two absorbing states with different costs.
+/// let g = Generator::builder(3)
+///     .rate(0, 1, 1.0)
+///     .rate(0, 2, 3.0)
+///     .build()?;
+/// let costs = DVector::from_vec(vec![0.0, 8.0, 4.0]);
+/// let gains = stationary::gain_vector(&g, &costs)?;
+/// // P(absorb in 1) = 1/4, P(absorb in 2) = 3/4.
+/// assert!((gains[0] - (0.25 * 8.0 + 0.75 * 4.0)).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gain_vector(generator: &Generator, costs: &DVector) -> Result<DVector, CtmcError> {
+    let n = generator.n_states();
+    if costs.len() != n {
+        return Err(CtmcError::InvalidParameter {
+            reason: format!("cost vector length {} != {n}", costs.len()),
+        });
+    }
+    let classes = graph::communicating_classes(generator);
+    // A class is closed iff no transition leaves it.
+    let mut closed = vec![true; classes.len()];
+    for (from, to, _) in generator.transitions() {
+        if classes.class_of(from) != classes.class_of(to) {
+            closed[classes.class_of(from)] = false;
+        }
+    }
+
+    let mut gains = DVector::zeros(n);
+    let mut is_recurrent = vec![false; n];
+    for (c, &is_closed) in closed.iter().enumerate() {
+        if !is_closed {
+            continue;
+        }
+        let members = classes.members(c);
+        let gain = if members.len() == 1 {
+            costs[members[0]]
+        } else {
+            // Restrict the generator to the closed class (self-contained by
+            // closedness) and solve its stationary distribution.
+            let mut b = Generator::builder(members.len());
+            for (local_from, &from) in members.iter().enumerate() {
+                for (local_to, &to) in members.iter().enumerate() {
+                    if from != to {
+                        let r = generator.rate(from, to);
+                        if r > 0.0 {
+                            b.add_rate(local_from, local_to, r);
+                        }
+                    }
+                }
+            }
+            let sub = b.build()?;
+            let pi = solve_gth(&sub)?;
+            members
+                .iter()
+                .enumerate()
+                .map(|(local, &global)| pi[local] * costs[global])
+                .sum()
+        };
+        for &state in members {
+            gains[state] = gain;
+            is_recurrent[state] = true;
+        }
+    }
+
+    // Transient states: G_TT g_T = -G_TR g_R.
+    let transient: Vec<usize> = (0..n).filter(|&i| !is_recurrent[i]).collect();
+    if !transient.is_empty() {
+        let t = transient.len();
+        let mut a = dpm_linalg::DMatrix::zeros(t, t);
+        let mut b = DVector::zeros(t);
+        for (row, &i) in transient.iter().enumerate() {
+            for (col, &j) in transient.iter().enumerate() {
+                a[(row, col)] = generator.rate(i, j);
+            }
+            let mut rhs = 0.0;
+            for j in 0..n {
+                if is_recurrent[j] && j != i {
+                    rhs -= generator.rate(i, j) * gains[j];
+                }
+            }
+            b[row] = rhs;
+        }
+        let g_t = a.lu().map_err(CtmcError::Numerical)?.solve(&b)?;
+        for (row, &i) in transient.iter().enumerate() {
+            gains[i] = g_t[row];
+        }
+    }
+
+    Ok(gains)
+}
+
+fn sanitize(mut pi: DVector) -> Result<DVector, CtmcError> {
+    // Clamp tiny negative round-off and renormalize.
+    for x in pi.as_mut_slice() {
+        if *x < 0.0 {
+            if *x < -1e-8 {
+                return Err(CtmcError::Numerical(
+                    dpm_linalg::LinalgError::InvalidInput {
+                        reason: format!("stationary solve produced negative probability {x}"),
+                    },
+                ));
+            }
+            *x = 0.0;
+        }
+    }
+    pi.normalize_l1().map_err(CtmcError::Numerical)?;
+    Ok(pi)
+}
+
+/// Builds the generator of an M/M/1/K queue — used by tests to compare the
+/// numeric solvers against closed forms.
+///
+/// State `i` holds `i` customers; arrivals at rate `lambda` (blocked at
+/// `K`), services at rate `mu`.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::InvalidParameter`] if `capacity == 0` or a rate is
+/// not positive.
+pub fn mm1k_generator(lambda: f64, mu: f64, capacity: usize) -> Result<Generator, CtmcError> {
+    if capacity == 0 {
+        return Err(CtmcError::InvalidParameter {
+            reason: "queue capacity must be at least 1".to_owned(),
+        });
+    }
+    if lambda <= 0.0 || mu <= 0.0 {
+        return Err(CtmcError::InvalidParameter {
+            reason: format!("rates must be positive, got lambda={lambda}, mu={mu}"),
+        });
+    }
+    let mut b = Generator::builder(capacity + 1);
+    for i in 0..capacity {
+        b.add_rate(i, i + 1, lambda);
+        b.add_rate(i + 1, i, mu);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::birth_death;
+
+    fn three_state() -> Generator {
+        Generator::builder(3)
+            .rate(0, 1, 2.0)
+            .rate(1, 2, 1.0)
+            .rate(2, 0, 4.0)
+            .rate(1, 0, 0.5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lu_satisfies_balance() {
+        let g = three_state();
+        let pi = solve_lu(&g).unwrap();
+        assert!(residual(&g, &pi) < 1e-12);
+        assert!((pi.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_solvers_agree() {
+        let g = three_state();
+        let lu = solve_lu(&g).unwrap();
+        let gth = solve_gth(&g).unwrap();
+        let pow = solve_power(&g, 1e-14, 1_000_000).unwrap();
+        assert!((&lu - &gth).norm_inf() < 1e-10);
+        assert!((&lu - &pow).norm_inf() < 1e-8);
+    }
+
+    #[test]
+    fn matches_mm1k_closed_form() {
+        let lambda = 0.4;
+        let mu = 1.0;
+        let k = 6;
+        let g = mm1k_generator(lambda, mu, k).unwrap();
+        let pi = solve_gth(&g).unwrap();
+        let closed = birth_death::Mm1k::new(lambda, mu, k).unwrap();
+        for i in 0..=k {
+            assert!(
+                (pi[i] - closed.probability(i)).abs() < 1e-12,
+                "state {i}: {} vs {}",
+                pi[i],
+                closed.probability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn gth_is_stable_on_stiff_chain() {
+        // Rates spanning 8 orders of magnitude.
+        let g = Generator::builder(3)
+            .rate(0, 1, 1e-4)
+            .rate(1, 2, 1e4)
+            .rate(2, 0, 1.0)
+            .build()
+            .unwrap();
+        let pi = solve_gth(&g).unwrap();
+        assert!(residual(&g, &pi) < 1e-9);
+    }
+
+    #[test]
+    fn checked_rejects_reducible() {
+        let g = Generator::builder(3)
+            .rate(0, 1, 1.0)
+            .rate(1, 0, 1.0)
+            .rate(1, 2, 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            solve_checked(&g),
+            Err(CtmcError::Reducible { classes: 2 })
+        ));
+    }
+
+    #[test]
+    fn checked_accepts_irreducible() {
+        let pi = solve_checked(&three_state()).unwrap();
+        assert!((pi.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_run_average_weights_costs() {
+        let pi = DVector::from_vec(vec![0.25, 0.75]);
+        let c = DVector::from_vec(vec![40.0, 0.0]);
+        assert_eq!(long_run_average(&pi, &c), 10.0);
+    }
+
+    #[test]
+    fn mm1k_generator_validates() {
+        assert!(mm1k_generator(0.0, 1.0, 3).is_err());
+        assert!(mm1k_generator(1.0, 1.0, 0).is_err());
+    }
+}
+
+#[cfg(test)]
+mod unichain_tests {
+    use super::*;
+
+    #[test]
+    fn unichain_average_matches_irreducible_solution() {
+        let g = Generator::builder(2)
+            .rate(0, 1, 1.0)
+            .rate(1, 0, 3.0)
+            .build()
+            .unwrap();
+        let c = DVector::from_vec(vec![4.0, 0.0]);
+        let via_pi = long_run_average(&solve_lu(&g).unwrap(), &c);
+        let via_gain = unichain_average(&g, &c).unwrap();
+        assert!((via_pi - via_gain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unichain_average_ignores_transient_costs() {
+        let g = Generator::builder(3)
+            .rate(0, 1, 5.0)
+            .rate(1, 2, 1.0)
+            .rate(2, 1, 1.0)
+            .build()
+            .unwrap();
+        let c = DVector::from_vec(vec![1e9, 1.0, 3.0]);
+        assert!((unichain_average(&g, &c).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unichain_average_of_absorbing_state() {
+        let g = Generator::builder(2).rate(0, 1, 2.0).build().unwrap();
+        let c = DVector::from_vec(vec![7.0, 1.5]);
+        assert!((unichain_average(&g, &c).unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unichain_average_validates_length() {
+        let g = Generator::builder(2)
+            .rate(0, 1, 1.0)
+            .rate(1, 0, 1.0)
+            .build()
+            .unwrap();
+        assert!(unichain_average(&g, &DVector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn unichain_average_rejects_multichain() {
+        // Two disjoint recurrent classes: 0<->1 and 2<->3.
+        let g = Generator::builder(4)
+            .rate(0, 1, 1.0)
+            .rate(1, 0, 1.0)
+            .rate(2, 3, 1.0)
+            .rate(3, 2, 1.0)
+            .build()
+            .unwrap();
+        assert!(unichain_average(&g, &DVector::zeros(4)).is_err());
+    }
+}
+
+#[cfg(test)]
+mod gain_vector_tests {
+    use super::*;
+
+    #[test]
+    fn gain_vector_matches_unichain_average_on_unichain_chains() {
+        let g = Generator::builder(3)
+            .rate(0, 1, 1.0)
+            .rate(1, 2, 2.0)
+            .rate(2, 1, 1.0)
+            .build()
+            .unwrap();
+        let c = DVector::from_vec(vec![5.0, 1.0, 4.0]);
+        let gains = gain_vector(&g, &c).unwrap();
+        let scalar = unichain_average(&g, &c).unwrap();
+        for i in 0..3 {
+            assert!((gains[i] - scalar).abs() < 1e-10, "state {i}");
+        }
+    }
+
+    #[test]
+    fn gain_vector_separates_disjoint_classes() {
+        let g = Generator::builder(4)
+            .rate(0, 1, 1.0)
+            .rate(1, 0, 1.0)
+            .rate(2, 3, 1.0)
+            .rate(3, 2, 3.0)
+            .build()
+            .unwrap();
+        let c = DVector::from_vec(vec![2.0, 4.0, 0.0, 8.0]);
+        let gains = gain_vector(&g, &c).unwrap();
+        assert!((gains[0] - 3.0).abs() < 1e-10);
+        assert!((gains[1] - 3.0).abs() < 1e-10);
+        // Class {2, 3}: pi = (3/4, 1/4); gain = 2.
+        assert!((gains[2] - 2.0).abs() < 1e-10);
+        assert!((gains[3] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn transient_gains_weight_absorption_probabilities() {
+        // 0 -> 1 (rate 1), 0 -> 2 (rate 3); both absorbing.
+        let g = Generator::builder(3)
+            .rate(0, 1, 1.0)
+            .rate(0, 2, 3.0)
+            .build()
+            .unwrap();
+        let c = DVector::from_vec(vec![100.0, 8.0, 4.0]);
+        let gains = gain_vector(&g, &c).unwrap();
+        assert!((gains[0] - 5.0).abs() < 1e-10);
+        assert_eq!(gains[1], 8.0);
+        assert_eq!(gains[2], 4.0);
+    }
+
+    #[test]
+    fn chained_transient_states_propagate() {
+        // 0 -> 1 -> 2 (absorbing, cost 7).
+        let g = Generator::builder(3)
+            .rate(0, 1, 2.0)
+            .rate(1, 2, 5.0)
+            .build()
+            .unwrap();
+        let c = DVector::from_vec(vec![0.0, 0.0, 7.0]);
+        let gains = gain_vector(&g, &c).unwrap();
+        assert!((gains[0] - 7.0).abs() < 1e-10);
+        assert!((gains[1] - 7.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gain_vector_validates_length() {
+        let g = Generator::builder(2)
+            .rate(0, 1, 1.0)
+            .rate(1, 0, 1.0)
+            .build()
+            .unwrap();
+        assert!(gain_vector(&g, &DVector::zeros(3)).is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the CTMC layer.
+
+use dpm_ctmc::{birth_death::Mm1k, graph, stationary, transient, Generator};
+use dpm_linalg::DVector;
+use proptest::prelude::*;
+
+/// Random irreducible generator: a directed ring guarantees irreducibility,
+/// plus random extra edges.
+fn irreducible_generator(n: usize) -> impl Strategy<Value = Generator> {
+    let ring = prop::collection::vec(0.1f64..10.0, n);
+    let extra = prop::collection::vec((0..n, 0..n, 0.0f64..5.0), 0..2 * n);
+    (ring, extra).prop_map(move |(ring_rates, extras)| {
+        let mut b = Generator::builder(n);
+        for (i, &r) in ring_rates.iter().enumerate() {
+            b.add_rate(i, (i + 1) % n, r);
+        }
+        for (i, j, r) in extras {
+            if i != j && r > 0.0 {
+                b.add_rate(i, j, r);
+            }
+        }
+        b.build().expect("constructed rates are valid")
+    })
+}
+
+proptest! {
+    #[test]
+    fn stationary_solvers_agree(g in (2usize..8).prop_flat_map(irreducible_generator)) {
+        let lu = stationary::solve_lu(&g).expect("irreducible");
+        let gth = stationary::solve_gth(&g).expect("irreducible");
+        prop_assert!((&lu - &gth).norm_inf() < 1e-8);
+    }
+
+    #[test]
+    fn stationary_is_a_distribution_with_zero_residual(
+        g in (2usize..8).prop_flat_map(irreducible_generator)
+    ) {
+        let pi = stationary::solve_checked(&g).expect("irreducible");
+        prop_assert!((pi.sum() - 1.0).abs() < 1e-10);
+        prop_assert!(pi.iter().all(|p| p >= 0.0));
+        prop_assert!(stationary::residual(&g, &pi) < 1e-8);
+    }
+
+    #[test]
+    fn ring_generators_are_irreducible(g in (2usize..10).prop_flat_map(irreducible_generator)) {
+        prop_assert!(graph::is_irreducible(&g));
+        prop_assert!(graph::is_connected(&g));
+        prop_assert!(graph::recurrent_states(&g).iter().all(|&r| r));
+    }
+
+    #[test]
+    fn transient_distribution_stays_stochastic(
+        (g, t) in (2usize..6).prop_flat_map(irreducible_generator).prop_flat_map(|g| {
+            (Just(g), 0.0f64..20.0)
+        })
+    ) {
+        let n = g.n_states();
+        let mut pi0 = DVector::zeros(n);
+        pi0[0] = 1.0;
+        let pi = transient::distribution_at(&g, &pi0, t).expect("valid inputs");
+        prop_assert!((pi.sum() - 1.0).abs() < 1e-9);
+        prop_assert!(pi.iter().all(|p| p >= -1e-12));
+    }
+
+    #[test]
+    fn transient_converges_to_stationary(
+        g in (2usize..6).prop_flat_map(irreducible_generator)
+    ) {
+        // Horizon scaled to the slowest rate so mixing has completed.
+        let slowest = (0..g.n_states())
+            .map(|i| g.exit_rate(i))
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-3);
+        let t = 60.0 / slowest;
+        let n = g.n_states();
+        let mut pi0 = DVector::zeros(n);
+        pi0[0] = 1.0;
+        let pi_t = transient::distribution_at(&g, &pi0, t).expect("valid inputs");
+        let pi_inf = stationary::solve_gth(&g).expect("irreducible");
+        prop_assert!((&pi_t - &pi_inf).norm_inf() < 1e-6);
+    }
+
+    #[test]
+    fn chapman_kolmogorov(
+        (g, s, t) in (2usize..5).prop_flat_map(irreducible_generator)
+            .prop_flat_map(|g| (Just(g), 0.01f64..3.0, 0.01f64..3.0))
+    ) {
+        // p(s + t) = p(s) then advanced by t.
+        let n = g.n_states();
+        let mut pi0 = DVector::zeros(n);
+        pi0[0] = 1.0;
+        let direct = transient::distribution_at(&g, &pi0, s + t).expect("valid");
+        let mid = transient::distribution_at(&g, &pi0, s).expect("valid");
+        let two_step = transient::distribution_at(&g, &mid, t).expect("valid");
+        prop_assert!((&direct - &two_step).norm_inf() < 1e-8);
+    }
+
+    #[test]
+    fn mm1k_closed_form_matches_numeric(
+        (lambda, mu, k) in (0.05f64..3.0, 0.05f64..3.0, 1usize..10)
+    ) {
+        let g = stationary::mm1k_generator(lambda, mu, k).expect("valid rates");
+        let pi = stationary::solve_gth(&g).expect("birth-death is irreducible");
+        let closed = Mm1k::new(lambda, mu, k).expect("valid rates");
+        for i in 0..=k {
+            prop_assert!((pi[i] - closed.probability(i)).abs() < 1e-9);
+        }
+        let l_numeric: f64 = (0..=k).map(|i| i as f64 * pi[i]).sum();
+        prop_assert!((l_numeric - closed.mean_customers()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniformized_chain_preserves_stationary(
+        g in (2usize..7).prop_flat_map(irreducible_generator)
+    ) {
+        let pi = stationary::solve_gth(&g).expect("irreducible");
+        let (p, _) = g.uniformize(1.1).expect("has transitions");
+        let stepped = p.step(&pi);
+        prop_assert!((&stepped - &pi).norm_inf() < 1e-9);
+    }
+}
+
+proptest! {
+    #[test]
+    fn hitting_times_shrink_as_targets_grow(
+        g in (3usize..7).prop_flat_map(irreducible_generator)
+    ) {
+        use dpm_ctmc::hitting::expected_hitting_times;
+        let small = expected_hitting_times(&g, &[0]).expect("valid target");
+        let large = expected_hitting_times(&g, &[0, 1]).expect("valid targets");
+        for i in 0..g.n_states() {
+            prop_assert!(
+                large[i] <= small[i] + 1e-9,
+                "state {i}: adding a target increased the hitting time"
+            );
+        }
+    }
+
+    #[test]
+    fn hitting_probabilities_are_probabilities(
+        g in (3usize..7).prop_flat_map(irreducible_generator)
+    ) {
+        use dpm_ctmc::hitting::hitting_probabilities;
+        let p = hitting_probabilities(&g, &[0], &[1]).expect("valid sets");
+        for i in 0..g.n_states() {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&p[i]));
+        }
+        prop_assert!((p[0] - 1.0).abs() < 1e-12);
+        prop_assert!(p[1].abs() < 1e-12);
+        // Complementary race: P(hit 0 before 1) + P(hit 1 before 0) = 1 on
+        // an irreducible chain (one of them is always reached).
+        let q = hitting_probabilities(&g, &[1], &[0]).expect("valid sets");
+        for i in 0..g.n_states() {
+            prop_assert!(
+                (p[i] + q[i] - 1.0).abs() < 1e-8,
+                "state {i}: race probabilities sum to {}",
+                p[i] + q[i]
+            );
+        }
+    }
+
+    #[test]
+    fn embedded_chain_recovers_ct_stationary(
+        g in (2usize..7).prop_flat_map(irreducible_generator)
+    ) {
+        use dpm_ctmc::hitting::embedded_chain;
+        // pi_ct(i) ∝ pi_jump(i) / exit_rate(i): converting the jump chain's
+        // stationary distribution back through mean holding times recovers
+        // the continuous-time stationary distribution.
+        let pi_ct = stationary::solve_gth(&g).expect("irreducible");
+        let jump = embedded_chain(&g).expect("valid");
+        let pi_jump = jump.stationary_gth().expect("irreducible");
+        let mut reconstructed: Vec<f64> = (0..g.n_states())
+            .map(|i| pi_jump[i] / g.exit_rate(i))
+            .collect();
+        let total: f64 = reconstructed.iter().sum();
+        for r in &mut reconstructed {
+            *r /= total;
+        }
+        for i in 0..g.n_states() {
+            prop_assert!(
+                (reconstructed[i] - pi_ct[i]).abs() < 1e-8,
+                "state {i}: {} vs {}",
+                reconstructed[i],
+                pi_ct[i]
+            );
+        }
+    }
+}

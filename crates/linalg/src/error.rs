@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        operation: &'static str,
+        /// Shape of the left (or only) operand, `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand, `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A matrix that must be square is not.
+    NotSquare {
+        /// Actual shape, `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) to working precision.
+    Singular {
+        /// Index of the pivot column where factorization broke down.
+        pivot: usize,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NotConverged {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm when iteration stopped.
+        residual: f64,
+    },
+    /// Input data was rejected (empty, ragged, or containing non-finite values).
+    InvalidInput {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "dimension mismatch in {operation}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinalgError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration did not converge after {iterations} steps (residual {residual:e})"
+            ),
+            LinalgError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = LinalgError::DimensionMismatch {
+            operation: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("2x3"));
+        assert!(text.contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn singular_display_names_pivot() {
+        assert!(LinalgError::Singular { pivot: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,176 @@
+//! Kronecker (tensor) product and sum.
+//!
+//! The paper composes the power-managed system's generator matrix from the
+//! service-provider and service-queue generators using the tensor product
+//! `⊗` and tensor sum `⊕` (Definition 4.4). These are the standard tools of
+//! stochastic automata networks: if two Markov processes evolve
+//! independently, the generator of their joint process is the tensor sum of
+//! their generators.
+
+use crate::DMatrix;
+
+/// Kronecker (tensor) product `A ⊗ B`.
+///
+/// The result has shape `(a.nrows() * b.nrows(), a.ncols() * b.ncols())` and
+/// entries `(A ⊗ B)[(i1*m + i2, j1*n + j2)] = A[(i1, j1)] * B[(i2, j2)]`
+/// where `B` is `m x n`.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_linalg::{kron, DMatrix};
+///
+/// # fn main() -> Result<(), dpm_linalg::LinalgError> {
+/// let a = DMatrix::from_rows(&[&[1.0, 2.0]])?;
+/// let b = DMatrix::from_rows(&[&[0.0, 3.0]])?;
+/// let c = kron(&a, &b);
+/// assert_eq!(c.as_slice(), &[0.0, 3.0, 0.0, 6.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn kron(a: &DMatrix, b: &DMatrix) -> DMatrix {
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    let mut out = DMatrix::zeros(ar * br, ac * bc);
+    for i1 in 0..ar {
+        for j1 in 0..ac {
+            let aij = a[(i1, j1)];
+            if aij == 0.0 {
+                continue;
+            }
+            for i2 in 0..br {
+                for j2 in 0..bc {
+                    out[(i1 * br + i2, j1 * bc + j2)] = aij * b[(i2, j2)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Kronecker (tensor) sum `A ⊕ B = A ⊗ I + I ⊗ B` for square `A` and `B`.
+///
+/// For independent Markov processes with generators `A` and `B`, `A ⊕ B` is
+/// the generator of the joint process on the product state space, with the
+/// `A`-component index varying slowest.
+///
+/// # Panics
+///
+/// Panics if either matrix is not square.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_linalg::{kron_sum, DMatrix};
+///
+/// # fn main() -> Result<(), dpm_linalg::LinalgError> {
+/// let a = DMatrix::from_rows(&[&[-1.0, 1.0], &[0.0, 0.0]])?;
+/// let b = DMatrix::from_rows(&[&[-2.0, 2.0], &[0.0, 0.0]])?;
+/// let s = kron_sum(&a, &b);
+/// // Row sums of a generator tensor sum are still zero.
+/// for r in 0..4 {
+///     let sum: f64 = s.row(r).iter().sum();
+///     assert!(sum.abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn kron_sum(a: &DMatrix, b: &DMatrix) -> DMatrix {
+    assert!(a.is_square(), "kron_sum requires square left operand");
+    assert!(b.is_square(), "kron_sum requires square right operand");
+    let left = kron(a, &DMatrix::identity(b.nrows()));
+    let right = kron(&DMatrix::identity(a.nrows()), b);
+    &left + &right
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kron_known_product() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = DMatrix::from_rows(&[&[0.0, 5.0], &[6.0, 7.0]]).unwrap();
+        let c = kron(&a, &b);
+        assert_eq!(c.shape(), (4, 4));
+        // Top-left block is 1*B.
+        assert_eq!(c.block(0, 0, 2, 2), b);
+        // Top-right block is 2*B.
+        assert_eq!(c.block(0, 2, 2, 2), b.scaled(2.0));
+        // Bottom-left block is 3*B.
+        assert_eq!(c.block(2, 0, 2, 2), b.scaled(3.0));
+    }
+
+    #[test]
+    fn kron_with_identity_left() {
+        let b = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let c = kron(&DMatrix::identity(2), &b);
+        assert_eq!(c.block(0, 0, 2, 2), b);
+        assert_eq!(c.block(2, 2, 2, 2), b);
+        assert_eq!(c.block(0, 2, 2, 2), DMatrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        let b = DMatrix::from_rows(&[&[2.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let c = DMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let d = DMatrix::from_rows(&[&[0.0, 1.0], &[2.0, 3.0]]).unwrap();
+        let lhs = kron(&a, &b).matmul(&kron(&c, &d)).unwrap();
+        let rhs = kron(&a.matmul(&c).unwrap(), &b.matmul(&d).unwrap());
+        let diff = &lhs - &rhs;
+        assert!(diff.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn kron_sum_of_generators_is_generator() {
+        let a = DMatrix::from_rows(&[&[-1.0, 1.0], &[2.0, -2.0]]).unwrap();
+        let b = DMatrix::from_rows(&[&[-3.0, 3.0], &[4.0, -4.0]]).unwrap();
+        let s = kron_sum(&a, &b);
+        for r in 0..4 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!(sum.abs() < 1e-12, "row {r} sums to {sum}");
+        }
+        // Off-diagonal entries stay non-negative.
+        for r in 0..4 {
+            for c in 0..4 {
+                if r != c {
+                    assert!(s[(r, c)] >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kron_sum_ordering_matches_definition() {
+        // A ⊕ B with A 2x2 and B 2x2: entry for joint state (a=0, b=1) is
+        // row index 0*2 + 1 = 1.
+        let a = DMatrix::from_rows(&[&[-5.0, 5.0], &[0.0, 0.0]]).unwrap();
+        let b = DMatrix::from_rows(&[&[-7.0, 7.0], &[0.0, 0.0]]).unwrap();
+        let s = kron_sum(&a, &b);
+        // Joint (0,0): leaves at rate 5 (A moves) + 7 (B moves).
+        assert_eq!(s[(0, 0)], -12.0);
+        // (0,0) -> (1,0) via A at rate 5: row 0 col 2.
+        assert_eq!(s[(0, 2)], 5.0);
+        // (0,0) -> (0,1) via B at rate 7: row 0 col 1.
+        assert_eq!(s[(0, 1)], 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn kron_sum_rejects_non_square() {
+        let a = DMatrix::zeros(2, 3);
+        let b = DMatrix::identity(2);
+        let _ = kron_sum(&a, &b);
+    }
+
+    #[test]
+    fn kron_with_empty_is_empty() {
+        let a = DMatrix::zeros(0, 0);
+        let b = DMatrix::identity(3);
+        assert_eq!(kron(&a, &b).shape(), (0, 0));
+    }
+}

@@ -1,0 +1,67 @@
+//! Dense linear algebra for continuous-time Markov analysis.
+//!
+//! This crate is the numerical substrate of the `dpm` workspace. It provides
+//! exactly the operations the Markov-chain and Markov-decision-process layers
+//! need, with no external dependencies:
+//!
+//! * [`DVector`] and [`DMatrix`] — growable dense vectors and row-major
+//!   matrices over `f64`;
+//! * [`Lu`] — LU decomposition with partial pivoting, giving linear solves,
+//!   determinants and inverses;
+//! * [`kron`] / [`kron_sum`] — the Kronecker (tensor) product and sum used by
+//!   the paper's compositional generator construction (Definition 4.4);
+//! * [`iterative`] — Jacobi and Gauss–Seidel iterations for diagonally
+//!   dominant systems.
+//!
+//! # Examples
+//!
+//! Solve a small linear system:
+//!
+//! ```
+//! use dpm_linalg::{DMatrix, DVector};
+//!
+//! # fn main() -> Result<(), dpm_linalg::LinalgError> {
+//! let a = DMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+//! let b = DVector::from_vec(vec![3.0, 5.0]);
+//! let x = a.lu()?.solve(&b)?;
+//! assert!((x[0] - 0.8).abs() < 1e-12);
+//! assert!((x[1] - 1.4).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod iterative;
+mod kron;
+mod lu;
+mod matrix;
+mod vector;
+
+pub use error::LinalgError;
+pub use iterative::{gauss_seidel, jacobi, IterativeOptions, IterativeResult};
+pub use kron::{kron, kron_sum};
+pub use lu::Lu;
+pub use matrix::DMatrix;
+pub use vector::DVector;
+
+/// Default absolute tolerance used by comparisons throughout the workspace.
+pub const DEFAULT_TOL: f64 = 1e-10;
+
+/// Returns `true` if `a` and `b` are within `tol` of each other.
+///
+/// This is an absolute comparison; the workspace deals in probabilities,
+/// rates and costs whose magnitudes are moderate, so absolute tolerances are
+/// appropriate.
+///
+/// # Examples
+///
+/// ```
+/// assert!(dpm_linalg::approx_eq(1.0, 1.0 + 1e-12, 1e-10));
+/// assert!(!dpm_linalg::approx_eq(1.0, 1.1, 1e-10));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

@@ -1,0 +1,434 @@
+use std::fmt;
+use std::iter::FromIterator;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use crate::LinalgError;
+
+/// A dense, heap-allocated vector of `f64` values.
+///
+/// `DVector` is the common currency between the Markov-chain layers: state
+/// probability distributions, cost-rate vectors and relative-value vectors
+/// are all `DVector`s.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_linalg::DVector;
+///
+/// let v = DVector::from_vec(vec![0.25, 0.75]);
+/// assert_eq!(v.len(), 2);
+/// assert!((v.sum() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DVector {
+    data: Vec<f64>,
+}
+
+impl DVector {
+    /// Creates a zero vector of length `len`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v = dpm_linalg::DVector::zeros(3);
+    /// assert_eq!(v.as_slice(), &[0.0, 0.0, 0.0]);
+    /// ```
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        DVector {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a vector of length `len` with every entry equal to `value`.
+    #[must_use]
+    pub fn constant(len: usize, value: f64) -> Self {
+        DVector {
+            data: vec![value; len],
+        }
+    }
+
+    /// Wraps an existing `Vec<f64>` without copying.
+    #[must_use]
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        DVector { data }
+    }
+
+    /// Creates a vector by evaluating `f` at each index `0..len`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v = dpm_linalg::DVector::from_fn(3, |i| i as f64);
+    /// assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+    /// ```
+    #[must_use]
+    pub fn from_fn(len: usize, f: impl FnMut(usize) -> f64) -> Self {
+        DVector {
+            data: (0..len).map(f).collect(),
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the entries as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrows the entries as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning the underlying storage.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the entry at `i`, or `None` if out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<f64> {
+        self.data.get(i).copied()
+    }
+
+    /// Iterates over the entries by value.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.data.iter().copied()
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn dot(&self, other: &DVector) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "dot product requires equal lengths"
+        );
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Sum of all entries.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Euclidean (L2) norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// L1 norm (sum of absolute values).
+    #[must_use]
+    pub fn norm_l1(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Infinity norm (maximum absolute value), `0.0` for the empty vector.
+    #[must_use]
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// Largest entry and its index, or `None` for the empty vector.
+    #[must_use]
+    pub fn argmax(&self) -> Option<(usize, f64)> {
+        self.data
+            .iter()
+            .copied()
+            .enumerate()
+            .fold(None, |best, (i, x)| match best {
+                Some((_, bx)) if bx >= x => best,
+                _ => Some((i, x)),
+            })
+    }
+
+    /// Smallest entry and its index, or `None` for the empty vector.
+    #[must_use]
+    pub fn argmin(&self) -> Option<(usize, f64)> {
+        self.data
+            .iter()
+            .copied()
+            .enumerate()
+            .fold(None, |best, (i, x)| match best {
+                Some((_, bx)) if bx <= x => best,
+                _ => Some((i, x)),
+            })
+    }
+
+    /// Multiplies every entry by `factor` in place.
+    pub fn scale_mut(&mut self, factor: f64) {
+        for x in &mut self.data {
+            *x *= factor;
+        }
+    }
+
+    /// Returns a copy scaled by `factor`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> DVector {
+        let mut out = self.clone();
+        out.scale_mut(factor);
+        out
+    }
+
+    /// `self += alpha * other` (the BLAS `axpy` operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy(&mut self, alpha: f64, other: &DVector) {
+        assert_eq!(self.len(), other.len(), "axpy requires equal lengths");
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x += alpha * y;
+        }
+    }
+
+    /// Normalizes entries so they sum to one, turning a non-negative weight
+    /// vector into a probability distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if the entry sum is zero,
+    /// negative, or not finite.
+    pub fn normalize_l1(&mut self) -> Result<(), LinalgError> {
+        let total = self.sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(LinalgError::InvalidInput {
+                reason: format!("cannot L1-normalize vector with sum {total}"),
+            });
+        }
+        self.scale_mut(1.0 / total);
+        Ok(())
+    }
+
+    /// Maps every entry through `f`, returning a new vector.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> DVector {
+        DVector {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Returns `true` if every entry is finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Index<usize> for DVector {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for DVector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add<&DVector> for &DVector {
+    type Output = DVector;
+
+    fn add(self, rhs: &DVector) -> DVector {
+        assert_eq!(self.len(), rhs.len(), "vector add requires equal lengths");
+        DVector {
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub<&DVector> for &DVector {
+    type Output = DVector;
+
+    fn sub(self, rhs: &DVector) -> DVector {
+        assert_eq!(self.len(), rhs.len(), "vector sub requires equal lengths");
+        DVector {
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl AddAssign<&DVector> for DVector {
+    fn add_assign(&mut self, rhs: &DVector) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl SubAssign<&DVector> for DVector {
+    fn sub_assign(&mut self, rhs: &DVector) {
+        self.axpy(-1.0, rhs);
+    }
+}
+
+impl Neg for &DVector {
+    type Output = DVector;
+
+    fn neg(self) -> DVector {
+        self.scaled(-1.0)
+    }
+}
+
+impl Mul<f64> for &DVector {
+    type Output = DVector;
+
+    fn mul(self, rhs: f64) -> DVector {
+        self.scaled(rhs)
+    }
+}
+
+impl FromIterator<f64> for DVector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        DVector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for DVector {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.data.extend(iter);
+    }
+}
+
+impl From<Vec<f64>> for DVector {
+    fn from(data: Vec<f64>) -> Self {
+        DVector { data }
+    }
+}
+
+impl fmt::Display for DVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(DVector::zeros(2).as_slice(), &[0.0, 0.0]);
+        assert_eq!(DVector::constant(2, 3.0).as_slice(), &[3.0, 3.0]);
+        assert_eq!(
+            DVector::from_fn(3, |i| 2.0 * i as f64).as_slice(),
+            &[0.0, 2.0, 4.0]
+        );
+        assert!(DVector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let v = DVector::from_vec(vec![3.0, -4.0]);
+        assert_eq!(v.dot(&v), 25.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_l1(), 7.0);
+        assert_eq!(v.norm_inf(), 4.0);
+        assert_eq!(v.sum(), -1.0);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        let v = DVector::from_vec(vec![1.0, 5.0, -2.0]);
+        assert_eq!(v.argmax(), Some((1, 5.0)));
+        assert_eq!(v.argmin(), Some((2, -2.0)));
+        assert_eq!(DVector::zeros(0).argmax(), None);
+    }
+
+    #[test]
+    fn argmax_ties_prefer_first() {
+        let v = DVector::from_vec(vec![2.0, 2.0]);
+        assert_eq!(v.argmax(), Some((0, 2.0)));
+        assert_eq!(v.argmin(), Some((0, 2.0)));
+    }
+
+    #[test]
+    fn axpy_and_ops() {
+        let mut a = DVector::from_vec(vec![1.0, 2.0]);
+        let b = DVector::from_vec(vec![10.0, 20.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+        let c = &a + &b;
+        assert_eq!(c.as_slice(), &[16.0, 32.0]);
+        let d = &c - &b;
+        assert_eq!(d.as_slice(), &[6.0, 12.0]);
+        assert_eq!((-&d).as_slice(), &[-6.0, -12.0]);
+        assert_eq!((&d * 2.0).as_slice(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn normalize_l1_makes_distribution() {
+        let mut v = DVector::from_vec(vec![1.0, 3.0]);
+        v.normalize_l1().unwrap();
+        assert_eq!(v.as_slice(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn normalize_l1_rejects_zero_sum() {
+        let mut v = DVector::zeros(3);
+        assert!(v.normalize_l1().is_err());
+        let mut w = DVector::from_vec(vec![1.0, -1.0]);
+        assert!(w.normalize_l1().is_err());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let v: DVector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+        let mut w = v.clone();
+        w.extend([5.0]);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn display_format() {
+        let v = DVector::from_vec(vec![1.0, 0.5]);
+        assert_eq!(v.to_string(), "[1.000000, 0.500000]");
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        assert!(DVector::from_vec(vec![1.0]).is_finite());
+        assert!(!DVector::from_vec(vec![f64::NAN]).is_finite());
+        assert!(!DVector::from_vec(vec![f64::INFINITY]).is_finite());
+    }
+}

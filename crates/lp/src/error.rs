@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for LP construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// A coefficient vector had the wrong length for the problem.
+    DimensionMismatch {
+        /// Expected number of variables.
+        expected: usize,
+        /// Length actually provided.
+        found: usize,
+    },
+    /// Input contained a non-finite value.
+    NonFinite {
+        /// Where the bad value appeared.
+        location: String,
+    },
+    /// The problem has no variables or no meaning (e.g. empty objective).
+    EmptyProblem,
+    /// The simplex iteration budget was exhausted (should not happen with
+    /// Bland's rule unless the problem is enormous).
+    IterationLimit {
+        /// Number of pivots performed.
+        pivots: usize,
+    },
+    /// The solver lost numerical coherence (e.g. a bounded phase reported
+    /// an unbounded ray due to rounding on badly scaled data).
+    Numerical {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "coefficient vector has length {found}, expected {expected}"
+                )
+            }
+            LpError::NonFinite { location } => {
+                write!(f, "non-finite value in {location}")
+            }
+            LpError::EmptyProblem => write!(f, "problem has no variables"),
+            LpError::IterationLimit { pivots } => {
+                write!(f, "simplex exceeded iteration limit after {pivots} pivots")
+            }
+            LpError::Numerical { reason } => write!(f, "numerical failure: {reason}"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_lengths() {
+        let e = LpError::DimensionMismatch {
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

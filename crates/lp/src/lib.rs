@@ -1,0 +1,46 @@
+//! A dense linear-programming solver (two-phase primal simplex).
+//!
+//! The paper contrasts its policy-iteration algorithm with the linear
+//! programming formulation of Paleologo et al. (DAC 1998) and with the
+//! exact solution of the performance-constrained policy-optimization
+//! problem, both of which require an LP solver. This crate provides one
+//! from scratch:
+//!
+//! * [`Problem`] — an LP over non-negative variables with `≤`, `≥` and `=`
+//!   constraints and a minimize or maximize objective;
+//! * [`solve`] — two-phase primal simplex on a dense tableau, using Bland's
+//!   rule so degenerate problems (ubiquitous in occupation-measure LPs,
+//!   which are highly degenerate) cannot cycle;
+//! * [`Outcome`] — optimal solution, or a proof-category of infeasibility /
+//!   unboundedness.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_lp::{Problem, Relation, Outcome};
+//!
+//! # fn main() -> Result<(), dpm_lp::LpError> {
+//! // max x + 2y  s.t.  x + y <= 4,  y <= 3,  x,y >= 0.
+//! let mut p = Problem::maximize(vec![1.0, 2.0])?;
+//! p.add_constraint(vec![1.0, 1.0], Relation::Le, 4.0)?;
+//! p.add_constraint(vec![0.0, 1.0], Relation::Le, 3.0)?;
+//! match dpm_lp::solve(&p)? {
+//!     Outcome::Optimal(sol) => {
+//!         assert!((sol.objective() - 7.0).abs() < 1e-9);
+//!         assert!((sol.variables()[1] - 3.0).abs() < 1e-9);
+//!     }
+//!     other => panic!("expected optimal, got {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod problem;
+mod simplex;
+
+pub use error::LpError;
+pub use problem::{Constraint, Objective, Problem, Relation};
+pub use simplex::{solve, Outcome, Solution};

@@ -1,0 +1,300 @@
+use std::fmt;
+
+use crate::LpError;
+
+/// Direction of optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimize the objective function.
+    Minimize,
+    /// Maximize the objective function.
+    Maximize,
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::Minimize => write!(f, "minimize"),
+            Objective::Maximize => write!(f, "maximize"),
+        }
+    }
+}
+
+/// Relation between a constraint's left-hand side and its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// Left-hand side `≤` right-hand side.
+    Le,
+    /// Left-hand side `≥` right-hand side.
+    Ge,
+    /// Left-hand side `=` right-hand side.
+    Eq,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relation::Le => write!(f, "<="),
+            Relation::Ge => write!(f, ">="),
+            Relation::Eq => write!(f, "="),
+        }
+    }
+}
+
+/// A single linear constraint `coeffs · x  (≤ | ≥ | =)  rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    coeffs: Vec<f64>,
+    relation: Relation,
+    rhs: f64,
+}
+
+impl Constraint {
+    /// Coefficient vector of the left-hand side.
+    #[must_use]
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// The relation between the sides.
+    #[must_use]
+    pub fn relation(&self) -> Relation {
+        self.relation
+    }
+
+    /// Right-hand side constant.
+    #[must_use]
+    pub fn rhs(&self) -> f64 {
+        self.rhs
+    }
+
+    /// Evaluates the left-hand side at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the coefficient count.
+    #[must_use]
+    pub fn lhs_at(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coeffs.len(), "point has wrong dimension");
+        self.coeffs.iter().zip(x).map(|(a, b)| a * b).sum()
+    }
+
+    /// Returns `true` if `x` satisfies the constraint within `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the coefficient count.
+    #[must_use]
+    pub fn is_satisfied(&self, x: &[f64], tol: f64) -> bool {
+        let lhs = self.lhs_at(x);
+        match self.relation {
+            Relation::Le => lhs <= self.rhs + tol,
+            Relation::Ge => lhs >= self.rhs - tol,
+            Relation::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// A linear program over non-negative variables.
+///
+/// All variables are implicitly constrained to `x_j ≥ 0` — the natural
+/// domain for the occupation-measure LPs this workspace solves (state-action
+/// frequencies are probabilities scaled by rates).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_lp::{Problem, Relation};
+///
+/// # fn main() -> Result<(), dpm_lp::LpError> {
+/// let mut p = Problem::minimize(vec![3.0, 5.0])?;
+/// p.add_constraint(vec![1.0, 1.0], Relation::Ge, 2.0)?;
+/// assert_eq!(p.n_vars(), 2);
+/// assert_eq!(p.constraints().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    objective: Objective,
+    costs: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates a minimization problem with the given objective coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::EmptyProblem`] for an empty coefficient vector or
+    /// [`LpError::NonFinite`] if a coefficient is not finite.
+    pub fn minimize(costs: Vec<f64>) -> Result<Self, LpError> {
+        Problem::new(Objective::Minimize, costs)
+    }
+
+    /// Creates a maximization problem with the given objective coefficients.
+    ///
+    /// # Errors
+    ///
+    /// As [`Problem::minimize`].
+    pub fn maximize(costs: Vec<f64>) -> Result<Self, LpError> {
+        Problem::new(Objective::Maximize, costs)
+    }
+
+    fn new(objective: Objective, costs: Vec<f64>) -> Result<Self, LpError> {
+        if costs.is_empty() {
+            return Err(LpError::EmptyProblem);
+        }
+        if costs.iter().any(|c| !c.is_finite()) {
+            return Err(LpError::NonFinite {
+                location: "objective".to_owned(),
+            });
+        }
+        Ok(Problem {
+            objective,
+            costs,
+            constraints: Vec::new(),
+        })
+    }
+
+    /// Adds the constraint `coeffs · x (relation) rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::DimensionMismatch`] if `coeffs.len()` differs from
+    /// the variable count, or [`LpError::NonFinite`] for bad values.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: Vec<f64>,
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<&mut Self, LpError> {
+        if coeffs.len() != self.costs.len() {
+            return Err(LpError::DimensionMismatch {
+                expected: self.costs.len(),
+                found: coeffs.len(),
+            });
+        }
+        if coeffs.iter().any(|c| !c.is_finite()) || !rhs.is_finite() {
+            return Err(LpError::NonFinite {
+                location: format!("constraint {}", self.constraints.len()),
+            });
+        }
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
+        Ok(self)
+    }
+
+    /// Number of structural variables.
+    #[must_use]
+    pub fn n_vars(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Optimization direction.
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Objective coefficients.
+    #[must_use]
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// The constraints added so far.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.n_vars()`.
+    #[must_use]
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_vars(), "point has wrong dimension");
+        self.costs.iter().zip(x).map(|(a, b)| a * b).sum()
+    }
+
+    /// Returns `true` if `x ≥ 0` and every constraint holds within `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.n_vars()`.
+    #[must_use]
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        x.iter().all(|&v| v >= -tol) && self.constraints.iter().all(|c| c.is_satisfied(x, tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_inspects() {
+        let mut p = Problem::minimize(vec![1.0, 2.0]).unwrap();
+        p.add_constraint(vec![1.0, 0.0], Relation::Ge, 1.0).unwrap();
+        p.add_constraint(vec![0.0, 1.0], Relation::Le, 5.0).unwrap();
+        assert_eq!(p.n_vars(), 2);
+        assert_eq!(p.objective(), Objective::Minimize);
+        assert_eq!(p.constraints()[0].relation(), Relation::Ge);
+        assert_eq!(p.constraints()[1].rhs(), 5.0);
+        assert_eq!(p.objective_at(&[3.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn rejects_empty_objective() {
+        assert_eq!(
+            Problem::minimize(vec![]).unwrap_err(),
+            LpError::EmptyProblem
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert!(Problem::minimize(vec![f64::NAN]).is_err());
+        let mut p = Problem::minimize(vec![1.0]).unwrap();
+        assert!(p
+            .add_constraint(vec![f64::INFINITY], Relation::Le, 1.0)
+            .is_err());
+        assert!(p.add_constraint(vec![1.0], Relation::Le, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let mut p = Problem::minimize(vec![1.0, 2.0]).unwrap();
+        let err = p.add_constraint(vec![1.0], Relation::Eq, 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            LpError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn feasibility_check_covers_all_relations() {
+        let mut p = Problem::minimize(vec![0.0, 0.0]).unwrap();
+        p.add_constraint(vec![1.0, 0.0], Relation::Le, 1.0).unwrap();
+        p.add_constraint(vec![0.0, 1.0], Relation::Ge, 1.0).unwrap();
+        p.add_constraint(vec![1.0, 1.0], Relation::Eq, 2.0).unwrap();
+        assert!(p.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!p.is_feasible(&[2.0, 0.0], 1e-9));
+        assert!(!p.is_feasible(&[-0.5, 2.5], 1e-9));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Objective::Minimize.to_string(), "minimize");
+        assert_eq!(Relation::Ge.to_string(), ">=");
+    }
+}

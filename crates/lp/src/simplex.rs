@@ -1,0 +1,666 @@
+//! Two-phase primal simplex on a dense tableau.
+
+use std::fmt;
+
+use dpm_linalg::DMatrix;
+
+use crate::{LpError, Objective, Problem, Relation};
+
+/// Numerical tolerance for reduced costs and feasibility. The constraint
+/// system is row- and column-equilibrated before solving, so absolute
+/// thresholds act as relative ones.
+const EPS: f64 = 1e-9;
+
+/// Entering threshold: a reduced cost must be below `-ENTER_TOL` to enter.
+/// Set well above rounding noise so degenerate plateaus are not walked
+/// chasing noise-level "improvements" (the final objective error this
+/// introduces is removed by the basis refinement).
+const ENTER_TOL: f64 = 1e-7;
+
+/// Coefficients above this participate in the ratio test. Must be small:
+/// excluding a row with a genuinely positive coefficient lets a pivot step
+/// drive that row's right-hand side far negative (feasibility trampling).
+const RATIO_TOL: f64 = 1e-9;
+
+/// Preferred minimum pivot element. Within the ratio-test tie window the
+/// largest available element is chosen; falling below this is tolerated
+/// only when no better element is tied (periodic refactorization repairs
+/// the resulting drift).
+const PIVOT_TOL: f64 = 1e-7;
+
+/// An optimal solution of a [`Problem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    variables: Vec<f64>,
+    objective: f64,
+    pivots: usize,
+}
+
+impl Solution {
+    /// Optimal values of the structural variables.
+    #[must_use]
+    pub fn variables(&self) -> &[f64] {
+        &self.variables
+    }
+
+    /// Optimal objective value (in the problem's own direction: maximal for
+    /// a maximization problem).
+    #[must_use]
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Total simplex pivots performed across both phases.
+    #[must_use]
+    pub fn pivots(&self) -> usize {
+        self.pivots
+    }
+}
+
+/// The three possible outcomes of solving an LP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A finite optimum was found.
+    Optimal(Solution),
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+}
+
+impl Outcome {
+    /// Returns the solution if optimal, `None` otherwise.
+    #[must_use]
+    pub fn optimal(self) -> Option<Solution> {
+        match self {
+            Outcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Optimal(s) => write!(f, "optimal (objective {})", s.objective),
+            Outcome::Infeasible => write!(f, "infeasible"),
+            Outcome::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// Refactorize the tableau from the pristine system this often.
+const REFACTOR_EVERY: usize = 256;
+
+/// Dense simplex tableau in canonical form.
+struct Tableau {
+    /// `m x (n_total + 1)` matrix; last column is the right-hand side.
+    rows: DMatrix,
+    /// The untouched initial system, used for periodic refactorization.
+    pristine: DMatrix,
+    /// `basis[i]` is the column that is basic in row `i`.
+    basis: Vec<usize>,
+    /// Cost vector of the current phase (length `n_total`).
+    costs: Vec<f64>,
+    /// Reduced-cost row (length `n_total`).
+    reduced: Vec<f64>,
+    /// Current (phase) objective value.
+    objective: f64,
+    /// Columns the entering-variable rule may consider.
+    eligible: usize,
+    pivots: usize,
+    pivot_limit: usize,
+    /// Use Bland's rule from the first pivot (conservative retry mode).
+    force_bland: bool,
+}
+
+enum PhaseResult {
+    Optimal,
+    Unbounded,
+}
+
+impl Tableau {
+    fn n_total(&self) -> usize {
+        self.rows.ncols() - 1
+    }
+
+    fn m(&self) -> usize {
+        self.rows.nrows()
+    }
+
+    fn rhs(&self, i: usize) -> f64 {
+        self.rows[(i, self.n_total())]
+    }
+
+    /// One simplex phase (minimization): Dantzig's most-negative rule for
+    /// speed, falling back to Bland's rule for guaranteed termination once
+    /// the pivot count suggests stalling (or from the start when the whole
+    /// solve is retried in conservative mode).
+    fn run_phase(&mut self) -> Result<PhaseResult, LpError> {
+        let bland_after = if self.force_bland {
+            self.pivots
+        } else {
+            self.pivots + 20 * (self.m() + self.n_total())
+        };
+        loop {
+            let entering = if self.pivots < bland_after {
+                // Dantzig: most negative reduced cost.
+                (0..self.eligible)
+                    .filter(|&j| self.reduced[j] < -ENTER_TOL)
+                    .min_by(|&a, &b| {
+                        self.reduced[a]
+                            .partial_cmp(&self.reduced[b])
+                            .expect("reduced costs are finite")
+                    })
+            } else {
+                // Bland: smallest index with negative reduced cost.
+                (0..self.eligible).find(|&j| self.reduced[j] < -ENTER_TOL)
+            };
+            let Some(entering) = entering else {
+                return Ok(PhaseResult::Optimal);
+            };
+            // Two-pass ratio test. Pass 1: the minimum ratio over every row
+            // with a meaningfully positive coefficient (tiny negative rhs
+            // from rounding is treated as zero so feasibility is never
+            // "improved" through it).
+            let mut min_ratio = f64::INFINITY;
+            for i in 0..self.m() {
+                let a = self.rows[(i, entering)];
+                if a > RATIO_TOL {
+                    min_ratio = min_ratio.min(self.rhs(i).max(0.0) / a);
+                }
+            }
+            if min_ratio.is_infinite() {
+                return Ok(PhaseResult::Unbounded);
+            }
+            // Pass 2: among rows tied at the minimum, prefer the largest
+            // pivot element (numerical stability) — except in conservative
+            // mode, where Bland's smallest-basis-index rule keeps the
+            // anti-cycling guarantee intact.
+            let window = min_ratio + EPS * (1.0 + min_ratio.abs());
+            let mut pivot_row = usize::MAX;
+            let mut best_pivot = 0.0f64;
+            for i in 0..self.m() {
+                let a = self.rows[(i, entering)];
+                if a > RATIO_TOL && self.rhs(i).max(0.0) / a <= window {
+                    let better = if self.force_bland {
+                        pivot_row == usize::MAX || self.basis[i] < self.basis[pivot_row]
+                    } else {
+                        a > best_pivot
+                    };
+                    if better {
+                        pivot_row = i;
+                        best_pivot = a;
+                    }
+                }
+            }
+            debug_assert_ne!(pivot_row, usize::MAX);
+            // A forced tiny pivot injects drift; refactorize right away to
+            // contain it.
+            let tiny = self.rows[(pivot_row, entering)] < PIVOT_TOL;
+            self.pivot(pivot_row, entering)?;
+            if tiny {
+                self.refactorize()?;
+            }
+            // Long degenerate runs accumulate rank-one-update drift; rebuild
+            // the tableau from the pristine system periodically.
+            if self.pivots.is_multiple_of(REFACTOR_EVERY) {
+                self.refactorize()?;
+            }
+        }
+    }
+
+    /// Rebuilds `rows = B⁻¹ · pristine` for the current basis and
+    /// recomputes the reduced-cost row, eliminating accumulated rounding.
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        let m = self.m();
+        let b_matrix = DMatrix::from_fn(m, m, |r, c| self.pristine[(r, self.basis[c])]);
+        let lu = b_matrix.lu().map_err(|_| LpError::Numerical {
+            reason: "basis matrix singular during refactorization".to_owned(),
+        })?;
+        self.rows = lu
+            .solve_matrix(&self.pristine)
+            .map_err(|_| LpError::Numerical {
+                reason: "refactorization solve failed".to_owned(),
+            })?;
+        let costs = self.costs.clone();
+        self.set_costs(&costs);
+        Ok(())
+    }
+
+    fn pivot(&mut self, pivot_row: usize, entering: usize) -> Result<(), LpError> {
+        debug_assert!(
+            self.basis
+                .iter()
+                .enumerate()
+                .all(|(i, &b)| b != entering || i == pivot_row),
+            "column {entering} is already basic elsewhere (pivot row {pivot_row})"
+        );
+        self.pivots += 1;
+        if self.pivots > self.pivot_limit {
+            return Err(LpError::IterationLimit {
+                pivots: self.pivots,
+            });
+        }
+        let width = self.rows.ncols();
+        let pivot_val = self.rows[(pivot_row, entering)];
+        // Normalize the pivot row.
+        for c in 0..width {
+            self.rows[(pivot_row, c)] /= pivot_val;
+        }
+        // Eliminate the entering column from the other rows.
+        for i in 0..self.m() {
+            if i == pivot_row {
+                continue;
+            }
+            let factor = self.rows[(i, entering)];
+            if factor != 0.0 {
+                for c in 0..width {
+                    let delta = factor * self.rows[(pivot_row, c)];
+                    self.rows[(i, c)] -= delta;
+                }
+            }
+        }
+        // Update the reduced-cost row and objective.
+        let factor = self.reduced[entering];
+        if factor != 0.0 {
+            for (c, r) in self.reduced.iter_mut().enumerate() {
+                *r -= factor * self.rows[(pivot_row, c)];
+            }
+            self.objective += factor * self.rhs(pivot_row);
+        }
+        self.basis[pivot_row] = entering;
+        Ok(())
+    }
+
+    /// Recomputes the reduced-cost row for cost vector `costs` (length
+    /// `n_total`, zero-padded for slack columns).
+    fn set_costs(&mut self, costs: &[f64]) {
+        let n = self.n_total();
+        let mut stored = costs.to_vec();
+        stored.resize(n, 0.0);
+        self.costs = stored;
+        let mut reduced = self.costs.clone();
+        let mut objective = 0.0;
+        for i in 0..self.m() {
+            let cb = self.costs[self.basis[i]];
+            if cb != 0.0 {
+                for (c, r) in reduced.iter_mut().enumerate() {
+                    *r -= cb * self.rows[(i, c)];
+                }
+                objective += cb * self.rhs(i);
+            }
+        }
+        self.reduced = reduced;
+        self.objective = objective;
+    }
+}
+
+/// Solves `problem` with the two-phase primal simplex method.
+///
+/// # Errors
+///
+/// Returns [`LpError::IterationLimit`] if the pivot budget is exhausted
+/// (practically unreachable thanks to Bland's rule).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_lp::{solve, Outcome, Problem, Relation};
+///
+/// # fn main() -> Result<(), dpm_lp::LpError> {
+/// // min 2x + 3y  s.t.  x + y >= 4
+/// let mut p = Problem::minimize(vec![2.0, 3.0])?;
+/// p.add_constraint(vec![1.0, 1.0], Relation::Ge, 4.0)?;
+/// let sol = solve(&p)?.optimal().expect("feasible and bounded");
+/// assert!((sol.objective() - 8.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(problem: &Problem) -> Result<Outcome, LpError> {
+    match solve_with(problem, false) {
+        // On numerical incoherence (badly scaled, massively degenerate
+        // instances), retry conservatively: Bland's rule from pivot one.
+        Err(LpError::Numerical { .. }) => solve_with(problem, true),
+        other => other,
+    }
+}
+
+fn solve_with(problem: &Problem, force_bland: bool) -> Result<Outcome, LpError> {
+    let n = problem.n_vars();
+    let m = problem.constraints().len();
+
+    // Sign of the objective used internally (always minimize).
+    let sense = match problem.objective() {
+        Objective::Minimize => 1.0,
+        Objective::Maximize => -1.0,
+    };
+
+    // Count slack columns: one per inequality.
+    let n_slack = problem
+        .constraints()
+        .iter()
+        .filter(|c| c.relation() != Relation::Eq)
+        .count();
+    // Every row gets an artificial; rows whose slack can serve as the
+    // initial basis skip theirs at basis-selection time, and unused
+    // artificial columns are simply never entered. This keeps indexing
+    // simple at the cost of a few dead columns.
+    let n_art = m;
+    let total = n + n_slack + n_art;
+
+    let mut rows = DMatrix::zeros(m, total + 1);
+    let mut basis = vec![0usize; m];
+
+    // Pass 1: structural coefficients and rhs, with row equilibration —
+    // scale each row so its largest coefficient is ~1, keeping the tableau
+    // numerically coherent when rate coefficients span many orders of
+    // magnitude (generator balance equations mix 1e-1 request rates with
+    // 1e6 instantaneous-switch surrogates).
+    let mut flipped: Vec<Relation> = Vec::with_capacity(m);
+    for (i, c) in problem.constraints().iter().enumerate() {
+        let row_scale = {
+            let m = c.coeffs().iter().fold(0.0f64, |acc, x| acc.max(x.abs()));
+            if m > 0.0 {
+                1.0 / m
+            } else {
+                1.0
+            }
+        };
+        // Normalize to non-negative rhs.
+        let flip = if c.rhs() < 0.0 { -row_scale } else { row_scale };
+        for (j, &a) in c.coeffs().iter().enumerate() {
+            rows[(i, j)] = flip * a;
+        }
+        rows[(i, total)] = flip * c.rhs();
+        flipped.push(match (c.relation(), flip < 0.0) {
+            (Relation::Le, false) | (Relation::Ge, true) => Relation::Le,
+            (Relation::Ge, false) | (Relation::Le, true) => Relation::Ge,
+            (Relation::Eq, _) => Relation::Eq,
+        });
+    }
+
+    // Pass 2: column equilibration of the structural variables (substitute
+    // x_j = y_j / col_max_j), so no structural column dwarfs the others.
+    let mut col_scale = vec![1.0f64; n];
+    for (j, scale) in col_scale.iter_mut().enumerate() {
+        let col_max = (0..m).fold(0.0f64, |acc, i| acc.max(rows[(i, j)].abs()));
+        if col_max > 0.0 {
+            *scale = col_max;
+            for i in 0..m {
+                rows[(i, j)] /= col_max;
+            }
+        }
+    }
+
+    // Pass 3: slack and artificial columns, and the starting basis.
+    let mut slack_idx = n;
+    for (i, relation) in flipped.iter().enumerate() {
+        match relation {
+            Relation::Le => {
+                rows[(i, slack_idx)] = 1.0;
+                basis[i] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                rows[(i, slack_idx)] = -1.0;
+                slack_idx += 1;
+                let art = n + n_slack + i;
+                rows[(i, art)] = 1.0;
+                basis[i] = art;
+            }
+            Relation::Eq => {
+                let art = n + n_slack + i;
+                rows[(i, art)] = 1.0;
+                basis[i] = art;
+            }
+        }
+    }
+
+    // Keep the pristine (scaled, un-pivoted) system for the final basis
+    // refinement: after thousands of rank-one tableau updates, re-solving
+    // B x_B = b against the original columns removes accumulated drift.
+    let pristine = rows.clone();
+
+    let pivot_limit = 100_000 + 200 * (m + total);
+    let mut tableau = Tableau {
+        rows,
+        pristine: pristine.clone(),
+        basis,
+        costs: vec![0.0; total],
+        reduced: vec![0.0; total],
+        objective: 0.0,
+        eligible: n + n_slack,
+        pivots: 0,
+        pivot_limit,
+        force_bland,
+    };
+
+    // Phase 1: minimize the sum of artificial variables.
+    let needs_phase1 = tableau.basis.iter().any(|&b| b >= n + n_slack);
+    if needs_phase1 {
+        let mut phase1_costs = vec![0.0; total];
+        for c in phase1_costs.iter_mut().skip(n + n_slack) {
+            *c = 1.0;
+        }
+        tableau.set_costs(&phase1_costs);
+        match tableau.run_phase()? {
+            PhaseResult::Unbounded => {
+                // The phase-1 objective is bounded below by 0; an unbounded
+                // ray can only be numerical noise.
+                return Err(LpError::Numerical {
+                    reason: "phase-1 objective reported unbounded".to_owned(),
+                });
+            }
+            PhaseResult::Optimal => {}
+        }
+        if tableau.objective > 1e-7 {
+            return Ok(Outcome::Infeasible);
+        }
+        // Drive any artificial variables out of the (degenerate) basis.
+        for i in 0..tableau.m() {
+            if tableau.basis[i] >= n + n_slack {
+                let entering = (0..n + n_slack)
+                    .filter(|&j| tableau.rows[(i, j)].abs() > RATIO_TOL)
+                    .max_by(|&a, &b| {
+                        tableau.rows[(i, a)]
+                            .abs()
+                            .partial_cmp(&tableau.rows[(i, b)].abs())
+                            .expect("finite tableau entries")
+                    });
+                if let Some(j) = entering {
+                    tableau.pivot(i, j)?;
+                }
+                // If no pivot column exists the row is redundant; the
+                // artificial stays basic at value zero and never re-enters
+                // because artificial columns are not eligible.
+            }
+        }
+    }
+
+    // Phase 2: the real objective (column-scaled to match the variables).
+    let mut phase2_costs: Vec<f64> = problem
+        .costs()
+        .iter()
+        .zip(&col_scale)
+        .map(|(&c, &s)| sense * c / s)
+        .collect();
+    phase2_costs.resize(total, 0.0);
+    tableau.set_costs(&phase2_costs);
+    match tableau.run_phase()? {
+        PhaseResult::Unbounded => return Ok(Outcome::Unbounded),
+        PhaseResult::Optimal => {}
+    }
+
+    // Final basis refinement: recompute the basic values exactly from the
+    // pristine system. Falls back to the tableau values if the basis
+    // matrix is numerically singular.
+    let refined = refine_basis(&pristine, &tableau.basis);
+    let mut x = vec![0.0; n];
+    let mut objective = 0.0;
+    match refined {
+        Some(x_basis) => {
+            for (i, &b) in tableau.basis.iter().enumerate() {
+                let value = x_basis[i].max(0.0);
+                objective += phase2_costs.get(b).copied().unwrap_or(0.0) * value;
+                if b < n {
+                    // Undo the column scaling: x_j = y_j / col_max_j.
+                    x[b] = value / col_scale[b];
+                }
+            }
+        }
+        None => {
+            for i in 0..tableau.m() {
+                let b = tableau.basis[i];
+                if b < n {
+                    x[b] = tableau.rhs(i).max(0.0) / col_scale[b];
+                }
+            }
+            objective = tableau.objective;
+        }
+    }
+    Ok(Outcome::Optimal(Solution {
+        variables: x,
+        objective: sense * objective,
+        pivots: tableau.pivots,
+    }))
+}
+
+/// Solves `B x_B = b` for the final basis against the pristine system.
+fn refine_basis(pristine: &DMatrix, basis: &[usize]) -> Option<Vec<f64>> {
+    let m = basis.len();
+    let rhs_col = pristine.ncols() - 1;
+    let b_matrix = DMatrix::from_fn(m, m, |r, c| pristine[(r, basis[c])]);
+    let rhs = dpm_linalg::DVector::from_fn(m, |r| pristine[(r, rhs_col)]);
+    let solved = b_matrix.lu().ok()?.solve(&rhs).ok()?;
+    Some(solved.into_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_ok(p: &Problem) -> Outcome {
+        solve(p).expect("no iteration limit")
+    }
+
+    #[test]
+    fn classic_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → obj 36 at (2, 6).
+        let mut p = Problem::maximize(vec![3.0, 5.0]).unwrap();
+        p.add_constraint(vec![1.0, 0.0], Relation::Le, 4.0).unwrap();
+        p.add_constraint(vec![0.0, 2.0], Relation::Le, 12.0)
+            .unwrap();
+        p.add_constraint(vec![3.0, 2.0], Relation::Le, 18.0)
+            .unwrap();
+        let s = solve_ok(&p).optimal().unwrap();
+        assert!((s.objective() - 36.0).abs() < 1e-9);
+        assert!((s.variables()[0] - 2.0).abs() < 1e-9);
+        assert!((s.variables()[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 → (8, 2)? cost 16+6=22 at
+        // y=0: x >= 10, x >= 2 → x=10 cost 20. Optimal (10, 0).
+        let mut p = Problem::minimize(vec![2.0, 3.0]).unwrap();
+        p.add_constraint(vec![1.0, 1.0], Relation::Ge, 10.0)
+            .unwrap();
+        p.add_constraint(vec![1.0, 0.0], Relation::Ge, 2.0).unwrap();
+        let s = solve_ok(&p).optimal().unwrap();
+        assert!((s.objective() - 20.0).abs() < 1e-9);
+        assert!((s.variables()[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 → x = 2, y = 1.
+        let mut p = Problem::minimize(vec![1.0, 1.0]).unwrap();
+        p.add_constraint(vec![1.0, 2.0], Relation::Eq, 4.0).unwrap();
+        p.add_constraint(vec![1.0, -1.0], Relation::Eq, 1.0)
+            .unwrap();
+        let s = solve_ok(&p).optimal().unwrap();
+        assert!((s.variables()[0] - 2.0).abs() < 1e-9);
+        assert!((s.variables()[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::minimize(vec![1.0]).unwrap();
+        p.add_constraint(vec![1.0], Relation::Le, 1.0).unwrap();
+        p.add_constraint(vec![1.0], Relation::Ge, 2.0).unwrap();
+        assert_eq!(solve_ok(&p), Outcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::maximize(vec![1.0, 0.0]).unwrap();
+        p.add_constraint(vec![0.0, 1.0], Relation::Le, 1.0).unwrap();
+        assert_eq!(solve_ok(&p), Outcome::Unbounded);
+    }
+
+    #[test]
+    fn minimization_over_nonnegatives_without_constraints_is_zero() {
+        let p = Problem::minimize(vec![5.0, 7.0]).unwrap();
+        let s = solve_ok(&p).optimal().unwrap();
+        assert_eq!(s.objective(), 0.0);
+        assert_eq!(s.variables(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x - y <= -2 means y >= x + 2; min y s.t. that and x >= 0 → y = 2.
+        let mut p = Problem::minimize(vec![0.0, 1.0]).unwrap();
+        p.add_constraint(vec![1.0, -1.0], Relation::Le, -2.0)
+            .unwrap();
+        let s = solve_ok(&p).optimal().unwrap();
+        assert!((s.objective() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut p = Problem::maximize(vec![1.0, 1.0]).unwrap();
+        p.add_constraint(vec![1.0, 0.0], Relation::Le, 1.0).unwrap();
+        p.add_constraint(vec![1.0, 0.0], Relation::Le, 1.0).unwrap();
+        p.add_constraint(vec![1.0, 1.0], Relation::Le, 2.0).unwrap();
+        p.add_constraint(vec![0.0, 1.0], Relation::Le, 1.0).unwrap();
+        let s = solve_ok(&p).optimal().unwrap();
+        assert!((s.objective() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // Same equality twice: phase 1 leaves a redundant artificial row.
+        let mut p = Problem::minimize(vec![1.0, 2.0]).unwrap();
+        p.add_constraint(vec![1.0, 1.0], Relation::Eq, 3.0).unwrap();
+        p.add_constraint(vec![2.0, 2.0], Relation::Eq, 6.0).unwrap();
+        let s = solve_ok(&p).optimal().unwrap();
+        assert!((s.objective() - 3.0).abs() < 1e-9);
+        assert!((s.variables()[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_original_problem() {
+        let mut p = Problem::maximize(vec![2.0, 4.0, 1.0]).unwrap();
+        p.add_constraint(vec![1.0, 3.0, 1.0], Relation::Le, 10.0)
+            .unwrap();
+        p.add_constraint(vec![2.0, 1.0, 0.0], Relation::Ge, 1.0)
+            .unwrap();
+        p.add_constraint(vec![1.0, 1.0, 1.0], Relation::Eq, 5.0)
+            .unwrap();
+        let s = solve_ok(&p).optimal().unwrap();
+        assert!(p.is_feasible(s.variables(), 1e-7));
+        assert!((p.objective_at(s.variables()) - s.objective()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn outcome_display_and_accessors() {
+        let p = Problem::minimize(vec![1.0]).unwrap();
+        let outcome = solve_ok(&p);
+        assert!(outcome.to_string().contains("optimal"));
+        let s = outcome.optimal().unwrap();
+        assert_eq!(s.pivots(), 0);
+        assert_eq!(Outcome::Infeasible.optimal(), None);
+    }
+}

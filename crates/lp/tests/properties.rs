@@ -1,0 +1,111 @@
+//! Property tests for the simplex solver: cross-validated against
+//! brute-force vertex enumeration on random small LPs.
+
+use dpm_lp::{solve, Outcome, Problem, Relation};
+use proptest::prelude::*;
+
+/// Random bounded 2-variable maximization LP with `≤` constraints. A box
+/// constraint guarantees boundedness and feasibility of the origin.
+fn bounded_lp_2d() -> impl Strategy<Value = Problem> {
+    let objective = prop::collection::vec(0.1f64..5.0, 2);
+    let constraints = prop::collection::vec((0.0f64..4.0, 0.0f64..4.0, 1.0f64..20.0), 0..6);
+    (objective, constraints).prop_map(|(obj, cons)| {
+        let mut p = Problem::maximize(obj).expect("non-empty objective");
+        p.add_constraint(vec![1.0, 0.0], Relation::Le, 10.0)
+            .expect("arity");
+        p.add_constraint(vec![0.0, 1.0], Relation::Le, 10.0)
+            .expect("arity");
+        for (a, b, rhs) in cons {
+            p.add_constraint(vec![a, b], Relation::Le, rhs)
+                .expect("arity");
+        }
+        p
+    })
+}
+
+/// Brute force: enumerate all intersections of constraint pairs (including
+/// the axes), keep feasible points, return the best objective value.
+fn brute_force_optimum(p: &Problem) -> f64 {
+    let mut lines: Vec<(f64, f64, f64)> = vec![(1.0, 0.0, 0.0), (0.0, 1.0, 0.0)];
+    for c in p.constraints() {
+        lines.push((c.coeffs()[0], c.coeffs()[1], c.rhs()));
+    }
+    let mut best = f64::NEG_INFINITY;
+    for i in 0..lines.len() {
+        for j in (i + 1)..lines.len() {
+            let (a1, b1, r1) = lines[i];
+            let (a2, b2, r2) = lines[j];
+            let det = a1 * b2 - a2 * b1;
+            if det.abs() < 1e-9 {
+                continue;
+            }
+            let x = (r1 * b2 - r2 * b1) / det;
+            let y = (a1 * r2 - a2 * r1) / det;
+            if p.is_feasible(&[x, y], 1e-7) {
+                best = best.max(p.objective_at(&[x, y]));
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #[test]
+    fn simplex_matches_vertex_enumeration(p in bounded_lp_2d()) {
+        let solution = solve(&p).expect("within pivot budget")
+            .optimal()
+            .expect("bounded and feasible by construction");
+        let brute = brute_force_optimum(&p);
+        prop_assert!(
+            (solution.objective() - brute).abs() < 1e-6 * (1.0 + brute.abs()),
+            "simplex {} vs brute force {brute}",
+            solution.objective()
+        );
+    }
+
+    #[test]
+    fn solutions_are_feasible(p in bounded_lp_2d()) {
+        let solution = solve(&p).expect("within pivot budget")
+            .optimal()
+            .expect("bounded and feasible by construction");
+        prop_assert!(p.is_feasible(solution.variables(), 1e-6));
+    }
+
+    #[test]
+    fn objective_value_is_consistent(p in bounded_lp_2d()) {
+        let solution = solve(&p).expect("within pivot budget")
+            .optimal()
+            .expect("bounded and feasible by construction");
+        let recomputed = p.objective_at(solution.variables());
+        prop_assert!((recomputed - solution.objective()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn adding_a_constraint_never_improves_the_optimum(
+        (p, a, b, rhs) in (bounded_lp_2d(), 0.1f64..3.0, 0.1f64..3.0, 0.5f64..15.0)
+    ) {
+        let before = solve(&p).expect("budget").optimal().expect("solvable").objective();
+        let mut tighter = p.clone();
+        tighter.add_constraint(vec![a, b], Relation::Le, rhs).expect("arity");
+        match solve(&tighter).expect("budget") {
+            Outcome::Optimal(s) => prop_assert!(s.objective() <= before + 1e-7),
+            Outcome::Infeasible => {} // also a non-improvement
+            Outcome::Unbounded => prop_assert!(false, "bounded LP became unbounded"),
+        }
+    }
+
+    #[test]
+    fn equality_form_agrees_with_two_inequalities(
+        (c0, c1, a, b, rhs) in (0.1f64..2.0, 0.1f64..2.0, 0.2f64..2.0, 0.2f64..2.0, 1.0f64..6.0)
+    ) {
+        // min c·x s.t. ax + by = rhs  vs  {<= rhs, >= rhs}.
+        let mut eq = Problem::minimize(vec![c0, c1]).expect("objective");
+        eq.add_constraint(vec![a, b], Relation::Eq, rhs).expect("arity");
+        let mut pair = Problem::minimize(vec![c0, c1]).expect("objective");
+        pair.add_constraint(vec![a, b], Relation::Le, rhs).expect("arity");
+        pair.add_constraint(vec![a, b], Relation::Ge, rhs).expect("arity");
+        let s1 = solve(&eq).expect("budget").optimal().expect("feasible");
+        let s2 = solve(&pair).expect("budget").optimal().expect("feasible");
+        prop_assert!((s1.objective() - s2.objective()).abs() < 1e-7);
+    }
+}

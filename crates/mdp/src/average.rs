@@ -1,0 +1,730 @@
+//! Howard-style policy iteration for the limiting average cost criterion.
+//!
+//! This is the "policy iteration algorithm" of the paper's Figure 3 (the
+//! paper defers the details to Howard 1960 / Miller 1968). For a stationary
+//! policy `δ` of a unichain CTMDP, the *gain* `g` (average cost per unit
+//! time) and *bias* (relative value) vector `v` solve the evaluation
+//! equations
+//!
+//! ```text
+//! c^δ − g·1 + G^δ v = 0,    v[reference] = 0.
+//! ```
+//!
+//! The improvement step then picks, in each state, the action minimizing
+//! the *test quantity* `c_i^a + Σ_j s_{i,j}^a v_j`; iteration terminates at
+//! a policy that is its own improvement, which is average-cost optimal over
+//! all stationary policies (and by Theorem 2.3 of the paper over all
+//! piecewise-stationary ones).
+
+use dpm_linalg::{DMatrix, DVector};
+
+use crate::{Ctmdp, MdpError, Policy};
+
+/// Options for [`policy_iteration`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Options {
+    /// Hard cap on improvement rounds (each round solves one linear
+    /// system). Policy iteration converges in finitely many steps, so this
+    /// is a safety net only.
+    pub max_iterations: usize,
+    /// An action must beat the incumbent's test quantity by more than this
+    /// to replace it — guards against cycling on ties.
+    pub improvement_tolerance: f64,
+    /// State whose bias is pinned to zero.
+    pub reference_state: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_iterations: 1_000,
+            improvement_tolerance: 1e-9,
+            reference_state: 0,
+        }
+    }
+}
+
+/// Gain and bias of one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    gain: f64,
+    bias: DVector,
+}
+
+impl Evaluation {
+    /// Average cost per unit time.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Relative values (bias), zero at the reference state.
+    #[must_use]
+    pub fn bias(&self) -> &DVector {
+        &self.bias
+    }
+}
+
+/// The result of policy iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    policy: Policy,
+    gain: f64,
+    bias: DVector,
+    iterations: usize,
+}
+
+impl Solution {
+    /// The optimal stationary deterministic policy.
+    #[must_use]
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Optimal average cost per unit time.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Bias vector of the optimal policy.
+    #[must_use]
+    pub fn bias(&self) -> &DVector {
+        &self.bias
+    }
+
+    /// Improvement rounds performed.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+/// Solves the evaluation equations for `policy`, returning its gain and
+/// bias.
+///
+/// # Errors
+///
+/// Returns [`MdpError::InvalidPolicy`] / [`MdpError::InvalidParameter`] for
+/// mismatched inputs and [`MdpError::NotUnichain`] if the equations are
+/// singular (multichain policy).
+pub fn evaluate(
+    mdp: &Ctmdp,
+    policy: &Policy,
+    reference_state: usize,
+) -> Result<Evaluation, MdpError> {
+    mdp.check_policy(policy)?;
+    let n = mdp.n_states();
+    if reference_state >= n {
+        return Err(MdpError::InvalidParameter {
+            reason: format!("reference state {reference_state} out of range for {n} states"),
+        });
+    }
+    let generator = mdp.generator_for(policy)?;
+    let costs = mdp.cost_rates_for(policy)?;
+
+    // Unknowns: x = (g, v_j for j != reference). Equation for each state i:
+    //   -g + Σ_j G_ij v_j = -c_i       (with v_reference = 0)
+    let col_of = |j: usize| -> Option<usize> {
+        use std::cmp::Ordering;
+        match j.cmp(&reference_state) {
+            Ordering::Less => Some(1 + j),
+            Ordering::Equal => None,
+            Ordering::Greater => Some(j),
+        }
+    };
+    let mut a = DMatrix::zeros(n, n);
+    let mut b = DVector::zeros(n);
+    for i in 0..n {
+        a[(i, 0)] = -1.0;
+        for j in 0..n {
+            if let Some(c) = col_of(j) {
+                a[(i, c)] = generator.rate(i, j);
+            }
+        }
+        b[i] = -costs[i];
+    }
+    let solution = match a.lu() {
+        Ok(lu) => lu.solve(&b).map_err(MdpError::Numerical)?,
+        Err(dpm_linalg::LinalgError::Singular { .. }) => {
+            return Err(MdpError::NotUnichain { iteration: 0 });
+        }
+        Err(e) => return Err(MdpError::Numerical(e)),
+    };
+    let gain = solution[0];
+    let bias = DVector::from_fn(n, |j| match col_of(j) {
+        Some(c) => solution[c],
+        None => 0.0,
+    });
+    Ok(Evaluation { gain, bias })
+}
+
+/// Test quantity `c_i^a + Σ_j s_{i,j}^a v_j` for action `a` in state `i`
+/// given bias `v`.
+fn test_quantity(mdp: &Ctmdp, state: usize, action: usize, bias: &DVector) -> f64 {
+    let spec = &mdp.actions(state)[action];
+    let mut q = spec.cost_rate();
+    for &(to, rate) in spec.rates() {
+        q += rate * (bias[to] - bias[state]);
+    }
+    q
+}
+
+/// Runs policy iteration to the average-cost optimal stationary policy.
+///
+/// The initial policy takes the minimum-cost-rate action in each state.
+///
+/// # Errors
+///
+/// Returns [`MdpError::NotUnichain`] if some intermediate policy induces a
+/// multichain process (the power-management models in `dpm-core` preclude
+/// this by construction), and [`MdpError::NotConverged`] if the iteration
+/// cap is hit.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_mdp::{average, Ctmdp};
+///
+/// # fn main() -> Result<(), dpm_mdp::MdpError> {
+/// let mut b = Ctmdp::builder(2);
+/// b.action(0, "stay-cheap", 1.0, &[(1, 1.0)])?;
+/// b.action(1, "slow", 5.0, &[(0, 1.0)])?;
+/// b.action(1, "fast", 9.0, &[(0, 10.0)])?;
+/// let mdp = b.build()?;
+/// let best = average::policy_iteration(&mdp, &average::Options::default())?;
+/// // Fast repair wins: less time spent in the expensive state.
+/// assert_eq!(best.policy().action(1), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn policy_iteration(mdp: &Ctmdp, options: &Options) -> Result<Solution, MdpError> {
+    policy_iteration_from(mdp, mdp.min_cost_policy(), options)
+}
+
+/// Policy iteration from an explicit starting policy.
+///
+/// # Errors
+///
+/// As [`policy_iteration`], plus [`MdpError::InvalidPolicy`] for a
+/// mismatched start.
+pub fn policy_iteration_from(
+    mdp: &Ctmdp,
+    initial: Policy,
+    options: &Options,
+) -> Result<Solution, MdpError> {
+    mdp.check_policy(&initial)?;
+    let n = mdp.n_states();
+    let mut policy = initial;
+    for iteration in 1..=options.max_iterations {
+        let eval = evaluate(mdp, &policy, options.reference_state).map_err(|e| match e {
+            MdpError::NotUnichain { .. } => MdpError::NotUnichain { iteration },
+            other => other,
+        })?;
+        // Improvement step.
+        let mut improved = false;
+        let mut next = policy.clone();
+        for state in 0..n {
+            let incumbent = test_quantity(mdp, state, policy.action(state), eval.bias());
+            let mut best_action = policy.action(state);
+            let mut best_q = incumbent;
+            for action in 0..mdp.actions(state).len() {
+                if action == policy.action(state) {
+                    continue;
+                }
+                let q = test_quantity(mdp, state, action, eval.bias());
+                if q < best_q - options.improvement_tolerance {
+                    best_q = q;
+                    best_action = action;
+                }
+            }
+            if best_action != policy.action(state) {
+                improved = true;
+                next = next.with_action(state, best_action);
+            }
+        }
+        if !improved {
+            return Ok(Solution {
+                policy,
+                gain: eval.gain,
+                bias: eval.bias,
+                iterations: iteration,
+            });
+        }
+        policy = next;
+    }
+    Err(MdpError::NotConverged {
+        iterations: options.max_iterations,
+    })
+}
+
+/// Gains and bias of a possibly multichain policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultichainEvaluation {
+    gains: DVector,
+    bias: DVector,
+}
+
+impl MultichainEvaluation {
+    /// Per-state long-run average cost. Constant within each recurrent
+    /// class; absorption-weighted for transient states.
+    #[must_use]
+    pub fn gains(&self) -> &DVector {
+        &self.gains
+    }
+
+    /// Bias (relative value) vector, pinned to zero at one state per
+    /// closed class.
+    #[must_use]
+    pub fn bias(&self) -> &DVector {
+        &self.bias
+    }
+}
+
+/// Evaluates a policy without any unichain assumption: per-state gains via
+/// the communicating-class decomposition, then a bias vector from the
+/// modified evaluation equations (one bias pinned per closed class, that
+/// class's redundant equation dropped).
+///
+/// # Errors
+///
+/// Propagates policy validation and linear-solver failures.
+pub fn evaluate_multichain(mdp: &Ctmdp, policy: &Policy) -> Result<MultichainEvaluation, MdpError> {
+    mdp.check_policy(policy)?;
+    let n = mdp.n_states();
+    let generator = mdp.generator_for(policy)?;
+    let costs = mdp.cost_rates_for(policy)?;
+    let gains = dpm_ctmc::stationary::gain_vector(&generator, &costs)?;
+
+    // Identify closed classes and pin one representative per class.
+    let classes = dpm_ctmc::graph::communicating_classes(&generator);
+    let mut closed = vec![true; classes.len()];
+    for (from, to, _) in generator.transitions() {
+        if classes.class_of(from) != classes.class_of(to) {
+            closed[classes.class_of(from)] = false;
+        }
+    }
+    let mut pinned = vec![false; n];
+    for c in 0..classes.len() {
+        if closed[c] {
+            pinned[classes.members(c)[0]] = true;
+        }
+    }
+    // Unknowns: v_j for non-pinned j. Equations: every non-pinned state's
+    //   c_i - g_i + Σ_j G_ij v_j = 0.
+    let unknowns: Vec<usize> = (0..n).filter(|&j| !pinned[j]).collect();
+    let col_of: Vec<Option<usize>> = {
+        let mut map = vec![None; n];
+        for (c, &j) in unknowns.iter().enumerate() {
+            map[j] = Some(c);
+        }
+        map
+    };
+    let m = unknowns.len();
+    let mut bias = DVector::zeros(n);
+    if m > 0 {
+        let mut a = DMatrix::zeros(m, m);
+        let mut b = DVector::zeros(m);
+        for (row, &i) in unknowns.iter().enumerate() {
+            for (j, &col_slot) in col_of.iter().enumerate() {
+                if let Some(col) = col_slot {
+                    a[(row, col)] = generator.rate(i, j);
+                }
+            }
+            b[row] = gains[i] - costs[i];
+        }
+        let v = a.lu()?.solve(&b)?;
+        for (c, &j) in unknowns.iter().enumerate() {
+            bias[j] = v[c];
+        }
+    }
+    Ok(MultichainEvaluation { gains, bias })
+}
+
+/// Result of multichain policy iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultichainSolution {
+    policy: Policy,
+    gains: DVector,
+    bias: DVector,
+    iterations: usize,
+}
+
+impl MultichainSolution {
+    /// The optimal stationary deterministic policy.
+    #[must_use]
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Per-state optimal gains.
+    #[must_use]
+    pub fn gains(&self) -> &DVector {
+        &self.gains
+    }
+
+    /// Long-run average cost starting from `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn gain_from(&self, state: usize) -> f64 {
+        self.gains[state]
+    }
+
+    /// Bias vector of the optimal policy.
+    #[must_use]
+    pub fn bias(&self) -> &DVector {
+        &self.bias
+    }
+
+    /// Improvement rounds performed.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+/// Policy iteration for general (multichain) average-cost CTMDPs: Howard's
+/// two-stage improvement — first reduce the expected gain drift
+/// `Σ_j s_{i,j}^a g_j`, then, among drift-minimal actions, reduce the bias
+/// test quantity `c_i^a + Σ_j s_{i,j}^a v_j`.
+///
+/// Use this when policies may split the chain into several recurrent
+/// classes (e.g. power-managed systems where "stay asleep forever" is a
+/// legal command); for unichain processes [`policy_iteration`] is cheaper.
+///
+/// # Errors
+///
+/// Returns [`MdpError::NotConverged`] if the iteration cap is hit, and
+/// propagates evaluation failures.
+pub fn policy_iteration_multichain(
+    mdp: &Ctmdp,
+    initial: Policy,
+    options: &Options,
+) -> Result<MultichainSolution, MdpError> {
+    mdp.check_policy(&initial)?;
+    let n = mdp.n_states();
+    let mut policy = initial;
+    for iteration in 1..=options.max_iterations {
+        let eval = evaluate_multichain(mdp, &policy)?;
+        let gains = eval.gains();
+        let bias = eval.bias();
+        let scale = 1.0 + gains.norm_inf();
+        let tol = options.improvement_tolerance * scale;
+
+        let drift_of = |state: usize, action: usize| -> f64 {
+            mdp.actions(state)[action]
+                .rates()
+                .iter()
+                .map(|&(to, r)| r * (gains[to] - gains[state]))
+                .sum()
+        };
+        let test_of = |state: usize, action: usize| -> f64 {
+            let spec = &mdp.actions(state)[action];
+            spec.cost_rate()
+                + spec
+                    .rates()
+                    .iter()
+                    .map(|&(to, r)| r * (bias[to] - bias[state]))
+                    .sum::<f64>()
+        };
+
+        let mut improved = false;
+        let mut next = policy.clone();
+        for state in 0..n {
+            let current = policy.action(state);
+            let current_drift = drift_of(state, current);
+            // Stage 1: gain improvement.
+            let mut best_drift = current_drift;
+            for action in 0..mdp.actions(state).len() {
+                best_drift = best_drift.min(drift_of(state, action));
+            }
+            if best_drift < current_drift - tol {
+                // Among (near-)minimal-drift actions, take the best bias.
+                let mut best_action = current;
+                let mut best_test = f64::INFINITY;
+                for action in 0..mdp.actions(state).len() {
+                    if drift_of(state, action) <= best_drift + tol {
+                        let t = test_of(state, action);
+                        if t < best_test {
+                            best_test = t;
+                            best_action = action;
+                        }
+                    }
+                }
+                if best_action != current {
+                    next = next.with_action(state, best_action);
+                    improved = true;
+                }
+                continue;
+            }
+            // Stage 2: bias improvement among drift-neutral actions.
+            let current_test = test_of(state, current);
+            let mut best_action = current;
+            let mut best_test = current_test;
+            for action in 0..mdp.actions(state).len() {
+                if action == current {
+                    continue;
+                }
+                if drift_of(state, action) <= current_drift + tol {
+                    let t = test_of(state, action);
+                    if t < best_test - tol {
+                        best_test = t;
+                        best_action = action;
+                    }
+                }
+            }
+            if best_action != current {
+                next = next.with_action(state, best_action);
+                improved = true;
+            }
+        }
+        if !improved {
+            return Ok(MultichainSolution {
+                policy,
+                gains: eval.gains,
+                bias: eval.bias,
+                iterations: iteration,
+            });
+        }
+        policy = next;
+    }
+    Err(MdpError::NotConverged {
+        iterations: options.max_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state machine: in state 1 (broken) choose slow cheap repair or
+    /// fast expensive repair.
+    fn repair_mdp(fast_cost: f64) -> Ctmdp {
+        let mut b = Ctmdp::builder(2);
+        b.action(0, "run", 1.0, &[(1, 1.0)]).unwrap();
+        b.action(1, "slow", 5.0, &[(0, 1.0)]).unwrap();
+        b.action(1, "fast", fast_cost, &[(0, 10.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn evaluation_matches_stationary_average() {
+        let mdp = repair_mdp(9.0);
+        for policy in mdp.enumerate_policies() {
+            let eval = evaluate(&mdp, &policy, 0).unwrap();
+            let direct = mdp.average_cost(&policy).unwrap();
+            assert!(
+                (eval.gain() - direct).abs() < 1e-10,
+                "policy {policy}: {} vs {direct}",
+                eval.gain()
+            );
+            assert_eq!(eval.bias()[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn evaluation_satisfies_bellman_identity() {
+        let mdp = repair_mdp(9.0);
+        let policy = Policy::new(vec![0, 1]);
+        let eval = evaluate(&mdp, &policy, 0).unwrap();
+        // c - g + G v = 0 at every state.
+        let g = mdp.generator_for(&policy).unwrap();
+        let c = mdp.cost_rates_for(&policy).unwrap();
+        let gv = g.matrix().mul_vec(eval.bias());
+        for i in 0..2 {
+            assert!((c[i] - eval.gain() + gv[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn policy_iteration_finds_brute_force_optimum() {
+        for fast_cost in [2.0, 9.0, 30.0, 100.0] {
+            let mdp = repair_mdp(fast_cost);
+            let solution = policy_iteration(&mdp, &Options::default()).unwrap();
+            let brute = mdp
+                .enumerate_policies()
+                .into_iter()
+                .map(|p| mdp.average_cost(&p).unwrap())
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (solution.gain() - brute).abs() < 1e-9,
+                "fast_cost {fast_cost}: PI {} vs brute {brute}",
+                solution.gain()
+            );
+        }
+    }
+
+    #[test]
+    fn expensive_fast_repair_is_rejected() {
+        // At fast-cost 100 the fast action is never worth it.
+        let mdp = repair_mdp(100.0);
+        let solution = policy_iteration(&mdp, &Options::default()).unwrap();
+        assert_eq!(solution.policy().action(1), 0);
+    }
+
+    #[test]
+    fn cheap_fast_repair_is_chosen() {
+        let mdp = repair_mdp(6.0);
+        let solution = policy_iteration(&mdp, &Options::default()).unwrap();
+        assert_eq!(solution.policy().action(1), 1);
+    }
+
+    #[test]
+    fn reference_state_does_not_change_gain() {
+        let mdp = repair_mdp(9.0);
+        let policy = Policy::new(vec![0, 1]);
+        let e0 = evaluate(&mdp, &policy, 0).unwrap();
+        let e1 = evaluate(&mdp, &policy, 1).unwrap();
+        assert!((e0.gain() - e1.gain()).abs() < 1e-12);
+        // Biases differ by a constant shift.
+        let shift = e0.bias()[1] - e1.bias()[1];
+        assert!((e0.bias()[0] - (e1.bias()[0] + shift)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn iteration_count_is_reported() {
+        let mdp = repair_mdp(6.0);
+        let solution = policy_iteration(&mdp, &Options::default()).unwrap();
+        assert!(solution.iterations() >= 1);
+        assert!(solution.iterations() <= 4);
+    }
+
+    #[test]
+    fn three_state_ring_with_shortcuts() {
+        // State 0 cheap, state 2 very expensive; action choice in state 1
+        // routes either into 2 or back to 0.
+        let mut b = Ctmdp::builder(3);
+        b.action(0, "advance", 0.0, &[(1, 1.0)]).unwrap();
+        b.action(1, "risky", 0.0, &[(2, 1.0)]).unwrap();
+        b.action(1, "safe", 3.0, &[(0, 1.0)]).unwrap();
+        b.action(2, "recover", 50.0, &[(0, 0.2)]).unwrap();
+        let mdp = b.build().unwrap();
+        let solution = policy_iteration(&mdp, &Options::default()).unwrap();
+        // Expensive state must be avoided.
+        assert_eq!(solution.policy().action(1), 1);
+        // Brute force via gain/bias evaluation, which (unlike the stationary
+        // solver) handles policies with transient states.
+        let brute = mdp
+            .enumerate_policies()
+            .into_iter()
+            .map(|p| evaluate(&mdp, &p, 0).unwrap().gain())
+            .fold(f64::INFINITY, f64::min);
+        assert!((solution.gain() - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let mdp = repair_mdp(9.0);
+        assert!(evaluate(&mdp, &Policy::new(vec![0]), 0).is_err());
+        assert!(evaluate(&mdp, &Policy::new(vec![0, 0]), 5).is_err());
+        assert!(policy_iteration_from(&mdp, Policy::new(vec![9, 9]), &Options::default()).is_err());
+    }
+
+    #[test]
+    fn single_state_process() {
+        let mut b = Ctmdp::builder(1);
+        b.action(0, "idle", 2.5, &[]).unwrap();
+        b.action(0, "other", 4.0, &[]).unwrap();
+        let mdp = b.build().unwrap();
+        let solution = policy_iteration(&mdp, &Options::default()).unwrap();
+        assert_eq!(solution.policy().action(0), 0);
+        assert!((solution.gain() - 2.5).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod multichain_tests {
+    use super::*;
+
+    /// MDP where "stay put" is legal everywhere, so policies can shatter
+    /// the chain into several recurrent classes.
+    fn shatterable() -> Ctmdp {
+        let mut b = Ctmdp::builder(3);
+        // State 0: cheap-ish, can stay (absorbing) or move on.
+        b.action(0, "stay", 3.0, &[]).unwrap();
+        b.action(0, "go", 3.0, &[(1, 1.0)]).unwrap();
+        // State 1: expensive, can stay or move.
+        b.action(1, "stay", 10.0, &[]).unwrap();
+        b.action(1, "go", 10.0, &[(2, 1.0)]).unwrap();
+        // State 2: cheapest.
+        b.action(2, "stay", 1.0, &[]).unwrap();
+        b.action(2, "back", 5.0, &[(0, 1.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn evaluate_multichain_handles_all_stay() {
+        let mdp = shatterable();
+        let policy = Policy::new(vec![0, 0, 0]);
+        let eval = evaluate_multichain(&mdp, &policy).unwrap();
+        assert_eq!(eval.gains().as_slice(), &[3.0, 10.0, 1.0]);
+    }
+
+    #[test]
+    fn evaluate_multichain_matches_unichain_evaluation() {
+        let mdp = shatterable();
+        // go, go, stay: unichain (absorbs in state 2).
+        let policy = Policy::new(vec![1, 1, 0]);
+        let multi = evaluate_multichain(&mdp, &policy).unwrap();
+        let uni = evaluate(&mdp, &policy, 2).unwrap();
+        for i in 0..3 {
+            assert!((multi.gains()[i] - uni.gain()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn multichain_pi_routes_everything_to_the_cheap_state() {
+        let mdp = shatterable();
+        // Worst start: everything stays put.
+        let sol =
+            policy_iteration_multichain(&mdp, Policy::new(vec![0, 0, 0]), &Options::default())
+                .unwrap();
+        // Optimal: from 0 go to 1, from 1 go to 2, stay at 2 (gain 1
+        // everywhere).
+        for i in 0..3 {
+            assert!(
+                (sol.gain_from(i) - 1.0).abs() < 1e-9,
+                "state {i}: {}",
+                sol.gain_from(i)
+            );
+        }
+        assert_eq!(sol.policy().actions(), &[1, 1, 0]);
+        assert!(sol.iterations() >= 2);
+    }
+
+    #[test]
+    fn multichain_pi_agrees_with_unichain_pi_on_unichain_mdp() {
+        let mut b = Ctmdp::builder(2);
+        b.action(0, "run", 1.0, &[(1, 1.0)]).unwrap();
+        b.action(1, "slow", 5.0, &[(0, 1.0)]).unwrap();
+        b.action(1, "fast", 9.0, &[(0, 10.0)]).unwrap();
+        let mdp = b.build().unwrap();
+        let uni = policy_iteration(&mdp, &Options::default()).unwrap();
+        let multi = policy_iteration_multichain(&mdp, Policy::new(vec![0, 0]), &Options::default())
+            .unwrap();
+        assert_eq!(uni.policy(), multi.policy());
+        assert!((multi.gain_from(0) - uni.gain()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multichain_pi_keeps_isolated_cheap_class() {
+        // If staying where you are is cheapest, PI should not move.
+        let mut b = Ctmdp::builder(2);
+        b.action(0, "stay", 1.0, &[]).unwrap();
+        b.action(0, "go", 1.0, &[(1, 1.0)]).unwrap();
+        b.action(1, "stay", 2.0, &[]).unwrap();
+        b.action(1, "go", 2.0, &[(0, 1.0)]).unwrap();
+        let mdp = b.build().unwrap();
+        let sol = policy_iteration_multichain(&mdp, Policy::new(vec![0, 0]), &Options::default())
+            .unwrap();
+        // From state 0, staying (gain 1) is optimal; from state 1, moving
+        // to 0 (gain 1) beats staying (gain 2).
+        assert!((sol.gain_from(0) - 1.0).abs() < 1e-9);
+        assert!((sol.gain_from(1) - 1.0).abs() < 1e-9);
+        assert_eq!(sol.policy().action(0), 0);
+        assert_eq!(sol.policy().action(1), 1);
+    }
+}

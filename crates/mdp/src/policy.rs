@@ -1,0 +1,287 @@
+use std::fmt;
+
+/// A stationary deterministic policy: one action index per state
+/// (Definition 2.8 — the paper restricts the search to stationary policies
+/// by Theorems 2.2–2.3).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_mdp::Policy;
+///
+/// let p = Policy::new(vec![0, 2, 1]);
+/// assert_eq!(p.action(1), 2);
+/// assert_eq!(p.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Policy {
+    actions: Vec<usize>,
+}
+
+impl Policy {
+    /// Creates a policy from per-state action indices.
+    #[must_use]
+    pub fn new(actions: Vec<usize>) -> Self {
+        Policy { actions }
+    }
+
+    /// Uniform policy choosing action `action` in all `n_states` states.
+    #[must_use]
+    pub fn uniform(n_states: usize, action: usize) -> Self {
+        Policy {
+            actions: vec![action; n_states],
+        }
+    }
+
+    /// Action chosen in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn action(&self, state: usize) -> usize {
+        self.actions[state]
+    }
+
+    /// All per-state action indices.
+    #[must_use]
+    pub fn actions(&self) -> &[usize] {
+        &self.actions
+    }
+
+    /// Number of states covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` for the empty policy.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Replaces the action in one state, returning the modified policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn with_action(mut self, state: usize, action: usize) -> Self {
+        self.actions[state] = action;
+        self
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Policy{:?}", self.actions)
+    }
+}
+
+impl From<Vec<usize>> for Policy {
+    fn from(actions: Vec<usize>) -> Self {
+        Policy { actions }
+    }
+}
+
+/// A stationary randomized policy: a probability distribution over actions
+/// in every state.
+///
+/// Produced by the constrained occupation-measure LP
+/// ([`crate::lp::solve_constrained_average`]) — with an active performance
+/// constraint the optimal policy may need to randomize in (at most) one
+/// state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomizedPolicy {
+    weights: Vec<Vec<f64>>,
+}
+
+impl RandomizedPolicy {
+    /// Creates a randomized policy from per-state action weight vectors.
+    /// Weights are normalized to sum to one per state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state's weights are empty, negative, or all zero.
+    #[must_use]
+    pub fn new(weights: Vec<Vec<f64>>) -> Self {
+        let weights = weights
+            .into_iter()
+            .enumerate()
+            .map(|(state, mut w)| {
+                assert!(!w.is_empty(), "state {state} has no action weights");
+                assert!(
+                    w.iter().all(|&x| x >= 0.0),
+                    "state {state} has negative weights"
+                );
+                let total: f64 = w.iter().sum();
+                assert!(total > 0.0, "state {state} has all-zero weights");
+                for x in &mut w {
+                    *x /= total;
+                }
+                w
+            })
+            .collect();
+        RandomizedPolicy { weights }
+    }
+
+    /// Lifts a deterministic policy (point mass per state). `n_actions[i]`
+    /// gives the action count of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or an action index is out of range.
+    #[must_use]
+    pub fn from_deterministic(policy: &Policy, n_actions: &[usize]) -> Self {
+        assert_eq!(policy.len(), n_actions.len(), "length mismatch");
+        let weights = policy
+            .actions()
+            .iter()
+            .zip(n_actions)
+            .map(|(&a, &count)| {
+                assert!(a < count, "action {a} out of range {count}");
+                let mut w = vec![0.0; count];
+                w[a] = 1.0;
+                w
+            })
+            .collect();
+        RandomizedPolicy { weights }
+    }
+
+    /// Probability of choosing `action` in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn probability(&self, state: usize, action: usize) -> f64 {
+        self.weights[state][action]
+    }
+
+    /// Action weights in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn weights(&self, state: usize) -> &[f64] {
+        &self.weights[state]
+    }
+
+    /// Number of states covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` for the empty policy.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// States in which the policy genuinely randomizes (more than one
+    /// action with probability above `tol`).
+    #[must_use]
+    pub fn randomizing_states(&self, tol: f64) -> Vec<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.iter().filter(|&&x| x > tol).count() > 1)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Rounds to the deterministic policy taking each state's most probable
+    /// action.
+    #[must_use]
+    pub fn to_deterministic(&self) -> Policy {
+        Policy::new(
+            self.weights
+                .iter()
+                .map(|w| {
+                    w.iter()
+                        .enumerate()
+                        .max_by(|(_, x), (_, y)| x.partial_cmp(y).expect("weights are finite"))
+                        .map(|(i, _)| i)
+                        .expect("non-empty weights")
+                })
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for RandomizedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RandomizedPolicy[")?;
+        for (i, w) in self.weights.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w:.3?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_policy_basics() {
+        let p = Policy::uniform(3, 1);
+        assert_eq!(p.actions(), &[1, 1, 1]);
+        let p = p.with_action(0, 2);
+        assert_eq!(p.action(0), 2);
+        assert!(!p.is_empty());
+        assert_eq!(Policy::from(vec![0, 1]).len(), 2);
+        assert!(Policy::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn randomized_normalizes() {
+        let r = RandomizedPolicy::new(vec![vec![1.0, 3.0], vec![2.0]]);
+        assert!((r.probability(0, 0) - 0.25).abs() < 1e-12);
+        assert!((r.probability(0, 1) - 0.75).abs() < 1e-12);
+        assert_eq!(r.probability(1, 0), 1.0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn randomizing_states_detects_mixtures() {
+        let r = RandomizedPolicy::new(vec![vec![0.5, 0.5], vec![1.0, 0.0]]);
+        assert_eq!(r.randomizing_states(1e-9), vec![0]);
+    }
+
+    #[test]
+    fn to_deterministic_takes_mode() {
+        let r = RandomizedPolicy::new(vec![vec![0.2, 0.8], vec![1.0, 0.0]]);
+        assert_eq!(r.to_deterministic(), Policy::new(vec![1, 0]));
+    }
+
+    #[test]
+    fn from_deterministic_round_trips() {
+        let p = Policy::new(vec![1, 0]);
+        let r = RandomizedPolicy::from_deterministic(&p, &[2, 3]);
+        assert_eq!(r.probability(0, 1), 1.0);
+        assert_eq!(r.probability(1, 0), 1.0);
+        assert_eq!(r.weights(1), &[1.0, 0.0, 0.0]);
+        assert_eq!(r.to_deterministic(), p);
+        assert!(r.randomizing_states(1e-9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn randomized_rejects_zero_weights() {
+        let _ = RandomizedPolicy::new(vec![vec![0.0, 0.0]]);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Policy::new(vec![0, 1]).to_string(), "Policy[0, 1]");
+        let r = RandomizedPolicy::new(vec![vec![1.0]]);
+        assert!(r.to_string().contains("RandomizedPolicy"));
+    }
+}

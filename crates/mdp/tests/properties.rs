@@ -1,0 +1,202 @@
+//! Property-based cross-validation of the MDP solver suite: policy
+//! iteration, value iteration, LP, and brute-force enumeration must all
+//! agree on the optimal average cost of random processes.
+
+use dpm_mdp::{average, discounted, lp, value_iteration, Ctmdp, Dtmdp};
+use proptest::prelude::*;
+
+/// Random CTMDP in which every action keeps the chain irreducible: each
+/// action's rate set contains a ring edge `i -> (i+1) % n` plus an optional
+/// extra edge.
+fn ring_ctmdp(n: usize) -> impl Strategy<Value = Ctmdp> {
+    let per_state = prop::collection::vec(
+        prop::collection::vec(
+            (0.1f64..5.0, 0.0f64..20.0, 0..8usize, 0.0f64..3.0),
+            1..3, // 1-2 actions per state
+        ),
+        n..=n,
+    );
+    per_state.prop_map(move |spec| {
+        let mut b = Ctmdp::builder(n);
+        for (i, actions) in spec.iter().enumerate() {
+            for (k, &(ring_rate, cost, extra_to, extra_rate)) in actions.iter().enumerate() {
+                let ring_target = (i + 1) % n;
+                let mut rates = vec![(ring_target, ring_rate)];
+                let extra_target = extra_to % n;
+                if extra_target != i && extra_target != ring_target && extra_rate > 0.0 {
+                    rates.push((extra_target, extra_rate));
+                }
+                b.action(i, format!("a{k}"), cost, &rates)
+                    .expect("valid by construction");
+            }
+        }
+        b.build().expect("every state has an action")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn policy_iteration_matches_brute_force(mdp in (2usize..5).prop_flat_map(ring_ctmdp)) {
+        let solution = average::policy_iteration(&mdp, &average::Options::default())
+            .expect("unichain by construction");
+        let brute = mdp
+            .enumerate_policies()
+            .into_iter()
+            .map(|p| mdp.average_cost(&p).expect("irreducible by construction"))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            (solution.gain() - brute).abs() < 1e-7 * (1.0 + brute.abs()),
+            "PI {} vs brute {brute}",
+            solution.gain()
+        );
+    }
+
+    #[test]
+    fn lp_matches_policy_iteration(mdp in (2usize..5).prop_flat_map(ring_ctmdp)) {
+        let pi = average::policy_iteration(&mdp, &average::Options::default())
+            .expect("unichain");
+        let via_lp = lp::solve_average(&mdp).expect("feasible");
+        prop_assert!(
+            (via_lp.average_cost() - pi.gain()).abs() < 1e-6 * (1.0 + pi.gain().abs()),
+            "LP {} vs PI {}",
+            via_lp.average_cost(),
+            pi.gain()
+        );
+    }
+
+    #[test]
+    fn value_iteration_matches_policy_iteration(
+        mdp in (2usize..5).prop_flat_map(ring_ctmdp)
+    ) {
+        let pi = average::policy_iteration(&mdp, &average::Options::default())
+            .expect("unichain");
+        let options = value_iteration::Options {
+            tolerance: 1e-8,
+            ..value_iteration::Options::default()
+        };
+        let vi = value_iteration::solve(&mdp, &options).expect("aperiodic uniformized chain");
+        prop_assert!(
+            (vi.gain() - pi.gain()).abs() < 1e-5 * (1.0 + pi.gain().abs()),
+            "VI {} vs PI {}",
+            vi.gain(),
+            pi.gain()
+        );
+    }
+
+    #[test]
+    fn uniformized_dtmdp_matches_ctmdp(mdp in (2usize..5).prop_flat_map(ring_ctmdp)) {
+        let ct = average::policy_iteration(&mdp, &average::Options::default())
+            .expect("unichain");
+        let (dt, lambda) = Dtmdp::from_uniformized(&mdp, 1.05).expect("has transitions");
+        let dt_sol = dt.policy_iteration(1_000).expect("unichain");
+        prop_assert!(
+            (dt_sol.gain() * lambda - ct.gain()).abs() < 1e-6 * (1.0 + ct.gain().abs())
+        );
+    }
+
+    #[test]
+    fn small_discount_rate_recovers_average_policy(
+        mdp in (2usize..4).prop_flat_map(ring_ctmdp)
+    ) {
+        let avg = average::policy_iteration(&mdp, &average::Options::default())
+            .expect("unichain");
+        let dis = discounted::policy_iteration(&mdp, 1e-6, &discounted::Options::default())
+            .expect("alpha > 0");
+        // Vanishing discount: alpha * v -> optimal gain.
+        prop_assert!(
+            (dis.values()[0] * 1e-6 - avg.gain()).abs() < 1e-3 * (1.0 + avg.gain().abs())
+        );
+    }
+
+    #[test]
+    fn constrained_lp_interpolates_feasibly(
+        mdp in (2usize..4).prop_flat_map(ring_ctmdp)
+    ) {
+        // Aux cost: indicator of state 0. The achievable range over
+        // policies is found by optimizing the aux itself in both directions.
+        let n = mdp.n_states();
+        let aux: Vec<f64> = (0..n).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect();
+        let unconstrained = lp::solve_average(&mdp).expect("feasible");
+        let at_optimum = unconstrained.average_of(&aux);
+        // A bound at the unconstrained value must be feasible and no cheaper.
+        let constrained = lp::solve_constrained_average(&mdp, &aux, at_optimum + 1e-9)
+            .expect("bound attained by the unconstrained optimum");
+        prop_assert!(constrained.average_cost() <= unconstrained.average_cost() + 1e-6);
+        prop_assert!(constrained.average_of(&aux) <= at_optimum + 1e-6);
+    }
+
+    #[test]
+    fn evaluation_gain_is_policy_average_cost(
+        mdp in (2usize..5).prop_flat_map(ring_ctmdp)
+    ) {
+        for policy in mdp.enumerate_policies().into_iter().take(8) {
+            let eval = average::evaluate(&mdp, &policy, 0).expect("unichain");
+            let direct = mdp.average_cost(&policy).expect("irreducible");
+            prop_assert!((eval.gain() - direct).abs() < 1e-7 * (1.0 + direct.abs()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The multichain evaluation's gain/bias pair satisfies the evaluation
+    /// identity rowwise: `c_i − g_i + Σ_j G_ij v_j = 0` at every state, and
+    /// the gains are harmonic (`Σ_j G_ij g_j = 0`).
+    #[test]
+    fn multichain_evaluation_satisfies_identities(
+        mdp in (2usize..5).prop_flat_map(ring_ctmdp)
+    ) {
+        for policy in mdp.enumerate_policies().into_iter().take(6) {
+            let eval = average::evaluate_multichain(&mdp, &policy).expect("evaluable");
+            let generator = mdp.generator_for(&policy).expect("valid");
+            let costs = mdp.cost_rates_for(&policy).expect("valid");
+            let n = mdp.n_states();
+            for i in 0..n {
+                let gv: f64 = (0..n)
+                    .map(|j| generator.rate(i, j) * eval.bias()[j])
+                    .sum();
+                let residual = costs[i] - eval.gains()[i] + gv;
+                prop_assert!(
+                    residual.abs() < 1e-7 * (1.0 + costs[i].abs()),
+                    "state {i}: evaluation residual {residual}"
+                );
+                let gg: f64 = (0..n)
+                    .map(|j| generator.rate(i, j) * eval.gains()[j])
+                    .sum();
+                prop_assert!(
+                    gg.abs() < 1e-7 * (1.0 + eval.gains()[i].abs()),
+                    "state {i}: gain drift {gg}"
+                );
+            }
+        }
+    }
+
+    /// Multichain PI never loses to any enumerated policy from any start
+    /// state.
+    #[test]
+    fn multichain_pi_dominates_enumeration(
+        mdp in (2usize..4).prop_flat_map(ring_ctmdp)
+    ) {
+        let initial = dpm_mdp::Policy::uniform(mdp.n_states(), 0);
+        let best = average::policy_iteration_multichain(
+            &mdp,
+            initial,
+            &average::Options::default(),
+        )
+        .expect("solvable");
+        for policy in mdp.enumerate_policies() {
+            let eval = average::evaluate_multichain(&mdp, &policy).expect("evaluable");
+            for i in 0..mdp.n_states() {
+                prop_assert!(
+                    best.gain_from(i) <= eval.gains()[i] + 1e-7 * (1.0 + eval.gains()[i].abs()),
+                    "state {i}: PI {} beaten by enumerated {}",
+                    best.gain_from(i),
+                    eval.gains()[i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,640 @@
+//! The event-driven simulation engine.
+//!
+//! The engine mirrors the continuous-time model exactly: service times,
+//! switching times and (by default) inter-arrival times are exponential;
+//! the power manager is consulted on every state change and its command is
+//! applied asynchronously. One deliberate difference from the numeric
+//! model: a *self* command in a transfer state completes in truly zero
+//! time here, whereas the Markov model approximates `χ(s, s) = ∞` with a
+//! large finite surrogate rate — comparing the two quantifies that
+//! approximation (it is far below simulation noise).
+//!
+//! Because every stochastic delay except arrivals is exponential, the
+//! engine may *resample* pending service/switch delays at each event
+//! (memorylessness makes this distributionally exact), which keeps the
+//! main loop a simple race between at most four candidate events.
+
+use std::collections::VecDeque;
+
+use dpm_core::{SpModel, SysState};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::controller::{Controller, Observation, SimEvent};
+use crate::rng::exponential;
+use crate::workload::Workload;
+use crate::{SimError, SimReport};
+
+/// Number of batches used for batch-means confidence intervals.
+const BATCHES: usize = 20;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    seed: u64,
+    max_requests: u64,
+    max_time: Option<f64>,
+    initial_mode: Option<usize>,
+    event_budget: u64,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the paper's default workload size of
+    /// 50,000 requests.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            max_requests: 50_000,
+            max_time: None,
+            initial_mode: None,
+            event_budget: 0,
+        }
+    }
+
+    /// Limits the number of requests generated.
+    #[must_use]
+    pub fn max_requests(mut self, n: u64) -> Self {
+        self.max_requests = n;
+        self
+    }
+
+    /// Additionally stops the run at this simulated time.
+    #[must_use]
+    pub fn max_time(mut self, t: f64) -> Self {
+        self.max_time = Some(t);
+        self
+    }
+
+    /// Starts the provider in this mode (default: its fastest active
+    /// mode).
+    #[must_use]
+    pub fn initial_mode(mut self, mode: usize) -> Self {
+        self.initial_mode = Some(mode);
+        self
+    }
+}
+
+/// The event-driven simulator.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Simulator<W, C> {
+    sp: SpModel,
+    capacity: usize,
+    workload: W,
+    controller: C,
+    config: SimConfig,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum NextEvent {
+    Arrival,
+    Service,
+    Switch,
+    Timer,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Snapshot {
+    time: f64,
+    energy: f64,
+    completed: u64,
+    sojourn_sum: f64,
+}
+
+impl<W: Workload, C: Controller> Simulator<W, C> {
+    /// Creates a simulator over the provider `sp` with the given queue
+    /// capacity, workload and power-management controller.
+    #[must_use]
+    pub fn new(
+        sp: SpModel,
+        capacity: usize,
+        workload: W,
+        controller: C,
+        config: SimConfig,
+    ) -> Self {
+        Simulator {
+            sp,
+            capacity,
+            workload,
+            controller,
+            config,
+        }
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// The run ends when the workload is exhausted (or `max_requests`
+    /// arrivals were generated) *and* the queue has drained, or at
+    /// `max_time` if set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for inconsistent setup,
+    /// [`SimError::InvalidCommand`] if the controller commands an
+    /// impossible switch, and [`SimError::EventBudgetExhausted`] if a
+    /// controller stalls the clock.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        if self.capacity == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "queue capacity must be at least 1".to_owned(),
+            });
+        }
+        let initial_mode = match self.config.initial_mode {
+            Some(m) if m < self.sp.n_modes() => m,
+            Some(m) => {
+                return Err(SimError::InvalidConfig {
+                    reason: format!("initial mode {m} out of range"),
+                })
+            }
+            None => self
+                .sp
+                .active_modes()
+                .into_iter()
+                .max_by(|&a, &b| {
+                    self.sp
+                        .service_rate(a)
+                        .partial_cmp(&self.sp.service_rate(b))
+                        .expect("finite rates")
+                })
+                .expect("provider has an active mode"),
+        };
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut time = 0.0f64;
+        let mut mode = initial_mode;
+        let mut in_transfer = false;
+        let mut queue: VecDeque<f64> = VecDeque::new();
+
+        // Statistics.
+        let mut occupancy_energy = 0.0f64;
+        let mut switch_energy = 0.0f64;
+        let mut queue_integral = 0.0f64;
+        let mut arrivals = 0u64;
+        let mut completed = 0u64;
+        let mut lost = 0u64;
+        let mut switches = 0u64;
+        let mut sojourn_sum = 0.0f64;
+        let mut snapshots: Vec<Snapshot> = Vec::with_capacity(BATCHES + 1);
+        let snapshot_every = (self.config.max_requests / BATCHES as u64).max(1);
+
+        // First arrival.
+        let mut next_arrival: Option<f64> = self
+            .workload
+            .next_interarrival(&mut rng)
+            .map(|gap| time + gap);
+        let mut last_event = SimEvent::Start;
+
+        let event_budget = if self.config.event_budget > 0 {
+            self.config.event_budget
+        } else {
+            // Generous: tens of events per request, plus slack for
+            // timer-heavy policies.
+            1_000_000 + 200 * self.config.max_requests
+        };
+        let mut events = 0u64;
+        let mut consultations = 0u64;
+        // Timer-only streak during the drain phase (workload exhausted):
+        // a controller that keeps requesting timers without ever serving
+        // the leftover queue would otherwise spin forever.
+        let mut drain_timer_streak = 0u32;
+
+        loop {
+            events += 1;
+            if events > event_budget {
+                return Err(SimError::EventBudgetExhausted { events });
+            }
+
+            // Observe and consult the power manager (asynchronously: only
+            // here, at state changes).
+            let state = if in_transfer {
+                SysState::Transfer {
+                    mode,
+                    departing: queue.len() + 1,
+                }
+            } else {
+                SysState::Stable {
+                    mode,
+                    jobs: queue.len(),
+                }
+            };
+            let observation = Observation { time, state };
+            consultations += 1;
+            let command = self.controller.command(&observation, last_event, &mut rng);
+            if command.target >= self.sp.n_modes()
+                || (command.target != mode && !self.sp.can_switch(mode, command.target))
+            {
+                return Err(SimError::InvalidCommand {
+                    from: mode,
+                    to: command.target,
+                });
+            }
+            // Instantaneous self-switch completes the transfer in zero time.
+            if in_transfer && command.target == mode {
+                in_transfer = false;
+                last_event = SimEvent::SwitchComplete;
+                continue;
+            }
+
+            // Each command defines the timer until the next consultation
+            // (controllers that want a standing timer re-request it — the
+            // next consultation happens no later than the timer anyway).
+            let timer_deadline: Option<f64> = command.timer.map(|d| time + d.max(0.0));
+
+            // Race the candidate events.
+            let mut winner: Option<(f64, NextEvent)> = None;
+            let mut consider = |t: f64, kind: NextEvent| {
+                if winner.is_none_or(|(wt, _)| t < wt) {
+                    winner = Some((t, kind));
+                }
+            };
+            if let Some(t) = next_arrival {
+                consider(t, NextEvent::Arrival);
+            }
+            if !in_transfer && self.sp.service_rate(mode) > 0.0 && !queue.is_empty() {
+                consider(
+                    time + exponential(&mut rng, self.sp.service_rate(mode)),
+                    NextEvent::Service,
+                );
+            }
+            if command.target != mode {
+                consider(
+                    time + exponential(&mut rng, self.sp.switch_rate(mode, command.target)),
+                    NextEvent::Switch,
+                );
+            }
+            if let Some(t) = timer_deadline {
+                consider(t, NextEvent::Timer);
+            }
+
+            let Some((event_time, kind)) = winner else {
+                // Nothing can ever happen again: drain and stop.
+                break;
+            };
+            let mut event_time = event_time;
+            let mut stop_after = false;
+            if let Some(limit) = self.config.max_time {
+                if event_time >= limit {
+                    event_time = limit;
+                    stop_after = true;
+                }
+            }
+
+            // Integrate time-weighted statistics over the elapsed interval.
+            let dt = event_time - time;
+            occupancy_energy += self.sp.power(mode) * dt;
+            queue_integral += queue.len() as f64 * dt;
+            time = event_time;
+            if stop_after {
+                break;
+            }
+
+            match kind {
+                NextEvent::Arrival => {
+                    arrivals += 1;
+                    // Transfer states reserve the departing slot (model
+                    // boundary: q_{Q->Q-1} loses arrivals).
+                    let room = if in_transfer {
+                        self.capacity - 1
+                    } else {
+                        self.capacity
+                    };
+                    if queue.len() < room {
+                        queue.push_back(time);
+                    } else {
+                        lost += 1;
+                    }
+                    next_arrival = if arrivals < self.config.max_requests {
+                        self.workload
+                            .next_interarrival(&mut rng)
+                            .map(|gap| time + gap)
+                    } else {
+                        None
+                    };
+                    if arrivals.is_multiple_of(snapshot_every) {
+                        snapshots.push(Snapshot {
+                            time,
+                            energy: occupancy_energy + switch_energy,
+                            completed,
+                            sojourn_sum,
+                        });
+                    }
+                    last_event = SimEvent::Arrival;
+                }
+                NextEvent::Service => {
+                    let arrived = queue.pop_front().expect("service implies a request");
+                    sojourn_sum += time - arrived;
+                    completed += 1;
+                    in_transfer = true;
+                    last_event = SimEvent::ServiceCompletion;
+                }
+                NextEvent::Switch => {
+                    switch_energy += self.sp.switch_energy(mode, command.target);
+                    switches += 1;
+                    mode = command.target;
+                    in_transfer = false;
+                    last_event = SimEvent::SwitchComplete;
+                }
+                NextEvent::Timer => {
+                    last_event = SimEvent::TimerFired;
+                }
+            }
+
+            if next_arrival.is_none() {
+                if kind == NextEvent::Timer {
+                    drain_timer_streak += 1;
+                    if drain_timer_streak > 1_000 {
+                        // The controller is idling on timers with work left
+                        // (e.g. a policy that never wakes): stop the run.
+                        break;
+                    }
+                } else {
+                    drain_timer_streak = 0;
+                }
+                if queue.is_empty() && !in_transfer {
+                    break;
+                }
+            }
+        }
+
+        let duration = time.max(f64::MIN_POSITIVE);
+        let (power_ci, sojourn_ci) = batch_half_widths(
+            &snapshots,
+            Snapshot {
+                time,
+                energy: occupancy_energy + switch_energy,
+                completed,
+                sojourn_sum,
+            },
+        );
+
+        Ok(SimReport {
+            policy: self.controller.name(),
+            seed: self.config.seed,
+            duration,
+            occupancy_energy,
+            switch_energy,
+            queue_integral,
+            arrivals,
+            completed,
+            lost,
+            switches,
+            sojourn_sum,
+            consultations,
+            power_ci,
+            sojourn_ci,
+        })
+    }
+}
+
+/// ~95% batch-means half-widths for average power and average sojourn.
+fn batch_half_widths(snapshots: &[Snapshot], end: Snapshot) -> (Option<f64>, Option<f64>) {
+    let mut points: Vec<Snapshot> = snapshots.to_vec();
+    if points.last().is_none_or(|s| s.time < end.time) {
+        points.push(end);
+    }
+    if points.len() < 4 {
+        return (None, None);
+    }
+    let mut power_means = Vec::new();
+    let mut sojourn_means = Vec::new();
+    let mut previous = Snapshot::default();
+    for s in &points {
+        let dt = s.time - previous.time;
+        if dt > 0.0 {
+            power_means.push((s.energy - previous.energy) / dt);
+        }
+        let dc = s.completed - previous.completed;
+        if dc > 0 {
+            sojourn_means.push((s.sojourn_sum - previous.sojourn_sum) / dc as f64);
+        }
+        previous = *s;
+    }
+    (half_width(&power_means), half_width(&sojourn_means))
+}
+
+fn half_width(batch_means: &[f64]) -> Option<f64> {
+    let k = batch_means.len();
+    if k < 4 {
+        return None;
+    }
+    let mean = batch_means.iter().sum::<f64>() / k as f64;
+    let var = batch_means
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / (k - 1) as f64;
+    // t-quantile ~2 for ~20 batches.
+    Some(2.0 * (var / k as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{AlwaysOnController, GreedyController, TimeoutController};
+    use crate::workload::{PoissonWorkload, TraceWorkload};
+    use dpm_core::SpModel;
+
+    fn sp() -> SpModel {
+        SpModel::dac99_server().unwrap()
+    }
+
+    #[test]
+    fn always_on_matches_mm1k_theory() {
+        let lambda = 1.0 / 6.0;
+        let report = Simulator::new(
+            sp(),
+            5,
+            PoissonWorkload::new(lambda).unwrap(),
+            AlwaysOnController::new(&sp()),
+            SimConfig::new(1).max_requests(50_000),
+        )
+        .run()
+        .unwrap();
+        let theory = dpm_ctmc::birth_death::Mm1k::new(lambda, 1.0 / 1.5, 5).unwrap();
+        assert!(
+            (report.average_queue_length() - theory.mean_customers()).abs()
+                < 0.05 * theory.mean_customers().max(0.1),
+            "queue {} vs theory {}",
+            report.average_queue_length(),
+            theory.mean_customers()
+        );
+        assert!((report.average_power() - 40.0).abs() < 0.01);
+        assert!(
+            (report.average_waiting_time() - theory.mean_waiting_time()).abs()
+                < 0.05 * theory.mean_waiting_time()
+        );
+        assert_eq!(report.arrivals(), 50_000);
+        assert_eq!(report.arrivals(), report.completed() + report.lost());
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let run = || {
+            Simulator::new(
+                sp(),
+                5,
+                PoissonWorkload::new(0.2).unwrap(),
+                GreedyController::new(&sp()).unwrap(),
+                SimConfig::new(77).max_requests(5_000),
+            )
+            .run()
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            Simulator::new(
+                sp(),
+                5,
+                PoissonWorkload::new(0.2).unwrap(),
+                GreedyController::new(&sp()).unwrap(),
+                SimConfig::new(seed).max_requests(5_000),
+            )
+            .run()
+            .unwrap()
+        };
+        assert_ne!(run(1).average_power(), run(2).average_power());
+    }
+
+    #[test]
+    fn greedy_saves_power_versus_always_on() {
+        let config = SimConfig::new(3).max_requests(20_000);
+        let on = Simulator::new(
+            sp(),
+            5,
+            PoissonWorkload::new(1.0 / 6.0).unwrap(),
+            AlwaysOnController::new(&sp()),
+            config,
+        )
+        .run()
+        .unwrap();
+        let greedy = Simulator::new(
+            sp(),
+            5,
+            PoissonWorkload::new(1.0 / 6.0).unwrap(),
+            GreedyController::new(&sp()).unwrap(),
+            config,
+        )
+        .run()
+        .unwrap();
+        assert!(greedy.average_power() < on.average_power());
+        assert!(greedy.average_waiting_time() > on.average_waiting_time());
+        assert!(greedy.switches() > 0);
+    }
+
+    #[test]
+    fn timeout_interpolates_between_greedy_and_always_on() {
+        let config = SimConfig::new(4).max_requests(20_000);
+        let power_of = |timeout| {
+            Simulator::new(
+                sp(),
+                5,
+                PoissonWorkload::new(1.0 / 6.0).unwrap(),
+                TimeoutController::new(&sp(), timeout, 2).unwrap(),
+                config,
+            )
+            .run()
+            .unwrap()
+            .average_power()
+        };
+        let immediate = power_of(0.0);
+        let medium = power_of(6.0);
+        let lazy = power_of(60.0);
+        assert!(immediate < medium, "{immediate} !< {medium}");
+        assert!(medium < lazy, "{medium} !< {lazy}");
+    }
+
+    #[test]
+    fn trace_workload_drains_and_ends() {
+        let report = Simulator::new(
+            sp(),
+            5,
+            TraceWorkload::new(vec![1.0, 1.0, 1.0]).unwrap(),
+            AlwaysOnController::new(&sp()),
+            SimConfig::new(5),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(report.arrivals(), 3);
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.lost(), 0);
+        assert!(report.duration() >= 3.0);
+    }
+
+    #[test]
+    fn max_time_cuts_the_run() {
+        let report = Simulator::new(
+            sp(),
+            5,
+            PoissonWorkload::new(0.5).unwrap(),
+            AlwaysOnController::new(&sp()),
+            SimConfig::new(6).max_requests(1_000_000).max_time(100.0),
+        )
+        .run()
+        .unwrap();
+        assert!((report.duration() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn losses_happen_under_overload() {
+        // Arrivals far faster than service: the finite queue must drop.
+        let report = Simulator::new(
+            sp(),
+            2,
+            PoissonWorkload::new(10.0).unwrap(),
+            AlwaysOnController::new(&sp()),
+            SimConfig::new(7).max_requests(5_000),
+        )
+        .run()
+        .unwrap();
+        assert!(report.lost() > 0);
+        assert!(report.loss_fraction() > 0.5);
+    }
+
+    #[test]
+    fn invalid_initial_mode_is_rejected() {
+        let result = Simulator::new(
+            sp(),
+            5,
+            PoissonWorkload::new(0.2).unwrap(),
+            AlwaysOnController::new(&sp()),
+            SimConfig::new(8).initial_mode(9),
+        )
+        .run();
+        assert!(matches!(result, Err(SimError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        let result = Simulator::new(
+            sp(),
+            0,
+            PoissonWorkload::new(0.2).unwrap(),
+            AlwaysOnController::new(&sp()),
+            SimConfig::new(9),
+        )
+        .run();
+        assert!(matches!(result, Err(SimError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn confidence_intervals_appear_on_long_runs() {
+        let report = Simulator::new(
+            sp(),
+            5,
+            PoissonWorkload::new(1.0 / 6.0).unwrap(),
+            AlwaysOnController::new(&sp()),
+            SimConfig::new(10).max_requests(20_000),
+        )
+        .run()
+        .unwrap();
+        let hw = report.power_half_width().expect("20 batches collected");
+        assert!(hw > 0.0 && hw < 1.0);
+        assert!(report.waiting_half_width().is_some());
+    }
+}

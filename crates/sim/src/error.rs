@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+use dpm_core::DpmError;
+
+/// Error type for simulator construction and runs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration or model parameter was rejected.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A controller issued a command the provider cannot execute (no such
+    /// mode, or no switching path).
+    InvalidCommand {
+        /// The current mode.
+        from: usize,
+        /// The commanded mode.
+        to: usize,
+    },
+    /// The event budget was exhausted — a controller is looping without
+    /// letting simulated time advance.
+    EventBudgetExhausted {
+        /// Events processed.
+        events: u64,
+    },
+    /// A model-layer operation failed (adaptive controllers re-solve
+    /// policies mid-run).
+    Model(DpmError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SimError::InvalidCommand { from, to } => {
+                write!(f, "controller commanded impossible switch {from} -> {to}")
+            }
+            SimError::EventBudgetExhausted { events } => {
+                write!(
+                    f,
+                    "event budget exhausted after {events} events (controller loop?)"
+                )
+            }
+            SimError::Model(e) => write!(f, "model failure: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DpmError> for SimError {
+    fn from(e: DpmError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = SimError::InvalidCommand { from: 1, to: 9 };
+        assert!(e.to_string().contains("1 -> 9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,71 @@
+//! Random-variate generation.
+
+use rand::Rng;
+
+/// Draws an exponentially distributed value with the given `rate`
+/// (mean `1/rate`) by inversion.
+///
+/// # Panics
+///
+/// Panics if `rate` is not positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let x = dpm_sim::exponential(&mut rng, 2.0);
+/// assert!(x > 0.0);
+/// ```
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(
+        rate > 0.0 && rate.is_finite(),
+        "exponential rate {rate} must be positive and finite"
+    );
+    // gen::<f64>() is in [0, 1); flip to (0, 1] so ln() never sees zero.
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mean_matches_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let rate = 0.5;
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| exponential(&mut rng, rate)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 2.0).abs() < 0.02, "sample mean {mean} far from 2.0");
+    }
+
+    #[test]
+    fn values_are_positive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(exponential(&mut rng, 10.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn memoryless_shape() {
+        // P(X > 1) should be about e^-1 for rate 1.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 100_000;
+        let over: usize = (0..n).filter(|_| exponential(&mut rng, 1.0) > 1.0).count();
+        let p = over as f64 / n as f64;
+        assert!((p - (-1.0f64).exp()).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let _ = exponential(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Request workloads: the service-requestor side of the simulation.
+
+use rand_chacha::ChaCha8Rng;
+
+use crate::rng::exponential;
+use crate::SimError;
+
+/// A stream of request inter-arrival times.
+///
+/// Implementors are consulted once per arrival; returning `None` ends the
+/// stream (the simulator then drains the queue and stops).
+pub trait Workload {
+    /// The next inter-arrival time, or `None` when the stream is finished.
+    fn next_interarrival(&mut self, rng: &mut ChaCha8Rng) -> Option<f64>;
+
+    /// The long-run arrival rate, if the workload has one (used by adaptive
+    /// controllers as ground truth in tests).
+    fn nominal_rate(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// A Poisson process: i.i.d. exponential inter-arrival times with rate `λ`
+/// (the paper's SR model).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_sim::workload::{PoissonWorkload, Workload};
+///
+/// # fn main() -> Result<(), dpm_sim::SimError> {
+/// let w = PoissonWorkload::new(1.0 / 6.0)?;
+/// assert_eq!(w.nominal_rate(), Some(1.0 / 6.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonWorkload {
+    lambda: f64,
+}
+
+impl PoissonWorkload {
+    /// Creates a Poisson workload with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless `lambda` is positive and
+    /// finite.
+    pub fn new(lambda: f64) -> Result<Self, SimError> {
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("arrival rate {lambda} must be positive and finite"),
+            });
+        }
+        Ok(PoissonWorkload { lambda })
+    }
+
+    /// Arrival rate `λ`.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Workload for PoissonWorkload {
+    fn next_interarrival(&mut self, rng: &mut ChaCha8Rng) -> Option<f64> {
+        Some(exponential(rng, self.lambda))
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        Some(self.lambda)
+    }
+}
+
+/// A piecewise-Poisson workload: the rate steps through `(duration, λ)`
+/// segments — the drifting input of the adaptive-power-management
+/// experiment. After the last segment the final rate persists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseWorkload {
+    segments: Vec<(f64, f64)>,
+    elapsed: f64,
+}
+
+impl PiecewiseWorkload {
+    /// Creates a workload from `(duration, lambda)` segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an empty segment list or
+    /// non-positive durations/rates.
+    pub fn new(segments: Vec<(f64, f64)>) -> Result<Self, SimError> {
+        if segments.is_empty() {
+            return Err(SimError::InvalidConfig {
+                reason: "piecewise workload needs at least one segment".to_owned(),
+            });
+        }
+        for &(d, l) in &segments {
+            if !(d > 0.0 && d.is_finite() && l > 0.0 && l.is_finite()) {
+                return Err(SimError::InvalidConfig {
+                    reason: format!("invalid segment (duration {d}, rate {l})"),
+                });
+            }
+        }
+        Ok(PiecewiseWorkload {
+            segments,
+            elapsed: 0.0,
+        })
+    }
+
+    /// The rate in force after `elapsed` time.
+    #[must_use]
+    pub fn rate_at(&self, elapsed: f64) -> f64 {
+        let mut boundary = 0.0;
+        for &(d, l) in &self.segments {
+            boundary += d;
+            if elapsed < boundary {
+                return l;
+            }
+        }
+        self.segments.last().expect("validated non-empty").1
+    }
+}
+
+impl Workload for PiecewiseWorkload {
+    fn next_interarrival(&mut self, rng: &mut ChaCha8Rng) -> Option<f64> {
+        // Piecewise-constant-rate Poisson process via per-segment sampling:
+        // draw an exponential at the current rate; if it crosses a segment
+        // boundary, restart the draw from the boundary (valid thinning by
+        // memorylessness).
+        let mut now = self.elapsed;
+        loop {
+            let rate = self.rate_at(now);
+            let draw = exponential(rng, rate);
+            // Find the boundary of the segment containing `now`.
+            let mut boundary = 0.0;
+            let mut next_boundary = None;
+            for &(d, _) in &self.segments {
+                boundary += d;
+                if now < boundary {
+                    next_boundary = Some(boundary);
+                    break;
+                }
+            }
+            match next_boundary {
+                Some(b) if now + draw > b => {
+                    now = b;
+                }
+                _ => {
+                    now += draw;
+                    let gap = now - self.elapsed;
+                    self.elapsed = now;
+                    return Some(gap);
+                }
+            }
+        }
+    }
+}
+
+/// Replays a fixed trace of inter-arrival times, then ends the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceWorkload {
+    gaps: Vec<f64>,
+    position: usize,
+}
+
+impl TraceWorkload {
+    /// Creates a workload replaying `gaps` in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any gap is negative or
+    /// non-finite.
+    pub fn new(gaps: Vec<f64>) -> Result<Self, SimError> {
+        if gaps.iter().any(|g| !(*g >= 0.0 && g.is_finite())) {
+            return Err(SimError::InvalidConfig {
+                reason: "trace gaps must be finite and non-negative".to_owned(),
+            });
+        }
+        Ok(TraceWorkload { gaps, position: 0 })
+    }
+
+    /// Number of arrivals remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.gaps.len() - self.position
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn next_interarrival(&mut self, _rng: &mut ChaCha8Rng) -> Option<f64> {
+        let gap = self.gaps.get(self.position).copied();
+        if gap.is_some() {
+            self.position += 1;
+        }
+        gap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_validates_rate() {
+        assert!(PoissonWorkload::new(0.0).is_err());
+        assert!(PoissonWorkload::new(f64::NAN).is_err());
+        assert!(PoissonWorkload::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn poisson_mean_gap_is_inverse_rate() {
+        let mut w = PoissonWorkload::new(0.25).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 100_000;
+        let total: f64 = (0..n)
+            .map(|_| w.next_interarrival(&mut rng).expect("infinite stream"))
+            .sum();
+        assert!((total / n as f64 - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn piecewise_rate_lookup() {
+        let w = PiecewiseWorkload::new(vec![(10.0, 1.0), (5.0, 2.0)]).unwrap();
+        assert_eq!(w.rate_at(0.0), 1.0);
+        assert_eq!(w.rate_at(9.99), 1.0);
+        assert_eq!(w.rate_at(10.01), 2.0);
+        assert_eq!(w.rate_at(100.0), 2.0);
+    }
+
+    #[test]
+    fn piecewise_rates_shift_mean_gaps() {
+        let mut w = PiecewiseWorkload::new(vec![(1_000.0, 0.1), (1_000.0, 10.0)]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut t = 0.0;
+        let mut early = Vec::new();
+        let mut late = Vec::new();
+        while t < 1_900.0 {
+            let gap = w.next_interarrival(&mut rng).expect("infinite stream");
+            t += gap;
+            if t < 1_000.0 {
+                early.push(gap);
+            } else if t > 1_050.0 {
+                late.push(gap);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&early) > 5.0, "slow phase mean {}", mean(&early));
+        assert!(mean(&late) < 0.5, "fast phase mean {}", mean(&late));
+    }
+
+    #[test]
+    fn piecewise_validates() {
+        assert!(PiecewiseWorkload::new(vec![]).is_err());
+        assert!(PiecewiseWorkload::new(vec![(0.0, 1.0)]).is_err());
+        assert!(PiecewiseWorkload::new(vec![(1.0, -1.0)]).is_err());
+    }
+
+    #[test]
+    fn trace_replays_and_ends() {
+        let mut w = TraceWorkload::new(vec![1.0, 2.5]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(w.remaining(), 2);
+        assert_eq!(w.next_interarrival(&mut rng), Some(1.0));
+        assert_eq!(w.next_interarrival(&mut rng), Some(2.5));
+        assert_eq!(w.next_interarrival(&mut rng), None);
+        assert_eq!(w.remaining(), 0);
+    }
+
+    #[test]
+    fn trace_validates() {
+        assert!(TraceWorkload::new(vec![-1.0]).is_err());
+        assert!(TraceWorkload::new(vec![f64::INFINITY]).is_err());
+    }
+}
+
+/// A jittered periodic workload: one request every `period` seconds plus
+/// uniform jitter in `[-jitter, +jitter]` — the strongly correlated,
+/// almost-deterministic request pattern (frame rendering, sensor polling)
+/// for which the paper notes predictive schemes were designed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicWorkload {
+    period: f64,
+    jitter: f64,
+}
+
+impl PeriodicWorkload {
+    /// Creates the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless `0 ≤ jitter < period` and
+    /// the period is positive and finite.
+    pub fn new(period: f64, jitter: f64) -> Result<Self, SimError> {
+        if !(period > 0.0 && period.is_finite()) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("period {period} must be positive and finite"),
+            });
+        }
+        if !(jitter >= 0.0 && jitter < period) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("jitter {jitter} must be in [0, period)"),
+            });
+        }
+        Ok(PeriodicWorkload { period, jitter })
+    }
+
+    /// The nominal period.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+}
+
+impl Workload for PeriodicWorkload {
+    fn next_interarrival(&mut self, rng: &mut ChaCha8Rng) -> Option<f64> {
+        use rand::Rng as _;
+        let offset = if self.jitter > 0.0 {
+            rng.gen_range(-self.jitter..self.jitter)
+        } else {
+            0.0
+        };
+        Some(self.period + offset)
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        Some(1.0 / self.period)
+    }
+}
+
+#[cfg(test)]
+mod periodic_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_parameters() {
+        assert!(PeriodicWorkload::new(0.0, 0.0).is_err());
+        assert!(PeriodicWorkload::new(2.0, 2.0).is_err());
+        assert!(PeriodicWorkload::new(2.0, -0.1).is_err());
+        assert!(PeriodicWorkload::new(2.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn gaps_stay_within_jitter_band() {
+        let mut w = PeriodicWorkload::new(4.0, 1.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for _ in 0..10_000 {
+            let gap = w.next_interarrival(&mut rng).unwrap();
+            assert!((3.0..5.0).contains(&gap), "gap {gap} outside band");
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_exactly_periodic() {
+        let mut w = PeriodicWorkload::new(2.5, 0.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(18);
+        for _ in 0..100 {
+            assert_eq!(w.next_interarrival(&mut rng), Some(2.5));
+        }
+        assert_eq!(w.nominal_rate(), Some(0.4));
+    }
+
+    #[test]
+    fn mean_gap_matches_period() {
+        let mut w = PeriodicWorkload::new(3.0, 1.5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| w.next_interarrival(&mut rng).unwrap()).sum();
+        assert!((total / n as f64 - 3.0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the event-driven simulator.
+
+use dpm_core::SpModel;
+use dpm_sim::controller::{AlwaysOnController, GreedyController, NPolicyController};
+use dpm_sim::workload::{PoissonWorkload, TraceWorkload};
+use dpm_sim::{SimConfig, Simulator};
+use proptest::prelude::*;
+
+fn sp() -> SpModel {
+    SpModel::dac99_server().expect("paper parameters")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every generated request is either completed or lost
+    /// (the run drains its queue before ending).
+    #[test]
+    fn requests_are_conserved(
+        (seed, lambda, capacity) in (0u64..1_000, 0.05f64..0.6, 1usize..6)
+    ) {
+        let report = Simulator::new(
+            sp(),
+            capacity,
+            PoissonWorkload::new(lambda).expect("positive"),
+            GreedyController::new(&sp()).expect("valid"),
+            SimConfig::new(seed).max_requests(2_000),
+        )
+        .run()
+        .expect("completes");
+        prop_assert_eq!(report.arrivals(), 2_000);
+        prop_assert_eq!(report.completed() + report.lost(), report.arrivals());
+    }
+
+    /// Determinism: identical configuration ⇒ identical report.
+    #[test]
+    fn runs_are_deterministic((seed, n) in (0u64..500, 2usize..5)) {
+        let run = || {
+            Simulator::new(
+                sp(),
+                5,
+                PoissonWorkload::new(0.2).expect("positive"),
+                NPolicyController::new(&sp(), n, 2).expect("valid"),
+                SimConfig::new(seed).max_requests(1_500),
+            )
+            .run()
+            .expect("completes")
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Physicality: time-averaged power lies between the lightest and the
+    /// heaviest mode (plus switching energy), and the queue within [0, Q].
+    #[test]
+    fn metrics_are_physical(
+        (seed, lambda, n) in (0u64..500, 0.05f64..0.5, 1usize..5)
+    ) {
+        let report = Simulator::new(
+            sp(),
+            5,
+            PoissonWorkload::new(lambda).expect("positive"),
+            NPolicyController::new(&sp(), n, 2).expect("valid"),
+            SimConfig::new(seed).max_requests(2_000),
+        )
+        .run()
+        .expect("completes");
+        prop_assert!(report.average_power() >= 0.1 - 1e-9, "below sleep power");
+        prop_assert!(report.average_power() <= 45.0, "above active power + switching");
+        prop_assert!(report.average_queue_length() >= 0.0);
+        prop_assert!(report.average_queue_length() <= 5.0);
+        prop_assert!(report.average_waiting_time() >= 0.0);
+        prop_assert!(report.duration() > 0.0);
+    }
+
+    /// Trace replay: total duration at least the sum of the gaps, and the
+    /// arrival count matches the trace length.
+    #[test]
+    fn trace_replay_is_faithful(
+        gaps in prop::collection::vec(0.1f64..20.0, 5..60)
+    ) {
+        let total: f64 = gaps.iter().sum();
+        let count = gaps.len() as u64;
+        let report = Simulator::new(
+            sp(),
+            5,
+            TraceWorkload::new(gaps).expect("valid gaps"),
+            AlwaysOnController::new(&sp()),
+            SimConfig::new(9),
+        )
+        .run()
+        .expect("completes");
+        prop_assert_eq!(report.arrivals(), count);
+        prop_assert!(report.duration() >= total - 1e-9);
+    }
+
+    /// Monotonicity in N (statistical): deeper thresholds sleep longer, so
+    /// power decreases and queueing increases from N = 1 to N = 4 over a
+    /// long run.
+    #[test]
+    fn n_policy_monotonicity(seed in 0u64..200) {
+        let run = |n: usize| {
+            Simulator::new(
+                sp(),
+                5,
+                PoissonWorkload::new(1.0 / 6.0).expect("positive"),
+                NPolicyController::new(&sp(), n, 2).expect("valid"),
+                SimConfig::new(seed).max_requests(12_000),
+            )
+            .run()
+            .expect("completes")
+        };
+        let shallow = run(1);
+        let deep = run(4);
+        prop_assert!(
+            deep.average_power() < shallow.average_power(),
+            "N=4 power {} !< N=1 power {}",
+            deep.average_power(),
+            shallow.average_power()
+        );
+        prop_assert!(
+            deep.average_queue_length() > shallow.average_queue_length(),
+            "N=4 queue {} !> N=1 queue {}",
+            deep.average_queue_length(),
+            shallow.average_queue_length()
+        );
+    }
+}

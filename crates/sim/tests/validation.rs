@@ -1,0 +1,235 @@
+//! Model-vs-simulation validation: the paper's Section V claim that "the
+//! functional value and the simulated value are almost the same".
+//!
+//! Every test builds a policy, computes its long-run metrics analytically
+//! from the CTMC (the *functional values*), simulates it, and checks
+//! agreement within statistical tolerance.
+
+use dpm_core::{optimize, PmPolicy, PmSystem, SpModel, SrModel};
+use dpm_sim::controller::{NPolicyController, RandomizedController, TableController};
+use dpm_sim::workload::PoissonWorkload;
+use dpm_sim::{SimConfig, Simulator};
+
+fn paper_system(lambda: f64) -> PmSystem {
+    PmSystem::builder()
+        .provider(SpModel::dac99_server().expect("paper parameters are valid"))
+        .requestor(SrModel::poisson(lambda).expect("positive rate"))
+        .capacity(5)
+        .build()
+        .expect("paper system composes")
+}
+
+fn simulate(system: &PmSystem, policy: &PmPolicy, seed: u64, requests: u64) -> dpm_sim::SimReport {
+    Simulator::new(
+        system.provider().clone(),
+        system.capacity(),
+        PoissonWorkload::new(system.requestor().rate()).expect("positive rate"),
+        TableController::new(system, policy).expect("policy matches system"),
+        SimConfig::new(seed).max_requests(requests),
+    )
+    .run()
+    .expect("simulation completes")
+}
+
+#[test]
+fn optimal_policy_functional_values_match_simulation() {
+    let system = paper_system(1.0 / 6.0);
+    let solution = optimize::optimal_policy(&system, 1.0).expect("solvable");
+    let analytic = solution.metrics();
+    let simulated = simulate(&system, solution.policy(), 11, 50_000);
+    assert!(
+        (simulated.average_power() - analytic.power()).abs() < 0.03 * analytic.power(),
+        "power: simulated {} vs functional {}",
+        simulated.average_power(),
+        analytic.power()
+    );
+    assert!(
+        (simulated.average_queue_length() - analytic.queue_length()).abs()
+            < 0.05 * analytic.queue_length().max(0.1),
+        "queue: simulated {} vs functional {}",
+        simulated.average_queue_length(),
+        analytic.queue_length()
+    );
+}
+
+#[test]
+fn n_policy_functional_values_match_simulation() {
+    let system = paper_system(1.0 / 6.0);
+    for n in [1, 3, 5] {
+        let policy = PmPolicy::n_policy(&system, n, 2).expect("valid N-policy");
+        let analytic = system.evaluate(&policy).expect("unichain");
+        let simulated = simulate(&system, &policy, 13 + n as u64, 50_000);
+        assert!(
+            (simulated.average_power() - analytic.power()).abs() < 0.03 * analytic.power(),
+            "N = {n} power: simulated {} vs functional {}",
+            simulated.average_power(),
+            analytic.power()
+        );
+        assert!(
+            (simulated.average_queue_length() - analytic.queue_length()).abs()
+                < 0.05 * analytic.queue_length().max(0.1),
+            "N = {n} queue: simulated {} vs functional {}",
+            simulated.average_queue_length(),
+            analytic.queue_length()
+        );
+    }
+}
+
+#[test]
+fn n_policy_controller_agrees_with_table_form() {
+    // The behavioral N-policy controller and the table-driven PmPolicy
+    // encoding must produce statistically identical systems.
+    let system = paper_system(1.0 / 6.0);
+    let policy = PmPolicy::n_policy(&system, 2, 2).expect("valid N-policy");
+    let table = simulate(&system, &policy, 21, 30_000);
+    let behavioral = Simulator::new(
+        system.provider().clone(),
+        system.capacity(),
+        PoissonWorkload::new(1.0 / 6.0).expect("positive rate"),
+        NPolicyController::new(system.provider(), 2, 2).expect("valid"),
+        SimConfig::new(21).max_requests(30_000),
+    )
+    .run()
+    .expect("simulation completes");
+    // Same seed, same decisions -> identical sample paths.
+    assert_eq!(table.completed(), behavioral.completed());
+    assert!((table.average_power() - behavioral.average_power()).abs() < 1e-12);
+}
+
+#[test]
+fn little_law_holds_in_simulation() {
+    // Table 1's approximation: #waiting ~ lambda_eff * waiting time.
+    let system = paper_system(1.0 / 6.0);
+    let policy = PmPolicy::n_policy(&system, 2, 2).expect("valid N-policy");
+    let report = simulate(&system, &policy, 31, 50_000);
+    let lambda_eff = (report.arrivals() - report.lost()) as f64 / report.duration();
+    let approx = lambda_eff * report.average_waiting_time();
+    let actual = report.average_queue_length();
+    let error = (approx - actual).abs() / actual;
+    assert!(
+        error < 0.05,
+        "Little approximation error {error} (approx {approx}, actual {actual})"
+    );
+}
+
+#[test]
+fn randomized_lp_policy_meets_constraint_in_simulation() {
+    let system = paper_system(1.0 / 6.0);
+    let bound = 1.0;
+    let exact = optimize::constrained_lp(&system, bound).expect("feasible bound");
+    // The LP was solved on a less stiff surrogate; its policy is indexed
+    // identically, so it drives the simulator directly.
+    let report = Simulator::new(
+        system.provider().clone(),
+        system.capacity(),
+        PoissonWorkload::new(1.0 / 6.0).expect("positive rate"),
+        RandomizedController::new(&system, exact.policy()).expect("shapes match"),
+        SimConfig::new(41).max_requests(50_000),
+    )
+    .run()
+    .expect("simulation completes");
+    assert!(
+        report.average_queue_length() < bound * 1.06,
+        "simulated queue {} far above bound {bound}",
+        report.average_queue_length()
+    );
+    assert!(
+        (report.average_power() - exact.power()).abs() < 0.05 * exact.power(),
+        "power: simulated {} vs LP {}",
+        report.average_power(),
+        exact.power()
+    );
+}
+
+#[test]
+fn switch_frequency_matches_analytic() {
+    let system = paper_system(1.0 / 6.0);
+    let policy = PmPolicy::greedy(&system).expect("valid greedy");
+    let analytic = system.evaluate(&policy).expect("unichain");
+    let report = simulate(&system, &policy, 51, 50_000);
+    let simulated_rate = report.switches() as f64 / report.duration();
+    assert!(
+        (simulated_rate - analytic.switch_frequency()).abs() < 0.05 * analytic.switch_frequency(),
+        "switch rate: simulated {simulated_rate} vs functional {}",
+        analytic.switch_frequency()
+    );
+}
+
+#[test]
+fn higher_arrival_rates_need_more_power_under_optimal_policies() {
+    // Shape check across the Figure 5 sweep range: more load means the
+    // optimal policy must spend more power to hold the same queue bound.
+    let mut powers = Vec::new();
+    for denominator in [8.0, 5.0, 3.0] {
+        let lambda = 1.0 / denominator;
+        let system = paper_system(lambda);
+        let solution = optimize::constrained_policy(&system, 1.0).expect("attainable");
+        let report = simulate(&system, solution.policy(), 61, 30_000);
+        assert!(
+            report.average_power() > 0.0 && report.average_power() < 40.0,
+            "power out of range"
+        );
+        powers.push(report.average_power());
+    }
+    assert!(
+        powers[0] < powers[2],
+        "lambda=1/8 power {} should be below lambda=1/3 power {}",
+        powers[0],
+        powers[2]
+    );
+}
+
+#[test]
+fn polling_controller_consultation_rate_scales_with_slice() {
+    // The synchronous wrapper's consultation rate approaches
+    // (1/slice + event rate); halving the slice roughly doubles the
+    // timer-driven share.
+    use dpm_sim::controller::{LumpedTableController, PollingController};
+    let system = paper_system(1.0 / 6.0);
+    let lumped = dpm_core::lumped::LumpedSystem::from_system(&system);
+    let table = lumped
+        .optimal_destinations_constrained(1.0)
+        .expect("feasible bound");
+    let run = |delta: f64| {
+        Simulator::new(
+            system.provider().clone(),
+            system.capacity(),
+            PoissonWorkload::new(1.0 / 6.0).expect("positive rate"),
+            PollingController::new(
+                LumpedTableController::new(system.provider(), system.capacity(), table.clone())
+                    .expect("valid table"),
+                delta,
+            )
+            .expect("valid period"),
+            SimConfig::new(71).max_requests(20_000),
+        )
+        .run()
+        .expect("simulation completes")
+    };
+    let fine = run(0.5);
+    let coarse = run(4.0);
+    assert!(
+        fine.consultation_rate() > coarse.consultation_rate() * 1.8,
+        "fine {} vs coarse {}",
+        fine.consultation_rate(),
+        coarse.consultation_rate()
+    );
+    // Both at least the polling frequency itself.
+    assert!(fine.consultation_rate() > 2.0);
+    assert!(coarse.consultation_rate() > 0.25);
+}
+
+#[test]
+fn asynchronous_optimal_consults_only_on_state_changes() {
+    let system = paper_system(1.0 / 6.0);
+    let solution = dpm_core::optimize::optimal_policy(&system, 1.0).expect("solvable");
+    let report = simulate(&system, solution.policy(), 73, 20_000);
+    // Events per request: arrival + service + a switch or two, plus the
+    // zero-time transfer continuations — each consults once; an
+    // asynchronous PM stays within a small constant per request.
+    let per_request = report.consultations() as f64 / report.arrivals() as f64;
+    assert!(
+        per_request < 6.0,
+        "async PM consulted {per_request} times per request"
+    );
+}

@@ -1,0 +1,73 @@
+//! Adaptive power management under a drifting workload.
+//!
+//! The paper (Section III) notes that the inter-arrival rate of a Poisson
+//! stream can be estimated within ~5% after about 50 events, so "the power
+//! manager can observe and estimate the input rate dynamically, and
+//! adaptively change its policy". This example runs exactly that loop: the
+//! arrival rate steps 1/8 → 1/3 → 1/6 and an adaptive controller
+//! re-estimates λ and re-solves the CTMDP on drift, versus a static
+//! optimal policy solved for the initial rate only.
+//!
+//! Run with `cargo run --release --example adaptive_pm`.
+
+use dpm::model::{optimize, PmSystem, SpModel, SrModel};
+use dpm::sim::controller::{AdaptiveController, TableController};
+use dpm::sim::workload::PiecewiseWorkload;
+use dpm::sim::{SimConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sp = SpModel::dac99_server()?;
+    let capacity = 5;
+    let weight = 1.0;
+    let initial_lambda = 1.0 / 8.0;
+
+    // Three phases of 40,000 s each: light, heavy, medium load.
+    let workload = || {
+        PiecewiseWorkload::new(vec![
+            (40_000.0, 1.0 / 8.0),
+            (40_000.0, 1.0 / 3.0),
+            (40_000.0, 1.0 / 6.0),
+        ])
+    };
+
+    // Static controller: optimal for the initial rate, never updated.
+    let static_system = PmSystem::builder()
+        .provider(sp.clone())
+        .requestor(SrModel::poisson(initial_lambda)?)
+        .capacity(capacity)
+        .build()?;
+    let static_solution = optimize::optimal_policy(&static_system, weight)?;
+    let static_report = Simulator::new(
+        sp.clone(),
+        capacity,
+        workload()?,
+        TableController::new(&static_system, static_solution.policy())?.named("static"),
+        SimConfig::new(7).max_requests(25_000),
+    )
+    .run()?;
+
+    // Adaptive controller: 50-gap window, re-solve every 50 arrivals.
+    let adaptive = AdaptiveController::new(sp.clone(), capacity, weight, initial_lambda, 50, 50)?;
+    let adaptive_report = Simulator::new(
+        sp,
+        capacity,
+        workload()?,
+        adaptive,
+        SimConfig::new(7).max_requests(25_000),
+    )
+    .run()?;
+
+    println!("drifting workload, weight = {weight}:");
+    println!("  {static_report}");
+    println!("  {adaptive_report}");
+    let static_cost = static_report.average_power() + weight * static_report.average_queue_length();
+    let adaptive_cost =
+        adaptive_report.average_power() + weight * adaptive_report.average_queue_length();
+    println!("  weighted cost: static {static_cost:.3} vs adaptive {adaptive_cost:.3}");
+    if adaptive_cost < static_cost {
+        println!("  -> adaptation pays off under drift");
+    } else {
+        println!("  -> the static policy happened to suffice for this drift pattern");
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! A realistic four-mode disk drive (active / idle / standby / sleep)
+//! managed by a CTMDP policy — the kind of device the paper's introduction
+//! motivates ("display servers, communication interfaces ... often
+//! interleaved with long periods of quiescence").
+//!
+//! Sweeps the power/performance frontier, compares against time-out
+//! heuristics at several idle thresholds, and verifies each point by
+//! simulation. Run with `cargo run --release --example disk_drive`.
+
+use dpm::model::{optimize, PmSystem, SpModel, SrModel};
+use dpm::sim::controller::TimeoutController;
+use dpm::sim::workload::PoissonWorkload;
+use dpm::sim::{controller::TableController, SimConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A bursty interactive workload: a request every 2 s on average,
+    // each taking ~8 ms of disk time.
+    let lambda = 0.5;
+    let sp = SpModel::disk_drive()?;
+    println!("{sp}");
+    let system = PmSystem::builder()
+        .provider(sp.clone())
+        .requestor(SrModel::poisson(lambda)?)
+        .capacity(8)
+        .build()?;
+
+    println!("optimal frontier (weight sweep):");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12}",
+        "weight", "power(W)", "queue", "wait(s)"
+    );
+    for weight in [0.001, 0.01, 0.05, 0.2, 1.0, 5.0] {
+        let solution = optimize::optimal_policy(&system, weight)?;
+        let m = solution.metrics();
+        println!(
+            "{weight:>10} {:>10.4} {:>12.4} {:>12.4}",
+            m.power(),
+            m.queue_length(),
+            m.waiting_time()
+        );
+    }
+
+    // Pick a frontier point and verify it end-to-end by simulation.
+    let weight = 0.2;
+    let solution = optimize::optimal_policy(&system, weight)?;
+    let report = Simulator::new(
+        sp.clone(),
+        system.capacity(),
+        PoissonWorkload::new(lambda)?,
+        TableController::new(&system, solution.policy())?.named("ctmdp-optimal"),
+        SimConfig::new(2024).max_requests(50_000),
+    )
+    .run()?;
+    println!("\nsimulated optimal (w = {weight}): {report}");
+    println!(
+        "functional values:              power {:.3} W, queue {:.3}",
+        solution.metrics().power(),
+        solution.metrics().queue_length()
+    );
+
+    // Time-out heuristics for comparison, sleeping into standby.
+    println!("\ntime-out heuristics (simulated):");
+    for timeout in [0.1, 1.0, 5.0] {
+        let report = Simulator::new(
+            sp.clone(),
+            system.capacity(),
+            PoissonWorkload::new(lambda)?,
+            TimeoutController::new(&sp, timeout, 2)?,
+            SimConfig::new(2024).max_requests(50_000),
+        )
+        .run()?;
+        println!("  {report}");
+    }
+    Ok(())
+}

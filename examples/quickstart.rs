@@ -1,0 +1,68 @@
+//! Quickstart: build the paper's three-mode server, solve for the optimal
+//! power-management policy, compare it against heuristics, and emit
+//! Graphviz renderings of the models (the paper's Figures 1 and 2).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use dpm::model::{dot, optimize, PmPolicy, PmSystem, SpModel, SrModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Section V setup: lambda = 1/6, mu = 1/1.5, Q = 5,
+    // switching times/energies from Eqn. (4.1).
+    let system = PmSystem::builder()
+        .provider(SpModel::dac99_server()?)
+        .requestor(SrModel::poisson(1.0 / 6.0)?)
+        .capacity(5)
+        .build()?;
+    println!("{system}");
+
+    // Optimize for a mid-range power/delay weight.
+    let weight = 1.0;
+    let solution = optimize::optimal_policy(&system, weight)?;
+    println!(
+        "optimal policy (w = {weight}): {} in {} policy-iteration rounds",
+        solution.metrics(),
+        solution.iterations()
+    );
+
+    // Print the policy as a decision table.
+    println!("\nstate -> command:");
+    print!("{}", solution.policy().describe(&system)?);
+
+    // Compare with the heuristics of Section V.
+    println!("\nheuristic comparison (analytic):");
+    for (name, policy) in [
+        ("always-on", PmPolicy::always_on(&system, 0)?),
+        ("greedy   ", PmPolicy::greedy(&system)?),
+        ("N = 3    ", PmPolicy::n_policy(&system, 3, 2)?),
+    ] {
+        let m = system.evaluate(&policy)?;
+        println!(
+            "  {name}: {m}  (weighted cost {:.3})",
+            m.power() + weight * m.queue_length()
+        );
+    }
+    println!(
+        "  optimal  : {}  (weighted cost {:.3})",
+        solution.metrics(),
+        solution.metrics().power() + weight * solution.metrics().queue_length()
+    );
+
+    // Figure 1: the SP Markov process under the illustrated policy
+    // {<active, wait>, <waiting, sleep>, <sleeping, wakeup>}.
+    let figure1 = dot::sp_to_dot(system.provider(), &[1, 2, 0])?;
+    println!("\n--- Figure 1 (render with `dot -Tpng`) ---\n{figure1}");
+
+    // Figure 2 generalized: the composed SYS process under the optimal
+    // policy.
+    let figure2 = dot::system_to_dot(&system, solution.policy())?;
+    println!(
+        "--- Figure 2 / SYS process: {} nodes of DOT omitted; first lines ---",
+        system.n_states()
+    );
+    for line in figure2.lines().take(8) {
+        println!("{line}");
+    }
+    println!("...");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! End-to-end reproduction of the Figure 4 frontier as CSV on stdout:
+//! the optimal power/delay trade-off curve (weight sweep) and the five
+//! N-policy points, each with both functional (analytic) and simulated
+//! values.
+//!
+//! Run with `cargo run --release --example tradeoff_sweep > frontier.csv`.
+
+use dpm::model::{optimize, PmPolicy, PmSystem, SpModel, SrModel};
+use dpm::sim::controller::TableController;
+use dpm::sim::workload::PoissonWorkload;
+use dpm::sim::{SimConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = PmSystem::builder()
+        .provider(SpModel::dac99_server()?)
+        .requestor(SrModel::poisson(1.0 / 6.0)?)
+        .capacity(5)
+        .build()?;
+
+    println!("kind,parameter,power_analytic,queue_analytic,power_simulated,queue_simulated");
+
+    let simulate =
+        |policy: &PmPolicy, seed: u64| -> Result<(f64, f64), Box<dyn std::error::Error>> {
+            let report = Simulator::new(
+                system.provider().clone(),
+                system.capacity(),
+                PoissonWorkload::new(1.0 / 6.0)?,
+                TableController::new(&system, policy)?,
+                SimConfig::new(seed).max_requests(50_000),
+            )
+            .run()?;
+            Ok((report.average_power(), report.average_queue_length()))
+        };
+
+    // The optimal frontier: geometric weight sweep.
+    let mut weight = 0.05;
+    let mut seen: Vec<(f64, f64)> = Vec::new();
+    while weight < 200.0 {
+        let solution = optimize::optimal_policy(&system, weight)?;
+        let a = (
+            solution.metrics().power(),
+            solution.metrics().queue_length(),
+        );
+        let duplicate = seen
+            .iter()
+            .any(|&(p, q)| (p - a.0).abs() < 1e-9 && (q - a.1).abs() < 1e-9);
+        if !duplicate {
+            seen.push(a);
+            let (sp, sq) = simulate(solution.policy(), 100 + seen.len() as u64)?;
+            println!("optimal,{weight:.4},{:.4},{:.4},{sp:.4},{sq:.4}", a.0, a.1);
+        }
+        weight *= 1.25;
+    }
+
+    // The N-policy points.
+    for n in 1..=5 {
+        let policy = PmPolicy::n_policy(&system, n, 2)?;
+        let m = system.evaluate(&policy)?;
+        let (sp, sq) = simulate(&policy, 200 + n as u64)?;
+        println!(
+            "n-policy,{n},{:.4},{:.4},{sp:.4},{sq:.4}",
+            m.power(),
+            m.queue_length()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of Qiu & Pedram (DAC 1999) plus the
+# ablations, writing each experiment's output under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BINARIES=(fig4 table1 fig5 validate_model ablate_solvers ablate_transfer_states \
+          ablate_constrained ablate_discounted ablate_synchronous adaptive heuristics)
+cargo build --release -p dpm-bench --bins
+for bin in "${BINARIES[@]}"; do
+    echo "=== $bin ==="
+    "./target/release/$bin" | tee "results/$bin.txt"
+done
+echo "All experiment outputs written to results/."

@@ -1,0 +1,57 @@
+//! # dpm — Dynamic Power Management via Continuous-Time Markov Decision Processes
+//!
+//! A from-scratch Rust implementation of **Qiu & Pedram, "Dynamic Power
+//! Management Based on Continuous-Time Markov Decision Processes"
+//! (DAC 1999)**: the system model (service provider / queue / requestor
+//! with transfer states), the policy-iteration optimizer, the LP and
+//! heuristic baselines, and the event-driven simulator used to validate
+//! everything.
+//!
+//! This crate is a facade re-exporting the workspace layers:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`linalg`] | `dpm-linalg` | dense matrices, LU, Kronecker algebra |
+//! | [`ctmc`] | `dpm-ctmc` | Markov chains: generators, stationary/transient analysis, rewards |
+//! | [`lp`] | `dpm-lp` | two-phase primal simplex |
+//! | [`mdp`] | `dpm-mdp` | CTMDP/DTMDP solvers: policy iteration (unichain & multichain), value iteration, occupation-measure LPs |
+//! | [`model`] | `dpm-core` | the paper's power-management model and policy optimization |
+//! | [`sim`] | `dpm-sim` | the event-driven simulator, workloads and controllers |
+//!
+//! # Quickstart
+//!
+//! Optimize a power-management policy for the paper's three-mode server
+//! and check it beats the greedy heuristic on weighted cost:
+//!
+//! ```
+//! use dpm::model::{optimize, PmPolicy, PmSystem, SpModel, SrModel};
+//!
+//! # fn main() -> Result<(), dpm::model::DpmError> {
+//! let system = PmSystem::builder()
+//!     .provider(SpModel::dac99_server()?)
+//!     .requestor(SrModel::poisson(1.0 / 6.0)?)
+//!     .capacity(5)
+//!     .build()?;
+//! let weight = 1.0;
+//! let optimal = optimize::optimal_policy(&system, weight)?;
+//! let greedy = system.evaluate(&PmPolicy::greedy(&system)?)?;
+//! let optimal_cost =
+//!     optimal.metrics().power() + weight * optimal.metrics().queue_length();
+//! let greedy_cost = greedy.power() + weight * greedy.queue_length();
+//! assert!(optimal_cost <= greedy_cost);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios and the
+//! `dpm-bench` crate for the binaries that regenerate every table and
+//! figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use dpm_core as model;
+pub use dpm_ctmc as ctmc;
+pub use dpm_linalg as linalg;
+pub use dpm_lp as lp;
+pub use dpm_mdp as mdp;
+pub use dpm_sim as sim;

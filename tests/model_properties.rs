@@ -1,0 +1,171 @@
+//! Property-based tests of the composed power-management model over
+//! randomly generated providers and workloads.
+
+use dpm::model::{optimize, tensor, PmPolicy, PmSystem, SpModel, SrModel};
+use proptest::prelude::*;
+
+/// Random provider: one active mode plus 1–2 inactive modes, fully
+/// connected switches with random times and energies.
+fn random_provider() -> impl Strategy<Value = SpModel> {
+    (
+        0.2f64..3.0,                                                // service rate
+        1.0f64..50.0,                                               // active power
+        prop::collection::vec((0.01f64..2.0, 0.0f64..20.0), 2..=6), // switch (time, energy) pool
+        1usize..=2,                                                 // number of inactive modes
+        0.01f64..5.0,                                               // inactive power scale
+    )
+        .prop_map(|(mu, pow_active, switches, n_inactive, pow_scale)| {
+            let mut b = SpModel::builder();
+            b.mode("active", mu, pow_active);
+            for k in 0..n_inactive {
+                b.mode(format!("inactive{k}"), 0.0, pow_scale * (k as f64 + 0.1));
+            }
+            let n = 1 + n_inactive;
+            let mut pool = switches.into_iter().cycle();
+            for from in 0..n {
+                for to in 0..n {
+                    if from != to {
+                        let (time, energy) = pool.next().expect("cycled pool");
+                        b.switch_time(from, to, time)
+                            .expect("positive time")
+                            .energy(from, to, energy)
+                            .expect("non-negative energy");
+                    }
+                }
+            }
+            b.build().expect("valid random provider")
+        })
+}
+
+fn random_system() -> impl Strategy<Value = PmSystem> {
+    (random_provider(), 0.05f64..1.5, 2usize..=5).prop_map(|(sp, lambda, capacity)| {
+        PmSystem::builder()
+            .provider(sp)
+            .requestor(SrModel::poisson(lambda).expect("positive rate"))
+            .capacity(capacity)
+            .build()
+            .expect("valid random system")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn state_indexing_is_a_bijection(system in random_system()) {
+        for i in 0..system.n_states() {
+            prop_assert_eq!(system.index_of(system.state(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn action_sets_are_nonempty_and_valid(system in random_system()) {
+        let sp = system.provider();
+        for i in 0..system.n_states() {
+            let dests = system.action_destinations(i);
+            prop_assert!(!dests.is_empty());
+            let mode = system.state(i).mode();
+            for &d in dests {
+                prop_assert!(sp.can_switch(mode, d));
+            }
+        }
+    }
+
+    #[test]
+    fn policy_chains_are_valid_generators(system in random_system()) {
+        // Every named policy induces a validated generator with the right
+        // dimension.
+        for policy in [
+            PmPolicy::greedy(&system).expect("valid"),
+            PmPolicy::always_on(&system, 0).expect("mode 0 is active"),
+        ] {
+            let g = system.generator_for(&policy).expect("valid chain");
+            prop_assert_eq!(g.n_states(), system.n_states());
+        }
+    }
+
+    #[test]
+    fn greedy_metrics_are_physical(system in random_system()) {
+        let m = system
+            .evaluate(&PmPolicy::greedy(&system).expect("valid"))
+            .expect("evaluable");
+        let sp = system.provider();
+        let max_power = (0..sp.n_modes()).fold(0.0f64, |acc, s| acc.max(sp.power(s)));
+        // Power bounded by occupancy max plus switching overhead; queue
+        // within [0, Q]; loss below lambda.
+        prop_assert!(m.power() >= 0.0);
+        prop_assert!(m.queue_length() >= -1e-9);
+        prop_assert!(m.queue_length() <= system.capacity() as f64 + 1e-9);
+        prop_assert!(m.loss_rate() >= -1e-9);
+        prop_assert!(m.loss_rate() <= system.requestor().rate() + 1e-9);
+        prop_assert!(m.power() < max_power * 3.0 + 100.0, "power {} absurd", m.power());
+    }
+
+    #[test]
+    fn optimal_weighted_cost_beats_heuristics(system in random_system()) {
+        let weight = 1.0;
+        let optimal = optimize::optimal_policy(&system, weight).expect("solvable");
+        let optimal_cost =
+            optimal.metrics().power() + weight * optimal.metrics().queue_length();
+        for heuristic in [
+            PmPolicy::greedy(&system).expect("valid"),
+            PmPolicy::always_on(&system, 0).expect("valid"),
+        ] {
+            let m = system.evaluate(&heuristic).expect("evaluable");
+            let cost = m.power() + weight * m.queue_length();
+            prop_assert!(
+                optimal_cost <= cost + 1e-6 * (1.0 + cost),
+                "optimal {optimal_cost} vs heuristic {cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_is_monotone_on_random_systems(system in random_system()) {
+        let frontier =
+            optimize::sweep(&system, &[0.1, 1.0, 10.0]).expect("solvable");
+        for pair in frontier.windows(2) {
+            prop_assert!(
+                pair[1].metrics().queue_length()
+                    <= pair[0].metrics().queue_length() + 1e-7
+            );
+            prop_assert!(
+                pair[1].metrics().power() >= pair[0].metrics().power() - 1e-7
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_composition_matches_direct_assembly(system in random_system()) {
+        // The wake-up command (mode 0, active by construction) is valid in
+        // every state of every random system, so the pure tensor form
+        // applies.
+        let composed = tensor::compose_uniform(&system, 0).expect("wake composes");
+        let direct = system
+            .generator_for(&tensor::uniform_policy(&system, 0).expect("valid"))
+            .expect("valid chain");
+        let diff = &composed - direct.matrix();
+        prop_assert!(diff.max_abs() < 1e-6 * (1.0 + system.instant_rate()));
+    }
+
+    #[test]
+    fn evaluation_matches_ctmdp_gain(system in random_system()) {
+        // The analysis module's weighted metrics equal the CTMDP gain of
+        // the same policy under the same weight.
+        let weight = 0.7;
+        let policy = PmPolicy::greedy(&system).expect("valid");
+        let metrics = system.evaluate(&policy).expect("evaluable");
+        let mdp = system.ctmdp(weight).expect("valid weight");
+        let eval = dpm::mdp::average::evaluate_multichain(
+            &mdp,
+            &policy.to_mdp_policy(&system).expect("valid"),
+        )
+        .expect("evaluable");
+        let expected = metrics.power() + weight * metrics.queue_length();
+        let gain = eval.gains()[system.initial_state_index()];
+        prop_assert!(
+            (gain - expected).abs() < 1e-6 * (1.0 + expected.abs()),
+            "gain {gain} vs metrics {expected}"
+        );
+    }
+}

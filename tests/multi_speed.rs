@@ -1,0 +1,140 @@
+//! Multi-speed (DVS-style) provider: the paper's general model with more
+//! than one active mode, exercising action constraint (3) and
+//! load-dependent speed selection.
+
+use dpm::model::{optimize, PmSystem, SpModel, SrModel, SysState};
+
+fn dvs_system(lambda: f64) -> PmSystem {
+    PmSystem::builder()
+        .provider(SpModel::dvs_server().expect("valid preset"))
+        .requestor(SrModel::poisson(lambda).expect("positive rate"))
+        .capacity(4)
+        .build()
+        .expect("valid composition")
+}
+
+#[test]
+fn constraint_3_forbids_slowing_down_at_full_transfer() {
+    let sys = dvs_system(0.3);
+    // Fast mode (0) at the full-queue transfer: may stay or go... but not
+    // switch to the slower active mode (1).
+    let full_transfer = sys
+        .index_of(SysState::Transfer {
+            mode: 0,
+            departing: 4,
+        })
+        .expect("exists");
+    let dests = sys.action_destinations(full_transfer);
+    assert!(dests.contains(&0), "staying fast is legal");
+    assert!(!dests.contains(&1), "slowing down at a full queue is not");
+    // The slow mode may speed up there.
+    let slow_transfer = sys
+        .index_of(SysState::Transfer {
+            mode: 1,
+            departing: 4,
+        })
+        .expect("exists");
+    assert!(sys.action_destinations(slow_transfer).contains(&0));
+}
+
+#[test]
+fn below_capacity_transfers_may_downshift() {
+    let sys = dvs_system(0.3);
+    let transfer = sys
+        .index_of(SysState::Transfer {
+            mode: 0,
+            departing: 2,
+        })
+        .expect("exists");
+    assert!(sys.action_destinations(transfer).contains(&1));
+}
+
+#[test]
+fn both_active_modes_get_transfer_states() {
+    let sys = dvs_system(0.3);
+    // 3 modes x 5 stable + 2 active modes x 4 transfer.
+    assert_eq!(sys.n_states(), 15 + 8);
+}
+
+#[test]
+fn optimizer_prefers_slow_service_under_light_load() {
+    // Light load with moderate delay weight: the slow mode's 18 W beat the
+    // fast mode's 50 W; the policy should serve at least partly slow.
+    let sys = dvs_system(0.05);
+    let solution = optimize::optimal_policy(&sys, 1.0).expect("solvable");
+    let uses_slow = (0..sys.n_states())
+        .any(|i| sys.state(i).requests_present() > 0 && solution.policy().destination(i) == 1);
+    assert!(
+        uses_slow,
+        "light-load optimum should route some service through the slow mode"
+    );
+    // And it must be cheaper than the fast-only always-on bound.
+    assert!(solution.metrics().power() < 50.0 * 0.2);
+}
+
+#[test]
+fn optimizer_uses_fast_service_under_heavy_load_pressure() {
+    // Heavy load with a strong delay weight: serving slowly queues too
+    // much; the optimum leans on the fast mode.
+    let sys = dvs_system(0.35);
+    let solution = optimize::optimal_policy(&sys, 50.0).expect("solvable");
+    let metrics_fast_needed = solution.metrics();
+    // Queue stays short only if the fast mode dominates service.
+    assert!(
+        metrics_fast_needed.queue_length() < 1.5,
+        "queue {} too long for a delay-averse optimum",
+        metrics_fast_needed.queue_length()
+    );
+    let busy_fast = (0..sys.n_states())
+        .filter(|&i| matches!(sys.state(i), SysState::Stable { mode: 0, jobs } if jobs >= 2));
+    for i in busy_fast {
+        assert_eq!(
+            solution.policy().destination(i),
+            0,
+            "delay-averse optimum should keep serving fast when busy"
+        );
+    }
+}
+
+#[test]
+fn frontier_is_monotone_for_dvs_server_too() {
+    let sys = dvs_system(0.2);
+    let frontier = optimize::sweep(&sys, &[0.2, 1.0, 5.0, 25.0]).expect("solvable");
+    for pair in frontier.windows(2) {
+        assert!(pair[1].metrics().queue_length() <= pair[0].metrics().queue_length() + 1e-9);
+        assert!(pair[1].metrics().power() >= pair[0].metrics().power() - 1e-9);
+    }
+}
+
+#[test]
+fn analytic_and_simulated_agree_for_dvs() {
+    use dpm::sim::controller::TableController;
+    use dpm::sim::workload::PoissonWorkload;
+    use dpm::sim::{SimConfig, Simulator};
+
+    let sys = dvs_system(0.25);
+    let solution = optimize::optimal_policy(&sys, 2.0).expect("solvable");
+    let report = Simulator::new(
+        sys.provider().clone(),
+        sys.capacity(),
+        PoissonWorkload::new(0.25).expect("positive rate"),
+        TableController::new(&sys, solution.policy()).expect("valid"),
+        SimConfig::new(777).max_requests(40_000),
+    )
+    .run()
+    .expect("simulation completes");
+    assert!(
+        (report.average_power() - solution.metrics().power()).abs()
+            < 0.03 * solution.metrics().power(),
+        "power: sim {} vs fn {}",
+        report.average_power(),
+        solution.metrics().power()
+    );
+    assert!(
+        (report.average_queue_length() - solution.metrics().queue_length()).abs()
+            < 0.06 * solution.metrics().queue_length().max(0.05),
+        "queue: sim {} vs fn {}",
+        report.average_queue_length(),
+        solution.metrics().queue_length()
+    );
+}

@@ -1,0 +1,154 @@
+//! The paper's headline experimental claims, asserted as integration tests
+//! (fast variants of the `dpm-bench` binaries; see EXPERIMENTS.md for the
+//! full-scale runs).
+
+use dpm::model::{optimize, PmPolicy, PmSystem, SpModel, SrModel};
+use dpm::sim::controller::{GreedyController, TableController, TimeoutController};
+use dpm::sim::workload::PoissonWorkload;
+use dpm::sim::{SimConfig, SimReport, Simulator};
+
+fn system_at(lambda: f64) -> PmSystem {
+    PmSystem::builder()
+        .provider(SpModel::dac99_server().expect("paper parameters"))
+        .requestor(SrModel::poisson(lambda).expect("positive rate"))
+        .capacity(5)
+        .build()
+        .expect("valid composition")
+}
+
+fn simulate(system: &PmSystem, policy: &PmPolicy, seed: u64) -> SimReport {
+    Simulator::new(
+        system.provider().clone(),
+        system.capacity(),
+        PoissonWorkload::new(system.requestor().rate()).expect("positive rate"),
+        TableController::new(system, policy).expect("valid policy"),
+        SimConfig::new(seed).max_requests(30_000),
+    )
+    .run()
+    .expect("simulation completes")
+}
+
+/// Figure 4's claim: the optimal trade-off curve lies on or below every
+/// N-policy point (weighted-cost dominance at every weight).
+#[test]
+fn figure4_optimal_curve_dominates_n_policies() {
+    let system = system_at(1.0 / 6.0);
+    let weights = [0.1, 0.5, 1.0, 1.5, 2.0, 5.0, 60.0];
+    let frontier: Vec<_> = weights
+        .iter()
+        .map(|&w| optimize::optimal_policy(&system, w).expect("solvable"))
+        .collect();
+    for n in 1..=5 {
+        let np = system
+            .evaluate(&PmPolicy::n_policy(&system, n, 2).expect("valid"))
+            .expect("unichain");
+        for solution in &frontier {
+            let w = solution.weight();
+            let optimal_cost = solution.metrics().power() + w * solution.metrics().queue_length();
+            let np_cost = np.power() + w * np.queue_length();
+            assert!(
+                optimal_cost <= np_cost + 1e-6,
+                "N = {n} beats the optimum at w = {w}"
+            );
+        }
+    }
+}
+
+/// Table 1's claim: the Little's-law approximation error stays within ~5%.
+#[test]
+fn table1_littles_law_error_within_bounds() {
+    for denominator in [8.0, 6.0, 4.0] {
+        let lambda = 1.0 / denominator;
+        let system = system_at(lambda);
+        let solution = optimize::constrained_policy(&system, 1.0).expect("attainable");
+        let report = simulate(&system, solution.policy(), 42);
+        let approx = lambda * report.average_waiting_time();
+        let actual = report.average_queue_length();
+        let error = (approx - actual).abs() / actual;
+        assert!(
+            error < 0.05,
+            "lambda = 1/{denominator}: approximation error {error}"
+        );
+    }
+}
+
+/// Figure 5's claim: among policies meeting the waiting-time constraint,
+/// the CTMDP-optimal one dissipates the least power.
+#[test]
+fn figure5_optimal_wins_among_constraint_satisfying_policies() {
+    let denominator = 6.0;
+    let lambda = 1.0 / denominator;
+    let system = system_at(lambda);
+    let solution = optimize::constrained_policy(&system, 1.0).expect("attainable");
+    let optimal = simulate(&system, solution.policy(), 43);
+    // The queue-length proxy for the waiting-time constraint carries the
+    // Little's-law approximation error Table 1 quantifies (~5%).
+    let limit = denominator * 1.05;
+    assert!(
+        optimal.average_waiting_time() <= limit,
+        "optimal violates its own constraint: {} > {limit}",
+        optimal.average_waiting_time()
+    );
+
+    // Heuristics: any that meets the constraint must burn at least as much
+    // power.
+    let heuristics: Vec<SimReport> = vec![
+        Simulator::new(
+            system.provider().clone(),
+            system.capacity(),
+            PoissonWorkload::new(lambda).expect("rate"),
+            GreedyController::new(system.provider()).expect("valid"),
+            SimConfig::new(44).max_requests(30_000),
+        )
+        .run()
+        .expect("completes"),
+        Simulator::new(
+            system.provider().clone(),
+            system.capacity(),
+            PoissonWorkload::new(lambda).expect("rate"),
+            TimeoutController::new(system.provider(), 1.0, 2).expect("valid"),
+            SimConfig::new(45).max_requests(30_000),
+        )
+        .run()
+        .expect("completes"),
+        Simulator::new(
+            system.provider().clone(),
+            system.capacity(),
+            PoissonWorkload::new(lambda).expect("rate"),
+            TimeoutController::new(system.provider(), denominator, 2).expect("valid"),
+            SimConfig::new(46).max_requests(30_000),
+        )
+        .run()
+        .expect("completes"),
+    ];
+    for report in &heuristics {
+        if report.average_waiting_time() <= limit {
+            assert!(
+                optimal.average_power() <= report.average_power() + 0.25,
+                "{} satisfies the constraint with less power ({} vs {})",
+                report.policy(),
+                report.average_power(),
+                optimal.average_power()
+            );
+        }
+    }
+}
+
+/// The switching-traffic argument: the asynchronous optimal policy issues
+/// far fewer mode switches than an eager heuristic at comparable service.
+#[test]
+fn optimal_policy_switches_less_than_short_timeout() {
+    let system = system_at(1.0 / 6.0);
+    let solution = optimize::optimal_policy(&system, 1.0).expect("solvable");
+    let optimal = simulate(&system, solution.policy(), 47);
+    let eager = Simulator::new(
+        system.provider().clone(),
+        system.capacity(),
+        PoissonWorkload::new(1.0 / 6.0).expect("rate"),
+        TimeoutController::new(system.provider(), 0.0, 2).expect("valid"),
+        SimConfig::new(47).max_requests(30_000),
+    )
+    .run()
+    .expect("completes");
+    assert!(optimal.switches() < eager.switches());
+}
