@@ -1,0 +1,131 @@
+//! Scaling study: sparse CSR assembly + matrix-free stationary solve vs
+//! dense assembly + LU as the SYS state space grows.
+//!
+//! The SYS chain has O(1) transitions per state, so the sparse generator
+//! holds O(n) entries where the dense one holds n². This binary sweeps the
+//! queue capacity for the paper's 3-mode server and a 5-mode DVS-style
+//! device, timing both pipelines end to end (assembly + solve) and
+//! reporting their agreement where both run. The dense pipeline is skipped
+//! at the largest capacity, where materializing and factoring the n × n
+//! matrix is the point being avoided.
+//!
+//! Run with `cargo run --release -p dpm-bench --bin scaling`.
+
+use std::time::Instant;
+
+use dpm_bench::{row, rule};
+use dpm_core::{DpmError, PmPolicy, PmSystem, SpModel, SrModel};
+use dpm_ctmc::stationary::{self, Method};
+
+/// Largest capacity in the sweep; dense LU is skipped there.
+const DENSE_SKIP_CAPACITY: usize = 500;
+
+/// A five-mode device: two active speeds plus three sleep depths, fully
+/// connected, in the style of the paper's general model.
+fn five_mode_server() -> Result<SpModel, DpmError> {
+    let mut b = SpModel::builder();
+    b.mode("fast", 1.0, 50.0);
+    b.mode("slow", 0.4, 18.0);
+    b.mode("idle", 0.0, 5.0);
+    b.mode("standby", 0.0, 1.0);
+    b.mode("sleep", 0.0, 0.2);
+    let times = [
+        // from -> to, mean switch time, energy
+        (0, 1, 0.05, 0.1),
+        (1, 0, 0.05, 0.2),
+        (0, 2, 0.1, 0.2),
+        (2, 0, 0.2, 1.0),
+        (0, 3, 0.2, 0.4),
+        (3, 0, 0.6, 4.0),
+        (0, 4, 0.3, 0.6),
+        (4, 0, 1.1, 11.0),
+        (1, 2, 0.1, 0.15),
+        (2, 1, 0.18, 0.8),
+        (1, 3, 0.2, 0.3),
+        (3, 1, 0.55, 3.2),
+        (1, 4, 0.3, 0.5),
+        (4, 1, 1.0, 9.0),
+        (2, 3, 0.15, 0.1),
+        (3, 2, 0.2, 0.5),
+        (2, 4, 0.25, 0.2),
+        (4, 2, 0.9, 7.0),
+        (3, 4, 0.2, 0.1),
+        (4, 3, 0.7, 5.0),
+    ];
+    for (from, to, time, energy) in times {
+        b.switch_time(from, to, time)?.energy(from, to, energy)?;
+    }
+    b.build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let widths = [8usize, 8, 8, 12, 12, 10, 12];
+    println!("Scaling — sparse (CSR + Gauss-Seidel) vs dense (LU) stationary pipeline");
+    println!("Policy: greedy; times include generator assembly.\n");
+
+    let providers: [(&str, SpModel); 2] = [
+        ("3-mode", SpModel::dac99_server()?),
+        ("5-mode", five_mode_server()?),
+    ];
+
+    for (name, sp) in providers {
+        println!("{name} provider");
+        row(
+            &[
+                "Q".into(),
+                "states".into(),
+                "nnz".into(),
+                "dense (ms)".into(),
+                "sparse (ms)".into(),
+                "speedup".into(),
+                "max |diff|".into(),
+            ],
+            &widths,
+        );
+        rule(&widths);
+
+        for capacity in [5usize, 50, 200, 500] {
+            let system = PmSystem::builder()
+                .provider(sp.clone())
+                .requestor(SrModel::poisson(1.0 / 6.0)?)
+                .capacity(capacity)
+                .build()?;
+            let policy = PmPolicy::greedy(&system)?;
+
+            let start = Instant::now();
+            let sparse = system.sparse_generator_for(&policy)?;
+            let pi_sparse = stationary::solve_sparse(&sparse, Method::Iterative)?;
+            let sparse_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            let (dense_text, speedup_text, diff_text) = if capacity >= DENSE_SKIP_CAPACITY {
+                ("skipped".into(), "-".into(), "-".into())
+            } else {
+                let start = Instant::now();
+                let dense = system.generator_for(&policy)?;
+                let pi_dense = stationary::solve(&dense, Method::Lu)?;
+                let dense_ms = start.elapsed().as_secs_f64() * 1e3;
+                let diff = (&pi_sparse - &pi_dense).norm_inf();
+                (
+                    format!("{dense_ms:.2}"),
+                    format!("{:.1}x", dense_ms / sparse_ms),
+                    format!("{diff:.2e}"),
+                )
+            };
+
+            row(
+                &[
+                    format!("{capacity}"),
+                    format!("{}", system.n_states()),
+                    format!("{}", sparse.nnz()),
+                    dense_text,
+                    format!("{sparse_ms:.2}"),
+                    speedup_text,
+                    diff_text,
+                ],
+                &widths,
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

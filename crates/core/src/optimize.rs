@@ -237,7 +237,10 @@ pub fn constrained_lp(
     // conditioning. Re-posing the model with a gentler surrogate costs the
     // same O(μ/rate) modeling error the surrogate always has, while keeping
     // the simplex accurate.
-    let lp_system = system.with_instant_rate(1_000.0 * system.provider().max_rate())?;
+    let lp_system = system
+        .to_builder()
+        .instant_rate(1_000.0 * system.provider().max_rate())
+        .build()?;
     let mdp = lp_system.ctmdp(0.0)?; // cost = power only
     let delay = lp_system.delay_costs();
     match dpm_mdp::lp::solve_constrained_average(&mdp, &delay, max_queue_length) {

@@ -324,20 +324,49 @@ impl PmSystem {
         b.build().map_err(DpmError::Mdp)
     }
 
+    /// Returns a builder pre-populated with this system's components —
+    /// the supported way to re-pose a system with different parameters
+    /// (most commonly [`PmSystemBuilder::instant_rate`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_core::{PmSystem, SpModel, SrModel};
+    ///
+    /// # fn main() -> Result<(), dpm_core::DpmError> {
+    /// let system = PmSystem::builder()
+    ///     .provider(SpModel::dac99_server()?)
+    ///     .requestor(SrModel::poisson(1.0 / 6.0)?)
+    ///     .capacity(5)
+    ///     .build()?;
+    /// let gentler = system.to_builder().instant_rate(1e3).build()?;
+    /// assert_eq!(gentler.n_states(), system.n_states());
+    /// assert_eq!(gentler.instant_rate(), 1e3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn to_builder(&self) -> PmSystemBuilder {
+        PmSystemBuilder {
+            sp: Some(self.sp.clone()),
+            sr: Some(self.sr),
+            capacity: Some(self.capacity),
+            instant_rate: Some(self.instant_rate),
+        }
+    }
+
     /// Rebuilds the same system with a different instantaneous-self-switch
-    /// surrogate rate — used by solvers whose numerics prefer a less stiff
-    /// chain (the model error is `O(μ / rate)` in stationary mass).
+    /// surrogate rate.
     ///
     /// # Errors
     ///
     /// As [`PmSystemBuilder::build`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `system.to_builder().instant_rate(rate).build()` instead"
+    )]
     pub fn with_instant_rate(&self, rate: f64) -> Result<PmSystem, DpmError> {
-        PmSystem::builder()
-            .provider(self.sp.clone())
-            .requestor(self.sr)
-            .capacity(self.capacity)
-            .instant_rate(rate)
-            .build()
+        self.to_builder().instant_rate(rate).build()
     }
 
     /// Index of the canonical initial state: empty queue with the SP in its
@@ -427,9 +456,27 @@ impl PmSystemBuilder {
     /// The default [`DEFAULT_INSTANT_RATE`] puts about `μ / rate` of
     /// stationary probability mass in such states (≈10⁻⁶ for the paper's
     /// parameters), far below both simulation noise and the paper's
-    /// reported model-vs-simulation agreement. Lower it (e.g. to `1e3`)
-    /// when feeding the model to iterative solvers that slow down on stiff
-    /// chains.
+    /// reported model-vs-simulation agreement.
+    ///
+    /// # When solvers re-pose the surrogate
+    ///
+    /// The surrogate is a stiffness knob: the model error of lowering it is
+    /// always `O(μ / rate)`, but some solvers cannot tolerate a 1e6-rate
+    /// outlier among O(1) rates. Two situations re-pose the model through
+    /// [`PmSystem::to_builder`] with a gentler rate:
+    ///
+    /// * [`crate::optimize::constrained_lp`] does so internally (to
+    ///   `1000 × max_rate`), because the occupation-measure LP mixes every
+    ///   rate into one constraint matrix and the default surrogate would
+    ///   dominate its conditioning;
+    /// * callers selecting an iterative evaluation backend
+    ///   (`dpm_mdp::average::EvalBackend::SparseIterative`, or
+    ///   `dpm_ctmc::stationary::Method::Power`) should lower it themselves
+    ///   (e.g. to `1e2`), because uniformization-based sweeps take
+    ///   `O(instant_rate / slowest_rate)` iterations to mix. The
+    ///   Gauss–Seidel balance-equation solver behind
+    ///   `dpm_ctmc::stationary::Method::Iterative` relaxes each state
+    ///   against its own exit rate and needs no re-posing.
     #[must_use]
     pub fn instant_rate(mut self, rate: f64) -> Self {
         self.instant_rate = Some(rate);

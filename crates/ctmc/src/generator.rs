@@ -6,7 +6,7 @@ use crate::CtmcError;
 
 /// Validation slack for generator rows: row sums must be within this of zero,
 /// relative to the largest rate magnitude in the row.
-const ROW_SUM_TOL: f64 = 1e-9;
+pub(crate) const ROW_SUM_TOL: f64 = 1e-9;
 
 /// A validated transition-rate (generator) matrix of a continuous-time
 /// Markov chain (paper Eqns. 2.1–2.4).

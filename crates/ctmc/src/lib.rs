@@ -6,10 +6,15 @@
 //! * [`Generator`] — a validated transition-rate (generator) matrix **G**
 //!   (Eqns. 2.1–2.4): off-diagonal entries non-negative, rows summing to
 //!   zero;
+//! * [`SparseGenerator`] — the same invariants over compressed sparse row
+//!   storage, for SYS-level chains whose transition count grows linearly in
+//!   the state count;
 //! * [`stationary`] — limiting-distribution solvers (`πG = 0`, `Σπ = 1`,
-//!   Theorem 2.1) by direct LU solve, by the numerically stable
-//!   Grassmann–Taksar–Heyman elimination, and by power iteration on the
-//!   uniformized chain;
+//!   Theorem 2.1) behind the unified [`stationary::solve`] /
+//!   [`stationary::solve_sparse`] entry points: direct LU, the numerically
+//!   stable Grassmann–Taksar–Heyman elimination, power iteration on the
+//!   uniformized chain, and matrix-free Gauss–Seidel on the balance
+//!   equations ([`stationary::Method`]);
 //! * [`graph`] — communicating classes (Definitions 2.3–2.6) via Tarjan's
 //!   strongly-connected-components algorithm, irreducibility and
 //!   connectivity checks;
@@ -49,6 +54,7 @@ mod generator;
 pub mod graph;
 pub mod hitting;
 pub mod reward;
+pub mod sparse;
 pub mod stationary;
 pub mod transient;
 
@@ -56,3 +62,4 @@ pub use dtmc::Dtmc;
 pub use error::CtmcError;
 pub use generator::{Generator, GeneratorBuilder};
 pub use reward::RewardProcess;
+pub use sparse::SparseGenerator;

@@ -1,0 +1,299 @@
+//! Sparse (CSR-backed) generator matrices.
+//!
+//! A SYS-level generator for a power-managed system has a handful of
+//! transitions per state — an arrival, a departure, and the mode switches —
+//! so its nonzero count grows linearly in the state count while the dense
+//! representation grows quadratically. [`SparseGenerator`] keeps the same
+//! invariants as the dense [`Generator`] (off-diagonal rates non-negative,
+//! rows summing to zero) over a [`CsrMatrix`], and the solvers in
+//! [`crate::stationary`] operate on it without ever materializing a dense
+//! matrix.
+
+use dpm_linalg::{CsrMatrix, DVector};
+
+use crate::{CtmcError, Generator};
+
+/// A validated transition-rate matrix in compressed sparse row storage.
+///
+/// Construction enforces the generator-matrix conditions (Eqns. 2.1–2.4 of
+/// the paper): off-diagonal entries are non-negative and finite, and each
+/// diagonal entry is the negated sum of its row's off-diagonal entries.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_ctmc::SparseGenerator;
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// let g = SparseGenerator::from_transitions(2, &[(0, 1, 1.0), (1, 0, 3.0)])?;
+/// assert_eq!(g.rate(0, 1), 1.0);
+/// assert_eq!(g.exit_rate(1), 3.0);
+/// assert_eq!(g.nnz(), 4); // two rates + two diagonal entries
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseGenerator {
+    /// Full generator including diagonal entries.
+    csr: CsrMatrix,
+    /// Exit rates, `exit[i] = -G[i][i]`.
+    exit: Vec<f64>,
+}
+
+impl SparseGenerator {
+    /// Builds a sparse generator from off-diagonal `(from, to, rate)`
+    /// transitions; diagonal entries are derived. Duplicate transitions
+    /// accumulate, matching [`GeneratorBuilder::add_rate`] semantics.
+    ///
+    /// [`GeneratorBuilder::add_rate`]: crate::GeneratorBuilder::add_rate
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::StateOutOfRange`] for an index `>= n_states` and
+    /// [`CtmcError::InvalidGenerator`] for a self-loop, a negative rate, or
+    /// a non-finite rate.
+    pub fn from_transitions(
+        n_states: usize,
+        transitions: &[(usize, usize, f64)],
+    ) -> Result<SparseGenerator, CtmcError> {
+        let mut triplets = Vec::with_capacity(2 * transitions.len() + n_states);
+        let mut exit = vec![0.0f64; n_states];
+        for &(from, to, rate) in transitions {
+            if from >= n_states || to >= n_states {
+                return Err(CtmcError::StateOutOfRange {
+                    state: from.max(to),
+                    n_states,
+                });
+            }
+            if from == to {
+                return Err(CtmcError::InvalidGenerator {
+                    reason: format!("self-loop rate at state {from}; diagonals are derived"),
+                });
+            }
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(CtmcError::InvalidGenerator {
+                    reason: format!(
+                        "rate {rate} on transition {from} -> {to} must be finite and non-negative"
+                    ),
+                });
+            }
+            if rate > 0.0 {
+                triplets.push((from, to, rate));
+                exit[from] += rate;
+            }
+        }
+        for (i, &e) in exit.iter().enumerate() {
+            if e > 0.0 {
+                triplets.push((i, i, -e));
+            }
+        }
+        let csr = CsrMatrix::from_triplets(n_states, n_states, &triplets)
+            .map_err(CtmcError::Numerical)?;
+        Ok(SparseGenerator { csr, exit })
+    }
+
+    /// Converts a dense generator, keeping only its nonzero entries.
+    #[must_use]
+    pub fn from_generator(generator: &Generator) -> SparseGenerator {
+        let csr = CsrMatrix::from_dense(generator.matrix());
+        let exit = (0..generator.n_states())
+            .map(|i| generator.exit_rate(i))
+            .collect();
+        SparseGenerator { csr, exit }
+    }
+
+    /// Materializes the dense equivalent. `O(n²)` memory — intended for the
+    /// dense-only solvers ([`crate::stationary::Method::Lu`] /
+    /// [`crate::stationary::Method::Gth`]) and for tests; defeats the point
+    /// of sparsity at scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dense generator validation, which cannot fail for a
+    /// `SparseGenerator` built through the checked constructors.
+    pub fn to_generator(&self) -> Result<Generator, CtmcError> {
+        Generator::from_matrix(self.csr.to_dense())
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.csr.nrows()
+    }
+
+    /// Number of stored entries (off-diagonal transitions plus diagonals).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+
+    /// The transition rate from `i` to `j` (`i != j`), or the diagonal entry
+    /// if `i == j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    #[must_use]
+    pub fn rate(&self, i: usize, j: usize) -> f64 {
+        self.csr.get(i, j)
+    }
+
+    /// Total exit rate of state `i`, `-G[i][i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn exit_rate(&self, i: usize) -> f64 {
+        self.exit[i]
+    }
+
+    /// The largest exit rate, used as the uniformization constant base.
+    #[must_use]
+    pub fn max_exit_rate(&self) -> f64 {
+        self.exit.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The underlying CSR matrix (diagonal included).
+    #[must_use]
+    pub fn csr(&self) -> &CsrMatrix {
+        &self.csr
+    }
+
+    /// Iterates over the off-diagonal transitions `(from, to, rate)` with
+    /// `rate > 0`.
+    pub fn transitions(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.csr.iter().filter(|&(i, j, rate)| i != j && rate > 0.0)
+    }
+
+    /// One uniformized step `π ← π P` with `P = I + G/Λ`, computed
+    /// matrix-free as `π + (πG)/Λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != self.n_states()` or `lambda <= 0`.
+    #[must_use]
+    pub fn uniformized_step(&self, pi: &DVector, lambda: f64) -> DVector {
+        assert!(lambda > 0.0, "uniformization constant must be positive");
+        let mut next = self.csr.vec_mul(pi);
+        next.scale_mut(1.0 / lambda);
+        next.axpy(1.0, pi);
+        next
+    }
+
+    /// Maximum absolute row sum — zero (to tolerance) for a valid generator.
+    #[must_use]
+    pub fn max_row_sum_error(&self) -> f64 {
+        let mut max = 0.0f64;
+        for i in 0..self.n_states() {
+            let sum: f64 = self.csr.row(i).map(|(_, v)| v).sum();
+            max = max.max(sum.abs());
+        }
+        max
+    }
+
+    /// Internal consistency check used by tests.
+    #[cfg(test)]
+    pub(crate) fn is_consistent(&self) -> bool {
+        self.exit.len() == self.n_states()
+            && self.csr.is_square()
+            && self.max_row_sum_error()
+                <= crate::generator::ROW_SUM_TOL * (1.0 + self.max_exit_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_state() -> SparseGenerator {
+        SparseGenerator::from_transitions(3, &[(0, 1, 2.0), (1, 2, 1.0), (2, 0, 4.0), (1, 0, 0.5)])
+            .unwrap()
+    }
+
+    #[test]
+    fn rates_and_exits_match_construction() {
+        let g = three_state();
+        assert_eq!(g.rate(0, 1), 2.0);
+        assert_eq!(g.rate(1, 0), 0.5);
+        assert_eq!(g.rate(0, 2), 0.0);
+        assert_eq!(g.exit_rate(1), 1.5);
+        assert_eq!(g.rate(1, 1), -1.5);
+        assert_eq!(g.max_exit_rate(), 4.0);
+        assert!(g.is_consistent());
+    }
+
+    #[test]
+    fn duplicate_transitions_accumulate() {
+        let g = SparseGenerator::from_transitions(2, &[(0, 1, 1.0), (0, 1, 2.0)]).unwrap();
+        assert_eq!(g.rate(0, 1), 3.0);
+        assert_eq!(g.exit_rate(0), 3.0);
+    }
+
+    #[test]
+    fn rejects_invalid_transitions() {
+        assert!(matches!(
+            SparseGenerator::from_transitions(2, &[(0, 2, 1.0)]),
+            Err(CtmcError::StateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            SparseGenerator::from_transitions(2, &[(1, 1, 1.0)]),
+            Err(CtmcError::InvalidGenerator { .. })
+        ));
+        assert!(matches!(
+            SparseGenerator::from_transitions(2, &[(0, 1, -1.0)]),
+            Err(CtmcError::InvalidGenerator { .. })
+        ));
+        assert!(matches!(
+            SparseGenerator::from_transitions(2, &[(0, 1, f64::NAN)]),
+            Err(CtmcError::InvalidGenerator { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_round_trip_preserves_rates() {
+        let g = three_state();
+        let dense = g.to_generator().unwrap();
+        let back = SparseGenerator::from_generator(&dense);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g.rate(i, j) - back.rate(i, j)).abs() < 1e-15);
+            }
+            assert!((g.exit_rate(i) - dense.exit_rate(i)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn transitions_iterate_off_diagonal_only() {
+        let g = three_state();
+        let mut ts: Vec<_> = g.transitions().collect();
+        ts.sort_by_key(|&(i, j, _)| (i, j));
+        assert_eq!(ts, vec![(0, 1, 2.0), (1, 0, 0.5), (1, 2, 1.0), (2, 0, 4.0)]);
+    }
+
+    #[test]
+    fn uniformized_step_preserves_mass() {
+        let g = three_state();
+        let pi = DVector::from_vec(vec![0.2, 0.3, 0.5]);
+        let lambda = 1.05 * g.max_exit_rate();
+        let next = g.uniformized_step(&pi, lambda);
+        assert!((next.sum() - 1.0).abs() < 1e-12);
+        assert!(next.iter().all(|p| p >= 0.0));
+    }
+
+    #[test]
+    fn zero_rate_transitions_are_dropped() {
+        let g =
+            SparseGenerator::from_transitions(3, &[(0, 1, 1.0), (1, 2, 0.0), (1, 0, 1.0)]).unwrap();
+        // (1, 2) contributes nothing; state 2 is absorbing with no row.
+        assert_eq!(g.exit_rate(2), 0.0);
+        assert_eq!(g.nnz(), 4);
+    }
+
+    #[test]
+    fn empty_generator_is_valid() {
+        let g = SparseGenerator::from_transitions(2, &[]).unwrap();
+        assert_eq!(g.nnz(), 0);
+        assert!(g.is_consistent());
+    }
+}

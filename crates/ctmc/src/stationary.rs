@@ -15,17 +15,216 @@
 //!   apart from one dense multiply per step, useful as an independent
 //!   cross-check.
 //!
-//! All three require irreducibility, which callers can check with
+//! All of the above require irreducibility, which callers can check with
 //! [`crate::graph::is_irreducible`]; [`solve_checked`] does so on your
 //! behalf.
+//!
+//! # Unified entry point
+//!
+//! [`solve`] and [`solve_sparse`] select a backend via [`Method`] instead of
+//! calling one of the per-algorithm free functions:
+//!
+//! ```
+//! use dpm_ctmc::{stationary::{self, Method}, Generator};
+//!
+//! # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+//! let g = Generator::builder(2).rate(0, 1, 1.0).rate(1, 0, 3.0).build()?;
+//! for method in [Method::Lu, Method::Gth, Method::Power, Method::Iterative] {
+//!     let pi = stationary::solve(&g, method)?;
+//!     assert!((pi[0] - 0.75).abs() < 1e-8);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The per-algorithm functions ([`solve_lu`], [`solve_gth`], [`solve_power`])
+//! remain as thin wrappers for callers that need algorithm-specific knobs.
 
 use dpm_linalg::DVector;
 
-use crate::{graph, CtmcError, Generator};
+use crate::{graph, CtmcError, Generator, SparseGenerator};
 
 /// Margin applied to the uniformization constant by the GTH and power
 /// solvers.
 const UNIFORMIZATION_MARGIN: f64 = 1.05;
+
+/// Default convergence tolerance (infinity norm of the per-sweep update)
+/// for the iterative methods behind [`Method::Power`] and
+/// [`Method::Iterative`].
+pub const DEFAULT_TOLERANCE: f64 = 1e-12;
+
+/// Default iteration budget for the iterative methods.
+pub const DEFAULT_MAX_ITERATIONS: usize = 1_000_000;
+
+/// Solver backend selector for [`solve`] / [`solve_sparse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// Direct dense LU solve of the balance equations. Exact to rounding;
+    /// `O(n³)` time, `O(n²)` memory.
+    Lu,
+    /// Grassmann–Taksar–Heyman elimination on the uniformized chain.
+    /// Subtraction-free, the most robust choice on stiff chains; same
+    /// asymptotic cost as LU. The default.
+    #[default]
+    Gth,
+    /// Power iteration on the uniformized chain. Matrix-free: `O(nnz)` per
+    /// step on a sparse generator, but the step count grows with the
+    /// chain's stiffness (the uniformization constant is dominated by the
+    /// fastest rate).
+    Power,
+    /// Gauss–Seidel sweeps directly on the balance equations `πG = 0`,
+    /// normalizing each sweep. `O(nnz)` per sweep and robust to stiffness
+    /// (each state is relaxed against its own exit rate), making it the
+    /// method of choice for large sparse-assembled generators.
+    Iterative,
+}
+
+/// Solves `πG = 0`, `Σπ = 1` with the selected backend.
+///
+/// This is the unified entry point; the per-algorithm free functions remain
+/// for algorithm-specific tuning. [`Method::Power`] and [`Method::Iterative`]
+/// run with [`DEFAULT_TOLERANCE`] and [`DEFAULT_MAX_ITERATIONS`].
+///
+/// # Errors
+///
+/// Propagates the selected backend's failure modes: singular systems for
+/// [`Method::Lu`], degenerate elimination for [`Method::Gth`],
+/// non-convergence for the iterative methods.
+pub fn solve(generator: &Generator, method: Method) -> Result<DVector, CtmcError> {
+    match method {
+        Method::Lu => solve_lu(generator),
+        Method::Gth => solve_gth(generator),
+        Method::Power => solve_power(generator, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS),
+        Method::Iterative => solve_sparse(
+            &SparseGenerator::from_generator(generator),
+            Method::Iterative,
+        ),
+    }
+}
+
+/// Solves `πG = 0`, `Σπ = 1` on a sparse generator with the selected
+/// backend.
+///
+/// [`Method::Power`] and [`Method::Iterative`] run entirely on the CSR
+/// representation (`O(nnz)` per sweep); [`Method::Lu`] and [`Method::Gth`]
+/// have no sparse formulation and densify first, which costs `O(n²)` memory
+/// — they are intended for cross-checks at moderate sizes.
+///
+/// # Errors
+///
+/// As [`solve`], plus [`CtmcError::InvalidParameter`] if the chain has an
+/// absorbing state or no transitions (the iterative methods need every
+/// state to have a positive exit rate).
+pub fn solve_sparse(generator: &SparseGenerator, method: Method) -> Result<DVector, CtmcError> {
+    match method {
+        Method::Lu => solve_lu(&generator.to_generator()?),
+        Method::Gth => solve_gth(&generator.to_generator()?),
+        Method::Power => sparse_power(generator, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS),
+        Method::Iterative => {
+            sparse_gauss_seidel(generator, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS)
+        }
+    }
+}
+
+/// Power iteration `π ← π(I + G/Λ)` on the uniformized chain, matrix-free
+/// over the CSR storage.
+fn sparse_power(
+    generator: &SparseGenerator,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<DVector, CtmcError> {
+    let n = generator.n_states();
+    let lambda = UNIFORMIZATION_MARGIN * generator.max_exit_rate();
+    if lambda <= 0.0 {
+        return Err(CtmcError::InvalidParameter {
+            reason: "cannot uniformize a chain with no transitions".to_owned(),
+        });
+    }
+    let mut pi = DVector::constant(n, 1.0 / n as f64);
+    for _ in 0..max_iterations {
+        let next = generator.uniformized_step(&pi, lambda);
+        let update = (&next - &pi).norm_inf();
+        pi = next;
+        if update <= tolerance {
+            return sanitize(pi);
+        }
+    }
+    Err(CtmcError::Numerical(
+        dpm_linalg::LinalgError::NotConverged {
+            iterations: max_iterations,
+            residual: residual_sparse(generator, &pi),
+        },
+    ))
+}
+
+/// Gauss–Seidel on the balance equations: sweep
+/// `π_i ← (Σ_{j≠i} π_j G_{ji}) / exit_i` over the rows of `Gᵀ`,
+/// renormalizing each sweep.
+///
+/// Unlike iterating the uniformized chain, the relaxation divides by each
+/// state's own exit rate, so convergence does not degrade when rates span
+/// many orders of magnitude (the instant-rate surrogate makes SYS
+/// generators exactly that stiff).
+fn sparse_gauss_seidel(
+    generator: &SparseGenerator,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<DVector, CtmcError> {
+    let n = generator.n_states();
+    for i in 0..n {
+        if generator.exit_rate(i) <= 0.0 {
+            return Err(CtmcError::InvalidParameter {
+                reason: format!(
+                    "state {i} has zero exit rate; the iterative solver requires an irreducible chain"
+                ),
+            });
+        }
+    }
+    let transpose = generator.csr().transpose();
+    let mut pi = DVector::constant(n, 1.0 / n as f64);
+    let mut previous = pi.clone();
+    for _ in 0..max_iterations {
+        for i in 0..n {
+            let mut inflow = 0.0;
+            for (j, rate) in transpose.row(i) {
+                if j != i {
+                    inflow += rate * pi[j];
+                }
+            }
+            pi[i] = inflow / generator.exit_rate(i);
+        }
+        let sum = pi.sum();
+        if !(sum.is_finite() && sum > 0.0) {
+            return Err(CtmcError::Numerical(
+                dpm_linalg::LinalgError::InvalidInput {
+                    reason: format!("Gauss–Seidel sweep produced probability mass {sum}"),
+                },
+            ));
+        }
+        pi.scale_mut(1.0 / sum);
+        let update = (&pi - &previous).norm_inf();
+        if update <= tolerance {
+            return sanitize(pi);
+        }
+        previous = pi.clone();
+    }
+    Err(CtmcError::Numerical(
+        dpm_linalg::LinalgError::NotConverged {
+            iterations: max_iterations,
+            residual: residual_sparse(generator, &pi),
+        },
+    ))
+}
+
+/// Residual `‖πG‖_∞` over the sparse representation.
+///
+/// # Panics
+///
+/// Panics if `pi.len() != generator.n_states()`.
+#[must_use]
+pub fn residual_sparse(generator: &SparseGenerator, pi: &DVector) -> f64 {
+    generator.csr().vec_mul(pi).norm_inf()
+}
 
 /// Solves `πG = 0`, `Σπ = 1` by replacing the last balance equation with the
 /// normalization constraint and LU-factorizing.
@@ -438,6 +637,103 @@ mod tests {
         assert!(mm1k_generator(0.0, 1.0, 3).is_err());
         assert!(mm1k_generator(1.0, 1.0, 0).is_err());
     }
+}
+
+#[cfg(test)]
+mod unified_api_tests {
+    use super::*;
+
+    fn three_state() -> Generator {
+        Generator::builder(3)
+            .rate(0, 1, 2.0)
+            .rate(1, 2, 1.0)
+            .rate(2, 0, 4.0)
+            .rate(1, 0, 0.5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_methods_agree_dense() {
+        let g = three_state();
+        let reference = solve(&g, Method::Gth).unwrap();
+        for method in [Method::Lu, Method::Power, Method::Iterative] {
+            let pi = solve(&g, method).unwrap();
+            assert!(
+                (&pi - &reference).norm_inf() < 1e-8,
+                "{method:?} diverges from GTH"
+            );
+        }
+    }
+
+    #[test]
+    fn all_methods_agree_sparse() {
+        let g = three_state();
+        let sparse = SparseGenerator::from_generator(&g);
+        let reference = solve_gth(&g).unwrap();
+        for method in [Method::Lu, Method::Gth, Method::Power, Method::Iterative] {
+            let pi = solve_sparse(&sparse, method).unwrap();
+            assert!(
+                (&pi - &reference).norm_inf() < 1e-8,
+                "sparse {method:?} diverges from dense GTH"
+            );
+        }
+    }
+
+    #[test]
+    fn default_method_is_gth() {
+        assert_eq!(Method::default(), Method::Gth);
+    }
+
+    #[test]
+    fn iterative_handles_stiff_chain() {
+        // Rates spanning 8 orders of magnitude — the regime where GS on the
+        // balance equations must not degrade.
+        let g = Generator::builder(3)
+            .rate(0, 1, 1e-4)
+            .rate(1, 2, 1e4)
+            .rate(2, 0, 1.0)
+            .build()
+            .unwrap();
+        let sparse = SparseGenerator::from_generator(&g);
+        let pi = solve_sparse(&sparse, Method::Iterative).unwrap();
+        let reference = solve_gth(&g).unwrap();
+        assert!((&pi - &reference).norm_inf() < 1e-8);
+        assert!(residual_sparse(&sparse, &pi) < 1e-7);
+    }
+
+    #[test]
+    fn iterative_matches_mm1k_closed_form() {
+        let lambda = 0.4;
+        let mu = 1.0;
+        let k = 40;
+        let g = mm1k_generator(lambda, mu, k).unwrap();
+        let pi = solve(&g, Method::Iterative).unwrap();
+        let closed = birth_death::Mm1k::new(lambda, mu, k).unwrap();
+        for i in 0..=k {
+            assert!((pi[i] - closed.probability(i)).abs() < 1e-10, "state {i}");
+        }
+    }
+
+    #[test]
+    fn iterative_rejects_absorbing_state() {
+        let g = SparseGenerator::from_transitions(2, &[(0, 1, 1.0)]).unwrap();
+        assert!(matches!(
+            solve_sparse(&g, Method::Iterative),
+            Err(CtmcError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn power_rejects_empty_chain() {
+        let g = SparseGenerator::from_transitions(2, &[]).unwrap();
+        assert!(matches!(
+            solve_sparse(&g, Method::Power),
+            Err(CtmcError::InvalidParameter { .. })
+        ));
+    }
+
+    use crate::birth_death;
 }
 
 #[cfg(test)]

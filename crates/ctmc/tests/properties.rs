@@ -1,6 +1,7 @@
 //! Property-based tests for the CTMC layer.
 
-use dpm_ctmc::{birth_death::Mm1k, graph, stationary, transient, Generator};
+use dpm_ctmc::stationary::Method;
+use dpm_ctmc::{birth_death::Mm1k, graph, stationary, transient, Generator, SparseGenerator};
 use dpm_linalg::DVector;
 use proptest::prelude::*;
 
@@ -29,6 +30,49 @@ proptest! {
         let lu = stationary::solve_lu(&g).expect("irreducible");
         let gth = stationary::solve_gth(&g).expect("irreducible");
         prop_assert!((&lu - &gth).norm_inf() < 1e-8);
+    }
+
+    #[test]
+    fn unified_solve_agrees_across_all_methods(
+        g in (2usize..8).prop_flat_map(irreducible_generator)
+    ) {
+        let reference = stationary::solve(&g, Method::Gth).expect("irreducible");
+        for method in [Method::Lu, Method::Power, Method::Iterative] {
+            let pi = stationary::solve(&g, method).expect("irreducible");
+            prop_assert!(
+                (&pi - &reference).norm_inf() < 1e-8,
+                "{method:?} disagrees with GTH"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_solve_matches_dense_solve(
+        g in (2usize..8).prop_flat_map(irreducible_generator)
+    ) {
+        let sparse = SparseGenerator::from_generator(&g);
+        let reference = stationary::solve(&g, Method::Gth).expect("irreducible");
+        for method in [Method::Lu, Method::Gth, Method::Power, Method::Iterative] {
+            let pi = stationary::solve_sparse(&sparse, method).expect("irreducible");
+            prop_assert!(
+                (&pi - &reference).norm_inf() < 1e-8,
+                "sparse {method:?} disagrees with dense GTH"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_generator_round_trips_dense(
+        g in (2usize..8).prop_flat_map(irreducible_generator)
+    ) {
+        let sparse = SparseGenerator::from_generator(&g);
+        let n = g.n_states();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((sparse.rate(i, j) - g.rate(i, j)).abs() < 1e-15);
+            }
+            prop_assert!((sparse.exit_rate(i) - g.exit_rate(i)).abs() < 1e-12);
+        }
     }
 
     #[test]

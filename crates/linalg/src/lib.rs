@@ -10,8 +10,11 @@
 //!   determinants and inverses;
 //! * [`kron`] / [`kron_sum`] — the Kronecker (tensor) product and sum used by
 //!   the paper's compositional generator construction (Definition 4.4);
+//! * [`CsrMatrix`] — compressed sparse row storage with `y = Ax` / `y = Aᵀx`
+//!   products, transposition and row iteration, for generator matrices whose
+//!   nonzero count grows linearly in the state count;
 //! * [`iterative`] — Jacobi and Gauss–Seidel iterations for diagonally
-//!   dominant systems.
+//!   dominant systems, in dense and CSR (`O(nnz)` per sweep) variants.
 //!
 //! # Examples
 //!
@@ -37,13 +40,17 @@ pub mod iterative;
 mod kron;
 mod lu;
 mod matrix;
+pub mod sparse;
 mod vector;
 
 pub use error::LinalgError;
-pub use iterative::{gauss_seidel, jacobi, IterativeOptions, IterativeResult};
+pub use iterative::{
+    gauss_seidel, gauss_seidel_csr, jacobi, jacobi_csr, IterativeOptions, IterativeResult,
+};
 pub use kron::{kron, kron_sum};
 pub use lu::Lu;
 pub use matrix::DMatrix;
+pub use sparse::CsrMatrix;
 pub use vector::DVector;
 
 /// Default absolute tolerance used by comparisons throughout the workspace.

@@ -1,0 +1,95 @@
+//! Property-based tests pinning the CSR backend to the dense reference.
+
+use dpm_linalg::{CsrMatrix, DMatrix, DVector};
+use proptest::prelude::*;
+
+/// Strategy for random triplet lists over an `rows x cols` matrix, with
+/// duplicate coordinates allowed so accumulation is exercised.
+fn triplets(rows: usize, cols: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec((0..rows, 0..cols, -5.0f64..5.0), 0..3 * rows * cols / 2)
+}
+
+/// Dense reference assembly of the same triplets.
+fn dense_of(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> DMatrix {
+    let mut m = DMatrix::zeros(rows, cols);
+    for &(r, c, v) in triplets {
+        m[(r, c)] += v;
+    }
+    m
+}
+
+fn vector(n: usize) -> impl Strategy<Value = DVector> {
+    prop::collection::vec(-10.0f64..10.0, n).prop_map(DVector::from_vec)
+}
+
+proptest! {
+    #[test]
+    fn csr_entries_match_dense(
+        (rows, cols, ts) in (1usize..8, 1usize..8)
+            .prop_flat_map(|(r, c)| (Just(r), Just(c), triplets(r, c)))
+    ) {
+        let sparse = CsrMatrix::from_triplets(rows, cols, &ts).expect("valid triplets");
+        let dense = dense_of(rows, cols, &ts);
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert!((sparse.get(r, c) - dense[(r, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_mul_vec_matches_dense(
+        (rows, cols, ts, v) in (1usize..8, 1usize..8)
+            .prop_flat_map(|(r, c)| (Just(r), Just(c), triplets(r, c), vector(c)))
+    ) {
+        let sparse = CsrMatrix::from_triplets(rows, cols, &ts).expect("valid triplets");
+        let dense = dense_of(rows, cols, &ts);
+        let ys = sparse.mul_vec(&v);
+        let yd = dense.mul_vec(&v);
+        let diff = &ys - &yd;
+        prop_assert!(diff.norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn csr_vec_mul_matches_dense(
+        (rows, cols, ts, v) in (1usize..8, 1usize..8)
+            .prop_flat_map(|(r, c)| (Just(r), Just(c), triplets(r, c), vector(r)))
+    ) {
+        let sparse = CsrMatrix::from_triplets(rows, cols, &ts).expect("valid triplets");
+        let dense = dense_of(rows, cols, &ts);
+        let ys = sparse.vec_mul(&v);
+        let yd = dense.vec_mul(&v);
+        let diff = &ys - &yd;
+        prop_assert!(diff.norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn csr_transpose_matches_dense_transpose(
+        (rows, cols, ts) in (1usize..8, 1usize..8)
+            .prop_flat_map(|(r, c)| (Just(r), Just(c), triplets(r, c)))
+    ) {
+        let sparse = CsrMatrix::from_triplets(rows, cols, &ts).expect("valid triplets");
+        let dense_t = dense_of(rows, cols, &ts).transpose();
+        let sparse_t = sparse.transpose();
+        prop_assert_eq!(sparse_t.shape(), (cols, rows));
+        for r in 0..cols {
+            for c in 0..rows {
+                prop_assert!((sparse_t.get(r, c) - dense_t[(r, c)]).abs() < 1e-12);
+            }
+        }
+        // Round trip recovers the original exactly (same pattern, same values).
+        prop_assert_eq!(sparse_t.transpose(), sparse);
+    }
+
+    #[test]
+    fn csr_dense_round_trip_preserves_pattern(
+        (rows, cols, ts) in (1usize..8, 1usize..8)
+            .prop_flat_map(|(r, c)| (Just(r), Just(c), triplets(r, c)))
+    ) {
+        let sparse = CsrMatrix::from_triplets(rows, cols, &ts).expect("valid triplets");
+        let back = CsrMatrix::from_dense(&sparse.to_dense());
+        // from_dense drops entries that accumulated to exactly zero, so
+        // compare entry-wise rather than structurally.
+        prop_assert!(sparse.max_abs_diff(&back) < 1e-15);
+    }
+}

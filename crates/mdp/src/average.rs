@@ -20,6 +20,37 @@ use dpm_linalg::{DMatrix, DVector};
 
 use crate::{Ctmdp, MdpError, Policy};
 
+/// Margin applied to the uniformization constant by the sparse iterative
+/// evaluation backend.
+const UNIFORMIZATION_MARGIN: f64 = 1.05;
+
+/// Default absolute tolerance on the gain estimate for
+/// [`EvalBackend::SparseIterative`].
+pub const ITERATIVE_GAIN_TOLERANCE: f64 = 1e-9;
+
+/// Default sweep budget for [`EvalBackend::SparseIterative`].
+pub const ITERATIVE_MAX_SWEEPS: usize = 1_000_000;
+
+/// Linear-solver backend used by the policy-evaluation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalBackend {
+    /// Dense LU solve of the `n`-unknown evaluation system. Exact to
+    /// rounding, `O(n³)` per evaluation; the default.
+    #[default]
+    Dense,
+    /// Relative value iteration on the uniformized chain over the policy's
+    /// sparse generator. `O(nnz)` per sweep with no dense matrix ever
+    /// assembled, but the sweep count grows with the chain's stiffness:
+    /// the uniformization constant is set by the fastest rate, so the
+    /// sweeps needed scale as `O(instant_rate / slowest_rate)` and the
+    /// default instant-rate surrogate (`χ(s,s) = 10⁶`) needs far more
+    /// than the [`ITERATIVE_MAX_SWEEPS`] budget. Re-pose the model with a
+    /// gentler instant rate (e.g. `PmSystemBuilder::instant_rate(1e2)`,
+    /// which converges comfortably on the paper's models up to Q = 50)
+    /// before selecting this backend.
+    SparseIterative,
+}
+
 /// Options for [`policy_iteration`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Options {
@@ -32,6 +63,8 @@ pub struct Options {
     pub improvement_tolerance: f64,
     /// State whose bias is pinned to zero.
     pub reference_state: usize,
+    /// Linear-solver backend for the evaluation step.
+    pub backend: EvalBackend,
 }
 
 impl Default for Options {
@@ -40,6 +73,7 @@ impl Default for Options {
             max_iterations: 1_000,
             improvement_tolerance: 1e-9,
             reference_state: 0,
+            backend: EvalBackend::Dense,
         }
     }
 }
@@ -159,6 +193,89 @@ pub fn evaluate(
     Ok(Evaluation { gain, bias })
 }
 
+/// Solves the evaluation equations iteratively over the policy's sparse
+/// generator — relative value iteration `h ← c/Λ + Ph − (c/Λ + Ph)[ref]·1`
+/// on the uniformized chain `P = I + G/Λ`, computed matrix-free in
+/// `O(nnz)` per sweep.
+///
+/// At convergence `Λ·(c/Λ + Ph − h)` is the constant gain vector `g·1` and
+/// `h` is the bias with `h[ref] = 0`, matching [`evaluate`] to the
+/// tolerance. See [`EvalBackend::SparseIterative`] for when this pays off
+/// and the stiffness caveat.
+///
+/// # Errors
+///
+/// As [`evaluate`], except a multichain policy surfaces as
+/// [`MdpError::NotConverged`] (its per-class gains never equalize) rather
+/// than [`MdpError::NotUnichain`].
+pub fn evaluate_iterative(
+    mdp: &Ctmdp,
+    policy: &Policy,
+    reference_state: usize,
+) -> Result<Evaluation, MdpError> {
+    mdp.check_policy(policy)?;
+    let n = mdp.n_states();
+    if reference_state >= n {
+        return Err(MdpError::InvalidParameter {
+            reason: format!("reference state {reference_state} out of range for {n} states"),
+        });
+    }
+    let generator = mdp.sparse_generator_for(policy)?;
+    let costs = mdp.cost_rates_for(policy)?;
+    let lambda = UNIFORMIZATION_MARGIN * generator.max_exit_rate();
+    if lambda <= 0.0 {
+        // No transitions anywhere: unichain only in the single-state case.
+        if n == 1 {
+            return Ok(Evaluation {
+                gain: costs[0],
+                bias: DVector::zeros(1),
+            });
+        }
+        return Err(MdpError::NotUnichain { iteration: 0 });
+    }
+    let mut scaled_costs = costs;
+    scaled_costs.scale_mut(1.0 / lambda);
+
+    let mut h = DVector::zeros(n);
+    for _ in 0..ITERATIVE_MAX_SWEEPS {
+        // w = c/Λ + P h = c/Λ + h + (G h)/Λ.
+        let mut w = generator.csr().mul_vec(&h);
+        w.scale_mut(1.0 / lambda);
+        w.axpy(1.0, &h);
+        w.axpy(1.0, &scaled_costs);
+
+        let mut min_delta = f64::INFINITY;
+        let mut max_delta = f64::NEG_INFINITY;
+        for i in 0..n {
+            let delta = w[i] - h[i];
+            min_delta = min_delta.min(delta);
+            max_delta = max_delta.max(delta);
+        }
+        let gain = lambda * 0.5 * (max_delta + min_delta);
+        let shift = w[reference_state];
+        h = w.map(|x| x - shift);
+        if lambda * (max_delta - min_delta) <= ITERATIVE_GAIN_TOLERANCE {
+            return Ok(Evaluation { gain, bias: h });
+        }
+    }
+    Err(MdpError::NotConverged {
+        iterations: ITERATIVE_MAX_SWEEPS,
+    })
+}
+
+/// Dispatches the evaluation step according to `backend`.
+fn evaluate_with(
+    mdp: &Ctmdp,
+    policy: &Policy,
+    reference_state: usize,
+    backend: EvalBackend,
+) -> Result<Evaluation, MdpError> {
+    match backend {
+        EvalBackend::Dense => evaluate(mdp, policy, reference_state),
+        EvalBackend::SparseIterative => evaluate_iterative(mdp, policy, reference_state),
+    }
+}
+
 /// Test quantity `c_i^a + Σ_j s_{i,j}^a v_j` for action `a` in state `i`
 /// given bias `v`.
 fn test_quantity(mdp: &Ctmdp, state: usize, action: usize, bias: &DVector) -> f64 {
@@ -217,10 +334,13 @@ pub fn policy_iteration_from(
     let n = mdp.n_states();
     let mut policy = initial;
     for iteration in 1..=options.max_iterations {
-        let eval = evaluate(mdp, &policy, options.reference_state).map_err(|e| match e {
-            MdpError::NotUnichain { .. } => MdpError::NotUnichain { iteration },
-            other => other,
-        })?;
+        let eval =
+            evaluate_with(mdp, &policy, options.reference_state, options.backend).map_err(|e| {
+                match e {
+                    MdpError::NotUnichain { .. } => MdpError::NotUnichain { iteration },
+                    other => other,
+                }
+            })?;
         // Improvement step.
         let mut improved = false;
         let mut next = policy.clone();
@@ -632,6 +752,98 @@ mod tests {
         let solution = policy_iteration(&mdp, &Options::default()).unwrap();
         assert_eq!(solution.policy().action(0), 0);
         assert!((solution.gain() - 2.5).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod iterative_backend_tests {
+    use super::*;
+
+    fn repair_mdp(fast_cost: f64) -> Ctmdp {
+        let mut b = Ctmdp::builder(2);
+        b.action(0, "run", 1.0, &[(1, 1.0)]).unwrap();
+        b.action(1, "slow", 5.0, &[(0, 1.0)]).unwrap();
+        b.action(1, "fast", fast_cost, &[(0, 10.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn iterative_evaluation_matches_dense() {
+        let mdp = repair_mdp(9.0);
+        for policy in mdp.enumerate_policies() {
+            let dense = evaluate(&mdp, &policy, 0).unwrap();
+            let sparse = evaluate_iterative(&mdp, &policy, 0).unwrap();
+            assert!(
+                (dense.gain() - sparse.gain()).abs() < 1e-7,
+                "policy {policy}: {} vs {}",
+                dense.gain(),
+                sparse.gain()
+            );
+            let diff = (dense.bias() - sparse.bias()).norm_inf();
+            assert!(diff < 1e-6, "policy {policy}: bias diff {diff}");
+        }
+    }
+
+    #[test]
+    fn iterative_evaluation_handles_transient_states() {
+        // 0 -> 1 <-> 2 under the only policy; state 0 transient.
+        let mut b = Ctmdp::builder(3);
+        b.action(0, "go", 100.0, &[(1, 1.0)]).unwrap();
+        b.action(1, "swap", 2.0, &[(2, 1.0)]).unwrap();
+        b.action(2, "swap", 4.0, &[(1, 1.0)]).unwrap();
+        let mdp = b.build().unwrap();
+        let policy = Policy::new(vec![0, 0, 0]);
+        let dense = evaluate(&mdp, &policy, 1).unwrap();
+        let sparse = evaluate_iterative(&mdp, &policy, 1).unwrap();
+        assert!((dense.gain() - sparse.gain()).abs() < 1e-7);
+        assert!((sparse.gain() - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn policy_iteration_agrees_across_backends() {
+        for fast_cost in [2.0, 9.0, 30.0, 100.0] {
+            let mdp = repair_mdp(fast_cost);
+            let dense = policy_iteration(&mdp, &Options::default()).unwrap();
+            let sparse = policy_iteration(
+                &mdp,
+                &Options {
+                    backend: EvalBackend::SparseIterative,
+                    ..Options::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(dense.policy(), sparse.policy(), "fast_cost {fast_cost}");
+            assert!((dense.gain() - sparse.gain()).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn sparse_generator_matches_dense_generator() {
+        let mdp = repair_mdp(9.0);
+        for policy in mdp.enumerate_policies() {
+            let dense = mdp.generator_for(&policy).unwrap();
+            let sparse = mdp.sparse_generator_for(&policy).unwrap();
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert!((dense.rate(i, j) - sparse.rate(i, j)).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_state_iterative_evaluation() {
+        let mut b = Ctmdp::builder(1);
+        b.action(0, "idle", 2.5, &[]).unwrap();
+        let mdp = b.build().unwrap();
+        let eval = evaluate_iterative(&mdp, &Policy::new(vec![0]), 0).unwrap();
+        assert!((eval.gain() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_backend_is_dense() {
+        assert_eq!(EvalBackend::default(), EvalBackend::Dense);
+        assert_eq!(Options::default().backend, EvalBackend::Dense);
     }
 }
 

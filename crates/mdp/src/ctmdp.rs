@@ -157,6 +157,30 @@ impl Ctmdp {
         b.build().map_err(MdpError::Chain)
     }
 
+    /// The generator induced by `policy` in compressed sparse row storage,
+    /// assembled directly from the per-action transition lists without
+    /// materializing a dense matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidPolicy`] if the policy does not match.
+    pub fn sparse_generator_for(
+        &self,
+        policy: &Policy,
+    ) -> Result<dpm_ctmc::SparseGenerator, MdpError> {
+        self.check_policy(policy)?;
+        let mut transitions = Vec::new();
+        for (state, &a) in policy.actions().iter().enumerate() {
+            for &(to, rate) in self.actions[state][a].rates() {
+                if rate > 0.0 {
+                    transitions.push((state, to, rate));
+                }
+            }
+        }
+        dpm_ctmc::SparseGenerator::from_transitions(self.n_states(), &transitions)
+            .map_err(MdpError::Chain)
+    }
+
     /// Cost-rate vector `c^δ` under `policy`.
     ///
     /// # Errors

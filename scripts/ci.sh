@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints and the full test suite — everything a
+# change must pass before it lands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --check
+
+echo "=== cargo clippy (workspace, warnings are errors) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo test ==="
+cargo test --workspace -q
+
+echo "CI checks passed."

@@ -85,6 +85,30 @@ proptest! {
     }
 
     #[test]
+    fn sparse_assembly_matches_dense_assembly(system in random_system()) {
+        // The CSR-backed SYS assembly must agree with the dense path
+        // entry-for-entry, for every named policy, on arbitrary systems.
+        for policy in [
+            PmPolicy::greedy(&system).expect("valid"),
+            PmPolicy::always_on(&system, 0).expect("mode 0 is active"),
+        ] {
+            let dense = system.generator_for(&policy).expect("valid chain");
+            let sparse = system.sparse_generator_for(&policy).expect("valid chain");
+            prop_assert_eq!(sparse.n_states(), dense.n_states());
+            for i in 0..dense.n_states() {
+                for j in 0..dense.n_states() {
+                    prop_assert_eq!(
+                        sparse.rate(i, j),
+                        dense.rate(i, j),
+                        "entry ({}, {})", i, j
+                    );
+                }
+                prop_assert_eq!(sparse.exit_rate(i), dense.exit_rate(i));
+            }
+        }
+    }
+
+    #[test]
     fn greedy_metrics_are_physical(system in random_system()) {
         let m = system
             .evaluate(&PmPolicy::greedy(&system).expect("valid"))

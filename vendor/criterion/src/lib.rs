@@ -1,0 +1,291 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! The build environment for this workspace cannot reach crates.io, so this
+//! crate provides an API-compatible stand-in for the slice of `criterion`
+//! the workspace's benches use ([`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Bencher::iter`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros and [`black_box`]).
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed over
+//! `sample_size` samples of adaptively-chosen iteration counts; the median
+//! per-iteration time is reported on stdout. No plots, no statistics files
+//! — just honest wall-clock medians, which is what the workspace's
+//! comparative benches need.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target total measurement time per benchmark.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(100);
+/// Warm-up budget per benchmark.
+const WARMUP_TIME: Duration = Duration::from_millis(50);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size {n} must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let id = id.to_owned();
+        run_benchmark(&id, self.sample_size, self.filter.as_deref(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing the parent driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.filter.as_deref(),
+            f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Anything accepted as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// Renders the identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times a routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the per-sample iteration count so one sample
+        // costs roughly TARGET_SAMPLE_TIME / sample_size.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_TIME {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().div_f64(warmup_iters as f64);
+        let budget = TARGET_SAMPLE_TIME.div_f64(self.sample_size as f64);
+        self.iters_per_sample = (budget.as_secs_f64() / per_iter.as_secs_f64().max(1e-9))
+            .ceil()
+            .max(1.0) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().div_f64(self.iters_per_sample as f64));
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    filter: Option<&str>,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !id.contains(filter) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<50} (no samples collected)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let best = bencher.samples[0];
+    println!(
+        "{id:<50} median {:>12} best {:>12} ({} samples x {} iters)",
+        format_duration(median),
+        format_duration(best),
+        bencher.samples.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("gth", 50).to_string(), "gth/50");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(50)).ends_with("us"));
+        assert!(format_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: None,
+        };
+        // Smoke: a trivial benchmark runs to completion quickly.
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

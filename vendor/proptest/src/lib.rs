@@ -1,0 +1,370 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment for this workspace cannot reach crates.io, so this
+//! crate reimplements the slice of `proptest` the workspace's property tests
+//! use and is patched in via `[patch.crates-io]`:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map` combinators;
+//! * strategies for numeric ranges, tuples (arity 2–6), [`Just`], and
+//!   [`collection::vec`](prop::collection::vec);
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros;
+//! * [`ProptestConfig`] with `with_cases`.
+//!
+//! Semantics: each test runs `cases` random inputs drawn from a
+//! deterministic per-test RNG (seeded from the test name, overridable with
+//! the `PROPTEST_SEED` environment variable). There is **no shrinking** —
+//! on failure the offending input is printed in full instead. That trades
+//! minimal counterexamples for zero dependencies, which is the right trade
+//! for a hermetic build.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream proptest's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to pick a dependent strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(f64, usize, u64);
+
+impl Strategy for RangeInclusive<usize> {
+    type Value = usize;
+
+    fn new_value(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+pub mod prop {
+    //! Namespaced strategy constructors (`prop::collection::vec` etc.).
+
+    pub mod collection {
+        //! Strategies for collections.
+
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::fmt::Debug;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Anything `vec` accepts as a length specification.
+        pub trait IntoSizeRange {
+            /// Draws a concrete length.
+            fn pick_len(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl IntoSizeRange for usize {
+            fn pick_len(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn pick_len(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl IntoSizeRange for RangeInclusive<usize> {
+            fn pick_len(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// Strategy for `Vec`s whose elements come from `element` and whose
+        /// length is drawn from `size`.
+        pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy returned by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S, L> {
+            element: S,
+            size: L,
+        }
+
+        impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L>
+        where
+            S::Value: Debug,
+        {
+            type Value = Vec<S::Value>;
+
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.pick_len(rng);
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Builds the deterministic per-test RNG: seeded from the test's name so
+/// every test gets an independent, reproducible stream, overridable with
+/// `PROPTEST_SEED` for replaying a CI failure locally.
+#[must_use]
+pub fn test_rng(test_name: &str) -> TestRng {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5DEE_CE66_D1CE_5EED);
+    // FNV-1a over the test name.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(base ^ hash)
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs in scope.
+
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Defines property tests: each `fn name(bindings) { body }` becomes a
+/// `#[test]` that runs the body over random inputs drawn from the binding
+/// strategies.
+#[macro_export]
+macro_rules! proptest {
+    // Internal munching arms must precede the public catch-all arm, or the
+    // catch-all would re-wrap `@cfg ...` input and recurse forever.
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut inputs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $(
+                    let value = {
+                        let strategy = $strategy;
+                        $crate::Strategy::new_value(&strategy, &mut rng)
+                    };
+                    inputs.push(format!("  {} = {:?}", stringify!($pat), value));
+                    let $pat = value;
+                )+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || { $body }
+                ));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed with input(s):",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    for line in &inputs {
+                        eprintln!("{line}");
+                    }
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    // With an explicit config.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    // Without a config line.
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn square(n: usize) -> impl Strategy<Value = usize> {
+        Just(n).prop_map(|x| x * x)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 1.5f64..2.5, n in 3usize..9) {
+            prop_assert!((1.5..2.5).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_flat_map_compose(
+            (n, values) in (1usize..5).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0.0f64..1.0, n))
+            })
+        ) {
+            prop_assert_eq!(values.len(), n);
+            prop_assert!(values.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+
+        #[test]
+        fn map_applies(sq in (2usize..4).prop_flat_map(square)) {
+            prop_assert!(sq == 4 || sq == 9);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_test() {
+        use crate::Strategy as _;
+        let strat = 0.0f64..1.0;
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+        let mut c = crate::test_rng("y");
+        assert_ne!(strat.new_value(&mut a), strat.new_value(&mut c));
+    }
+}
