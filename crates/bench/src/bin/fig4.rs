@@ -2,15 +2,95 @@
 //! (weight sweep) against the N-policies, N = 1..5 — simulated values, as
 //! in the paper, with the functional (analytic) values alongside.
 //!
-//! Run with `cargo run --release -p dpm-bench --bin fig4`.
+//! Runs on the `dpm-harness` plan runner: the weight sweep is solved
+//! serially up front (deduplicating repeated frontier points), then every
+//! (policy, replication) simulation is an independent plan task. A
+//! versioned JSON artifact lands in `--out`.
+//!
+//! ```text
+//! cargo run --release -p dpm-bench --bin fig4 -- \
+//!     [--workers N] [--seed S] [--requests R] [--reps K] \
+//!     [--out results/fig4.json]
+//! ```
 
-use dpm_bench::{paper_system, row, rule, simulate_policy, PAPER_REQUESTS};
+use dpm_bench::{
+    paper_system, point_mean, record_sim_telemetry, report_to_json, row, rule, simulate_policy,
+    PAPER_REQUESTS,
+};
 use dpm_core::{optimize, PmPolicy};
+use dpm_harness::{artifact, cli::Args, plan::Plan, runner, Json, PlanPoint};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::from_env(&["workers", "seed", "requests", "reps", "out"])?;
+    let workers = args.workers()?;
+    let root_seed = args.get_u64("seed", 400)?;
+    let requests = args.get_u64("requests", PAPER_REQUESTS)?;
+    let reps = args.get_u64("reps", 1)?;
+    let out = args.get_str("out", "results/fig4.json");
+
     let system = paper_system(1.0 / 6.0)?;
+
+    // Serial solve phase. Weight sweep (geometric), deduplicating repeated
+    // frontier points; then the N-policies, N = 1..5, evaluated
+    // analytically.
+    let mut policies: Vec<PmPolicy> = Vec::new();
+    let mut plan = Plan::new("fig4", root_seed).replications(reps);
+    let mut total_pi_rounds = 0usize;
+    let mut worst_residual = 0.0f64;
+    let mut weight = 0.05;
+    let mut frontier: Vec<(f64, f64)> = Vec::new();
+    while weight < 300.0 {
+        let solution = optimize::optimal_policy(&system, weight)?;
+        total_pi_rounds += solution.iterations();
+        worst_residual = worst_residual.max(solution.eval_residual());
+        let point = (
+            solution.metrics().power(),
+            solution.metrics().queue_length(),
+        );
+        let duplicate = frontier
+            .iter()
+            .any(|&(p, q)| (p - point.0).abs() < 1e-9 && (q - point.1).abs() < 1e-9);
+        if !duplicate {
+            frontier.push(point);
+            plan = plan.point(
+                PlanPoint::new(format!("optimal w={weight:.3}"))
+                    .with("kind", "optimal")
+                    .with("index", policies.len())
+                    .with("weight", weight)
+                    .with("power_fn", point.0)
+                    .with("queue_fn", point.1),
+            );
+            policies.push(solution.policy().clone());
+        }
+        weight *= 1.25;
+    }
+    let n_frontier = policies.len();
+    for n in 1..=5usize {
+        let policy = PmPolicy::n_policy(&system, n, 2)?;
+        let metrics = system.evaluate(&policy)?;
+        plan = plan.point(
+            PlanPoint::new(format!("n-policy N={n}"))
+                .with("kind", "n-policy")
+                .with("index", policies.len())
+                .with("n", n)
+                .with("power_fn", metrics.power())
+                .with("queue_fn", metrics.queue_length()),
+        );
+        policies.push(policy);
+    }
+
+    // Parallel simulation phase: one task per (policy, replication).
+    let records = runner::run_plan(&plan, workers, |ctx| {
+        let index = ctx.point.param("index").unwrap().as_i64().unwrap() as usize;
+        let kind = ctx.point.param("kind").unwrap().as_text().unwrap();
+        let report = simulate_policy(&system, &policies[index], kind, ctx.seed, requests)
+            .map_err(|e| e.to_string())?;
+        record_sim_telemetry(ctx.telemetry, &report);
+        Ok(report_to_json(&report))
+    })?;
+
     let widths = [10usize, 12, 12, 12, 12, 12];
-    println!("Figure 4 — optimal policies vs N-policies (lambda = 1/6, Q = 5)");
+    println!("Figure 4 — optimal policies vs N-policies (lambda = 1/6, Q = 5, reps = {reps})");
     row(
         &[
             "policy".into(),
@@ -23,61 +103,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &widths,
     );
     rule(&widths);
-
-    // Weight sweep (geometric), deduplicating repeated frontier points.
-    let mut weight = 0.05;
-    let mut frontier: Vec<(f64, f64)> = Vec::new();
-    let mut seed = 400;
-    while weight < 300.0 {
-        let solution = optimize::optimal_policy(&system, weight)?;
-        let point = (
-            solution.metrics().power(),
-            solution.metrics().queue_length(),
-        );
-        let duplicate = frontier
-            .iter()
-            .any(|&(p, q)| (p - point.0).abs() < 1e-9 && (q - point.1).abs() < 1e-9);
-        if !duplicate {
-            frontier.push(point);
-            seed += 1;
-            let report =
-                simulate_policy(&system, solution.policy(), "optimal", seed, PAPER_REQUESTS)?;
-            row(
-                &[
-                    "optimal".into(),
-                    format!("{weight:.3}"),
-                    format!("{:.4}", point.0),
-                    format!("{:.4}", point.1),
-                    format!("{:.4}", report.average_power()),
-                    format!("{:.4}", report.average_queue_length()),
-                ],
-                &widths,
-            );
+    for (point_index, point) in plan.points().iter().enumerate() {
+        if point_index == n_frontier {
+            rule(&widths);
         }
-        weight *= 1.25;
-    }
-    rule(&widths);
-
-    for n in 1..=5 {
-        let policy = PmPolicy::n_policy(&system, n, 2)?;
-        let metrics = system.evaluate(&policy)?;
-        let report = simulate_policy(&system, &policy, "n-policy", 500 + n as u64, PAPER_REQUESTS)?;
+        let kind = point.param("kind").unwrap().as_text().unwrap();
+        let knob = match kind {
+            "optimal" => format!("{:.3}", point.param("weight").unwrap().as_f64().unwrap()),
+            _ => format!("{}", point.param("n").unwrap().as_i64().unwrap()),
+        };
         row(
             &[
-                "n-policy".into(),
-                format!("{n}"),
-                format!("{:.4}", metrics.power()),
-                format!("{:.4}", metrics.queue_length()),
-                format!("{:.4}", report.average_power()),
-                format!("{:.4}", report.average_queue_length()),
+                kind.to_owned(),
+                knob,
+                format!("{:.4}", point.param("power_fn").unwrap().as_f64().unwrap()),
+                format!("{:.4}", point.param("queue_fn").unwrap().as_f64().unwrap()),
+                format!("{:.4}", point_mean(&records, point_index, "power")),
+                format!("{:.4}", point_mean(&records, point_index, "queue")),
             ],
             &widths,
         );
     }
-
+    println!(
+        "\nsolver: {total_pi_rounds} policy-iteration rounds over the sweep, worst\n\
+         evaluation residual {worst_residual:.2e}"
+    );
     println!(
         "\nshape check: at every weight the optimal frontier's weighted cost is <= every\n\
          N-policy's (the N-policy points sit on or above the optimal trade-off curve)."
     );
+
+    let mut doc = artifact::build(&plan, workers, &records);
+    let mut solve = Json::object();
+    solve.set("pi_rounds", total_pi_rounds);
+    solve.set("worst_eval_residual", Json::num(worst_residual));
+    solve.set("frontier_points", n_frontier);
+    doc.set("solve", solve);
+    artifact::write(&out, &doc)?;
+    println!("artifact: {out}");
     Ok(())
 }

@@ -6,15 +6,108 @@
 //! The optimal policy at each rate is solved under the paper's performance
 //! constraint (average waiting time ≤ mean inter-arrival time).
 //!
-//! Run with `cargo run --release -p dpm-bench --bin fig5`.
+//! Runs on the `dpm-harness` plan runner: the constrained solves happen
+//! serially up front, then every (rate, policy, replication) simulation is
+//! an independent plan task. A versioned JSON artifact lands in `--out`.
+//!
+//! ```text
+//! cargo run --release -p dpm-bench --bin fig5 -- \
+//!     [--workers N] [--seed S] [--requests R] [--reps K] \
+//!     [--out results/fig5.json]
+//! ```
 
-use dpm_bench::{paper_system, row, rule, simulate_controller, simulate_policy, PAPER_REQUESTS};
+use std::collections::BTreeMap;
+
+use dpm_bench::{
+    paper_system, point_mean, record_sim_telemetry, report_to_json, row, rule, simulate_controller,
+    simulate_policy, PAPER_REQUESTS,
+};
 use dpm_core::optimize;
+use dpm_harness::{artifact, cli::Args, plan::Plan, runner, ParamValue};
 use dpm_sim::controller::{GreedyController, TimeoutController};
 
+const DENOMINATORS: [i64; 6] = [8, 7, 6, 5, 4, 3];
+const POLICIES: [&str; 5] = [
+    "optimal (constrained)",
+    "greedy",
+    "timeout 1s",
+    "timeout 1/lambda",
+    "timeout 0.5/lambda",
+];
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::from_env(&["workers", "seed", "requests", "reps", "out"])?;
+    let workers = args.workers()?;
+    let root_seed = args.get_u64("seed", 700)?;
+    let requests = args.get_u64("requests", PAPER_REQUESTS)?;
+    let reps = args.get_u64("reps", 1)?;
+    let out = args.get_str("out", "results/fig5.json");
+
+    // Serial solve phase: at each input rate, the system model and the
+    // constrained CTMDP-optimal policy.
+    let mut solved = BTreeMap::new();
+    for denominator in DENOMINATORS {
+        let system = paper_system(1.0 / denominator as f64)?;
+        let solution = optimize::constrained_policy(&system, 1.0)?;
+        solved.insert(denominator, (system, solution));
+    }
+
+    let plan = Plan::new("fig5", root_seed).replications(reps).grid(&[
+        (
+            "denominator",
+            DENOMINATORS.iter().map(|&d| ParamValue::from(d)).collect(),
+        ),
+        (
+            "policy",
+            POLICIES.iter().map(|&p| ParamValue::from(p)).collect(),
+        ),
+    ])?;
+
+    // Parallel simulation phase.
+    let records = runner::run_plan(&plan, workers, |ctx| {
+        let denominator = ctx.point.param("denominator").unwrap().as_i64().unwrap();
+        let policy = ctx.point.param("policy").unwrap().as_text().unwrap();
+        let (system, solution) = &solved[&denominator];
+        let mean_gap = denominator as f64;
+        let task = || -> Result<_, Box<dyn std::error::Error>> {
+            Ok(match policy {
+                "optimal (constrained)" => {
+                    simulate_policy(system, solution.policy(), "optimal", ctx.seed, requests)?
+                }
+                "greedy" => simulate_controller(
+                    system,
+                    GreedyController::new(system.provider())?,
+                    ctx.seed,
+                    requests,
+                )?,
+                "timeout 1s" => simulate_controller(
+                    system,
+                    TimeoutController::new(system.provider(), 1.0, 2)?,
+                    ctx.seed,
+                    requests,
+                )?,
+                "timeout 1/lambda" => simulate_controller(
+                    system,
+                    TimeoutController::new(system.provider(), mean_gap, 2)?,
+                    ctx.seed,
+                    requests,
+                )?,
+                "timeout 0.5/lambda" => simulate_controller(
+                    system,
+                    TimeoutController::new(system.provider(), 0.5 * mean_gap, 2)?,
+                    ctx.seed,
+                    requests,
+                )?,
+                other => return Err(format!("unknown policy `{other}`").into()),
+            })
+        };
+        let report = task().map_err(|e| e.to_string())?;
+        record_sim_telemetry(ctx.telemetry, &report);
+        Ok(report_to_json(&report))
+    })?;
+
     let widths = [12usize, 22, 12, 12];
-    println!("Figure 5 — optimal vs heuristic policies across input rates");
+    println!("Figure 5 — optimal vs heuristic policies across input rates (reps = {reps})");
     row(
         &[
             "input rate".into(),
@@ -25,55 +118,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &widths,
     );
     rule(&widths);
-
-    for denominator in [8, 7, 6, 5, 4, 3] {
-        let lambda = 1.0 / f64::from(denominator);
-        let mean_gap = f64::from(denominator);
-        let system = paper_system(lambda)?;
-        let seed_base = 700 + 10 * denominator as u64;
-
-        // CTMDP-optimal under the waiting-time constraint.
-        let solution = optimize::constrained_policy(&system, 1.0)?;
-        let optimal = simulate_policy(
-            &system,
-            solution.policy(),
-            "optimal",
-            seed_base,
-            PAPER_REQUESTS,
-        )?;
-
-        // Greedy.
-        let greedy = simulate_controller(
-            &system,
-            GreedyController::new(system.provider())?,
-            seed_base + 1,
-            PAPER_REQUESTS,
-        )?;
-
-        // Time-outs: 1 s fixed, mean inter-arrival, half of it.
-        let timeouts = [
-            ("timeout 1s", 1.0),
-            ("timeout 1/lambda", mean_gap),
-            ("timeout 0.5/lambda", 0.5 * mean_gap),
-        ];
-        let mut reports = vec![("optimal (constrained)", optimal), ("greedy", greedy)];
-        for (i, (name, t)) in timeouts.iter().enumerate() {
-            let report = simulate_controller(
-                &system,
-                TimeoutController::new(system.provider(), *t, 2)?,
-                seed_base + 2 + i as u64,
-                PAPER_REQUESTS,
-            )?;
-            reports.push((name, report));
-        }
-
-        for (name, report) in &reports {
+    for (di, denominator) in DENOMINATORS.iter().enumerate() {
+        for (pi, policy) in POLICIES.iter().enumerate() {
+            let point = di * POLICIES.len() + pi;
             row(
                 &[
                     format!("1/{denominator}"),
-                    (*name).to_owned(),
-                    format!("{:.4}", report.average_power()),
-                    format!("{:.4}", report.average_waiting_time()),
+                    (*policy).to_owned(),
+                    format!("{:.4}", point_mean(&records, point, "power")),
+                    format!("{:.4}", point_mean(&records, point, "wait")),
                 ],
                 &widths,
             );
@@ -84,5 +137,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "shape check: the optimal policy gives the lowest power of all policies that\n\
          keep the average waiting time within the mean inter-arrival time."
     );
+
+    let doc = artifact::build(&plan, workers, &records);
+    artifact::write(&out, &doc)?;
+    println!("artifact: {out}");
     Ok(())
 }

@@ -3,21 +3,174 @@
 //! (\[16\]/\[17\]-style), always-on, and the randomized constrained-LP policy —
 //! simulated head-to-head on the paper's workload.
 //!
-//! Run with `cargo run --release -p dpm-bench --bin heuristics`.
+//! Runs on the `dpm-harness` plan runner: the analytic solves happen once
+//! up front (serial), then every (policy, replication) simulation is an
+//! independent plan task, so `--workers N` parallelizes the shoot-out
+//! without changing a single output bit (seeds derive from grid position,
+//! not schedule). A versioned JSON artifact lands in `--out`.
+//!
+//! ```text
+//! cargo run --release -p dpm-bench --bin heuristics -- \
+//!     [--workers N] [--seed S] [--requests R] [--reps K] \
+//!     [--out results/heuristics.json]
+//! ```
 
-use dpm_bench::{paper_system, row, rule, simulate_controller, PAPER_REQUESTS};
+use dpm_bench::{
+    paper_system, point_mean, record_sim_telemetry, report_to_json, row, rule, simulate_controller,
+    PAPER_REQUESTS,
+};
 use dpm_core::{optimize, PmPolicy};
+use dpm_harness::{artifact, cli::Args, plan::Plan, runner, Json, PlanPoint};
 use dpm_sim::controller::{
     AlwaysOnController, GreedyController, NPolicyController, PredictiveController,
     RandomizedController, TableController, TimeoutController,
 };
-use dpm_sim::SimReport;
+use dpm_sim::workload::TraceWorkload;
+use dpm_sim::{SimConfig, SimReport, Simulator};
+
+/// The correlated workload of part 2: bursts of closely spaced requests
+/// separated by long quiet gaps — the regime where prediction earns its
+/// keep.
+fn burst_gaps() -> Vec<f64> {
+    let mut gaps = Vec::with_capacity(2_000 * 5);
+    for _ in 0..2_000 {
+        gaps.push(60.0);
+        gaps.extend(std::iter::repeat_n(1.6, 4));
+    }
+    gaps
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::from_env(&["workers", "seed", "requests", "reps", "out"])?;
+    let workers = args.workers()?;
+    let root_seed = args.get_u64("seed", 2_000)?;
+    let requests = args.get_u64("requests", PAPER_REQUESTS)?;
+    let reps = args.get_u64("reps", 1)?;
+    let out = args.get_str("out", "results/heuristics.json");
+
     let system = paper_system(1.0 / 6.0)?;
     let weight = 1.0;
+
+    // Serial solve phase: the CTMDP optimum and the constrained-LP
+    // randomized policy are shared by every simulation task.
+    let optimal = optimize::optimal_policy(&system, weight)?;
+    let exact = optimize::constrained_lp(&system, optimal.metrics().queue_length())?;
+
+    // Poisson-workload shoot-out points, then the bursty-trace points.
+    let mut plan = Plan::new("heuristics", root_seed).replications(reps);
+    for kind in [
+        "ctmdp-optimal",
+        "lp-randomized",
+        "n-policy-1",
+        "n-policy-2",
+        "n-policy-3",
+        "greedy",
+        "timeout-1",
+        "timeout-3",
+        "timeout-6",
+        "predictive",
+        "always-on",
+    ] {
+        plan = plan.point(
+            PlanPoint::new(kind)
+                .with("kind", kind)
+                .with("workload", "poisson"),
+        );
+    }
+    for kind in ["greedy", "predictive", "timeout-1"] {
+        plan = plan.point(
+            PlanPoint::new(format!("{kind} (bursty)"))
+                .with("kind", kind)
+                .with("workload", "bursty"),
+        );
+    }
+    let n_poisson_points = 11;
+
+    let gaps = burst_gaps();
+    let records = runner::run_plan(&plan, workers, |ctx| {
+        let kind = ctx.point.param("kind").unwrap().as_text().unwrap();
+        let workload = ctx.point.param("workload").unwrap().as_text().unwrap();
+        let task = || -> Result<SimReport, Box<dyn std::error::Error>> {
+            let sp = system.provider();
+            if workload == "bursty" {
+                macro_rules! run_trace {
+                    ($controller:expr) => {
+                        Simulator::new(
+                            sp.clone(),
+                            system.capacity(),
+                            TraceWorkload::new(gaps.clone())?,
+                            $controller,
+                            SimConfig::new(ctx.seed),
+                        )
+                        .run()?
+                    };
+                }
+                return Ok(match kind {
+                    "greedy" => run_trace!(GreedyController::new(sp)?),
+                    "predictive" => run_trace!(PredictiveController::new(sp, 2, 0.25)?),
+                    "timeout-1" => run_trace!(TimeoutController::new(sp, 1.0, 2)?),
+                    other => return Err(format!("unknown bursty kind `{other}`").into()),
+                });
+            }
+            let report = match kind {
+                "ctmdp-optimal" => simulate_controller(
+                    &system,
+                    TableController::new(&system, optimal.policy())?.named("ctmdp-optimal"),
+                    ctx.seed,
+                    requests,
+                )?,
+                "lp-randomized" => simulate_controller(
+                    &system,
+                    RandomizedController::new(&system, exact.policy())?,
+                    ctx.seed,
+                    requests,
+                )?,
+                "n-policy-1" | "n-policy-2" | "n-policy-3" => {
+                    let n = kind.rsplit('-').next().unwrap().parse::<usize>().unwrap();
+                    simulate_controller(
+                        &system,
+                        NPolicyController::new(sp, n, 2)?,
+                        ctx.seed,
+                        requests,
+                    )?
+                }
+                "greedy" => {
+                    simulate_controller(&system, GreedyController::new(sp)?, ctx.seed, requests)?
+                }
+                "timeout-1" | "timeout-3" | "timeout-6" => {
+                    let t = kind.rsplit('-').next().unwrap().parse::<f64>().unwrap();
+                    simulate_controller(
+                        &system,
+                        TimeoutController::new(sp, t, 2)?,
+                        ctx.seed,
+                        requests,
+                    )?
+                }
+                "predictive" => simulate_controller(
+                    &system,
+                    PredictiveController::new(sp, 2, 0.25)?,
+                    ctx.seed,
+                    requests,
+                )?,
+                "always-on" => {
+                    simulate_controller(&system, AlwaysOnController::new(sp), ctx.seed, requests)?
+                }
+                other => return Err(format!("unknown kind `{other}`").into()),
+            };
+            Ok(report)
+        };
+        let report = task().map_err(|e| e.to_string())?;
+        record_sim_telemetry(ctx.telemetry, &report);
+        let mut result = report_to_json(&report);
+        let weighted = report.average_power() + weight * report.average_queue_length();
+        result.set("weighted", Json::num(weighted));
+        result.set("policy", report.policy());
+        Ok(result)
+    })?;
+
+    // Part 1: the Poisson shoot-out table (means over replications).
     let widths = [22usize, 11, 10, 10, 11, 12];
-    println!("Heuristic shoot-out (lambda = 1/6, Q = 5, w = {weight})");
+    println!("Heuristic shoot-out (lambda = 1/6, Q = 5, w = {weight}, reps = {reps})");
     row(
         &[
             "policy".into(),
@@ -30,93 +183,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &widths,
     );
     rule(&widths);
-
-    let mut reports: Vec<SimReport> = Vec::new();
-    let mut seed = 2_000u64;
-    let mut run = |r: SimReport| {
-        reports.push(r);
-    };
-
-    let optimal = optimize::optimal_policy(&system, weight)?;
-    seed += 1;
-    run(simulate_controller(
-        &system,
-        TableController::new(&system, optimal.policy())?.named("ctmdp-optimal"),
-        seed,
-        PAPER_REQUESTS,
-    )?);
-
-    let exact = optimize::constrained_lp(&system, optimal.metrics().queue_length())?;
-    seed += 1;
-    run(simulate_controller(
-        &system,
-        RandomizedController::new(&system, exact.policy())?,
-        seed,
-        PAPER_REQUESTS,
-    )?);
-
-    for n in [1usize, 2, 3] {
-        seed += 1;
-        run(simulate_controller(
-            &system,
-            NPolicyController::new(system.provider(), n, 2)?,
-            seed,
-            PAPER_REQUESTS,
-        )?);
-    }
-
-    seed += 1;
-    run(simulate_controller(
-        &system,
-        GreedyController::new(system.provider())?,
-        seed,
-        PAPER_REQUESTS,
-    )?);
-
-    for timeout in [1.0, 3.0, 6.0] {
-        seed += 1;
-        run(simulate_controller(
-            &system,
-            TimeoutController::new(system.provider(), timeout, 2)?,
-            seed,
-            PAPER_REQUESTS,
-        )?);
-    }
-
-    seed += 1;
-    run(simulate_controller(
-        &system,
-        PredictiveController::new(system.provider(), 2, 0.25)?,
-        seed,
-        PAPER_REQUESTS,
-    )?);
-
-    seed += 1;
-    run(simulate_controller(
-        &system,
-        AlwaysOnController::new(system.provider()),
-        seed,
-        PAPER_REQUESTS,
-    )?);
-
-    // Keep the analytic optimum's weighted cost as the reference line.
-    let reference = optimal.metrics().power() + weight * optimal.metrics().queue_length();
-    for report in &reports {
-        let weighted = report.average_power() + weight * report.average_queue_length();
+    for point in 0..n_poisson_points {
+        let name = runner::records_for_point(&records, point)[0]
+            .result
+            .get("policy")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_owned();
         row(
             &[
-                report.policy().to_owned(),
-                format!("{:.4}", report.average_power()),
-                format!("{:.4}", report.average_queue_length()),
-                format!("{:.3}", report.average_waiting_time()),
-                format!("{:.4}", report.switches() as f64 / report.duration()),
-                format!("{weighted:.4}"),
+                name,
+                format!("{:.4}", point_mean(&records, point, "power")),
+                format!("{:.4}", point_mean(&records, point, "queue")),
+                format!("{:.3}", point_mean(&records, point, "wait")),
+                format!("{:.4}", point_mean(&records, point, "switches_per_s")),
+                format!("{:.4}", point_mean(&records, point, "weighted")),
             ],
             &widths,
         );
     }
     rule(&widths);
+    let reference = optimal.metrics().power() + weight * optimal.metrics().queue_length();
     println!("analytic optimum weighted cost: {reference:.4}");
+    println!(
+        "solver: {} policy-iteration rounds, evaluation residual {:.2e}",
+        optimal.iterations(),
+        optimal.eval_residual()
+    );
     println!(
         "\nshape check: no simulated policy beats the CTMDP optimum's weighted cost\n\
          beyond simulation noise. Under a memoryless (Poisson) workload the\n\
@@ -124,17 +217,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          helps only when requests are highly correlated [16, 17]."
     );
 
-    // Part 2: a *correlated* workload — bursts of closely spaced requests
-    // separated by long quiet gaps — where prediction earns its keep.
+    // Part 2: the correlated (bursty) trace.
     println!("\ncorrelated (bursty) workload: 5-request bursts, 1.6 s spacing, 60 s gaps");
-    let burst_gaps: Vec<f64> = {
-        let mut gaps = Vec::with_capacity(2_000 * 5);
-        for _ in 0..2_000 {
-            gaps.push(60.0);
-            gaps.extend(std::iter::repeat_n(1.6, 4));
-        }
-        gaps
-    };
     let widths2 = [22usize, 11, 10, 12];
     row(
         &[
@@ -146,72 +230,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &widths2,
     );
     rule(&widths2);
-    let bursty = |name: &str, r: dpm_sim::SimReport| {
+    for point in n_poisson_points..plan.points().len() {
         row(
             &[
-                name.to_owned(),
-                format!("{:.4}", r.average_power()),
-                format!("{:.3}", r.average_waiting_time()),
-                format!("{:.4}", r.switches() as f64 / r.duration()),
+                plan.points()[point].label().to_owned(),
+                format!("{:.4}", point_mean(&records, point, "power")),
+                format!("{:.3}", point_mean(&records, point, "wait")),
+                format!("{:.4}", point_mean(&records, point, "switches_per_s")),
             ],
             &widths2,
         );
-    };
-    use dpm_sim::workload::TraceWorkload;
-    use dpm_sim::{SimConfig, Simulator};
-    let greedy_bursty = Simulator::new(
-        system.provider().clone(),
-        system.capacity(),
-        TraceWorkload::new(burst_gaps.clone())?,
-        GreedyController::new(system.provider())?,
-        SimConfig::new(3_001),
-    )
-    .run()?;
-    bursty("greedy", greedy_bursty);
-    let predictive_bursty = Simulator::new(
-        system.provider().clone(),
-        system.capacity(),
-        TraceWorkload::new(burst_gaps.clone())?,
-        PredictiveController::new(system.provider(), 2, 0.25)?,
-        SimConfig::new(3_001),
-    )
-    .run()?;
-    bursty("predictive", predictive_bursty);
-    let timeout_bursty = Simulator::new(
-        system.provider().clone(),
-        system.capacity(),
-        TraceWorkload::new(burst_gaps)?,
-        TimeoutController::new(system.provider(), 1.0, 2)?,
-        SimConfig::new(3_001),
-    )
-    .run()?;
-    bursty("timeout(1s)", timeout_bursty);
+    }
     println!(
         "\nshape check: on the correlated trace prediction edges out greedy (it skips\n\
          some unprofitable sleeps inside bursts) — the paper's [16, 17] setting; the\n\
          margin is modest because exponential service times blur the gap structure."
     );
 
-    // Also verify the N-policy table encoding and behavioral controllers
-    // agree (same seeds would give identical paths; different seeds give
-    // statistical agreement) — a consistency line for the curious.
+    // Part 3: verify the N-policy table encoding and behavioral
+    // controllers agree — same seed must give identical sample paths.
     let np2_table = PmPolicy::n_policy(&system, 2, 2)?;
     let a = simulate_controller(
         &system,
         TableController::new(&system, &np2_table)?.named("np2-table"),
-        9_999,
-        PAPER_REQUESTS,
+        root_seed,
+        requests,
     )?;
     let b = simulate_controller(
         &system,
         NPolicyController::new(system.provider(), 2, 2)?,
-        9_999,
-        PAPER_REQUESTS,
+        root_seed,
+        requests,
     )?;
     println!(
         "\nconsistency: N=2 table vs behavioral (same seed): {:.6} vs {:.6} W",
         a.average_power(),
         b.average_power()
     );
+
+    let mut doc = artifact::build(&plan, workers, &records);
+    let mut solve = Json::object();
+    solve.set("iterations", optimal.iterations());
+    solve.set("eval_residual", Json::num(optimal.eval_residual()));
+    solve.set("weighted_optimum", Json::num(reference));
+    doc.set("solve", solve);
+    artifact::write(&out, &doc)?;
+    println!("artifact: {out}");
     Ok(())
 }

@@ -3,22 +3,26 @@
 //!
 //! The SYS chain has O(1) transitions per state, so the sparse generator
 //! holds O(n) entries where the dense one holds n². This binary sweeps the
-//! queue capacity for the paper's 3-mode server and a 5-mode DVS-style
-//! device, timing both pipelines end to end (assembly + solve) and
-//! reporting their agreement where both run. The dense pipeline is skipped
-//! at the largest capacity, where materializing and factoring the n × n
-//! matrix is the point being avoided.
+//! queue capacity and provider mode count, timing both pipelines end to
+//! end (assembly + solve) and reporting their agreement where both run.
+//! The dense pipeline is skipped beyond `--dense-limit`, where
+//! materializing and factoring the n × n matrix is the point being
+//! avoided.
 //!
-//! Run with `cargo run --release -p dpm-bench --bin scaling`.
+//! Runs on the `dpm-harness` plan runner: each (modes, capacity) cell is
+//! a plan point, solver sweep counts and residuals land in task
+//! telemetry, and the run writes a versioned JSON artifact.
+//!
+//! ```text
+//! cargo run --release -p dpm-bench --bin scaling -- \
+//!     [--capacities 5,50,200,500] [--modes 3,5] [--dense-limit 500] \
+//!     [--workers N] [--seed S] [--reps R] [--out results/scaling.json]
+//! ```
 
-use std::time::Instant;
-
-use dpm_bench::{row, rule};
+use dpm_bench::{counter_value, row, rule, timer_mean_secs};
 use dpm_core::{DpmError, PmPolicy, PmSystem, SpModel, SrModel};
 use dpm_ctmc::stationary::{self, Method};
-
-/// Largest capacity in the sweep; dense LU is skipped there.
-const DENSE_SKIP_CAPACITY: usize = 500;
+use dpm_harness::{artifact, cli::Args, plan::Plan, runner, Json, ParamValue};
 
 /// A five-mode device: two active speeds plus three sleep depths, fully
 /// connected, in the style of the paper's general model.
@@ -58,23 +62,130 @@ fn five_mode_server() -> Result<SpModel, DpmError> {
     b.build()
 }
 
+/// A synthetic device with one active mode and `modes - 1` progressively
+/// deeper sleep modes, each reachable from active (and back). Parameters
+/// are deterministic functions of the depth so any mode count sweeps the
+/// same family.
+fn synthetic_server(modes: usize) -> Result<SpModel, DpmError> {
+    let mut b = SpModel::builder();
+    b.mode("active", 1.0, 50.0);
+    for depth in 1..modes {
+        let k = depth as f64;
+        b.mode(format!("sleep{depth}"), 0.0, 50.0 / (2.0 * k + 1.0));
+    }
+    // Fully connected: going deeper is fast and cheap, waking is slower
+    // and costs energy, both scaling with the depth distance.
+    for from in 0..modes {
+        for to in 0..modes {
+            if from == to {
+                continue;
+            }
+            let gap = from.abs_diff(to) as f64;
+            if to > from {
+                b.switch_time(from, to, 0.05 * gap)?
+                    .energy(from, to, 0.1 * gap)?;
+            } else {
+                b.switch_time(from, to, 0.2 * gap)?.energy(from, to, gap)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// The provider for a requested mode count: the paper's 3-mode server and
+/// the DVS-style 5-mode device keep their historical definitions; other
+/// counts use the synthetic family.
+fn provider_for(modes: usize) -> Result<SpModel, DpmError> {
+    match modes {
+        3 => SpModel::dac99_server(),
+        5 => five_mode_server(),
+        _ => synthetic_server(modes),
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let widths = [8usize, 8, 8, 12, 12, 10, 12];
+    let args = Args::from_env(&[
+        "capacities",
+        "modes",
+        "dense-limit",
+        "workers",
+        "seed",
+        "reps",
+        "out",
+    ])?;
+    let capacities = args.get_usize_list("capacities", &[5, 50, 200, 500])?;
+    let modes = args.get_usize_list("modes", &[3, 5])?;
+    let dense_limit = args.get_usize("dense-limit", 500)?;
+    let workers = args.workers()?;
+    let root_seed = args.get_u64("seed", 1)?;
+    let reps = args.get_u64("reps", 1)?;
+    let out = args.get_str("out", "results/scaling.json");
+
+    for &m in &modes {
+        if m < 2 {
+            return Err("--modes entries must be at least 2".into());
+        }
+    }
+
+    let plan = Plan::new("scaling", root_seed).replications(reps).grid(&[
+        (
+            "modes",
+            modes.iter().map(|&m| ParamValue::from(m)).collect(),
+        ),
+        (
+            "capacity",
+            capacities.iter().map(|&c| ParamValue::from(c)).collect(),
+        ),
+    ])?;
+
+    let records = runner::run_plan(&plan, workers, |ctx| {
+        let task = || -> Result<Json, DpmError> {
+            let m = ctx.point.param("modes").unwrap().as_i64().unwrap() as usize;
+            let capacity = ctx.point.param("capacity").unwrap().as_i64().unwrap() as usize;
+            let system = PmSystem::builder()
+                .provider(provider_for(m)?)
+                .requestor(SrModel::poisson(1.0 / 6.0)?)
+                .capacity(capacity)
+                .build()?;
+            let policy = PmPolicy::greedy(&system)?;
+
+            let (sparse, pi_sparse, stats) = ctx.telemetry.time("sparse", || {
+                let sparse = system.sparse_generator_for(&policy)?;
+                let (pi, stats) = stationary::solve_sparse_with_stats(&sparse, Method::Iterative)?;
+                Ok::<_, DpmError>((sparse, pi, stats))
+            })?;
+            ctx.telemetry
+                .incr("stationary.sweeps", stats.sweeps() as u64);
+            ctx.telemetry.gauge("stationary.residual", stats.residual());
+
+            let mut out = Json::object();
+            out.set("states", system.n_states());
+            out.set("nnz", sparse.nnz());
+            out.set("sweeps", stats.sweeps());
+            out.set("residual", Json::num(stats.residual()));
+            if capacity < dense_limit {
+                let pi_dense = ctx.telemetry.time("dense", || {
+                    let dense = system.generator_for(&policy)?;
+                    stationary::solve(&dense, Method::Lu).map_err(DpmError::from)
+                })?;
+                out.set("max_diff", Json::num((&pi_sparse - &pi_dense).norm_inf()));
+            }
+            Ok(out)
+        };
+        task().map_err(|e| e.to_string())
+    })?;
+
+    let widths = [8usize, 8, 8, 8, 12, 12, 10, 12];
     println!("Scaling — sparse (CSR + Gauss-Seidel) vs dense (LU) stationary pipeline");
     println!("Policy: greedy; times include generator assembly.\n");
-
-    let providers: [(&str, SpModel); 2] = [
-        ("3-mode", SpModel::dac99_server()?),
-        ("5-mode", five_mode_server()?),
-    ];
-
-    for (name, sp) in providers {
-        println!("{name} provider");
+    for (mi, &m) in modes.iter().enumerate() {
+        println!("{m}-mode provider");
         row(
             &[
                 "Q".into(),
                 "states".into(),
                 "nnz".into(),
+                "sweeps".into(),
                 "dense (ms)".into(),
                 "sparse (ms)".into(),
                 "speedup".into(),
@@ -83,40 +194,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &widths,
         );
         rule(&widths);
-
-        for capacity in [5usize, 50, 200, 500] {
-            let system = PmSystem::builder()
-                .provider(sp.clone())
-                .requestor(SrModel::poisson(1.0 / 6.0)?)
-                .capacity(capacity)
-                .build()?;
-            let policy = PmPolicy::greedy(&system)?;
-
-            let start = Instant::now();
-            let sparse = system.sparse_generator_for(&policy)?;
-            let pi_sparse = stationary::solve_sparse(&sparse, Method::Iterative)?;
-            let sparse_ms = start.elapsed().as_secs_f64() * 1e3;
-
-            let (dense_text, speedup_text, diff_text) = if capacity >= DENSE_SKIP_CAPACITY {
-                ("skipped".into(), "-".into(), "-".into())
-            } else {
-                let start = Instant::now();
-                let dense = system.generator_for(&policy)?;
-                let pi_dense = stationary::solve(&dense, Method::Lu)?;
-                let dense_ms = start.elapsed().as_secs_f64() * 1e3;
-                let diff = (&pi_sparse - &pi_dense).norm_inf();
-                (
-                    format!("{dense_ms:.2}"),
-                    format!("{:.1}x", dense_ms / sparse_ms),
-                    format!("{diff:.2e}"),
-                )
+        for (ci, &capacity) in capacities.iter().enumerate() {
+            let point = mi * capacities.len() + ci;
+            let record = runner::records_for_point(&records, point)[0];
+            let sparse_ms = timer_mean_secs(record, "sparse").unwrap_or(0.0) * 1e3;
+            let (dense_text, speedup_text, diff_text) = match timer_mean_secs(record, "dense") {
+                None => ("skipped".into(), "-".into(), "-".into()),
+                Some(dense_secs) => {
+                    let dense_ms = dense_secs * 1e3;
+                    let diff = record.result.get("max_diff").unwrap().as_f64().unwrap();
+                    (
+                        format!("{dense_ms:.2}"),
+                        format!("{:.1}x", dense_ms / sparse_ms),
+                        format!("{diff:.2e}"),
+                    )
+                }
             };
-
             row(
                 &[
                     format!("{capacity}"),
-                    format!("{}", system.n_states()),
-                    format!("{}", sparse.nnz()),
+                    format!("{}", record.result.get("states").unwrap().as_f64().unwrap()),
+                    format!("{}", record.result.get("nnz").unwrap().as_f64().unwrap()),
+                    format!(
+                        "{}",
+                        counter_value(record, "stationary.sweeps").unwrap_or(0)
+                    ),
                     dense_text,
                     format!("{sparse_ms:.2}"),
                     speedup_text,
@@ -127,5 +229,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
+
+    let doc = artifact::build(&plan, workers, &records);
+    artifact::write(&out, &doc)?;
+    println!("artifact: {out}");
     Ok(())
 }

@@ -6,6 +6,7 @@
 //! `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
 
 use dpm_core::{DpmError, PmPolicy, PmSystem, SpModel, SrModel};
+use dpm_harness::{Json, Registry, TaskRecord};
 use dpm_sim::controller::{Controller, TableController};
 use dpm_sim::workload::PoissonWorkload;
 use dpm_sim::{SimConfig, SimError, SimReport, Simulator};
@@ -62,6 +63,70 @@ pub fn simulate_controller<C: Controller>(
         SimConfig::new(seed).max_requests(requests),
     )
     .run()
+}
+
+/// Serializes a [`SimReport`]'s deterministic metrics for a harness task
+/// record. Every field is a pure function of the model and the seed, so
+/// artifacts from different worker counts compare byte-identical.
+#[must_use]
+pub fn report_to_json(report: &SimReport) -> Json {
+    let mut out = Json::object();
+    out.set("power", Json::num(report.average_power()));
+    out.set("queue", Json::num(report.average_queue_length()));
+    out.set("wait", Json::num(report.average_waiting_time()));
+    out.set(
+        "switches_per_s",
+        Json::num(report.switches() as f64 / report.duration()),
+    );
+    out.set("consultation_rate", Json::num(report.consultation_rate()));
+    out.set("loss", Json::num(report.loss_fraction()));
+    out.set("duration", Json::num(report.duration()));
+    out
+}
+
+/// Records a [`SimReport`]'s engine counters into task telemetry.
+pub fn record_sim_telemetry(registry: &Registry, report: &SimReport) {
+    registry.incr("sim.events", report.events());
+    registry.incr("sim.arrivals", report.arrivals());
+    registry.incr("sim.completed", report.completed());
+    registry.incr("sim.lost", report.lost());
+    registry.incr("sim.switches", report.switches());
+    registry.incr("sim.consultations", report.consultations());
+}
+
+/// Mean of a per-point numeric `result` field, for table rendering.
+///
+/// # Panics
+///
+/// Panics if the field is absent — a programming error in the binary that
+/// wrote the records.
+#[must_use]
+pub fn point_mean(records: &[TaskRecord], point: usize, field: &str) -> f64 {
+    dpm_harness::runner::mean_of(records, point, field)
+        .unwrap_or_else(|| panic!("field `{field}` missing for point {point}"))
+}
+
+/// A timer mean (seconds) from a record's telemetry snapshot, when
+/// present. Timers are wall-clock and excluded from artifact comparisons.
+#[must_use]
+pub fn timer_mean_secs(record: &TaskRecord, name: &str) -> Option<f64> {
+    let timer = record.telemetry.get("timers")?.get(name)?;
+    let sum = timer.get("sum")?.as_f64()?;
+    let count = timer.get("count")?.as_f64()?;
+    if count == 0.0 {
+        None
+    } else {
+        Some(sum / count)
+    }
+}
+
+/// A counter value from a record's telemetry snapshot, when present.
+#[must_use]
+pub fn counter_value(record: &TaskRecord, name: &str) -> Option<i128> {
+    match record.telemetry.get("counters")?.get(name)? {
+        Json::Int(v) => Some(*v),
+        _ => None,
+    }
 }
 
 /// Prints a fixed-width table row.

@@ -22,6 +22,8 @@ pub struct OptimalSolution {
     metrics: PolicyMetrics,
     weight: f64,
     iterations: usize,
+    eval_residual: f64,
+    eval_secs: Vec<f64>,
 }
 
 impl OptimalSolution {
@@ -47,6 +49,19 @@ impl OptimalSolution {
     #[must_use]
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Worst-case residual of the gain/bias evaluation equations at the
+    /// converged policy (a solver-quality diagnostic).
+    #[must_use]
+    pub fn eval_residual(&self) -> f64 {
+        self.eval_residual
+    }
+
+    /// Wall-clock seconds spent in each policy-evaluation round.
+    #[must_use]
+    pub fn eval_timings(&self) -> &[f64] {
+        &self.eval_secs
     }
 }
 
@@ -95,6 +110,8 @@ pub fn optimal_policy(system: &PmSystem, weight: f64) -> Result<OptimalSolution,
         metrics,
         weight,
         iterations: solution.iterations(),
+        eval_residual: solution.eval_residual(),
+        eval_secs: solution.eval_timings().to_vec(),
     })
 }
 
@@ -398,5 +415,8 @@ mod tests {
         let sol = optimal_policy(&sys, 0.5).unwrap();
         assert!(sol.iterations() >= 1);
         assert_eq!(sol.weight(), 0.5);
+        // Convergence diagnostics ride along with the solution.
+        assert!(sol.eval_residual() < 1e-8);
+        assert_eq!(sol.eval_timings().len(), sol.iterations());
     }
 }

@@ -79,6 +79,41 @@ pub enum Method {
     Iterative,
 }
 
+/// Diagnostics of one stationary solve — the telemetry layer's view of
+/// what the solver did, alongside the distribution itself.
+///
+/// Produced by [`solve_with_stats`] / [`solve_sparse_with_stats`]. Direct
+/// methods ([`Method::Lu`], [`Method::Gth`]) report zero sweeps; the
+/// residual `‖πG‖_∞` is always computed a posteriori on the input
+/// representation, so it is an independent accuracy certificate rather
+/// than the solver's own stopping estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    method: Method,
+    sweeps: usize,
+    residual: f64,
+}
+
+impl SolveStats {
+    /// The backend that produced the distribution.
+    #[must_use]
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Iteration sweeps performed (0 for the direct methods).
+    #[must_use]
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// Final residual `‖πG‖_∞` of the returned distribution.
+    #[must_use]
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+}
+
 /// Solves `πG = 0`, `Σπ = 1` with the selected backend.
 ///
 /// This is the unified entry point; the per-algorithm free functions remain
@@ -91,11 +126,38 @@ pub enum Method {
 /// [`Method::Lu`], degenerate elimination for [`Method::Gth`],
 /// non-convergence for the iterative methods.
 pub fn solve(generator: &Generator, method: Method) -> Result<DVector, CtmcError> {
+    Ok(solve_inner(generator, method)?.0)
+}
+
+/// As [`solve`], additionally reporting sweep count and final residual.
+///
+/// # Errors
+///
+/// As [`solve`].
+pub fn solve_with_stats(
+    generator: &Generator,
+    method: Method,
+) -> Result<(DVector, SolveStats), CtmcError> {
+    let (pi, sweeps) = solve_inner(generator, method)?;
+    let stats = SolveStats {
+        method,
+        sweeps,
+        residual: residual(generator, &pi),
+    };
+    Ok((pi, stats))
+}
+
+fn solve_inner(generator: &Generator, method: Method) -> Result<(DVector, usize), CtmcError> {
     match method {
-        Method::Lu => solve_lu(generator),
-        Method::Gth => solve_gth(generator),
-        Method::Power => solve_power(generator, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS),
-        Method::Iterative => solve_sparse(
+        Method::Lu => Ok((solve_lu(generator)?, 0)),
+        Method::Gth => Ok((solve_gth(generator)?, 0)),
+        Method::Power => Ok((
+            solve_power(generator, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS)?,
+            // The dense power path does not count its own steps; callers
+            // who need the count use the sparse entry point.
+            0,
+        )),
+        Method::Iterative => solve_sparse_inner(
             &SparseGenerator::from_generator(generator),
             Method::Iterative,
         ),
@@ -116,9 +178,35 @@ pub fn solve(generator: &Generator, method: Method) -> Result<DVector, CtmcError
 /// absorbing state or no transitions (the iterative methods need every
 /// state to have a positive exit rate).
 pub fn solve_sparse(generator: &SparseGenerator, method: Method) -> Result<DVector, CtmcError> {
+    Ok(solve_sparse_inner(generator, method)?.0)
+}
+
+/// As [`solve_sparse`], additionally reporting sweep count and final
+/// residual — the diagnostics the experiment harness records per task.
+///
+/// # Errors
+///
+/// As [`solve_sparse`].
+pub fn solve_sparse_with_stats(
+    generator: &SparseGenerator,
+    method: Method,
+) -> Result<(DVector, SolveStats), CtmcError> {
+    let (pi, sweeps) = solve_sparse_inner(generator, method)?;
+    let stats = SolveStats {
+        method,
+        sweeps,
+        residual: residual_sparse(generator, &pi),
+    };
+    Ok((pi, stats))
+}
+
+fn solve_sparse_inner(
+    generator: &SparseGenerator,
+    method: Method,
+) -> Result<(DVector, usize), CtmcError> {
     match method {
-        Method::Lu => solve_lu(&generator.to_generator()?),
-        Method::Gth => solve_gth(&generator.to_generator()?),
+        Method::Lu => Ok((solve_lu(&generator.to_generator()?)?, 0)),
+        Method::Gth => Ok((solve_gth(&generator.to_generator()?)?, 0)),
         Method::Power => sparse_power(generator, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS),
         Method::Iterative => {
             sparse_gauss_seidel(generator, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS)
@@ -132,7 +220,7 @@ fn sparse_power(
     generator: &SparseGenerator,
     tolerance: f64,
     max_iterations: usize,
-) -> Result<DVector, CtmcError> {
+) -> Result<(DVector, usize), CtmcError> {
     let n = generator.n_states();
     let lambda = UNIFORMIZATION_MARGIN * generator.max_exit_rate();
     if lambda <= 0.0 {
@@ -141,12 +229,12 @@ fn sparse_power(
         });
     }
     let mut pi = DVector::constant(n, 1.0 / n as f64);
-    for _ in 0..max_iterations {
+    for sweep in 1..=max_iterations {
         let next = generator.uniformized_step(&pi, lambda);
         let update = (&next - &pi).norm_inf();
         pi = next;
         if update <= tolerance {
-            return sanitize(pi);
+            return Ok((sanitize(pi)?, sweep));
         }
     }
     Err(CtmcError::Numerical(
@@ -169,7 +257,7 @@ fn sparse_gauss_seidel(
     generator: &SparseGenerator,
     tolerance: f64,
     max_iterations: usize,
-) -> Result<DVector, CtmcError> {
+) -> Result<(DVector, usize), CtmcError> {
     let n = generator.n_states();
     for i in 0..n {
         if generator.exit_rate(i) <= 0.0 {
@@ -183,7 +271,7 @@ fn sparse_gauss_seidel(
     let transpose = generator.csr().transpose();
     let mut pi = DVector::constant(n, 1.0 / n as f64);
     let mut previous = pi.clone();
-    for _ in 0..max_iterations {
+    for sweep in 1..=max_iterations {
         for i in 0..n {
             let mut inflow = 0.0;
             for (j, rate) in transpose.row(i) {
@@ -204,7 +292,7 @@ fn sparse_gauss_seidel(
         pi.scale_mut(1.0 / sum);
         let update = (&pi - &previous).norm_inf();
         if update <= tolerance {
-            return sanitize(pi);
+            return Ok((sanitize(pi)?, sweep));
         }
         previous = pi.clone();
     }
@@ -731,6 +819,46 @@ mod unified_api_tests {
             solve_sparse(&g, Method::Power),
             Err(CtmcError::InvalidParameter { .. })
         ));
+    }
+
+    #[test]
+    fn stats_report_sweeps_and_residual() {
+        let g = three_state();
+        let sparse = SparseGenerator::from_generator(&g);
+        for method in [Method::Power, Method::Iterative] {
+            let (pi, stats) = solve_sparse_with_stats(&sparse, method).unwrap();
+            assert_eq!(stats.method(), method);
+            assert!(stats.sweeps() > 0, "{method:?} reported no sweeps");
+            assert!(stats.residual() < 1e-8, "{method:?}: {}", stats.residual());
+            assert!((stats.residual() - residual_sparse(&sparse, &pi)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn direct_methods_report_zero_sweeps() {
+        let g = three_state();
+        let sparse = SparseGenerator::from_generator(&g);
+        for method in [Method::Lu, Method::Gth] {
+            let (_, stats) = solve_sparse_with_stats(&sparse, method).unwrap();
+            assert_eq!(stats.sweeps(), 0);
+            assert!(stats.residual() < 1e-10);
+        }
+        let (_, dense_stats) = solve_with_stats(&g, Method::Lu).unwrap();
+        assert_eq!(dense_stats.sweeps(), 0);
+        assert!(dense_stats.residual() < 1e-10);
+    }
+
+    #[test]
+    fn stats_distribution_matches_plain_solve() {
+        let g = three_state();
+        let sparse = SparseGenerator::from_generator(&g);
+        let plain = solve_sparse(&sparse, Method::Iterative).unwrap();
+        let (with_stats, _) = solve_sparse_with_stats(&sparse, Method::Iterative).unwrap();
+        assert_eq!(plain, with_stats);
+        let dense_plain = solve(&g, Method::Iterative).unwrap();
+        let (dense_with, stats) = solve_with_stats(&g, Method::Iterative).unwrap();
+        assert_eq!(dense_plain, dense_with);
+        assert!(stats.sweeps() > 0);
     }
 
     use crate::birth_death;

@@ -1,0 +1,307 @@
+//! Versioned JSON run artifacts and the tolerance-aware diff.
+//!
+//! An artifact is the durable record of one plan execution: a
+//! `schema_version`, the plan itself (root seed, points, replications),
+//! run provenance (worker count, host facts, git commit, timestamp) and
+//! one record per task with its measurement and telemetry.
+//!
+//! Two artifacts from the same plan are comparable with [`diff`]: volatile
+//! subtrees — `provenance`, `wall_secs` and telemetry `timers` — are
+//! stripped, and numeric leaves are compared within a caller-chosen
+//! relative tolerance (0 for exact determinism checks, small positive for
+//! cross-platform regression gates).
+
+use std::path::Path;
+use std::process::Command;
+
+use crate::json::Json;
+use crate::plan::Plan;
+use crate::runner::TaskRecord;
+use crate::HarnessError;
+
+/// Version of the artifact document layout. Bump on breaking layout
+/// changes; the diff tool refuses to compare mismatched versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Keys whose subtrees are run-volatile (timing, environment) and excluded
+/// from determinism comparisons.
+pub const VOLATILE_KEYS: [&str; 3] = ["provenance", "wall_secs", "timers"];
+
+/// Assembles the artifact document for one run.
+#[must_use]
+pub fn build(plan: &Plan, workers: usize, records: &[TaskRecord]) -> Json {
+    let mut doc = Json::object();
+    doc.set("schema_version", SCHEMA_VERSION);
+    doc.set("experiment", plan.name());
+    doc.set("plan", plan.to_json());
+    doc.set("provenance", provenance(workers));
+    doc.set(
+        "tasks",
+        Json::Array(records.iter().map(|r| r.to_json(plan)).collect()),
+    );
+    doc
+}
+
+/// Run provenance: everything needed to interpret (but not to compare)
+/// the artifact.
+fn provenance(workers: usize) -> Json {
+    let mut node = Json::object();
+    node.set("workers", workers);
+    node.set("os", std::env::consts::OS);
+    node.set("arch", std::env::consts::ARCH);
+    node.set("cpus", crate::pool::default_workers());
+    node.set("git_commit", git_commit().as_deref().unwrap_or("unknown"));
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    node.set("unix_time", unix_time);
+    node
+}
+
+fn git_commit() -> Option<String> {
+    let output = Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let commit = String::from_utf8(output.stdout).ok()?;
+    let commit = commit.trim();
+    if commit.is_empty() {
+        None
+    } else {
+        Some(commit.to_owned())
+    }
+}
+
+/// Writes `doc` to `path`, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write(path: impl AsRef<Path>, doc: &Json) -> Result<(), HarnessError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc.render())?;
+    Ok(())
+}
+
+/// Reads and parses an artifact.
+///
+/// # Errors
+///
+/// Propagates filesystem failures and JSON parse errors.
+pub fn read(path: impl AsRef<Path>) -> Result<Json, HarnessError> {
+    let text = std::fs::read_to_string(path)?;
+    Json::parse(&text)
+}
+
+/// Returns a copy of `doc` with every volatile subtree
+/// (see [`VOLATILE_KEYS`]) removed — the canonical comparable form.
+#[must_use]
+pub fn strip_volatile(doc: &Json) -> Json {
+    match doc {
+        Json::Object(map) => Json::Object(
+            map.iter()
+                .filter(|(key, _)| !VOLATILE_KEYS.contains(&key.as_str()))
+                .map(|(key, value)| (key.clone(), strip_volatile(value)))
+                .collect(),
+        ),
+        Json::Array(items) => Json::Array(items.iter().map(strip_volatile).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Compares two artifacts, ignoring volatile subtrees and allowing numeric
+/// leaves to differ by a relative tolerance of `tol` (absolute near zero).
+/// Returns a human-readable line per difference; empty means equal.
+///
+/// Artifacts with different `schema_version`s are reported as one
+/// difference without descending further.
+#[must_use]
+pub fn diff(a: &Json, b: &Json, tol: f64) -> Vec<String> {
+    let version = |doc: &Json| doc.get("schema_version").cloned();
+    if version(a) != version(b) {
+        return vec![format!(
+            "schema_version: {:?} vs {:?}",
+            version(a),
+            version(b)
+        )];
+    }
+    let mut out = Vec::new();
+    diff_nodes(&strip_volatile(a), &strip_volatile(b), tol, "$", &mut out);
+    out
+}
+
+fn numbers_match(x: f64, y: f64, tol: f64) -> bool {
+    if x == y {
+        return true;
+    }
+    let scale = x.abs().max(y.abs()).max(1.0);
+    (x - y).abs() <= tol * scale
+}
+
+fn diff_nodes(a: &Json, b: &Json, tol: f64, path: &str, out: &mut Vec<String>) {
+    match (a, b) {
+        (Json::Object(ma), Json::Object(mb)) => {
+            for (key, va) in ma {
+                match mb.get(key) {
+                    Some(vb) => diff_nodes(va, vb, tol, &format!("{path}.{key}"), out),
+                    None => out.push(format!("{path}.{key}: missing on the right")),
+                }
+            }
+            for key in mb.keys() {
+                if !ma.contains_key(key) {
+                    out.push(format!("{path}.{key}: missing on the left"));
+                }
+            }
+        }
+        (Json::Array(va), Json::Array(vb)) => {
+            if va.len() != vb.len() {
+                out.push(format!("{path}: array length {} vs {}", va.len(), vb.len()));
+                return;
+            }
+            for (i, (xa, xb)) in va.iter().zip(vb).enumerate() {
+                diff_nodes(xa, xb, tol, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {
+            let (na, nb) = (a.as_f64(), b.as_f64());
+            let equal = match (na, nb) {
+                (Some(x), Some(y)) => numbers_match(x, y, tol),
+                _ => a == b,
+            };
+            if !equal {
+                out.push(format!("{path}: {} vs {}", summarize(a), summarize(b)));
+            }
+        }
+    }
+}
+
+fn summarize(node: &Json) -> String {
+    match node {
+        Json::Object(_) => "<object>".to_owned(),
+        Json::Array(_) => "<array>".to_owned(),
+        leaf => {
+            let mut text = leaf.render();
+            text.truncate(text.trim_end().len());
+            text
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanPoint;
+    use crate::runner::run_plan;
+
+    fn sample(workers: usize) -> Json {
+        let plan = Plan::new("unit", 5)
+            .replications(2)
+            .point(PlanPoint::new("p").with("x", 1.5));
+        let records = run_plan(&plan, workers, |ctx| {
+            ctx.telemetry.incr("n", ctx.seed % 7);
+            ctx.telemetry.time("work", || ());
+            let mut out = Json::object();
+            #[allow(clippy::cast_precision_loss)]
+            out.set("metric", (ctx.seed % 100) as f64 / 3.0);
+            Ok(out)
+        })
+        .unwrap();
+        build(&plan, workers, &records)
+    }
+
+    #[test]
+    fn document_has_schema_version_and_provenance() {
+        let doc = sample(1);
+        assert_eq!(doc.get("schema_version"), Some(&Json::Int(1)));
+        let prov = doc.get("provenance").unwrap();
+        assert!(prov.get("workers").is_some());
+        assert!(prov.get("git_commit").is_some());
+        assert_eq!(doc.get("experiment"), Some(&Json::Str("unit".to_owned())));
+    }
+
+    #[test]
+    fn different_worker_counts_diff_clean() {
+        let a = sample(1);
+        let b = sample(4);
+        assert_eq!(diff(&a, &b, 0.0), Vec::<String>::new());
+        // And the stripped canonical forms render byte-identically.
+        assert_eq!(strip_volatile(&a).render(), strip_volatile(&b).render());
+    }
+
+    #[test]
+    fn strip_removes_timers_but_keeps_counters() {
+        let doc = sample(1);
+        let stripped = strip_volatile(&doc);
+        let rendered = stripped.render();
+        assert!(!rendered.contains("wall_secs"));
+        assert!(!rendered.contains("timers"));
+        assert!(rendered.contains("counters"));
+        assert!(stripped.get("provenance").is_none());
+    }
+
+    #[test]
+    fn diff_reports_value_changes_with_paths() {
+        let mut a = Json::object();
+        a.set("schema_version", SCHEMA_VERSION);
+        a.set("v", 1.0);
+        let mut b = Json::object();
+        b.set("schema_version", SCHEMA_VERSION);
+        b.set("v", 1.5);
+        let report = diff(&a, &b, 0.0);
+        assert_eq!(report.len(), 1);
+        assert!(report[0].starts_with("$.v:"), "{report:?}");
+        // Within tolerance: clean.
+        assert!(diff(&a, &b, 0.4).is_empty());
+    }
+
+    #[test]
+    fn diff_reports_missing_keys_and_length_mismatches() {
+        let mut a = Json::object();
+        a.set("schema_version", SCHEMA_VERSION);
+        a.set("only_a", 1u64);
+        a.set("list", vec![Json::Int(1)]);
+        let mut b = Json::object();
+        b.set("schema_version", SCHEMA_VERSION);
+        b.set("only_b", 1u64);
+        b.set("list", vec![Json::Int(1), Json::Int(2)]);
+        let report = diff(&a, &b, 0.0);
+        assert_eq!(report.len(), 3, "{report:?}");
+    }
+
+    #[test]
+    fn mismatched_schema_versions_short_circuit() {
+        let mut a = Json::object();
+        a.set("schema_version", 1u64);
+        let mut b = Json::object();
+        b.set("schema_version", 2u64);
+        let report = diff(&a, &b, 0.0);
+        assert_eq!(report.len(), 1);
+        assert!(report[0].contains("schema_version"));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let doc = sample(2);
+        let dir = std::env::temp_dir().join("dpm-harness-test");
+        let path = dir.join("nested/artifact.json");
+        write(&path, &doc).unwrap();
+        let loaded = read(&path).unwrap();
+        assert_eq!(loaded, doc);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn relative_tolerance_scales_with_magnitude() {
+        assert!(numbers_match(1000.0, 1000.5, 1e-3));
+        assert!(!numbers_match(1.0, 1.5, 1e-3));
+        assert!(numbers_match(0.0, 1e-13, 1e-12));
+    }
+}

@@ -1,0 +1,46 @@
+//! Tolerance-aware comparison of two run artifacts.
+//!
+//! ```text
+//! artifact_diff --a results/fig4.json --b results/fig4.new.json [--tol 1e-9]
+//! ```
+//!
+//! Volatile subtrees (provenance, wall-clock timers) are ignored; numeric
+//! leaves may differ by the relative tolerance. Exit status 0 means the
+//! artifacts agree, 1 means they differ, 2 means usage or I/O error.
+
+use std::process::ExitCode;
+
+use dpm_harness::{artifact, cli::Args};
+
+fn run() -> Result<ExitCode, dpm_harness::HarnessError> {
+    let args = Args::from_env(&["a", "b", "tol"])?;
+    let (Some(path_a), Some(path_b)) = (args.get("a"), args.get("b")) else {
+        return Err(dpm_harness::HarnessError::InvalidArgument {
+            reason: "usage: artifact_diff --a <file> --b <file> [--tol 1e-9]".to_owned(),
+        });
+    };
+    let tol = args.get_f64("tol", 0.0)?;
+    let doc_a = artifact::read(path_a)?;
+    let doc_b = artifact::read(path_b)?;
+    let report = artifact::diff(&doc_a, &doc_b, tol);
+    if report.is_empty() {
+        println!("artifacts agree (tol {tol:e})");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("{} difference(s) at tol {tol:e}:", report.len());
+        for line in &report {
+            println!("  {line}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("artifact_diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

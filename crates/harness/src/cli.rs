@@ -1,0 +1,245 @@
+//! A tiny `--flag value` argument parser shared by the experiment
+//! binaries (the environment has no `clap`).
+//!
+//! Supported shapes: `--name value`, `--switch` (boolean, no value), and
+//! comma-separated lists (`--capacities 5,50,200`). Every experiment
+//! binary accepts at least `--workers`, `--seed`, `--requests`, `--reps`
+//! and `--out`; unknown flags are rejected so typos fail loudly.
+
+use std::collections::BTreeMap;
+
+use crate::{pool, HarnessError};
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+fn invalid(reason: String) -> HarnessError {
+    HarnessError::InvalidArgument { reason }
+}
+
+impl Args {
+    /// Parses `argv` (without the program name), accepting only flags
+    /// named in `allowed`. A flag whose successor starts with `--` (or is
+    /// absent) is treated as a boolean switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidArgument`] for unknown or malformed
+    /// flags.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        argv: I,
+        allowed: &[&str],
+    ) -> Result<Args, HarnessError> {
+        let mut values = BTreeMap::new();
+        let mut iter = argv.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(invalid(format!(
+                    "unexpected positional argument `{arg}` (flags are --name value)"
+                )));
+            };
+            if !allowed.contains(&name) {
+                return Err(invalid(format!(
+                    "unknown flag --{name}; known flags: {}",
+                    allowed
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                _ => "true".to_owned(),
+            };
+            values.insert(name.to_owned(), value);
+        }
+        Ok(Args { values })
+    }
+
+    /// Parses the process's own arguments.
+    ///
+    /// # Errors
+    ///
+    /// As [`Args::parse`].
+    pub fn from_env(allowed: &[&str]) -> Result<Args, HarnessError> {
+        Args::parse(std::env::args().skip(1), allowed)
+    }
+
+    /// The raw value of a flag, if given.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// True if the boolean switch was given.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.get(name) == Some("true")
+    }
+
+    /// A `u64` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidArgument`] on parse failure.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, HarnessError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| invalid(format!("--{name} expects an integer, got `{text}`"))),
+        }
+    }
+
+    /// A `usize` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// As [`Args::get_u64`].
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, HarnessError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| invalid(format!("--{name} expects an integer, got `{text}`"))),
+        }
+    }
+
+    /// An `f64` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// As [`Args::get_u64`].
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, HarnessError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| invalid(format!("--{name} expects a number, got `{text}`"))),
+        }
+    }
+
+    /// A string flag with a default.
+    #[must_use]
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.get(name).unwrap_or(default).to_owned()
+    }
+
+    /// A comma-separated `usize` list flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidArgument`] if any element fails to
+    /// parse or the list is empty.
+    pub fn get_usize_list(
+        &self,
+        name: &str,
+        default: &[usize],
+    ) -> Result<Vec<usize>, HarnessError> {
+        match self.get(name) {
+            None => Ok(default.to_vec()),
+            Some(text) => {
+                let list: Result<Vec<usize>, _> = text
+                    .split(',')
+                    .map(|part| part.trim().parse::<usize>())
+                    .collect();
+                let list = list.map_err(|_| {
+                    invalid(format!(
+                        "--{name} expects a comma-separated integer list, got `{text}`"
+                    ))
+                })?;
+                if list.is_empty() {
+                    return Err(invalid(format!("--{name} list is empty")));
+                }
+                Ok(list)
+            }
+        }
+    }
+
+    /// The worker count: `--workers N`, defaulting to the machine's
+    /// available parallelism.
+    ///
+    /// # Errors
+    ///
+    /// As [`Args::get_usize`], plus zero is rejected.
+    pub fn workers(&self) -> Result<usize, HarnessError> {
+        let n = self.get_usize("workers", pool::default_workers())?;
+        if n == 0 {
+            return Err(invalid("--workers must be at least 1".to_owned()));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str], allowed: &[&str]) -> Result<Args, HarnessError> {
+        Args::parse(args.iter().map(|s| (*s).to_owned()), allowed)
+    }
+
+    #[test]
+    fn typed_getters_parse_and_default() {
+        let args = parse(
+            &["--workers", "4", "--weight", "2.5", "--out", "x.json"],
+            &["workers", "weight", "out", "reps"],
+        )
+        .unwrap();
+        assert_eq!(args.workers().unwrap(), 4);
+        assert_eq!(args.get_f64("weight", 1.0).unwrap(), 2.5);
+        assert_eq!(args.get_str("out", "d.json"), "x.json");
+        assert_eq!(args.get_u64("reps", 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn boolean_switches_need_no_value() {
+        let args = parse(&["--smoke", "--workers", "2"], &["smoke", "workers"]).unwrap();
+        assert!(args.flag("smoke"));
+        assert!(!args.flag("missing"));
+        assert_eq!(args.workers().unwrap(), 2);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = parse(&["--bogus", "1"], &["workers"]).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        assert!(parse(&["stray"], &["workers"]).is_err());
+    }
+
+    #[test]
+    fn lists_parse_with_defaults() {
+        let args = parse(&["--capacities", "5, 50,200"], &["capacities"]).unwrap();
+        assert_eq!(
+            args.get_usize_list("capacities", &[1]).unwrap(),
+            vec![5, 50, 200]
+        );
+        assert_eq!(
+            parse(&[], &["capacities"])
+                .unwrap()
+                .get_usize_list("capacities", &[7, 8])
+                .unwrap(),
+            vec![7, 8]
+        );
+        assert!(parse(&["--capacities", "5,x"], &["capacities"])
+            .unwrap()
+            .get_usize_list("capacities", &[])
+            .is_err());
+    }
+
+    #[test]
+    fn malformed_numbers_error_cleanly() {
+        let args = parse(&["--workers", "many"], &["workers"]).unwrap();
+        assert!(args.workers().is_err());
+        let args = parse(&["--workers", "0"], &["workers"]).unwrap();
+        assert!(args.workers().is_err());
+    }
+}

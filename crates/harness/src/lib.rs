@@ -1,0 +1,63 @@
+//! `dpm-harness` — parallel experiment orchestration for the DPM-CTMDP
+//! workspace.
+//!
+//! The paper's results are Monte-Carlo comparisons over sweeps of policies
+//! and workloads; at production scale those sweeps are many points × many
+//! replications. This crate is the substrate that runs them:
+//!
+//! * [`plan`] — an experiment plan: a named cartesian grid of sweep
+//!   parameters crossed with a replication count under one root seed;
+//! * [`seed`] — deterministic per-task seed derivation (a ChaCha8 stream
+//!   keyed by grid position), making parallel output bit-identical to
+//!   serial;
+//! * [`pool`] — a work-stealing thread pool (std threads + mutexed
+//!   deques; the build is hermetic, so no external runtime);
+//! * [`telemetry`] — a thread-safe [`Registry`] of
+//!   counters/gauges/histograms/timers for solver and simulator
+//!   diagnostics, with deterministic metrics kept apart from wall-clock
+//!   ones;
+//! * [`runner`] — executes a plan's tasks and collects per-task records
+//!   in plan order;
+//! * [`artifact`] — versioned JSON artifacts (`schema_version`,
+//!   provenance, per-task telemetry) plus a tolerance-aware [`artifact::diff`]
+//!   for regression checking;
+//! * [`cli`] — the tiny flag parser the experiment binaries share.
+//!
+//! # Example
+//!
+//! ```
+//! use dpm_harness::{artifact, json::Json, plan::{Plan, PlanPoint}, runner};
+//!
+//! # fn main() -> Result<(), dpm_harness::HarnessError> {
+//! let plan = Plan::new("demo", 42)
+//!     .replications(4)
+//!     .point(PlanPoint::new("slow").with("rate", 0.1))
+//!     .point(PlanPoint::new("fast").with("rate", 0.5));
+//! let records = runner::run_plan(&plan, 2, |ctx| {
+//!     ctx.telemetry.incr("tasks", 1);
+//!     let rate = ctx.point.param("rate").unwrap().as_f64().unwrap();
+//!     let mut out = Json::object();
+//!     out.set("rate", rate); // a real task would simulate with ctx.seed
+//!     Ok(out)
+//! })?;
+//! let doc = artifact::build(&plan, 2, &records);
+//! assert_eq!(doc.get("schema_version"), Some(&Json::Int(1)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod artifact;
+pub mod cli;
+mod error;
+pub mod json;
+pub mod plan;
+pub mod pool;
+pub mod runner;
+pub mod seed;
+pub mod telemetry;
+
+pub use error::HarnessError;
+pub use json::Json;
+pub use plan::{ParamValue, Plan, PlanPoint};
+pub use runner::{run_plan, TaskCtx, TaskRecord};
+pub use telemetry::Registry;

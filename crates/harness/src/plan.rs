@@ -1,0 +1,350 @@
+//! Experiment plans: a named cartesian grid of sweep parameters × seeds.
+//!
+//! A [`Plan`] is the unit the runner executes: an ordered list of sweep
+//! [`PlanPoint`]s, each carrying named parameters, crossed with a
+//! replication count. Task `t` of the plan is the pair
+//! `(point t / replications, replication t % replications)` and draws its
+//! RNG seed from [`crate::seed::derive_seed`] — a pure function of the
+//! plan's root seed and the task's grid position, never of scheduling.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::seed::derive_seed;
+use crate::HarnessError;
+
+/// One sweep-parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// An integer parameter (queue capacity, policy N, ...).
+    Int(i64),
+    /// A real parameter (arrival rate, weight, timeout, ...).
+    Float(f64),
+    /// A symbolic parameter (policy family, workload kind, ...).
+    Text(String),
+}
+
+impl ParamValue {
+    /// The value as a float, when numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            #[allow(clippy::cast_precision_loss)]
+            ParamValue::Int(i) => Some(*i as f64),
+            ParamValue::Float(f) => Some(*f),
+            ParamValue::Text(_) => None,
+        }
+    }
+
+    /// The value as an integer, when it is one.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as text, when symbolic.
+    #[must_use]
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            ParamValue::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            ParamValue::Int(i) => Json::Int(i128::from(*i)),
+            ParamValue::Float(f) => Json::num(*f),
+            ParamValue::Text(t) => Json::Str(t.clone()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            ParamValue::Int(i) => i.to_string(),
+            ParamValue::Float(f) => format!("{f:?}"),
+            ParamValue::Text(t) => t.clone(),
+        }
+    }
+}
+
+impl From<i64> for ParamValue {
+    fn from(v: i64) -> ParamValue {
+        ParamValue::Int(v)
+    }
+}
+impl From<usize> for ParamValue {
+    fn from(v: usize) -> ParamValue {
+        ParamValue::Int(i64::try_from(v).expect("parameter fits i64"))
+    }
+}
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> ParamValue {
+        ParamValue::Float(v)
+    }
+}
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> ParamValue {
+        ParamValue::Text(v.to_owned())
+    }
+}
+impl From<String> for ParamValue {
+    fn from(v: String) -> ParamValue {
+        ParamValue::Text(v)
+    }
+}
+
+/// One point of the sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanPoint {
+    label: String,
+    params: BTreeMap<String, ParamValue>,
+}
+
+impl PlanPoint {
+    /// Creates a point with a human-readable label.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> PlanPoint {
+        PlanPoint {
+            label: label.into(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Attaches a named parameter.
+    #[must_use]
+    pub fn with(mut self, name: &str, value: impl Into<ParamValue>) -> PlanPoint {
+        self.params.insert(name.to_owned(), value.into());
+        self
+    }
+
+    /// The point's label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Looks up a parameter.
+    #[must_use]
+    pub fn param(&self, name: &str) -> Option<&ParamValue> {
+        self.params.get(name)
+    }
+
+    /// All parameters, in name order.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        let mut params = Json::object();
+        for (name, value) in &self.params {
+            params.set(name, value.to_json());
+        }
+        let mut node = Json::object();
+        node.set("label", self.label.as_str());
+        node.set("params", params);
+        node
+    }
+}
+
+/// An experiment plan: sweep points × replications under one root seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    name: String,
+    root_seed: u64,
+    replications: u64,
+    points: Vec<PlanPoint>,
+}
+
+impl Plan {
+    /// Creates an empty plan with one replication per point.
+    #[must_use]
+    pub fn new(name: impl Into<String>, root_seed: u64) -> Plan {
+        Plan {
+            name: name.into(),
+            root_seed,
+            replications: 1,
+            points: Vec::new(),
+        }
+    }
+
+    /// Sets the number of replications (independent seeds) per point.
+    #[must_use]
+    pub fn replications(mut self, n: u64) -> Plan {
+        self.replications = n.max(1);
+        self
+    }
+
+    /// Appends a sweep point.
+    #[must_use]
+    pub fn point(mut self, point: PlanPoint) -> Plan {
+        self.points.push(point);
+        self
+    }
+
+    /// Appends the full cartesian product of the given axes, in row-major
+    /// order (last axis fastest). Labels are `name=value` pairs joined with
+    /// a space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidPlan`] if an axis is empty.
+    pub fn grid(mut self, axes: &[(&str, Vec<ParamValue>)]) -> Result<Plan, HarnessError> {
+        for (name, values) in axes {
+            if values.is_empty() {
+                return Err(HarnessError::InvalidPlan {
+                    reason: format!("axis `{name}` has no values"),
+                });
+            }
+        }
+        let total: usize = axes.iter().map(|(_, v)| v.len()).product();
+        for index in 0..total {
+            let mut remainder = index;
+            let mut coordinates = Vec::with_capacity(axes.len());
+            for (_, values) in axes.iter().rev() {
+                coordinates.push(remainder % values.len());
+                remainder /= values.len();
+            }
+            coordinates.reverse();
+            let mut point_label = String::new();
+            let mut point = PlanPoint::new(String::new());
+            for ((name, values), &i) in axes.iter().zip(&coordinates) {
+                if !point_label.is_empty() {
+                    point_label.push(' ');
+                }
+                point_label.push_str(&format!("{name}={}", values[i].render()));
+                point = point.with(name, values[i].clone());
+            }
+            point.label = point_label;
+            self.points.push(point);
+        }
+        Ok(self)
+    }
+
+    /// The plan's name (becomes the artifact's `experiment` field).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The root seed all task seeds derive from.
+    #[must_use]
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// Replications per point.
+    #[must_use]
+    pub fn n_replications(&self) -> u64 {
+        self.replications
+    }
+
+    /// The sweep points, in plan order.
+    #[must_use]
+    pub fn points(&self) -> &[PlanPoint] {
+        &self.points
+    }
+
+    /// Total task count: points × replications.
+    #[must_use]
+    pub fn n_tasks(&self) -> usize {
+        self.points.len() * usize::try_from(self.replications).expect("replications fit usize")
+    }
+
+    /// Maps a flat task index to its (point index, replication) pair.
+    #[must_use]
+    pub fn task_coordinates(&self, task: usize) -> (usize, u64) {
+        let reps = usize::try_from(self.replications).expect("replications fit usize");
+        (task / reps, (task % reps) as u64)
+    }
+
+    /// The derived RNG seed of one task.
+    #[must_use]
+    pub fn task_seed(&self, task: usize) -> u64 {
+        let (point, replication) = self.task_coordinates(task);
+        derive_seed(self.root_seed, point as u64, replication)
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        let mut node = Json::object();
+        node.set("root_seed", self.root_seed);
+        node.set("replications", self.replications);
+        node.set(
+            "points",
+            Json::Array(self.points.iter().map(PlanPoint::to_json).collect()),
+        );
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_row_major() {
+        let plan = Plan::new("t", 1)
+            .grid(&[
+                ("a", vec![ParamValue::Int(1), ParamValue::Int(2)]),
+                ("b", vec!["x".into(), "y".into(), "z".into()]),
+            ])
+            .unwrap();
+        assert_eq!(plan.points().len(), 6);
+        assert_eq!(plan.points()[0].label(), "a=1 b=x");
+        assert_eq!(plan.points()[1].label(), "a=1 b=y");
+        assert_eq!(plan.points()[3].label(), "a=2 b=x");
+        assert_eq!(plan.points()[5].param("b").unwrap().as_text(), Some("z"));
+    }
+
+    #[test]
+    fn empty_axis_is_rejected() {
+        assert!(Plan::new("t", 1).grid(&[("a", vec![])]).is_err());
+    }
+
+    #[test]
+    fn task_coordinates_cross_points_and_replications() {
+        let plan = Plan::new("t", 9)
+            .replications(3)
+            .point(PlanPoint::new("p0"))
+            .point(PlanPoint::new("p1"));
+        assert_eq!(plan.n_tasks(), 6);
+        assert_eq!(plan.task_coordinates(0), (0, 0));
+        assert_eq!(plan.task_coordinates(2), (0, 2));
+        assert_eq!(plan.task_coordinates(3), (1, 0));
+        assert_eq!(plan.task_coordinates(5), (1, 2));
+    }
+
+    #[test]
+    fn task_seeds_are_schedule_independent_and_distinct() {
+        let plan = Plan::new("t", 42)
+            .replications(4)
+            .point(PlanPoint::new("p0"))
+            .point(PlanPoint::new("p1"));
+        let seeds: Vec<u64> = (0..plan.n_tasks()).map(|t| plan.task_seed(t)).collect();
+        let again: Vec<u64> = (0..plan.n_tasks()).map(|t| plan.task_seed(t)).collect();
+        assert_eq!(seeds, again);
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn replications_floor_at_one() {
+        let plan = Plan::new("t", 1).replications(0).point(PlanPoint::new("p"));
+        assert_eq!(plan.n_tasks(), 1);
+    }
+
+    #[test]
+    fn point_parameters_are_typed() {
+        let p = PlanPoint::new("x")
+            .with("q", 5usize)
+            .with("lambda", 0.25)
+            .with("kind", "greedy");
+        assert_eq!(p.param("q").unwrap().as_i64(), Some(5));
+        assert_eq!(p.param("lambda").unwrap().as_f64(), Some(0.25));
+        assert_eq!(p.param("kind").unwrap().as_text(), Some("greedy"));
+        assert_eq!(p.params().count(), 3);
+    }
+}

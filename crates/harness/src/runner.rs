@@ -1,0 +1,246 @@
+//! The experiment runner: plan × task function → per-task records.
+//!
+//! [`run_plan`] executes every task of a [`Plan`] on the work-stealing
+//! pool. Each task gets a [`TaskCtx`] with its sweep point, derived seed
+//! and a private telemetry [`Registry`]; the task returns its measurement
+//! as a [`Json`] value. Records come back in plan order whatever the
+//! worker count, and — because seeds derive from grid position, not
+//! schedule — the deterministic parts of every record are bit-identical
+//! across worker counts.
+
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::plan::{Plan, PlanPoint};
+use crate::telemetry::Registry;
+use crate::{pool, HarnessError};
+
+/// Everything a task may depend on.
+#[derive(Debug)]
+pub struct TaskCtx<'a> {
+    /// The sweep point this task belongs to.
+    pub point: &'a PlanPoint,
+    /// Index of the sweep point in the plan.
+    pub point_index: usize,
+    /// Replication number within the point (0-based).
+    pub replication: u64,
+    /// The task's derived RNG seed.
+    pub seed: u64,
+    /// Task-private telemetry; serialized into the task's record.
+    pub telemetry: &'a Registry,
+}
+
+/// The outcome of one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRecord {
+    /// Index of the sweep point.
+    pub point_index: usize,
+    /// Replication number within the point.
+    pub replication: u64,
+    /// The derived seed the task ran with.
+    pub seed: u64,
+    /// The task's measurement.
+    pub result: Json,
+    /// Snapshot of the task's telemetry registry.
+    pub telemetry: Json,
+    /// Wall-clock seconds the task took (volatile; ignored by the diff).
+    pub wall_secs: f64,
+}
+
+impl TaskRecord {
+    pub(crate) fn to_json(&self, plan: &Plan) -> Json {
+        let mut node = Json::object();
+        node.set("point", self.point_index);
+        node.set("label", plan.points()[self.point_index].label());
+        node.set("replication", self.replication);
+        node.set("seed", self.seed);
+        node.set("result", self.result.clone());
+        node.set("telemetry", self.telemetry.clone());
+        node.set("wall_secs", Json::num(self.wall_secs));
+        node
+    }
+}
+
+/// Runs every task of `plan` on `workers` threads.
+///
+/// `task` is called once per (point, replication) pair and returns the
+/// task's measurement; a `String` error aborts the run (the first failing
+/// task in plan order is reported).
+///
+/// # Errors
+///
+/// Returns [`HarnessError::InvalidPlan`] for an empty plan and
+/// [`HarnessError::Task`] if any task fails.
+pub fn run_plan<F>(plan: &Plan, workers: usize, task: F) -> Result<Vec<TaskRecord>, HarnessError>
+where
+    F: Fn(&TaskCtx<'_>) -> Result<Json, String> + Sync,
+{
+    if plan.points().is_empty() {
+        return Err(HarnessError::InvalidPlan {
+            reason: format!("plan `{}` has no sweep points", plan.name()),
+        });
+    }
+    let outcomes = pool::run(plan.n_tasks(), workers, |index| {
+        let (point_index, replication) = plan.task_coordinates(index);
+        let registry = Registry::new();
+        let ctx = TaskCtx {
+            point: &plan.points()[point_index],
+            point_index,
+            replication,
+            seed: plan.task_seed(index),
+            telemetry: &registry,
+        };
+        let start = Instant::now();
+        let result = task(&ctx);
+        let wall_secs = start.elapsed().as_secs_f64();
+        result.map(|value| TaskRecord {
+            point_index,
+            replication,
+            seed: ctx.seed,
+            result: value,
+            telemetry: registry.snapshot(),
+            wall_secs,
+        })
+    });
+    outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(index, outcome)| {
+            outcome.map_err(|message| {
+                let (point_index, _) = plan.task_coordinates(index);
+                HarnessError::Task {
+                    index,
+                    label: plan.points()[point_index].label().to_owned(),
+                    message,
+                }
+            })
+        })
+        .collect()
+}
+
+/// Convenience view over the records of one sweep point.
+#[must_use]
+pub fn records_for_point(records: &[TaskRecord], point: usize) -> Vec<&TaskRecord> {
+    records.iter().filter(|r| r.point_index == point).collect()
+}
+
+/// Mean of a numeric field of `result` across a point's replications.
+///
+/// Returns `None` if any record lacks the field or it is non-numeric.
+#[must_use]
+pub fn mean_of(records: &[TaskRecord], point: usize, field: &str) -> Option<f64> {
+    let selected = records_for_point(records, point);
+    if selected.is_empty() {
+        return None;
+    }
+    let mut sum = 0.0;
+    for record in &selected {
+        sum += record.result.get(field)?.as_f64()?;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    Some(sum / selected.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanPoint;
+
+    fn plan() -> Plan {
+        Plan::new("unit", 11)
+            .replications(3)
+            .point(PlanPoint::new("a").with("x", 1.0))
+            .point(PlanPoint::new("b").with("x", 2.0))
+    }
+
+    fn task(ctx: &TaskCtx<'_>) -> Result<Json, String> {
+        ctx.telemetry.incr("calls", 1);
+        let x = ctx.point.param("x").unwrap().as_f64().unwrap();
+        let mut out = Json::object();
+        // A "measurement" that depends only on the derived seed and point.
+        #[allow(clippy::cast_precision_loss)]
+        out.set("value", x * (ctx.seed % 1000) as f64);
+        Ok(out)
+    }
+
+    #[test]
+    fn records_come_back_in_plan_order() {
+        let p = plan();
+        let records = run_plan(&p, 4, task).unwrap();
+        assert_eq!(records.len(), 6);
+        for (i, r) in records.iter().enumerate() {
+            let (point, rep) = p.task_coordinates(i);
+            assert_eq!((r.point_index, r.replication), (point, rep));
+            assert_eq!(r.seed, p.task_seed(i));
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let p = plan();
+        let strip = |records: Vec<TaskRecord>| {
+            records
+                .into_iter()
+                .map(|r| (r.point_index, r.replication, r.seed, r.result))
+                .collect::<Vec<_>>()
+        };
+        let serial = strip(run_plan(&p, 1, task).unwrap());
+        for workers in [2, 4, 16] {
+            assert_eq!(strip(run_plan(&p, workers, task).unwrap()), serial);
+        }
+    }
+
+    #[test]
+    fn telemetry_is_per_task() {
+        let records = run_plan(&plan(), 2, task).unwrap();
+        for r in &records {
+            assert_eq!(
+                r.telemetry.get("counters").unwrap().get("calls"),
+                Some(&Json::Int(1))
+            );
+        }
+    }
+
+    #[test]
+    fn task_failure_is_reported_with_label() {
+        let err = run_plan(&plan(), 2, |ctx| {
+            if ctx.point_index == 1 {
+                Err("nope".to_owned())
+            } else {
+                Ok(Json::Null)
+            }
+        })
+        .unwrap_err();
+        match err {
+            HarnessError::Task { index, label, .. } => {
+                assert_eq!(index, 3);
+                assert_eq!(label, "b");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_rejected() {
+        let p = Plan::new("empty", 0);
+        assert!(matches!(
+            run_plan(&p, 1, task),
+            Err(HarnessError::InvalidPlan { .. })
+        ));
+    }
+
+    #[test]
+    fn mean_of_averages_replications() {
+        let p = plan();
+        let records = run_plan(&p, 1, |_| {
+            let mut out = Json::object();
+            out.set("v", 2.0);
+            Ok(out)
+        })
+        .unwrap();
+        assert_eq!(mean_of(&records, 0, "v"), Some(2.0));
+        assert_eq!(mean_of(&records, 0, "missing"), None);
+        assert_eq!(mean_of(&records, 9, "v"), None);
+        assert_eq!(records_for_point(&records, 1).len(), 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Deterministic per-task seed derivation.
+//!
+//! Every task of an experiment plan — one (sweep point, replication) pair —
+//! gets its own RNG seed derived from the plan's root seed by keying a
+//! ChaCha8 stream with `(root, point, replication)` and drawing one word.
+//! The derivation is a pure function of the *indices*, never of execution
+//! order, so a plan run on one worker and on N workers feeds every task the
+//! same randomness — parallel output is bit-identical to serial.
+//!
+//! ChaCha8 (rather than, say, `root ^ index`) keeps sibling streams
+//! statistically independent: neighboring task indices produce unrelated
+//! seeds, so replication averages do not inherit lockstep correlations.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Domain-separation tag so harness-derived seeds can never collide with a
+/// user's own direct `seed_from_u64` streams.
+const DOMAIN_TAG: u64 = 0x6470_6d2d_6861_726e; // "dpm-harn"
+
+/// Derives the RNG seed for one task from the plan's root seed and the
+/// task's position in the plan grid.
+#[must_use]
+pub fn derive_seed(root: u64, point: u64, replication: u64) -> u64 {
+    let mut key = [0u8; 32];
+    key[0..8].copy_from_slice(&root.to_le_bytes());
+    key[8..16].copy_from_slice(&point.to_le_bytes());
+    key[16..24].copy_from_slice(&replication.to_le_bytes());
+    key[24..32].copy_from_slice(&DOMAIN_TAG.to_le_bytes());
+    ChaCha8Rng::from_seed(key).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(derive_seed(7, 3, 1), derive_seed(7, 3, 1));
+    }
+
+    #[test]
+    fn all_coordinates_matter() {
+        let base = derive_seed(7, 3, 1);
+        assert_ne!(base, derive_seed(8, 3, 1));
+        assert_ne!(base, derive_seed(7, 4, 1));
+        assert_ne!(base, derive_seed(7, 3, 2));
+    }
+
+    #[test]
+    fn no_collisions_over_a_large_grid() {
+        let mut seen = HashSet::new();
+        for root in 0..4u64 {
+            for point in 0..50u64 {
+                for rep in 0..50u64 {
+                    assert!(seen.insert(derive_seed(root, point, rep)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighboring_tasks_get_unrelated_seeds() {
+        // Crude independence check: adjacent indices should not share long
+        // runs of identical bits.
+        for point in 0..32u64 {
+            let a = derive_seed(1, point, 0);
+            let b = derive_seed(1, point + 1, 0);
+            let same_bits = (a ^ b).count_zeros();
+            assert!((8..=56).contains(&same_bits), "{a:x} vs {b:x}");
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Thread-safe telemetry: named counters, gauges, histograms and timers.
+//!
+//! A [`Registry`] is handed to every task (and can be shared across
+//! threads); solver and simulator diagnostics — policy-iteration rounds,
+//! final residuals, Gauss–Seidel sweep counts, simulator event totals —
+//! are recorded against it and serialized into the run artifact.
+//!
+//! Metric kinds are kept in separate namespaces on purpose: counters,
+//! gauges and histograms are *deterministic* outputs (identical across
+//! worker counts and reruns), while timers are wall-clock *measurements*
+//! that vary run to run. The artifact diff tool ignores the `timers`
+//! subtree and compares everything else exactly, which is what makes
+//! "bit-identical modulo timing" checkable.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Summary statistics of an observed value stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    fn new() -> Summary {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum / self.count as f64
+            }
+        }
+    }
+
+    fn to_json(self) -> Json {
+        let mut node = Json::object();
+        node.set("count", self.count);
+        node.set("sum", Json::num(self.sum));
+        node.set("mean", Json::num(self.mean()));
+        if self.count > 0 {
+            node.set("min", Json::num(self.min));
+            node.set("max", Json::num(self.max));
+        }
+        node
+    }
+}
+
+#[derive(Debug, Default)]
+struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Summary>,
+    timers: BTreeMap<String, Summary>,
+}
+
+/// A thread-safe registry of named metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Metrics>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `by` to the counter `name`.
+    pub fn incr(&self, name: &str, by: u64) {
+        let mut m = self.inner.lock().expect("registry poisoned");
+        *m.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        let mut m = self.inner.lock().expect("registry poisoned");
+        m.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut m = self.inner.lock().expect("registry poisoned");
+        m.histograms
+            .entry(name.to_owned())
+            .or_insert_with(Summary::new)
+            .record(value);
+    }
+
+    /// Records an already-measured duration (in seconds) into the timer
+    /// `name`.
+    pub fn record_secs(&self, name: &str, secs: f64) {
+        let mut m = self.inner.lock().expect("registry poisoned");
+        m.timers
+            .entry(name.to_owned())
+            .or_insert_with(Summary::new)
+            .record(secs);
+    }
+
+    /// Times `body`, records the wall-clock duration under `name`, and
+    /// returns the body's value.
+    pub fn time<T>(&self, name: &str, body: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let value = body();
+        self.record_secs(name, start.elapsed().as_secs_f64());
+        value
+    }
+
+    /// The counter's current value (0 if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        let m = self.inner.lock().expect("registry poisoned");
+        m.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge's current value, if set.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let m = self.inner.lock().expect("registry poisoned");
+        m.gauges.get(name).copied()
+    }
+
+    /// The histogram's summary, if any observation was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Summary> {
+        let m = self.inner.lock().expect("registry poisoned");
+        m.histograms.get(name).copied()
+    }
+
+    /// Serializes the registry: deterministic metrics under `counters` /
+    /// `gauges` / `histograms`, wall-clock measurements under `timers`.
+    #[must_use]
+    pub fn snapshot(&self) -> Json {
+        let m = self.inner.lock().expect("registry poisoned");
+        let mut counters = Json::object();
+        for (name, value) in &m.counters {
+            counters.set(name, *value);
+        }
+        let mut gauges = Json::object();
+        for (name, value) in &m.gauges {
+            gauges.set(name, Json::num(*value));
+        }
+        let mut histograms = Json::object();
+        for (name, summary) in &m.histograms {
+            histograms.set(name, summary.to_json());
+        }
+        let mut timers = Json::object();
+        for (name, summary) in &m.timers {
+            timers.set(name, summary.to_json());
+        }
+        let mut node = Json::object();
+        node.set("counters", counters);
+        node.set("gauges", gauges);
+        node.set("histograms", histograms);
+        node.set("timers", timers);
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.incr("events", 3);
+        r.incr("events", 4);
+        assert_eq!(r.counter("events"), 7);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let r = Registry::new();
+        r.gauge("residual", 1e-3);
+        r.gauge("residual", 1e-9);
+        assert_eq!(r.gauge_value("residual"), Some(1e-9));
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let r = Registry::new();
+        for v in [1.0, 2.0, 6.0] {
+            r.observe("sweeps", v);
+        }
+        let s = r.histogram("sweeps").unwrap();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 9.0);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn timers_record_under_their_own_namespace() {
+        let r = Registry::new();
+        let out = r.time("solve", || 42);
+        assert_eq!(out, 42);
+        let snap = r.snapshot();
+        assert!(snap.get("timers").unwrap().get("solve").is_some());
+        assert!(snap.get("histograms").unwrap().get("solve").is_none());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_for_deterministic_metrics() {
+        let build = || {
+            let r = Registry::new();
+            r.incr("b", 2);
+            r.incr("a", 1);
+            r.observe("h", 0.5);
+            r.gauge("g", 7.0);
+            r.snapshot()
+        };
+        assert_eq!(build().render(), build().render());
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let r = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        r.incr("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("n"), 8000);
+    }
+
+    #[test]
+    fn empty_summary_mean_is_zero() {
+        assert_eq!(Summary::new().mean(), 0.0);
+    }
+}

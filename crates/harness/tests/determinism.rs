@@ -1,0 +1,104 @@
+//! End-to-end determinism: a real simulation plan run with 1 worker and
+//! with N workers must produce byte-identical artifacts modulo the
+//! volatile (timing/provenance) fields.
+//!
+//! This is the property the whole harness design exists to guarantee —
+//! seeds derive from grid position, never from scheduling — and the CI
+//! gate that keeps parallel speedups from costing reproducibility.
+
+use dpm_core::SpModel;
+use dpm_harness::{artifact, plan::Plan, runner, Json, PlanPoint, TaskCtx};
+use dpm_sim::controller::GreedyController;
+use dpm_sim::workload::PoissonWorkload;
+use dpm_sim::{SimConfig, Simulator};
+
+/// A small but real task: simulate the paper's server under a greedy
+/// controller at the point's arrival rate, seeded from the harness.
+fn simulate(ctx: &TaskCtx<'_>) -> Result<Json, String> {
+    let task = || -> Result<Json, Box<dyn std::error::Error>> {
+        let rate = ctx.point.param("lambda").unwrap().as_f64().unwrap();
+        let provider = SpModel::dac99_server()?;
+        let controller = GreedyController::new(&provider)?;
+        let report = Simulator::new(
+            provider,
+            5,
+            PoissonWorkload::new(rate)?,
+            controller,
+            SimConfig::new(ctx.seed).max_requests(400),
+        )
+        .run()?;
+        ctx.telemetry.incr("sim.events", report.events());
+        ctx.telemetry
+            .incr("sim.consultations", report.consultations());
+        ctx.telemetry
+            .time("sim.run", || std::hint::black_box(report.duration()));
+        let mut out = Json::object();
+        out.set("power", Json::num(report.average_power()));
+        out.set("queue", Json::num(report.average_queue_length()));
+        out.set("wait", Json::num(report.average_waiting_time()));
+        Ok(out)
+    };
+    task().map_err(|e| e.to_string())
+}
+
+fn plan() -> Plan {
+    Plan::new("determinism-gate", 20_260_806)
+        .replications(4)
+        .point(PlanPoint::new("slow").with("lambda", 1.0 / 8.0))
+        .point(PlanPoint::new("fast").with("lambda", 1.0 / 3.0))
+}
+
+#[test]
+fn serial_and_parallel_artifacts_agree() {
+    let p = plan();
+    let serial = runner::run_plan(&p, 1, simulate).unwrap();
+    let parallel = runner::run_plan(&p, 4, simulate).unwrap();
+    assert_eq!(serial.len(), 8);
+
+    let doc_serial = artifact::build(&p, 1, &serial);
+    let doc_parallel = artifact::build(&p, 4, &parallel);
+
+    // Tolerance-zero diff is clean: every deterministic leaf is equal.
+    assert_eq!(
+        artifact::diff(&doc_serial, &doc_parallel, 0.0),
+        Vec::<String>::new()
+    );
+
+    // Stronger: the canonical comparable forms render byte-identically.
+    assert_eq!(
+        artifact::strip_volatile(&doc_serial).render(),
+        artifact::strip_volatile(&doc_parallel).render()
+    );
+
+    // And the round trip through disk preserves the comparison.
+    let dir = std::env::temp_dir().join(format!("dpm-determinism-{}", std::process::id()));
+    let path_serial = dir.join("serial.json");
+    let path_parallel = dir.join("parallel.json");
+    artifact::write(&path_serial, &doc_serial).unwrap();
+    artifact::write(&path_parallel, &doc_parallel).unwrap();
+    let loaded_serial = artifact::read(&path_serial).unwrap();
+    let loaded_parallel = artifact::read(&path_parallel).unwrap();
+    assert_eq!(
+        artifact::diff(&loaded_serial, &loaded_parallel, 0.0).len(),
+        0
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_sweep_is_schedule_independent() {
+    let p = plan();
+    let reference: Vec<String> = runner::run_plan(&p, 1, simulate)
+        .unwrap()
+        .iter()
+        .map(|r| r.result.render())
+        .collect();
+    for workers in [2, 3, 8] {
+        let rendered: Vec<String> = runner::run_plan(&p, workers, simulate)
+            .unwrap()
+            .iter()
+            .map(|r| r.result.render())
+            .collect();
+        assert_eq!(rendered, reference, "workers = {workers}");
+    }
+}

@@ -106,6 +106,10 @@ pub struct Solution {
     gain: f64,
     bias: DVector,
     iterations: usize,
+    eval_residual: f64,
+    eval_secs: Vec<f64>,
+    gain_history: Vec<f64>,
+    improvement_deltas: Vec<usize>,
 }
 
 impl Solution {
@@ -132,6 +136,55 @@ impl Solution {
     pub fn iterations(&self) -> usize {
         self.iterations
     }
+
+    /// `‖c − g·1 + G v‖_∞` of the final policy's evaluation equations — an
+    /// a-posteriori convergence-quality certificate, computed over the
+    /// policy's sparse generator (`O(nnz)`).
+    #[must_use]
+    pub fn eval_residual(&self) -> f64 {
+        self.eval_residual
+    }
+
+    /// Wall-clock seconds of each policy-evaluation step, in round order.
+    /// Run-volatile: telemetry records these as timers, never as
+    /// deterministic outputs.
+    #[must_use]
+    pub fn eval_timings(&self) -> &[f64] {
+        &self.eval_secs
+    }
+
+    /// Gain of the policy evaluated at each round (ends at
+    /// [`Solution::gain`]); successive differences are the improvement
+    /// steps' cost reductions.
+    #[must_use]
+    pub fn gain_history(&self) -> &[f64] {
+        &self.gain_history
+    }
+
+    /// Number of states whose action changed in each improvement round
+    /// (the final round is always 0 — that is the convergence test).
+    #[must_use]
+    pub fn improvement_deltas(&self) -> &[usize] {
+        &self.improvement_deltas
+    }
+}
+
+/// `‖c − g + G v‖_∞` over the policy's sparse generator, with per-state
+/// gains `g` (constant for unichain solutions).
+fn evaluation_residual(
+    mdp: &Ctmdp,
+    policy: &Policy,
+    gain_of: impl Fn(usize) -> f64,
+    bias: &DVector,
+) -> Result<f64, MdpError> {
+    let generator = mdp.sparse_generator_for(policy)?;
+    let costs = mdp.cost_rates_for(policy)?;
+    let gv = generator.csr().mul_vec(bias);
+    let mut worst = 0.0f64;
+    for i in 0..mdp.n_states() {
+        worst = worst.max((costs[i] - gain_of(i) + gv[i]).abs());
+    }
+    Ok(worst)
 }
 
 /// Solves the evaluation equations for `policy`, returning its gain and
@@ -333,7 +386,11 @@ pub fn policy_iteration_from(
     mdp.check_policy(&initial)?;
     let n = mdp.n_states();
     let mut policy = initial;
+    let mut eval_secs = Vec::new();
+    let mut gain_history = Vec::new();
+    let mut improvement_deltas = Vec::new();
     for iteration in 1..=options.max_iterations {
+        let eval_start = std::time::Instant::now();
         let eval =
             evaluate_with(mdp, &policy, options.reference_state, options.backend).map_err(|e| {
                 match e {
@@ -341,8 +398,11 @@ pub fn policy_iteration_from(
                     other => other,
                 }
             })?;
+        eval_secs.push(eval_start.elapsed().as_secs_f64());
+        gain_history.push(eval.gain);
         // Improvement step.
         let mut improved = false;
+        let mut changed = 0usize;
         let mut next = policy.clone();
         for state in 0..n {
             let incumbent = test_quantity(mdp, state, policy.action(state), eval.bias());
@@ -360,15 +420,22 @@ pub fn policy_iteration_from(
             }
             if best_action != policy.action(state) {
                 improved = true;
+                changed += 1;
                 next = next.with_action(state, best_action);
             }
         }
+        improvement_deltas.push(changed);
         if !improved {
+            let eval_residual = evaluation_residual(mdp, &policy, |_| eval.gain, &eval.bias)?;
             return Ok(Solution {
                 policy,
                 gain: eval.gain,
                 bias: eval.bias,
                 iterations: iteration,
+                eval_residual,
+                eval_secs,
+                gain_history,
+                improvement_deltas,
             });
         }
         policy = next;
@@ -468,6 +535,9 @@ pub struct MultichainSolution {
     gains: DVector,
     bias: DVector,
     iterations: usize,
+    eval_residual: f64,
+    eval_secs: Vec<f64>,
+    improvement_deltas: Vec<usize>,
 }
 
 impl MultichainSolution {
@@ -504,6 +574,26 @@ impl MultichainSolution {
     pub fn iterations(&self) -> usize {
         self.iterations
     }
+
+    /// `‖c − g + G v‖_∞` of the final policy's modified evaluation
+    /// equations (per-state gains) — the convergence-quality certificate.
+    #[must_use]
+    pub fn eval_residual(&self) -> f64 {
+        self.eval_residual
+    }
+
+    /// Wall-clock seconds of each policy-evaluation step, in round order.
+    #[must_use]
+    pub fn eval_timings(&self) -> &[f64] {
+        &self.eval_secs
+    }
+
+    /// Number of states whose action changed in each improvement round
+    /// (the final round is always 0).
+    #[must_use]
+    pub fn improvement_deltas(&self) -> &[usize] {
+        &self.improvement_deltas
+    }
 }
 
 /// Policy iteration for general (multichain) average-cost CTMDPs: Howard's
@@ -527,8 +617,12 @@ pub fn policy_iteration_multichain(
     mdp.check_policy(&initial)?;
     let n = mdp.n_states();
     let mut policy = initial;
+    let mut eval_secs = Vec::new();
+    let mut improvement_deltas = Vec::new();
     for iteration in 1..=options.max_iterations {
+        let eval_start = std::time::Instant::now();
         let eval = evaluate_multichain(mdp, &policy)?;
+        eval_secs.push(eval_start.elapsed().as_secs_f64());
         let gains = eval.gains();
         let bias = eval.bias();
         let scale = 1.0 + gains.norm_inf();
@@ -552,6 +646,7 @@ pub fn policy_iteration_multichain(
         };
 
         let mut improved = false;
+        let mut changed = 0usize;
         let mut next = policy.clone();
         for state in 0..n {
             let current = policy.action(state);
@@ -577,6 +672,7 @@ pub fn policy_iteration_multichain(
                 if best_action != current {
                     next = next.with_action(state, best_action);
                     improved = true;
+                    changed += 1;
                 }
                 continue;
             }
@@ -599,14 +695,20 @@ pub fn policy_iteration_multichain(
             if best_action != current {
                 next = next.with_action(state, best_action);
                 improved = true;
+                changed += 1;
             }
         }
+        improvement_deltas.push(changed);
         if !improved {
+            let eval_residual = evaluation_residual(mdp, &policy, |i| eval.gains[i], &eval.bias)?;
             return Ok(MultichainSolution {
                 policy,
                 gains: eval.gains,
                 bias: eval.bias,
                 iterations: iteration,
+                eval_residual,
+                eval_secs,
+                improvement_deltas,
             });
         }
         policy = next;
@@ -710,6 +812,40 @@ mod tests {
         let solution = policy_iteration(&mdp, &Options::default()).unwrap();
         assert!(solution.iterations() >= 1);
         assert!(solution.iterations() <= 4);
+    }
+
+    #[test]
+    fn convergence_telemetry_is_reported() {
+        let mdp = repair_mdp(6.0);
+        let solution = policy_iteration(&mdp, &Options::default()).unwrap();
+        // One evaluation timing and one improvement delta per iteration,
+        // and the final improvement round changes nothing.
+        assert_eq!(solution.eval_timings().len(), solution.iterations());
+        assert_eq!(solution.improvement_deltas().len(), solution.iterations());
+        assert_eq!(*solution.improvement_deltas().last().unwrap(), 0);
+        assert!(solution.eval_timings().iter().all(|&t| t >= 0.0));
+        // The converged policy satisfies the evaluation equations tightly.
+        assert!(solution.eval_residual() < 1e-9);
+        assert_eq!(solution.gain_history().len(), solution.iterations());
+        assert!((solution.gain_history().last().unwrap() - solution.gain()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multichain_convergence_telemetry_is_reported() {
+        let mut b = Ctmdp::builder(3);
+        b.action(0, "stay", 1.0, &[]).unwrap();
+        b.action(0, "hop", 0.5, &[(1, 2.0)]).unwrap();
+        b.action(1, "stay", 4.0, &[]).unwrap();
+        b.action(1, "back", 2.0, &[(0, 1.0)]).unwrap();
+        b.action(2, "stay", 0.1, &[]).unwrap();
+        let mdp = b.build().unwrap();
+        let sol =
+            policy_iteration_multichain(&mdp, Policy::new(vec![0, 0, 0]), &Options::default())
+                .unwrap();
+        assert_eq!(sol.eval_timings().len(), sol.iterations());
+        assert_eq!(sol.improvement_deltas().len(), sol.iterations());
+        assert_eq!(*sol.improvement_deltas().last().unwrap(), 0);
+        assert!(sol.eval_residual() < 1e-9);
     }
 
     #[test]

@@ -382,6 +382,7 @@ impl<W: Workload, C: Controller> Simulator<W, C> {
             switches,
             sojourn_sum,
             consultations,
+            events,
             power_ci,
             sojourn_ci,
         })

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints and the full test suite — everything a
-# change must pass before it lands.
+# Local CI gate: formatting, lints, docs and the full test suite —
+# everything a change must pass before it lands.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,7 +10,20 @@ cargo fmt --check
 echo "=== cargo clippy (workspace, warnings are errors) ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "=== cargo doc (no deps, warnings are errors) ==="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "=== cargo test ==="
 cargo test --workspace -q
+
+echo "=== harness smoke run (tiny plan, 2 workers, determinism gate) ==="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo build --release -q -p dpm-bench --bin heuristics -p dpm-harness --bin artifact_diff
+./target/release/heuristics --workers 1 --requests 500 --seed 7 \
+    --out "$SMOKE_DIR/w1.json" > /dev/null
+./target/release/heuristics --workers 2 --requests 500 --seed 7 \
+    --out "$SMOKE_DIR/w2.json" > /dev/null
+./target/release/artifact_diff --a "$SMOKE_DIR/w1.json" --b "$SMOKE_DIR/w2.json"
 
 echo "CI checks passed."

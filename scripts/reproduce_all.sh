@@ -1,14 +1,35 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of Qiu & Pedram (DAC 1999) plus the
 # ablations, writing each experiment's output under results/.
+#
+# Binaries ported to the dpm-harness runner (fig4, fig5, heuristics,
+# scaling) also emit versioned JSON artifacts under results/ and accept
+# WORKERS to parallelize their simulation phase (default: all cores).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
-BINARIES=(fig4 table1 fig5 validate_model ablate_solvers ablate_transfer_states \
-          ablate_constrained ablate_discounted ablate_synchronous adaptive heuristics)
+
+WORKERS="${WORKERS:-0}"
+HARNESS_FLAGS=()
+if [ "$WORKERS" -gt 0 ]; then
+    HARNESS_FLAGS+=(--workers "$WORKERS")
+fi
+
+PLAIN_BINARIES=(table1 validate_model ablate_solvers ablate_transfer_states \
+                ablate_constrained ablate_discounted ablate_synchronous adaptive)
+HARNESS_BINARIES=(fig4 fig5 heuristics scaling)
+
 cargo build --release -p dpm-bench --bins
-for bin in "${BINARIES[@]}"; do
+
+for bin in "${HARNESS_BINARIES[@]}"; do
+    echo "=== $bin (harness) ==="
+    "./target/release/$bin" "${HARNESS_FLAGS[@]}" --out "results/$bin.json" \
+        | tee "results/$bin.txt"
+done
+
+for bin in "${PLAIN_BINARIES[@]}"; do
     echo "=== $bin ==="
     "./target/release/$bin" | tee "results/$bin.txt"
 done
-echo "All experiment outputs written to results/."
+
+echo "All experiment outputs written to results/ (tables .txt, artifacts .json)."

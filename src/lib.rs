@@ -57,6 +57,7 @@
 
 pub use dpm_core as model;
 pub use dpm_ctmc as ctmc;
+pub use dpm_harness as harness;
 pub use dpm_linalg as linalg;
 pub use dpm_lp as lp;
 pub use dpm_mdp as mdp;

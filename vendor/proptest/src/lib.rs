@@ -193,7 +193,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S, L> {
             element: S,
