@@ -18,10 +18,17 @@ use dpm_bench::{
     PAPER_REQUESTS,
 };
 use dpm_core::{optimize, PmPolicy};
-use dpm_harness::{artifact, cli::Args, plan::Plan, runner, Json, PlanPoint};
+use dpm_harness::{
+    artifact,
+    cli::{self, Args},
+    plan::Plan,
+    runner, Json, PlanPoint,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = Args::from_env(&["workers", "seed", "requests", "reps", "out"])?;
+    let args = Args::from_env(&cli::with_resilience_flags(&[
+        "workers", "seed", "requests", "reps", "out",
+    ]))?;
     let workers = args.workers()?;
     let root_seed = args.get_u64("seed", 400)?;
     let requests = args.get_u64("requests", PAPER_REQUESTS)?;
@@ -80,7 +87,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Parallel simulation phase: one task per (policy, replication).
-    let records = runner::run_plan(&plan, workers, |ctx| {
+    let run_config = args.run_config()?;
+    let report = runner::run_plan_resilient(&plan, &run_config, |ctx| {
         let index = ctx.point.param("index").unwrap().as_i64().unwrap() as usize;
         let kind = ctx.point.param("kind").unwrap().as_text().unwrap();
         let report = simulate_policy(&system, &policies[index], kind, ctx.seed, requests)
@@ -88,6 +96,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         record_sim_telemetry(ctx.telemetry, &report);
         Ok(report_to_json(&report))
     })?;
+    for outcome in &report.outcomes {
+        if let runner::TaskOutcome::Failed(f) = outcome {
+            eprintln!(
+                "warning: task {} ({}) failed after {} attempts: {}",
+                f.index,
+                plan.points()[f.point_index].label(),
+                f.attempts,
+                f.error
+            );
+        }
+    }
+    let records: Vec<_> = report.records().into_iter().cloned().collect();
 
     let widths = [10usize, 12, 12, 12, 12, 12];
     println!("Figure 4 — optimal policies vs N-policies (lambda = 1/6, Q = 5, reps = {reps})");
@@ -133,7 +153,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          N-policy's (the N-policy points sit on or above the optimal trade-off curve)."
     );
 
-    let mut doc = artifact::build(&plan, workers, &records);
+    let mut doc = artifact::build_run(&plan, workers, &report);
     let mut solve = Json::object();
     solve.set("pi_rounds", total_pi_rounds);
     solve.set("worst_eval_residual", Json::num(worst_residual));

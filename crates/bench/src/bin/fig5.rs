@@ -23,7 +23,12 @@ use dpm_bench::{
     simulate_policy, PAPER_REQUESTS,
 };
 use dpm_core::optimize;
-use dpm_harness::{artifact, cli::Args, plan::Plan, runner, ParamValue};
+use dpm_harness::{
+    artifact,
+    cli::{self, Args},
+    plan::Plan,
+    runner, ParamValue,
+};
 use dpm_sim::controller::{GreedyController, TimeoutController};
 
 const DENOMINATORS: [i64; 6] = [8, 7, 6, 5, 4, 3];
@@ -36,7 +41,9 @@ const POLICIES: [&str; 5] = [
 ];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = Args::from_env(&["workers", "seed", "requests", "reps", "out"])?;
+    let args = Args::from_env(&cli::with_resilience_flags(&[
+        "workers", "seed", "requests", "reps", "out",
+    ]))?;
     let workers = args.workers()?;
     let root_seed = args.get_u64("seed", 700)?;
     let requests = args.get_u64("requests", PAPER_REQUESTS)?;
@@ -64,7 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
 
     // Parallel simulation phase.
-    let records = runner::run_plan(&plan, workers, |ctx| {
+    let run_config = args.run_config()?;
+    let report = runner::run_plan_resilient(&plan, &run_config, |ctx| {
         let denominator = ctx.point.param("denominator").unwrap().as_i64().unwrap();
         let policy = ctx.point.param("policy").unwrap().as_text().unwrap();
         let (system, solution) = &solved[&denominator];
@@ -105,6 +113,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         record_sim_telemetry(ctx.telemetry, &report);
         Ok(report_to_json(&report))
     })?;
+    for outcome in &report.outcomes {
+        if let runner::TaskOutcome::Failed(f) = outcome {
+            eprintln!(
+                "warning: task {} ({}) failed after {} attempts: {}",
+                f.index,
+                plan.points()[f.point_index].label(),
+                f.attempts,
+                f.error
+            );
+        }
+    }
+    let records: Vec<_> = report.records().into_iter().cloned().collect();
 
     let widths = [12usize, 22, 12, 12];
     println!("Figure 5 — optimal vs heuristic policies across input rates (reps = {reps})");
@@ -138,7 +158,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          keep the average waiting time within the mean inter-arrival time."
     );
 
-    let doc = artifact::build(&plan, workers, &records);
+    let doc = artifact::build_run(&plan, workers, &report);
     artifact::write(&out, &doc)?;
     println!("artifact: {out}");
     Ok(())

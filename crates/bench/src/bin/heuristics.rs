@@ -20,7 +20,12 @@ use dpm_bench::{
     PAPER_REQUESTS,
 };
 use dpm_core::{optimize, PmPolicy};
-use dpm_harness::{artifact, cli::Args, plan::Plan, runner, Json, PlanPoint};
+use dpm_harness::{
+    artifact,
+    cli::{self, Args},
+    plan::Plan,
+    runner, Json, PlanPoint,
+};
 use dpm_sim::controller::{
     AlwaysOnController, GreedyController, NPolicyController, PredictiveController,
     RandomizedController, TableController, TimeoutController,
@@ -41,7 +46,9 @@ fn burst_gaps() -> Vec<f64> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = Args::from_env(&["workers", "seed", "requests", "reps", "out"])?;
+    let args = Args::from_env(&cli::with_resilience_flags(&[
+        "workers", "seed", "requests", "reps", "out",
+    ]))?;
     let workers = args.workers()?;
     let root_seed = args.get_u64("seed", 2_000)?;
     let requests = args.get_u64("requests", PAPER_REQUESTS)?;
@@ -87,7 +94,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_poisson_points = 11;
 
     let gaps = burst_gaps();
-    let records = runner::run_plan(&plan, workers, |ctx| {
+    let run_config = args.run_config()?;
+    let report = runner::run_plan_resilient(&plan, &run_config, |ctx| {
         let kind = ctx.point.param("kind").unwrap().as_text().unwrap();
         let workload = ctx.point.param("workload").unwrap().as_text().unwrap();
         let task = || -> Result<SimReport, Box<dyn std::error::Error>> {
@@ -167,6 +175,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.set("policy", report.policy());
         Ok(result)
     })?;
+    for outcome in &report.outcomes {
+        if let runner::TaskOutcome::Failed(f) = outcome {
+            eprintln!(
+                "warning: task {} ({}) failed after {} attempts: {}",
+                f.index,
+                plan.points()[f.point_index].label(),
+                f.attempts,
+                f.error
+            );
+        }
+    }
+    let records: Vec<_> = report.records().into_iter().cloned().collect();
 
     // Part 1: the Poisson shoot-out table (means over replications).
     let widths = [22usize, 11, 10, 10, 11, 12];
@@ -184,9 +204,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     rule(&widths);
     for point in 0..n_poisson_points {
-        let name = runner::records_for_point(&records, point)[0]
-            .result
-            .get("policy")
+        let name = runner::records_for_point(&records, point)
+            .first()
+            .and_then(|r| r.result.get("policy"))
             .and_then(Json::as_str)
             .unwrap_or("?")
             .to_owned();
@@ -268,7 +288,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         b.average_power()
     );
 
-    let mut doc = artifact::build(&plan, workers, &records);
+    let mut doc = artifact::build_run(&plan, workers, &report);
     let mut solve = Json::object();
     solve.set("iterations", optimal.iterations());
     solve.set("eval_residual", Json::num(optimal.eval_residual()));

@@ -22,7 +22,12 @@
 use dpm_bench::{counter_value, row, rule, timer_mean_secs};
 use dpm_core::{DpmError, PmPolicy, PmSystem, SpModel, SrModel};
 use dpm_ctmc::stationary::{self, Method};
-use dpm_harness::{artifact, cli::Args, plan::Plan, runner, Json, ParamValue};
+use dpm_harness::{
+    artifact,
+    cli::{self, Args},
+    plan::Plan,
+    runner, Json, ParamValue,
+};
 
 /// A five-mode device: two active speeds plus three sleep depths, fully
 /// connected, in the style of the paper's general model.
@@ -104,7 +109,7 @@ fn provider_for(modes: usize) -> Result<SpModel, DpmError> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = Args::from_env(&[
+    let args = Args::from_env(&cli::with_resilience_flags(&[
         "capacities",
         "modes",
         "dense-limit",
@@ -112,7 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "seed",
         "reps",
         "out",
-    ])?;
+    ]))?;
     let capacities = args.get_usize_list("capacities", &[5, 50, 200, 500])?;
     let modes = args.get_usize_list("modes", &[3, 5])?;
     let dense_limit = args.get_usize("dense-limit", 500)?;
@@ -138,7 +143,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ])?;
 
-    let records = runner::run_plan(&plan, workers, |ctx| {
+    let run_config = args.run_config()?;
+    let report = runner::run_plan_resilient(&plan, &run_config, |ctx| {
         let task = || -> Result<Json, DpmError> {
             let m = ctx.point.param("modes").unwrap().as_i64().unwrap() as usize;
             let capacity = ctx.point.param("capacity").unwrap().as_i64().unwrap() as usize;
@@ -174,6 +180,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         task().map_err(|e| e.to_string())
     })?;
+    for outcome in &report.outcomes {
+        if let runner::TaskOutcome::Failed(f) = outcome {
+            eprintln!(
+                "warning: task {} ({}) failed after {} attempts: {}",
+                f.index,
+                plan.points()[f.point_index].label(),
+                f.attempts,
+                f.error
+            );
+        }
+    }
+    let records: Vec<_> = report.records().into_iter().cloned().collect();
 
     let widths = [8usize, 8, 8, 8, 12, 12, 10, 12];
     println!("Scaling — sparse (CSR + Gauss-Seidel) vs dense (LU) stationary pipeline");
@@ -230,7 +248,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
     }
 
-    let doc = artifact::build(&plan, workers, &records);
+    let doc = artifact::build_run(&plan, workers, &report);
     artifact::write(&out, &doc)?;
     println!("artifact: {out}");
     Ok(())

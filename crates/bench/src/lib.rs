@@ -96,14 +96,12 @@ pub fn record_sim_telemetry(registry: &Registry, report: &SimReport) {
 
 /// Mean of a per-point numeric `result` field, for table rendering.
 ///
-/// # Panics
-///
-/// Panics if the field is absent — a programming error in the binary that
-/// wrote the records.
+/// Returns NaN when the point has no records or lacks the field — e.g.
+/// when every replication of the point failed in a resilient run — so a
+/// partial table still renders instead of tearing the binary down.
 #[must_use]
 pub fn point_mean(records: &[TaskRecord], point: usize, field: &str) -> f64 {
-    dpm_harness::runner::mean_of(records, point, field)
-        .unwrap_or_else(|| panic!("field `{field}` missing for point {point}"))
+    dpm_harness::runner::mean_of(records, point, field).unwrap_or(f64::NAN)
 }
 
 /// A timer mean (seconds) from a record's telemetry snapshot, when

@@ -37,6 +37,13 @@ pub enum CtmcError {
         /// Explanation.
         reason: String,
     },
+    /// Every backend in a stationary-solver fallback chain was tried and
+    /// rejected. Each entry is `(method, why it was rejected)` in the order
+    /// the chain escalated.
+    FallbackExhausted {
+        /// The attempted methods with their rejection reasons.
+        attempts: Vec<(String, String)>,
+    },
 }
 
 impl fmt::Display for CtmcError {
@@ -57,6 +64,13 @@ impl fmt::Display for CtmcError {
             }
             CtmcError::Numerical(e) => write!(f, "numerical failure: {e}"),
             CtmcError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            CtmcError::FallbackExhausted { attempts } => {
+                write!(f, "all stationary solver fallbacks failed:")?;
+                for (method, reason) in attempts {
+                    write!(f, " [{method}: {reason}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -87,11 +87,12 @@ pub enum Method {
 /// residual `‖πG‖_∞` is always computed a posteriori on the input
 /// representation, so it is an independent accuracy certificate rather
 /// than the solver's own stopping estimate.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveStats {
     method: Method,
     sweeps: usize,
     residual: f64,
+    escalation: Vec<(Method, String)>,
 }
 
 impl SolveStats {
@@ -111,6 +112,21 @@ impl SolveStats {
     #[must_use]
     pub fn residual(&self) -> f64 {
         self.residual
+    }
+
+    /// The escalation path: backends tried and rejected (with the reason)
+    /// before [`Self::method`] produced an acceptable distribution. Empty
+    /// for the single-method entry points and for fallback solves where the
+    /// first backend succeeded.
+    #[must_use]
+    pub fn escalation(&self) -> &[(Method, String)] {
+        &self.escalation
+    }
+
+    /// Whether the solve had to escalate past its first-choice backend.
+    #[must_use]
+    pub fn escalated(&self) -> bool {
+        !self.escalation.is_empty()
     }
 }
 
@@ -143,6 +159,7 @@ pub fn solve_with_stats(
         method,
         sweeps,
         residual: residual(generator, &pi),
+        escalation: Vec::new(),
     };
     Ok((pi, stats))
 }
@@ -196,6 +213,7 @@ pub fn solve_sparse_with_stats(
         method,
         sweeps,
         residual: residual_sparse(generator, &pi),
+        escalation: Vec::new(),
     };
     Ok((pi, stats))
 }
@@ -212,6 +230,142 @@ fn solve_sparse_inner(
             sparse_gauss_seidel(generator, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS)
         }
     }
+}
+
+/// Ordered backend chain tried by [`solve_with_fallback`]: direct LU first
+/// (fast, exact on well-conditioned chains), GTH second (subtraction-free,
+/// survives stiffness), power iteration last (needs only that the
+/// uniformized chain converges from a uniform start).
+pub const FALLBACK_CHAIN: [Method; 3] = [Method::Lu, Method::Gth, Method::Power];
+
+/// Ordered backend chain tried by [`solve_sparse_with_fallback`]. The
+/// Gauss–Seidel pass slots in before power iteration: it is `O(nnz)` per
+/// sweep and relaxes each state against its own exit rate, so it degrades
+/// less on stiff chains.
+pub const SPARSE_FALLBACK_CHAIN: [Method; 4] =
+    [Method::Lu, Method::Gth, Method::Iterative, Method::Power];
+
+/// Relative slack of the a-posteriori residual guard applied by the
+/// fallback chains: a candidate π is accepted only when
+/// `‖πG‖∞ ≤ slack · max(1, max exit rate)`.
+const FALLBACK_RESIDUAL_SLACK: f64 = 1e-8;
+
+/// Why a candidate distribution is unacceptable, or `None` if it passes
+/// every guard (finite, nonnegative, sums to 1, small scaled residual).
+fn distribution_flaw(pi: &DVector, residual: f64, scale: f64) -> Option<String> {
+    for (i, x) in pi.iter().enumerate() {
+        if !x.is_finite() {
+            return Some(format!("non-finite probability {x} at state {i}"));
+        }
+        if x < 0.0 {
+            return Some(format!("negative probability {x} at state {i}"));
+        }
+    }
+    let sum = pi.sum();
+    if (sum - 1.0).abs() > 1e-8 {
+        return Some(format!("probability mass {sum} != 1"));
+    }
+    let bound = FALLBACK_RESIDUAL_SLACK * scale.max(1.0);
+    if residual.is_nan() || residual > bound {
+        return Some(format!("residual {residual:e} exceeds bound {bound:e}"));
+    }
+    None
+}
+
+fn run_fallback(
+    methods: &[Method],
+    scale: f64,
+    mut attempt: impl FnMut(Method) -> Result<(DVector, usize), CtmcError>,
+    residual_of: impl Fn(&DVector) -> f64,
+) -> Result<(DVector, SolveStats), CtmcError> {
+    let mut escalation: Vec<(Method, String)> = Vec::new();
+    for &method in methods {
+        match attempt(method) {
+            Ok((pi, sweeps)) => {
+                let res = residual_of(&pi);
+                match distribution_flaw(&pi, res, scale) {
+                    None => {
+                        return Ok((
+                            pi,
+                            SolveStats {
+                                method,
+                                sweeps,
+                                residual: res,
+                                escalation,
+                            },
+                        ))
+                    }
+                    Some(flaw) => escalation.push((method, flaw)),
+                }
+            }
+            Err(err) => escalation.push((method, err.to_string())),
+        }
+    }
+    Err(CtmcError::FallbackExhausted {
+        attempts: escalation
+            .into_iter()
+            .map(|(m, e)| (format!("{m:?}"), e))
+            .collect(),
+    })
+}
+
+fn max_abs_diagonal(generator: &Generator) -> f64 {
+    let m = generator.matrix();
+    (0..generator.n_states())
+        .map(|i| m[(i, i)].abs())
+        .fold(0.0, f64::max)
+}
+
+/// Solves `πG = 0`, `Σπ = 1`, escalating through [`FALLBACK_CHAIN`] until a
+/// backend produces an acceptable distribution.
+///
+/// A backend is rejected — and the next one tried — when it errors
+/// (`Singular`, degenerate elimination, `NotConverged`, …) or when its
+/// result fails the validation guard: every entry finite and nonnegative,
+/// mass summing to 1, and residual `‖πG‖∞` within a slack scaled by the
+/// chain's fastest rate. The winning method and the full escalation path
+/// (with per-method rejection reasons) are recorded in the returned
+/// [`SolveStats`].
+///
+/// Unlike the single-method entry points this succeeds on chains the direct
+/// paths reject — e.g. LU declares a reducible chain `Singular`, but power
+/// iteration still converges to *a* stationary distribution (for a
+/// reducible chain the result is the uniform-start mixture over closed
+/// classes, not a unique limit; callers needing uniqueness should check
+/// irreducibility via [`solve_checked`]).
+///
+/// # Errors
+///
+/// Returns [`CtmcError::FallbackExhausted`] listing every attempted method
+/// and its rejection reason if no backend produces an acceptable
+/// distribution.
+pub fn solve_with_fallback(generator: &Generator) -> Result<(DVector, SolveStats), CtmcError> {
+    run_fallback(
+        &FALLBACK_CHAIN,
+        max_abs_diagonal(generator),
+        |method| solve_inner(generator, method),
+        |pi| residual(generator, pi),
+    )
+}
+
+/// Sparse twin of [`solve_with_fallback`], escalating through
+/// [`SPARSE_FALLBACK_CHAIN`].
+///
+/// The direct backends densify first (as in [`solve_sparse`]); the
+/// iterative backends run entirely on the CSR storage.
+///
+/// # Errors
+///
+/// As [`solve_with_fallback`].
+pub fn solve_sparse_with_fallback(
+    generator: &SparseGenerator,
+) -> Result<(DVector, SolveStats), CtmcError> {
+    run_fallback(
+        &SPARSE_FALLBACK_CHAIN,
+        generator.max_exit_rate(),
+        |method| solve_sparse_inner(generator, method),
+        |pi| residual_sparse(generator, pi),
+    )
 }
 
 /// Power iteration `π ← π(I + G/Λ)` on the uniformized chain, matrix-free
@@ -542,7 +696,10 @@ pub fn gain_vector(generator: &Generator, costs: &DVector) -> Result<DVector, Ct
                 }
             }
             let sub = b.build()?;
-            let pi = solve_gth(&sub)?;
+            // Closed-class sub-generators inherit whatever conditioning the
+            // policy induced; escalate through the fallback chain rather
+            // than letting one ill-conditioned class abort the evaluation.
+            let (pi, _) = solve_with_fallback(&sub)?;
             members
                 .iter()
                 .enumerate()
@@ -862,6 +1019,152 @@ mod unified_api_tests {
     }
 
     use crate::birth_death;
+}
+
+#[cfg(test)]
+mod fallback_tests {
+    use super::*;
+
+    fn three_state() -> Generator {
+        Generator::builder(3)
+            .rate(0, 1, 2.0)
+            .rate(1, 2, 1.0)
+            .rate(2, 0, 4.0)
+            .rate(1, 0, 0.5)
+            .build()
+            .unwrap()
+    }
+
+    /// Two disjoint 2-state recurrent classes: the LU system is singular
+    /// and GTH elimination degenerates, but a stationary distribution
+    /// (a mixture over the classes) still exists.
+    fn reducible_two_classes() -> Generator {
+        Generator::builder(4)
+            .rate(0, 1, 1.0)
+            .rate(1, 0, 2.0)
+            .rate(2, 3, 3.0)
+            .rate(3, 2, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    /// Two 2-state clusters tied by 1e-9 coupling rates: irreducible, but
+    /// the subdominant mode decays so slowly that Gauss–Seidel cannot
+    /// converge within its budget.
+    fn near_reducible() -> Generator {
+        Generator::builder(4)
+            .rate(0, 1, 1.0)
+            .rate(1, 0, 2.0)
+            .rate(2, 3, 3.0)
+            .rate(3, 2, 1.0)
+            .rate(1, 2, 1e-9)
+            .rate(2, 1, 1e-9)
+            .build()
+            .unwrap()
+    }
+
+    fn assert_valid_distribution(pi: &DVector) {
+        for x in pi.iter() {
+            assert!(x.is_finite() && x >= 0.0, "bad probability {x}");
+        }
+        assert!((pi.sum() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn well_conditioned_chain_takes_first_method() {
+        let g = three_state();
+        let (pi, stats) = solve_with_fallback(&g).unwrap();
+        assert_eq!(stats.method(), Method::Lu);
+        assert!(!stats.escalated());
+        assert!((&pi - &solve_gth(&g).unwrap()).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn reducible_chain_escalates_past_singular_lu() {
+        let g = reducible_two_classes();
+        // The direct path rejects this outright...
+        assert!(matches!(
+            solve(&g, Method::Lu),
+            Err(CtmcError::Numerical(
+                dpm_linalg::LinalgError::Singular { .. }
+            ))
+        ));
+        // ...but the fallback chain still produces a stationary mixture.
+        let (pi, stats) = solve_with_fallback(&g).unwrap();
+        assert_valid_distribution(&pi);
+        assert!(residual(&g, &pi) < 1e-8);
+        assert!(stats.escalated());
+        let tried: Vec<Method> = stats.escalation().iter().map(|(m, _)| *m).collect();
+        assert!(tried.contains(&Method::Lu), "escalation {tried:?}");
+        assert_ne!(stats.method(), Method::Lu);
+    }
+
+    #[test]
+    fn near_reducible_chain_defeats_iterative_but_not_fallback() {
+        let g = near_reducible();
+        let sparse = SparseGenerator::from_generator(&g);
+        // The iterative path alone gives up with the final residual in the
+        // error (small: "almost converged", not diverged).
+        match solve_sparse(&sparse, Method::Iterative) {
+            Err(CtmcError::Numerical(dpm_linalg::LinalgError::NotConverged {
+                residual, ..
+            })) => assert!(
+                residual.is_finite() && residual < 1.0,
+                "residual {residual}"
+            ),
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+        // The fallback chain solves it directly (LU handles 1e-9 coupling).
+        let (pi, stats) = solve_sparse_with_fallback(&sparse).unwrap();
+        assert_valid_distribution(&pi);
+        assert!(residual_sparse(&sparse, &pi) < 1e-10);
+        assert_eq!(stats.method(), Method::Lu);
+    }
+
+    #[test]
+    fn stiff_chain_solves_within_scaled_residual_bound() {
+        // Rate ratio 1e9.
+        let g = Generator::builder(3)
+            .rate(0, 1, 1e-4)
+            .rate(1, 2, 1e5)
+            .rate(2, 0, 1.0)
+            .build()
+            .unwrap();
+        let (pi, stats) = solve_with_fallback(&g).unwrap();
+        assert_valid_distribution(&pi);
+        assert!(stats.residual() <= FALLBACK_RESIDUAL_SLACK * 1e5 * 1.05);
+        let sparse = SparseGenerator::from_generator(&g);
+        let (pi_s, _) = solve_sparse_with_fallback(&sparse).unwrap();
+        assert!((&pi - &pi_s).norm_inf() < 1e-8);
+    }
+
+    #[test]
+    fn exhaustion_reports_every_attempt() {
+        // An absorbing two-state chain has stationary π = (0, 1); LU finds
+        // it, so force exhaustion with an empty chain instead: no
+        // transitions means no method can make progress.
+        let g = SparseGenerator::from_transitions(3, &[]).unwrap();
+        let err = solve_sparse_with_fallback(&g).unwrap_err();
+        match err {
+            CtmcError::FallbackExhausted { attempts } => {
+                assert_eq!(attempts.len(), SPARSE_FALLBACK_CHAIN.len());
+                for (method, reason) in &attempts {
+                    assert!(!method.is_empty() && !reason.is_empty());
+                }
+            }
+            other => panic!("expected FallbackExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gain_vector_survives_reducible_closed_classes() {
+        let g = reducible_two_classes();
+        let c = DVector::from_vec(vec![2.0, 4.0, 0.0, 8.0]);
+        let gains = gain_vector(&g, &c).unwrap();
+        // Class {0,1}: π = (2/3, 1/3) → gain 8/3; class {2,3}: π = (1/4, 3/4) → 6.
+        assert!((gains[0] - 8.0 / 3.0).abs() < 1e-10);
+        assert!((gains[2] - 6.0).abs() < 1e-10);
+    }
 }
 
 #[cfg(test)]

@@ -231,3 +231,130 @@ proptest! {
         }
     }
 }
+
+/// A stiff ring: rates drawn log-uniformly over nine decades, so the
+/// fastest and slowest transitions can differ by a factor of 1e9.
+fn stiff_generator(n: usize) -> impl Strategy<Value = Generator> {
+    prop::collection::vec(-4.0f64..5.0, n).prop_map(move |exponents| {
+        let mut b = Generator::builder(n);
+        for (i, &e) in exponents.iter().enumerate() {
+            b.add_rate(i, (i + 1) % n, 10f64.powf(e));
+        }
+        b.build().expect("positive rates are valid")
+    })
+}
+
+/// Two rings joined by a vanishing coupling (down to 1e-12): technically
+/// irreducible, numerically a hair from reducible.
+fn near_reducible_generator() -> impl Strategy<Value = Generator> {
+    (2usize..5, 2usize..5, -12.0f64..-6.0).prop_map(|(n1, n2, coupling_exp)| {
+        let eps = 10f64.powf(coupling_exp);
+        let mut b = Generator::builder(n1 + n2);
+        for i in 0..n1 {
+            b.add_rate(i, (i + 1) % n1, 1.0);
+        }
+        for i in 0..n2 {
+            b.add_rate(n1 + i, n1 + (i + 1) % n2, 1.0);
+        }
+        b.add_rate(0, n1, eps);
+        b.add_rate(n1, 0, eps);
+        b.build().expect("positive rates are valid")
+    })
+}
+
+/// Two disjoint rings: genuinely reducible, so LU sees a singular system
+/// and a unique stationary distribution does not exist.
+fn reducible_generator() -> impl Strategy<Value = Generator> {
+    (2usize..5, 2usize..5, 0.1f64..10.0).prop_map(|(n1, n2, rate)| {
+        let mut b = Generator::builder(n1 + n2);
+        for i in 0..n1 {
+            b.add_rate(i, (i + 1) % n1, rate);
+        }
+        for i in 0..n2 {
+            b.add_rate(n1 + i, n1 + (i + 1) % n2, 1.0 / rate);
+        }
+        b.build().expect("positive rates are valid")
+    })
+}
+
+/// A ring with one state duplicated: the clone shares state 0's outgoing
+/// row and splits its incoming flow, producing two nearly merged states.
+fn duplicated_state_generator(n: usize) -> impl Strategy<Value = Generator> {
+    prop::collection::vec(0.1f64..10.0, n).prop_map(move |rates| {
+        let mut b = Generator::builder(n + 1);
+        for (i, &r) in rates.iter().enumerate() {
+            if (i + 1) % n == 0 {
+                // The edge into state 0 is split between 0 and its clone.
+                b.add_rate(i, 0, r / 2.0);
+                b.add_rate(i, n, r / 2.0);
+            } else {
+                b.add_rate(i, (i + 1) % n, r);
+            }
+        }
+        b.add_rate(n, 1 % n, rates[0]); // clone mirrors state 0's row
+        b.build().expect("positive rates are valid")
+    })
+}
+
+fn assert_valid_distribution(pi: &DVector) {
+    assert!(pi.iter().all(f64::is_finite), "non-finite entry in {pi:?}");
+    assert!(pi.iter().all(|p| p >= -1e-12), "negative entry in {pi:?}");
+    assert!((pi.sum() - 1.0).abs() < 1e-8, "sum {} != 1", pi.sum());
+}
+
+proptest! {
+    #[test]
+    fn fallback_solves_stiff_rate_ratios(
+        g in (3usize..7).prop_flat_map(stiff_generator)
+    ) {
+        let (pi, stats) = stationary::solve_with_fallback(&g)
+            .expect("stiff but irreducible chains must be solvable");
+        assert_valid_distribution(&pi);
+        let scale = (0..g.n_states()).map(|i| g.exit_rate(i)).fold(1.0, f64::max);
+        prop_assert!(stationary::residual(&g, &pi) <= 1e-8 * scale);
+        // Whatever method won is on record.
+        let _ = stats.method();
+    }
+
+    #[test]
+    fn fallback_solves_near_reducible_chains(g in near_reducible_generator()) {
+        let (pi, _) = stationary::solve_with_fallback(&g)
+            .expect("near-reducible chains are still irreducible");
+        assert_valid_distribution(&pi);
+        let sparse = SparseGenerator::from_generator(&g);
+        let (pi_sparse, _) = stationary::solve_sparse_with_fallback(&sparse)
+            .expect("sparse fallback must also carry near-reducible chains");
+        assert_valid_distribution(&pi_sparse);
+    }
+
+    #[test]
+    fn fallback_solves_duplicated_states(
+        g in (3usize..7).prop_flat_map(duplicated_state_generator)
+    ) {
+        let (pi, _) = stationary::solve_with_fallback(&g)
+            .expect("a duplicated state keeps the chain irreducible");
+        assert_valid_distribution(&pi);
+    }
+
+    #[test]
+    fn fallback_never_panics_or_leaks_nan_on_reducible_chains(
+        g in reducible_generator()
+    ) {
+        // Reducible chains have no unique stationary distribution. The
+        // contract is: a valid distribution (one stationary mixture) or a
+        // structured error — never a panic, never a NaN vector.
+        match stationary::solve_with_fallback(&g) {
+            Ok((pi, stats)) => {
+                assert_valid_distribution(&pi);
+                // Dense LU must have rejected the singular system first.
+                prop_assert!(stats.escalated(), "LU should not solve a reducible chain");
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+        let sparse = SparseGenerator::from_generator(&g);
+        match stationary::solve_sparse_with_fallback(&sparse) {
+            Ok((pi, _)) => assert_valid_distribution(&pi),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}

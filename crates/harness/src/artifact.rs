@@ -16,29 +16,72 @@ use std::process::Command;
 
 use crate::json::Json;
 use crate::plan::Plan;
-use crate::runner::TaskRecord;
+use crate::runner::{RunReport, TaskOutcome, TaskRecord};
 use crate::HarnessError;
 
 /// Version of the artifact document layout. Bump on breaking layout
 /// changes; the diff tool refuses to compare mismatched versions.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added per-task `status` / `attempts` fields (plus `error` on
+/// failed tasks) and ok/failed/retried counts in `provenance`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Keys whose subtrees are run-volatile (timing, environment) and excluded
 /// from determinism comparisons.
 pub const VOLATILE_KEYS: [&str; 3] = ["provenance", "wall_secs", "timers"];
 
-/// Assembles the artifact document for one run.
+/// Assembles the artifact document for a fully successful run.
 #[must_use]
 pub fn build(plan: &Plan, workers: usize, records: &[TaskRecord]) -> Json {
+    let tasks = records.iter().map(|r| r.to_json(plan)).collect();
+    let retried = records.iter().filter(|r| r.attempts > 1).count();
+    assemble(plan, workers, tasks, records.len(), 0, retried, 0)
+}
+
+/// Assembles the artifact document for a resilient run, including failed
+/// tasks (with their error and attempt count) in `tasks` and outcome
+/// counts in `provenance`.
+#[must_use]
+pub fn build_run(plan: &Plan, workers: usize, report: &RunReport) -> Json {
+    let tasks = report
+        .outcomes
+        .iter()
+        .map(|outcome| match outcome {
+            TaskOutcome::Ok(record) => record.to_json(plan),
+            TaskOutcome::Failed(failure) => failure.to_json(plan),
+        })
+        .collect();
+    assemble(
+        plan,
+        workers,
+        tasks,
+        report.n_ok(),
+        report.n_failed(),
+        report.n_retried(),
+        report.resumed,
+    )
+}
+
+fn assemble(
+    plan: &Plan,
+    workers: usize,
+    tasks: Vec<Json>,
+    n_ok: usize,
+    n_failed: usize,
+    n_retried: usize,
+    resumed: usize,
+) -> Json {
     let mut doc = Json::object();
     doc.set("schema_version", SCHEMA_VERSION);
     doc.set("experiment", plan.name());
     doc.set("plan", plan.to_json());
-    doc.set("provenance", provenance(workers));
-    doc.set(
-        "tasks",
-        Json::Array(records.iter().map(|r| r.to_json(plan)).collect()),
-    );
+    let mut prov = provenance(workers);
+    prov.set("tasks_ok", n_ok);
+    prov.set("tasks_failed", n_failed);
+    prov.set("tasks_retried", n_retried);
+    prov.set("tasks_resumed", resumed);
+    doc.set("provenance", prov);
+    doc.set("tasks", Json::Array(tasks));
     doc
 }
 
@@ -75,7 +118,10 @@ fn git_commit() -> Option<String> {
     }
 }
 
-/// Writes `doc` to `path`, creating parent directories as needed.
+/// Writes `doc` to `path` atomically, creating parent directories as
+/// needed: the document lands in a same-directory temporary file first
+/// and is renamed into place, so a crash mid-write can never leave a
+/// truncated artifact where a previous good one stood.
 ///
 /// # Errors
 ///
@@ -87,7 +133,19 @@ pub fn write(path: impl AsRef<Path>, doc: &Json) -> Result<(), HarnessError> {
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(path, doc.render())?;
+    let file_name =
+        path.file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| HarnessError::InvalidArgument {
+                reason: format!("artifact path `{}` has no file name", path.display()),
+            })?;
+    // Same directory so the final rename cannot cross filesystems.
+    let tmp = path.with_file_name(format!(".{file_name}.tmp-{}", std::process::id()));
+    let written = std::fs::write(&tmp, doc.render()).and_then(|()| std::fs::rename(&tmp, path));
+    if written.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    written?;
     Ok(())
 }
 
@@ -220,7 +278,7 @@ mod tests {
     #[test]
     fn document_has_schema_version_and_provenance() {
         let doc = sample(1);
-        assert_eq!(doc.get("schema_version"), Some(&Json::Int(1)));
+        assert_eq!(doc.get("schema_version"), Some(&Json::Int(2)));
         let prov = doc.get("provenance").unwrap();
         assert!(prov.get("workers").is_some());
         assert!(prov.get("git_commit").is_some());
@@ -295,6 +353,58 @@ mod tests {
         write(&path, &doc).unwrap();
         let loaded = read(&path).unwrap();
         assert_eq!(loaded, doc);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_run_reports_failures_and_counts() {
+        use crate::runner::{run_plan_resilient, FaultPlan, RunConfig};
+        let plan = Plan::new("unit", 5)
+            .replications(2)
+            .point(PlanPoint::new("p").with("x", 1.5));
+        let config = RunConfig::new(2)
+            .max_attempts(2)
+            .faults(FaultPlan::new().error_on(0, 1).panic_on(1, u32::MAX));
+        let report = run_plan_resilient(&plan, &config, |_| Ok(Json::object())).unwrap();
+        let doc = build_run(&plan, 2, &report);
+        let prov = doc.get("provenance").unwrap();
+        assert_eq!(prov.get("tasks_ok"), Some(&Json::Int(1)));
+        assert_eq!(prov.get("tasks_failed"), Some(&Json::Int(1)));
+        assert_eq!(prov.get("tasks_retried"), Some(&Json::Int(2)));
+        let tasks = match doc.get("tasks").unwrap() {
+            Json::Array(items) => items,
+            other => panic!("tasks not an array: {other:?}"),
+        };
+        assert_eq!(tasks[0].get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(tasks[0].get("attempts"), Some(&Json::Int(2)));
+        assert_eq!(
+            tasks[1].get("status").and_then(Json::as_str),
+            Some("failed")
+        );
+        assert!(tasks[1]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("injected panic"));
+        assert!(tasks[1].get("result").is_none());
+    }
+
+    #[test]
+    fn write_is_atomic_no_temp_residue() {
+        let doc = sample(1);
+        let dir = std::env::temp_dir().join(format!("dpm-harness-atomic-{}", std::process::id()));
+        let path = dir.join("artifact.json");
+        write(&path, &doc).unwrap();
+        // Overwrite in place: the old artifact must be replaced, and no
+        // temporary files may linger.
+        write(&path, &doc).unwrap();
+        assert_eq!(read(&path).unwrap(), doc);
+        let residue: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "artifact.json")
+            .collect();
+        assert!(residue.is_empty(), "{residue:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

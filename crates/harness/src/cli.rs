@@ -8,7 +8,34 @@
 
 use std::collections::BTreeMap;
 
+use crate::runner::{FaultPlan, RunConfig};
 use crate::{pool, HarnessError};
+
+/// The fault-tolerance flags every experiment binary accepts; splice into
+/// the binary's allowed-flag list and feed the parsed [`Args`] to
+/// [`Args::run_config`].
+///
+/// * `--max-attempts N` — retry budget per task (default 1 = no retries);
+/// * `--checkpoint PATH` — journal completed tasks to PATH as they finish;
+/// * `--resume PATH` — skip tasks already completed in PATH (a journal or
+///   a schema-v2 artifact);
+/// * `--inject-panic SPEC` / `--inject-error SPEC` — deterministic fault
+///   injection for CI smoke tests, where SPEC is a comma-separated list
+///   of `TASK` or `TASK:ATTEMPTS` entries (each sabotages the first
+///   ATTEMPTS attempts of TASK; default 1).
+pub const RESILIENCE_FLAGS: [&str; 5] = [
+    "max-attempts",
+    "checkpoint",
+    "resume",
+    "inject-panic",
+    "inject-error",
+];
+
+/// Appends [`RESILIENCE_FLAGS`] to a binary's own flag list.
+#[must_use]
+pub fn with_resilience_flags(own: &[&'static str]) -> Vec<&'static str> {
+    own.iter().chain(RESILIENCE_FLAGS.iter()).copied().collect()
+}
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]
@@ -173,6 +200,64 @@ impl Args {
         }
         Ok(n)
     }
+
+    /// Assembles a [`RunConfig`] from the [`RESILIENCE_FLAGS`] plus
+    /// `--workers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidArgument`] on malformed flags.
+    pub fn run_config(&self) -> Result<RunConfig, HarnessError> {
+        let attempts = self.get_u64("max-attempts", 1)?;
+        let attempts = u32::try_from(attempts).unwrap_or(u32::MAX).max(1);
+        let mut config = RunConfig::new(self.workers()?).max_attempts(attempts);
+        if let Some(path) = self.get("checkpoint") {
+            config = config.checkpoint(path);
+        }
+        if let Some(path) = self.get("resume") {
+            config = config.resume(path);
+        }
+        let mut faults = FaultPlan::new();
+        for (task, n) in parse_fault_spec(self.get("inject-panic"), "inject-panic")? {
+            faults = faults.panic_on(task, n);
+        }
+        for (task, n) in parse_fault_spec(self.get("inject-error"), "inject-error")? {
+            faults = faults.error_on(task, n);
+        }
+        Ok(config.faults(faults))
+    }
+}
+
+/// Parses a fault spec: comma-separated `TASK` or `TASK:ATTEMPTS`
+/// entries.
+fn parse_fault_spec(spec: Option<&str>, flag: &str) -> Result<Vec<(usize, u32)>, HarnessError> {
+    let Some(spec) = spec else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        let (task, attempts) = match entry.split_once(':') {
+            Some((task, attempts)) => (task, attempts),
+            None => (entry, "1"),
+        };
+        let task: usize = task.parse().map_err(|_| {
+            invalid(format!(
+                "--{flag} expects TASK or TASK:ATTEMPTS, got `{entry}`"
+            ))
+        })?;
+        let attempts: u32 = if attempts == "max" {
+            u32::MAX
+        } else {
+            attempts.parse().map_err(|_| {
+                invalid(format!(
+                    "--{flag} expects TASK or TASK:ATTEMPTS, got `{entry}`"
+                ))
+            })?
+        };
+        out.push((task, attempts));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -233,6 +318,49 @@ mod tests {
             .unwrap()
             .get_usize_list("capacities", &[])
             .is_err());
+    }
+
+    #[test]
+    fn resilience_flags_assemble_a_run_config() {
+        let allowed = with_resilience_flags(&["workers"]);
+        let args = parse(
+            &[
+                "--workers",
+                "2",
+                "--max-attempts",
+                "3",
+                "--checkpoint",
+                "j.jsonl",
+                "--resume",
+                "old.jsonl",
+                "--inject-panic",
+                "3,5:2",
+                "--inject-error",
+                "7:max",
+            ],
+            &allowed,
+        )
+        .unwrap();
+        let config = args.run_config().unwrap();
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.max_attempts, 3);
+        assert_eq!(
+            config.checkpoint.as_deref(),
+            Some(std::path::Path::new("j.jsonl"))
+        );
+        assert_eq!(
+            config.resume.as_deref(),
+            Some(std::path::Path::new("old.jsonl"))
+        );
+        assert!(!config.faults.is_empty());
+
+        let plain = parse(&[], &allowed).unwrap().run_config().unwrap();
+        assert_eq!(plain.max_attempts, 1);
+        assert!(plain.faults.is_empty());
+        assert!(plain.checkpoint.is_none());
+
+        let bad = parse(&["--inject-panic", "x"], &allowed).unwrap();
+        assert!(bad.run_config().is_err());
     }
 
     #[test]

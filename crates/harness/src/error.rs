@@ -24,6 +24,12 @@ pub enum HarnessError {
         /// The task's own error message.
         message: String,
     },
+    /// A checkpoint journal could not be used for resume (plan mismatch,
+    /// malformed entry, wrong schema).
+    Checkpoint {
+        /// What was wrong.
+        reason: String,
+    },
     /// Malformed JSON input (artifact parsing).
     Json {
         /// Byte offset of the error.
@@ -45,6 +51,9 @@ impl fmt::Display for HarnessError {
                 label,
                 message,
             } => write!(f, "task {index} ({label}) failed: {message}"),
+            HarnessError::Checkpoint { reason } => {
+                write!(f, "checkpoint journal rejected: {reason}")
+            }
             HarnessError::Json { offset, reason } => {
                 write!(f, "malformed JSON at byte {offset}: {reason}")
             }

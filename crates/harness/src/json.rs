@@ -106,6 +106,51 @@ impl Json {
         out
     }
 
+    /// Renders the canonical single-line form — one value per line, as the
+    /// checkpoint journal needs (one JSONL entry per completed task).
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                let _ = write!(out, "{f:?}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_into(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -413,6 +458,19 @@ mod tests {
         let rendered = doc.render();
         let parsed = Json::parse(&rendered).unwrap();
         assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn compact_form_is_single_line_and_round_trips() {
+        let mut doc = Json::object();
+        doc.set("b", 3u64);
+        doc.set("a", 1.5);
+        doc.set("list", vec![Json::Null, Json::Bool(true), Json::Int(-2)]);
+        doc.set("text", "hi \"there\"\n");
+        let compact = doc.render_compact();
+        assert!(!compact.contains('\n'), "compact form must be one line");
+        assert_eq!(Json::parse(&compact).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   diagnostics, with deterministic metrics kept apart from wall-clock
 //!   ones;
 //! * [`runner`] — executes a plan's tasks and collects per-task records
-//!   in plan order;
+//!   in plan order; [`runner::run_plan_resilient`] adds task isolation
+//!   (`catch_unwind`), deterministic retry and checkpoint/resume;
+//! * [`checkpoint`] — the JSONL journal of completed tasks behind
+//!   `--checkpoint` / `--resume`;
 //! * [`artifact`] — versioned JSON artifacts (`schema_version`,
 //!   provenance, per-task telemetry) plus a tolerance-aware [`artifact::diff`]
 //!   for regression checking;
@@ -41,12 +44,13 @@
 //!     Ok(out)
 //! })?;
 //! let doc = artifact::build(&plan, 2, &records);
-//! assert_eq!(doc.get("schema_version"), Some(&Json::Int(1)));
+//! assert_eq!(doc.get("schema_version"), Some(&Json::Int(2)));
 //! # Ok(())
 //! # }
 //! ```
 
 pub mod artifact;
+pub mod checkpoint;
 pub mod cli;
 mod error;
 pub mod json;
@@ -59,5 +63,8 @@ pub mod telemetry;
 pub use error::HarnessError;
 pub use json::Json;
 pub use plan::{ParamValue, Plan, PlanPoint};
-pub use runner::{run_plan, TaskCtx, TaskRecord};
+pub use runner::{
+    run_plan, run_plan_resilient, FaultPlan, RunConfig, RunReport, TaskCtx, TaskFailure,
+    TaskOutcome, TaskRecord,
+};
 pub use telemetry::Registry;

@@ -10,11 +10,22 @@
 //! Because the task set is static — no task enqueues further tasks — a
 //! worker may exit as soon as every deque is empty; tasks still in flight
 //! on other workers need no help. Results land in a slot-per-task vector,
-//! so output order is plan order regardless of which worker ran what, and
-//! a panicking task propagates its panic to the caller (no lost results).
+//! so output order is plan order regardless of which worker ran what.
+//!
+//! Two entry points with different failure contracts:
+//!
+//! * [`run`] — a panicking task propagates its panic to the caller;
+//! * [`run_isolated`] — each task runs under `catch_unwind`, so a panic
+//!   becomes an `Err(message)` in that task's slot and every other task's
+//!   result survives. This is what the resilient runner builds on.
+//!
+//! Lock poisoning is recovered, not propagated: a queue or result mutex
+//! poisoned by a panicking task holds plain data (task indices / finished
+//! results), which stays valid whatever the panic interrupted.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 
 /// Runs `n_tasks` tasks on `workers` threads and returns the results in
 /// task-index order.
@@ -55,12 +66,19 @@ where
             let task = &task;
             handles.push(scope.spawn(move || {
                 loop {
-                    // Own deque first (back), then steal (front).
-                    let mut claimed = queues[w].lock().expect("queue poisoned").pop_back();
+                    // Own deque first (back), then steal (front). A poisoned
+                    // lock still guards valid data — recover, don't abort.
+                    let mut claimed = queues[w]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .pop_back();
                     if claimed.is_none() {
                         for offset in 1..workers {
                             let victim = (w + offset) % workers;
-                            claimed = queues[victim].lock().expect("queue poisoned").pop_front();
+                            claimed = queues[victim]
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .pop_front();
                             if claimed.is_some() {
                                 break;
                             }
@@ -70,7 +88,9 @@ where
                         return; // Static task set: empty everywhere = done.
                     };
                     let value = task(index);
-                    *results[index].lock().expect("result poisoned") = Some(value);
+                    *results[index]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) = Some(value);
                 }
             }));
         }
@@ -85,10 +105,39 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every task index was claimed exactly once")
         })
         .collect()
+}
+
+/// Converts a caught panic payload into a human-readable message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        match payload.downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => "task panicked (non-string payload)".to_owned(),
+        }
+    }
+}
+
+/// As [`run`], but each task is isolated with `catch_unwind`: a panicking
+/// task yields `Err(panic message)` in its own slot instead of tearing down
+/// the pool, and every other task's result is preserved.
+///
+/// The closure is wrapped in `AssertUnwindSafe`: the pool never reuses
+/// whatever state the panic may have left behind — each task's slot is
+/// written exactly once, and the deques hold plain indices.
+pub fn run_isolated<T, F>(n_tasks: usize, workers: usize, task: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run(n_tasks, workers, |index| {
+        catch_unwind(AssertUnwindSafe(|| task(index))).map_err(panic_message)
+    })
 }
 
 /// The machine's available parallelism (defaulting to 1 if unknown) — the
@@ -165,5 +214,49 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn isolated_panic_keeps_other_results() {
+        for workers in [1, 4] {
+            let out = run_isolated(16, workers, |i| {
+                assert!(i != 7, "task 7 exploded");
+                i * 2
+            });
+            assert_eq!(out.len(), 16);
+            for (i, slot) in out.iter().enumerate() {
+                if i == 7 {
+                    let err = slot.as_ref().unwrap_err();
+                    assert!(err.contains("task 7 exploded"), "got {err}");
+                } else {
+                    assert_eq!(*slot.as_ref().unwrap(), i * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_handles_non_string_panic_payload() {
+        let out = run_isolated(2, 1, |i| {
+            if i == 1 {
+                std::panic::panic_any(42_u32);
+            }
+            i
+        });
+        assert_eq!(out[0], Ok(0));
+        assert!(out[1].as_ref().unwrap_err().contains("panicked"));
+    }
+
+    #[test]
+    fn isolated_survives_many_panics_across_workers() {
+        // Every odd task panics; all even results must still come back —
+        // this is the "poisoned mutexes must not take the run down" case.
+        let out = run_isolated(40, 8, |i| {
+            assert!(i % 2 == 0, "odd task {i}");
+            i
+        });
+        for (i, slot) in out.iter().enumerate() {
+            assert_eq!(slot.is_ok(), i % 2 == 0, "slot {i}: {slot:?}");
+        }
     }
 }

@@ -18,6 +18,11 @@ use rand_chacha::ChaCha8Rng;
 /// user's own direct `seed_from_u64` streams.
 const DOMAIN_TAG: u64 = 0x6470_6d2d_6861_726e; // "dpm-harn"
 
+/// Domain-separation tag for retry attempts, XORed with the attempt number.
+/// Distinct from [`DOMAIN_TAG`] in its high bytes, so no retry seed can
+/// collide with any first-attempt seed.
+const RETRY_TAG: u64 = 0x6470_6d2d_7274_7279; // "dpm-rtry"
+
 /// Derives the RNG seed for one task from the plan's root seed and the
 /// task's position in the plan grid.
 #[must_use]
@@ -27,6 +32,26 @@ pub fn derive_seed(root: u64, point: u64, replication: u64) -> u64 {
     key[8..16].copy_from_slice(&point.to_le_bytes());
     key[16..24].copy_from_slice(&replication.to_le_bytes());
     key[24..32].copy_from_slice(&DOMAIN_TAG.to_le_bytes());
+    ChaCha8Rng::from_seed(key).next_u64()
+}
+
+/// Derives the RNG seed for retry `attempt` of a task (0 = first try).
+///
+/// Attempt 0 is exactly [`derive_seed`] — enabling retries changes nothing
+/// for tasks that succeed first time. Later attempts draw fresh but equally
+/// deterministic seeds (a function of grid position and attempt number
+/// only), so a retried run is reproducible end-to-end: re-running the plan
+/// re-derives the same seed for every attempt of every task.
+#[must_use]
+pub fn derive_attempt_seed(root: u64, point: u64, replication: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        return derive_seed(root, point, replication);
+    }
+    let mut key = [0u8; 32];
+    key[0..8].copy_from_slice(&root.to_le_bytes());
+    key[8..16].copy_from_slice(&point.to_le_bytes());
+    key[16..24].copy_from_slice(&replication.to_le_bytes());
+    key[24..32].copy_from_slice(&(RETRY_TAG ^ u64::from(attempt)).to_le_bytes());
     ChaCha8Rng::from_seed(key).next_u64()
 }
 
@@ -55,6 +80,40 @@ mod tests {
             for point in 0..50u64 {
                 for rep in 0..50u64 {
                     assert!(seen.insert(derive_seed(root, point, rep)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_zero_matches_plain_derivation() {
+        for rep in 0..8 {
+            assert_eq!(derive_attempt_seed(7, 3, rep, 0), derive_seed(7, 3, rep));
+        }
+    }
+
+    #[test]
+    fn attempts_draw_distinct_deterministic_seeds() {
+        let mut seen = HashSet::new();
+        for attempt in 0..16u32 {
+            let seed = derive_attempt_seed(7, 3, 1, attempt);
+            assert_eq!(seed, derive_attempt_seed(7, 3, 1, attempt));
+            assert!(seen.insert(seed), "attempt {attempt} collided");
+        }
+    }
+
+    #[test]
+    fn retry_seeds_do_not_collide_with_first_attempts() {
+        let mut first: HashSet<u64> = HashSet::new();
+        for point in 0..20u64 {
+            for rep in 0..20u64 {
+                first.insert(derive_seed(5, point, rep));
+            }
+        }
+        for point in 0..20u64 {
+            for rep in 0..20u64 {
+                for attempt in 1..4u32 {
+                    assert!(!first.contains(&derive_attempt_seed(5, point, rep, attempt)));
                 }
             }
         }

@@ -28,7 +28,9 @@ pub enum LinalgError {
     NotConverged {
         /// Number of iterations performed.
         iterations: usize,
-        /// Residual norm when iteration stopped.
+        /// True residual norm of the final iterate (`‖Ax−b‖∞` for linear
+        /// solvers). A value near the tolerance means "almost converged";
+        /// a huge or non-finite value means the iteration diverged.
         residual: f64,
     },
     /// Input data was rejected (empty, ragged, or containing non-finite values).

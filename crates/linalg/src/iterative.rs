@@ -36,6 +36,21 @@ pub struct IterativeResult {
     pub final_update: f64,
 }
 
+/// True residual `‖A·x − b‖∞` of an iterate.
+///
+/// Reported by `NotConverged` errors so callers can tell an almost-converged
+/// run (small residual) from a divergent one (huge residual) — the update
+/// norm alone cannot make that distinction.
+fn residual_inf(a: &DMatrix, x: &DVector, b: &DVector) -> f64 {
+    let ax = a.mul_vec(x);
+    (&ax - b).norm_inf()
+}
+
+fn residual_inf_csr(a: &CsrMatrix, x: &DVector, b: &DVector) -> f64 {
+    let ax = a.mul_vec(x);
+    (&ax - b).norm_inf()
+}
+
 fn check_system(a: &DMatrix, b: &DVector) -> Result<(), LinalgError> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare { shape: a.shape() });
@@ -87,9 +102,8 @@ pub fn jacobi(
     let n = a.nrows();
     let mut x = DVector::zeros(n);
     let mut next = DVector::zeros(n);
-    let mut update = f64::INFINITY;
     for iteration in 1..=options.max_iterations {
-        update = 0.0;
+        let mut update = 0.0f64;
         for i in 0..n {
             let row = a.row(i);
             let mut sum = b[i];
@@ -113,7 +127,7 @@ pub fn jacobi(
     }
     Err(LinalgError::NotConverged {
         iterations: options.max_iterations,
-        residual: update,
+        residual: residual_inf(a, &x, b),
     })
 }
 
@@ -133,9 +147,8 @@ pub fn gauss_seidel(
     check_system(a, b)?;
     let n = a.nrows();
     let mut x = DVector::zeros(n);
-    let mut update = f64::INFINITY;
     for iteration in 1..=options.max_iterations {
-        update = 0.0;
+        let mut update = 0.0f64;
         for i in 0..n {
             let row = a.row(i);
             let mut sum = b[i];
@@ -158,7 +171,7 @@ pub fn gauss_seidel(
     }
     Err(LinalgError::NotConverged {
         iterations: options.max_iterations,
-        residual: update,
+        residual: residual_inf(a, &x, b),
     })
 }
 
@@ -201,9 +214,8 @@ pub fn jacobi_csr(
     let n = a.nrows();
     let mut x = DVector::zeros(n);
     let mut next = DVector::zeros(n);
-    let mut update = f64::INFINITY;
     for iteration in 1..=options.max_iterations {
-        update = 0.0;
+        let mut update = 0.0f64;
         for i in 0..n {
             let mut sum = b[i];
             for (j, aij) in a.row(i) {
@@ -226,7 +238,7 @@ pub fn jacobi_csr(
     }
     Err(LinalgError::NotConverged {
         iterations: options.max_iterations,
-        residual: update,
+        residual: residual_inf_csr(a, &x, b),
     })
 }
 
@@ -243,9 +255,8 @@ pub fn gauss_seidel_csr(
     let diag = check_sparse_system(a, b)?;
     let n = a.nrows();
     let mut x = DVector::zeros(n);
-    let mut update = f64::INFINITY;
     for iteration in 1..=options.max_iterations {
-        update = 0.0;
+        let mut update = 0.0f64;
         for i in 0..n {
             let mut sum = b[i];
             for (j, aij) in a.row(i) {
@@ -267,7 +278,7 @@ pub fn gauss_seidel_csr(
     }
     Err(LinalgError::NotConverged {
         iterations: options.max_iterations,
-        residual: update,
+        residual: residual_inf_csr(a, &x, b),
     })
 }
 
@@ -321,6 +332,65 @@ mod tests {
             jacobi(&a, &b, options),
             Err(LinalgError::NotConverged { .. })
         ));
+    }
+
+    #[test]
+    fn not_converged_residual_distinguishes_divergence_from_near_convergence() {
+        // Divergent iteration: the reported residual is the true ‖Ax−b‖∞,
+        // which grows without bound.
+        let a = DMatrix::from_rows(&[&[1.0, 5.0], &[7.0, 1.0]]).unwrap();
+        let b = DVector::from_vec(vec![1.0, 1.0]);
+        let options = IterativeOptions {
+            max_iterations: 50,
+            ..IterativeOptions::default()
+        };
+        let Err(LinalgError::NotConverged {
+            residual: diverged, ..
+        }) = jacobi(&a, &b, options)
+        else {
+            panic!("expected NotConverged");
+        };
+        assert!(
+            diverged > 1e6,
+            "divergent residual should be huge: {diverged}"
+        );
+
+        // Almost-converged iteration: a dominant system starved of budget
+        // reports a small but nonzero residual.
+        let (a, b) = dominant_system();
+        let starved = IterativeOptions {
+            max_iterations: 4,
+            ..IterativeOptions::default()
+        };
+        let Err(LinalgError::NotConverged { residual: near, .. }) = jacobi(&a, &b, starved) else {
+            panic!("expected NotConverged");
+        };
+        assert!(
+            near < 1.0,
+            "near-converged residual should be small: {near}"
+        );
+        assert!(near > 0.0);
+    }
+
+    #[test]
+    fn sparse_not_converged_reports_true_residual() {
+        let (a, b) = dominant_system();
+        let sparse = CsrMatrix::from_dense(&a);
+        let starved = IterativeOptions {
+            max_iterations: 3,
+            ..IterativeOptions::default()
+        };
+        let dense_err = jacobi(&a, &b, starved).unwrap_err();
+        let sparse_err = jacobi_csr(&sparse, &b, starved).unwrap_err();
+        let (
+            LinalgError::NotConverged { residual: rd, .. },
+            LinalgError::NotConverged { residual: rs, .. },
+        ) = (dense_err, sparse_err)
+        else {
+            panic!("expected NotConverged");
+        };
+        assert!((rd - rs).abs() < 1e-12);
+        assert!(rd.is_finite() && rd > 0.0);
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub enum EvalBackend {
     /// which converges comfortably on the paper's models up to Q = 50)
     /// before selecting this backend.
     SparseIterative,
+    /// Graceful degradation: the dense LU solve runs first, and a numerical
+    /// failure — a `Singular`-induced [`MdpError::NotUnichain`], any
+    /// [`MdpError::Numerical`], or a non-finite gain/bias — triggers one
+    /// retry with the sparse iterative backend. Costs nothing on healthy
+    /// models (the dense path wins immediately) and keeps policy iteration
+    /// alive on generators conditioned badly enough that LU's relative
+    /// pivot threshold misfires (e.g. uniformly fast rates dwarfing the
+    /// unit gain column).
+    Resilient,
 }
 
 /// Options for [`policy_iteration`].
@@ -316,6 +325,44 @@ pub fn evaluate_iterative(
     })
 }
 
+/// Rejects evaluations contaminated by NaN/Inf — a solver that "succeeds"
+/// with non-finite output must not leak into the improvement step.
+fn require_finite(eval: Evaluation) -> Result<Evaluation, MdpError> {
+    if eval.gain.is_finite() && eval.bias.iter().all(f64::is_finite) {
+        Ok(eval)
+    } else {
+        Err(MdpError::Numerical(dpm_linalg::LinalgError::InvalidInput {
+            reason: "policy evaluation produced non-finite gain or bias".to_owned(),
+        }))
+    }
+}
+
+/// Policy evaluation with graceful degradation ([`EvalBackend::Resilient`]).
+///
+/// The dense solve runs first; on a numerical failure (including non-finite
+/// output) the evaluation is retried with [`evaluate_iterative`]. Validation
+/// errors ([`MdpError::InvalidPolicy`], [`MdpError::InvalidParameter`])
+/// propagate untouched — retrying cannot fix a malformed input.
+///
+/// # Errors
+///
+/// If both backends fail, the dense error is returned: it names the root
+/// cause (e.g. a singular evaluation system), of which the iterative
+/// failure is usually a downstream symptom.
+pub fn evaluate_resilient(
+    mdp: &Ctmdp,
+    policy: &Policy,
+    reference_state: usize,
+) -> Result<Evaluation, MdpError> {
+    match evaluate(mdp, policy, reference_state).and_then(require_finite) {
+        Ok(eval) => Ok(eval),
+        Err(e @ (MdpError::InvalidPolicy { .. } | MdpError::InvalidParameter { .. })) => Err(e),
+        Err(dense_error) => evaluate_iterative(mdp, policy, reference_state)
+            .and_then(require_finite)
+            .map_err(|_| dense_error),
+    }
+}
+
 /// Dispatches the evaluation step according to `backend`.
 fn evaluate_with(
     mdp: &Ctmdp,
@@ -326,6 +373,7 @@ fn evaluate_with(
     match backend {
         EvalBackend::Dense => evaluate(mdp, policy, reference_state),
         EvalBackend::SparseIterative => evaluate_iterative(mdp, policy, reference_state),
+        EvalBackend::Resilient => evaluate_resilient(mdp, policy, reference_state),
     }
 }
 
@@ -980,6 +1028,83 @@ mod iterative_backend_tests {
     fn default_backend_is_dense() {
         assert_eq!(EvalBackend::default(), EvalBackend::Dense);
         assert_eq!(Options::default().backend, EvalBackend::Dense);
+    }
+}
+
+#[cfg(test)]
+mod resilient_backend_tests {
+    use super::*;
+
+    fn repair_mdp(fast_cost: f64) -> Ctmdp {
+        let mut b = Ctmdp::builder(2);
+        b.action(0, "run", 1.0, &[(1, 1.0)]).unwrap();
+        b.action(1, "slow", 5.0, &[(0, 1.0)]).unwrap();
+        b.action(1, "fast", fast_cost, &[(0, 10.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn resilient_matches_dense_on_healthy_models() {
+        let mdp = repair_mdp(9.0);
+        for policy in mdp.enumerate_policies() {
+            let dense = evaluate(&mdp, &policy, 0).unwrap();
+            let resilient = evaluate_resilient(&mdp, &policy, 0).unwrap();
+            assert_eq!(dense, resilient, "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn resilient_survives_lu_pivot_misfire() {
+        // Uniformly fast rates (1e14) push LU's relative pivot threshold
+        // (1e-13 × max|A|) above the unit entries of the gain column, so the
+        // dense backend misdiagnoses this healthy 2-cycle as multichain.
+        // The uniformized chain, by contrast, is perfectly conditioned.
+        let mut b = Ctmdp::builder(2);
+        b.action(0, "fast", 1.0, &[(1, 1e14)]).unwrap();
+        b.action(1, "fast", 3.0, &[(0, 1e14)]).unwrap();
+        let mdp = b.build().unwrap();
+        let policy = Policy::new(vec![0, 0]);
+        assert!(matches!(
+            evaluate(&mdp, &policy, 0),
+            Err(MdpError::NotUnichain { .. })
+        ));
+        let eval = evaluate_resilient(&mdp, &policy, 0).unwrap();
+        assert!((eval.gain() - 2.0).abs() < 1e-6, "gain {}", eval.gain());
+
+        // End-to-end: policy iteration completes instead of aborting.
+        let options = Options {
+            backend: EvalBackend::Resilient,
+            ..Options::default()
+        };
+        let solution = policy_iteration(&mdp, &options).unwrap();
+        assert!((solution.gain() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resilient_propagates_validation_errors() {
+        let mdp = repair_mdp(9.0);
+        assert!(matches!(
+            evaluate_resilient(&mdp, &Policy::new(vec![0]), 0),
+            Err(MdpError::InvalidPolicy { .. })
+        ));
+        assert!(matches!(
+            evaluate_resilient(&mdp, &Policy::new(vec![0, 0]), 5),
+            Err(MdpError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn resilient_reports_dense_error_when_both_backends_fail() {
+        // Genuinely multichain: two absorbing states. Neither backend can
+        // produce a unichain evaluation; the dense diagnosis wins.
+        let mut b = Ctmdp::builder(2);
+        b.action(0, "stay", 1.0, &[]).unwrap();
+        b.action(1, "stay", 2.0, &[]).unwrap();
+        let mdp = b.build().unwrap();
+        assert!(matches!(
+            evaluate_resilient(&mdp, &Policy::new(vec![0, 0]), 0),
+            Err(MdpError::NotUnichain { .. })
+        ));
     }
 }
 

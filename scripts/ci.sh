@@ -26,4 +26,25 @@ cargo build --release -q -p dpm-bench --bin heuristics -p dpm-harness --bin arti
     --out "$SMOKE_DIR/w2.json" > /dev/null
 ./target/release/artifact_diff --a "$SMOKE_DIR/w1.json" --b "$SMOKE_DIR/w2.json"
 
+echo "=== fault-injection smoke (task 3 panics; everything else must survive) ==="
+./target/release/heuristics --workers 2 --requests 500 --seed 7 \
+    --inject-panic 3 --out "$SMOKE_DIR/faulted.json" > /dev/null 2> /dev/null
+grep -q '"tasks_failed": 1' "$SMOKE_DIR/faulted.json"
+grep -q '"status": "failed"' "$SMOKE_DIR/faulted.json"
+[ "$(grep -c '"status": "ok"' "$SMOKE_DIR/faulted.json")" -eq 13 ]
+# A faulted task must recover under retry: same fault, two attempts.
+./target/release/heuristics --workers 2 --requests 500 --seed 7 \
+    --inject-panic 3:1 --max-attempts 2 --out "$SMOKE_DIR/retried.json" > /dev/null 2> /dev/null
+grep -q '"tasks_failed": 0' "$SMOKE_DIR/retried.json"
+grep -q '"tasks_retried": 1' "$SMOKE_DIR/retried.json"
+
+echo "=== kill-and-resume smoke (truncated journal must resume bit-identically) ==="
+./target/release/heuristics --workers 2 --requests 500 --seed 7 \
+    --checkpoint "$SMOKE_DIR/journal.jsonl" --out "$SMOKE_DIR/full.json" > /dev/null
+# Simulate a kill after 6 completed tasks: header + 6 journal entries.
+head -n 7 "$SMOKE_DIR/journal.jsonl" > "$SMOKE_DIR/partial.jsonl"
+./target/release/heuristics --workers 2 --requests 500 --seed 7 \
+    --resume "$SMOKE_DIR/partial.jsonl" --out "$SMOKE_DIR/resumed.json" > /dev/null
+./target/release/artifact_diff --a "$SMOKE_DIR/w1.json" --b "$SMOKE_DIR/resumed.json"
+
 echo "CI checks passed."
