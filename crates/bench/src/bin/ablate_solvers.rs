@@ -9,6 +9,7 @@
 //!
 //! Run with `cargo run --release -p dpm-bench --bin ablate_solvers`.
 
+// dpm-lint: allow-file(nondeterminism, reason = "this binary ablates wall-clock solver latency; timings go to the stdout table, never into canonical artifacts")
 use std::time::Instant;
 
 use dpm_bench::{row, rule};

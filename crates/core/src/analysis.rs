@@ -276,6 +276,7 @@ impl PmSystem {
                 mode: from_mode,
                 jobs: 1,
             })
+            // dpm-lint: allow(no_panic, reason = "the state was enumerated by the same PmSystem that is being analyzed")
             .expect("stable state exists");
         Ok(h[start])
     }

@@ -108,8 +108,10 @@ impl LumpedSystem {
             .max_by(|&a, &b| {
                 sp.service_rate(a)
                     .partial_cmp(&sp.service_rate(b))
+                    // dpm-lint: allow(no_panic, reason = "rates are validated finite when the model is constructed")
                     .expect("finite rates")
             })
+            // dpm-lint: allow(no_panic, reason = "SpModel validation guarantees an active mode")
             .expect("provider has an active mode");
         LumpedSystem {
             n_modes: s,

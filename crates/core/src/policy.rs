@@ -131,8 +131,10 @@ impl PmPolicy {
             .max_by(|&a, &b| {
                 sp.service_rate(a)
                     .partial_cmp(&sp.service_rate(b))
+                    // dpm-lint: allow(no_panic, reason = "rates are validated finite when the model is constructed")
                     .expect("finite rates")
             })
+            // dpm-lint: allow(no_panic, reason = "SpModel validation guarantees an active mode")
             .expect("provider has an active mode");
         let destinations = system
             .states()
@@ -177,6 +179,7 @@ impl PmPolicy {
             .min_by(|&a, &b| {
                 sp.power(a)
                     .partial_cmp(&sp.power(b))
+                    // dpm-lint: allow(no_panic, reason = "power draws are validated finite when the model is constructed")
                     .expect("finite powers")
             })
             .ok_or_else(|| DpmError::InvalidPolicy {

@@ -433,6 +433,7 @@ impl SpModelBuilder {
                     reason: format!("energy ({from}, {to}) out of range for {n} modes"),
                 });
             }
+            // dpm-lint: allow(float_eq, reason = "exact structural-zero test: a 0.0 switch rate means the transition is absent from the model")
             if switch_rate[(from, to)] == 0.0 {
                 return Err(DpmError::InvalidModel {
                     reason: format!("energy declared for undeclared switch ({from}, {to})"),

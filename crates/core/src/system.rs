@@ -186,6 +186,7 @@ impl PmSystem {
                     .active_modes()
                     .iter()
                     .position(|&a| a == mode)
+                    // dpm-lint: allow(no_panic, reason = "the mode was checked active immediately above")
                     .expect("mode checked active");
                 Some(s * (q + 1) + active_pos * q + (departing - 1))
             }
@@ -251,6 +252,7 @@ impl PmSystem {
                             mode,
                             jobs: jobs + 1,
                         })
+                        // dpm-lint: allow(no_panic, reason = "the target state was inserted during the state-space enumeration above")
                         .expect("arrival target exists");
                     out.push((to, lambda));
                 }
@@ -261,12 +263,14 @@ impl PmSystem {
                             mode,
                             departing: jobs,
                         })
+                        // dpm-lint: allow(no_panic, reason = "the target state was inserted during the state-space enumeration above")
                         .expect("transfer target exists");
                     out.push((to, mu));
                 }
                 if dest != mode {
                     let to = self
                         .index_of(SysState::Stable { mode: dest, jobs })
+                        // dpm-lint: allow(no_panic, reason = "the target state was inserted during the state-space enumeration above")
                         .expect("switch target exists");
                     out.push((to, self.sp.switch_rate(mode, dest)));
                 }
@@ -278,6 +282,7 @@ impl PmSystem {
                             mode,
                             departing: departing + 1,
                         })
+                        // dpm-lint: allow(no_panic, reason = "the target state was inserted during the state-space enumeration above")
                         .expect("transfer arrival target exists");
                     out.push((to, lambda));
                 }
@@ -291,6 +296,7 @@ impl PmSystem {
                         mode: dest,
                         jobs: departing - 1,
                     })
+                    // dpm-lint: allow(no_panic, reason = "the target state was inserted during the state-space enumeration above")
                     .expect("completion target exists");
                 out.push((to, rate));
             }
@@ -381,10 +387,13 @@ impl PmSystem {
             .max_by(|&a, &b| {
                 sp.service_rate(a)
                     .partial_cmp(&sp.service_rate(b))
+                    // dpm-lint: allow(no_panic, reason = "rates are validated finite when the model is constructed")
                     .expect("finite rates")
             })
+            // dpm-lint: allow(no_panic, reason = "SpModel validation guarantees an active mode")
             .expect("provider has an active mode");
         self.index_of(SysState::Stable { mode, jobs: 0 })
+            // dpm-lint: allow(no_panic, reason = "the initial state was inserted during the state-space enumeration above")
             .expect("initial state exists")
     }
 

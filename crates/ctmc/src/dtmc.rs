@@ -135,6 +135,7 @@ impl Dtmc {
             }
             for i in 0..k {
                 let pik = p[(i, k)];
+                // dpm-lint: allow(float_eq, reason = "exact structural-zero skip: only true zeros may be dropped from the elimination")
                 if pik != 0.0 {
                     for j in 0..k {
                         let delta = pik * p[(k, j)];

@@ -140,6 +140,7 @@ pub fn communicating_classes(generator: &Generator) -> Classes {
                     let class_id = members.len();
                     let mut component = Vec::new();
                     loop {
+                        // dpm-lint: allow(no_panic, reason = "Tarjan's invariant: the stack holds the current SCC until its root pops it")
                         let w = stack.pop().expect("tarjan stack invariant");
                         on_stack[w] = false;
                         class_of[w] = class_id;

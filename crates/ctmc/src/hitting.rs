@@ -233,6 +233,7 @@ pub fn hitting_probabilities(
     let mut a = DMatrix::zeros(k, k);
     let mut b = DVector::zeros(k);
     for (row, &i) in interior.iter().enumerate() {
+        // dpm-lint: allow(float_eq, reason = "exact test for an absorbing state: exit rates are sums of validated non-negative rates")
         if generator.exit_rate(i) == 0.0 {
             // Absorbing interior state: p = 0 (equation p_i = 0).
             a[(row, row)] = 1.0;
@@ -282,6 +283,7 @@ pub fn embedded_chain(generator: &Generator) -> Result<Dtmc, CtmcError> {
     let n = generator.n_states();
     let m = DMatrix::from_fn(n, n, |i, j| {
         let exit = generator.exit_rate(i);
+        // dpm-lint: allow(float_eq, reason = "exact test for an absorbing state: exit rates are sums of validated non-negative rates")
         if exit == 0.0 {
             // Absorbing: self-loop in the jump chain.
             if i == j {

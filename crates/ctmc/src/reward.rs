@@ -138,6 +138,7 @@ impl RewardProcess {
             });
         }
         let n = self.generator.n_states();
+        // dpm-lint: allow(float_eq, reason = "zero-horizon fast path: t == 0.0 exactly means no time elapses")
         if t == 0.0 {
             return Ok(DVector::zeros(n));
         }

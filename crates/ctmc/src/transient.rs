@@ -24,6 +24,7 @@ struct PoissonWindow {
 
 fn poisson_window(rate: f64, epsilon: f64) -> PoissonWindow {
     debug_assert!(rate >= 0.0);
+    // dpm-lint: allow(float_eq, reason = "exact degenerate-case fast path: a zero uniformization rate has a closed form")
     if rate == 0.0 {
         return PoissonWindow {
             left: 0,
@@ -36,6 +37,7 @@ fn poisson_window(rate: f64, epsilon: f64) -> PoissonWindow {
     let mut right_weights = vec![1.0f64];
     let mut k = mode;
     loop {
+        // dpm-lint: allow(no_panic, reason = "right_weights is seeded with one element before this loop")
         let next = right_weights.last().expect("non-empty") * rate / (k + 1) as f64;
         if next < epsilon * 1e-3 {
             break;
@@ -133,6 +135,7 @@ pub fn distribution_at_with(
             reason: format!("epsilon {epsilon} must be positive"),
         });
     }
+    // dpm-lint: allow(float_eq, reason = "exact degenerate-case fast paths: zero horizon or a chain with no transitions")
     if t == 0.0 || generator.max_exit_rate() == 0.0 {
         return Ok(pi0.clone());
     }

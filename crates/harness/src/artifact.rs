@@ -94,6 +94,7 @@ fn provenance(workers: usize) -> Json {
     node.set("arch", std::env::consts::ARCH);
     node.set("cpus", crate::pool::default_workers());
     node.set("git_commit", git_commit().as_deref().unwrap_or("unknown"));
+    // dpm-lint: allow(nondeterminism, reason = "provenance stamp for humans; the artifact diff ignores the provenance subtree")
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());

@@ -78,10 +78,9 @@ impl Args {
                         .join(", ")
                 )));
             }
-            let value = match iter.peek() {
-                Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
-                _ => "true".to_owned(),
-            };
+            let value = iter
+                .next_if(|next| !next.starts_with("--"))
+                .unwrap_or_else(|| "true".to_owned());
             values.insert(name.to_owned(), value);
         }
         Ok(Args { values })

@@ -64,6 +64,7 @@ impl Json {
                 map.insert(key.to_owned(), value.into());
                 self
             }
+            // dpm-lint: allow(no_panic, reason = "documented API contract (see # Panics): set on a non-object is a caller bug, not a runtime condition")
             other => panic!("Json::set on non-object {other:?}"),
         }
     }
@@ -291,13 +292,19 @@ fn err(pos: usize, reason: &str) -> HarnessError {
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+    {
         *pos += 1;
     }
 }
 
 fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), HarnessError> {
-    if bytes[*pos..].starts_with(token.as_bytes()) {
+    if bytes
+        .get(*pos..)
+        .is_some_and(|rest| rest.starts_with(token.as_bytes()))
+    {
         *pos += token.len();
         Ok(())
     } else {
@@ -406,8 +413,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, HarnessError> {
             }
             Some(_) => {
                 // Consume one UTF-8 character.
-                let rest =
-                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid utf-8"))?;
+                let rest = std::str::from_utf8(bytes.get(*pos..).unwrap_or(&[]))
+                    .map_err(|_| err(*pos, "invalid utf-8"))?;
                 let c = rest.chars().next().ok_or_else(|| err(*pos, "empty"))?;
                 out.push(c);
                 *pos += c.len_utf8();
@@ -429,7 +436,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, HarnessError> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err(start, "bad number"))?;
+    let text = std::str::from_utf8(bytes.get(start..*pos).unwrap_or(&[]))
+        .map_err(|_| err(start, "bad number"))?;
     if text.is_empty() {
         return Err(err(start, "expected a value"));
     }

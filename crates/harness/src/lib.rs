@@ -49,6 +49,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod artifact;
 pub mod checkpoint;
 pub mod cli;

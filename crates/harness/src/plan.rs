@@ -78,6 +78,7 @@ impl From<i64> for ParamValue {
 }
 impl From<usize> for ParamValue {
     fn from(v: usize) -> ParamValue {
+        // dpm-lint: allow(no_panic, reason = "From impl cannot return an error; sweep-axis sizes are far below i64::MAX on supported targets")
         ParamValue::Int(i64::try_from(v).expect("parameter fits i64"))
     }
 }
@@ -215,8 +216,10 @@ impl Plan {
                 if !point_label.is_empty() {
                     point_label.push(' ');
                 }
-                point_label.push_str(&format!("{name}={}", values[i].render()));
-                point = point.with(name, values[i].clone());
+                // dpm-lint: allow(slice_index, reason = "i is a mixed-radix digit taken mod values.len() above")
+                let value = &values[i];
+                point_label.push_str(&format!("{name}={}", value.render()));
+                point = point.with(name, value.clone());
             }
             point.label = point_label;
             self.points.push(point);
@@ -251,12 +254,14 @@ impl Plan {
     /// Total task count: points × replications.
     #[must_use]
     pub fn n_tasks(&self) -> usize {
+        // dpm-lint: allow(no_panic, reason = "replication counts are far below usize::MAX on supported (64-bit) targets")
         self.points.len() * usize::try_from(self.replications).expect("replications fit usize")
     }
 
     /// Maps a flat task index to its (point index, replication) pair.
     #[must_use]
     pub fn task_coordinates(&self, task: usize) -> (usize, u64) {
+        // dpm-lint: allow(no_panic, reason = "replication counts are far below usize::MAX on supported (64-bit) targets")
         let reps = usize::try_from(self.replications).expect("replications fit usize");
         (task / reps, (task % reps) as u64)
     }

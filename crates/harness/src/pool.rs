@@ -68,6 +68,7 @@ where
                 loop {
                     // Own deque first (back), then steal (front). A poisoned
                     // lock still guards valid data — recover, don't abort.
+                    // dpm-lint: allow(slice_index, reason = "w < workers == queues.len() by the spawn loop bound")
                     let mut claimed = queues[w]
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner)
@@ -75,6 +76,7 @@ where
                     if claimed.is_none() {
                         for offset in 1..workers {
                             let victim = (w + offset) % workers;
+                            // dpm-lint: allow(slice_index, reason = "victim < workers == queues.len() by the modulus")
                             claimed = queues[victim]
                                 .lock()
                                 .unwrap_or_else(PoisonError::into_inner)
@@ -88,6 +90,7 @@ where
                         return; // Static task set: empty everywhere = done.
                     };
                     let value = task(index);
+                    // dpm-lint: allow(slice_index, reason = "index came off a deque seeded with 0..n_tasks == results.len()")
                     *results[index]
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner) = Some(value);
@@ -106,6 +109,7 @@ where
         .map(|slot| {
             slot.into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
+                // dpm-lint: allow(no_panic, reason = "structural invariant: the deques are seeded with every index exactly once and workers only exit when all are empty")
                 .expect("every task index was claimed exactly once")
         })
         .collect()

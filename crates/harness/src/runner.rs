@@ -23,6 +23,7 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Mutex;
+// dpm-lint: allow(nondeterminism, reason = "per-task wall_secs is a wall-clock measurement; the artifact diff ignores it alongside the timers subtree")
 use std::time::Instant;
 
 use crate::checkpoint;
@@ -73,6 +74,7 @@ impl TaskRecord {
     pub(crate) fn to_json(&self, plan: &Plan) -> Json {
         let mut node = Json::object();
         node.set("point", self.point_index);
+        // dpm-lint: allow(slice_index, reason = "point_index was produced by plan.task_coordinates, < points.len() by construction")
         node.set("label", plan.points()[self.point_index].label());
         node.set("replication", self.replication);
         node.set("seed", self.seed);
@@ -106,6 +108,7 @@ impl TaskFailure {
     pub(crate) fn to_json(&self, plan: &Plan) -> Json {
         let mut node = Json::object();
         node.set("point", self.point_index);
+        // dpm-lint: allow(slice_index, reason = "point_index was produced by plan.task_coordinates, < points.len() by construction")
         node.set("label", plan.points()[self.point_index].label());
         node.set("replication", self.replication);
         node.set("seed", self.seed);
@@ -306,6 +309,7 @@ impl RunReport {
                 TaskOutcome::Failed(failure) => {
                     return Err(HarnessError::Task {
                         index: failure.index,
+                        // dpm-lint: allow(slice_index, reason = "point_index was produced by plan.task_coordinates, < points.len() by construction")
                         label: plan.points()[failure.point_index].label().to_owned(),
                         message: failure.error,
                     });
@@ -349,18 +353,21 @@ where
         last_seed = seed;
         let registry = Registry::new();
         let ctx = TaskCtx {
+            // dpm-lint: allow(slice_index, reason = "point_index was produced by plan.task_coordinates, < points.len() by construction")
             point: &plan.points()[point_index],
             point_index,
             replication,
             seed,
             telemetry: &registry,
         };
+        // dpm-lint: allow(nondeterminism, reason = "measures the task's wall_secs diagnostic; excluded from canonical artifact comparison")
         let start = Instant::now();
         // The fault trigger lives inside the unwind barrier so injected
         // panics take exactly the path a real one would.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             match config.faults.arm(index, attempt) {
                 Some(Fault::Panic) => {
+                    // dpm-lint: allow(no_panic, reason = "fault injection: the test fixture must panic through the same unwind path a real bug would")
                     panic!("injected panic: task {index} attempt {attempt}")
                 }
                 Some(Fault::Error) => {
@@ -452,6 +459,7 @@ where
         .filter(|index| !restored.contains_key(index))
         .collect();
     let computed = pool::run(pending.len(), config.workers, |slot| {
+        // dpm-lint: allow(slice_index, reason = "pool::run hands out slot < n_tasks == pending.len()")
         let index = pending[slot];
         let outcome = execute_task(plan, config, &task, index);
         if let (Some(journal), TaskOutcome::Ok(record)) = (&journal, &outcome) {
@@ -486,6 +494,7 @@ where
             Some(record) => TaskOutcome::Ok(record),
             None => computed
                 .next()
+                // dpm-lint: allow(no_panic, reason = "structural invariant: pool::run returns exactly one outcome per pending index")
                 .expect("one computed outcome per pending task"),
         })
         .collect();

@@ -23,16 +23,20 @@ const DOMAIN_TAG: u64 = 0x6470_6d2d_6861_726e; // "dpm-harn"
 /// collide with any first-attempt seed.
 const RETRY_TAG: u64 = 0x6470_6d2d_7274_7279; // "dpm-rtry"
 
+/// Keys a ChaCha8 stream with four little-endian words and draws one.
+fn keyed_word(words: [u64; 4]) -> u64 {
+    let mut key = [0u8; 32];
+    for (chunk, word) in key.chunks_exact_mut(8).zip(words) {
+        chunk.copy_from_slice(&word.to_le_bytes());
+    }
+    ChaCha8Rng::from_seed(key).next_u64()
+}
+
 /// Derives the RNG seed for one task from the plan's root seed and the
 /// task's position in the plan grid.
 #[must_use]
 pub fn derive_seed(root: u64, point: u64, replication: u64) -> u64 {
-    let mut key = [0u8; 32];
-    key[0..8].copy_from_slice(&root.to_le_bytes());
-    key[8..16].copy_from_slice(&point.to_le_bytes());
-    key[16..24].copy_from_slice(&replication.to_le_bytes());
-    key[24..32].copy_from_slice(&DOMAIN_TAG.to_le_bytes());
-    ChaCha8Rng::from_seed(key).next_u64()
+    keyed_word([root, point, replication, DOMAIN_TAG])
 }
 
 /// Derives the RNG seed for retry `attempt` of a task (0 = first try).
@@ -47,12 +51,7 @@ pub fn derive_attempt_seed(root: u64, point: u64, replication: u64, attempt: u32
     if attempt == 0 {
         return derive_seed(root, point, replication);
     }
-    let mut key = [0u8; 32];
-    key[0..8].copy_from_slice(&root.to_le_bytes());
-    key[8..16].copy_from_slice(&point.to_le_bytes());
-    key[16..24].copy_from_slice(&replication.to_le_bytes());
-    key[24..32].copy_from_slice(&(RETRY_TAG ^ u64::from(attempt)).to_le_bytes());
-    ChaCha8Rng::from_seed(key).next_u64()
+    keyed_word([root, point, replication, RETRY_TAG ^ u64::from(attempt)])
 }
 
 #[cfg(test)]

@@ -13,7 +13,8 @@
 //! "bit-identical modulo timing" checkable.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+// dpm-lint: allow(nondeterminism, reason = "timers are the one explicitly wall-clock metric namespace; the artifact diff ignores the timers subtree")
 use std::time::Instant;
 
 use crate::json::Json;
@@ -103,21 +104,28 @@ impl Registry {
         Registry::default()
     }
 
+    /// Locks the metric store, recovering from poisoning: the maps hold
+    /// plain counters and summaries that stay valid whatever a panicking
+    /// task interrupted (the pool.rs convention).
+    fn locked(&self) -> MutexGuard<'_, Metrics> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Adds `by` to the counter `name`.
     pub fn incr(&self, name: &str, by: u64) {
-        let mut m = self.inner.lock().expect("registry poisoned");
+        let mut m = self.locked();
         *m.counters.entry(name.to_owned()).or_insert(0) += by;
     }
 
     /// Sets the gauge `name` to `value` (last write wins).
     pub fn gauge(&self, name: &str, value: f64) {
-        let mut m = self.inner.lock().expect("registry poisoned");
+        let mut m = self.locked();
         m.gauges.insert(name.to_owned(), value);
     }
 
     /// Records one observation into the histogram `name`.
     pub fn observe(&self, name: &str, value: f64) {
-        let mut m = self.inner.lock().expect("registry poisoned");
+        let mut m = self.locked();
         m.histograms
             .entry(name.to_owned())
             .or_insert_with(Summary::new)
@@ -127,7 +135,7 @@ impl Registry {
     /// Records an already-measured duration (in seconds) into the timer
     /// `name`.
     pub fn record_secs(&self, name: &str, secs: f64) {
-        let mut m = self.inner.lock().expect("registry poisoned");
+        let mut m = self.locked();
         m.timers
             .entry(name.to_owned())
             .or_insert_with(Summary::new)
@@ -137,6 +145,7 @@ impl Registry {
     /// Times `body`, records the wall-clock duration under `name`, and
     /// returns the body's value.
     pub fn time<T>(&self, name: &str, body: impl FnOnce() -> T) -> T {
+        // dpm-lint: allow(nondeterminism, reason = "wall-clock measurement is this method's purpose; results land in the diff-ignored timers namespace")
         let start = Instant::now();
         let value = body();
         self.record_secs(name, start.elapsed().as_secs_f64());
@@ -146,21 +155,21 @@ impl Registry {
     /// The counter's current value (0 if never incremented).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
-        let m = self.inner.lock().expect("registry poisoned");
+        let m = self.locked();
         m.counters.get(name).copied().unwrap_or(0)
     }
 
     /// The gauge's current value, if set.
     #[must_use]
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
-        let m = self.inner.lock().expect("registry poisoned");
+        let m = self.locked();
         m.gauges.get(name).copied()
     }
 
     /// The histogram's summary, if any observation was recorded.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<Summary> {
-        let m = self.inner.lock().expect("registry poisoned");
+        let m = self.locked();
         m.histograms.get(name).copied()
     }
 
@@ -168,7 +177,7 @@ impl Registry {
     /// `gauges` / `histograms`, wall-clock measurements under `timers`.
     #[must_use]
     pub fn snapshot(&self) -> Json {
-        let m = self.inner.lock().expect("registry poisoned");
+        let m = self.locked();
         let mut counters = Json::object();
         for (name, value) in &m.counters {
             counters.set(name, *value);

@@ -63,6 +63,7 @@ fn check_system(a: &DMatrix, b: &DVector) -> Result<(), LinalgError> {
         });
     }
     for i in 0..a.nrows() {
+        // dpm-lint: allow(float_eq, reason = "exact singularity guard: a 0.0 diagonal cannot be divided by at any tolerance")
         if a[(i, i)] == 0.0 {
             return Err(LinalgError::InvalidInput {
                 reason: format!("zero diagonal entry at row {i}"),
@@ -188,6 +189,7 @@ fn check_sparse_system(a: &CsrMatrix, b: &DVector) -> Result<DVector, LinalgErro
     }
     let diag = a.diagonal();
     for i in 0..a.nrows() {
+        // dpm-lint: allow(float_eq, reason = "exact singularity guard: a 0.0 diagonal cannot be divided by at any tolerance")
         if diag[i] == 0.0 {
             return Err(LinalgError::InvalidInput {
                 reason: format!("zero diagonal entry at row {i}"),

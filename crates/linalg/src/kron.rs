@@ -36,6 +36,7 @@ pub fn kron(a: &DMatrix, b: &DMatrix) -> DMatrix {
     for i1 in 0..ar {
         for j1 in 0..ac {
             let aij = a[(i1, j1)];
+            // dpm-lint: allow(float_eq, reason = "exact structural-zero skip: dropping true zeros preserves the product exactly")
             if aij == 0.0 {
                 continue;
             }

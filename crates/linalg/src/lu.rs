@@ -80,6 +80,7 @@ impl Lu {
             for r in (k + 1)..n {
                 let factor = a[(r, k)] / pivot;
                 a[(r, k)] = factor;
+                // dpm-lint: allow(float_eq, reason = "exact structural-zero skip: a 0.0 factor contributes nothing to the update")
                 if factor != 0.0 {
                     for c in (k + 1)..n {
                         let delta = factor * a[(k, c)];

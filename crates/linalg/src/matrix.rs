@@ -250,6 +250,7 @@ impl DMatrix {
         let mut out = DVector::zeros(self.cols);
         for r in 0..self.rows {
             let vr = v[r];
+            // dpm-lint: allow(float_eq, reason = "exact structural-zero skip: dropping true zeros preserves the product exactly")
             if vr == 0.0 {
                 continue;
             }
@@ -280,6 +281,7 @@ impl DMatrix {
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(r, k)];
+                // dpm-lint: allow(float_eq, reason = "exact structural-zero skip: dropping true zeros preserves the product exactly")
                 if aik == 0.0 {
                     continue;
                 }

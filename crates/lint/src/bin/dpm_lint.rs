@@ -1,0 +1,109 @@
+//! The `dpm-lint` command-line driver.
+//!
+//! ```text
+//! dpm-lint [--root DIR] [--deny] [--json PATH] [--list-rules] [FILE...]
+//! ```
+//!
+//! With no `FILE` operands the whole workspace under `--root` (default:
+//! the current directory) is checked; with operands, exactly those files.
+//! `--deny` turns findings into a nonzero exit status (the CI gate);
+//! `--json` additionally writes the canonical-JSON report.
+//!
+//! Exit status: 0 clean (or findings without `--deny`), 1 findings under
+//! `--deny`, 2 usage or I/O error.
+
+use dpm_lint::{check_files, check_workspace, rules, LintError, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    deny: bool,
+    json: Option<PathBuf>,
+    list_rules: bool,
+    files: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, LintError> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        deny: false,
+        json: None,
+        list_rules: false,
+        files: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--root needs a directory".to_owned()))?;
+                opts.root = PathBuf::from(value);
+            }
+            "--json" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--json needs a path".to_owned()))?;
+                opts.json = Some(PathBuf::from(value));
+            }
+            "--deny" => opts.deny = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                return Err(LintError::Usage(
+                    "dpm-lint [--root DIR] [--deny] [--json PATH] [--list-rules] [FILE...]"
+                        .to_owned(),
+                ))
+            }
+            flag if flag.starts_with("--") => {
+                return Err(LintError::Usage(format!("unknown flag `{flag}`")));
+            }
+            file => opts.files.push(file.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<Report, LintError> {
+    if opts.files.is_empty() {
+        check_workspace(&opts.root)
+    } else {
+        check_files(&opts.files)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("dpm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for (name, description) in rules::ALLOWABLE_RULES {
+            println!("{name}: {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = match run(&opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("dpm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_human());
+    if let Some(json_path) = &opts.json {
+        if let Err(e) = std::fs::write(json_path, report.render_json()) {
+            eprintln!("dpm-lint: {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

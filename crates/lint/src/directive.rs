@@ -1,0 +1,174 @@
+//! The allow-annotation grammar.
+//!
+//! A finding is suppressed by an inline directive in a plain line comment:
+//!
+//! ```text
+//! // dpm-lint: allow(<rule>, reason = "<non-empty why>")
+//! // dpm-lint: allow-file(<rule>, reason = "<non-empty why>")
+//! ```
+//!
+//! `allow` attaches to the code on its own line (trailing comment) or, when
+//! the comment stands alone, to the next line carrying code. `allow-file`
+//! suppresses the rule for the whole file and belongs near the top. The
+//! `reason` string is mandatory and must be non-empty: an allow without a
+//! justification is itself a finding ([`crate::rules::INVALID_ALLOW`]), as
+//! is an allow that suppresses nothing ([`crate::rules::UNUSED_ALLOW`]).
+
+/// What a directive applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// One line of code (the directive's own line, or the next code line).
+    Line,
+    /// The entire file.
+    File,
+}
+
+/// A parsed `dpm-lint:` allow directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Line or file scope.
+    pub scope: Scope,
+    /// The rule being allowed.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line of the carrying comment.
+    pub comment_line: usize,
+    /// Whether code preceded the comment on its line.
+    pub after_code: bool,
+}
+
+/// The result of inspecting one comment for a directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// The comment does not mention `dpm-lint:` at all.
+    NotADirective,
+    /// A well-formed directive.
+    Parsed(Directive),
+    /// The comment claims to be a directive but does not parse; the string
+    /// explains what is wrong.
+    Malformed(String),
+}
+
+/// Parses the text of one line comment (the part after `//`).
+#[must_use]
+pub fn parse(text: &str, comment_line: usize, after_code: bool) -> ParseOutcome {
+    let Some(at) = text.find("dpm-lint:") else {
+        return ParseOutcome::NotADirective;
+    };
+    let rest = text[at..].trim_start_matches("dpm-lint:").trim_start();
+    let (scope, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (Scope::File, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (Scope::Line, r)
+    } else {
+        return ParseOutcome::Malformed(
+            "expected `allow(…)` or `allow-file(…)` after `dpm-lint:`".to_owned(),
+        );
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return ParseOutcome::Malformed("expected `(` after `allow`".to_owned());
+    };
+    let Some(body) = rest.strip_suffix(')').map(str::trim) else {
+        return ParseOutcome::Malformed("directive must end with `)`".to_owned());
+    };
+    let Some((rule, tail)) = body.split_once(',') else {
+        return ParseOutcome::Malformed(
+            "expected `<rule>, reason = \"…\"` inside the parentheses".to_owned(),
+        );
+    };
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+        return ParseOutcome::Malformed(format!("`{rule}` is not a rule name"));
+    }
+    let tail = tail.trim();
+    let Some(tail) = tail.strip_prefix("reason") else {
+        return ParseOutcome::Malformed("expected `reason = \"…\"`".to_owned());
+    };
+    let tail = tail.trim_start();
+    let Some(tail) = tail.strip_prefix('=') else {
+        return ParseOutcome::Malformed("expected `=` after `reason`".to_owned());
+    };
+    let tail = tail.trim();
+    let Some(tail) = tail.strip_prefix('"') else {
+        return ParseOutcome::Malformed("reason must be a quoted string".to_owned());
+    };
+    let Some(reason) = tail.strip_suffix('"') else {
+        return ParseOutcome::Malformed("reason string is unterminated".to_owned());
+    };
+    if reason.trim().is_empty() {
+        return ParseOutcome::Malformed("reason must not be empty".to_owned());
+    }
+    ParseOutcome::Parsed(Directive {
+        scope,
+        rule: rule.to_owned(),
+        reason: reason.to_owned(),
+        comment_line,
+        after_code,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_line_allow_parses() {
+        let out = parse(
+            " dpm-lint: allow(no_panic, reason = \"invariant holds\")",
+            7,
+            true,
+        );
+        let ParseOutcome::Parsed(dir) = out else {
+            panic!("expected Parsed, got {out:?}");
+        };
+        assert_eq!(dir.scope, Scope::Line);
+        assert_eq!(dir.rule, "no_panic");
+        assert_eq!(dir.reason, "invariant holds");
+        assert_eq!(dir.comment_line, 7);
+        assert!(dir.after_code);
+    }
+
+    #[test]
+    fn allow_file_parses_with_file_scope() {
+        let out = parse(
+            " dpm-lint: allow-file(float_eq, reason = \"exact IEEE round-trip\")",
+            1,
+            false,
+        );
+        let ParseOutcome::Parsed(dir) = out else {
+            panic!("expected Parsed, got {out:?}");
+        };
+        assert_eq!(dir.scope, Scope::File);
+        assert_eq!(dir.rule, "float_eq");
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_directives() {
+        assert_eq!(
+            parse(" the pool recovers from poisoning", 1, false),
+            ParseOutcome::NotADirective
+        );
+    }
+
+    #[test]
+    fn malformed_shapes_are_reported() {
+        let malformed = [
+            " dpm-lint: allow(no_panic)",                    // no reason
+            " dpm-lint: allow(no_panic, reason = \"\")",     // empty reason
+            " dpm-lint: allow(no_panic, reason = \"   \")",  // blank reason
+            " dpm-lint: allow(no_panic, reason = \"open",    // unterminated
+            " dpm-lint: allow(no_panic, reason = unquoted)", // not a string
+            " dpm-lint: allow(No-Panic, reason = \"x\")",    // bad rule name
+            " dpm-lint: allow no_panic, reason = \"x\"",     // missing parens
+            " dpm-lint: deny(no_panic, reason = \"x\")",     // unknown verb
+        ];
+        for text in malformed {
+            assert!(
+                matches!(parse(text, 1, false), ParseOutcome::Malformed(_)),
+                "`{text}` should be malformed"
+            );
+        }
+    }
+}

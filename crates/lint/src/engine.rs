@@ -1,0 +1,203 @@
+//! Orchestration: lex a file, run the rules, apply allow directives.
+
+use crate::directive::{self, Directive, ParseOutcome, Scope};
+use crate::lexer::LexedFile;
+use crate::report::Finding;
+use crate::rules::{self, INVALID_ALLOW, UNUSED_ALLOW};
+use crate::FileKind;
+
+/// The outcome of checking one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileOutcome {
+    /// Findings that survived suppression, plus directive-hygiene findings.
+    pub findings: Vec<Finding>,
+    /// How many findings were suppressed by allow directives.
+    pub allows_used: usize,
+}
+
+/// Checks one file's source text against every applicable rule.
+#[must_use]
+pub fn check_source(rel_path: &str, kind: FileKind, source: &str) -> FileOutcome {
+    let lexed = LexedFile::lex(source);
+    let mut findings = Vec::new();
+
+    // Directives live in *plain* line comments only: doc comments (`///`,
+    // `//!`) are rendered documentation, where the grammar appears in
+    // examples without being an annotation.
+    let mut directives: Vec<(Directive, usize, bool)> = Vec::new(); // (directive, target_line, used)
+    for comment in &lexed.comments {
+        if comment.text.starts_with('/') || comment.text.starts_with('!') {
+            continue;
+        }
+        if lexed.in_test(comment.line) {
+            continue;
+        }
+        match directive::parse(&comment.text, comment.line, comment.after_code) {
+            ParseOutcome::NotADirective => {}
+            ParseOutcome::Malformed(why) => {
+                findings.push(Finding::new(
+                    INVALID_ALLOW,
+                    rel_path,
+                    comment.line,
+                    1,
+                    &format!("malformed dpm-lint directive: {why}"),
+                ));
+            }
+            ParseOutcome::Parsed(dir) => {
+                if !rules::is_allowable_rule(&dir.rule) {
+                    findings.push(Finding::new(
+                        INVALID_ALLOW,
+                        rel_path,
+                        comment.line,
+                        1,
+                        &format!("`{}` is not an allowable rule", dir.rule),
+                    ));
+                    continue;
+                }
+                let target = if dir.scope == Scope::File {
+                    0 // whole file; line is irrelevant
+                } else if dir.after_code {
+                    dir.comment_line
+                } else {
+                    lexed.next_code_line(dir.comment_line + 1).unwrap_or(0)
+                };
+                directives.push((dir, target, false));
+            }
+        }
+    }
+
+    let mut allows_used = 0usize;
+    for finding in rules::raw_findings(&lexed, kind, rel_path) {
+        let mut suppressed = false;
+        for (dir, target, used) in &mut directives {
+            if dir.rule != finding.rule {
+                continue;
+            }
+            if dir.scope == Scope::File || *target == finding.line {
+                *used = true;
+                suppressed = true;
+                break;
+            }
+        }
+        if suppressed {
+            allows_used += 1;
+        } else {
+            findings.push(finding);
+        }
+    }
+
+    for (dir, _, used) in &directives {
+        if !used {
+            findings.push(Finding::new(
+                UNUSED_ALLOW,
+                rel_path,
+                dir.comment_line,
+                1,
+                &format!(
+                    "allow({}) suppresses nothing here; remove it or fix its placement",
+                    dir.rule
+                ),
+            ));
+        }
+    }
+
+    findings.sort();
+    FileOutcome {
+        findings,
+        allows_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REL: &str = "crates/core/src/a.rs";
+
+    fn rules_of(outcome: &FileOutcome) -> Vec<&'static str> {
+        outcome.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_its_own_line() {
+        let src = "use std::time::Instant; // dpm-lint: allow(nondeterminism, reason = \"timer namespace\")\n";
+        let out = check_source(REL, FileKind::Library, src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.allows_used, 1);
+    }
+
+    #[test]
+    fn standalone_allow_binds_the_next_code_line() {
+        let src = "// dpm-lint: allow(no_panic, reason = \"invariant documented\")\n\nlet v = maybe.unwrap();\n";
+        let out = check_source(REL, FileKind::Library, src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.allows_used, 1);
+    }
+
+    #[test]
+    fn an_allow_does_not_leak_past_its_line() {
+        let src = "let a = first.unwrap(); // dpm-lint: allow(no_panic, reason = \"seeded above\")\nlet b = second.unwrap();\n";
+        let out = check_source(REL, FileKind::Library, src);
+        assert_eq!(rules_of(&out), vec![rules::NO_PANIC]);
+        assert_eq!(out.findings[0].line, 2);
+        assert_eq!(out.allows_used, 1);
+    }
+
+    #[test]
+    fn an_allow_only_covers_its_named_rule() {
+        let src = "let t = Instant::now(); // dpm-lint: allow(no_panic, reason = \"wrong rule\")\n";
+        let out = check_source(REL, FileKind::Library, src);
+        let rules = rules_of(&out);
+        assert!(rules.contains(&rules::NONDETERMINISM), "{rules:?}");
+        assert!(rules.contains(&rules::UNUSED_ALLOW), "{rules:?}");
+    }
+
+    #[test]
+    fn allow_file_suppresses_every_match_of_the_rule() {
+        let src = "// dpm-lint: allow-file(float_eq, reason = \"exact sentinel comparisons\")\nlet a = x == 1.0;\nlet b = y != 0.5;\n";
+        let out = check_source(REL, FileKind::Library, src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.allows_used, 2);
+    }
+
+    #[test]
+    fn unused_allows_are_flagged() {
+        let src = "fn quiet() {}\n// dpm-lint: allow(no_panic, reason = \"nothing here panics\")\n";
+        let out = check_source(REL, FileKind::Library, src);
+        assert_eq!(rules_of(&out), vec![rules::UNUSED_ALLOW]);
+        assert_eq!(out.allows_used, 0);
+    }
+
+    #[test]
+    fn malformed_and_unknown_rule_directives_are_findings() {
+        let src =
+            "// dpm-lint: allow(no_panic)\n// dpm-lint: allow(made_up, reason = \"not a rule\")\n";
+        let out = check_source(REL, FileKind::Library, src);
+        assert_eq!(
+            rules_of(&out),
+            vec![rules::INVALID_ALLOW, rules::INVALID_ALLOW]
+        );
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let src = "/// The grammar is `dpm-lint: allow(no_panic, reason = \"…\")`.\nfn documented() {}\n//! dpm-lint: allow(float_eq, reason = \"inner doc\")\n";
+        let out = check_source(REL, FileKind::Library, src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn directives_inside_test_modules_are_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n    // dpm-lint: allow(no_panic)\n    fn t() {}\n}\n";
+        let out = check_source(REL, FileKind::Library, src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn findings_come_back_sorted() {
+        let src = "let b = y.unwrap();\nlet a = Instant::now();\n";
+        let out = check_source(REL, FileKind::Library, src);
+        let lines: Vec<usize> = out.findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 2]);
+    }
+}

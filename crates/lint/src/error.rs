@@ -1,0 +1,40 @@
+//! Error type for the lint driver.
+
+use std::fmt;
+use std::path::Path;
+
+/// Anything that can go wrong while driving the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error, stringified.
+        reason: String,
+    },
+    /// A command-line argument was not understood.
+    Usage(String),
+}
+
+impl LintError {
+    /// Wraps an I/O error with its path.
+    #[must_use]
+    pub fn io(path: &Path, source: &std::io::Error) -> LintError {
+        LintError::Io {
+            path: path.display().to_string(),
+            reason: source.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, reason } => write!(f, "{path}: {reason}"),
+            LintError::Usage(msg) => write!(f, "usage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}

@@ -1,0 +1,507 @@
+//! A comment- and string-aware lexer for Rust source files.
+//!
+//! The rule engine must never fire on text inside a comment, a string
+//! literal, or a `#[cfg(test)]` item. Rather than build a full parser, the
+//! lexer produces a *blanked* copy of the source — byte-for-byte the same
+//! shape, but with comment bodies and literal contents replaced by spaces —
+//! plus the list of line comments (the carrier for `dpm-lint:` allow
+//! directives) and a per-line "inside a test item" flag.
+//!
+//! Handled literal forms: `"…"` with escapes, `r"…"`, `r#"…"#` (any hash
+//! depth), byte/raw-byte strings, char literals (distinguished from
+//! lifetimes by lookahead), and nested `/* … */` block comments.
+
+/// One line comment found in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// The comment text after the `//` (or `///`, `//!`) marker.
+    pub text: String,
+    /// Whether any non-whitespace code preceded the comment on its line.
+    pub after_code: bool,
+}
+
+/// One line of lexed source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// The line's code with comments and literal bodies blanked to spaces.
+    pub code: String,
+    /// Whether the line falls inside a `#[cfg(test)]` item span.
+    pub in_test: bool,
+}
+
+/// A lexed source file: blanked lines plus the extracted comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexedFile {
+    /// The blanked source, split into lines (no terminators).
+    pub lines: Vec<Line>,
+    /// Every line comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl LexedFile {
+    /// Lexes `source` into blanked lines, comments and test spans.
+    #[must_use]
+    pub fn lex(source: &str) -> LexedFile {
+        let chars: Vec<char> = source.chars().collect();
+        let mut blanked = String::with_capacity(source.len());
+        let mut comments = Vec::new();
+        let mut line = 1usize;
+        let mut after_code = false;
+        let mut i = 0usize;
+
+        while i < chars.len() {
+            let c = chars[i];
+            match c {
+                '\n' => {
+                    blanked.push('\n');
+                    line += 1;
+                    after_code = false;
+                    i += 1;
+                }
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    // Line comment: capture its text, blank it in the output.
+                    let start = i + 2;
+                    let mut end = start;
+                    while end < chars.len() && chars[end] != '\n' {
+                        end += 1;
+                    }
+                    comments.push(Comment {
+                        line,
+                        text: chars[start..end].iter().collect(),
+                        after_code,
+                    });
+                    for _ in i..end {
+                        blanked.push(' ');
+                    }
+                    i = end;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    // Block comment; Rust block comments nest.
+                    let mut depth = 1usize;
+                    blanked.push(' ');
+                    blanked.push(' ');
+                    i += 2;
+                    while i < chars.len() && depth > 0 {
+                        if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                            depth += 1;
+                            blanked.push_str("  ");
+                            i += 2;
+                        } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                            depth -= 1;
+                            blanked.push_str("  ");
+                            i += 2;
+                        } else if chars[i] == '\n' {
+                            blanked.push('\n');
+                            line += 1;
+                            after_code = false;
+                            i += 1;
+                        } else {
+                            blanked.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+                '"' => {
+                    i = blank_quoted_string(&chars, i, &mut blanked, &mut line, &mut after_code);
+                }
+                'r' | 'b' if is_literal_prefix(&chars, i) && !ident_char_before(&chars, i) => {
+                    i = blank_prefixed_literal(&chars, i, &mut blanked, &mut line, &mut after_code);
+                }
+                '\'' => {
+                    i = blank_char_or_lifetime(&chars, i, &mut blanked, &mut after_code);
+                }
+                _ => {
+                    if !c.is_whitespace() {
+                        after_code = true;
+                    }
+                    blanked.push(c);
+                    i += 1;
+                }
+            }
+        }
+
+        let mut lines: Vec<Line> = blanked
+            .split('\n')
+            .map(|code| Line {
+                code: code.to_owned(),
+                in_test: false,
+            })
+            .collect();
+        mark_test_spans(&mut lines);
+        LexedFile { lines, comments }
+    }
+
+    /// The blanked code of 1-based line `line`, if it exists.
+    #[must_use]
+    pub fn code(&self, line: usize) -> Option<&str> {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(|l| l.code.as_str())
+    }
+
+    /// Whether 1-based line `line` sits inside a `#[cfg(test)]` span.
+    #[must_use]
+    pub fn in_test(&self, line: usize) -> bool {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .is_some_and(|l| l.in_test)
+    }
+
+    /// The first line at or after 1-based `from` that carries code, if any.
+    #[must_use]
+    pub fn next_code_line(&self, from: usize) -> Option<usize> {
+        (from..=self.lines.len()).find(|&n| self.code(n).is_some_and(|c| !c.trim().is_empty()))
+    }
+}
+
+/// Whether `chars[at]` begins a raw/byte string prefix (`r"`, `r#`, `b"`,
+/// `br"`, `br#`, `b'`).
+fn is_literal_prefix(chars: &[char], at: usize) -> bool {
+    let mut j = at;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+        if chars.get(j) == Some(&'\'') {
+            return true; // byte char literal b'x'
+        }
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    chars.get(j) == Some(&'"') && j > at
+}
+
+/// Whether the character before `chars[at]` continues an identifier, which
+/// rules out a literal prefix (e.g. the `r` of `var"` is part of `var`).
+fn ident_char_before(chars: &[char], at: usize) -> bool {
+    at > 0
+        && chars
+            .get(at - 1)
+            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+}
+
+/// Blanks a `"…"` string starting at `chars[at]`; returns the index after
+/// the closing quote.
+fn blank_quoted_string(
+    chars: &[char],
+    at: usize,
+    blanked: &mut String,
+    line: &mut usize,
+    after_code: &mut bool,
+) -> usize {
+    *after_code = true;
+    blanked.push(' ');
+    let mut i = at + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                // Escape: two chars, except `\` + newline (line continuation)
+                // where the newline must survive for line counting.
+                blanked.push(' ');
+                i += 1;
+                if chars.get(i) == Some(&'\n') {
+                    blanked.push('\n');
+                    *line += 1;
+                } else if i < chars.len() {
+                    blanked.push(' ');
+                }
+                i += 1;
+            }
+            '"' => {
+                blanked.push(' ');
+                return i + 1;
+            }
+            '\n' => {
+                blanked.push('\n');
+                *line += 1;
+                i += 1;
+            }
+            _ => {
+                blanked.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Blanks a raw/byte string (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`) or byte
+/// char (`b'x'`) starting at `chars[at]`; returns the index after it.
+fn blank_prefixed_literal(
+    chars: &[char],
+    at: usize,
+    blanked: &mut String,
+    line: &mut usize,
+    after_code: &mut bool,
+) -> usize {
+    *after_code = true;
+    let mut i = at;
+    if chars.get(i) == Some(&'b') {
+        blanked.push(' ');
+        i += 1;
+        if chars.get(i) == Some(&'\'') {
+            // b'x' byte literal: blank through the closing quote.
+            blanked.push(' ');
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    blanked.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '\'' {
+                    blanked.push(' ');
+                    return i + 1;
+                } else {
+                    blanked.push(' ');
+                    i += 1;
+                }
+            }
+            return i;
+        }
+    }
+    let mut hashes = 0usize;
+    if chars.get(i) == Some(&'r') {
+        blanked.push(' ');
+        i += 1;
+        while chars.get(i) == Some(&'#') {
+            blanked.push(' ');
+            hashes += 1;
+            i += 1;
+        }
+        // Raw string: no escapes; closes on `"` followed by `hashes` hashes.
+        blanked.push(' ');
+        i += 1; // opening quote
+        while i < chars.len() {
+            if chars[i] == '"' && closes_raw(chars, i, hashes) {
+                for _ in 0..=hashes {
+                    blanked.push(' ');
+                }
+                return i + 1 + hashes;
+            }
+            if chars[i] == '\n' {
+                blanked.push('\n');
+                *line += 1;
+            } else {
+                blanked.push(' ');
+            }
+            i += 1;
+        }
+        return i;
+    }
+    // Plain b"…" byte string.
+    blank_quoted_string(chars, i, blanked, line, after_code)
+}
+
+/// Whether the `"` at `chars[at]` is followed by `hashes` `#` characters.
+fn closes_raw(chars: &[char], at: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(at + k) == Some(&'#'))
+}
+
+/// Blanks a char literal, or passes through a lifetime tick; returns the
+/// index after what was consumed.
+fn blank_char_or_lifetime(
+    chars: &[char],
+    at: usize,
+    blanked: &mut String,
+    after_code: &mut bool,
+) -> usize {
+    *after_code = true;
+    let escaped = chars.get(at + 1) == Some(&'\\');
+    let closed_short = chars.get(at + 2) == Some(&'\'');
+    if escaped || closed_short {
+        // A char literal: `'x'` or `'\…'` — blank through the closing quote.
+        blanked.push(' ');
+        let mut i = at + 1;
+        while i < chars.len() {
+            if chars[i] == '\\' {
+                blanked.push_str("  ");
+                i += 2;
+            } else if chars[i] == '\'' {
+                blanked.push(' ');
+                return i + 1;
+            } else {
+                blanked.push(' ');
+                i += 1;
+            }
+        }
+        i
+    } else {
+        // A lifetime (`'a`) or loop label: keep the tick as code.
+        blanked.push('\'');
+        at + 1
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)]` item span.
+///
+/// The span runs from the attribute to the end of the item it decorates:
+/// the matching close of the first `{` after the attribute, or the first
+/// `;` if one appears before any brace (e.g. `#[cfg(test)] use …;`). The
+/// attribute is matched literally as `#[cfg(test)]` — the form `cargo fmt`
+/// produces.
+fn mark_test_spans(lines: &mut [Line]) {
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let Some(col) = lines[idx].code.find("#[cfg(test)]") else {
+            idx += 1;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut entered = false;
+        let mut end = lines.len().saturating_sub(1);
+        let mut start_col = col;
+        'span: for (j, lin) in lines.iter().enumerate().skip(idx) {
+            for c in lin.code.chars().skip(start_col) {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if entered && depth == 0 {
+                            end = j;
+                            break 'span;
+                        }
+                    }
+                    ';' if !entered => {
+                        end = j;
+                        break 'span;
+                    }
+                    _ => {}
+                }
+            }
+            start_col = 0;
+        }
+        for lin in lines.iter_mut().take(end + 1).skip(idx) {
+            lin.in_test = true;
+        }
+        idx = end + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let lexed = LexedFile::lex("let a = \"HashMap\"; // trailing Instant\nlet b = 1;\n");
+        let code = lexed.code(1).unwrap();
+        assert!(!code.contains("HashMap"), "string body leaked: {code}");
+        assert!(!code.contains("Instant"), "comment body leaked: {code}");
+        assert!(code.starts_with("let a = "));
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text, " trailing Instant");
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].after_code);
+    }
+
+    #[test]
+    fn standalone_comments_are_not_after_code() {
+        let lexed = LexedFile::lex("  // standalone\nlet x = 1; // trailing\n");
+        assert!(!lexed.comments[0].after_code);
+        assert!(lexed.comments[1].after_code);
+    }
+
+    #[test]
+    fn raw_strings_blank_to_the_matching_hash_close() {
+        let src = r###"let s = r#"Instant "inner" quote"#; call();"###;
+        let lexed = LexedFile::lex(src);
+        let code = lexed.code(1).unwrap();
+        assert!(!code.contains("Instant"), "raw string leaked: {code}");
+        assert!(!code.contains("inner"));
+        assert!(
+            code.contains("call();"),
+            "code after the literal lost: {code}"
+        );
+    }
+
+    #[test]
+    fn multiline_raw_strings_preserve_line_numbers() {
+        let src = "let s = r#\"line one\nSystemTime two\"#;\nfoo();\n";
+        let lexed = LexedFile::lex(src);
+        assert!(!lexed.code(2).unwrap().contains("SystemTime"));
+        assert_eq!(lexed.code(3), Some("foo();"));
+    }
+
+    #[test]
+    fn byte_literals_are_blanked() {
+        let lexed = LexedFile::lex("let b = b\"Instant\"; let c = b'\\n'; rest();\n");
+        let code = lexed.code(1).unwrap();
+        assert!(!code.contains("Instant"));
+        assert!(code.contains("rest();"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string_prefix() {
+        let lexed = LexedFile::lex("let var = 1; let x = var\n  + 2;\n");
+        assert!(lexed.code(1).unwrap().contains("var = 1"));
+        assert!(lexed.code(2).unwrap().contains("+ 2"));
+    }
+
+    #[test]
+    fn escaped_newline_continuation_keeps_line_count() {
+        let src = "let s = \"abc\\\ndef\";\nnext();\n";
+        let lexed = LexedFile::lex(src);
+        assert_eq!(lexed.code(3), Some("next();"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let src = "/* outer /* inner */ still a comment */ keep();\n";
+        let lexed = LexedFile::lex(src);
+        let code = lexed.code(1).unwrap();
+        assert!(!code.contains("outer"));
+        assert!(!code.contains("still"));
+        assert!(code.contains("keep();"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\\n'; let d = 'x'; }\n";
+        let lexed = LexedFile::lex(src);
+        let code = lexed.code(1).unwrap();
+        assert!(code.contains("<'a>"), "lifetime lost: {code}");
+        assert!(code.contains("&'a str"), "lifetime lost: {code}");
+        assert!(!code.contains("'x'"), "char literal leaked: {code}");
+    }
+
+    #[test]
+    fn cfg_test_brace_spans_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let lexed = LexedFile::lex(src);
+        assert!(!lexed.in_test(1));
+        for line in 2..=5 {
+            assert!(lexed.in_test(line), "line {line} should be in-test");
+        }
+        assert!(!lexed.in_test(6));
+    }
+
+    #[test]
+    fn cfg_test_semicolon_items_end_the_span() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let lexed = LexedFile::lex(src);
+        assert!(lexed.in_test(1));
+        assert!(lexed.in_test(2));
+        assert!(!lexed.in_test(3));
+    }
+
+    #[test]
+    fn cfg_test_in_a_string_is_not_a_span() {
+        let src = "let s = \"#[cfg(test)]\";\nlet x = 1;\n";
+        let lexed = LexedFile::lex(src);
+        assert!(!lexed.in_test(1));
+        assert!(!lexed.in_test(2));
+    }
+
+    #[test]
+    fn next_code_line_skips_blanks_and_comments() {
+        let lexed = LexedFile::lex("// comment\n\nlet x = 1;\n");
+        assert_eq!(lexed.next_code_line(1), Some(3));
+        assert_eq!(lexed.next_code_line(4), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! `dpm-lint` — workspace static analysis for the DPM-CTMDP reproduction.
+//!
+//! The workspace's headline guarantee is that experiment artifacts are
+//! *bit-identical* across worker counts and kill/resume (see
+//! `crates/harness`), and that library code never takes a run down with a
+//! panic. Integration tests probe those contracts; this crate makes them
+//! machine-checked on every commit with a project-specific static pass:
+//!
+//! * [`rules::NONDETERMINISM`] — wall-clock (`Instant`/`SystemTime`),
+//!   hash-iteration-order (`HashMap`/`HashSet`), OS-entropy
+//!   (`thread_rng`/`from_entropy`) and environment (`env::var`) taint;
+//! * [`rules::NO_PANIC`] — `unwrap()`, `expect(…)`, `panic!` and friends
+//!   in library paths;
+//! * [`rules::SLICE_INDEX`] — slice indexing in the harness supervisory
+//!   layer (`crates/harness/src`), which must survive task panics;
+//! * [`rules::FLOAT_EQ`] — `==`/`!=` against floating-point literals;
+//! * [`rules::SWALLOWED_ERROR`] — `let _ =` silently dropping a value.
+//!
+//! Deliberate exceptions carry an inline annotation with a mandatory
+//! reason (see [`directive`]); a missing or hollow reason is itself a
+//! finding, as is an annotation that suppresses nothing. Matching runs on
+//! a *blanked* view of each file produced by a comment- and string-aware
+//! [`lexer`], so prose and string contents can never trip a rule, and
+//! `#[cfg(test)]` spans are exempt.
+//!
+//! The `dpm-lint` binary walks every workspace crate (excluding `vendor/`,
+//! `target/`, tests, benches and examples), prints human-readable
+//! findings, optionally emits a canonical-JSON report, and exits nonzero
+//! under `--deny` — the CI gate (`scripts/ci.sh`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directive;
+pub mod engine;
+pub mod error;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use engine::check_source;
+pub use error::LintError;
+pub use report::{Finding, Report};
+
+use std::path::Path;
+
+/// How a file participates in the rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: every rule applies.
+    Library,
+    /// A binary (`src/bin`, `main.rs`): panic rules are relaxed — a CLI
+    /// may die loudly — but determinism and float rules still apply.
+    Bin,
+}
+
+/// Checks every governed file under `root` and aggregates a [`Report`].
+///
+/// # Errors
+///
+/// Returns [`LintError::Io`] if the tree cannot be walked or a file read.
+pub fn check_workspace(root: &Path) -> Result<Report, LintError> {
+    let files = walk::workspace_files(root)?;
+    let mut findings = Vec::new();
+    let mut allows_used = 0usize;
+    let files_scanned = files.len();
+    for file in files {
+        let source =
+            std::fs::read_to_string(&file.path).map_err(|e| LintError::io(&file.path, &e))?;
+        let outcome = engine::check_source(&file.rel, file.kind, &source);
+        findings.extend(outcome.findings);
+        allows_used += outcome.allows_used;
+    }
+    findings.sort();
+    Ok(Report {
+        findings,
+        files_scanned,
+        allows_used,
+    })
+}
+
+/// Checks an explicit list of files (used by the CI planted-violation
+/// smoke and ad-hoc runs). Paths are reported as given.
+///
+/// # Errors
+///
+/// Returns [`LintError::Io`] if a file cannot be read.
+pub fn check_files(paths: &[String]) -> Result<Report, LintError> {
+    let mut findings = Vec::new();
+    let mut allows_used = 0usize;
+    for rel in paths {
+        let path = Path::new(rel);
+        let source = std::fs::read_to_string(path).map_err(|e| LintError::io(path, &e))?;
+        let outcome = engine::check_source(rel, walk::classify(rel), &source);
+        findings.extend(outcome.findings);
+        allows_used += outcome.allows_used;
+    }
+    findings.sort();
+    Ok(Report {
+        findings,
+        files_scanned: paths.len(),
+        allows_used,
+    })
+}

@@ -1,0 +1,113 @@
+//! Findings and their human-readable / canonical-JSON renderings.
+//!
+//! The JSON form follows the workspace artifact conventions of
+//! `dpm-harness` (`crates/harness/src/json.rs`): object keys sorted,
+//! shortest round-trip numbers, no wall-clock fields — two runs over the
+//! same tree render byte-identical reports.
+
+use dpm_harness::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (byte offset into the blanked line).
+    pub column: usize,
+    /// The violated rule's name.
+    pub rule: &'static str,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding; `column` and `line` are 1-based.
+    #[must_use]
+    pub fn new(
+        rule: &'static str,
+        path: &str,
+        line: usize,
+        column: usize,
+        message: &str,
+    ) -> Finding {
+        Finding {
+            path: path.to_owned(),
+            line,
+            column,
+            rule,
+            message: message.to_owned(),
+        }
+    }
+}
+
+/// The whole run's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Every surviving finding, in (path, line, column, rule) order.
+    pub findings: Vec<Finding>,
+    /// Number of files checked.
+    pub files_scanned: usize,
+    /// Total findings suppressed by allow directives.
+    pub allows_used: usize,
+}
+
+impl Report {
+    /// Renders the human-readable form: one line per finding, then a
+    /// summary line.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: [{}] {}",
+                f.path, f.line, f.column, f.rule, f.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "dpm-lint: {} finding(s) in {} file(s) scanned ({} allow(s) used)",
+            self.findings.len(),
+            self.files_scanned,
+            self.allows_used
+        );
+        out
+    }
+
+    /// Renders the canonical JSON form.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut counts: BTreeMap<&str, i64> = BTreeMap::new();
+        for f in &self.findings {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        let mut counts_json = Json::object();
+        for (rule, n) in counts {
+            counts_json.set(rule, n);
+        }
+        let findings: Vec<Json> = self
+            .findings
+            .iter()
+            .map(|f| {
+                let mut o = Json::object();
+                o.set("column", f.column);
+                o.set("line", f.line);
+                o.set("message", f.message.as_str());
+                o.set("path", f.path.as_str());
+                o.set("rule", f.rule);
+                o
+            })
+            .collect();
+        let mut doc = Json::object();
+        doc.set("allows_used", self.allows_used);
+        doc.set("counts_by_rule", counts_json);
+        doc.set("files_scanned", self.files_scanned);
+        doc.set("findings", findings);
+        doc.set("schema", "dpm-lint/v1");
+        doc.render()
+    }
+}

@@ -1,0 +1,582 @@
+//! The project-invariant rules and their matching logic.
+//!
+//! Every rule works on *blanked* lines from the [`crate::lexer`], so
+//! comments, string literals and `#[cfg(test)]` spans can never produce a
+//! match. Matching is lexical by design: the rules name concrete tokens
+//! whose presence is the hazard (`Instant`, `.unwrap()`, `== 0.0`, …), so
+//! a resolver is unnecessary and the checker stays dependency-free and
+//! fast enough to run on every commit.
+
+use crate::lexer::LexedFile;
+use crate::report::Finding;
+use crate::FileKind;
+
+/// Determinism taint: wall-clock, hash-order and environment reads.
+pub const NONDETERMINISM: &str = "nondeterminism";
+/// Panics in library code: `unwrap`/`expect`/`panic!` and friends.
+pub const NO_PANIC: &str = "no_panic";
+/// Slice indexing in the harness supervisory layer.
+pub const SLICE_INDEX: &str = "slice_index";
+/// `==` / `!=` against floating-point literals.
+pub const FLOAT_EQ: &str = "float_eq";
+/// `let _ =` discarding a (probable) `Result`.
+pub const SWALLOWED_ERROR: &str = "swallowed_error";
+/// A malformed allow directive (bad grammar, unknown rule, empty reason).
+pub const INVALID_ALLOW: &str = "invalid_allow";
+/// An allow directive that suppressed nothing.
+pub const UNUSED_ALLOW: &str = "unused_allow";
+
+/// The rules an allow directive may name, with one-line descriptions.
+pub const ALLOWABLE_RULES: &[(&str, &str)] = &[
+    (
+        NONDETERMINISM,
+        "wall-clock (Instant/SystemTime), hash-order (HashMap/HashSet), OS entropy \
+         (thread_rng/from_entropy) and environment (env::var) taint in deterministic paths",
+    ),
+    (
+        NO_PANIC,
+        "unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! in library code",
+    ),
+    (
+        SLICE_INDEX,
+        "slice indexing in crates/harness library code (the supervisory layer must not panic)",
+    ),
+    (FLOAT_EQ, "== or != against a floating-point literal"),
+    (
+        SWALLOWED_ERROR,
+        "`let _ =` silently discarding a value (typically a Result)",
+    ),
+];
+
+/// Whether `name` is a rule an allow directive may reference.
+#[must_use]
+pub fn is_allowable_rule(name: &str) -> bool {
+    ALLOWABLE_RULES.iter().any(|(n, _)| *n == name)
+}
+
+/// A token pattern with word-boundary requirements.
+struct TokenPattern {
+    needle: &'static str,
+    boundary_start: bool,
+    boundary_end: bool,
+    message: &'static str,
+}
+
+const NONDETERMINISM_PATTERNS: &[TokenPattern] = &[
+    TokenPattern {
+        needle: "Instant",
+        boundary_start: true,
+        boundary_end: true,
+        message: "`std::time::Instant` reads the wall clock; deterministic paths must not",
+    },
+    TokenPattern {
+        needle: "SystemTime",
+        boundary_start: true,
+        boundary_end: true,
+        message: "`SystemTime` reads the wall clock; deterministic paths must not",
+    },
+    TokenPattern {
+        needle: "thread_rng",
+        boundary_start: true,
+        boundary_end: true,
+        message: "`thread_rng` is OS-seeded; use a seed derived from the experiment plan",
+    },
+    TokenPattern {
+        needle: "from_entropy",
+        boundary_start: true,
+        boundary_end: true,
+        message: "`from_entropy` is OS-seeded; use a seed derived from the experiment plan",
+    },
+    TokenPattern {
+        needle: "HashMap",
+        boundary_start: true,
+        boundary_end: true,
+        message: "`HashMap` iteration order is nondeterministic; use `BTreeMap`",
+    },
+    TokenPattern {
+        needle: "HashSet",
+        boundary_start: true,
+        boundary_end: true,
+        message: "`HashSet` iteration order is nondeterministic; use `BTreeSet`",
+    },
+    TokenPattern {
+        needle: "env::var",
+        boundary_start: true,
+        boundary_end: false,
+        message: "environment reads make results depend on the invoking shell",
+    },
+];
+
+const NO_PANIC_PATTERNS: &[TokenPattern] = &[
+    TokenPattern {
+        needle: ".unwrap()",
+        boundary_start: false,
+        boundary_end: false,
+        message: "`.unwrap()` panics in library code; return an error or annotate the invariant",
+    },
+    TokenPattern {
+        needle: ".unwrap_err()",
+        boundary_start: false,
+        boundary_end: false,
+        message:
+            "`.unwrap_err()` panics in library code; return an error or annotate the invariant",
+    },
+    TokenPattern {
+        needle: ".expect(",
+        boundary_start: false,
+        boundary_end: false,
+        message: "`.expect(…)` panics in library code; return an error or annotate the invariant",
+    },
+    TokenPattern {
+        needle: "panic!",
+        boundary_start: true,
+        boundary_end: false,
+        message: "`panic!` in library code tears down the caller; return an error instead",
+    },
+    TokenPattern {
+        needle: "unreachable!",
+        boundary_start: true,
+        boundary_end: false,
+        message: "`unreachable!` panics if the impossible happens; return an error instead",
+    },
+    TokenPattern {
+        needle: "todo!",
+        boundary_start: true,
+        boundary_end: false,
+        message: "`todo!` must not survive into library code",
+    },
+    TokenPattern {
+        needle: "unimplemented!",
+        boundary_start: true,
+        boundary_end: false,
+        message: "`unimplemented!` must not survive into library code",
+    },
+];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Finds word-bounded occurrences of `pat` in `code`, yielding 0-based
+/// byte columns.
+fn find_bounded(code: &str, pat: &TokenPattern) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    code.match_indices(pat.needle)
+        .filter(|(at, _)| {
+            let ok_start = !pat.boundary_start
+                || *at == 0
+                || at.checked_sub(1).map(|p| bytes[p]).is_none_or(|b| {
+                    !is_ident_byte(b) && b != b'.' // `.Instant` cannot occur; `.expect` has its own dot
+                });
+            let end = at + pat.needle.len();
+            let ok_end =
+                !pat.boundary_end || bytes.get(end).copied().is_none_or(|b| !is_ident_byte(b));
+            ok_start && ok_end
+        })
+        .map(|(at, _)| at)
+        .collect()
+}
+
+/// Runs every applicable token/shape rule over `file`, returning raw
+/// (unsuppressed) findings with 1-based lines and columns.
+#[must_use]
+pub fn raw_findings(file: &LexedFile, kind: FileKind, rel_path: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let harness_library = kind == FileKind::Library && rel_path.starts_with("crates/harness/src");
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let lineno = idx + 1;
+        let code = line.code.as_str();
+        for pat in NONDETERMINISM_PATTERNS {
+            for col in find_bounded(code, pat) {
+                out.push(Finding::new(
+                    NONDETERMINISM,
+                    rel_path,
+                    lineno,
+                    col + 1,
+                    pat.message,
+                ));
+            }
+        }
+        if kind == FileKind::Library {
+            for pat in NO_PANIC_PATTERNS {
+                for col in find_bounded(code, pat) {
+                    out.push(Finding::new(
+                        NO_PANIC,
+                        rel_path,
+                        lineno,
+                        col + 1,
+                        pat.message,
+                    ));
+                }
+            }
+        }
+        if harness_library {
+            for col in slice_index_columns(code) {
+                out.push(Finding::new(
+                    SLICE_INDEX,
+                    rel_path,
+                    lineno,
+                    col + 1,
+                    "slice indexing can panic; use `.get(…)` or annotate the bound",
+                ));
+            }
+        }
+        for col in float_eq_columns(code) {
+            out.push(Finding::new(
+                FLOAT_EQ,
+                rel_path,
+                lineno,
+                col + 1,
+                "`==`/`!=` against a float literal; compare with a tolerance or annotate \
+                 why exact equality is sound",
+            ));
+        }
+        for col in swallowed_error_columns(code) {
+            out.push(Finding::new(
+                SWALLOWED_ERROR,
+                rel_path,
+                lineno,
+                col + 1,
+                "`let _ =` discards a value (typically a `Result`); handle it or annotate",
+            ));
+        }
+    }
+    out
+}
+
+/// 0-based columns of `[` tokens that index a place expression.
+fn slice_index_columns(code: &str) -> Vec<usize> {
+    const PLACE_KEYWORDS: &[&str] = &[
+        "return", "break", "in", "match", "if", "else", "as", "mut", "ref", "move", "let",
+    ];
+    let bytes = code.as_bytes();
+    let mut cols = Vec::new();
+    for (at, _) in code.match_indices('[') {
+        let mut p = at;
+        while p > 0 && bytes[p - 1] == b' ' {
+            p -= 1;
+        }
+        if p == 0 {
+            continue;
+        }
+        let prev = bytes[p - 1];
+        if prev == b')' || prev == b']' {
+            cols.push(at);
+            continue;
+        }
+        if is_ident_byte(prev) {
+            let mut s = p - 1;
+            while s > 0 && is_ident_byte(bytes[s - 1]) {
+                s -= 1;
+            }
+            let word = &code[s..p];
+            if word.as_bytes().first().is_some_and(u8::is_ascii_digit) {
+                continue; // `3[…]` cannot occur; digits start array sizes
+            }
+            if !PLACE_KEYWORDS.contains(&word) {
+                cols.push(at);
+            }
+        }
+    }
+    cols
+}
+
+/// Whether the token ending just before byte `end` (exclusive) looks like
+/// a float literal or a float-typed constant path.
+fn float_before(code: &str, end: usize) -> bool {
+    let bytes = code.as_bytes();
+    let mut e = end;
+    while e > 0 && bytes[e - 1] == b' ' {
+        e -= 1;
+    }
+    let mut s = e;
+    loop {
+        while s > 0 {
+            let b = bytes[s - 1];
+            if is_ident_byte(b) || b == b'.' || b == b':' {
+                s -= 1;
+            } else {
+                break;
+            }
+        }
+        // A sign inside a scientific exponent (`2e-3`): step past it and
+        // keep scanning the mantissa.
+        if s >= 2
+            && (bytes[s - 1] == b'-' || bytes[s - 1] == b'+')
+            && matches!(bytes[s - 2], b'e' | b'E')
+        {
+            s -= 1;
+            continue;
+        }
+        break;
+    }
+    token_is_float(&code[s..e])
+}
+
+/// Whether the token starting at byte `start` looks like a float literal
+/// or a float-typed constant path.
+fn float_after(code: &str, start: usize) -> bool {
+    let bytes = code.as_bytes();
+    let mut s = start;
+    while s < bytes.len() && bytes[s] == b' ' {
+        s += 1;
+    }
+    if s < bytes.len() && bytes[s] == b'-' {
+        s += 1;
+        while s < bytes.len() && bytes[s] == b' ' {
+            s += 1;
+        }
+    }
+    let mut e = s;
+    while e < bytes.len() {
+        let b = bytes[e];
+        if is_ident_byte(b) || b == b'.' || b == b':' {
+            e += 1;
+        } else {
+            break;
+        }
+    }
+    token_is_float(&code[s..e])
+}
+
+/// Whether one extracted token is a float literal (`1.5`, `0.`, `2e-3`,
+/// `1f64`) or a float constant path (`f64::EPSILON`).
+fn token_is_float(token: &str) -> bool {
+    if token.starts_with("f64::") || token.starts_with("f32::") {
+        return true;
+    }
+    let bytes = token.as_bytes();
+    if !bytes.first().is_some_and(u8::is_ascii_digit) {
+        return false;
+    }
+    if token.starts_with("0x") || token.starts_with("0b") || token.starts_with("0o") {
+        return false;
+    }
+    token.ends_with("f32")
+        || token.ends_with("f64")
+        || token.contains('.')
+        || token.contains('e')
+        || token.contains('E')
+}
+
+/// 0-based columns of `==` / `!=` operators with a float literal operand.
+fn float_eq_columns(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut cols = Vec::new();
+    for (at, op) in code.match_indices("==").chain(code.match_indices("!=")) {
+        // Skip `<=`/`>=`-adjacent false shapes: `===` and `!==` are not
+        // Rust, but a `=` immediately before `==` means pattern `x ==…`
+        // was really `… ===`, i.e. we matched the tail of `!==`/`===`.
+        if at > 0
+            && (bytes[at - 1] == b'='
+                || bytes[at - 1] == b'!'
+                || bytes[at - 1] == b'<'
+                || bytes[at - 1] == b'>')
+        {
+            continue;
+        }
+        if bytes.get(at + op.len()) == Some(&b'=') {
+            continue;
+        }
+        if float_before(code, at) || float_after(code, at + op.len()) {
+            cols.push(at);
+        }
+    }
+    cols.sort_unstable();
+    cols
+}
+
+/// 0-based columns of `let _ =` bindings that are not the infallible
+/// `write!`/`writeln!`-into-`String` idiom.
+fn swallowed_error_columns(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut cols = Vec::new();
+    for (at, _) in code.match_indices("let _ =") {
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        let rest = code[at + "let _ =".len()..].trim_start();
+        if rest.starts_with("write!") || rest.starts_with("writeln!") {
+            continue; // fmt::Write into String is infallible; the discard is the idiom
+        }
+        cols.push(at);
+    }
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_in(src: &str, kind: FileKind, rel: &str) -> Vec<Finding> {
+        raw_findings(&LexedFile::lex(src), kind, rel)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn nondeterminism_tokens_are_word_bounded() {
+        let hit = findings_in(
+            "let t = Instant::now();\n",
+            FileKind::Library,
+            "crates/core/src/a.rs",
+        );
+        assert_eq!(rules_of(&hit), vec![NONDETERMINISM]);
+        let miss = findings_in(
+            "let t = MyInstant::now();\n",
+            FileKind::Library,
+            "crates/core/src/a.rs",
+        );
+        assert!(miss.is_empty(), "{miss:?}");
+        let miss = findings_in(
+            "let t = Instantaneous::new();\n",
+            FileKind::Library,
+            "crates/core/src/a.rs",
+        );
+        assert!(miss.is_empty(), "{miss:?}");
+    }
+
+    #[test]
+    fn nondeterminism_fires_in_binaries_too() {
+        let hit = findings_in(
+            "let k: HashMap<u32, u32> = make();\n",
+            FileKind::Bin,
+            "crates/core/src/bin/x.rs",
+        );
+        assert_eq!(rules_of(&hit), vec![NONDETERMINISM]);
+    }
+
+    #[test]
+    fn no_panic_applies_to_library_code_only() {
+        let src =
+            "let v = maybe.unwrap();\nlet w = maybe.expect(\"present\");\npanic!(\"boom\");\n";
+        let lib = findings_in(src, FileKind::Library, "crates/core/src/a.rs");
+        assert_eq!(rules_of(&lib), vec![NO_PANIC, NO_PANIC, NO_PANIC]);
+        let bin = findings_in(src, FileKind::Bin, "crates/core/src/bin/x.rs");
+        assert!(bin.is_empty(), "{bin:?}");
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let out = findings_in(
+            "let v = maybe.unwrap_or(0);\n",
+            FileKind::Library,
+            "crates/core/src/a.rs",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn slice_index_is_scoped_to_the_harness_library() {
+        let src = "let x = values[i];\n";
+        let harness = findings_in(src, FileKind::Library, "crates/harness/src/pool.rs");
+        assert_eq!(rules_of(&harness), vec![SLICE_INDEX]);
+        assert!(findings_in(src, FileKind::Library, "crates/core/src/a.rs").is_empty());
+        assert!(findings_in(src, FileKind::Bin, "crates/harness/src/bin/x.rs").is_empty());
+    }
+
+    #[test]
+    fn slice_index_ignores_array_literals_and_types() {
+        for src in [
+            "let a = [0u8; 4];\n",
+            "let b: [f64; 3] = make();\n",
+            "for x in [1, 2, 3] {\n",
+            "return [left, right];\n",
+        ] {
+            let out = findings_in(src, FileKind::Library, "crates/harness/src/pool.rs");
+            assert!(out.is_empty(), "`{src}` flagged: {out:?}");
+        }
+        let chained = findings_in(
+            "let y = tail()[0];\n",
+            FileKind::Library,
+            "crates/harness/src/pool.rs",
+        );
+        assert_eq!(rules_of(&chained), vec![SLICE_INDEX]);
+    }
+
+    #[test]
+    fn float_eq_needs_a_float_operand() {
+        let rel = "crates/core/src/a.rs";
+        assert_eq!(
+            rules_of(&findings_in("if x == 1.0 {\n", FileKind::Library, rel)),
+            vec![FLOAT_EQ]
+        );
+        assert_eq!(
+            rules_of(&findings_in(
+                "if y != f64::EPSILON {\n",
+                FileKind::Library,
+                rel
+            )),
+            vec![FLOAT_EQ]
+        );
+        assert_eq!(
+            rules_of(&findings_in("if 2e-3 == z {\n", FileKind::Library, rel)),
+            vec![FLOAT_EQ]
+        );
+        for clean in [
+            "if n == 1 {\n",
+            "if mask == 0x10 {\n",
+            "if (x - y).abs() < 1e-9 {\n",
+            "if name == other {\n",
+            "if x <= 1.0 {\n",
+        ] {
+            let out = findings_in(clean, FileKind::Library, rel);
+            assert!(out.is_empty(), "`{clean}` flagged: {out:?}");
+        }
+    }
+
+    #[test]
+    fn swallowed_error_exempts_infallible_formatting() {
+        let rel = "crates/core/src/a.rs";
+        assert_eq!(
+            rules_of(&findings_in(
+                "let _ = fallible();\n",
+                FileKind::Library,
+                rel
+            )),
+            vec![SWALLOWED_ERROR]
+        );
+        for clean in [
+            "let _ = write!(out, \"x\");\n",
+            "let _ = writeln!(out, \"x\");\n",
+            "let _y = fallible();\n",
+        ] {
+            let out = findings_in(clean, FileKind::Library, rel);
+            assert!(out.is_empty(), "`{clean}` flagged: {out:?}");
+        }
+    }
+
+    #[test]
+    fn cfg_test_spans_are_exempt_everywhere() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n    fn t() { maybe.unwrap(); }\n}\n";
+        let out = findings_in(src, FileKind::Library, "crates/core/src/a.rs");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn findings_carry_one_based_positions() {
+        let out = findings_in(
+            "\nlet t = Instant::now();\n",
+            FileKind::Library,
+            "crates/core/src/a.rs",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+        assert_eq!(out[0].column, 9);
+    }
+
+    #[test]
+    fn every_allowable_rule_is_documented() {
+        for (name, description) in ALLOWABLE_RULES {
+            assert!(is_allowable_rule(name));
+            assert!(!description.is_empty());
+        }
+        assert!(!is_allowable_rule("invalid_allow"));
+        assert!(!is_allowable_rule("unused_allow"));
+    }
+}

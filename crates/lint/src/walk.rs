@@ -1,0 +1,81 @@
+//! Workspace file discovery.
+//!
+//! Walks the repository for `*.rs` files in deterministic (sorted) order,
+//! skipping everything the rules do not govern: `vendor/` (third-party
+//! code), `target/`, `tests/` and `benches/` and `examples/` directories
+//! (panics and ad-hoc timing are fine there), `fixtures/` (planted
+//! violations for the lint's own tests), and generated/output trees.
+
+use crate::error::LintError;
+use crate::FileKind;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", "tests", "benches", "examples", "fixtures", "results", "docs",
+];
+
+/// One file selected for checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Absolute (or root-joined) path for reading.
+    pub path: PathBuf,
+    /// Workspace-relative `/`-separated path for reporting.
+    pub rel: String,
+    /// Library or binary classification.
+    pub kind: FileKind,
+}
+
+/// Collects every governed `.rs` file under `root`, sorted by relative
+/// path.
+///
+/// # Errors
+///
+/// Returns [`LintError::Io`] if a directory cannot be read.
+pub fn workspace_files(root: &Path) -> Result<Vec<SourceFile>, LintError> {
+    let mut out = Vec::new();
+    walk_dir(root, root, &mut out)?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+/// Classifies a workspace-relative path as library or binary code.
+#[must_use]
+pub fn classify(rel: &str) -> FileKind {
+    if rel.contains("/bin/") || rel.ends_with("main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Library
+    }
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|source| LintError::io(dir, &source))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::io(dir, &source))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let kind = classify(&rel);
+            out.push(SourceFile { path, rel, kind });
+        }
+    }
+    Ok(())
+}

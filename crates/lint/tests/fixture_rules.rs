@@ -1,0 +1,158 @@
+//! Per-rule positive/negative checks over the planted fixtures in
+//! `tests/fixtures/` (a directory the workspace walker never enters, so
+//! the planted violations cannot leak into the self-check).
+
+use dpm_lint::engine::{check_source, FileOutcome};
+use dpm_lint::{rules, FileKind};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn check(name: &str, kind: FileKind, rel: &str) -> FileOutcome {
+    check_source(rel, kind, &fixture(name))
+}
+
+fn rule_names(outcome: &FileOutcome) -> Vec<&'static str> {
+    outcome.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn nondeterminism_fixture_yields_only_nondeterminism_findings() {
+    let out = check(
+        "nondeterminism.rs",
+        FileKind::Library,
+        "crates/core/src/f.rs",
+    );
+    assert_eq!(out.findings.len(), 8, "{:#?}", out.findings);
+    assert!(out.findings.iter().all(|f| f.rule == rules::NONDETERMINISM));
+    assert_eq!(out.allows_used, 0);
+}
+
+#[test]
+fn nondeterminism_clean_fixture_is_finding_free() {
+    let out = check(
+        "nondeterminism_clean.rs",
+        FileKind::Library,
+        "crates/core/src/f.rs",
+    );
+    assert!(out.findings.is_empty(), "{:#?}", out.findings);
+    assert_eq!(out.allows_used, 0);
+}
+
+#[test]
+fn panic_fixture_fires_in_libraries_but_not_binaries() {
+    let lib = check("panics.rs", FileKind::Library, "crates/core/src/f.rs");
+    assert_eq!(
+        rule_names(&lib),
+        vec![rules::NO_PANIC; 4],
+        "{:#?}",
+        lib.findings
+    );
+    let bin = check("panics.rs", FileKind::Bin, "crates/core/src/bin/f.rs");
+    assert!(bin.findings.is_empty(), "{:#?}", bin.findings);
+}
+
+#[test]
+fn float_eq_fixture_counts_exact_comparisons_only() {
+    let out = check("float_eq.rs", FileKind::Library, "crates/core/src/f.rs");
+    assert_eq!(
+        rule_names(&out),
+        vec![rules::FLOAT_EQ; 3],
+        "{:#?}",
+        out.findings
+    );
+}
+
+#[test]
+fn swallowed_fixture_exempts_infallible_formatting() {
+    let out = check("swallowed.rs", FileKind::Library, "crates/core/src/f.rs");
+    assert_eq!(
+        rule_names(&out),
+        vec![rules::SWALLOWED_ERROR],
+        "{:#?}",
+        out.findings
+    );
+}
+
+#[test]
+fn slice_index_fixture_fires_only_in_the_harness_library() {
+    let harness = check(
+        "slice_index.rs",
+        FileKind::Library,
+        "crates/harness/src/f.rs",
+    );
+    assert_eq!(
+        rule_names(&harness),
+        vec![rules::SLICE_INDEX; 3],
+        "{:#?}",
+        harness.findings
+    );
+    let elsewhere = check("slice_index.rs", FileKind::Library, "crates/core/src/f.rs");
+    assert!(elsewhere.findings.is_empty(), "{:#?}", elsewhere.findings);
+}
+
+#[test]
+fn allow_fixture_suppresses_everything_with_reasons() {
+    let out = check("allows.rs", FileKind::Library, "crates/core/src/f.rs");
+    assert!(out.findings.is_empty(), "{:#?}", out.findings);
+    assert_eq!(out.allows_used, 3);
+}
+
+#[test]
+fn allow_hygiene_fixture_flags_bad_and_unused_directives() {
+    let out = check(
+        "allow_hygiene.rs",
+        FileKind::Library,
+        "crates/core/src/f.rs",
+    );
+    let names = rule_names(&out);
+    assert_eq!(
+        names.iter().filter(|r| **r == rules::INVALID_ALLOW).count(),
+        3,
+        "{:#?}",
+        out.findings
+    );
+    assert_eq!(
+        names.iter().filter(|r| **r == rules::UNUSED_ALLOW).count(),
+        1,
+        "{:#?}",
+        out.findings
+    );
+    assert_eq!(out.findings.len(), 4);
+}
+
+#[test]
+fn planted_instant_fixture_trips_the_deny_gate_input() {
+    let out = check(
+        "planted_instant.rs",
+        FileKind::Library,
+        "crates/core/src/f.rs",
+    );
+    assert!(!out.findings.is_empty());
+    assert!(out.findings.iter().all(|f| f.rule == rules::NONDETERMINISM));
+}
+
+#[test]
+fn reports_render_deterministically() {
+    let render = |_: ()| {
+        let out = check(
+            "nondeterminism.rs",
+            FileKind::Library,
+            "crates/core/src/f.rs",
+        );
+        dpm_lint::Report {
+            findings: out.findings,
+            files_scanned: 1,
+            allows_used: out.allows_used,
+        }
+        .render_json()
+    };
+    let first = render(());
+    assert_eq!(first, render(()));
+    assert!(first.contains("\"schema\": \"dpm-lint/v1\""), "{first}");
+    assert!(first.contains("\"nondeterminism\": 8"), "{first}");
+}

@@ -1,0 +1,8 @@
+//! Directive-hygiene violations: three invalid allows and one unused.
+
+fn noop() {}
+
+// dpm-lint: allow(nondeterminism)
+// dpm-lint: allow(nondeterminism, reason = "")
+// dpm-lint: allow(made_up_rule, reason = "not a rule")
+// dpm-lint: allow(no_panic, reason = "nothing below panics, so this is unused")

@@ -1,0 +1,8 @@
+//! Correctly annotated exceptions: zero findings, three allows used.
+
+use std::time::Instant; // dpm-lint: allow(nondeterminism, reason = "fixture: trailing allow on its own line")
+
+// dpm-lint: allow(nondeterminism, reason = "fixture: standalone allow binds the next code line")
+fn stamp() -> Instant {
+    Instant::now() // dpm-lint: allow(nondeterminism, reason = "fixture: second trailing allow")
+}

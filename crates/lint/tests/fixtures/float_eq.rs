@@ -1,0 +1,10 @@
+//! Planted float-equality comparisons: three findings.
+
+fn compare(x: f64, y: f64) -> bool {
+    let exact = x == 1.0;
+    let negated = y != 0.5;
+    let constant = x == f64::EPSILON;
+    let integer_ok = (x as u64) == 3;
+    let tolerant_ok = (x - y).abs() < 1e-9;
+    exact || negated || constant || integer_ok || tolerant_ok
+}

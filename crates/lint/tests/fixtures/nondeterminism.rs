@@ -1,0 +1,25 @@
+//! Planted determinism-taint violations; every marked line is a finding.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+fn timestamps() -> u64 {
+    let start = Instant::now();
+    drop(start);
+    let stamp = SystemTime::now();
+    drop(stamp);
+    0
+}
+
+fn hash_order(map: HashMap<u32, u32>) -> usize {
+    map.len()
+}
+
+fn os_entropy() {
+    let rng = rand::thread_rng();
+    drop(rng);
+}
+
+fn environment() -> Option<String> {
+    std::env::var("DPM_MODE").ok()
+}

@@ -1,0 +1,11 @@
+//! Planted library-path panics: four findings when checked as library
+//! code, none when checked as a binary.
+
+fn explosive(v: Option<u32>, w: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = w.expect("present");
+    if a > b {
+        panic!("boom");
+    }
+    unreachable!()
+}

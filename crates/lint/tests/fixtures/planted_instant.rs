@@ -1,0 +1,6 @@
+//! CI smoke fixture: a planted wall-clock read. `dpm-lint --deny` over
+//! this file must exit nonzero; see scripts/ci.sh.
+
+pub fn timestamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

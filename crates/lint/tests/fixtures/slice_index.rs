@@ -1,0 +1,11 @@
+//! Planted slice indexing: three findings when checked under
+//! crates/harness/src, none elsewhere (the rule is scoped to the
+//! supervisory layer).
+
+fn index(values: &[f64], i: usize) -> f64 {
+    let direct = values[i];
+    let chained = values.as_ref()[0];
+    let safe = values.get(i).copied().unwrap_or(0.0);
+    let array = [0u8; 4];
+    direct + chained + safe + f64::from(array[0])
+}

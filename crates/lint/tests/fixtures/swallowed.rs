@@ -1,0 +1,13 @@
+//! One planted swallowed Result; the write!/writeln! discards are the
+//! infallible fmt::Write-into-String idiom and stay clean.
+
+use std::fmt::Write as _;
+
+fn discard(r: Result<u32, String>) {
+    let _ = r;
+}
+
+fn formatting(out: &mut String) {
+    let _ = write!(out, "ok");
+    let _ = writeln!(out, "ok");
+}

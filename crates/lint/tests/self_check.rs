@@ -1,0 +1,70 @@
+//! The workspace must lint clean: every deliberate exception carries a
+//! reasoned allow, and the walker only visits governed first-party code.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_finding_free() {
+    let report = dpm_lint::check_workspace(&workspace_root()).expect("workspace walk");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must lint clean:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn every_surviving_allow_is_actually_used() {
+    // `check_workspace` already folds unused allows into findings
+    // (`unused_allow`), so finding-free + a positive use count means every
+    // annotation in the tree both parses and suppresses something.
+    let report = dpm_lint::check_workspace(&workspace_root()).expect("workspace walk");
+    assert!(
+        report.allows_used > 0,
+        "expected reasoned allows in the tree"
+    );
+}
+
+#[test]
+fn walker_skips_ungoverned_trees() {
+    let files = dpm_lint::walk::workspace_files(&workspace_root()).expect("workspace walk");
+    for file in &files {
+        assert!(
+            !file.rel.starts_with("vendor/") && !file.rel.starts_with("target/"),
+            "third-party or generated file scanned: {}",
+            file.rel
+        );
+        assert!(
+            !file.rel.contains("/tests/") && !file.rel.contains("/fixtures/"),
+            "test-only file scanned: {}",
+            file.rel
+        );
+    }
+    assert!(files.iter().any(|f| f.rel == "crates/harness/src/pool.rs"));
+    assert!(files.iter().any(|f| f.rel == "src/lib.rs"));
+    let mut sorted: Vec<&str> = files.iter().map(|f| f.rel.as_str()).collect();
+    sorted.sort_unstable();
+    let order: Vec<&str> = files.iter().map(|f| f.rel.as_str()).collect();
+    assert_eq!(order, sorted, "walk order must be deterministic");
+}
+
+#[test]
+fn binaries_are_classified_as_bin() {
+    use dpm_lint::walk::classify;
+    use dpm_lint::FileKind;
+    assert_eq!(
+        classify("crates/bench/src/bin/ablate_solvers.rs"),
+        FileKind::Bin
+    );
+    assert_eq!(classify("src/main.rs"), FileKind::Bin);
+    assert_eq!(classify("crates/harness/src/pool.rs"), FileKind::Library);
+}

@@ -1,5 +1,6 @@
 //! Two-phase primal simplex on a dense tableau.
 
+// dpm-lint: allow-file(float_eq, reason = "pivoting skips exact-zero tableau entries (a no-op at any tolerance); numerical tolerances are applied separately via EPS")
 use std::fmt;
 
 use dpm_linalg::DMatrix;
@@ -150,6 +151,7 @@ impl Tableau {
                     .min_by(|&a, &b| {
                         self.reduced[a]
                             .partial_cmp(&self.reduced[b])
+                            // dpm-lint: allow(no_panic, reason = "tableau entries stay finite: every pivot divides by a nonzero, tolerance-checked pivot element")
                             .expect("reduced costs are finite")
                     })
             } else {
@@ -466,6 +468,7 @@ fn solve_with(problem: &Problem, force_bland: bool) -> Result<Outcome, LpError> 
                         tableau.rows[(i, a)]
                             .abs()
                             .partial_cmp(&tableau.rows[(i, b)].abs())
+                            // dpm-lint: allow(no_panic, reason = "tableau entries stay finite: every pivot divides by a nonzero, tolerance-checked pivot element")
                             .expect("finite tableau entries")
                     });
                 if let Some(j) = entering {

@@ -438,6 +438,7 @@ pub fn policy_iteration_from(
     let mut gain_history = Vec::new();
     let mut improvement_deltas = Vec::new();
     for iteration in 1..=options.max_iterations {
+        // dpm-lint: allow(nondeterminism, reason = "eval_secs is a wall-clock diagnostic in the iteration stats, not part of the solved policy or values")
         let eval_start = std::time::Instant::now();
         let eval =
             evaluate_with(mdp, &policy, options.reference_state, options.backend).map_err(|e| {
@@ -668,6 +669,7 @@ pub fn policy_iteration_multichain(
     let mut eval_secs = Vec::new();
     let mut improvement_deltas = Vec::new();
     for iteration in 1..=options.max_iterations {
+        // dpm-lint: allow(nondeterminism, reason = "eval_secs is a wall-clock diagnostic in the iteration stats, not part of the solved policy or values")
         let eval_start = std::time::Instant::now();
         let eval = evaluate_multichain(mdp, &policy)?;
         eval_secs.push(eval_start.elapsed().as_secs_f64());

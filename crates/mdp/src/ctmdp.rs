@@ -206,9 +206,11 @@ impl Ctmdp {
                         .min_by(|(_, x), (_, y)| {
                             x.cost_rate()
                                 .partial_cmp(&y.cost_rate())
+                                // dpm-lint: allow(no_panic, reason = "cost rates are validated finite when the CTMDP is constructed")
                                 .expect("cost rates are finite")
                         })
                         .map(|(i, _)| i)
+                        // dpm-lint: allow(no_panic, reason = "CTMDP validation guarantees a non-empty action set per state")
                         .expect("every state has at least one action")
                 })
                 .collect(),

@@ -384,8 +384,10 @@ impl Dtmdp {
                             self.actions[i][x]
                                 .cost
                                 .partial_cmp(&self.actions[i][y].cost)
+                                // dpm-lint: allow(no_panic, reason = "costs are validated finite when the DTMDP is constructed")
                                 .expect("finite costs")
                         })
+                        // dpm-lint: allow(no_panic, reason = "DTMDP validation guarantees a non-empty action set per state")
                         .expect("non-empty actions")
                 })
                 .collect(),
@@ -552,6 +554,7 @@ impl Dtmdp {
             .iter()
             .map(|&(i, a)| self.actions[i][a].cost)
             .collect();
+        // dpm-lint: allow(no_panic, reason = "the MDP was validated non-empty before the LP is assembled")
         let mut problem = dpm_lp::Problem::minimize(costs).expect("at least one state-action pair");
         for j in 0..n {
             let coeffs: Vec<f64> = index
@@ -564,10 +567,12 @@ impl Dtmdp {
                 .collect();
             problem
                 .add_constraint(coeffs, dpm_lp::Relation::Eq, 0.0)
+                // dpm-lint: allow(no_panic, reason = "the row is built with exactly one coefficient per LP variable just above")
                 .expect("arity matches");
         }
         problem
             .add_constraint(vec![1.0; index.len()], dpm_lp::Relation::Eq, 1.0)
+            // dpm-lint: allow(no_panic, reason = "the row is built with exactly one coefficient per LP variable just above")
             .expect("arity matches");
         match dpm_lp::solve(&problem).map_err(MdpError::Lp)? {
             dpm_lp::Outcome::Optimal(solution) => {

@@ -92,6 +92,7 @@ fn build_problem(mdp: &Ctmdp) -> (Problem, Vec<(usize, usize)>) {
         .iter()
         .map(|&(i, a)| mdp.actions(i)[a].cost_rate())
         .collect();
+    // dpm-lint: allow(no_panic, reason = "the MDP was validated non-empty before the LP is assembled")
     let mut problem = Problem::minimize(costs).expect("at least one state-action pair");
 
     // Balance: Σ_{i,a} x_{i,a} G^a(i, j) = 0 for every j.
@@ -109,11 +110,13 @@ fn build_problem(mdp: &Ctmdp) -> (Problem, Vec<(usize, usize)>) {
             .collect();
         problem
             .add_constraint(coeffs, Relation::Eq, 0.0)
+            // dpm-lint: allow(no_panic, reason = "the row is built with exactly one coefficient per LP variable just above")
             .expect("arity matches");
     }
     // Normalization.
     problem
         .add_constraint(vec![1.0; index.len()], Relation::Eq, 1.0)
+        // dpm-lint: allow(no_panic, reason = "the row is built with exactly one coefficient per LP variable just above")
         .expect("arity matches");
     (problem, index)
 }
@@ -216,6 +219,7 @@ pub fn solve_constrained_average(
     let coeffs: Vec<f64> = index.iter().map(|&(i, _)| aux_costs[i]).collect();
     problem
         .add_constraint(coeffs, Relation::Le, bound)
+        // dpm-lint: allow(no_panic, reason = "the row is built with exactly one coefficient per LP variable just above")
         .expect("arity matches");
     match dpm_lp::solve(&problem)? {
         Outcome::Optimal(solution) => Ok(extract(mdp, &index, &solution)),

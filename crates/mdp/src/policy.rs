@@ -203,8 +203,10 @@ impl RandomizedPolicy {
                 .map(|w| {
                     w.iter()
                         .enumerate()
+                        // dpm-lint: allow(no_panic, reason = "action weights are finite: validated costs plus finite value estimates")
                         .max_by(|(_, x), (_, y)| x.partial_cmp(y).expect("weights are finite"))
                         .map(|(i, _)| i)
+                        // dpm-lint: allow(no_panic, reason = "the action set is non-empty by MDP validation")
                         .expect("non-empty weights")
                 })
                 .collect(),

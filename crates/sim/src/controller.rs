@@ -206,6 +206,7 @@ impl Controller for RandomizedController {
                 return Command::go(d);
             }
         }
+        // dpm-lint: allow(no_panic, reason = "policy validation guarantees a non-empty destination set")
         Command::go(*dests.last().expect("non-empty action set"))
     }
 
@@ -254,8 +255,10 @@ impl NPolicyController {
             .max_by(|&a, &b| {
                 sp.service_rate(a)
                     .partial_cmp(&sp.service_rate(b))
+                    // dpm-lint: allow(no_panic, reason = "rates are validated finite when the model is constructed")
                     .expect("finite rates")
             })
+            // dpm-lint: allow(no_panic, reason = "SpModel validation guarantees an active mode")
             .expect("provider has an active mode");
         let mut active = [false; 64];
         for (m, slot) in active.iter_mut().enumerate().take(sp.n_modes()) {
@@ -326,6 +329,7 @@ impl GreedyController {
             .min_by(|&a, &b| {
                 sp.power(a)
                     .partial_cmp(&sp.power(b))
+                    // dpm-lint: allow(no_panic, reason = "power draws are validated finite when the model is constructed")
                     .expect("finite powers")
             })
             .ok_or_else(|| SimError::InvalidConfig {
@@ -391,8 +395,10 @@ impl TimeoutController {
             .max_by(|&a, &b| {
                 sp.service_rate(a)
                     .partial_cmp(&sp.service_rate(b))
+                    // dpm-lint: allow(no_panic, reason = "rates are validated finite when the model is constructed")
                     .expect("finite rates")
             })
+            // dpm-lint: allow(no_panic, reason = "SpModel validation guarantees an active mode")
             .expect("provider has an active mode");
         let mut active = [false; 64];
         for (m, slot) in active.iter_mut().enumerate().take(sp.n_modes()) {
@@ -457,8 +463,10 @@ impl AlwaysOnController {
             .max_by(|&a, &b| {
                 sp.service_rate(a)
                     .partial_cmp(&sp.service_rate(b))
+                    // dpm-lint: allow(no_panic, reason = "rates are validated finite when the model is constructed")
                     .expect("finite rates")
             })
+            // dpm-lint: allow(no_panic, reason = "SpModel validation guarantees an active mode")
             .expect("provider has an active mode");
         AlwaysOnController { wake_mode }
     }
@@ -862,6 +870,7 @@ impl<C: Controller> Controller for PollingController<C> {
             // it has been executed).
             held
         } else {
+            // dpm-lint: allow(no_panic, reason = "the first poll always takes the compute branch, which sets last_target")
             unreachable!("branch above populates last_target")
         };
         // Ask to be woken at the next slice boundary.
@@ -1089,8 +1098,10 @@ impl PredictiveController {
             .max_by(|&a, &b| {
                 sp.service_rate(a)
                     .partial_cmp(&sp.service_rate(b))
+                    // dpm-lint: allow(no_panic, reason = "rates are validated finite when the model is constructed")
                     .expect("finite rates")
             })
+            // dpm-lint: allow(no_panic, reason = "SpModel validation guarantees an active mode")
             .expect("provider has an active mode");
         if !(sp.can_switch(wake_mode, sleep_mode) && sp.can_switch(sleep_mode, wake_mode)) {
             return Err(SimError::InvalidConfig {
@@ -1180,6 +1191,7 @@ impl Controller for PredictiveController {
             // the improved predictive schemes \[17\] — if the idle period
             // outlives the prediction (so the prediction was wrong), sleep
             // anyway once the break-even point is past.
+            // dpm-lint: allow(no_panic, reason = "idle_since is assigned in the branch that precedes this one")
             let idle_start = self.idle_since.expect("set above");
             let elapsed = observation.time - idle_start;
             let watchdog = self.breakeven.max(self.predicted_idle);

@@ -156,8 +156,10 @@ impl<W: Workload, C: Controller> Simulator<W, C> {
                     self.sp
                         .service_rate(a)
                         .partial_cmp(&self.sp.service_rate(b))
+                        // dpm-lint: allow(no_panic, reason = "rates are validated finite when the model is constructed")
                         .expect("finite rates")
                 })
+                // dpm-lint: allow(no_panic, reason = "SpModel validation guarantees an active mode")
                 .expect("provider has an active mode"),
         };
 
@@ -323,6 +325,7 @@ impl<W: Workload, C: Controller> Simulator<W, C> {
                     last_event = SimEvent::Arrival;
                 }
                 NextEvent::Service => {
+                    // dpm-lint: allow(no_panic, reason = "a service completion can only be scheduled while the queue is non-empty")
                     let arrived = queue.pop_front().expect("service implies a request");
                     sojourn_sum += time - arrived;
                     completed += 1;

@@ -117,6 +117,7 @@ impl PiecewiseWorkload {
                 return l;
             }
         }
+        // dpm-lint: allow(no_panic, reason = "segments are validated non-empty at construction")
         self.segments.last().expect("validated non-empty").1
     }
 }

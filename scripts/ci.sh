@@ -13,6 +13,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "=== cargo doc (no deps, warnings are errors) ==="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
+echo "=== dpm-lint (determinism / no-panic invariants, findings are errors) ==="
+cargo build --release -q -p dpm-lint
+./target/release/dpm-lint --deny
+
+echo "=== dpm-lint seeded-violation smoke (planted Instant must fail the gate) ==="
+if ./target/release/dpm-lint --deny crates/lint/tests/fixtures/planted_instant.rs > /dev/null; then
+    echo "dpm-lint missed the planted violation" >&2
+    exit 1
+fi
+
 echo "=== cargo test ==="
 cargo test --workspace -q
 

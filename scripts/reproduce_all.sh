@@ -19,6 +19,10 @@ PLAIN_BINARIES=(table1 validate_model ablate_solvers ablate_transfer_states \
                 ablate_constrained ablate_discounted ablate_synchronous adaptive)
 HARNESS_BINARIES=(fig4 fig5 heuristics scaling)
 
+echo "=== preflight: dpm-lint (determinism invariants must hold before a full run) ==="
+cargo build --release -q -p dpm-lint
+./target/release/dpm-lint --deny
+
 cargo build --release -p dpm-bench --bins
 
 for bin in "${HARNESS_BINARIES[@]}"; do

@@ -53,6 +53,7 @@
 //! `dpm-bench` crate for the binaries that regenerate every table and
 //! figure of the paper.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use dpm_core as model;
