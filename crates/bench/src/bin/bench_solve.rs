@@ -1,0 +1,369 @@
+//! Canonical solve-phase benchmark: kernel-level and end-to-end timings
+//! into `BENCH_solve.json`.
+//!
+//! Three measurement groups, each with a correctness check riding along:
+//!
+//! 1. **Improvement kernels** at queue capacity `--capacity` (default
+//!    100): a materialized dense per-action row scan (the
+//!    `O(|S|·|A|·|S|)` baseline), the nested-list reference
+//!    [`average::improve_step`], and the CSR kernel
+//!    [`average::improve_step_csr`] — all three must pick identical
+//!    policies.
+//! 2. **Evaluation backends** on a synthetic unichain ring: policy
+//!    iteration under `Dense`, `CachedLu` (LU factorization reuse) and
+//!    `SparseDirect` must converge to the same policy and gain
+//!    (≤ 1e-10), with per-backend wall time recorded.
+//! 3. **Solve-phase pipeline**: a weight sweep as a
+//!    [`dpm_harness::solve::SolvePlan`] at 1 worker versus
+//!    `--solve-workers`, checked bit-identical.
+//!
+//! Deterministic fields (`params`, `checks`) are canonical; wall-clock
+//! numbers live under the `timers` key, which the artifact diff strips.
+//! On a single-core CI host the speedups are *recorded*, not asserted —
+//! the kernel-level gains are algorithmic, the pipeline gain is not.
+//!
+//! ```text
+//! cargo run --release -p dpm-bench --bin bench_solve -- \
+//!     [--capacity Q] [--rounds R] [--solve-workers N] [--seed S] \
+//!     [--out results/BENCH_solve.json]
+//! ```
+
+// dpm-lint: allow(nondeterminism, reason = "this binary's whole purpose is wall-clock measurement; everything timed lands under the artifact's volatile timers key")
+use std::time::Instant;
+
+use dpm_bench::{row, rule};
+use dpm_core::{optimize, PmSystem, SpModel, SrModel};
+use dpm_harness::{
+    artifact,
+    cli::{self, Args},
+    solve, Json, PlanPoint, SolvePlan,
+};
+use dpm_mdp::{average, Ctmdp, Policy};
+
+/// The paper's server model at an enlarged queue capacity.
+fn paper_mdp(capacity: usize, weight: f64) -> Result<Ctmdp, Box<dyn std::error::Error>> {
+    let system = PmSystem::builder()
+        .provider(SpModel::dac99_server()?)
+        .requestor(SrModel::poisson(1.0 / 6.0)?)
+        .capacity(capacity)
+        .build()?;
+    Ok(system.ctmdp(weight)?)
+}
+
+/// A synthetic irreducible unichain ring (every policy unichain), the
+/// substrate for the evaluation-backend comparison.
+fn ring(n: usize) -> Ctmdp {
+    let mut b = Ctmdp::builder(n);
+    for i in 0..n {
+        let next = (i + 1) % n;
+        let shortcut = (i + 2) % n;
+        #[allow(clippy::cast_precision_loss)]
+        let cost = 1.0 + i as f64 * 0.37;
+        #[allow(clippy::cast_precision_loss)]
+        let rate = 1.0 + i as f64 * 0.01;
+        b.action(i, "step", cost, &[(next, rate)]).expect("valid");
+        b.action(i, "skip", cost * 1.5, &[(next, 0.3), (shortcut, 0.9)])
+            .expect("valid");
+    }
+    b.build().expect("valid ring")
+}
+
+/// Per-action rows of a CTMDP materialized as full dense vectors — the
+/// `O(|S|·|A|·|S|)` improvement baseline the CSR kernel is measured
+/// against. Materialization happens outside the timed region.
+struct DenseActions {
+    n_states: usize,
+    sa_ptr: Vec<usize>,
+    cost: Vec<f64>,
+    /// Flattened rows, `n_states` entries per state–action pair.
+    rows: Vec<f64>,
+}
+
+impl DenseActions {
+    fn from_ctmdp(mdp: &Ctmdp) -> DenseActions {
+        let n = mdp.n_states();
+        let mut sa_ptr = vec![0usize];
+        let mut cost = Vec::new();
+        let mut rows = Vec::new();
+        for state in 0..n {
+            for spec in mdp.actions(state) {
+                cost.push(spec.cost_rate());
+                let mut dense = vec![0.0; n];
+                for &(to, rate) in spec.rates() {
+                    dense[to] = rate;
+                }
+                rows.extend_from_slice(&dense);
+            }
+            sa_ptr.push(cost.len());
+        }
+        DenseActions {
+            n_states: n,
+            sa_ptr,
+            cost,
+            rows,
+        }
+    }
+
+    fn test_quantity(&self, state: usize, action: usize, bias: &[f64]) -> f64 {
+        let sa = self.sa_ptr[state] + action;
+        let row = &self.rows[sa * self.n_states..(sa + 1) * self.n_states];
+        let here = bias[state];
+        let mut q = self.cost[sa];
+        for (j, &rate) in row.iter().enumerate() {
+            q += rate * (bias[j] - here);
+        }
+        q
+    }
+
+    /// The reference improvement sweep over dense-materialized rows —
+    /// identical decision rule, `O(|S|·|A|·|S|)` arithmetic.
+    fn improve_step(&self, policy: &Policy, bias: &[f64], tolerance: f64) -> Policy {
+        let mut next = policy.clone();
+        for state in 0..self.n_states {
+            let incumbent = policy.action(state);
+            let mut best_action = incumbent;
+            let mut best_q = self.test_quantity(state, incumbent, bias);
+            for action in 0..self.sa_ptr[state + 1] - self.sa_ptr[state] {
+                if action == incumbent {
+                    continue;
+                }
+                let q = self.test_quantity(state, action, bias);
+                if q < best_q - tolerance {
+                    best_q = q;
+                    best_action = action;
+                }
+            }
+            if best_action != incumbent {
+                next = next.with_action(state, best_action);
+            }
+        }
+        next
+    }
+}
+
+fn time_sweeps<T>(rounds: usize, mut body: impl FnMut() -> T) -> (T, f64) {
+    let mut out = body();
+    let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
+    for _ in 0..rounds {
+        out = body();
+    }
+    let total = start.elapsed().as_secs_f64();
+    #[allow(clippy::cast_precision_loss)]
+    (out, total / rounds.max(1) as f64)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::from_env(&cli::with_resilience_flags(&[
+        "capacity",
+        "rounds",
+        "solve-workers",
+        "seed",
+        "out",
+    ]))?;
+    let capacity = args.get_usize("capacity", 100)?;
+    let rounds = args.get_usize("rounds", 20)?.max(1);
+    let solve_workers = args.get_usize("solve-workers", 2)?.max(2);
+    let root_seed = args.get_u64("seed", 1300)?;
+    let out = args.get_str("out", "results/BENCH_solve.json");
+
+    // ------------------------------------------------------------------
+    // 1. Improvement kernels at Q = capacity.
+    // ------------------------------------------------------------------
+    let mdp = paper_mdp(capacity, 1.0)?;
+    let n = mdp.n_states();
+    let kernel = mdp.sparse_actions();
+    let dense = DenseActions::from_ctmdp(&mdp);
+    // A real bias vector: converge policy iteration once and reuse its
+    // bias and policy for every timed sweep.
+    let initial = mdp.min_cost_policy();
+    let solved = average::policy_iteration_multichain(&mdp, initial, &average::Options::default())?;
+    let bias = solved.bias().clone();
+    let policy = solved.policy().clone();
+    let tol = average::Options::default().improvement_tolerance;
+
+    let (from_dense, dense_secs) =
+        time_sweeps(rounds, || dense.improve_step(&policy, bias.as_slice(), tol));
+    let (from_reference, reference_secs) =
+        time_sweeps(rounds, || average::improve_step(&mdp, &policy, &bias, tol));
+    let (from_csr, csr_secs) = time_sweeps(rounds, || {
+        average::improve_step_csr(&kernel, &policy, &bias, tol)
+    });
+    let improvement_agrees = from_dense == from_reference && from_reference == from_csr;
+    // At a converged policy the improvement sweep must be a fixpoint.
+    let improvement_fixpoint = from_csr == policy;
+
+    // ------------------------------------------------------------------
+    // 2. Evaluation backends on the unichain ring.
+    // ------------------------------------------------------------------
+    let ring_mdp = ring(2 * capacity.max(8));
+    let ring_start = Policy::uniform(ring_mdp.n_states(), 1);
+    let mut backend_results = Vec::new();
+    for (name, backend) in [
+        ("dense", average::EvalBackend::Dense),
+        ("cached_lu", average::EvalBackend::CachedLu),
+        ("sparse_direct", average::EvalBackend::SparseDirect),
+    ] {
+        let options = average::Options {
+            backend,
+            ..average::Options::default()
+        };
+        let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
+        let solution = average::policy_iteration_from(&ring_mdp, ring_start.clone(), &options)?;
+        let secs = start.elapsed().as_secs_f64();
+        backend_results.push((name, solution, secs));
+    }
+    let (_, reference_solution, dense_eval_secs) = &backend_results[0];
+    let mut max_gain_diff = 0.0f64;
+    let mut backends_agree = true;
+    for (_, solution, _) in &backend_results {
+        max_gain_diff = max_gain_diff.max((solution.gain() - reference_solution.gain()).abs());
+        backends_agree &= solution.policy() == reference_solution.policy();
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Solve-phase pipeline, serial vs parallel.
+    // ------------------------------------------------------------------
+    let mut sweep_plan = SolvePlan::new("bench-solve-sweep", root_seed);
+    let mut weight = 0.05;
+    let mut n_sweep = 0usize;
+    while weight < 50.0 {
+        sweep_plan =
+            sweep_plan.point(PlanPoint::new(format!("w={weight:.3}")).with("weight", weight));
+        weight *= 2.5;
+        n_sweep += 1;
+    }
+    let sweep_system = PmSystem::builder()
+        .provider(SpModel::dac99_server()?)
+        .requestor(SrModel::poisson(1.0 / 6.0)?)
+        .capacity(5)
+        .build()?;
+    let run_sweep = |workers: usize| {
+        solve::run_solve_plan(&sweep_plan, workers, |ctx| {
+            let w = ctx.point.param("weight").unwrap().as_f64().unwrap();
+            optimize::optimal_policy(&sweep_system, w).map_err(|e| e.to_string())
+        })
+    };
+    let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
+    let serial = run_sweep(1)?;
+    let serial_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
+    let parallel = run_sweep(solve_workers)?;
+    let parallel_secs = start.elapsed().as_secs_f64();
+    let fingerprint = |records: &[solve::SolveRecord<optimize::OptimalSolution>]| {
+        records
+            .iter()
+            .map(|r| {
+                (
+                    r.index,
+                    r.output.policy().clone(),
+                    r.output.metrics().power().to_bits(),
+                    r.output.metrics().queue_length().to_bits(),
+                    r.output.iterations(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let pipeline_identical = fingerprint(&serial) == fingerprint(&parallel);
+
+    // ------------------------------------------------------------------
+    // Report + artifact.
+    // ------------------------------------------------------------------
+    let widths = [26usize, 14, 14];
+    println!("Solve-phase benchmark (Q = {capacity}, {n} states, {rounds} sweeps)");
+    row(
+        &["kernel".into(), "secs/sweep".into(), "speedup".into()],
+        &widths,
+    );
+    rule(&widths);
+    for (name, secs) in [
+        ("improve: dense scan", dense_secs),
+        ("improve: nested lists", reference_secs),
+        ("improve: CSR kernel", csr_secs),
+    ] {
+        row(
+            &[
+                name.into(),
+                format!("{secs:.3e}"),
+                format!("{:.1}x", dense_secs / secs),
+            ],
+            &widths,
+        );
+    }
+    rule(&widths);
+    for (name, _, secs) in &backend_results {
+        row(
+            &[
+                format!("eval backend: {name}"),
+                format!("{secs:.3e}"),
+                format!("{:.1}x", dense_eval_secs / secs),
+            ],
+            &widths,
+        );
+    }
+    rule(&widths);
+    for (name, secs) in [
+        ("solve pipeline: 1 worker", serial_secs),
+        ("solve pipeline: parallel", parallel_secs),
+    ] {
+        row(
+            &[
+                name.into(),
+                format!("{secs:.3e}"),
+                format!("{:.1}x", serial_secs / secs),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nchecks: improvement kernels agree = {improvement_agrees}, fixpoint = \
+         {improvement_fixpoint},\n        eval backends agree = {backends_agree} \
+         (max gain diff {max_gain_diff:.2e}), pipeline identical = {pipeline_identical}"
+    );
+
+    let mut doc = Json::object();
+    doc.set("schema_version", 1u64);
+    doc.set("experiment", "bench_solve");
+    let mut params = Json::object();
+    params.set("capacity", capacity);
+    params.set("rounds", rounds);
+    params.set("n_states", n);
+    params.set("nnz", kernel.nnz());
+    params.set("sweep_points", n_sweep);
+    params.set("root_seed", root_seed);
+    doc.set("params", params);
+    let mut checks = Json::object();
+    checks.set("improvement_policies_agree", improvement_agrees);
+    checks.set("improvement_is_fixpoint", improvement_fixpoint);
+    checks.set("eval_backends_agree", backends_agree);
+    checks.set("eval_backends_max_gain_diff", Json::num(max_gain_diff));
+    checks.set("solve_parallel_identical", pipeline_identical);
+    doc.set("checks", checks);
+    let mut timers = Json::object();
+    timers.set("improve_dense_scan_secs", Json::num(dense_secs));
+    timers.set("improve_reference_secs", Json::num(reference_secs));
+    timers.set("improve_csr_secs", Json::num(csr_secs));
+    timers.set(
+        "improve_csr_speedup_vs_dense_scan",
+        Json::num(dense_secs / csr_secs),
+    );
+    for (name, _, secs) in &backend_results {
+        timers.set(&format!("eval_{name}_secs"), Json::num(*secs));
+    }
+    timers.set("pipeline_serial_secs", Json::num(serial_secs));
+    timers.set("pipeline_parallel_secs", Json::num(parallel_secs));
+    timers.set("solve_workers", solve_workers);
+    doc.set("timers", timers);
+
+    if !(improvement_agrees && improvement_fixpoint && backends_agree && pipeline_identical) {
+        artifact::write(&out, &doc)?;
+        return Err("solve-phase correctness checks failed (see artifact)".into());
+    }
+    if max_gain_diff > 1e-10 {
+        artifact::write(&out, &doc)?;
+        return Err(format!("eval backends disagree on gain by {max_gain_diff:.2e}").into());
+    }
+    artifact::write(&out, &doc)?;
+    println!("artifact: {out}");
+    Ok(())
+}

@@ -2,15 +2,18 @@
 //! (weight sweep) against the N-policies, N = 1..5 — simulated values, as
 //! in the paper, with the functional (analytic) values alongside.
 //!
-//! Runs on the `dpm-harness` plan runner: the weight sweep is solved
-//! serially up front (deduplicating repeated frontier points), then every
-//! (policy, replication) simulation is an independent plan task. A
+//! Runs on the `dpm-harness` plan runner: the weight sweep runs as a
+//! [`dpm_harness::solve::SolvePlan`] on the work-stealing pool — one
+//! policy-iteration task per weight, bit-identical to the old serial loop
+//! at any `--solve-workers` count because records come back in plan order
+//! and the order-dependent frontier dedup stays serial. Every
+//! (policy, replication) simulation is then an independent plan task. A
 //! versioned JSON artifact lands in `--out`.
 //!
 //! ```text
 //! cargo run --release -p dpm-bench --bin fig4 -- \
-//!     [--workers N] [--seed S] [--requests R] [--reps K] \
-//!     [--out results/fig4.json]
+//!     [--workers N] [--solve-workers N] [--seed S] [--requests R] \
+//!     [--reps K] [--out results/fig4.json]
 //! ```
 
 use dpm_bench::{
@@ -22,14 +25,20 @@ use dpm_harness::{
     artifact,
     cli::{self, Args},
     plan::Plan,
-    runner, Json, PlanPoint,
+    runner, solve, Json, PlanPoint, SolvePlan,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::from_env(&cli::with_resilience_flags(&[
-        "workers", "seed", "requests", "reps", "out",
+        "workers",
+        "solve-workers",
+        "seed",
+        "requests",
+        "reps",
+        "out",
     ]))?;
     let workers = args.workers()?;
+    let solve_workers = args.get_usize("solve-workers", workers)?;
     let root_seed = args.get_u64("seed", 400)?;
     let requests = args.get_u64("requests", PAPER_REQUESTS)?;
     let reps = args.get_u64("reps", 1)?;
@@ -37,17 +46,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let system = paper_system(1.0 / 6.0)?;
 
-    // Serial solve phase. Weight sweep (geometric), deduplicating repeated
-    // frontier points; then the N-policies, N = 1..5, evaluated
+    // Parallel solve phase: the geometric weight ladder becomes a solve
+    // plan, one policy-iteration task per weight, run on the same
+    // work-stealing pool the simulations use.
+    let mut weights = Vec::new();
+    let mut weight = 0.05;
+    while weight < 300.0 {
+        weights.push(weight);
+        weight *= 1.25;
+    }
+    let mut solve_plan = SolvePlan::new("fig4-solve", root_seed);
+    for &w in &weights {
+        solve_plan = solve_plan.point(PlanPoint::new(format!("w={w:.3}")).with("weight", w));
+    }
+    let solved = solve::run_solve_plan(&solve_plan, solve_workers, |ctx| {
+        let w = ctx.point.param("weight").unwrap().as_f64().unwrap();
+        optimize::optimal_policy(&system, w).map_err(|e| e.to_string())
+    })?;
+
+    // Serial post-pass in plan order: the frontier dedup is
+    // order-dependent, so running it over the ordered records reproduces
+    // the serial sweep exactly. Then the N-policies, N = 1..5, evaluated
     // analytically.
     let mut policies: Vec<PmPolicy> = Vec::new();
     let mut plan = Plan::new("fig4", root_seed).replications(reps);
     let mut total_pi_rounds = 0usize;
     let mut worst_residual = 0.0f64;
-    let mut weight = 0.05;
+    let mut solve_task_secs = 0.0f64;
     let mut frontier: Vec<(f64, f64)> = Vec::new();
-    while weight < 300.0 {
-        let solution = optimize::optimal_policy(&system, weight)?;
+    for record in &solved {
+        let solution = &record.output;
+        let weight = weights[record.index];
+        solve_task_secs += record.wall_secs;
         total_pi_rounds += solution.iterations();
         worst_residual = worst_residual.max(solution.eval_residual());
         let point = (
@@ -69,7 +99,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             policies.push(solution.policy().clone());
         }
-        weight *= 1.25;
     }
     let n_frontier = policies.len();
     for n in 1..=5usize {
@@ -154,11 +183,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut doc = artifact::build_run(&plan, workers, &report);
-    let mut solve = Json::object();
-    solve.set("pi_rounds", total_pi_rounds);
-    solve.set("worst_eval_residual", Json::num(worst_residual));
-    solve.set("frontier_points", n_frontier);
-    doc.set("solve", solve);
+    let mut solve_section = Json::object();
+    solve_section.set("pi_rounds", total_pi_rounds);
+    solve_section.set("worst_eval_residual", Json::num(worst_residual));
+    solve_section.set("frontier_points", n_frontier);
+    // Wall-clock diagnostics live under `timers` so the artifact diff
+    // strips them alongside every other volatile subtree.
+    let mut timers = Json::object();
+    timers.set("solve_task_secs_total", Json::num(solve_task_secs));
+    timers.set("solve_workers", solve_workers);
+    solve_section.set("timers", timers);
+    doc.set("solve", solve_section);
     artifact::write(&out, &doc)?;
     println!("artifact: {out}");
     Ok(())

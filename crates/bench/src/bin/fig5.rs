@@ -6,14 +6,17 @@
 //! The optimal policy at each rate is solved under the paper's performance
 //! constraint (average waiting time ≤ mean inter-arrival time).
 //!
-//! Runs on the `dpm-harness` plan runner: the constrained solves happen
-//! serially up front, then every (rate, policy, replication) simulation is
-//! an independent plan task. A versioned JSON artifact lands in `--out`.
+//! Runs on the `dpm-harness` plan runner: the constrained solves run as a
+//! [`dpm_harness::solve::SolvePlan`] on the work-stealing pool — one
+//! feasibility-search + bisection task per input rate, bit-identical to
+//! serial at any `--solve-workers` count — then every (rate, policy,
+//! replication) simulation is an independent plan task. A versioned JSON
+//! artifact lands in `--out`.
 //!
 //! ```text
 //! cargo run --release -p dpm-bench --bin fig5 -- \
-//!     [--workers N] [--seed S] [--requests R] [--reps K] \
-//!     [--out results/fig5.json]
+//!     [--workers N] [--solve-workers N] [--seed S] [--requests R] \
+//!     [--reps K] [--out results/fig5.json]
 //! ```
 
 use std::collections::BTreeMap;
@@ -27,7 +30,7 @@ use dpm_harness::{
     artifact,
     cli::{self, Args},
     plan::Plan,
-    runner, ParamValue,
+    runner, solve, ParamValue, PlanPoint, SolvePlan,
 };
 use dpm_sim::controller::{GreedyController, TimeoutController};
 
@@ -42,20 +45,38 @@ const POLICIES: [&str; 5] = [
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::from_env(&cli::with_resilience_flags(&[
-        "workers", "seed", "requests", "reps", "out",
+        "workers",
+        "solve-workers",
+        "seed",
+        "requests",
+        "reps",
+        "out",
     ]))?;
     let workers = args.workers()?;
+    let solve_workers = args.get_usize("solve-workers", workers)?;
     let root_seed = args.get_u64("seed", 700)?;
     let requests = args.get_u64("requests", PAPER_REQUESTS)?;
     let reps = args.get_u64("reps", 1)?;
     let out = args.get_str("out", "results/fig5.json");
 
-    // Serial solve phase: at each input rate, the system model and the
-    // constrained CTMDP-optimal policy.
-    let mut solved = BTreeMap::new();
+    // Parallel solve phase: at each input rate, the system model and the
+    // constrained CTMDP-optimal policy — one bisection per pool task,
+    // independent across rates, so plan-order records are bit-identical
+    // to the old serial loop.
+    let mut solve_plan = SolvePlan::new("fig5-solve", root_seed);
     for denominator in DENOMINATORS {
-        let system = paper_system(1.0 / denominator as f64)?;
-        let solution = optimize::constrained_policy(&system, 1.0)?;
+        solve_plan = solve_plan
+            .point(PlanPoint::new(format!("1/{denominator}")).with("denominator", denominator));
+    }
+    let solve_records = solve::run_solve_plan(&solve_plan, solve_workers, |ctx| {
+        let denominator = ctx.point.param("denominator").unwrap().as_i64().unwrap();
+        let system = paper_system(1.0 / denominator as f64).map_err(|e| e.to_string())?;
+        let solution = optimize::constrained_policy(&system, 1.0).map_err(|e| e.to_string())?;
+        Ok((denominator, system, solution))
+    })?;
+    let mut solved = BTreeMap::new();
+    for record in solve_records {
+        let (denominator, system, solution) = record.output;
         solved.insert(denominator, (system, solution));
     }
 

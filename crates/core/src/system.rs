@@ -361,20 +361,6 @@ impl PmSystem {
         }
     }
 
-    /// Rebuilds the same system with a different instantaneous-self-switch
-    /// surrogate rate.
-    ///
-    /// # Errors
-    ///
-    /// As [`PmSystemBuilder::build`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `system.to_builder().instant_rate(rate).build()` instead"
-    )]
-    pub fn with_instant_rate(&self, rate: f64) -> Result<PmSystem, DpmError> {
-        self.to_builder().instant_rate(rate).build()
-    }
-
     /// Index of the canonical initial state: empty queue with the SP in its
     /// fastest active mode. Long-run metrics of multichain policies are
     /// reported from here.

@@ -15,6 +15,18 @@
 //! killed mid-append. Anything else malformed is a hard
 //! [`HarnessError::Checkpoint`]: silently dropping interior entries
 //! would break the bit-identical resume guarantee.
+//!
+//! # Compaction
+//!
+//! When a resumed run rewrites its journal, the carried-forward tasks are
+//! **compacted**: each maximal run of contiguous task indices becomes one
+//! *range record* (`{"run_start": s, "entries": [...]}`) written and
+//! flushed once via [`Journal::append_run`], instead of one line and one
+//! `fsync`-able flush per task. A long resume chain therefore costs
+//! `O(gaps)` writes, not `O(completed tasks)`, and the per-entry `task`
+//! index is implied by position, so the rewritten journal is also
+//! smaller. Live tasks finishing mid-run still append individually —
+//! compaction only ever applies to records already validated by a resume.
 
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -73,11 +85,45 @@ impl Journal {
         self.file.flush()?;
         Ok(())
     }
+
+    /// Appends one *range record* covering the contiguous task indices
+    /// `start, start + 1, …` — one journal line, one flush, however many
+    /// tasks the run spans. Used to compact carried-forward tasks when a
+    /// resumed run rewrites its journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn append_run(
+        &mut self,
+        start: usize,
+        records: &[&TaskRecord],
+    ) -> Result<(), HarnessError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut node = Json::object();
+        node.set("run_start", start);
+        node.set(
+            "entries",
+            Json::Array(records.iter().map(|r| entry_body(r)).collect()),
+        );
+        writeln!(self.file, "{}", node.render_compact())?;
+        self.file.flush()?;
+        Ok(())
+    }
 }
 
 fn entry_json(index: usize, record: &TaskRecord) -> Json {
-    let mut node = Json::object();
+    let mut node = entry_body(record);
     node.set("task", index);
+    node
+}
+
+/// The index-free body of a journal entry; range records imply each
+/// entry's task index from its position.
+fn entry_body(record: &TaskRecord) -> Json {
+    let mut node = Json::object();
     node.set("point", record.point_index);
     node.set("replication", record.replication);
     node.set("seed", record.seed);
@@ -172,6 +218,23 @@ fn from_journal(text: &str, plan: &Plan) -> Result<BTreeMap<usize, TaskRecord>, 
             Err(_) if position + 1 == entries.len() => break,
             Err(e) => return Err(reject(format!("line {}: {e}", line_number + 1))),
         };
+        if let Some(start) = get_usize(&node, "run_start") {
+            // A compacted range record: entry k covers task start + k.
+            let Some(Json::Array(runs)) = node.get("entries") else {
+                return Err(reject(format!(
+                    "line {}: range record without an `entries` array",
+                    line_number + 1
+                )));
+            };
+            for (offset, entry) in runs.iter().enumerate() {
+                let index = start + offset;
+                let record = record_from_node(entry, plan, index).map_err(|why| {
+                    reject(format!("line {}: entry {offset}: {why}", line_number + 1))
+                })?;
+                completed.insert(index, record);
+            }
+            continue;
+        }
         let index = get_usize(&node, "task")
             .ok_or_else(|| reject(format!("line {}: missing task index", line_number + 1)))?;
         let record = record_from_node(&node, plan, index)
@@ -355,6 +418,123 @@ mod tests {
         let path = temp_path("header-only");
         Journal::create(&path, &p).unwrap();
         assert!(load_completed(&path, &p).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resumed_journal_compacts_contiguous_runs_into_range_records() {
+        let p = plan();
+        let first = temp_path("compact-first");
+        run_plan_resilient(&p, &RunConfig::new(1).checkpoint(&first), task).unwrap();
+
+        // Resume into a fresh journal: all 6 completed tasks are one
+        // contiguous run, so the rewrite is header + ONE range record.
+        let second = temp_path("compact-second");
+        let report = run_plan_resilient(
+            &p,
+            &RunConfig::new(2).resume(&first).checkpoint(&second),
+            task,
+        )
+        .unwrap();
+        assert_eq!(report.resumed, p.n_tasks());
+        let text = std::fs::read_to_string(&second).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        assert!(text.lines().nth(1).unwrap().contains("\"run_start\":0"));
+
+        // And the compacted journal restores every record bit-exactly.
+        let restored = load_completed(&second, &p).unwrap();
+        assert_eq!(restored.len(), p.n_tasks());
+        for (index, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(&restored[&index], outcome.record().unwrap());
+        }
+        std::fs::remove_file(&first).ok();
+        std::fs::remove_file(&second).ok();
+    }
+
+    #[test]
+    fn gapped_completed_sets_split_into_one_range_record_per_run() {
+        let p = plan();
+        let first = temp_path("gap-first");
+        run_plan_resilient(&p, &RunConfig::new(1).checkpoint(&first), task).unwrap();
+
+        // Drop tasks 1 and 3 from the journal (keep {0, 2}) so the
+        // carried-forward set has a gap.
+        let text = std::fs::read_to_string(&first).unwrap();
+        let kept: Vec<&str> = text
+            .lines()
+            .filter(|line| !line.contains("\"task\":1") && !line.contains("\"task\":3"))
+            .collect();
+        std::fs::write(&first, kept.join("\n") + "\n").unwrap();
+
+        let second = temp_path("gap-second");
+        let report = run_plan_resilient(
+            &p,
+            &RunConfig::new(2).resume(&first).checkpoint(&second),
+            task,
+        )
+        .unwrap();
+        assert_eq!(report.resumed, 2);
+        assert_eq!(report.n_ok(), p.n_tasks());
+        let rewritten = std::fs::read_to_string(&second).unwrap();
+        // Header + range {0} + range {2} + two live appends for the
+        // re-executed tasks 1 and 3.
+        assert_eq!(rewritten.lines().count(), 5, "{rewritten}");
+        assert!(rewritten.contains("\"run_start\":0"));
+        assert!(rewritten.contains("\"run_start\":2"));
+        let restored = load_completed(&second, &p).unwrap();
+        assert_eq!(restored.len(), p.n_tasks());
+        std::fs::remove_file(&first).ok();
+        std::fs::remove_file(&second).ok();
+    }
+
+    #[test]
+    fn torn_trailing_range_record_is_dropped_interior_is_fatal() {
+        let p = plan();
+        let path = temp_path("torn-range");
+        let mut journal = Journal::create(&path, &p).unwrap();
+        let report = run_plan_resilient(&p, &RunConfig::new(1), task).unwrap();
+        let records: Vec<&TaskRecord> = report
+            .outcomes
+            .iter()
+            .map(|o| o.record().unwrap())
+            .collect();
+        journal.append_run(0, &records[0..2]).unwrap();
+        journal.append_run(2, &records[2..4]).unwrap();
+        drop(journal);
+
+        let full = std::fs::read_to_string(&path).unwrap();
+        let torn: String =
+            full.trim_end().rsplit_once('\n').unwrap().0.to_owned() + "\n{\"run_start\":2,\"ent";
+        std::fs::write(&path, &torn).unwrap();
+        let restored = load_completed(&path, &p).unwrap();
+        assert_eq!(restored.len(), 2); // only the first range survives
+
+        // A malformed interior range record is a hard error.
+        let mut lines: Vec<&str> = full.lines().collect();
+        lines[1] = "{\"run_start\":0,\"entries\":7}";
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let err = load_completed(&path, &p).unwrap_err();
+        assert!(err.to_string().contains("entries"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn range_records_validate_seeds_per_entry() {
+        let p = plan();
+        let path = temp_path("range-seed");
+        let mut journal = Journal::create(&path, &p).unwrap();
+        let report = run_plan_resilient(&p, &RunConfig::new(1), task).unwrap();
+        let records: Vec<&TaskRecord> = report
+            .outcomes
+            .iter()
+            .map(|o| o.record().unwrap())
+            .collect();
+        // Write the run shifted by one: every entry's grid coordinates
+        // and seed disagree with the index implied by its position.
+        journal.append_run(1, &records[0..3]).unwrap();
+        drop(journal);
+        let err = load_completed(&path, &p).unwrap_err();
+        assert!(matches!(err, HarnessError::Checkpoint { .. }), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -19,8 +19,12 @@
 //! * [`runner`] — executes a plan's tasks and collects per-task records
 //!   in plan order; [`runner::run_plan_resilient`] adds task isolation
 //!   (`catch_unwind`), deterministic retry and checkpoint/resume;
+//! * [`solve`] — the typed solve-phase pipeline: a [`SolvePlan`] runs one
+//!   solver task per sweep point on the same pool, returning typed records
+//!   in plan order, bit-identical to serial at any worker count;
 //! * [`checkpoint`] — the JSONL journal of completed tasks behind
-//!   `--checkpoint` / `--resume`;
+//!   `--checkpoint` / `--resume`, with range-record compaction of
+//!   carried-forward tasks on resume;
 //! * [`artifact`] — versioned JSON artifacts (`schema_version`,
 //!   provenance, per-task telemetry) plus a tolerance-aware [`artifact::diff`]
 //!   for regression checking;
@@ -60,6 +64,7 @@ pub mod plan;
 pub mod pool;
 pub mod runner;
 pub mod seed;
+pub mod solve;
 pub mod telemetry;
 
 pub use error::HarnessError;
@@ -69,4 +74,5 @@ pub use runner::{
     run_plan, run_plan_resilient, FaultPlan, RunConfig, RunReport, TaskCtx, TaskFailure,
     TaskOutcome, TaskRecord,
 };
+pub use solve::{run_solve_plan, SolveCtx, SolvePlan, SolveRecord};
 pub use telemetry::Registry;

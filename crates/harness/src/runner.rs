@@ -445,9 +445,20 @@ where
         Some(path) => {
             let mut journal = checkpoint::Journal::create(path, plan)?;
             // Restored tasks are part of this run's completed set; carry
-            // them forward so the new journal is self-contained.
-            for (&index, record) in &restored {
-                journal.append(index, record)?;
+            // them forward so the new journal is self-contained. Each
+            // maximal contiguous index run compacts into one range
+            // record — one write and flush per gap, not per task.
+            let mut entries = restored.iter().peekable();
+            while let Some((&start, first)) = entries.next() {
+                let mut batch = vec![first];
+                while let Some(&(&index, record)) = entries.peek() {
+                    if index != start + batch.len() {
+                        break;
+                    }
+                    batch.push(record);
+                    entries.next();
+                }
+                journal.append_run(start, &batch)?;
             }
             Some(Mutex::new(journal))
         }

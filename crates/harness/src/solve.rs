@@ -1,0 +1,262 @@
+//! The parallel solve-phase pipeline: typed solver sweeps on the pool.
+//!
+//! The weight sweep behind the paper's power/latency trade-off curve and
+//! the bisection behind constrained policies are *solve* phases: each
+//! point runs policy iteration, no Monte-Carlo replication, and the
+//! output is a typed solution (policy + gain), not a JSON measurement.
+//! They used to run serially while the simulation phase next door ran on
+//! every core.
+//!
+//! A [`SolvePlan`] is the solve-phase analogue of [`crate::plan::Plan`]:
+//! an ordered list of sweep points under one root seed, one task per
+//! point. [`run_solve_plan`] executes it on the same work-stealing
+//! [`crate::pool`], returning typed [`SolveRecord`]s **in plan order**
+//! regardless of worker count. Per-task seeds derive from grid position
+//! only ([`crate::seed::derive_seed`]), so a pure solve function is
+//! bit-identical across any worker count — the serial `workers == 1`
+//! path and the stolen-from-a-deque path compute exactly the same
+//! floating-point story, and any order-dependent post-processing (say, a
+//! frontier dedup) can simply run over the returned records in plan
+//! order.
+//!
+//! Solves are deterministic, so there is no retry ladder here: the first
+//! failing task (in plan order) aborts with [`HarnessError::Task`], like
+//! the strict runner.
+
+use crate::plan::PlanPoint;
+use crate::seed::derive_seed;
+use crate::{pool, HarnessError};
+// dpm-lint: allow(nondeterminism, reason = "per-solve wall_secs is a wall-clock diagnostic; canonical artifact fields never depend on it")
+use std::time::Instant;
+
+/// A solve-phase plan: one solver task per sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolvePlan {
+    name: String,
+    root_seed: u64,
+    points: Vec<PlanPoint>,
+}
+
+impl SolvePlan {
+    /// Creates an empty solve plan.
+    #[must_use]
+    pub fn new(name: impl Into<String>, root_seed: u64) -> SolvePlan {
+        SolvePlan {
+            name: name.into(),
+            root_seed,
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a sweep point (one solver task).
+    #[must_use]
+    pub fn point(mut self, point: PlanPoint) -> SolvePlan {
+        self.points.push(point);
+        self
+    }
+
+    /// The plan's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The root seed all task seeds derive from.
+    #[must_use]
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// The sweep points, in plan order.
+    #[must_use]
+    pub fn points(&self) -> &[PlanPoint] {
+        &self.points
+    }
+
+    /// Number of solver tasks.
+    #[must_use]
+    pub fn n_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The derived seed of one task — a pure function of the root seed
+    /// and the point index, never of scheduling.
+    #[must_use]
+    pub fn task_seed(&self, index: usize) -> u64 {
+        derive_seed(self.root_seed, index as u64, 0)
+    }
+}
+
+/// Everything one solver task may depend on.
+#[derive(Debug)]
+pub struct SolveCtx<'a> {
+    /// The sweep point this solve belongs to.
+    pub point: &'a PlanPoint,
+    /// Index of the point in the plan.
+    pub index: usize,
+    /// The task's derived seed (solvers are deterministic; this exists so
+    /// randomized warm starts, if ever added, stay schedule-independent).
+    pub seed: u64,
+}
+
+/// The typed outcome of one solver task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRecord<T> {
+    /// Index of the sweep point.
+    pub index: usize,
+    /// The solver's typed output.
+    pub output: T,
+    /// Wall-clock seconds the solve took (volatile; never part of
+    /// canonical artifact fields).
+    pub wall_secs: f64,
+}
+
+/// Runs every task of `plan` on `workers` threads and returns typed
+/// records in plan order.
+///
+/// `solve` is called once per point with a [`SolveCtx`]; `workers` is
+/// clamped to `1..=n_points`, and `workers == 1` takes the pool's serial
+/// reference path. Because the records come back in plan order and seeds
+/// ignore scheduling, a pure `solve` makes the whole phase bit-identical
+/// at any worker count.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::InvalidPlan`] for an empty plan and
+/// [`HarnessError::Task`] for the first failing task in plan order.
+pub fn run_solve_plan<T, F>(
+    plan: &SolvePlan,
+    workers: usize,
+    solve: F,
+) -> Result<Vec<SolveRecord<T>>, HarnessError>
+where
+    T: Send,
+    F: Fn(&SolveCtx<'_>) -> Result<T, String> + Sync,
+{
+    if plan.points.is_empty() {
+        return Err(HarnessError::InvalidPlan {
+            reason: format!("solve plan `{}` has no sweep points", plan.name),
+        });
+    }
+    let outcomes = pool::run(plan.n_points(), workers, |index| {
+        let ctx = SolveCtx {
+            // dpm-lint: allow(slice_index, reason = "pool::run hands out index < n_tasks == points.len()")
+            point: &plan.points[index],
+            index,
+            seed: plan.task_seed(index),
+        };
+        // dpm-lint: allow(nondeterminism, reason = "measures the solve's wall_secs diagnostic; excluded from canonical artifact comparison")
+        let start = Instant::now();
+        let output = solve(&ctx);
+        (output, start.elapsed().as_secs_f64())
+    });
+    let mut records = Vec::with_capacity(outcomes.len());
+    for (index, (output, wall_secs)) in outcomes.into_iter().enumerate() {
+        match output {
+            Ok(output) => records.push(SolveRecord {
+                index,
+                output,
+                wall_secs,
+            }),
+            Err(message) => {
+                return Err(HarnessError::Task {
+                    index,
+                    // dpm-lint: allow(slice_index, reason = "index enumerates outcomes, one per plan point")
+                    label: plan.points[index].label().to_owned(),
+                    message,
+                });
+            }
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(n: usize) -> SolvePlan {
+        let mut plan = SolvePlan::new("solves", 7);
+        for i in 0..n {
+            #[allow(clippy::cast_precision_loss)]
+            let w = 0.5 + i as f64;
+            plan = plan.point(PlanPoint::new(format!("w={w}")).with("weight", w));
+        }
+        plan
+    }
+
+    fn solve(ctx: &SolveCtx<'_>) -> Result<(f64, u64), String> {
+        let w = ctx.point.param("weight").unwrap().as_f64().unwrap();
+        // A stand-in for policy iteration: a pure function of the point.
+        Ok((w * w + 1.0 / (w + 1.0), ctx.seed))
+    }
+
+    #[test]
+    fn records_come_back_in_plan_order_with_typed_output() {
+        let p = plan(9);
+        let records = run_solve_plan(&p, 4, solve).unwrap();
+        assert_eq!(records.len(), 9);
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(record.index, i);
+            assert_eq!(record.output.1, p.task_seed(i));
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_outputs() {
+        let p = plan(13);
+        let strip = |records: Vec<SolveRecord<(f64, u64)>>| {
+            records
+                .into_iter()
+                .map(|r| (r.index, r.output))
+                .collect::<Vec<_>>()
+        };
+        let serial = strip(run_solve_plan(&p, 1, solve).unwrap());
+        for workers in [2, 3, 8] {
+            assert_eq!(strip(run_solve_plan(&p, workers, solve).unwrap()), serial);
+        }
+    }
+
+    #[test]
+    fn first_failure_in_plan_order_wins() {
+        let p = plan(6);
+        let err = run_solve_plan(&p, 3, |ctx| {
+            if ctx.index >= 2 {
+                Err(format!("diverged at {}", ctx.index))
+            } else {
+                solve(ctx)
+            }
+        })
+        .unwrap_err();
+        match err {
+            HarnessError::Task {
+                index,
+                label,
+                message,
+            } => {
+                assert_eq!(index, 2);
+                assert_eq!(label, "w=2.5");
+                assert!(message.contains("diverged at 2"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_rejected() {
+        let p = SolvePlan::new("empty", 1);
+        assert!(matches!(
+            run_solve_plan(&p, 1, solve),
+            Err(HarnessError::InvalidPlan { .. })
+        ));
+    }
+
+    #[test]
+    fn task_seeds_are_distinct_and_stable() {
+        let p = plan(5);
+        let seeds: Vec<u64> = (0..5).map(|i| p.task_seed(i)).collect();
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len());
+        assert_eq!(seeds, (0..5).map(|i| p.task_seed(i)).collect::<Vec<_>>());
+    }
+}

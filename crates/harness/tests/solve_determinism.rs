@@ -1,0 +1,85 @@
+//! Solve-phase determinism: a [`SolvePlan`] run with 1 worker and with N
+//! workers must produce bit-identical records — same plan order, same
+//! per-task seeds, same float bit patterns in every output.
+//!
+//! This is the solve-phase twin of the simulation determinism gate: the
+//! weight sweep and constrained bisection route through the same
+//! work-stealing pool, and nothing about scheduling may leak into the
+//! results.
+
+use dpm_core::{optimize, PmSystem, SpModel, SrModel};
+use dpm_harness::{solve, PlanPoint, SolvePlan};
+
+fn system() -> PmSystem {
+    PmSystem::builder()
+        .provider(SpModel::dac99_server().expect("paper parameters"))
+        .requestor(SrModel::poisson(1.0 / 6.0).expect("positive rate"))
+        .capacity(3)
+        .instant_rate(100.0)
+        .build()
+        .expect("valid system")
+}
+
+fn plan() -> SolvePlan {
+    let mut plan = SolvePlan::new("solve-determinism-gate", 20_260_806);
+    for w in [0.05, 0.5, 2.0, 8.0, 40.0] {
+        plan = plan.point(PlanPoint::new(format!("w={w}")).with("weight", w));
+    }
+    plan
+}
+
+/// Everything schedule-sensitive about one solve, down to float bits.
+type Fingerprint = (usize, u64, Vec<usize>, u64, u64, usize);
+
+fn sweep(workers: usize) -> Vec<Fingerprint> {
+    let sys = system();
+    let records = solve::run_solve_plan(&plan(), workers, |ctx| {
+        let w = ctx.point.param("weight").unwrap().as_f64().unwrap();
+        optimize::optimal_policy(&sys, w).map_err(|e| e.to_string())
+    })
+    .expect("solvable at every weight");
+    records
+        .iter()
+        .enumerate()
+        .map(|(at, record)| {
+            assert_eq!(at, record.index, "records must come back in plan order");
+            let solution = &record.output;
+            (
+                record.index,
+                plan().task_seed(record.index),
+                solution
+                    .policy()
+                    .to_mdp_policy(&sys)
+                    .unwrap()
+                    .actions()
+                    .to_vec(),
+                solution.metrics().power().to_bits(),
+                solution.metrics().queue_length().to_bits(),
+                solution.iterations(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn one_worker_and_n_workers_are_bit_identical() {
+    let reference = sweep(1);
+    assert_eq!(reference.len(), 5);
+    for workers in [2, 3, 8] {
+        assert_eq!(sweep(workers), reference, "workers = {workers}");
+    }
+}
+
+#[test]
+fn task_seeds_depend_on_plan_position_not_scheduling() {
+    let p = plan();
+    let seeds: Vec<u64> = (0..p.n_points()).map(|i| p.task_seed(i)).collect();
+    let again: Vec<u64> = (0..p.n_points()).map(|i| p.task_seed(i)).collect();
+    assert_eq!(seeds, again);
+    let distinct: std::collections::BTreeSet<u64> = seeds.iter().copied().collect();
+    assert_eq!(
+        distinct.len(),
+        seeds.len(),
+        "per-task seeds must be distinct"
+    );
+}

@@ -7,7 +7,10 @@
 //! * [`DVector`] and [`DMatrix`] — growable dense vectors and row-major
 //!   matrices over `f64`;
 //! * [`Lu`] — LU decomposition with partial pivoting, giving linear solves,
-//!   determinants and inverses;
+//!   determinants, inverses, and Sherman–Morrison–Woodbury row-update
+//!   solves ([`Lu::solve_updated`]) for factorization reuse;
+//! * [`SparseLu`] — sparse direct LU over CSR rows, for stiff
+//!   generator-shaped systems where iterative sweeps are impractical;
 //! * [`kron`] / [`kron_sum`] — the Kronecker (tensor) product and sum used by
 //!   the paper's compositional generator construction (Definition 4.4);
 //! * [`CsrMatrix`] — compressed sparse row storage with `y = Ax` / `y = Aᵀx`
@@ -42,6 +45,7 @@ mod kron;
 mod lu;
 mod matrix;
 pub mod sparse;
+mod sparse_lu;
 mod vector;
 
 pub use error::LinalgError;
@@ -52,6 +56,7 @@ pub use kron::{kron, kron_sum};
 pub use lu::Lu;
 pub use matrix::DMatrix;
 pub use sparse::CsrMatrix;
+pub use sparse_lu::SparseLu;
 pub use vector::DVector;
 
 /// Default absolute tolerance used by comparisons throughout the workspace.

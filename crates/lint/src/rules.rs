@@ -21,6 +21,8 @@ pub const SLICE_INDEX: &str = "slice_index";
 pub const FLOAT_EQ: &str = "float_eq";
 /// `let _ =` discarding a (probable) `Result`.
 pub const SWALLOWED_ERROR: &str = "swallowed_error";
+/// `BTreeMap`/`BTreeSet` keyed on float bit patterns.
+pub const FLOAT_ORD_KEY: &str = "float_ord_key";
 /// A malformed allow directive (bad grammar, unknown rule, empty reason).
 pub const INVALID_ALLOW: &str = "invalid_allow";
 /// An allow directive that suppressed nothing.
@@ -45,6 +47,12 @@ pub const ALLOWABLE_RULES: &[(&str, &str)] = &[
     (
         SWALLOWED_ERROR,
         "`let _ =` silently discarding a value (typically a Result)",
+    ),
+    (
+        FLOAT_ORD_KEY,
+        "BTreeMap/BTreeSet keyed on f64/f32 bit-pattern wrappers: bit order disagrees \
+         with numeric order (sign bit, -0.0 vs 0.0, NaN payloads), so iteration and \
+         range queries are not numerically ordered",
     ),
 ];
 
@@ -243,6 +251,16 @@ pub fn raw_findings(file: &LexedFile, kind: FileKind, rel_path: &str) -> Vec<Fin
                 "`let _ =` discards a value (typically a `Result`); handle it or annotate",
             ));
         }
+        for col in float_ord_key_columns(code) {
+            out.push(Finding::new(
+                FLOAT_ORD_KEY,
+                rel_path,
+                lineno,
+                col + 1,
+                "ordered container keyed on float bits: bit order disagrees with numeric \
+                 order; key on a quantized integer or annotate why bit order is sound",
+            ));
+        }
     }
     out
 }
@@ -387,6 +405,68 @@ fn float_eq_columns(code: &str) -> Vec<usize> {
     }
     cols.sort_unstable();
     cols
+}
+
+/// 0-based columns of `BTreeMap`/`BTreeSet` tokens whose first (key)
+/// generic argument names a float type or a float bit-pattern wrapper.
+fn float_ord_key_columns(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut cols = Vec::new();
+    for needle in ["BTreeMap", "BTreeSet"] {
+        for (at, _) in code.match_indices(needle) {
+            let ok_start = at == 0 || !is_ident_byte(bytes[at - 1]);
+            if !ok_start {
+                continue;
+            }
+            // Optional turbofish `::`, then the opening `<` of the key type.
+            let mut p = at + needle.len();
+            while bytes.get(p) == Some(&b' ') {
+                p += 1;
+            }
+            if bytes.get(p) == Some(&b':') && bytes.get(p + 1) == Some(&b':') {
+                p += 2;
+                while bytes.get(p) == Some(&b' ') {
+                    p += 1;
+                }
+            }
+            if bytes.get(p) != Some(&b'<') {
+                continue;
+            }
+            p += 1;
+            // The key type runs to the first depth-0 `,` (map) or `>` (set).
+            let start = p;
+            let mut depth = 0usize;
+            while p < bytes.len() {
+                match bytes[p] {
+                    b'<' | b'(' | b'[' => depth += 1,
+                    b'>' | b',' if depth == 0 => break,
+                    b'>' | b')' | b']' => depth -= 1,
+                    _ => {}
+                }
+                p += 1;
+            }
+            if key_is_float_bits(&code[start..p]) {
+                cols.push(at);
+            }
+        }
+    }
+    cols.sort_unstable();
+    cols
+}
+
+/// Whether a key-type string names a float (`f64`, `f32`, word-bounded)
+/// or a bit-pattern wrapper (any identifier containing `Bits`).
+fn key_is_float_bits(key: &str) -> bool {
+    let bytes = key.as_bytes();
+    for (at, tok) in key.match_indices("f64").chain(key.match_indices("f32")) {
+        let ok_start = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + tok.len();
+        let ok_end = bytes.get(end).copied().is_none_or(|b| !is_ident_byte(b));
+        if ok_start && ok_end {
+            return true;
+        }
+    }
+    key.contains("Bits")
 }
 
 /// 0-based columns of `let _ =` bindings that are not the infallible
@@ -549,6 +629,46 @@ mod tests {
             let out = findings_in(clean, FileKind::Library, rel);
             assert!(out.is_empty(), "`{clean}` flagged: {out:?}");
         }
+    }
+
+    #[test]
+    fn float_ord_key_needs_a_float_bit_key() {
+        let rel = "crates/core/src/a.rs";
+        for hot in [
+            "let m: BTreeMap<F64Bits, usize> = BTreeMap::new();\n",
+            "let s: BTreeSet<WeightBits> = BTreeSet::new();\n",
+            "let t = BTreeMap::<OrderedFloat<f64>, Policy>::new();\n",
+            "fn index(m: &BTreeMap<(u32, F64Bits), V>) {}\n",
+        ] {
+            let out = findings_in(hot, FileKind::Library, rel);
+            assert!(
+                out.iter().any(|f| f.rule == FLOAT_ORD_KEY),
+                "`{hot}` missed: {out:?}"
+            );
+        }
+        for clean in [
+            "let m: BTreeMap<u64, f64> = BTreeMap::new();\n",
+            "let s: BTreeSet<String> = BTreeSet::new();\n",
+            "let v: BTreeMap<usize, Vec<f64>> = BTreeMap::new();\n",
+            "let n = BTreeMap::new();\n",
+            "let o: MyBTreeMap<f64> = make();\n",
+        ] {
+            let out = findings_in(clean, FileKind::Library, rel);
+            assert!(
+                out.iter().all(|f| f.rule != FLOAT_ORD_KEY),
+                "`{clean}` flagged: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn float_ord_key_fires_in_binaries_too() {
+        let out = findings_in(
+            "let m: BTreeMap<F64Bits, usize> = BTreeMap::new();\n",
+            FileKind::Bin,
+            "crates/core/src/bin/x.rs",
+        );
+        assert_eq!(rules_of(&out), vec![FLOAT_ORD_KEY]);
     }
 
     #[test]

@@ -96,6 +96,18 @@ fn slice_index_fixture_fires_only_in_the_harness_library() {
 }
 
 #[test]
+fn float_key_fixture_counts_bit_pattern_keys_and_honors_allows() {
+    let out = check("float_key.rs", FileKind::Library, "crates/core/src/f.rs");
+    assert_eq!(
+        rule_names(&out),
+        vec![rules::FLOAT_ORD_KEY; 3],
+        "{:#?}",
+        out.findings
+    );
+    assert_eq!(out.allows_used, 1);
+}
+
+#[test]
 fn allow_fixture_suppresses_everything_with_reasons() {
     let out = check("allows.rs", FileKind::Library, "crates/core/src/f.rs");
     assert!(out.findings.is_empty(), "{:#?}", out.findings);

@@ -1,0 +1,16 @@
+//! Planted float-bit-keyed ordered containers: three findings, one
+//! allowed occurrence, and integer/string keys that must stay clean.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+struct F64Bits(u64);
+
+fn planted() {
+    let by_weight: BTreeMap<F64Bits, usize> = BTreeMap::new();
+    let turbofish = BTreeMap::<OrderedFloat<f64>, usize>::new();
+    let frontier: BTreeSet<WeightBits> = BTreeSet::new();
+    // dpm-lint: allow(float_ord_key, reason = "fixture: keys are quantized before to_bits, so bit order equals numeric order")
+    let allowed: BTreeMap<F64Bits, usize> = BTreeMap::new();
+    let clean_value: BTreeMap<u64, f64> = BTreeMap::new();
+    let clean_key: BTreeSet<String> = BTreeSet::new();
+}

@@ -16,9 +16,9 @@
 //! all stationary policies (and by Theorem 2.3 of the paper over all
 //! piecewise-stationary ones).
 
-use dpm_linalg::{DMatrix, DVector};
+use dpm_linalg::{CsrMatrix, DMatrix, DVector, Lu, SparseLu};
 
-use crate::{Ctmdp, MdpError, Policy};
+use crate::{ActionCsr, Ctmdp, MdpError, Policy};
 
 /// Margin applied to the uniformization constant by the sparse iterative
 /// evaluation backend.
@@ -47,8 +47,27 @@ pub enum EvalBackend {
     /// than the [`ITERATIVE_MAX_SWEEPS`] budget. Re-pose the model with a
     /// gentler instant rate (e.g. `PmSystemBuilder::instant_rate(1e2)`,
     /// which converges comfortably on the paper's models up to Q = 50)
-    /// before selecting this backend.
+    /// before selecting this backend — or use [`EvalBackend::SparseDirect`],
+    /// whose factorization cost is independent of the rate spread.
     SparseIterative,
+    /// Sparse direct LU solve of the evaluation system over the policy's
+    /// CSR generator, with the dense gain column ordered last so fill-in
+    /// stays `O(nnz)`. Exact to rounding like [`EvalBackend::Dense`] but
+    /// near-linear in the state count for generator-shaped sparsity, and —
+    /// unlike [`EvalBackend::SparseIterative`] — indifferent to stiffness:
+    /// instant-rate surrogates cost nothing extra, retiring that backend's
+    /// re-posing caveat.
+    SparseDirect,
+    /// Dense LU with factorization reuse across policy-iteration rounds:
+    /// the evaluation system's row `i` depends only on state `i`'s chosen
+    /// action, so after an improvement step that changes `m` actions the
+    /// cached factors are corrected with a Sherman–Morrison–Woodbury
+    /// row-update solve (`O((m+1)·n²)`) instead of refactorized
+    /// (`O(n³)`). Falls back to a full refactorization when more than
+    /// `n/4` rows changed or an `O(nnz)` residual check rejects the
+    /// updated solve. Outside policy iteration this behaves exactly like
+    /// [`EvalBackend::Dense`].
+    CachedLu,
     /// Graceful degradation: the dense LU solve runs first, and a numerical
     /// failure — a `Singular`-induced [`MdpError::NotUnichain`], any
     /// [`MdpError::Numerical`], or a non-finite gain/bias — triggers one
@@ -363,6 +382,71 @@ pub fn evaluate_resilient(
     }
 }
 
+/// Solves the evaluation equations by sparse direct LU over the policy's
+/// CSR generator ([`EvalBackend::SparseDirect`]).
+///
+/// Unknown ordering puts the bias components first and the gain *last*:
+/// the gain column is the only dense column of the system, and eliminating
+/// it last keeps the factorization's fill-in `O(nnz)`. Because the solve is
+/// direct, stiff rate spectra (instant-event surrogate rates) cost nothing
+/// beyond their entries — the caveat that forces
+/// [`EvalBackend::SparseIterative`] onto re-posed models does not apply.
+///
+/// # Errors
+///
+/// As [`evaluate`]: validation errors for mismatched inputs,
+/// [`MdpError::NotUnichain`] if the system is singular (multichain policy).
+pub fn evaluate_sparse_direct(
+    mdp: &Ctmdp,
+    policy: &Policy,
+    reference_state: usize,
+) -> Result<Evaluation, MdpError> {
+    mdp.check_policy(policy)?;
+    let n = mdp.n_states();
+    if reference_state >= n {
+        return Err(MdpError::InvalidParameter {
+            reason: format!("reference state {reference_state} out of range for {n} states"),
+        });
+    }
+    let generator = mdp.sparse_generator_for(policy)?;
+    let costs = mdp.cost_rates_for(policy)?;
+
+    // Unknowns: x = (v_j for j != reference, then g). Equation for state i:
+    //   Σ_j G_ij v_j − g = −c_i        (with v_reference = 0)
+    let col_of = |j: usize| -> Option<usize> {
+        use std::cmp::Ordering;
+        match j.cmp(&reference_state) {
+            Ordering::Less => Some(j),
+            Ordering::Equal => None,
+            Ordering::Greater => Some(j - 1),
+        }
+    };
+    let mut triplets = Vec::with_capacity(generator.csr().nnz() + n);
+    for (i, j, v) in generator.csr().iter() {
+        if let Some(c) = col_of(j) {
+            triplets.push((i, c, v));
+        }
+    }
+    for i in 0..n {
+        triplets.push((i, n - 1, -1.0));
+    }
+    let a = CsrMatrix::from_triplets(n, n, &triplets).map_err(MdpError::Numerical)?;
+    let b = DVector::from_fn(n, |i| -costs[i]);
+    let solution = match SparseLu::new(&a) {
+        Ok(lu) => lu.solve(&b).map_err(MdpError::Numerical)?,
+        Err(dpm_linalg::LinalgError::Singular { .. }) => {
+            return Err(MdpError::NotUnichain { iteration: 0 });
+        }
+        Err(e) => return Err(MdpError::Numerical(e)),
+    };
+    let gain = solution[n - 1];
+    let bias = DVector::from_fn(n, |j| match col_of(j) {
+        Some(c) => solution[c],
+        None => 0.0,
+    });
+    Ok(Evaluation { gain, bias })
+}
+
 /// Dispatches the evaluation step according to `backend`.
 fn evaluate_with(
     mdp: &Ctmdp,
@@ -371,10 +455,148 @@ fn evaluate_with(
     backend: EvalBackend,
 ) -> Result<Evaluation, MdpError> {
     match backend {
-        EvalBackend::Dense => evaluate(mdp, policy, reference_state),
+        // A one-off evaluation has no factorization to reuse, so the cached
+        // backend degenerates to the plain dense solve.
+        EvalBackend::Dense | EvalBackend::CachedLu => evaluate(mdp, policy, reference_state),
         EvalBackend::SparseIterative => evaluate_iterative(mdp, policy, reference_state),
+        EvalBackend::SparseDirect => evaluate_sparse_direct(mdp, policy, reference_state),
         EvalBackend::Resilient => evaluate_resilient(mdp, policy, reference_state),
     }
+}
+
+/// Cached dense factorization for [`EvalBackend::CachedLu`]: the LU factors
+/// of the evaluation system assembled for `actions`, reusable while the
+/// policy stays close to that base.
+struct EvalCache {
+    lu: Lu,
+    /// Policy actions at factorization time, row by row.
+    actions: Vec<usize>,
+}
+
+/// Maps evaluation-system singularities to the unichain diagnosis, like
+/// [`evaluate`].
+fn lu_or_not_unichain(a: DMatrix) -> Result<Lu, MdpError> {
+    match a.lu() {
+        Ok(lu) => Ok(lu),
+        Err(dpm_linalg::LinalgError::Singular { .. }) => {
+            Err(MdpError::NotUnichain { iteration: 0 })
+        }
+        Err(e) => Err(MdpError::Numerical(e)),
+    }
+}
+
+/// Policy evaluation with dense-LU factorization reuse across rounds.
+///
+/// Assembles the full system and factorizes on the first call (or whenever
+/// the policy drifted more than `n/4` rows from the cached base), and
+/// otherwise corrects the cached solve with a Sherman–Morrison–Woodbury
+/// row update covering exactly the states whose action differs from the
+/// base policy. Every updated solve is certified against the evaluation
+/// equations over the sparse generator; a residual above
+/// `1e-8·(1 + |g| + ‖c‖_∞)` triggers a full refactorization, so results
+/// stay within direct-solve accuracy unconditionally.
+fn evaluate_cached(
+    mdp: &Ctmdp,
+    policy: &Policy,
+    reference_state: usize,
+    cache: &mut Option<EvalCache>,
+) -> Result<Evaluation, MdpError> {
+    mdp.check_policy(policy)?;
+    let n = mdp.n_states();
+    if reference_state >= n {
+        return Err(MdpError::InvalidParameter {
+            reason: format!("reference state {reference_state} out of range for {n} states"),
+        });
+    }
+    let col_of = |j: usize| -> Option<usize> {
+        use std::cmp::Ordering;
+        match j.cmp(&reference_state) {
+            Ordering::Less => Some(1 + j),
+            Ordering::Equal => None,
+            Ordering::Greater => Some(j),
+        }
+    };
+    let costs = mdp.cost_rates_for(policy)?;
+    let b = DVector::from_fn(n, |i| -costs[i]);
+
+    let refresh_limit = (n / 4).max(1);
+    let changed: Vec<usize> = match cache {
+        Some(c) => (0..n)
+            .filter(|&i| c.actions[i] != policy.action(i))
+            .collect(),
+        None => (0..n).collect(),
+    };
+
+    if let Some(c) = cache.as_ref() {
+        if changed.len() <= refresh_limit {
+            // Δrow_i = row_i(new action) − row_i(base action); only the
+            // generator entries differ (the gain column is constant).
+            let updates: Vec<(usize, DVector)> = changed
+                .iter()
+                .map(|&i| {
+                    let mut delta = DVector::zeros(n);
+                    let new = &mdp.actions(i)[policy.action(i)];
+                    let old = &mdp.actions(i)[c.actions[i]];
+                    for &(to, rate) in new.rates() {
+                        if let Some(col) = col_of(to) {
+                            delta[col] += rate;
+                        }
+                    }
+                    for &(to, rate) in old.rates() {
+                        if let Some(col) = col_of(to) {
+                            delta[col] -= rate;
+                        }
+                    }
+                    if let Some(col) = col_of(i) {
+                        delta[col] -= new.exit_rate() - old.exit_rate();
+                    }
+                    (i, delta)
+                })
+                .collect();
+            if let Ok(solution) = c.lu.solve_updated(&updates, &b) {
+                let gain = solution[0];
+                let bias = DVector::from_fn(n, |j| match col_of(j) {
+                    Some(col) => solution[col],
+                    None => 0.0,
+                });
+                let eval = Evaluation { gain, bias };
+                if let (true, Ok(residual)) = (
+                    eval.gain.is_finite() && eval.bias.iter().all(f64::is_finite),
+                    evaluation_residual(mdp, policy, |_| eval.gain, &eval.bias),
+                ) {
+                    let scale = 1.0 + eval.gain.abs() + costs.norm_inf();
+                    if residual <= 1e-8 * scale {
+                        return Ok(eval);
+                    }
+                }
+            }
+            // A failed or uncertified update falls through to refactorize.
+        }
+    }
+
+    // Full assembly + factorization; re-seat the cache on the new base.
+    let generator = mdp.generator_for(policy)?;
+    let mut a = DMatrix::zeros(n, n);
+    for i in 0..n {
+        a[(i, 0)] = -1.0;
+        for j in 0..n {
+            if let Some(c) = col_of(j) {
+                a[(i, c)] = generator.rate(i, j);
+            }
+        }
+    }
+    let lu = lu_or_not_unichain(a)?;
+    let solution = lu.solve(&b).map_err(MdpError::Numerical)?;
+    *cache = Some(EvalCache {
+        lu,
+        actions: (0..n).map(|i| policy.action(i)).collect(),
+    });
+    let gain = solution[0];
+    let bias = DVector::from_fn(n, |j| match col_of(j) {
+        Some(c) => solution[c],
+        None => 0.0,
+    });
+    Ok(Evaluation { gain, bias })
 }
 
 /// Test quantity `c_i^a + Σ_j s_{i,j}^a v_j` for action `a` in state `i`
@@ -386,6 +608,76 @@ fn test_quantity(mdp: &Ctmdp, state: usize, action: usize, bias: &DVector) -> f6
         q += rate * (bias[to] - bias[state]);
     }
     q
+}
+
+/// One policy-improvement sweep by direct scan of the nested per-action
+/// rate lists — the reference implementation the CSR kernel is checked
+/// against. In every state the incumbent action wins unless a challenger
+/// (scanned in action-index order) beats its test quantity by more than
+/// `tolerance`.
+///
+/// # Panics
+///
+/// Panics if `policy` does not match `mdp` or `bias` is too short; callers
+/// inside policy iteration have already validated both.
+#[must_use]
+pub fn improve_step(mdp: &Ctmdp, policy: &Policy, bias: &DVector, tolerance: f64) -> Policy {
+    let mut next = policy.clone();
+    for state in 0..mdp.n_states() {
+        let incumbent = policy.action(state);
+        let mut best_action = incumbent;
+        let mut best_q = test_quantity(mdp, state, incumbent, bias);
+        for action in 0..mdp.actions(state).len() {
+            if action == incumbent {
+                continue;
+            }
+            let q = test_quantity(mdp, state, action, bias);
+            if q < best_q - tolerance {
+                best_q = q;
+                best_action = action;
+            }
+        }
+        if best_action != incumbent {
+            next = next.with_action(state, best_action);
+        }
+    }
+    next
+}
+
+/// One policy-improvement sweep over a precomputed [`ActionCsr`] table —
+/// `O(nnz)` contiguous traversal, bit-identical in argmax choice and
+/// tie-breaking to [`improve_step`].
+///
+/// # Panics
+///
+/// As [`improve_step`], if the table/policy/bias dimensions disagree.
+#[must_use]
+pub fn improve_step_csr(
+    kernel: &ActionCsr,
+    policy: &Policy,
+    bias: &DVector,
+    tolerance: f64,
+) -> Policy {
+    let mut next = policy.clone();
+    for state in 0..kernel.n_states() {
+        let incumbent = policy.action(state);
+        let mut best_action = incumbent;
+        let mut best_q = kernel.test_quantity(state, incumbent, bias);
+        for action in 0..kernel.n_actions(state) {
+            if action == incumbent {
+                continue;
+            }
+            let q = kernel.test_quantity(state, action, bias);
+            if q < best_q - tolerance {
+                best_q = q;
+                best_action = action;
+            }
+        }
+        if best_action != incumbent {
+            next = next.with_action(state, best_action);
+        }
+    }
+    next
 }
 
 /// Runs policy iteration to the average-cost optimal stationary policy.
@@ -433,6 +725,8 @@ pub fn policy_iteration_from(
 ) -> Result<Solution, MdpError> {
     mdp.check_policy(&initial)?;
     let n = mdp.n_states();
+    let kernel = mdp.sparse_actions();
+    let mut cache = None;
     let mut policy = initial;
     let mut eval_secs = Vec::new();
     let mut gain_history = Vec::new();
@@ -440,39 +734,24 @@ pub fn policy_iteration_from(
     for iteration in 1..=options.max_iterations {
         // dpm-lint: allow(nondeterminism, reason = "eval_secs is a wall-clock diagnostic in the iteration stats, not part of the solved policy or values")
         let eval_start = std::time::Instant::now();
-        let eval =
-            evaluate_with(mdp, &policy, options.reference_state, options.backend).map_err(|e| {
-                match e {
-                    MdpError::NotUnichain { .. } => MdpError::NotUnichain { iteration },
-                    other => other,
-                }
-            })?;
+        let eval = match options.backend {
+            EvalBackend::CachedLu => {
+                evaluate_cached(mdp, &policy, options.reference_state, &mut cache)
+            }
+            backend => evaluate_with(mdp, &policy, options.reference_state, backend),
+        }
+        .map_err(|e| match e {
+            MdpError::NotUnichain { .. } => MdpError::NotUnichain { iteration },
+            other => other,
+        })?;
         eval_secs.push(eval_start.elapsed().as_secs_f64());
         gain_history.push(eval.gain);
-        // Improvement step.
-        let mut improved = false;
-        let mut changed = 0usize;
-        let mut next = policy.clone();
-        for state in 0..n {
-            let incumbent = test_quantity(mdp, state, policy.action(state), eval.bias());
-            let mut best_action = policy.action(state);
-            let mut best_q = incumbent;
-            for action in 0..mdp.actions(state).len() {
-                if action == policy.action(state) {
-                    continue;
-                }
-                let q = test_quantity(mdp, state, action, eval.bias());
-                if q < best_q - options.improvement_tolerance {
-                    best_q = q;
-                    best_action = action;
-                }
-            }
-            if best_action != policy.action(state) {
-                improved = true;
-                changed += 1;
-                next = next.with_action(state, best_action);
-            }
-        }
+        // Improvement step over the contiguous per-action CSR rows.
+        let next = improve_step_csr(&kernel, &policy, eval.bias(), options.improvement_tolerance);
+        let changed = (0..n)
+            .filter(|&state| next.action(state) != policy.action(state))
+            .count();
+        let improved = changed > 0;
         improvement_deltas.push(changed);
         if !improved {
             let eval_residual = evaluation_residual(mdp, &policy, |_| eval.gain, &eval.bias)?;
@@ -665,9 +944,11 @@ pub fn policy_iteration_multichain(
 ) -> Result<MultichainSolution, MdpError> {
     mdp.check_policy(&initial)?;
     let n = mdp.n_states();
+    let kernel = mdp.sparse_actions();
     let mut policy = initial;
     let mut eval_secs = Vec::new();
     let mut improvement_deltas = Vec::new();
+    let mut drifts: Vec<f64> = Vec::new();
     for iteration in 1..=options.max_iterations {
         // dpm-lint: allow(nondeterminism, reason = "eval_secs is a wall-clock diagnostic in the iteration stats, not part of the solved policy or values")
         let eval_start = std::time::Instant::now();
@@ -678,41 +959,29 @@ pub fn policy_iteration_multichain(
         let scale = 1.0 + gains.norm_inf();
         let tol = options.improvement_tolerance * scale;
 
-        let drift_of = |state: usize, action: usize| -> f64 {
-            mdp.actions(state)[action]
-                .rates()
-                .iter()
-                .map(|&(to, r)| r * (gains[to] - gains[state]))
-                .sum()
-        };
-        let test_of = |state: usize, action: usize| -> f64 {
-            let spec = &mdp.actions(state)[action];
-            spec.cost_rate()
-                + spec
-                    .rates()
-                    .iter()
-                    .map(|&(to, r)| r * (bias[to] - bias[state]))
-                    .sum::<f64>()
-        };
-
         let mut improved = false;
         let mut changed = 0usize;
         let mut next = policy.clone();
         for state in 0..n {
             let current = policy.action(state);
-            let current_drift = drift_of(state, current);
+            let n_actions = kernel.n_actions(state);
+            // Each action's drift is needed up to three times below; one
+            // contiguous kernel pass computes them all.
+            drifts.clear();
+            drifts.extend((0..n_actions).map(|action| kernel.drift(state, action, gains)));
+            let current_drift = drifts[current];
             // Stage 1: gain improvement.
             let mut best_drift = current_drift;
-            for action in 0..mdp.actions(state).len() {
-                best_drift = best_drift.min(drift_of(state, action));
+            for &drift in &drifts {
+                best_drift = best_drift.min(drift);
             }
             if best_drift < current_drift - tol {
                 // Among (near-)minimal-drift actions, take the best bias.
                 let mut best_action = current;
                 let mut best_test = f64::INFINITY;
-                for action in 0..mdp.actions(state).len() {
-                    if drift_of(state, action) <= best_drift + tol {
-                        let t = test_of(state, action);
+                for (action, &drift) in drifts.iter().enumerate() {
+                    if drift <= best_drift + tol {
+                        let t = kernel.bias_test(state, action, bias);
                         if t < best_test {
                             best_test = t;
                             best_action = action;
@@ -727,15 +996,15 @@ pub fn policy_iteration_multichain(
                 continue;
             }
             // Stage 2: bias improvement among drift-neutral actions.
-            let current_test = test_of(state, current);
+            let current_test = kernel.bias_test(state, current, bias);
             let mut best_action = current;
             let mut best_test = current_test;
-            for action in 0..mdp.actions(state).len() {
+            for (action, &drift) in drifts.iter().enumerate() {
                 if action == current {
                     continue;
                 }
-                if drift_of(state, action) <= current_drift + tol {
-                    let t = test_of(state, action);
+                if drift <= current_drift + tol {
+                    let t = kernel.bias_test(state, action, bias);
                     if t < best_test - tol {
                         best_test = t;
                         best_action = action;
@@ -1107,6 +1376,189 @@ mod resilient_backend_tests {
             evaluate_resilient(&mdp, &Policy::new(vec![0, 0]), 0),
             Err(MdpError::NotUnichain { .. })
         ));
+    }
+}
+
+#[cfg(test)]
+mod kernel_and_reuse_tests {
+    use super::*;
+
+    fn repair_mdp(fast_cost: f64) -> Ctmdp {
+        let mut b = Ctmdp::builder(2);
+        b.action(0, "run", 1.0, &[(1, 1.0)]).unwrap();
+        b.action(1, "slow", 5.0, &[(0, 1.0)]).unwrap();
+        b.action(1, "fast", fast_cost, &[(0, 10.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A larger unichain CTMDP (ring with shortcuts) where every policy is
+    /// irreducible, so the cached-LU path exercises many improvement rounds.
+    fn ring(n: usize) -> Ctmdp {
+        let mut b = Ctmdp::builder(n);
+        for i in 0..n {
+            let next = (i + 1) % n;
+            let cost = 1.0 + (i as f64) * 0.37;
+            b.action(i, "step", cost, &[(next, 1.0 + (i as f64) * 0.01)])
+                .unwrap();
+            let shortcut = (i + 2) % n;
+            if shortcut != i && shortcut != next {
+                b.action(i, "skip", cost * 1.5, &[(next, 0.3), (shortcut, 0.9)])
+                    .unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn csr_improvement_matches_reference_scan_exactly() {
+        let mdp = ring(12);
+        let kernel = mdp.sparse_actions();
+        for policy in mdp.enumerate_policies().into_iter().take(32) {
+            let eval = evaluate(&mdp, &policy, 0).unwrap();
+            let tol = Options::default().improvement_tolerance;
+            let dense = improve_step(&mdp, &policy, eval.bias(), tol);
+            let csr = improve_step_csr(&kernel, &policy, eval.bias(), tol);
+            assert_eq!(dense, csr, "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn sparse_direct_matches_dense_evaluation() {
+        let mdp = repair_mdp(9.0);
+        for policy in mdp.enumerate_policies() {
+            let dense = evaluate(&mdp, &policy, 0).unwrap();
+            let sparse = evaluate_sparse_direct(&mdp, &policy, 0).unwrap();
+            assert!(
+                (dense.gain() - sparse.gain()).abs() < 1e-10,
+                "policy {policy}: {} vs {}",
+                dense.gain(),
+                sparse.gain()
+            );
+            let diff = (dense.bias() - sparse.bias()).norm_inf();
+            assert!(diff < 1e-9, "policy {policy}: bias diff {diff}");
+        }
+    }
+
+    #[test]
+    fn sparse_direct_handles_stiff_rates_directly() {
+        // A 1e6 rate spread needs ~1e6 iterative sweeps but is a plain
+        // direct solve; this is the SparseIterative caveat being retired.
+        let mut b = Ctmdp::builder(3);
+        b.action(0, "instant", 0.5, &[(1, 1e6)]).unwrap();
+        b.action(1, "work", 2.0, &[(2, 1.0)]).unwrap();
+        b.action(2, "rest", 1.0, &[(0, 0.5)]).unwrap();
+        let mdp = b.build().unwrap();
+        let policy = Policy::new(vec![0, 0, 0]);
+        let dense = evaluate(&mdp, &policy, 0).unwrap();
+        let sparse = evaluate_sparse_direct(&mdp, &policy, 0).unwrap();
+        assert!((dense.gain() - sparse.gain()).abs() < 1e-9 * (1.0 + dense.gain().abs()));
+    }
+
+    #[test]
+    fn sparse_direct_diagnoses_multichain_policies() {
+        let mut b = Ctmdp::builder(2);
+        b.action(0, "stay", 1.0, &[]).unwrap();
+        b.action(1, "stay", 2.0, &[]).unwrap();
+        let mdp = b.build().unwrap();
+        assert!(matches!(
+            evaluate_sparse_direct(&mdp, &Policy::new(vec![0, 0]), 0),
+            Err(MdpError::NotUnichain { .. })
+        ));
+    }
+
+    #[test]
+    fn sparse_direct_backend_reaches_the_same_solution() {
+        for fast_cost in [2.0, 9.0, 30.0, 100.0] {
+            let mdp = repair_mdp(fast_cost);
+            let dense = policy_iteration(&mdp, &Options::default()).unwrap();
+            let sparse = policy_iteration(
+                &mdp,
+                &Options {
+                    backend: EvalBackend::SparseDirect,
+                    ..Options::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(dense.policy(), sparse.policy(), "fast_cost {fast_cost}");
+            assert!((dense.gain() - sparse.gain()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cached_lu_backend_matches_dense_end_to_end() {
+        for mdp in [
+            repair_mdp(2.0),
+            repair_mdp(9.0),
+            repair_mdp(100.0),
+            ring(14),
+        ] {
+            let dense = policy_iteration(&mdp, &Options::default()).unwrap();
+            let cached = policy_iteration(
+                &mdp,
+                &Options {
+                    backend: EvalBackend::CachedLu,
+                    ..Options::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(dense.policy(), cached.policy());
+            assert!(
+                (dense.gain() - cached.gain()).abs() < 1e-10 * (1.0 + dense.gain().abs()),
+                "{} vs {}",
+                dense.gain(),
+                cached.gain()
+            );
+            let diff = (dense.bias() - cached.bias()).norm_inf();
+            assert!(diff < 1e-8, "bias diff {diff}");
+        }
+    }
+
+    #[test]
+    fn cached_lu_row_update_path_is_exercised() {
+        // Start from "skip everywhere" so improvement rounds walk the
+        // policy back state by state, reusing the cached factorization.
+        let mdp = ring(16);
+        let worst = Policy::uniform(mdp.n_states(), 1);
+        let cached = policy_iteration_from(
+            &mdp,
+            worst.clone(),
+            &Options {
+                backend: EvalBackend::CachedLu,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        let dense = policy_iteration_from(&mdp, worst, &Options::default()).unwrap();
+        assert_eq!(dense.policy(), cached.policy());
+        assert_eq!(dense.iterations(), cached.iterations());
+        assert!(cached.eval_residual() < 1e-9);
+    }
+
+    #[test]
+    fn cached_lu_standalone_evaluation_equals_dense() {
+        let mdp = repair_mdp(9.0);
+        let policy = Policy::new(vec![0, 1]);
+        let via_backend = evaluate_with(&mdp, &policy, 0, EvalBackend::CachedLu).unwrap();
+        let dense = evaluate(&mdp, &policy, 0).unwrap();
+        assert_eq!(via_backend, dense);
+    }
+
+    #[test]
+    fn cached_evaluation_survives_cache_reseeding() {
+        let mdp = ring(10);
+        let policies: Vec<Policy> = mdp.enumerate_policies().into_iter().take(6).collect();
+        let mut cache = None;
+        for policy in &policies {
+            let cached = evaluate_cached(&mdp, policy, 0, &mut cache).unwrap();
+            let dense = evaluate(&mdp, policy, 0).unwrap();
+            assert!(
+                (cached.gain() - dense.gain()).abs() < 1e-9 * (1.0 + dense.gain().abs()),
+                "{} vs {}",
+                cached.gain(),
+                dense.gain()
+            );
+            assert!((cached.bias() - dense.bias()).norm_inf() < 1e-8);
+        }
     }
 }
 

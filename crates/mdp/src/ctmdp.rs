@@ -108,6 +108,16 @@ impl Ctmdp {
         self.actions.iter().map(Vec::len).sum()
     }
 
+    /// Precomputes every state–action transition row into one contiguous
+    /// CSR table ([`crate::ActionCsr`]), the `O(nnz)` policy-improvement
+    /// kernel. Build it once per solve and reuse it across improvement
+    /// rounds; results are bit-identical to scanning [`Ctmdp::actions`]
+    /// directly.
+    #[must_use]
+    pub fn sparse_actions(&self) -> crate::ActionCsr {
+        crate::ActionCsr::from_ctmdp(self)
+    }
+
     /// Validates that `policy` matches this process.
     ///
     /// # Errors

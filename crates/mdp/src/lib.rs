@@ -54,6 +54,7 @@ mod ctmdp;
 pub mod discounted;
 mod dtmdp;
 mod error;
+mod kernel;
 pub mod lp;
 mod policy;
 pub mod value_iteration;
@@ -61,4 +62,5 @@ pub mod value_iteration;
 pub use ctmdp::{ActionSpec, Ctmdp, CtmdpBuilder};
 pub use dtmdp::{Dtmdp, DtmdpBuilder};
 pub use error::MdpError;
+pub use kernel::ActionCsr;
 pub use policy::{Policy, RandomizedPolicy};

@@ -2,6 +2,7 @@
 //! iteration, value iteration, LP, and brute-force enumeration must all
 //! agree on the optimal average cost of random processes.
 
+use dpm_linalg::DVector;
 use dpm_mdp::{average, discounted, lp, value_iteration, Ctmdp, Dtmdp};
 use proptest::prelude::*;
 
@@ -135,6 +136,39 @@ proptest! {
             let eval = average::evaluate(&mdp, &policy, 0).expect("unichain");
             let direct = mdp.average_cost(&policy).expect("irreducible");
             prop_assert!((eval.gain() - direct).abs() < 1e-7 * (1.0 + direct.abs()));
+        }
+    }
+}
+
+/// A random CTMDP paired with an arbitrary bias vector of matching length.
+fn ctmdp_with_bias() -> impl Strategy<Value = (Ctmdp, Vec<f64>)> {
+    (2usize..6).prop_flat_map(|n| (ring_ctmdp(n), prop::collection::vec(-10.0f64..10.0, n)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The CSR improvement kernel and the nested-list scan pick identical
+    /// argmax actions — ties broken identically, incumbent preference
+    /// included — for arbitrary incumbent policies, bias vectors, and
+    /// improvement tolerances.
+    #[test]
+    fn csr_improvement_matches_reference_scan(
+        (mdp, bias) in ctmdp_with_bias(),
+        tolerance_choice in 0usize..4,
+    ) {
+        let tolerance = [0.0, 1e-9, 1e-3, 1.0][tolerance_choice];
+        let kernel = mdp.sparse_actions();
+        let bias = DVector::from_vec(bias);
+        for incumbent in mdp.enumerate_policies().into_iter().take(8) {
+            let reference = average::improve_step(&mdp, &incumbent, &bias, tolerance);
+            let via_csr = average::improve_step_csr(&kernel, &incumbent, &bias, tolerance);
+            prop_assert_eq!(
+                reference.actions(),
+                via_csr.actions(),
+                "tolerance {}",
+                tolerance
+            );
         }
     }
 }

@@ -48,6 +48,17 @@ grep -q '"status": "failed"' "$SMOKE_DIR/faulted.json"
 grep -q '"tasks_failed": 0' "$SMOKE_DIR/retried.json"
 grep -q '"tasks_retried": 1' "$SMOKE_DIR/retried.json"
 
+echo "=== solve-phase smoke (1 vs 2 solve workers, determinism gate) ==="
+cargo build --release -q -p dpm-bench --bin fig4
+./target/release/fig4 --workers 1 --solve-workers 1 --requests 500 --reps 1 \
+    --seed 11 --out "$SMOKE_DIR/solve1.json" > /dev/null
+./target/release/fig4 --workers 1 --solve-workers 2 --requests 500 --reps 1 \
+    --seed 11 --out "$SMOKE_DIR/solve2.json" > /dev/null
+./target/release/artifact_diff --a "$SMOKE_DIR/solve1.json" --b "$SMOKE_DIR/solve2.json"
+
+echo "=== criterion micro-bench smoke (kernels must stay compiling) ==="
+cargo bench --workspace --no-run -q
+
 echo "=== kill-and-resume smoke (truncated journal must resume bit-identically) ==="
 ./target/release/heuristics --workers 2 --requests 500 --seed 7 \
     --checkpoint "$SMOKE_DIR/journal.jsonl" --out "$SMOKE_DIR/full.json" > /dev/null
