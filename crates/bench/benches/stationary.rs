@@ -5,20 +5,26 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpm_core::{PmPolicy, PmSystem, SpModel, SrModel};
-use dpm_ctmc::stationary;
+use dpm_ctmc::stationary::{self, Method, Solver};
 
 fn bench_birth_death(c: &mut Criterion) {
     let mut group = c.benchmark_group("stationary_birth_death");
     for size in [10usize, 50, 200] {
         let g = stationary::mm1k_generator(0.4, 1.0, size).expect("valid rates");
         group.bench_with_input(BenchmarkId::new("gth", size), &size, |b, _| {
-            b.iter(|| stationary::solve_gth(&g).expect("irreducible"));
+            b.iter(|| Solver::new(Method::Gth).solve(&g).expect("irreducible"));
         });
         group.bench_with_input(BenchmarkId::new("lu", size), &size, |b, _| {
-            b.iter(|| stationary::solve_lu(&g).expect("irreducible"));
+            b.iter(|| Solver::new(Method::Lu).solve(&g).expect("irreducible"));
         });
         group.bench_with_input(BenchmarkId::new("power", size), &size, |b, _| {
-            b.iter(|| stationary::solve_power(&g, 1e-10, 10_000_000).expect("converges"));
+            b.iter(|| {
+                Solver::new(Method::Power)
+                    .tolerance(1e-10)
+                    .max_iters(10_000_000)
+                    .solve(&g)
+                    .expect("converges")
+            });
         });
     }
     group.finish();
@@ -41,10 +47,10 @@ fn bench_dpm_chain(c: &mut Criterion) {
     let g = recurrent_class_chain(&full);
     let mut group = c.benchmark_group("stationary_dpm_chain");
     group.bench_function("gth", |b| {
-        b.iter(|| stationary::solve_gth(&g).expect("irreducible"));
+        b.iter(|| Solver::new(Method::Gth).solve(&g).expect("irreducible"));
     });
     group.bench_function("lu", |b| {
-        b.iter(|| stationary::solve_lu(&g).expect("irreducible"));
+        b.iter(|| Solver::new(Method::Lu).solve(&g).expect("irreducible"));
     });
     group.finish();
 }

@@ -12,10 +12,22 @@
 //! 2. **Evaluation backends** on a synthetic unichain ring: policy
 //!    iteration under `Dense`, `CachedLu` (LU factorization reuse) and
 //!    `SparseDirect` must converge to the same policy and gain
-//!    (≤ 1e-10), with per-backend wall time recorded.
+//!    (≤ 1e-10), with per-backend wall time recorded. A fourth,
+//!    flag-configured backend rides along: `--method` / `--tol` /
+//!    `--precond` / `--restart` map 1:1 onto
+//!    [`dpm_ctmc::stationary::SolverConfig`] via
+//!    [`average::EvalBackend::parse`] + `with_config`, and must agree
+//!    with the dense reference to the Krylov bound (≤ 1e-8).
 //! 3. **Solve-phase pipeline**: a weight sweep as a
 //!    [`dpm_harness::solve::SolvePlan`] at 1 worker versus
 //!    `--solve-workers`, checked bit-identical.
+//! 4. **Stationary solver tiers**: sparse direct (`SparseLu`) versus the
+//!    preconditioned Krylov methods (BiCGSTAB / GMRES + ILU(0)) on
+//!    synthetic sparse birth–death chains up to `--tier-states` (default
+//!    100 000) states, recording the direct↔Krylov crossover. The direct
+//!    solve is skipped beyond `--tier-direct-limit` (default 10 000),
+//!    where the dense normalization row makes its elimination
+//!    superlinear. All tiers must agree pairwise to ≤ 1e-8.
 //!
 //! Deterministic fields (`params`, `checks`) are canonical; wall-clock
 //! numbers live under the `timers` key, which the artifact diff strips.
@@ -24,7 +36,9 @@
 //!
 //! ```text
 //! cargo run --release -p dpm-bench --bin bench_solve -- \
-//!     [--capacity Q] [--rounds R] [--solve-workers N] [--seed S] \
+//!     [--capacity Q] [--rounds R] [--solve-workers N] \
+//!     [--method NAME] [--tol T] [--precond NAME] [--restart M] \
+//!     [--tier-states N] [--tier-direct-limit N] [--seed S] \
 //!     [--out results/BENCH_solve.json]
 //! ```
 
@@ -33,6 +47,10 @@ use std::time::Instant;
 
 use dpm_bench::{row, rule};
 use dpm_core::{optimize, PmSystem, SpModel, SrModel};
+use dpm_ctmc::{
+    stationary::{self, Method},
+    SparseGenerator,
+};
 use dpm_harness::{
     artifact,
     cli::{self, Args},
@@ -141,6 +159,21 @@ impl DenseActions {
     }
 }
 
+/// A sparse birth–death chain with smoothly varying rates: stiff enough
+/// to exercise the ILU(0) preconditioner, smooth enough (no bottleneck
+/// level) that every solver tier can reach the 1e-8 agreement bound. The
+/// substrate for the solver-tier crossover measurement.
+fn birth_death_sparse(n: usize) -> Result<SparseGenerator, Box<dyn std::error::Error>> {
+    let mut transitions = Vec::with_capacity(2 * (n - 1));
+    for i in 0..n - 1 {
+        #[allow(clippy::cast_precision_loss)]
+        let phase = i as f64 * 0.01;
+        transitions.push((i, i + 1, 0.8 + 0.15 * phase.sin()));
+        transitions.push((i + 1, i, 1.0 + 0.15 * phase.cos()));
+    }
+    Ok(SparseGenerator::from_transitions(n, &transitions)?)
+}
+
 fn time_sweeps<T>(rounds: usize, mut body: impl FnMut() -> T) -> (T, f64) {
     let mut out = body();
     let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
@@ -158,6 +191,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "capacity",
         "rounds",
         "solve-workers",
+        "method",
+        "tol",
+        "precond",
+        "restart",
+        "tier-states",
+        "tier-direct-limit",
         "seed",
         "out",
     ]))?;
@@ -166,6 +205,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let solve_workers = args.get_usize("solve-workers", 2)?.max(2);
     let root_seed = args.get_u64("seed", 1300)?;
     let out = args.get_str("out", "results/BENCH_solve.json");
+
+    // Solver-configuration flags: one SolverConfig drives both the
+    // flag-selected evaluation backend and the Krylov stationary tiers.
+    let method_flag = args.get_str("method", "bicgstab");
+    let precond_flag = args.get_str("precond", "ilu0");
+    let solver_config = stationary::SolverConfig {
+        tolerance: args.get_f64("tol", stationary::DEFAULT_TOLERANCE)?,
+        restart: args.get_usize("restart", stationary::DEFAULT_RESTART)?,
+        precond: stationary::Precond::parse(&precond_flag)
+            .ok_or_else(|| format!("--precond {precond_flag}: expected `ilu0` or `none`"))?,
+        ..stationary::SolverConfig::default()
+    };
+    let cli_backend = average::EvalBackend::parse(&method_flag)
+        .ok_or_else(|| format!("--method {method_flag}: not an evaluation backend name"))?
+        .with_config(solver_config);
 
     // ------------------------------------------------------------------
     // 1. Improvement kernels at Q = capacity.
@@ -220,6 +274,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_gain_diff = max_gain_diff.max((solution.gain() - reference_solution.gain()).abs());
         backends_agree &= solution.policy() == reference_solution.policy();
     }
+    // The flag-configured backend is compared at the Krylov agreement
+    // bound (1e-8, matching the stationary proptests) rather than the
+    // exact-backend bound above.
+    let cli_backend_name = cli_backend.name();
+    let cli_options = average::Options {
+        backend: cli_backend,
+        ..average::Options::default()
+    };
+    let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
+    let cli_solution = average::policy_iteration_from(&ring_mdp, ring_start.clone(), &cli_options)?;
+    let cli_eval_secs = start.elapsed().as_secs_f64();
+    let cli_gain_diff = (cli_solution.gain() - reference_solution.gain()).abs();
+    let cli_backend_agrees =
+        cli_solution.policy() == reference_solution.policy() && cli_gain_diff <= 1e-8;
 
     // ------------------------------------------------------------------
     // 3. Solve-phase pipeline, serial vs parallel.
@@ -267,6 +335,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pipeline_identical = fingerprint(&serial) == fingerprint(&parallel);
 
     // ------------------------------------------------------------------
+    // 4. Stationary solver tiers: sparse direct vs preconditioned Krylov.
+    // ------------------------------------------------------------------
+    let tier_states = args.get_usize("tier-states", 100_000)?;
+    // The normalization row is dense, so sparse LU elimination goes
+    // superlinear on these chains; beyond this size only the Krylov
+    // tiers run (the crossover is long decided by then anyway).
+    let tier_direct_limit = args.get_usize("tier-direct-limit", 10_000)?;
+    let tier_sizes: Vec<usize> = [1_000usize, 10_000, 100_000]
+        .into_iter()
+        .filter(|&s| s <= tier_states.max(1_000))
+        .collect();
+    // (size, method name, secs, sweeps, norm_inf diff vs sparse direct)
+    let mut tier_rows: Vec<(usize, String, f64, usize, f64)> = Vec::new();
+    let mut tiers_agree = true;
+    let mut tier_max_diff = 0.0f64;
+    let tier_label = |method: Method| {
+        if method.is_krylov() {
+            format!("{}_{}", method.name(), solver_config.precond.name())
+        } else {
+            "sparse_lu".to_owned()
+        }
+    };
+    for &size in &tier_sizes {
+        let chain = birth_death_sparse(size)?;
+        let mut reference = None;
+        for method in [Method::Lu, Method::BiCgStab, Method::Gmres] {
+            if method == Method::Lu && size > tier_direct_limit {
+                continue;
+            }
+            let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
+            let (pi, stats) = stationary::Solver::new(method)
+                .tolerance(solver_config.tolerance)
+                .restart(solver_config.restart)
+                .precond(solver_config.precond)
+                .solve(&chain)?;
+            let secs = start.elapsed().as_secs_f64();
+            let diff = match &reference {
+                None => {
+                    reference = Some(pi);
+                    0.0
+                }
+                Some(reference) => (&pi - reference).norm_inf(),
+            };
+            tier_max_diff = tier_max_diff.max(diff);
+            tiers_agree &= diff <= 1e-8;
+            tier_rows.push((size, tier_label(method), secs, stats.sweeps(), diff));
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Report + artifact.
     // ------------------------------------------------------------------
     let widths = [26usize, 14, 14];
@@ -301,6 +419,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &widths,
         );
     }
+    row(
+        &[
+            format!("eval --method {cli_backend_name}"),
+            format!("{cli_eval_secs:.3e}"),
+            format!("{:.1}x", dense_eval_secs / cli_eval_secs),
+        ],
+        &widths,
+    );
     rule(&widths);
     for (name, secs) in [
         ("solve pipeline: 1 worker", serial_secs),
@@ -315,10 +441,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &widths,
         );
     }
+
+    let tier_widths = [10usize, 16, 12, 8, 12];
+    println!("\nStationary solver tiers (birth–death chains, diff vs sparse LU)");
+    row(
+        &[
+            "states".into(),
+            "method".into(),
+            "secs".into(),
+            "sweeps".into(),
+            "max |diff|".into(),
+        ],
+        &tier_widths,
+    );
+    rule(&tier_widths);
+    for (size, name, secs, sweeps, diff) in &tier_rows {
+        row(
+            &[
+                format!("{size}"),
+                name.clone(),
+                format!("{secs:.3e}"),
+                format!("{sweeps}"),
+                format!("{diff:.2e}"),
+            ],
+            &tier_widths,
+        );
+    }
     println!(
         "\nchecks: improvement kernels agree = {improvement_agrees}, fixpoint = \
          {improvement_fixpoint},\n        eval backends agree = {backends_agree} \
-         (max gain diff {max_gain_diff:.2e}), pipeline identical = {pipeline_identical}"
+         (max gain diff {max_gain_diff:.2e}), pipeline identical = {pipeline_identical},\n        \
+         --method {cli_backend_name} agrees = {cli_backend_agrees} \
+         (gain diff {cli_gain_diff:.2e}),\n        \
+         solver tiers agree = {tiers_agree} (max diff {tier_max_diff:.2e})"
     );
 
     let mut doc = Json::object();
@@ -331,13 +486,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     params.set("nnz", kernel.nnz());
     params.set("sweep_points", n_sweep);
     params.set("root_seed", root_seed);
+    params.set("tier_states", tier_states);
+    params.set("tier_direct_limit", tier_direct_limit);
+    params.set("method", cli_backend_name);
+    params.set("precond", solver_config.precond.name());
+    params.set("tol", Json::num(solver_config.tolerance));
+    params.set("restart", solver_config.restart);
     doc.set("params", params);
     let mut checks = Json::object();
     checks.set("improvement_policies_agree", improvement_agrees);
     checks.set("improvement_is_fixpoint", improvement_fixpoint);
     checks.set("eval_backends_agree", backends_agree);
     checks.set("eval_backends_max_gain_diff", Json::num(max_gain_diff));
+    checks.set("cli_backend_agrees", cli_backend_agrees);
+    checks.set("cli_backend_gain_diff", Json::num(cli_gain_diff));
     checks.set("solve_parallel_identical", pipeline_identical);
+    checks.set("stationary_tiers_agree", tiers_agree);
+    checks.set("stationary_tiers_max_diff", Json::num(tier_max_diff));
     doc.set("checks", checks);
     let mut timers = Json::object();
     timers.set("improve_dense_scan_secs", Json::num(dense_secs));
@@ -350,12 +515,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, _, secs) in &backend_results {
         timers.set(&format!("eval_{name}_secs"), Json::num(*secs));
     }
+    timers.set("eval_cli_backend_secs", Json::num(cli_eval_secs));
     timers.set("pipeline_serial_secs", Json::num(serial_secs));
     timers.set("pipeline_parallel_secs", Json::num(parallel_secs));
     timers.set("solve_workers", solve_workers);
+    for (size, name, secs, sweeps, _) in &tier_rows {
+        timers.set(&format!("tier_{name}_secs_n{size}"), Json::num(*secs));
+        timers.set(&format!("tier_{name}_sweeps_n{size}"), *sweeps);
+    }
+    for &size in &tier_sizes {
+        let fastest = tier_rows
+            .iter()
+            .filter(|r| r.0 == size)
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .map_or("none", |r| r.1.as_str());
+        timers.set(&format!("tier_fastest_n{size}"), fastest);
+    }
     doc.set("timers", timers);
 
-    if !(improvement_agrees && improvement_fixpoint && backends_agree && pipeline_identical) {
+    if !(improvement_agrees
+        && improvement_fixpoint
+        && backends_agree
+        && cli_backend_agrees
+        && pipeline_identical
+        && tiers_agree)
+    {
         artifact::write(&out, &doc)?;
         return Err("solve-phase correctness checks failed (see artifact)".into());
     }

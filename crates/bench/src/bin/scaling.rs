@@ -1,5 +1,6 @@
-//! Scaling study: sparse CSR assembly + matrix-free stationary solve vs
-//! dense assembly + LU as the SYS state space grows.
+//! Scaling study: sparse CSR assembly + Gauss–Seidel stationary solve vs
+//! dense assembly + LU as the SYS state space grows into the 10⁴–10⁵
+//! range.
 //!
 //! The SYS chain has O(1) transitions per state, so the sparse generator
 //! holds O(n) entries where the dense one holds n². This binary sweeps the
@@ -8,6 +9,13 @@
 //! The dense pipeline is skipped beyond `--dense-limit`, where
 //! materializing and factoring the n × n matrix is the point being
 //! avoided.
+//!
+//! The sparse solver here stays [`Method::Iterative`] on purpose: under a
+//! greedy policy the SYS chain is *reducible* (thousands of transient
+//! states), where Gauss–Seidel sweeps converge in O(n) per sweep while
+//! the ILU(0)-Krylov tier — built for large irreducible generators — is
+//! unreliable (BiCGSTAB diverges, GMRES crawls). The SparseLu↔Krylov
+//! crossover on irreducible chains is measured in `bench_solve` instead.
 //!
 //! Runs on the `dpm-harness` plan runner: each (modes, capacity) cell is
 //! a plan point, solver sweep counts and residuals land in task
@@ -118,7 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "reps",
         "out",
     ]))?;
-    let capacities = args.get_usize_list("capacities", &[5, 50, 200, 500])?;
+    let capacities = args.get_usize_list("capacities", &[5, 50, 200, 500, 2_500, 20_000])?;
     let modes = args.get_usize_list("modes", &[3, 5])?;
     let dense_limit = args.get_usize("dense-limit", 500)?;
     let workers = args.workers()?;
@@ -157,7 +165,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
             let (sparse, pi_sparse, stats) = ctx.telemetry.time("sparse", || {
                 let sparse = system.sparse_generator_for(&policy)?;
-                let (pi, stats) = stationary::solve_sparse_with_stats(&sparse, Method::Iterative)?;
+                let (pi, stats) = stationary::Solver::new(Method::Iterative).solve(&sparse)?;
                 Ok::<_, DpmError>((sparse, pi, stats))
             })?;
             ctx.telemetry
@@ -172,7 +180,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if capacity < dense_limit {
                 let pi_dense = ctx.telemetry.time("dense", || {
                     let dense = system.generator_for(&policy)?;
-                    stationary::solve(&dense, Method::Lu).map_err(DpmError::from)
+                    stationary::Solver::new(Method::Lu)
+                        .solve(&dense)
+                        .map(|(pi, _)| pi)
+                        .map_err(DpmError::from)
                 })?;
                 out.set("max_diff", Json::num((&pi_sparse - &pi_dense).norm_inf()));
             }

@@ -114,7 +114,7 @@ impl PmSystem {
     /// The SYS chain has at most three transitions per state (arrival,
     /// service completion, mode switch), so the sparse generator holds
     /// `O(n)` entries where the dense one holds `n²`. Feed the result to
-    /// [`dpm_ctmc::stationary::solve_sparse`] to compute stationary
+    /// [`dpm_ctmc::stationary::Solver`] to compute stationary
     /// distributions of large-capacity systems entirely matrix-free.
     ///
     /// # Errors
@@ -126,7 +126,7 @@ impl PmSystem {
     ///
     /// ```
     /// use dpm_core::{PmPolicy, PmSystem, SpModel, SrModel};
-    /// use dpm_ctmc::stationary::{self, Method};
+    /// use dpm_ctmc::stationary::{Method, Solver};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let system = PmSystem::builder()
@@ -135,7 +135,7 @@ impl PmSystem {
     ///     .capacity(5)
     ///     .build()?;
     /// let sparse = system.sparse_generator_for(&PmPolicy::greedy(&system)?)?;
-    /// let pi = stationary::solve_sparse(&sparse, Method::Iterative)?;
+    /// let (pi, _) = Solver::new(Method::Iterative).solve(&sparse)?;
     /// assert!((pi.sum() - 1.0).abs() < 1e-10);
     /// # Ok(())
     /// # }
@@ -391,15 +391,15 @@ mod tests {
 
     #[test]
     fn sparse_stationary_matches_dense_stationary() {
-        use dpm_ctmc::stationary::Method;
+        use dpm_ctmc::stationary::{Method, Solver};
         let sys = paper_system();
         let policy = PmPolicy::greedy(&sys).unwrap();
         let dense = sys.generator_for(&policy).unwrap();
         let sparse = sys.sparse_generator_for(&policy).unwrap();
         // The greedy chain is unichain with transient states, so use the LU
         // solver (GTH requires irreducibility).
-        let reference = stationary::solve_lu(&dense).unwrap();
-        let pi = stationary::solve_sparse(&sparse, Method::Iterative).unwrap();
+        let reference = Solver::new(Method::Lu).solve(&dense).unwrap().0;
+        let pi = Solver::new(Method::Iterative).solve(&sparse).unwrap().0;
         assert!(
             (&pi - &reference).norm_inf() < 1e-8,
             "sparse iterative diverges from dense LU by {}",

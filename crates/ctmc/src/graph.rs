@@ -8,7 +8,7 @@
 //! iterative Tarjan algorithm (no recursion, so deep chains cannot overflow
 //! the stack).
 
-use crate::Generator;
+use crate::{Generator, SparseGenerator};
 
 /// The communicating-class decomposition of a chain.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,9 +92,34 @@ fn adjacency(generator: &Generator) -> Vec<Vec<usize>> {
 /// ```
 #[must_use]
 pub fn communicating_classes(generator: &Generator) -> Classes {
-    let n = generator.n_states();
-    let adj = adjacency(generator);
+    classes_of_adjacency(generator.n_states(), &adjacency(generator))
+}
 
+/// Sparse twin of [`communicating_classes`]: the same iterative Tarjan
+/// decomposition over a CSR-backed generator, without densifying.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_ctmc::{graph, SparseGenerator};
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// let g = SparseGenerator::from_transitions(3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0)])?;
+/// assert_eq!(graph::communicating_classes_sparse(&g).len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn communicating_classes_sparse(generator: &SparseGenerator) -> Classes {
+    let n = generator.n_states();
+    let mut adj = vec![Vec::new(); n];
+    for (from, to, _) in generator.transitions() {
+        adj[from].push(to);
+    }
+    classes_of_adjacency(n, &adj)
+}
+
+fn classes_of_adjacency(n: usize, adj: &[Vec<usize>]) -> Classes {
     const UNVISITED: usize = usize::MAX;
     let mut index = vec![UNVISITED; n];
     let mut lowlink = vec![0usize; n];

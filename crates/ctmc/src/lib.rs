@@ -10,11 +10,12 @@
 //!   storage, for SYS-level chains whose transition count grows linearly in
 //!   the state count;
 //! * [`stationary`] — limiting-distribution solvers (`πG = 0`, `Σπ = 1`,
-//!   Theorem 2.1) behind the unified [`stationary::solve`] /
-//!   [`stationary::solve_sparse`] entry points: direct LU, the numerically
-//!   stable Grassmann–Taksar–Heyman elimination, power iteration on the
-//!   uniformized chain, and matrix-free Gauss–Seidel on the balance
-//!   equations ([`stationary::Method`]);
+//!   Theorem 2.1) behind the unified [`stationary::Solver`] builder: direct
+//!   LU, the numerically stable Grassmann–Taksar–Heyman elimination, power
+//!   iteration on the uniformized chain, matrix-free Gauss–Seidel on the
+//!   balance equations, and the ILU(0)-preconditioned Krylov tier
+//!   (BiCGSTAB, restarted GMRES) for very large sparse chains
+//!   ([`stationary::Method`]);
 //! * [`graph`] — communicating classes (Definitions 2.3–2.6) via Tarjan's
 //!   strongly-connected-components algorithm, irreducibility and
 //!   connectivity checks;
@@ -39,7 +40,7 @@
 //!     .rate(0, 1, 1.0) // up -> down
 //!     .rate(1, 0, 3.0) // down -> up
 //!     .build()?;
-//! let pi = stationary::solve_lu(&g)?;
+//! let (pi, _) = stationary::Solver::new(stationary::Method::Lu).solve(&g)?;
 //! assert!((pi[0] - 0.75).abs() < 1e-12);
 //! # Ok(())
 //! # }

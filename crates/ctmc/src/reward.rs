@@ -117,7 +117,9 @@ impl RewardProcess {
     ///
     /// Propagates stationary-solver failures (e.g. reducible chains).
     pub fn average_reward(&self) -> Result<f64, CtmcError> {
-        let pi = stationary::solve_checked(&self.generator)?;
+        let (pi, _) = stationary::Solver::new(stationary::Method::Gth)
+            .check_irreducible()
+            .solve(&self.generator)?;
         Ok(pi.dot(&self.earning_rates()))
     }
 

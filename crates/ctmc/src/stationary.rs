@@ -2,45 +2,57 @@
 //!
 //! Theorem 2.1 of the paper: for an irreducible, positive-recurrent chain
 //! the limiting distribution is the unique solution of `πG = 0`,
-//! `Σ_j π_j = 1`. Three solvers are provided with different
-//! accuracy/robustness/speed trade-offs:
+//! `Σ_j π_j = 1`. Six backends with different accuracy/robustness/speed
+//! trade-offs sit behind one [`Solver`] builder:
 //!
-//! * [`solve_lu`] — direct dense solve; fast and exact to rounding for
-//!   well-conditioned chains;
-//! * [`solve_gth`] — Grassmann–Taksar–Heyman elimination on the uniformized
-//!   chain; subtraction-free, the method of choice for stiff chains (rates
-//!   spanning many orders of magnitude, as power-managed systems have:
-//!   wake-up rates vs. request rates);
-//! * [`solve_power`] — power iteration on the uniformized chain; matrix-free
-//!   apart from one dense multiply per step, useful as an independent
-//!   cross-check.
+//! * [`Method::Lu`] — direct solve of the balance equations (dense LU on a
+//!   [`Generator`], sparse LU on the reduced system for a
+//!   [`SparseGenerator`]);
+//! * [`Method::Gth`] — Grassmann–Taksar–Heyman elimination on the
+//!   uniformized chain (dense), or the sparse direct solve of the
+//!   uniformized balance system (sparse); subtraction-free in the dense
+//!   form, the method of choice for stiff chains;
+//! * [`Method::Power`] — power iteration on the uniformized chain;
+//! * [`Method::Iterative`] — Gauss–Seidel sweeps on the balance equations,
+//!   `O(nnz)` per sweep;
+//! * [`Method::BiCgStab`] / [`Method::Gmres`] — the preconditioned Krylov
+//!   tier (`dpm_linalg::krylov`): ILU(0)-preconditioned BiCGSTAB or
+//!   restarted GMRES(m) on the reduced balance system, the `O(nnz)` path
+//!   for generators of 10⁴–10⁶ states where direct fill-in and stationary
+//!   sweeps both give out.
 //!
-//! All of the above require irreducibility, which callers can check with
-//! [`crate::graph::is_irreducible`]; [`solve_checked`] does so on your
-//! behalf.
+//! # The `Solver` builder
 //!
-//! # Unified entry point
-//!
-//! [`solve`] and [`solve_sparse`] select a backend via [`Method`] instead of
-//! calling one of the per-algorithm free functions:
+//! [`Solver`] is the single entry point: pick a [`Method`], adjust
+//! [`SolverConfig`] knobs, optionally arm the escalation chain, and hand
+//! it a dense or sparse generator through [`GeneratorRef`] (both convert
+//! with `From`):
 //!
 //! ```
-//! use dpm_ctmc::{stationary::{self, Method}, Generator};
+//! use dpm_ctmc::{stationary::{Method, Solver}, Generator};
 //!
 //! # fn main() -> Result<(), dpm_ctmc::CtmcError> {
 //! let g = Generator::builder(2).rate(0, 1, 1.0).rate(1, 0, 3.0).build()?;
-//! for method in [Method::Lu, Method::Gth, Method::Power, Method::Iterative] {
-//!     let pi = stationary::solve(&g, method)?;
+//! for method in [Method::Lu, Method::Gth, Method::BiCgStab, Method::Gmres] {
+//!     let (pi, stats) = Solver::new(method).solve(&g)?;
 //!     assert!((pi[0] - 0.75).abs() < 1e-8);
+//!     assert_eq!(stats.method(), method);
 //! }
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! The per-algorithm functions ([`solve_lu`], [`solve_gth`], [`solve_power`])
-//! remain as thin wrappers for callers that need algorithm-specific knobs.
+//! With [`Solver::with_default_fallback`] the solve escalates through
+//! [`FALLBACK_CHAIN`] (dense) or [`SPARSE_FALLBACK_CHAIN`] (sparse) until
+//! a backend produces a distribution passing the residual guard — a
+//! stalled Krylov solve degrades to the sparse direct and GTH tiers
+//! automatically.
+//!
+//! The pre-existing `solve*` free functions remain as deprecated one-line
+//! shims over [`Solver`].
 
-use dpm_linalg::DVector;
+use dpm_linalg::krylov::{self, Ilu0, KrylovOptions};
+use dpm_linalg::{CsrMatrix, DVector, SparseLu};
 
 use crate::{graph, CtmcError, Generator, SparseGenerator};
 
@@ -48,23 +60,35 @@ use crate::{graph, CtmcError, Generator, SparseGenerator};
 /// solvers.
 const UNIFORMIZATION_MARGIN: f64 = 1.05;
 
-/// Default convergence tolerance (infinity norm of the per-sweep update)
-/// for the iterative methods behind [`Method::Power`] and
-/// [`Method::Iterative`].
+/// Default convergence tolerance: infinity norm of the per-sweep update
+/// for [`Method::Power`] / [`Method::Iterative`], relative residual for
+/// the Krylov methods.
 pub const DEFAULT_TOLERANCE: f64 = 1e-12;
 
-/// Default iteration budget for the iterative methods.
+/// Default iteration budget (sweeps or Krylov matrix–vector products).
 pub const DEFAULT_MAX_ITERATIONS: usize = 1_000_000;
 
-/// Solver backend selector for [`solve`] / [`solve_sparse`].
+/// Default GMRES restart length used by [`Method::Gmres`].
+pub const DEFAULT_RESTART: usize = 30;
+
+/// Iterative-refinement correction solves after a converged Krylov
+/// stationary solve (each one multiplies the forward-error reduction, and
+/// one usually reaches the rounding floor).
+const KRYLOV_REFINEMENT_STEPS: usize = 2;
+
+/// Solver backend selector for [`Solver`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Method {
-    /// Direct dense LU solve of the balance equations. Exact to rounding;
-    /// `O(n³)` time, `O(n²)` memory.
+    /// Direct solve of the balance equations. Dense input: LU with the
+    /// normalization row, exact to rounding, `O(n³)` time / `O(n²)`
+    /// memory. Sparse input: [`dpm_linalg::SparseLu`] on the reduced
+    /// system (fix `π_{n-1}`), cost governed by fill-in.
     Lu,
     /// Grassmann–Taksar–Heyman elimination on the uniformized chain.
-    /// Subtraction-free, the most robust choice on stiff chains; same
-    /// asymptotic cost as LU. The default.
+    /// Subtraction-free in the dense form, the most robust choice on stiff
+    /// chains. Sparse input: the direct solve of the uniformized balance
+    /// system (same elimination as [`Method::Lu`] but on `G/Λ`, keeping
+    /// the no-transition guard and `O(1)`-scaled entries). The default.
     #[default]
     Gth,
     /// Power iteration on the uniformized chain. Matrix-free: `O(nnz)` per
@@ -74,19 +98,150 @@ pub enum Method {
     Power,
     /// Gauss–Seidel sweeps directly on the balance equations `πG = 0`,
     /// normalizing each sweep. `O(nnz)` per sweep and robust to stiffness
-    /// (each state is relaxed against its own exit rate), making it the
-    /// method of choice for large sparse-assembled generators.
+    /// (each state is relaxed against its own exit rate).
     Iterative,
+    /// BiCGSTAB with ILU(0) preconditioning on the reduced balance
+    /// system. `O(nnz)` per iteration with short recurrences — the
+    /// lowest-memory Krylov tier for very large sparse generators.
+    BiCgStab,
+    /// Restarted GMRES(m) with ILU(0) preconditioning on the reduced
+    /// balance system. Stores `m + 1` basis vectors; the restart length is
+    /// [`SolverConfig::restart`].
+    Gmres,
+}
+
+impl Method {
+    /// Canonical lowercase name, stable for CLI flags and artifacts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Lu => "lu",
+            Method::Gth => "gth",
+            Method::Power => "power",
+            Method::Iterative => "iterative",
+            Method::BiCgStab => "bicgstab",
+            Method::Gmres => "gmres",
+        }
+    }
+
+    /// Parses the canonical name (as produced by [`Method::name`]);
+    /// returns `None` for anything else. This is the 1:1 mapping used by
+    /// the harness `--method` flag.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Method> {
+        match name {
+            "lu" => Some(Method::Lu),
+            "gth" => Some(Method::Gth),
+            "power" => Some(Method::Power),
+            "iterative" => Some(Method::Iterative),
+            "bicgstab" => Some(Method::BiCgStab),
+            "gmres" => Some(Method::Gmres),
+            _ => None,
+        }
+    }
+
+    /// `true` for the Krylov-subspace backends.
+    #[must_use]
+    pub fn is_krylov(self) -> bool {
+        matches!(self, Method::BiCgStab | Method::Gmres)
+    }
+}
+
+/// Preconditioner selector for the Krylov methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precond {
+    /// No preconditioning.
+    None,
+    /// ILU(0): incomplete LU on the system's own sparsity pattern. If the
+    /// factorization hits a singular pivot the solve deterministically
+    /// downgrades to unpreconditioned iteration. The default.
+    #[default]
+    Ilu0,
+}
+
+impl Precond {
+    /// Canonical lowercase name, stable for CLI flags and artifacts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Precond::None => "none",
+            Precond::Ilu0 => "ilu0",
+        }
+    }
+
+    /// Parses the canonical name; the 1:1 mapping for `--precond`.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Precond> {
+        match name {
+            "none" => Some(Precond::None),
+            "ilu0" => Some(Precond::Ilu0),
+            _ => None,
+        }
+    }
+}
+
+/// Numerical knobs shared by every [`Solver`] backend (and reused by the
+/// policy-evaluation backends in `dpm-mdp`, so CLI flags map onto one
+/// struct instead of per-backend constants).
+///
+/// `tolerance` is the per-sweep update bound for the stationary
+/// iterations and the relative residual bound for the Krylov methods;
+/// `restart` and `precond` only affect [`Method::Gmres`] /
+/// [`Method::BiCgStab`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Convergence tolerance. Default [`DEFAULT_TOLERANCE`].
+    pub tolerance: f64,
+    /// Iteration budget. Default [`DEFAULT_MAX_ITERATIONS`].
+    pub max_iterations: usize,
+    /// GMRES restart length. Default [`DEFAULT_RESTART`].
+    pub restart: usize,
+    /// Krylov preconditioner. Default [`Precond::Ilu0`].
+    pub precond: Precond,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            tolerance: DEFAULT_TOLERANCE,
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+            restart: DEFAULT_RESTART,
+            precond: Precond::default(),
+        }
+    }
+}
+
+/// A dense or sparse generator, borrowed: the one input type of
+/// [`Solver::solve`]. Both `&Generator` and `&SparseGenerator` convert
+/// via `From`/`Into`, so call sites just pass references.
+#[derive(Debug, Clone, Copy)]
+pub enum GeneratorRef<'a> {
+    /// A dense generator matrix.
+    Dense(&'a Generator),
+    /// A CSR-backed generator.
+    Sparse(&'a SparseGenerator),
+}
+
+impl<'a> From<&'a Generator> for GeneratorRef<'a> {
+    fn from(g: &'a Generator) -> GeneratorRef<'a> {
+        GeneratorRef::Dense(g)
+    }
+}
+
+impl<'a> From<&'a SparseGenerator> for GeneratorRef<'a> {
+    fn from(g: &'a SparseGenerator) -> GeneratorRef<'a> {
+        GeneratorRef::Sparse(g)
+    }
 }
 
 /// Diagnostics of one stationary solve — the telemetry layer's view of
 /// what the solver did, alongside the distribution itself.
 ///
-/// Produced by [`solve_with_stats`] / [`solve_sparse_with_stats`]. Direct
-/// methods ([`Method::Lu`], [`Method::Gth`]) report zero sweeps; the
-/// residual `‖πG‖_∞` is always computed a posteriori on the input
-/// representation, so it is an independent accuracy certificate rather
-/// than the solver's own stopping estimate.
+/// Direct methods ([`Method::Lu`], [`Method::Gth`]) report zero sweeps;
+/// the Krylov methods report matrix–vector products. The residual
+/// `‖πG‖_∞` is always computed a posteriori on the input representation,
+/// so it is an independent accuracy certificate rather than the solver's
+/// own stopping estimate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveStats {
     method: Method,
@@ -102,7 +257,8 @@ impl SolveStats {
         self.method
     }
 
-    /// Iteration sweeps performed (0 for the direct methods).
+    /// Iteration sweeps performed (0 for the direct methods; Krylov
+    /// matrix–vector products for the Krylov methods).
     #[must_use]
     pub fn sweeps(&self) -> usize {
         self.sweeps
@@ -116,8 +272,7 @@ impl SolveStats {
 
     /// The escalation path: backends tried and rejected (with the reason)
     /// before [`Self::method`] produced an acceptable distribution. Empty
-    /// for the single-method entry points and for fallback solves where the
-    /// first backend succeeded.
+    /// when fallback is off or the first backend succeeded.
     #[must_use]
     pub fn escalation(&self) -> &[(Method, String)] {
         &self.escalation
@@ -130,125 +285,240 @@ impl SolveStats {
     }
 }
 
-/// Solves `πG = 0`, `Σπ = 1` with the selected backend.
-///
-/// This is the unified entry point; the per-algorithm free functions remain
-/// for algorithm-specific tuning. [`Method::Power`] and [`Method::Iterative`]
-/// run with [`DEFAULT_TOLERANCE`] and [`DEFAULT_MAX_ITERATIONS`].
-///
-/// # Errors
-///
-/// Propagates the selected backend's failure modes: singular systems for
-/// [`Method::Lu`], degenerate elimination for [`Method::Gth`],
-/// non-convergence for the iterative methods.
-pub fn solve(generator: &Generator, method: Method) -> Result<DVector, CtmcError> {
-    Ok(solve_inner(generator, method)?.0)
-}
-
-/// As [`solve`], additionally reporting sweep count and final residual.
-///
-/// # Errors
-///
-/// As [`solve`].
-pub fn solve_with_stats(
-    generator: &Generator,
-    method: Method,
-) -> Result<(DVector, SolveStats), CtmcError> {
-    let (pi, sweeps) = solve_inner(generator, method)?;
-    let stats = SolveStats {
-        method,
-        sweeps,
-        residual: residual(generator, &pi),
-        escalation: Vec::new(),
-    };
-    Ok((pi, stats))
-}
-
-fn solve_inner(generator: &Generator, method: Method) -> Result<(DVector, usize), CtmcError> {
-    match method {
-        Method::Lu => Ok((solve_lu(generator)?, 0)),
-        Method::Gth => Ok((solve_gth(generator)?, 0)),
-        Method::Power => Ok((
-            solve_power(generator, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS)?,
-            // The dense power path does not count its own steps; callers
-            // who need the count use the sparse entry point.
-            0,
-        )),
-        Method::Iterative => solve_sparse_inner(
-            &SparseGenerator::from_generator(generator),
-            Method::Iterative,
-        ),
-    }
-}
-
-/// Solves `πG = 0`, `Σπ = 1` on a sparse generator with the selected
-/// backend.
-///
-/// [`Method::Power`] and [`Method::Iterative`] run entirely on the CSR
-/// representation (`O(nnz)` per sweep); [`Method::Lu`] and [`Method::Gth`]
-/// have no sparse formulation and densify first, which costs `O(n²)` memory
-/// — they are intended for cross-checks at moderate sizes.
-///
-/// # Errors
-///
-/// As [`solve`], plus [`CtmcError::InvalidParameter`] if the chain has an
-/// absorbing state or no transitions (the iterative methods need every
-/// state to have a positive exit rate).
-pub fn solve_sparse(generator: &SparseGenerator, method: Method) -> Result<DVector, CtmcError> {
-    Ok(solve_sparse_inner(generator, method)?.0)
-}
-
-/// As [`solve_sparse`], additionally reporting sweep count and final
-/// residual — the diagnostics the experiment harness records per task.
-///
-/// # Errors
-///
-/// As [`solve_sparse`].
-pub fn solve_sparse_with_stats(
-    generator: &SparseGenerator,
-    method: Method,
-) -> Result<(DVector, SolveStats), CtmcError> {
-    let (pi, sweeps) = solve_sparse_inner(generator, method)?;
-    let stats = SolveStats {
-        method,
-        sweeps,
-        residual: residual_sparse(generator, &pi),
-        escalation: Vec::new(),
-    };
-    Ok((pi, stats))
-}
-
-fn solve_sparse_inner(
-    generator: &SparseGenerator,
-    method: Method,
-) -> Result<(DVector, usize), CtmcError> {
-    match method {
-        Method::Lu => Ok((solve_lu(&generator.to_generator()?)?, 0)),
-        Method::Gth => Ok((solve_gth(&generator.to_generator()?)?, 0)),
-        Method::Power => sparse_power(generator, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS),
-        Method::Iterative => {
-            sparse_gauss_seidel(generator, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS)
-        }
-    }
-}
-
-/// Ordered backend chain tried by [`solve_with_fallback`]: direct LU first
-/// (fast, exact on well-conditioned chains), GTH second (subtraction-free,
-/// survives stiffness), power iteration last (needs only that the
-/// uniformized chain converges from a uniform start).
+/// Ordered backend chain armed by [`Solver::with_default_fallback`] on
+/// dense input: direct LU first (fast, exact on well-conditioned chains),
+/// GTH second (subtraction-free, survives stiffness), power iteration
+/// last (needs only that the uniformized chain converges from a uniform
+/// start).
 pub const FALLBACK_CHAIN: [Method; 3] = [Method::Lu, Method::Gth, Method::Power];
 
-/// Ordered backend chain tried by [`solve_sparse_with_fallback`]. The
-/// Gauss–Seidel pass slots in before power iteration: it is `O(nnz)` per
-/// sweep and relaxes each state against its own exit rate, so it degrades
-/// less on stiff chains.
-pub const SPARSE_FALLBACK_CHAIN: [Method; 4] =
-    [Method::Lu, Method::Gth, Method::Iterative, Method::Power];
+/// Ordered backend chain armed by [`Solver::with_default_fallback`] on
+/// sparse input. ILU(0)-preconditioned BiCGSTAB leads — it is the only
+/// `O(nnz)`-per-iteration tier that also converges fast on stiff chains —
+/// and a stalled Krylov solve degrades to the sparse direct solves, then
+/// Gauss–Seidel, then power iteration.
+pub const SPARSE_FALLBACK_CHAIN: [Method; 5] = [
+    Method::BiCgStab,
+    Method::Lu,
+    Method::Gth,
+    Method::Iterative,
+    Method::Power,
+];
 
 /// Relative slack of the a-posteriori residual guard applied by the
 /// fallback chains: a candidate π is accepted only when
 /// `‖πG‖∞ ≤ slack · max(1, max exit rate)`.
 const FALLBACK_RESIDUAL_SLACK: f64 = 1e-8;
+
+/// A configured stationary solve: method, numerical knobs, optional
+/// escalation chain and irreducibility check, applied to dense or sparse
+/// generators through one entry point.
+///
+/// # Examples
+///
+/// Krylov solve with fallback on a sparse generator:
+///
+/// ```
+/// use dpm_ctmc::{stationary::{Method, Solver}, SparseGenerator};
+///
+/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
+/// let g = SparseGenerator::from_transitions(3, &[(0, 1, 2.0), (1, 2, 1.0), (2, 0, 4.0)])?;
+/// let (pi, stats) = Solver::new(Method::BiCgStab)
+///     .tolerance(1e-12)
+///     .with_default_fallback()
+///     .solve(&g)?;
+/// assert!((pi.sum() - 1.0).abs() < 1e-12);
+/// assert!(!stats.escalated());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    method: Method,
+    config: SolverConfig,
+    fallback: FallbackPolicy,
+    check_irreducible: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum FallbackPolicy {
+    Off,
+    Default,
+    Chain(Vec<Method>),
+}
+
+impl Solver {
+    /// A solver using `method` with default [`SolverConfig`], no fallback
+    /// and no irreducibility check.
+    #[must_use]
+    pub fn new(method: Method) -> Solver {
+        Solver {
+            method,
+            config: SolverConfig::default(),
+            fallback: FallbackPolicy::Off,
+            check_irreducible: false,
+        }
+    }
+
+    /// Sets the convergence tolerance (see [`SolverConfig::tolerance`]).
+    #[must_use]
+    pub fn tolerance(mut self, tolerance: f64) -> Solver {
+        self.config.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the iteration budget.
+    #[must_use]
+    pub fn max_iters(mut self, max_iterations: usize) -> Solver {
+        self.config.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the GMRES restart length.
+    #[must_use]
+    pub fn restart(mut self, restart: usize) -> Solver {
+        self.config.restart = restart;
+        self
+    }
+
+    /// Sets the Krylov preconditioner.
+    #[must_use]
+    pub fn precond(mut self, precond: Precond) -> Solver {
+        self.config.precond = precond;
+        self
+    }
+
+    /// Replaces the whole numerical configuration at once — the hook the
+    /// harness CLI and the `dpm-mdp` evaluation backends use to share one
+    /// options struct.
+    #[must_use]
+    pub fn config(mut self, config: SolverConfig) -> Solver {
+        self.config = config;
+        self
+    }
+
+    /// Arms escalation through an explicit method chain. The builder's
+    /// own method is tried first; chain members then follow in order
+    /// (duplicates of the first method are skipped).
+    #[must_use]
+    pub fn fallback(mut self, chain: &[Method]) -> Solver {
+        self.fallback = FallbackPolicy::Chain(chain.to_vec());
+        self
+    }
+
+    /// Arms escalation through the representation's default chain
+    /// ([`FALLBACK_CHAIN`] dense, [`SPARSE_FALLBACK_CHAIN`] sparse).
+    #[must_use]
+    pub fn with_default_fallback(mut self) -> Solver {
+        self.fallback = FallbackPolicy::Default;
+        self
+    }
+
+    /// Verifies irreducibility before solving, reporting
+    /// [`CtmcError::Reducible`] with the class count otherwise.
+    #[must_use]
+    pub fn check_irreducible(mut self) -> Solver {
+        self.check_irreducible = true;
+        self
+    }
+
+    /// Solves `πG = 0`, `Σπ = 1` on a dense or sparse generator.
+    ///
+    /// Without fallback, the configured method's result is returned
+    /// as-is (with its a-posteriori residual in the stats). With
+    /// fallback, each backend's candidate must pass the validation
+    /// guard — entries finite and nonnegative, mass 1, residual within
+    /// the stiffness-scaled slack — or the next backend is tried.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's failure (singular system, degenerate
+    /// elimination, non-convergence, invalid chain);
+    /// [`CtmcError::Reducible`] if [`Solver::check_irreducible`] is armed
+    /// and the chain has more than one communicating class;
+    /// [`CtmcError::FallbackExhausted`] when an armed chain runs out of
+    /// backends.
+    pub fn solve<'a>(
+        &self,
+        generator: impl Into<GeneratorRef<'a>>,
+    ) -> Result<(DVector, SolveStats), CtmcError> {
+        let generator = generator.into();
+        if self.check_irreducible {
+            let classes = match generator {
+                GeneratorRef::Dense(g) => graph::communicating_classes(g).len(),
+                GeneratorRef::Sparse(g) => graph::communicating_classes_sparse(g).len(),
+            };
+            if classes != 1 {
+                return Err(CtmcError::Reducible { classes });
+            }
+        }
+        let chain = self.effective_chain(generator);
+        match generator {
+            GeneratorRef::Dense(g) => {
+                if let [method] = chain.as_slice() {
+                    let (pi, sweeps) = attempt_dense(g, *method, &self.config)?;
+                    let residual = residual(g, &pi);
+                    return Ok((
+                        pi,
+                        SolveStats {
+                            method: *method,
+                            sweeps,
+                            residual,
+                            escalation: Vec::new(),
+                        },
+                    ));
+                }
+                run_fallback(
+                    &chain,
+                    max_abs_diagonal(g),
+                    |method| attempt_dense(g, method, &self.config),
+                    |pi| residual(g, pi),
+                )
+            }
+            GeneratorRef::Sparse(g) => {
+                if let [method] = chain.as_slice() {
+                    let (pi, sweeps) = attempt_sparse(g, *method, &self.config)?;
+                    let residual = residual_sparse(g, &pi);
+                    return Ok((
+                        pi,
+                        SolveStats {
+                            method: *method,
+                            sweeps,
+                            residual,
+                            escalation: Vec::new(),
+                        },
+                    ));
+                }
+                run_fallback(
+                    &chain,
+                    g.max_exit_rate(),
+                    |method| attempt_sparse(g, method, &self.config),
+                    |pi| residual_sparse(g, pi),
+                )
+            }
+        }
+    }
+
+    /// The ordered method list this solve will try: the builder's method
+    /// first, then the armed chain (minus duplicates of the first).
+    fn effective_chain(&self, generator: GeneratorRef<'_>) -> Vec<Method> {
+        let base: &[Method] = match &self.fallback {
+            FallbackPolicy::Off => return vec![self.method],
+            FallbackPolicy::Default => match generator {
+                GeneratorRef::Dense(_) => &FALLBACK_CHAIN,
+                GeneratorRef::Sparse(_) => &SPARSE_FALLBACK_CHAIN,
+            },
+            FallbackPolicy::Chain(chain) => chain,
+        };
+        let mut methods = vec![self.method];
+        for &m in base {
+            if !methods.contains(&m) {
+                methods.push(m);
+            }
+        }
+        methods
+    }
+}
 
 /// Why a candidate distribution is unacceptable, or `None` if it passes
 /// every guard (finite, nonnegative, sums to 1, small scaled residual).
@@ -316,56 +586,215 @@ fn max_abs_diagonal(generator: &Generator) -> f64 {
         .fold(0.0, f64::max)
 }
 
-/// Solves `πG = 0`, `Σπ = 1`, escalating through [`FALLBACK_CHAIN`] until a
-/// backend produces an acceptable distribution.
-///
-/// A backend is rejected — and the next one tried — when it errors
-/// (`Singular`, degenerate elimination, `NotConverged`, …) or when its
-/// result fails the validation guard: every entry finite and nonnegative,
-/// mass summing to 1, and residual `‖πG‖∞` within a slack scaled by the
-/// chain's fastest rate. The winning method and the full escalation path
-/// (with per-method rejection reasons) are recorded in the returned
-/// [`SolveStats`].
-///
-/// Unlike the single-method entry points this succeeds on chains the direct
-/// paths reject — e.g. LU declares a reducible chain `Singular`, but power
-/// iteration still converges to *a* stationary distribution (for a
-/// reducible chain the result is the uniform-start mixture over closed
-/// classes, not a unique limit; callers needing uniqueness should check
-/// irreducibility via [`solve_checked`]).
-///
-/// # Errors
-///
-/// Returns [`CtmcError::FallbackExhausted`] listing every attempted method
-/// and its rejection reason if no backend produces an acceptable
-/// distribution.
-pub fn solve_with_fallback(generator: &Generator) -> Result<(DVector, SolveStats), CtmcError> {
-    run_fallback(
-        &FALLBACK_CHAIN,
-        max_abs_diagonal(generator),
-        |method| solve_inner(generator, method),
-        |pi| residual(generator, pi),
-    )
+/// One backend attempt on a dense generator, returning (π, sweeps).
+fn attempt_dense(
+    generator: &Generator,
+    method: Method,
+    config: &SolverConfig,
+) -> Result<(DVector, usize), CtmcError> {
+    match method {
+        Method::Lu => Ok((dense_lu(generator)?, 0)),
+        Method::Gth => Ok((dense_gth(generator)?, 0)),
+        Method::Power => Ok((
+            dense_power(generator, config.tolerance, config.max_iterations)?,
+            // The dense power path does not count its own steps; callers
+            // who need the count use the sparse representation.
+            0,
+        )),
+        Method::Iterative | Method::BiCgStab | Method::Gmres => {
+            attempt_sparse(&SparseGenerator::from_generator(generator), method, config)
+        }
+    }
 }
 
-/// Sparse twin of [`solve_with_fallback`], escalating through
-/// [`SPARSE_FALLBACK_CHAIN`].
-///
-/// The direct backends densify first (as in [`solve_sparse`]); the
-/// iterative backends run entirely on the CSR storage.
-///
-/// # Errors
-///
-/// As [`solve_with_fallback`].
-pub fn solve_sparse_with_fallback(
+/// One backend attempt on a sparse generator, returning (π, sweeps).
+fn attempt_sparse(
     generator: &SparseGenerator,
-) -> Result<(DVector, SolveStats), CtmcError> {
-    run_fallback(
-        &SPARSE_FALLBACK_CHAIN,
-        generator.max_exit_rate(),
-        |method| solve_sparse_inner(generator, method),
-        |pi| residual_sparse(generator, pi),
-    )
+    method: Method,
+    config: &SolverConfig,
+) -> Result<(DVector, usize), CtmcError> {
+    match method {
+        Method::Lu => sparse_direct(generator),
+        Method::Gth => {
+            // Keep GTH's contract of rejecting transition-free chains
+            // before the factorization turns them into a singular solve.
+            uniformization_constant(generator)?;
+            sparse_direct(generator)
+        }
+        Method::Power => sparse_power(generator, config.tolerance, config.max_iterations),
+        Method::Iterative => {
+            sparse_gauss_seidel(generator, config.tolerance, config.max_iterations)
+        }
+        Method::BiCgStab | Method::Gmres => sparse_krylov(generator, method, config),
+    }
+}
+
+fn uniformization_constant(generator: &SparseGenerator) -> Result<f64, CtmcError> {
+    let lambda = UNIFORMIZATION_MARGIN * generator.max_exit_rate();
+    if lambda <= 0.0 {
+        return Err(CtmcError::InvalidParameter {
+            reason: "cannot uniformize a chain with no transitions".to_owned(),
+        });
+    }
+    Ok(lambda)
+}
+
+/// Sparse direct solve via [`SparseLu`] on the normalization-row system —
+/// the sparse `Method::Lu` and `Method::Gth` path (both resolve to this
+/// equilibrated solve; see [`normalization_system`]). No densification:
+/// memory follows the factor fill-in plus the single dense row, not `n²`.
+fn sparse_direct(generator: &SparseGenerator) -> Result<(DVector, usize), CtmcError> {
+    let n = generator.n_states();
+    if n == 1 {
+        return Ok((DVector::constant(1, 1.0), 0));
+    }
+    let (a, b) = normalization_system(generator);
+    let lu = SparseLu::new(&a).map_err(CtmcError::Numerical)?;
+    let x = lu.solve(&b).map_err(CtmcError::Numerical)?;
+    Ok((finish_direct(&x)?, 0))
+}
+
+/// Builds the normalization-row system for the sparse direct and Krylov
+/// solvers: `A x = e_{n-1}` with `A = D·Gᵀ` except that row `n−1` is the
+/// all-ones normalization row, so the solution is `π` itself. `D`
+/// equilibrates each balance row by its largest rate — row scaling leaves
+/// the solution untouched but keeps the pivots comparable when rates span
+/// many orders of magnitude (a single global scale cannot; stiff chains
+/// would otherwise lose five-plus digits to the imbalance).
+///
+/// An alternative — eliminating the reference state and solving for
+/// `π / π_{n-1}` — keeps the system free of the dense row, but its
+/// solution spans as many orders of magnitude as `π_max / π_{n-1}`, which
+/// for stiff chains overflows what `f64` residuals can resolve (the
+/// Krylov methods then cannot converge, and even a pivoted direct solve
+/// loses the distribution's small entries). This formulation keeps
+/// `‖x‖ ≤ 1` and `‖b‖ = 1` regardless of how lopsided `π` is, at the
+/// cost of `n` extra non-zeros and whatever fill-in the dense row causes
+/// in a direct factorization (none for ILU(0) or matrix-vector products).
+fn normalization_system(generator: &SparseGenerator) -> (CsrMatrix, DVector) {
+    let n = generator.n_states();
+    debug_assert!(n >= 2, "normalization system needs at least two states");
+    let mut row_max = vec![0.0f64; n];
+    for (_, j, v) in generator.csr().iter() {
+        if j < n - 1 {
+            row_max[j] = row_max[j].max(v.abs());
+        }
+    }
+    let mut triplets = Vec::with_capacity(generator.nnz() + n);
+    for (i, j, v) in generator.csr().iter() {
+        if j == n - 1 {
+            // Balance row n−1 of Gᵀ is replaced by the normalization row.
+            continue;
+        }
+        let scale = if row_max[j] > 0.0 { row_max[j] } else { 1.0 };
+        triplets.push((j, i, v / scale));
+    }
+    for c in 0..n {
+        triplets.push((n - 1, c, 1.0));
+    }
+    let mut b = DVector::zeros(n);
+    b[n - 1] = 1.0;
+    // Construction cannot fail: indices are < n and rates are finite by
+    // the generator's invariants.
+    match CsrMatrix::from_triplets(n, n, &triplets) {
+        Ok(a) => (a, b),
+        Err(_) => unreachable!("normalization-row triplets are in range and finite"), // dpm-lint: allow(no_panic, reason = "from_triplets only rejects out-of-range or non-finite entries, excluded by the generator invariants")
+    }
+}
+
+/// Normalizes a direct Krylov solution of the normalization-row system
+/// into a distribution (the solve already targets `Σπ = 1`; renormalize to
+/// absorb the residual).
+fn finish_direct(x: &DVector) -> Result<DVector, CtmcError> {
+    let mut pi = x.clone();
+    let sum = pi.sum();
+    if !sum.is_finite() || sum <= 0.0 {
+        return Err(CtmcError::Numerical(
+            dpm_linalg::LinalgError::InvalidInput {
+                reason: format!("stationary Krylov solve produced probability mass {sum}"),
+            },
+        ));
+    }
+    pi.scale_mut(1.0 / sum);
+    sanitize(pi)
+}
+
+/// Krylov solve (BiCGSTAB or GMRES per `method`) with optional ILU(0)
+/// preconditioning on the normalization-row system.
+fn sparse_krylov(
+    generator: &SparseGenerator,
+    method: Method,
+    config: &SolverConfig,
+) -> Result<(DVector, usize), CtmcError> {
+    let n = generator.n_states();
+    if n == 1 {
+        return Ok((DVector::constant(1, 1.0), 0));
+    }
+    // The all-zero generator would reduce to the normalization row alone
+    // and "converge" instantly to the uniform distribution; reject it
+    // like the uniformized methods do.
+    if generator.max_exit_rate() <= 0.0 {
+        return Err(CtmcError::InvalidParameter {
+            reason: "cannot solve a chain with no transitions".to_owned(),
+        });
+    }
+    let (a, d) = normalization_system(generator);
+    let options = KrylovOptions {
+        tolerance: config.tolerance,
+        max_iterations: config.max_iterations,
+        restart: config.restart,
+    };
+    let precond = match config.precond {
+        Precond::Ilu0 => match Ilu0::new(&a) {
+            Ok(m) => Some(m),
+            // Deterministic downgrade: a singular ILU pivot means the
+            // pattern cannot support the factorization; iterate without it.
+            Err(dpm_linalg::LinalgError::Singular { .. }) => None,
+            Err(e) => return Err(CtmcError::Numerical(e)),
+        },
+        Precond::None => None,
+    };
+    let solve = |rhs: &DVector| match method {
+        Method::Gmres => krylov::gmres(&a, rhs, precond.as_ref(), &options),
+        _ => krylov::bicgstab(&a, rhs, precond.as_ref(), &options),
+    };
+    let result = solve(&d).map_err(CtmcError::Numerical)?;
+    let mut x = result.solution;
+    let mut iterations = result.iterations;
+    // Iterative refinement: the Krylov recursion stops once its residual
+    // reaches `tol·‖b‖`, but the *forward* error is κ(A) times that, which
+    // on stiff chains costs five-plus digits against the backward-stable
+    // direct solves. Correcting against the true residual closes the gap
+    // to the κ(A)·ε floor those solves sit at. The floor check keeps the
+    // correction solve from chasing a right-hand side that is already
+    // rounding noise (its relative target would be unreachable).
+    let a_norm = a_norm_inf(&a);
+    for _ in 0..KRYLOV_REFINEMENT_STEPS {
+        let r = &d - &a.mul_vec(&x);
+        if r.norm() <= 4.0 * f64::EPSILON * (d.norm() + a_norm * x.norm()) {
+            break;
+        }
+        match solve(&r) {
+            Ok(correction) => {
+                x.axpy(1.0, &correction.solution);
+                iterations += correction.iterations;
+            }
+            // Best effort: the uncorrected x already passed the solver's
+            // convergence gate.
+            Err(_) => break,
+        }
+    }
+    Ok((finish_direct(&x)?, iterations))
+}
+
+/// Maximum-absolute-row-sum norm of a CSR matrix.
+fn a_norm_inf(a: &CsrMatrix) -> f64 {
+    let mut norm = 0.0f64;
+    for i in 0..a.nrows() {
+        let row_sum: f64 = a.row(i).map(|(_, v)| v.abs()).sum();
+        norm = norm.max(row_sum);
+    }
+    norm
 }
 
 /// Power iteration `π ← π(I + G/Λ)` on the uniformized chain, matrix-free
@@ -376,12 +805,7 @@ fn sparse_power(
     max_iterations: usize,
 ) -> Result<(DVector, usize), CtmcError> {
     let n = generator.n_states();
-    let lambda = UNIFORMIZATION_MARGIN * generator.max_exit_rate();
-    if lambda <= 0.0 {
-        return Err(CtmcError::InvalidParameter {
-            reason: "cannot uniformize a chain with no transitions".to_owned(),
-        });
-    }
+    let lambda = uniformization_constant(generator)?;
     let mut pi = DVector::constant(n, 1.0 / n as f64);
     for sweep in 1..=max_iterations {
         let next = generator.uniformized_step(&pi, lambda);
@@ -468,28 +892,9 @@ pub fn residual_sparse(generator: &SparseGenerator, pi: &DVector) -> f64 {
     generator.csr().vec_mul(pi).norm_inf()
 }
 
-/// Solves `πG = 0`, `Σπ = 1` by replacing the last balance equation with the
-/// normalization constraint and LU-factorizing.
-///
-/// # Errors
-///
-/// Returns [`CtmcError::Numerical`] if the linear system is singular, which
-/// for a validated generator indicates a reducible chain.
-///
-/// # Examples
-///
-/// ```
-/// use dpm_ctmc::{stationary, Generator};
-///
-/// # fn main() -> Result<(), dpm_ctmc::CtmcError> {
-/// let g = Generator::builder(2).rate(0, 1, 1.0).rate(1, 0, 3.0).build()?;
-/// let pi = stationary::solve_lu(&g)?;
-/// assert!((pi[0] - 0.75).abs() < 1e-12);
-/// assert!((pi[1] - 0.25).abs() < 1e-12);
-/// # Ok(())
-/// # }
-/// ```
-pub fn solve_lu(generator: &Generator) -> Result<DVector, CtmcError> {
+/// Dense direct solve: replace the last balance equation with the
+/// normalization constraint and LU-factorize.
+fn dense_lu(generator: &Generator) -> Result<DVector, CtmcError> {
     let n = generator.n_states();
     // πG = 0  ⟺  Gᵀ πᵀ = 0. Replace the last row of Gᵀ with 1s and solve
     // against e_{n-1} to impose Σπ = 1.
@@ -504,48 +909,20 @@ pub fn solve_lu(generator: &Generator) -> Result<DVector, CtmcError> {
     sanitize(pi)
 }
 
-/// Solves for the stationary distribution with the numerically stable GTH
-/// elimination (via uniformization).
-///
-/// # Errors
-///
-/// Returns [`CtmcError::InvalidParameter`] for a chain with no transitions,
-/// or [`CtmcError::Numerical`] if elimination degenerates (reducible chain).
-pub fn solve_gth(generator: &Generator) -> Result<DVector, CtmcError> {
+/// Dense GTH elimination via uniformization.
+fn dense_gth(generator: &Generator) -> Result<DVector, CtmcError> {
     let (dtmc, _) = generator.uniformize(UNIFORMIZATION_MARGIN)?;
     dtmc.stationary_gth()
 }
 
-/// Solves for the stationary distribution by power iteration on the
-/// uniformized chain.
-///
-/// # Errors
-///
-/// Returns [`CtmcError::Numerical`] if iteration does not converge within
-/// `max_iterations`.
-pub fn solve_power(
+/// Dense power iteration on the uniformized chain.
+fn dense_power(
     generator: &Generator,
     tolerance: f64,
     max_iterations: usize,
 ) -> Result<DVector, CtmcError> {
     let (dtmc, _) = generator.uniformize(UNIFORMIZATION_MARGIN)?;
     dtmc.stationary_power(tolerance, max_iterations)
-}
-
-/// Verifies irreducibility, then solves with GTH (the most robust method).
-///
-/// # Errors
-///
-/// Returns [`CtmcError::Reducible`] for reducible chains, otherwise as
-/// [`solve_gth`].
-pub fn solve_checked(generator: &Generator) -> Result<DVector, CtmcError> {
-    let classes = graph::communicating_classes(generator);
-    if classes.len() != 1 {
-        return Err(CtmcError::Reducible {
-            classes: classes.len(),
-        });
-    }
-    solve_gth(generator)
 }
 
 /// Residual `‖πG‖_∞` of a candidate stationary vector — a cheap a-posteriori
@@ -699,7 +1076,9 @@ pub fn gain_vector(generator: &Generator, costs: &DVector) -> Result<DVector, Ct
             // Closed-class sub-generators inherit whatever conditioning the
             // policy induced; escalate through the fallback chain rather
             // than letting one ill-conditioned class abort the evaluation.
-            let (pi, _) = solve_with_fallback(&sub)?;
+            let (pi, _) = Solver::new(FALLBACK_CHAIN[0])
+                .with_default_fallback()
+                .solve(&sub)?;
             members
                 .iter()
                 .enumerate()
@@ -786,6 +1165,166 @@ pub fn mm1k_generator(lambda: f64, mu: f64, capacity: usize) -> Result<Generator
     b.build()
 }
 
+// ---------------------------------------------------------------------------
+// Deprecated free-function shims over `Solver`.
+// ---------------------------------------------------------------------------
+
+/// Solves `πG = 0`, `Σπ = 1` with the selected backend.
+///
+/// # Errors
+///
+/// As [`Solver::solve`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use stationary::Solver::new(method).solve(generator)"
+)]
+pub fn solve(generator: &Generator, method: Method) -> Result<DVector, CtmcError> {
+    Solver::new(method).solve(generator).map(|(pi, _)| pi)
+}
+
+/// As `solve`, additionally reporting sweep count and final residual.
+///
+/// # Errors
+///
+/// As [`Solver::solve`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use stationary::Solver::new(method).solve(generator)"
+)]
+pub fn solve_with_stats(
+    generator: &Generator,
+    method: Method,
+) -> Result<(DVector, SolveStats), CtmcError> {
+    Solver::new(method).solve(generator)
+}
+
+/// Solves `πG = 0`, `Σπ = 1` on a sparse generator with the selected
+/// backend.
+///
+/// # Errors
+///
+/// As [`Solver::solve`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use stationary::Solver::new(method).solve(generator)"
+)]
+pub fn solve_sparse(generator: &SparseGenerator, method: Method) -> Result<DVector, CtmcError> {
+    Solver::new(method).solve(generator).map(|(pi, _)| pi)
+}
+
+/// As `solve_sparse`, additionally reporting sweep count and final
+/// residual.
+///
+/// # Errors
+///
+/// As [`Solver::solve`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use stationary::Solver::new(method).solve(generator)"
+)]
+pub fn solve_sparse_with_stats(
+    generator: &SparseGenerator,
+    method: Method,
+) -> Result<(DVector, SolveStats), CtmcError> {
+    Solver::new(method).solve(generator)
+}
+
+/// Solves with escalation through [`FALLBACK_CHAIN`].
+///
+/// # Errors
+///
+/// As [`Solver::solve`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use stationary::Solver::new(method).with_default_fallback().solve(generator)"
+)]
+pub fn solve_with_fallback(generator: &Generator) -> Result<(DVector, SolveStats), CtmcError> {
+    Solver::new(FALLBACK_CHAIN[0])
+        .with_default_fallback()
+        .solve(generator)
+}
+
+/// Sparse twin of `solve_with_fallback`, escalating through
+/// [`SPARSE_FALLBACK_CHAIN`].
+///
+/// # Errors
+///
+/// As [`Solver::solve`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use stationary::Solver::new(method).with_default_fallback().solve(generator)"
+)]
+pub fn solve_sparse_with_fallback(
+    generator: &SparseGenerator,
+) -> Result<(DVector, SolveStats), CtmcError> {
+    Solver::new(SPARSE_FALLBACK_CHAIN[0])
+        .with_default_fallback()
+        .solve(generator)
+}
+
+/// Direct dense LU solve of the balance equations.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::Numerical`] if the linear system is singular, which
+/// for a validated generator indicates a reducible chain.
+#[deprecated(
+    since = "0.1.0",
+    note = "use stationary::Solver::new(Method::Lu).solve(generator)"
+)]
+pub fn solve_lu(generator: &Generator) -> Result<DVector, CtmcError> {
+    dense_lu(generator)
+}
+
+/// Solves with the numerically stable GTH elimination (via uniformization).
+///
+/// # Errors
+///
+/// Returns [`CtmcError::InvalidParameter`] for a chain with no transitions,
+/// or [`CtmcError::Numerical`] if elimination degenerates (reducible chain).
+#[deprecated(
+    since = "0.1.0",
+    note = "use stationary::Solver::new(Method::Gth).solve(generator)"
+)]
+pub fn solve_gth(generator: &Generator) -> Result<DVector, CtmcError> {
+    dense_gth(generator)
+}
+
+/// Solves by power iteration on the uniformized chain.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::Numerical`] if iteration does not converge within
+/// `max_iterations`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use stationary::Solver::new(Method::Power).tolerance(..).max_iters(..).solve(generator)"
+)]
+pub fn solve_power(
+    generator: &Generator,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<DVector, CtmcError> {
+    dense_power(generator, tolerance, max_iterations)
+}
+
+/// Verifies irreducibility, then solves with GTH (the most robust method).
+///
+/// # Errors
+///
+/// Returns [`CtmcError::Reducible`] for reducible chains, otherwise as
+/// [`Solver::solve`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use stationary::Solver::new(Method::Gth).check_irreducible().solve(generator)"
+)]
+pub fn solve_checked(generator: &Generator) -> Result<DVector, CtmcError> {
+    Solver::new(Method::Gth)
+        .check_irreducible()
+        .solve(generator)
+        .map(|(pi, _)| pi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -801,20 +1340,29 @@ mod tests {
             .unwrap()
     }
 
+    fn pi_of(method: Method, g: &Generator) -> DVector {
+        Solver::new(method).solve(g).unwrap().0
+    }
+
     #[test]
     fn lu_satisfies_balance() {
         let g = three_state();
-        let pi = solve_lu(&g).unwrap();
+        let pi = pi_of(Method::Lu, &g);
         assert!(residual(&g, &pi) < 1e-12);
         assert!((pi.sum() - 1.0).abs() < 1e-12);
     }
 
     #[test]
-    fn three_solvers_agree() {
+    fn direct_solvers_agree() {
         let g = three_state();
-        let lu = solve_lu(&g).unwrap();
-        let gth = solve_gth(&g).unwrap();
-        let pow = solve_power(&g, 1e-14, 1_000_000).unwrap();
+        let lu = pi_of(Method::Lu, &g);
+        let gth = pi_of(Method::Gth, &g);
+        let pow = Solver::new(Method::Power)
+            .tolerance(1e-14)
+            .max_iters(1_000_000)
+            .solve(&g)
+            .unwrap()
+            .0;
         assert!((&lu - &gth).norm_inf() < 1e-10);
         assert!((&lu - &pow).norm_inf() < 1e-8);
     }
@@ -825,7 +1373,7 @@ mod tests {
         let mu = 1.0;
         let k = 6;
         let g = mm1k_generator(lambda, mu, k).unwrap();
-        let pi = solve_gth(&g).unwrap();
+        let pi = pi_of(Method::Gth, &g);
         let closed = birth_death::Mm1k::new(lambda, mu, k).unwrap();
         for i in 0..=k {
             assert!(
@@ -846,7 +1394,7 @@ mod tests {
             .rate(2, 0, 1.0)
             .build()
             .unwrap();
-        let pi = solve_gth(&g).unwrap();
+        let pi = pi_of(Method::Gth, &g);
         assert!(residual(&g, &pi) < 1e-9);
     }
 
@@ -859,14 +1407,27 @@ mod tests {
             .build()
             .unwrap();
         assert!(matches!(
-            solve_checked(&g),
+            Solver::new(Method::Gth).check_irreducible().solve(&g),
+            Err(CtmcError::Reducible { classes: 2 })
+        ));
+    }
+
+    #[test]
+    fn checked_rejects_reducible_sparse() {
+        let g =
+            SparseGenerator::from_transitions(3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(matches!(
+            Solver::new(Method::BiCgStab).check_irreducible().solve(&g),
             Err(CtmcError::Reducible { classes: 2 })
         ));
     }
 
     #[test]
     fn checked_accepts_irreducible() {
-        let pi = solve_checked(&three_state()).unwrap();
+        let (pi, _) = Solver::new(Method::Gth)
+            .check_irreducible()
+            .solve(&three_state())
+            .unwrap();
         assert!((pi.sum() - 1.0).abs() < 1e-12);
     }
 
@@ -885,8 +1446,18 @@ mod tests {
 }
 
 #[cfg(test)]
-mod unified_api_tests {
+mod solver_api_tests {
     use super::*;
+    use crate::birth_death;
+
+    const ALL_METHODS: [Method; 6] = [
+        Method::Lu,
+        Method::Gth,
+        Method::Power,
+        Method::Iterative,
+        Method::BiCgStab,
+        Method::Gmres,
+    ];
 
     fn three_state() -> Generator {
         Generator::builder(3)
@@ -901,9 +1472,9 @@ mod unified_api_tests {
     #[test]
     fn all_methods_agree_dense() {
         let g = three_state();
-        let reference = solve(&g, Method::Gth).unwrap();
-        for method in [Method::Lu, Method::Power, Method::Iterative] {
-            let pi = solve(&g, method).unwrap();
+        let (reference, _) = Solver::new(Method::Gth).solve(&g).unwrap();
+        for method in ALL_METHODS {
+            let (pi, _) = Solver::new(method).solve(&g).unwrap();
             assert!(
                 (&pi - &reference).norm_inf() < 1e-8,
                 "{method:?} diverges from GTH"
@@ -915,9 +1486,9 @@ mod unified_api_tests {
     fn all_methods_agree_sparse() {
         let g = three_state();
         let sparse = SparseGenerator::from_generator(&g);
-        let reference = solve_gth(&g).unwrap();
-        for method in [Method::Lu, Method::Gth, Method::Power, Method::Iterative] {
-            let pi = solve_sparse(&sparse, method).unwrap();
+        let (reference, _) = Solver::new(Method::Gth).solve(&g).unwrap();
+        for method in ALL_METHODS {
+            let (pi, _) = Solver::new(method).solve(&sparse).unwrap();
             assert!(
                 (&pi - &reference).norm_inf() < 1e-8,
                 "sparse {method:?} diverges from dense GTH"
@@ -931,9 +1502,41 @@ mod unified_api_tests {
     }
 
     #[test]
-    fn iterative_handles_stiff_chain() {
-        // Rates spanning 8 orders of magnitude — the regime where GS on the
-        // balance equations must not degrade.
+    fn method_names_round_trip() {
+        for method in ALL_METHODS {
+            assert_eq!(Method::parse(method.name()), Some(method));
+        }
+        assert_eq!(Method::parse("qr"), None);
+        for precond in [Precond::None, Precond::Ilu0] {
+            assert_eq!(Precond::parse(precond.name()), Some(precond));
+        }
+        assert_eq!(Precond::parse("ssor"), None);
+    }
+
+    #[test]
+    fn sparse_direct_no_longer_densifies_semantics() {
+        // A chain big enough that the old densifying path would be O(n²)
+        // memory; the sparse direct path must solve it and agree with the
+        // iterative tier.
+        let n = 2_000;
+        let mut transitions = Vec::new();
+        for i in 0..n - 1 {
+            transitions.push((i, i + 1, 0.8));
+            transitions.push((i + 1, i, 1.0));
+        }
+        transitions.push((n - 1, 0, 0.05));
+        let g = SparseGenerator::from_transitions(n, &transitions).unwrap();
+        let (lu, _) = Solver::new(Method::Lu).solve(&g).unwrap();
+        let (gth, _) = Solver::new(Method::Gth).solve(&g).unwrap();
+        let (krylov, _) = Solver::new(Method::BiCgStab).solve(&g).unwrap();
+        assert!((&lu - &gth).norm_inf() < 1e-10);
+        assert!((&lu - &krylov).norm_inf() < 1e-8);
+        assert!(residual_sparse(&g, &lu) < 1e-10);
+    }
+
+    #[test]
+    fn krylov_handles_stiff_chain() {
+        // Rates spanning 8 orders of magnitude.
         let g = Generator::builder(3)
             .rate(0, 1, 1e-4)
             .rate(1, 2, 1e4)
@@ -941,8 +1544,69 @@ mod unified_api_tests {
             .build()
             .unwrap();
         let sparse = SparseGenerator::from_generator(&g);
-        let pi = solve_sparse(&sparse, Method::Iterative).unwrap();
-        let reference = solve_gth(&g).unwrap();
+        let (reference, _) = Solver::new(Method::Gth).solve(&g).unwrap();
+        for method in [Method::BiCgStab, Method::Gmres] {
+            let (pi, _) = Solver::new(method).solve(&sparse).unwrap();
+            assert!(
+                (&pi - &reference).norm_inf() < 1e-8,
+                "{method:?} on stiff chain"
+            );
+        }
+    }
+
+    #[test]
+    fn krylov_precond_none_matches_ilu0() {
+        let g = mm1k_generator(0.7, 1.0, 30).unwrap();
+        let sparse = SparseGenerator::from_generator(&g);
+        let (with_ilu, _) = Solver::new(Method::Gmres).solve(&sparse).unwrap();
+        let (without, _) = Solver::new(Method::Gmres)
+            .precond(Precond::None)
+            .solve(&sparse)
+            .unwrap();
+        assert!((&with_ilu - &without).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn krylov_reports_iterations_in_sweeps() {
+        let g = mm1k_generator(0.6, 1.0, 50).unwrap();
+        let sparse = SparseGenerator::from_generator(&g);
+        for method in [Method::BiCgStab, Method::Gmres] {
+            let (_, stats) = Solver::new(method).solve(&sparse).unwrap();
+            assert!(stats.sweeps() > 0, "{method:?} reported no iterations");
+        }
+    }
+
+    #[test]
+    fn krylov_rejects_empty_chain() {
+        let g = SparseGenerator::from_transitions(3, &[]).unwrap();
+        for method in [Method::BiCgStab, Method::Gmres] {
+            assert!(matches!(
+                Solver::new(method).solve(&g),
+                Err(CtmcError::InvalidParameter { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn single_state_chain_is_trivial() {
+        let g = SparseGenerator::from_transitions(1, &[]).unwrap();
+        for method in [Method::Lu, Method::BiCgStab, Method::Gmres] {
+            let (pi, _) = Solver::new(method).solve(&g).unwrap();
+            assert_eq!(pi.as_slice(), &[1.0]);
+        }
+    }
+
+    #[test]
+    fn iterative_handles_stiff_chain() {
+        let g = Generator::builder(3)
+            .rate(0, 1, 1e-4)
+            .rate(1, 2, 1e4)
+            .rate(2, 0, 1.0)
+            .build()
+            .unwrap();
+        let sparse = SparseGenerator::from_generator(&g);
+        let (pi, _) = Solver::new(Method::Iterative).solve(&sparse).unwrap();
+        let (reference, _) = Solver::new(Method::Gth).solve(&g).unwrap();
         assert!((&pi - &reference).norm_inf() < 1e-8);
         assert!(residual_sparse(&sparse, &pi) < 1e-7);
     }
@@ -953,7 +1617,7 @@ mod unified_api_tests {
         let mu = 1.0;
         let k = 40;
         let g = mm1k_generator(lambda, mu, k).unwrap();
-        let pi = solve(&g, Method::Iterative).unwrap();
+        let (pi, _) = Solver::new(Method::Iterative).solve(&g).unwrap();
         let closed = birth_death::Mm1k::new(lambda, mu, k).unwrap();
         for i in 0..=k {
             assert!((pi[i] - closed.probability(i)).abs() < 1e-10, "state {i}");
@@ -964,7 +1628,7 @@ mod unified_api_tests {
     fn iterative_rejects_absorbing_state() {
         let g = SparseGenerator::from_transitions(2, &[(0, 1, 1.0)]).unwrap();
         assert!(matches!(
-            solve_sparse(&g, Method::Iterative),
+            Solver::new(Method::Iterative).solve(&g),
             Err(CtmcError::InvalidParameter { .. })
         ));
     }
@@ -973,7 +1637,7 @@ mod unified_api_tests {
     fn power_rejects_empty_chain() {
         let g = SparseGenerator::from_transitions(2, &[]).unwrap();
         assert!(matches!(
-            solve_sparse(&g, Method::Power),
+            Solver::new(Method::Power).solve(&g),
             Err(CtmcError::InvalidParameter { .. })
         ));
     }
@@ -983,7 +1647,7 @@ mod unified_api_tests {
         let g = three_state();
         let sparse = SparseGenerator::from_generator(&g);
         for method in [Method::Power, Method::Iterative] {
-            let (pi, stats) = solve_sparse_with_stats(&sparse, method).unwrap();
+            let (pi, stats) = Solver::new(method).solve(&sparse).unwrap();
             assert_eq!(stats.method(), method);
             assert!(stats.sweeps() > 0, "{method:?} reported no sweeps");
             assert!(stats.residual() < 1e-8, "{method:?}: {}", stats.residual());
@@ -996,29 +1660,36 @@ mod unified_api_tests {
         let g = three_state();
         let sparse = SparseGenerator::from_generator(&g);
         for method in [Method::Lu, Method::Gth] {
-            let (_, stats) = solve_sparse_with_stats(&sparse, method).unwrap();
+            let (_, stats) = Solver::new(method).solve(&sparse).unwrap();
             assert_eq!(stats.sweeps(), 0);
             assert!(stats.residual() < 1e-10);
         }
-        let (_, dense_stats) = solve_with_stats(&g, Method::Lu).unwrap();
+        let (_, dense_stats) = Solver::new(Method::Lu).solve(&g).unwrap();
         assert_eq!(dense_stats.sweeps(), 0);
         assert!(dense_stats.residual() < 1e-10);
     }
 
     #[test]
-    fn stats_distribution_matches_plain_solve() {
-        let g = three_state();
-        let sparse = SparseGenerator::from_generator(&g);
-        let plain = solve_sparse(&sparse, Method::Iterative).unwrap();
-        let (with_stats, _) = solve_sparse_with_stats(&sparse, Method::Iterative).unwrap();
-        assert_eq!(plain, with_stats);
-        let dense_plain = solve(&g, Method::Iterative).unwrap();
-        let (dense_with, stats) = solve_with_stats(&g, Method::Iterative).unwrap();
-        assert_eq!(dense_plain, dense_with);
-        assert!(stats.sweeps() > 0);
+    fn solver_is_reusable_across_generators() {
+        let solver = Solver::new(Method::BiCgStab).tolerance(1e-13);
+        let a = three_state();
+        let b = mm1k_generator(0.5, 1.0, 10).unwrap();
+        let (pi_a, _) = solver.solve(&a).unwrap();
+        let (pi_b, _) = solver.solve(&b).unwrap();
+        assert!((pi_a.sum() - 1.0).abs() < 1e-12);
+        assert!((pi_b.sum() - 1.0).abs() < 1e-12);
     }
 
-    use crate::birth_death;
+    #[test]
+    fn results_are_deterministic() {
+        let g = mm1k_generator(0.9, 1.0, 60).unwrap();
+        let sparse = SparseGenerator::from_generator(&g);
+        for method in ALL_METHODS {
+            let first = Solver::new(method).solve(&sparse).unwrap();
+            let second = Solver::new(method).solve(&sparse).unwrap();
+            assert_eq!(first.0, second.0, "{method:?} is not deterministic");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1033,6 +1704,18 @@ mod fallback_tests {
             .rate(1, 0, 0.5)
             .build()
             .unwrap()
+    }
+
+    fn dense_fallback(g: &Generator) -> Result<(DVector, SolveStats), CtmcError> {
+        Solver::new(FALLBACK_CHAIN[0])
+            .with_default_fallback()
+            .solve(g)
+    }
+
+    fn sparse_fallback(g: &SparseGenerator) -> Result<(DVector, SolveStats), CtmcError> {
+        Solver::new(SPARSE_FALLBACK_CHAIN[0])
+            .with_default_fallback()
+            .solve(g)
     }
 
     /// Two disjoint 2-state recurrent classes: the LU system is singular
@@ -1073,10 +1756,32 @@ mod fallback_tests {
     #[test]
     fn well_conditioned_chain_takes_first_method() {
         let g = three_state();
-        let (pi, stats) = solve_with_fallback(&g).unwrap();
+        let (pi, stats) = dense_fallback(&g).unwrap();
         assert_eq!(stats.method(), Method::Lu);
         assert!(!stats.escalated());
-        assert!((&pi - &solve_gth(&g).unwrap()).norm_inf() < 1e-10);
+        let (gth, _) = Solver::new(Method::Gth).solve(&g).unwrap();
+        assert!((&pi - &gth).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn sparse_chain_leads_with_krylov() {
+        let g = SparseGenerator::from_generator(&three_state());
+        let (pi, stats) = sparse_fallback(&g).unwrap();
+        assert_eq!(stats.method(), Method::BiCgStab);
+        assert!(!stats.escalated());
+        assert_valid_distribution(&pi);
+    }
+
+    #[test]
+    fn custom_chain_is_respected() {
+        let g = three_state();
+        let (_, stats) = Solver::new(Method::Power)
+            .tolerance(1e-13)
+            .fallback(&[Method::Gth])
+            .solve(&g)
+            .unwrap();
+        // Power converges here, so it wins before the chain continues.
+        assert_eq!(stats.method(), Method::Power);
     }
 
     #[test]
@@ -1084,13 +1789,13 @@ mod fallback_tests {
         let g = reducible_two_classes();
         // The direct path rejects this outright...
         assert!(matches!(
-            solve(&g, Method::Lu),
+            Solver::new(Method::Lu).solve(&g),
             Err(CtmcError::Numerical(
                 dpm_linalg::LinalgError::Singular { .. }
             ))
         ));
         // ...but the fallback chain still produces a stationary mixture.
-        let (pi, stats) = solve_with_fallback(&g).unwrap();
+        let (pi, stats) = dense_fallback(&g).unwrap();
         assert_valid_distribution(&pi);
         assert!(residual(&g, &pi) < 1e-8);
         assert!(stats.escalated());
@@ -1105,7 +1810,7 @@ mod fallback_tests {
         let sparse = SparseGenerator::from_generator(&g);
         // The iterative path alone gives up with the final residual in the
         // error (small: "almost converged", not diverged).
-        match solve_sparse(&sparse, Method::Iterative) {
+        match Solver::new(Method::Iterative).solve(&sparse) {
             Err(CtmcError::Numerical(dpm_linalg::LinalgError::NotConverged {
                 residual, ..
             })) => assert!(
@@ -1114,11 +1819,17 @@ mod fallback_tests {
             ),
             other => panic!("expected NotConverged, got {other:?}"),
         }
-        // The fallback chain solves it directly (LU handles 1e-9 coupling).
-        let (pi, stats) = solve_sparse_with_fallback(&sparse).unwrap();
+        // The fallback chain solves it: preconditioned BiCGSTAB handles the
+        // 1e-9 coupling (ILU(0) on the 3×3 reduced system is nearly exact),
+        // and sparse LU backs it up.
+        let (pi, stats) = sparse_fallback(&sparse).unwrap();
         assert_valid_distribution(&pi);
         assert!(residual_sparse(&sparse, &pi) < 1e-10);
-        assert_eq!(stats.method(), Method::Lu);
+        assert!(
+            matches!(stats.method(), Method::BiCgStab | Method::Lu),
+            "unexpected winner {:?}",
+            stats.method()
+        );
     }
 
     #[test]
@@ -1130,21 +1841,20 @@ mod fallback_tests {
             .rate(2, 0, 1.0)
             .build()
             .unwrap();
-        let (pi, stats) = solve_with_fallback(&g).unwrap();
+        let (pi, stats) = dense_fallback(&g).unwrap();
         assert_valid_distribution(&pi);
         assert!(stats.residual() <= FALLBACK_RESIDUAL_SLACK * 1e5 * 1.05);
         let sparse = SparseGenerator::from_generator(&g);
-        let (pi_s, _) = solve_sparse_with_fallback(&sparse).unwrap();
+        let (pi_s, _) = sparse_fallback(&sparse).unwrap();
         assert!((&pi - &pi_s).norm_inf() < 1e-8);
     }
 
     #[test]
     fn exhaustion_reports_every_attempt() {
-        // An absorbing two-state chain has stationary π = (0, 1); LU finds
-        // it, so force exhaustion with an empty chain instead: no
-        // transitions means no method can make progress.
+        // An empty chain: no method can make progress, so every chain
+        // member must appear in the error with its reason.
         let g = SparseGenerator::from_transitions(3, &[]).unwrap();
-        let err = solve_sparse_with_fallback(&g).unwrap_err();
+        let err = sparse_fallback(&g).unwrap_err();
         match err {
             CtmcError::FallbackExhausted { attempts } => {
                 assert_eq!(attempts.len(), SPARSE_FALLBACK_CHAIN.len());
@@ -1168,8 +1878,88 @@ mod fallback_tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
+mod deprecated_shim_tests {
+    //! The deprecated free functions must keep returning exactly what the
+    //! `Solver` builder returns until they are removed.
+
+    use super::*;
+
+    fn three_state() -> Generator {
+        Generator::builder(3)
+            .rate(0, 1, 2.0)
+            .rate(1, 2, 1.0)
+            .rate(2, 0, 4.0)
+            .rate(1, 0, 0.5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shims_match_the_solver_builder() {
+        let g = three_state();
+        let sparse = SparseGenerator::from_generator(&g);
+        for method in [Method::Lu, Method::Gth, Method::Power, Method::Iterative] {
+            assert_eq!(
+                solve(&g, method).unwrap(),
+                Solver::new(method).solve(&g).unwrap().0
+            );
+            assert_eq!(
+                solve_sparse(&sparse, method).unwrap(),
+                Solver::new(method).solve(&sparse).unwrap().0
+            );
+        }
+        assert_eq!(solve_lu(&g).unwrap(), solve(&g, Method::Lu).unwrap());
+        assert_eq!(solve_gth(&g).unwrap(), solve(&g, Method::Gth).unwrap());
+        assert_eq!(
+            solve_power(&g, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS).unwrap(),
+            solve(&g, Method::Power).unwrap()
+        );
+        assert_eq!(solve_checked(&g).unwrap(), solve(&g, Method::Gth).unwrap());
+        let (pi, stats) = solve_with_fallback(&g).unwrap();
+        let (pi_b, stats_b) = Solver::new(FALLBACK_CHAIN[0])
+            .with_default_fallback()
+            .solve(&g)
+            .unwrap();
+        assert_eq!(pi, pi_b);
+        assert_eq!(stats, stats_b);
+        let (pi_s, _) = solve_sparse_with_fallback(&sparse).unwrap();
+        let (pi_sb, _) = Solver::new(SPARSE_FALLBACK_CHAIN[0])
+            .with_default_fallback()
+            .solve(&sparse)
+            .unwrap();
+        assert_eq!(pi_s, pi_sb);
+        let (with_stats, _) = solve_with_stats(&g, Method::Iterative).unwrap();
+        assert_eq!(with_stats, solve(&g, Method::Iterative).unwrap());
+        let (sparse_stats, _) = solve_sparse_with_stats(&sparse, Method::Iterative).unwrap();
+        assert_eq!(
+            sparse_stats,
+            solve_sparse(&sparse, Method::Iterative).unwrap()
+        );
+    }
+
+    #[test]
+    fn checked_shim_still_rejects_reducible() {
+        let g = Generator::builder(3)
+            .rate(0, 1, 1.0)
+            .rate(1, 0, 1.0)
+            .rate(1, 2, 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            solve_checked(&g),
+            Err(CtmcError::Reducible { classes: 2 })
+        ));
+    }
+}
+
+#[cfg(test)]
 mod unichain_tests {
     use super::*;
+
+    fn lu_pi(g: &Generator) -> DVector {
+        Solver::new(Method::Lu).solve(g).unwrap().0
+    }
 
     #[test]
     fn unichain_average_matches_irreducible_solution() {
@@ -1179,7 +1969,7 @@ mod unichain_tests {
             .build()
             .unwrap();
         let c = DVector::from_vec(vec![4.0, 0.0]);
-        let via_pi = long_run_average(&solve_lu(&g).unwrap(), &c);
+        let via_pi = long_run_average(&lu_pi(&g), &c);
         let via_gain = unichain_average(&g, &c).unwrap();
         assert!((via_pi - via_gain).abs() < 1e-12);
     }

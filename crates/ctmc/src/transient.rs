@@ -257,7 +257,10 @@ mod tests {
             .unwrap();
         let pi0 = DVector::from_vec(vec![1.0, 0.0, 0.0]);
         let transient = distribution_at(&g, &pi0, 200.0).unwrap();
-        let stationary = crate::stationary::solve_gth(&g).unwrap();
+        let stationary = crate::stationary::Solver::new(crate::stationary::Method::Gth)
+            .solve(&g)
+            .unwrap()
+            .0;
         assert!((&transient - &stationary).norm_inf() < 1e-9);
     }
 

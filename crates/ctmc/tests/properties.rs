@@ -1,9 +1,19 @@
 //! Property-based tests for the CTMC layer.
 
-use dpm_ctmc::stationary::Method;
+use dpm_ctmc::stationary::{Method, Solver};
 use dpm_ctmc::{birth_death::Mm1k, graph, stationary, transient, Generator, SparseGenerator};
 use dpm_linalg::DVector;
 use proptest::prelude::*;
+
+/// Stationary distribution via a single method, no fallback.
+fn solve_with(g: &Generator, method: Method) -> Result<DVector, dpm_ctmc::CtmcError> {
+    Solver::new(method).solve(g).map(|(pi, _)| pi)
+}
+
+/// Sparse stationary distribution via a single method, no fallback.
+fn solve_sparse_with(g: &SparseGenerator, method: Method) -> Result<DVector, dpm_ctmc::CtmcError> {
+    Solver::new(method).solve(g).map(|(pi, _)| pi)
+}
 
 /// Random irreducible generator: a directed ring guarantees irreducibility,
 /// plus random extra edges.
@@ -27,8 +37,8 @@ fn irreducible_generator(n: usize) -> impl Strategy<Value = Generator> {
 proptest! {
     #[test]
     fn stationary_solvers_agree(g in (2usize..8).prop_flat_map(irreducible_generator)) {
-        let lu = stationary::solve_lu(&g).expect("irreducible");
-        let gth = stationary::solve_gth(&g).expect("irreducible");
+        let lu = solve_with(&g, Method::Lu).expect("irreducible");
+        let gth = solve_with(&g, Method::Gth).expect("irreducible");
         prop_assert!((&lu - &gth).norm_inf() < 1e-8);
     }
 
@@ -36,9 +46,10 @@ proptest! {
     fn unified_solve_agrees_across_all_methods(
         g in (2usize..8).prop_flat_map(irreducible_generator)
     ) {
-        let reference = stationary::solve(&g, Method::Gth).expect("irreducible");
-        for method in [Method::Lu, Method::Power, Method::Iterative] {
-            let pi = stationary::solve(&g, method).expect("irreducible");
+        let reference = solve_with(&g, Method::Gth).expect("irreducible");
+        for method in [Method::Lu, Method::Power, Method::Iterative,
+                       Method::BiCgStab, Method::Gmres] {
+            let pi = solve_with(&g, method).expect("irreducible");
             prop_assert!(
                 (&pi - &reference).norm_inf() < 1e-8,
                 "{method:?} disagrees with GTH"
@@ -51,9 +62,10 @@ proptest! {
         g in (2usize..8).prop_flat_map(irreducible_generator)
     ) {
         let sparse = SparseGenerator::from_generator(&g);
-        let reference = stationary::solve(&g, Method::Gth).expect("irreducible");
-        for method in [Method::Lu, Method::Gth, Method::Power, Method::Iterative] {
-            let pi = stationary::solve_sparse(&sparse, method).expect("irreducible");
+        let reference = solve_with(&g, Method::Gth).expect("irreducible");
+        for method in [Method::Lu, Method::Gth, Method::Power, Method::Iterative,
+                       Method::BiCgStab, Method::Gmres] {
+            let pi = solve_sparse_with(&sparse, method).expect("irreducible");
             prop_assert!(
                 (&pi - &reference).norm_inf() < 1e-8,
                 "sparse {method:?} disagrees with dense GTH"
@@ -79,7 +91,11 @@ proptest! {
     fn stationary_is_a_distribution_with_zero_residual(
         g in (2usize..8).prop_flat_map(irreducible_generator)
     ) {
-        let pi = stationary::solve_checked(&g).expect("irreducible");
+        let pi = Solver::new(Method::Gth)
+            .check_irreducible()
+            .solve(&g)
+            .map(|(pi, _)| pi)
+            .expect("irreducible");
         prop_assert!((pi.sum() - 1.0).abs() < 1e-10);
         prop_assert!(pi.iter().all(|p| p >= 0.0));
         prop_assert!(stationary::residual(&g, &pi) < 1e-8);
@@ -120,7 +136,7 @@ proptest! {
         let mut pi0 = DVector::zeros(n);
         pi0[0] = 1.0;
         let pi_t = transient::distribution_at(&g, &pi0, t).expect("valid inputs");
-        let pi_inf = stationary::solve_gth(&g).expect("irreducible");
+        let pi_inf = solve_with(&g, Method::Gth).expect("irreducible");
         prop_assert!((&pi_t - &pi_inf).norm_inf() < 1e-6);
     }
 
@@ -144,7 +160,7 @@ proptest! {
         (lambda, mu, k) in (0.05f64..3.0, 0.05f64..3.0, 1usize..10)
     ) {
         let g = stationary::mm1k_generator(lambda, mu, k).expect("valid rates");
-        let pi = stationary::solve_gth(&g).expect("birth-death is irreducible");
+        let pi = solve_with(&g, Method::Gth).expect("birth-death is irreducible");
         let closed = Mm1k::new(lambda, mu, k).expect("valid rates");
         for i in 0..=k {
             prop_assert!((pi[i] - closed.probability(i)).abs() < 1e-9);
@@ -157,7 +173,7 @@ proptest! {
     fn uniformized_chain_preserves_stationary(
         g in (2usize..7).prop_flat_map(irreducible_generator)
     ) {
-        let pi = stationary::solve_gth(&g).expect("irreducible");
+        let pi = solve_with(&g, Method::Gth).expect("irreducible");
         let (p, _) = g.uniformize(1.1).expect("has transitions");
         let stepped = p.step(&pi);
         prop_assert!((&stepped - &pi).norm_inf() < 1e-9);
@@ -211,7 +227,7 @@ proptest! {
         // pi_ct(i) ∝ pi_jump(i) / exit_rate(i): converting the jump chain's
         // stationary distribution back through mean holding times recovers
         // the continuous-time stationary distribution.
-        let pi_ct = stationary::solve_gth(&g).expect("irreducible");
+        let pi_ct = solve_with(&g, Method::Gth).expect("irreducible");
         let jump = embedded_chain(&g).expect("valid");
         let pi_jump = jump.stationary_gth().expect("irreducible");
         let mut reconstructed: Vec<f64> = (0..g.n_states())
@@ -307,7 +323,7 @@ proptest! {
     fn fallback_solves_stiff_rate_ratios(
         g in (3usize..7).prop_flat_map(stiff_generator)
     ) {
-        let (pi, stats) = stationary::solve_with_fallback(&g)
+        let (pi, stats) = Solver::new(stationary::FALLBACK_CHAIN[0]).with_default_fallback().solve(&g)
             .expect("stiff but irreducible chains must be solvable");
         assert_valid_distribution(&pi);
         let scale = (0..g.n_states()).map(|i| g.exit_rate(i)).fold(1.0, f64::max);
@@ -318,11 +334,11 @@ proptest! {
 
     #[test]
     fn fallback_solves_near_reducible_chains(g in near_reducible_generator()) {
-        let (pi, _) = stationary::solve_with_fallback(&g)
+        let (pi, _) = Solver::new(stationary::FALLBACK_CHAIN[0]).with_default_fallback().solve(&g)
             .expect("near-reducible chains are still irreducible");
         assert_valid_distribution(&pi);
         let sparse = SparseGenerator::from_generator(&g);
-        let (pi_sparse, _) = stationary::solve_sparse_with_fallback(&sparse)
+        let (pi_sparse, _) = Solver::new(stationary::SPARSE_FALLBACK_CHAIN[0]).with_default_fallback().solve(&sparse)
             .expect("sparse fallback must also carry near-reducible chains");
         assert_valid_distribution(&pi_sparse);
     }
@@ -331,7 +347,7 @@ proptest! {
     fn fallback_solves_duplicated_states(
         g in (3usize..7).prop_flat_map(duplicated_state_generator)
     ) {
-        let (pi, _) = stationary::solve_with_fallback(&g)
+        let (pi, _) = Solver::new(stationary::FALLBACK_CHAIN[0]).with_default_fallback().solve(&g)
             .expect("a duplicated state keeps the chain irreducible");
         assert_valid_distribution(&pi);
     }
@@ -343,7 +359,7 @@ proptest! {
         // Reducible chains have no unique stationary distribution. The
         // contract is: a valid distribution (one stationary mixture) or a
         // structured error — never a panic, never a NaN vector.
-        match stationary::solve_with_fallback(&g) {
+        match Solver::new(stationary::FALLBACK_CHAIN[0]).with_default_fallback().solve(&g) {
             Ok((pi, stats)) => {
                 assert_valid_distribution(&pi);
                 // Dense LU must have rejected the singular system first.
@@ -352,9 +368,117 @@ proptest! {
             Err(e) => prop_assert!(!e.to_string().is_empty()),
         }
         let sparse = SparseGenerator::from_generator(&g);
-        match stationary::solve_sparse_with_fallback(&sparse) {
+        match Solver::new(stationary::SPARSE_FALLBACK_CHAIN[0]).with_default_fallback().solve(&sparse) {
             Ok((pi, _)) => assert_valid_distribution(&pi),
             Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
+
+/// Stiff birth–death chain: rate magnitudes random-walk over six decades
+/// with steps bounded to one decade per level, the shape the DPM
+/// service-queue models produce when instant-rate surrogates meet slow
+/// arrival processes. The bounded step keeps adjacent levels within a
+/// factor of ten of each other: the chain is stiff (rates span up to
+/// 1e6) but has no near-reducible bottleneck, so its stationary
+/// distribution is determined to full accuracy by the balance equations
+/// (an isolated slow level between fast segments would push the system's
+/// conditioning past what any `f64` linear solve — direct or Krylov —
+/// can resolve; that regime is covered by the graceful-degradation test
+/// below instead).
+fn stiff_birth_death(n: usize) -> impl Strategy<Value = SparseGenerator> {
+    let base = -3.0f64..3.0;
+    let steps = prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n - 1);
+    (base, steps).prop_map(move |(base_exp, steps)| {
+        let mut transitions = Vec::with_capacity(2 * (n - 1));
+        let mut level_exp = base_exp;
+        for (i, &(step, down_offset)) in steps.iter().enumerate() {
+            level_exp = (level_exp + step).clamp(-3.0, 3.0);
+            transitions.push((i, i + 1, 10f64.powf(level_exp)));
+            transitions.push((i + 1, i, 10f64.powf(level_exp + down_offset)));
+        }
+        SparseGenerator::from_transitions(n, &transitions).expect("positive rates are valid")
+    })
+}
+
+/// Birth–death chain with one severe bottleneck level: rates 1e-5 in both
+/// directions between two fast (rate ~1) segments. Near-reducible — the
+/// linear-system condition number exceeds `1/ε`, so no agreement bound is
+/// asserted, only graceful behavior.
+fn bottleneck_birth_death() -> impl Strategy<Value = SparseGenerator> {
+    (3usize..20, 1usize..18, -8.0f64..-4.0).prop_map(|(n, cut, exp)| {
+        let cut = cut.min(n - 2);
+        let eps = 10f64.powf(exp);
+        let mut transitions = Vec::with_capacity(2 * (n - 1));
+        for i in 0..n - 1 {
+            let rate = if i == cut { eps } else { 1.0 };
+            transitions.push((i, i + 1, rate));
+            transitions.push((i + 1, i, rate * 2.0));
+        }
+        SparseGenerator::from_transitions(n, &transitions).expect("positive rates are valid")
+    })
+}
+
+proptest! {
+    #[test]
+    fn krylov_matches_gth_on_random_irreducible_chains(
+        g in (2usize..10).prop_flat_map(irreducible_generator)
+    ) {
+        let sparse = SparseGenerator::from_generator(&g);
+        let reference = solve_sparse_with(&sparse, Method::Gth).expect("irreducible");
+        for method in [Method::BiCgStab, Method::Gmres] {
+            for precond in [stationary::Precond::Ilu0, stationary::Precond::None] {
+                let (pi, _) = Solver::new(method)
+                    .precond(precond)
+                    .solve(&sparse)
+                    .expect("irreducible");
+                prop_assert!(
+                    (&pi - &reference).norm_inf() < 1e-8,
+                    "{method:?}/{precond:?} disagrees with GTH"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn krylov_matches_gth_on_stiff_birth_death_chains(
+        sparse in (3usize..40).prop_flat_map(stiff_birth_death)
+    ) {
+        let reference = solve_sparse_with(&sparse, Method::Gth).expect("irreducible");
+        for method in [Method::BiCgStab, Method::Gmres] {
+            let (pi, stats) = Solver::new(method).solve(&sparse).expect("irreducible");
+            let diff = (&pi - &reference).norm_inf();
+            prop_assert!(
+                diff < 1e-8,
+                "{method:?} differs from GTH by {diff:e} after {} sweeps \
+                 on a stiff birth-death chain",
+                stats.sweeps()
+            );
+        }
+    }
+
+    #[test]
+    fn krylov_degrades_gracefully_on_bottleneck_chains(
+        sparse in bottleneck_birth_death()
+    ) {
+        // Near-reducible: condition number beyond 1/ε, so agreement with
+        // GTH is not achievable by any residual-based solve. The contract
+        // is a valid distribution with a near-zero balance residual — or a
+        // structured error that lets the fallback chain escalate.
+        for method in [Method::BiCgStab, Method::Gmres] {
+            match Solver::new(method).solve(&sparse) {
+                Ok((pi, _)) => {
+                    assert_valid_distribution(&pi);
+                    let scale = (0..sparse.n_states())
+                        .map(|i| sparse.exit_rate(i))
+                        .fold(1.0, f64::max);
+                    prop_assert!(
+                        stationary::residual_sparse(&sparse, &pi) <= 1e-8 * scale,
+                        "{method:?} accepted a distribution with a large residual"
+                    );
+                }
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            }
         }
     }
 }

@@ -179,9 +179,9 @@ fn resume_from_v2_artifact_reruns_only_failures() {
 }
 
 /// A reducible two-class chain: dense LU rejects it as `Singular`, so a
-/// task built on `solve_with_fallback` only succeeds if the escalation
-/// chain engages — proving the solver fallback is reachable from inside
-/// a harness task.
+/// task built on the fallback-armed `Solver` only succeeds if the
+/// escalation chain engages — proving the solver fallback is reachable
+/// from inside a harness task.
 #[test]
 fn solver_fallback_chain_carries_a_pathological_model_through_the_harness() {
     let p = Plan::new("fallback-gate", 13)
@@ -194,7 +194,10 @@ fn solver_fallback_chain_carries_a_pathological_model_through_the_harness() {
         b.add_rate(2, 3, 3.0);
         b.add_rate(3, 2, 1.0);
         let g = b.build().map_err(|e| e.to_string())?;
-        let (pi, stats) = stationary::solve_with_fallback(&g).map_err(|e| e.to_string())?;
+        let (pi, stats) = stationary::Solver::new(stationary::FALLBACK_CHAIN[0])
+            .with_default_fallback()
+            .solve(&g)
+            .map_err(|e| e.to_string())?;
         ctx.telemetry
             .incr("solver.escalations", stats.escalation().len() as u64);
         let mut out = Json::object();

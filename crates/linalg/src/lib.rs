@@ -17,7 +17,11 @@
 //!   products, transposition and row iteration, for generator matrices whose
 //!   nonzero count grows linearly in the state count;
 //! * [`iterative`] — Jacobi and Gauss–Seidel iterations for diagonally
-//!   dominant systems, in dense and CSR (`O(nnz)` per sweep) variants.
+//!   dominant systems, in dense and CSR (`O(nnz)` per sweep) variants;
+//! * [`krylov`] — preconditioned Krylov solvers (BiCGSTAB, restarted
+//!   GMRES(m)) with an ILU(0) preconditioner, the tier for generator
+//!   systems of 10⁴–10⁶ states where direct fill-in and stationary sweeps
+//!   both give out.
 //!
 //! # Examples
 //!
@@ -42,6 +46,7 @@
 mod error;
 pub mod iterative;
 mod kron;
+pub mod krylov;
 mod lu;
 mod matrix;
 pub mod sparse;

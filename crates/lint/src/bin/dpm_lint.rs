@@ -1,7 +1,8 @@
 //! The `dpm-lint` command-line driver.
 //!
 //! ```text
-//! dpm-lint [--root DIR] [--deny] [--json PATH] [--list-rules] [FILE...]
+//! dpm-lint [--root DIR] [--deny] [--json PATH] [--baseline PATH] \
+//!          [--list-rules] [FILE...]
 //! ```
 //!
 //! With no `FILE` operands the whole workspace under `--root` (default:
@@ -9,17 +10,25 @@
 //! `--deny` turns findings into a nonzero exit status (the CI gate);
 //! `--json` additionally writes the canonical-JSON report.
 //!
+//! `--baseline PATH` reads a previous `--json` report and fails the run
+//! if any rule's *allow* count grew past it — allow drift: exemptions
+//! accumulating silently even while the findings list stays empty. Counts
+//! at or below the baseline pass (shrinkage is progress; refresh the
+//! baseline to lock it in).
+//!
 //! Exit status: 0 clean (or findings without `--deny`), 1 findings under
-//! `--deny`, 2 usage or I/O error.
+//! `--deny` or allow drift past `--baseline`, 2 usage or I/O error.
 
+use dpm_harness::Json;
 use dpm_lint::{check_files, check_workspace, rules, LintError, Report};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Options {
     root: PathBuf,
     deny: bool,
     json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
     list_rules: bool,
     files: Vec<String>,
 }
@@ -29,6 +38,7 @@ fn parse_args(args: &[String]) -> Result<Options, LintError> {
         root: PathBuf::from("."),
         deny: false,
         json: None,
+        baseline: None,
         list_rules: false,
         files: Vec::new(),
     };
@@ -47,11 +57,18 @@ fn parse_args(args: &[String]) -> Result<Options, LintError> {
                     .ok_or_else(|| LintError::Usage("--json needs a path".to_owned()))?;
                 opts.json = Some(PathBuf::from(value));
             }
+            "--baseline" => {
+                let value = iter.next().ok_or_else(|| {
+                    LintError::Usage("--baseline needs a JSON report path".to_owned())
+                })?;
+                opts.baseline = Some(PathBuf::from(value));
+            }
             "--deny" => opts.deny = true,
             "--list-rules" => opts.list_rules = true,
             "--help" | "-h" => {
                 return Err(LintError::Usage(
-                    "dpm-lint [--root DIR] [--deny] [--json PATH] [--list-rules] [FILE...]"
+                    "dpm-lint [--root DIR] [--deny] [--json PATH] [--baseline PATH] \
+                     [--list-rules] [FILE...]"
                         .to_owned(),
                 ))
             }
@@ -70,6 +87,36 @@ fn run(opts: &Options) -> Result<Report, LintError> {
     } else {
         check_files(&opts.files)
     }
+}
+
+/// Compares the run's per-rule allow counts against a previous `--json`
+/// report. Returns one message per rule whose count *grew* — counts at or
+/// below the baseline (including rules that vanished) pass.
+fn baseline_drift(report: &Report, baseline_path: &Path) -> Result<Vec<String>, LintError> {
+    let text =
+        std::fs::read_to_string(baseline_path).map_err(|e| LintError::io(baseline_path, &e))?;
+    let doc = Json::parse(&text).map_err(|e| {
+        LintError::Usage(format!(
+            "{}: not a dpm-lint JSON report: {e}",
+            baseline_path.display()
+        ))
+    })?;
+    let mut drift = Vec::new();
+    for (rule, &now) in &report.allows_by_rule {
+        let then = doc
+            .get("allows_by_rule")
+            .and_then(|allows| allows.get(rule))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        #[allow(clippy::cast_precision_loss)]
+        if now as f64 > then {
+            drift.push(format!(
+                "allow({rule}) count grew {then} -> {now}; remove the new \
+                 exemption or refresh the baseline"
+            ));
+        }
+    }
+    Ok(drift)
 }
 
 fn main() -> ExitCode {
@@ -99,6 +146,21 @@ fn main() -> ExitCode {
         if let Err(e) = std::fs::write(json_path, report.render_json()) {
             eprintln!("dpm-lint: {}: {e}", json_path.display());
             return ExitCode::from(2);
+        }
+    }
+    if let Some(baseline_path) = &opts.baseline {
+        match baseline_drift(&report, baseline_path) {
+            Ok(drift) if drift.is_empty() => {}
+            Ok(drift) => {
+                for line in &drift {
+                    eprintln!("dpm-lint: baseline drift: {line}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("dpm-lint: {e}");
+                return ExitCode::from(2);
+            }
         }
     }
     if opts.deny && !report.findings.is_empty() {

@@ -5,6 +5,7 @@ use crate::lexer::LexedFile;
 use crate::report::Finding;
 use crate::rules::{self, INVALID_ALLOW, UNUSED_ALLOW};
 use crate::FileKind;
+use std::collections::BTreeMap;
 
 /// The outcome of checking one file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,6 +14,9 @@ pub struct FileOutcome {
     pub findings: Vec<Finding>,
     /// How many findings were suppressed by allow directives.
     pub allows_used: usize,
+    /// Suppressed-finding counts keyed by rule name — the drift signal
+    /// `dpm-lint --baseline` compares across runs.
+    pub allows_by_rule: BTreeMap<&'static str, usize>,
 }
 
 /// Checks one file's source text against every applicable rule.
@@ -67,6 +71,7 @@ pub fn check_source(rel_path: &str, kind: FileKind, source: &str) -> FileOutcome
     }
 
     let mut allows_used = 0usize;
+    let mut allows_by_rule: BTreeMap<&'static str, usize> = BTreeMap::new();
     for finding in rules::raw_findings(&lexed, kind, rel_path) {
         let mut suppressed = false;
         for (dir, target, used) in &mut directives {
@@ -81,6 +86,7 @@ pub fn check_source(rel_path: &str, kind: FileKind, source: &str) -> FileOutcome
         }
         if suppressed {
             allows_used += 1;
+            *allows_by_rule.entry(finding.rule).or_insert(0) += 1;
         } else {
             findings.push(finding);
         }
@@ -105,6 +111,7 @@ pub fn check_source(rel_path: &str, kind: FileKind, source: &str) -> FileOutcome
     FileOutcome {
         findings,
         allows_used,
+        allows_by_rule,
     }
 }
 
@@ -158,6 +165,18 @@ mod tests {
         let out = check_source(REL, FileKind::Library, src);
         assert!(out.findings.is_empty(), "{:?}", out.findings);
         assert_eq!(out.allows_used, 2);
+        assert_eq!(out.allows_by_rule.get(rules::FLOAT_EQ), Some(&2));
+    }
+
+    #[test]
+    fn allows_are_counted_per_rule() {
+        let src = "let t = Instant::now(); // dpm-lint: allow(nondeterminism, reason = \"timer\")\nlet v = x.unwrap(); // dpm-lint: allow(no_panic, reason = \"checked above\")\n";
+        let out = check_source(REL, FileKind::Library, src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.allows_used, 2);
+        assert_eq!(out.allows_by_rule.get(rules::NONDETERMINISM), Some(&1));
+        assert_eq!(out.allows_by_rule.get(rules::NO_PANIC), Some(&1));
+        assert_eq!(out.allows_by_rule.len(), 2);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub fn check_workspace(root: &Path) -> Result<Report, LintError> {
     let files = walk::workspace_files(root)?;
     let mut findings = Vec::new();
     let mut allows_used = 0usize;
+    let mut allows_by_rule = std::collections::BTreeMap::new();
     let files_scanned = files.len();
     for file in files {
         let source =
@@ -71,12 +72,16 @@ pub fn check_workspace(root: &Path) -> Result<Report, LintError> {
         let outcome = engine::check_source(&file.rel, file.kind, &source);
         findings.extend(outcome.findings);
         allows_used += outcome.allows_used;
+        for (rule, n) in outcome.allows_by_rule {
+            *allows_by_rule.entry(rule).or_insert(0) += n;
+        }
     }
     findings.sort();
     Ok(Report {
         findings,
         files_scanned,
         allows_used,
+        allows_by_rule,
     })
 }
 
@@ -89,17 +94,22 @@ pub fn check_workspace(root: &Path) -> Result<Report, LintError> {
 pub fn check_files(paths: &[String]) -> Result<Report, LintError> {
     let mut findings = Vec::new();
     let mut allows_used = 0usize;
+    let mut allows_by_rule = std::collections::BTreeMap::new();
     for rel in paths {
         let path = Path::new(rel);
         let source = std::fs::read_to_string(path).map_err(|e| LintError::io(path, &e))?;
         let outcome = engine::check_source(rel, walk::classify(rel), &source);
         findings.extend(outcome.findings);
         allows_used += outcome.allows_used;
+        for (rule, n) in outcome.allows_by_rule {
+            *allows_by_rule.entry(rule).or_insert(0) += n;
+        }
     }
     findings.sort();
     Ok(Report {
         findings,
         files_scanned: paths.len(),
         allows_used,
+        allows_by_rule,
     })
 }

@@ -53,6 +53,10 @@ pub struct Report {
     pub files_scanned: usize,
     /// Total findings suppressed by allow directives.
     pub allows_used: usize,
+    /// Suppressed-finding counts keyed by rule name. Canonical (sorted)
+    /// and compared across runs by `dpm-lint --baseline` to catch allow
+    /// drift: a rule whose count creeps up is accumulating exemptions.
+    pub allows_by_rule: BTreeMap<&'static str, usize>,
 }
 
 impl Report {
@@ -102,7 +106,12 @@ impl Report {
                 o
             })
             .collect();
+        let mut allows_json = Json::object();
+        for (rule, n) in &self.allows_by_rule {
+            allows_json.set(rule, *n);
+        }
         let mut doc = Json::object();
+        doc.set("allows_by_rule", allows_json);
         doc.set("allows_used", self.allows_used);
         doc.set("counts_by_rule", counts_json);
         doc.set("files_scanned", self.files_scanned);

@@ -160,6 +160,7 @@ fn reports_render_deterministically() {
             findings: out.findings,
             files_scanned: 1,
             allows_used: out.allows_used,
+            allows_by_rule: out.allows_by_rule,
         }
         .render_json()
     };

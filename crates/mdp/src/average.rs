@@ -16,6 +16,8 @@
 //! all stationary policies (and by Theorem 2.3 of the paper over all
 //! piecewise-stationary ones).
 
+use dpm_ctmc::stationary::{Method, Precond, SolverConfig};
+use dpm_linalg::krylov::{self, Ilu0, KrylovOptions};
 use dpm_linalg::{CsrMatrix, DMatrix, DVector, Lu, SparseLu};
 
 use crate::{ActionCsr, Ctmdp, MdpError, Policy};
@@ -32,7 +34,7 @@ pub const ITERATIVE_GAIN_TOLERANCE: f64 = 1e-9;
 pub const ITERATIVE_MAX_SWEEPS: usize = 1_000_000;
 
 /// Linear-solver backend used by the policy-evaluation step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum EvalBackend {
     /// Dense LU solve of the `n`-unknown evaluation system. Exact to
     /// rounding, `O(n³)` per evaluation; the default.
@@ -77,6 +79,74 @@ pub enum EvalBackend {
     /// pivot threshold misfires (e.g. uniformly fast rates dwarfing the
     /// unit gain column).
     Resilient,
+    /// Preconditioned Krylov solve of the same sparse evaluation system
+    /// [`EvalBackend::SparseDirect`] assembles — `O(nnz)` per iteration
+    /// with no factorization fill-in at all, the tier for 10⁴–10⁶-state
+    /// processes where even the sparse direct factor grows too large.
+    ///
+    /// The variant carries the *same* options struct as
+    /// [`dpm_ctmc::stationary::Solver`] ([`SolverConfig`]), so harness
+    /// CLI flags (`--method`, `--tol`, `--precond`, `--restart`) map 1:1
+    /// onto policy-evaluation configuration instead of per-backend ad-hoc
+    /// constants. A multichain (singular) policy surfaces as
+    /// [`MdpError::NotConverged`] rather than the direct backends'
+    /// [`MdpError::NotUnichain`] — the iteration cannot distinguish the
+    /// two.
+    SparseKrylov {
+        /// Krylov method: [`Method::BiCgStab`] or [`Method::Gmres`]; any
+        /// other method is rejected as an invalid parameter.
+        method: Method,
+        /// Shared solver options (tolerance, iteration budget, GMRES
+        /// restart length, preconditioner).
+        config: SolverConfig,
+    },
+}
+
+impl EvalBackend {
+    /// Canonical lowercase name, stable for CLI flags and artifacts.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvalBackend::Dense => "dense",
+            EvalBackend::SparseIterative => "sparse-iterative",
+            EvalBackend::SparseDirect => "sparse-direct",
+            EvalBackend::CachedLu => "cached-lu",
+            EvalBackend::Resilient => "resilient",
+            EvalBackend::SparseKrylov { method, .. } => method.name(),
+        }
+    }
+
+    /// Parses the canonical name (as produced by [`EvalBackend::name`]);
+    /// Krylov methods get [`SolverConfig::default`], refined afterwards
+    /// with [`EvalBackend::with_config`]. The 1:1 mapping for `--method`.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<EvalBackend> {
+        match name {
+            "dense" => Some(EvalBackend::Dense),
+            "sparse-iterative" => Some(EvalBackend::SparseIterative),
+            "sparse-direct" => Some(EvalBackend::SparseDirect),
+            "cached-lu" => Some(EvalBackend::CachedLu),
+            "resilient" => Some(EvalBackend::Resilient),
+            "bicgstab" | "gmres" => Some(EvalBackend::SparseKrylov {
+                method: Method::parse(name)?,
+                config: SolverConfig::default(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Replaces the solver options on configurable backends (currently
+    /// [`EvalBackend::SparseKrylov`]); a no-op on the others, so CLI code
+    /// can apply flag-derived configuration unconditionally.
+    #[must_use]
+    pub fn with_config(self, config: SolverConfig) -> EvalBackend {
+        match self {
+            EvalBackend::SparseKrylov { method, .. } => {
+                EvalBackend::SparseKrylov { method, config }
+            }
+            other => other,
+        }
+    }
 }
 
 /// Options for [`policy_iteration`].
@@ -447,6 +517,100 @@ pub fn evaluate_sparse_direct(
     Ok(Evaluation { gain, bias })
 }
 
+/// Solves the evaluation equations with a preconditioned Krylov method
+/// over the same sparse system [`evaluate_sparse_direct`] assembles
+/// ([`EvalBackend::SparseKrylov`]).
+///
+/// `config` is the shared [`SolverConfig`] from the stationary solver, so
+/// CLI-level tolerance / iteration-budget / restart / preconditioner flags
+/// apply identically to both uses. A singular ILU(0) factorization
+/// downgrades deterministically to the unpreconditioned iteration; a
+/// non-convergent iteration surfaces as [`MdpError::NotConverged`] (a
+/// multichain policy is indistinguishable from slow convergence here —
+/// use a direct backend for the [`MdpError::NotUnichain`] diagnosis).
+///
+/// # Errors
+///
+/// Validation errors as [`evaluate`]; [`MdpError::InvalidParameter`] when
+/// `method` is not [`Method::BiCgStab`] or [`Method::Gmres`];
+/// [`MdpError::NotConverged`] when the iteration budget runs out.
+pub fn evaluate_krylov(
+    mdp: &Ctmdp,
+    policy: &Policy,
+    reference_state: usize,
+    method: Method,
+    config: &SolverConfig,
+) -> Result<Evaluation, MdpError> {
+    if !method.is_krylov() {
+        return Err(MdpError::InvalidParameter {
+            reason: format!("evaluation backend requires a Krylov method, got {method:?}"),
+        });
+    }
+    mdp.check_policy(policy)?;
+    let n = mdp.n_states();
+    if reference_state >= n {
+        return Err(MdpError::InvalidParameter {
+            reason: format!("reference state {reference_state} out of range for {n} states"),
+        });
+    }
+    let generator = mdp.sparse_generator_for(policy)?;
+    let costs = mdp.cost_rates_for(policy)?;
+
+    // Same unknown ordering as the sparse direct backend: bias components
+    // for j != reference first, the gain last (its dense column is the
+    // system's only dense column).
+    let col_of = |j: usize| -> Option<usize> {
+        use std::cmp::Ordering;
+        match j.cmp(&reference_state) {
+            Ordering::Less => Some(j),
+            Ordering::Equal => None,
+            Ordering::Greater => Some(j - 1),
+        }
+    };
+    let mut triplets = Vec::with_capacity(generator.csr().nnz() + n);
+    for (i, j, v) in generator.csr().iter() {
+        if let Some(c) = col_of(j) {
+            triplets.push((i, c, v));
+        }
+    }
+    for i in 0..n {
+        triplets.push((i, n - 1, -1.0));
+    }
+    let a = CsrMatrix::from_triplets(n, n, &triplets).map_err(MdpError::Numerical)?;
+    let b = DVector::from_fn(n, |i| -costs[i]);
+    let options = KrylovOptions {
+        tolerance: config.tolerance,
+        max_iterations: config.max_iterations,
+        restart: config.restart,
+    };
+    let precond = match config.precond {
+        Precond::Ilu0 => match Ilu0::new(&a) {
+            Ok(m) => Some(m),
+            // Deterministic downgrade, mirroring the stationary solver.
+            Err(dpm_linalg::LinalgError::Singular { .. }) => None,
+            Err(e) => return Err(MdpError::Numerical(e)),
+        },
+        Precond::None => None,
+    };
+    let result = match method {
+        Method::Gmres => krylov::gmres(&a, &b, precond.as_ref(), &options),
+        _ => krylov::bicgstab(&a, &b, precond.as_ref(), &options),
+    };
+    let solution = match result {
+        Ok(r) => r.solution,
+        Err(dpm_linalg::LinalgError::NotConverged { iterations, .. }) => {
+            return Err(MdpError::NotConverged { iterations });
+        }
+        Err(e) => return Err(MdpError::Numerical(e)),
+    };
+    let gain = solution[n - 1];
+    let bias = DVector::from_fn(n, |j| match col_of(j) {
+        Some(c) => solution[c],
+        None => 0.0,
+    });
+    require_finite(Evaluation { gain, bias })
+}
+
 /// Dispatches the evaluation step according to `backend`.
 fn evaluate_with(
     mdp: &Ctmdp,
@@ -461,6 +625,9 @@ fn evaluate_with(
         EvalBackend::SparseIterative => evaluate_iterative(mdp, policy, reference_state),
         EvalBackend::SparseDirect => evaluate_sparse_direct(mdp, policy, reference_state),
         EvalBackend::Resilient => evaluate_resilient(mdp, policy, reference_state),
+        EvalBackend::SparseKrylov { method, config } => {
+            evaluate_krylov(mdp, policy, reference_state, method, &config)
+        }
     }
 }
 
@@ -1299,6 +1466,161 @@ mod iterative_backend_tests {
     fn default_backend_is_dense() {
         assert_eq!(EvalBackend::default(), EvalBackend::Dense);
         assert_eq!(Options::default().backend, EvalBackend::Dense);
+    }
+}
+
+#[cfg(test)]
+mod krylov_backend_tests {
+    use super::*;
+
+    fn repair_mdp(fast_cost: f64) -> Ctmdp {
+        let mut b = Ctmdp::builder(2);
+        b.action(0, "run", 1.0, &[(1, 1.0)]).unwrap();
+        b.action(1, "slow", 5.0, &[(0, 1.0)]).unwrap();
+        b.action(1, "fast", fast_cost, &[(0, 10.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Birth–death service model with rates spanning six orders of
+    /// magnitude — the stiff spectrum the SYS instant-rate surrogate
+    /// produces.
+    fn stiff_mdp() -> Ctmdp {
+        let mut b = Ctmdp::builder(4);
+        b.action(0, "arrive", 0.5, &[(1, 1e-3)]).unwrap();
+        b.action(1, "serve", 2.0, &[(0, 1e3), (2, 1.0)]).unwrap();
+        b.action(2, "serve", 4.0, &[(1, 1e3), (3, 1e-2)]).unwrap();
+        b.action(3, "flush", 8.0, &[(0, 1e3)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn krylov_evaluation_matches_dense() {
+        let mdp = repair_mdp(9.0);
+        for policy in mdp.enumerate_policies() {
+            let dense = evaluate(&mdp, &policy, 0).unwrap();
+            for method in [Method::BiCgStab, Method::Gmres] {
+                for precond in [Precond::Ilu0, Precond::None] {
+                    let config = SolverConfig {
+                        precond,
+                        ..SolverConfig::default()
+                    };
+                    let krylov = evaluate_krylov(&mdp, &policy, 0, method, &config).unwrap();
+                    assert!(
+                        (dense.gain() - krylov.gain()).abs() < 1e-8,
+                        "policy {policy} {method:?}/{precond:?}: {} vs {}",
+                        dense.gain(),
+                        krylov.gain()
+                    );
+                    let diff = (dense.bias() - krylov.bias()).norm_inf();
+                    assert!(
+                        diff < 1e-8,
+                        "policy {policy} {method:?}/{precond:?}: {diff}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn krylov_evaluation_handles_stiff_rates() {
+        let mdp = stiff_mdp();
+        let policy = Policy::new(vec![0, 0, 0, 0]);
+        let dense = evaluate(&mdp, &policy, 0).unwrap();
+        for method in [Method::BiCgStab, Method::Gmres] {
+            let eval = evaluate_krylov(&mdp, &policy, 0, method, &SolverConfig::default()).unwrap();
+            assert!(
+                (dense.gain() - eval.gain()).abs() < 1e-8 * (1.0 + dense.gain().abs()),
+                "{method:?}: {} vs {}",
+                dense.gain(),
+                eval.gain()
+            );
+        }
+    }
+
+    #[test]
+    fn policy_iteration_agrees_with_krylov_backend() {
+        for fast_cost in [2.0, 9.0, 30.0, 100.0] {
+            let mdp = repair_mdp(fast_cost);
+            let dense = policy_iteration(&mdp, &Options::default()).unwrap();
+            for method in [Method::BiCgStab, Method::Gmres] {
+                let krylov = policy_iteration(
+                    &mdp,
+                    &Options {
+                        backend: EvalBackend::SparseKrylov {
+                            method,
+                            config: SolverConfig::default(),
+                        },
+                        ..Options::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(dense.policy(), krylov.policy(), "fast_cost {fast_cost}");
+                assert!((dense.gain() - krylov.gain()).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn krylov_rejects_non_krylov_methods() {
+        let mdp = repair_mdp(9.0);
+        let policy = Policy::new(vec![0, 0]);
+        for method in [Method::Lu, Method::Gth, Method::Power, Method::Iterative] {
+            let err =
+                evaluate_krylov(&mdp, &policy, 0, method, &SolverConfig::default()).unwrap_err();
+            assert!(
+                matches!(err, MdpError::InvalidParameter { .. }),
+                "{method:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        let backends = [
+            EvalBackend::Dense,
+            EvalBackend::SparseIterative,
+            EvalBackend::SparseDirect,
+            EvalBackend::CachedLu,
+            EvalBackend::Resilient,
+            EvalBackend::SparseKrylov {
+                method: Method::BiCgStab,
+                config: SolverConfig::default(),
+            },
+            EvalBackend::SparseKrylov {
+                method: Method::Gmres,
+                config: SolverConfig::default(),
+            },
+        ];
+        for backend in backends {
+            let parsed = EvalBackend::parse(backend.name()).unwrap();
+            assert_eq!(parsed, backend, "{}", backend.name());
+        }
+        assert!(EvalBackend::parse("cholesky").is_none());
+    }
+
+    #[test]
+    fn with_config_rewrites_krylov_options_only() {
+        let tight = SolverConfig {
+            tolerance: 1e-6,
+            max_iterations: 123,
+            restart: 7,
+            precond: Precond::None,
+        };
+        let krylov = EvalBackend::parse("gmres").unwrap().with_config(tight);
+        match krylov {
+            EvalBackend::SparseKrylov { method, config } => {
+                assert_eq!(method, Method::Gmres);
+                assert_eq!(config.max_iterations, 123);
+                assert_eq!(config.restart, 7);
+                assert_eq!(config.precond, Precond::None);
+            }
+            other => panic!("unexpected backend {other:?}"),
+        }
+        assert_eq!(
+            EvalBackend::Dense.with_config(tight),
+            EvalBackend::Dense,
+            "with_config must be a no-op off the Krylov backend"
+        );
     }
 }
 

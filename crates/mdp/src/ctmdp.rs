@@ -237,7 +237,9 @@ impl Ctmdp {
     /// chains).
     pub fn average_cost(&self, policy: &Policy) -> Result<f64, MdpError> {
         let g = self.generator_for(policy)?;
-        let pi = dpm_ctmc::stationary::solve_checked(&g)?;
+        let (pi, _) = dpm_ctmc::stationary::Solver::new(dpm_ctmc::stationary::Method::Gth)
+            .check_irreducible()
+            .solve(&g)?;
         Ok(pi.dot(&self.cost_rates_for(policy)?))
     }
 

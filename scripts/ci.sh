@@ -15,7 +15,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "=== dpm-lint (determinism / no-panic invariants, findings are errors) ==="
 cargo build --release -q -p dpm-lint
-./target/release/dpm-lint --deny
+./target/release/dpm-lint --deny --baseline scripts/lint_baseline.json
 
 echo "=== dpm-lint seeded-violation smoke (planted Instant must fail the gate) ==="
 if ./target/release/dpm-lint --deny crates/lint/tests/fixtures/planted_instant.rs > /dev/null; then
@@ -23,12 +23,30 @@ if ./target/release/dpm-lint --deny crates/lint/tests/fixtures/planted_instant.r
     exit 1
 fi
 
+echo "=== dpm-lint baseline-drift smoke (empty baseline must fail the gate) ==="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+printf '{"allows_by_rule": {}}\n' > "$SMOKE_DIR/empty_baseline.json"
+if ./target/release/dpm-lint --baseline "$SMOKE_DIR/empty_baseline.json" > /dev/null; then
+    echo "dpm-lint missed allow-count drift past the baseline" >&2
+    exit 1
+fi
+
+echo "=== deprecated stationary::solve* shims (workspace must use the Solver API) ==="
+# The ten deprecated free functions live (and are tested) only in
+# crates/ctmc/src/stationary.rs; everywhere else must go through
+# stationary::Solver. Exact word-bounded names: helpers like a test's
+# solve_sparse_with(..) do not match.
+SHIMS='\b(solve_with_stats|solve_sparse|solve_sparse_with_stats|solve_with_fallback|solve_sparse_with_fallback|solve_lu|solve_gth|solve_power|solve_checked)\b|stationary::solve\('
+if grep -rnE "$SHIMS" crates tests src examples --include="*.rs" | grep -v '^crates/ctmc/src/stationary.rs:'; then
+    echo "deprecated stationary::solve* shim used outside crates/ctmc/src/stationary.rs" >&2
+    exit 1
+fi
+
 echo "=== cargo test ==="
 cargo test --workspace -q
 
 echo "=== harness smoke run (tiny plan, 2 workers, determinism gate) ==="
-SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
 cargo build --release -q -p dpm-bench --bin heuristics -p dpm-harness --bin artifact_diff
 ./target/release/heuristics --workers 1 --requests 500 --seed 7 \
     --out "$SMOKE_DIR/w1.json" > /dev/null

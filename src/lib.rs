@@ -11,18 +11,20 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`linalg`] | `dpm-linalg` | dense matrices, CSR sparse matrices, LU, Kronecker algebra, iterative solvers |
-//! | [`ctmc`] | `dpm-ctmc` | Markov chains: dense and sparse generators, the unified stationary solver (`stationary::solve` / `solve_sparse` over `Method::{Lu, Gth, Power, Iterative}`), transient analysis, rewards |
+//! | [`linalg`] | `dpm-linalg` | dense matrices, CSR sparse matrices, LU, Kronecker algebra, iterative and preconditioned Krylov solvers (BiCGSTAB, GMRES(m), ILU(0)) |
+//! | [`ctmc`] | `dpm-ctmc` | Markov chains: dense and sparse generators, the unified `stationary::Solver` builder over `Method::{Lu, Gth, Power, Iterative, BiCgStab, Gmres}`, transient analysis, rewards |
 //! | [`lp`] | `dpm-lp` | two-phase primal simplex |
 //! | [`mdp`] | `dpm-mdp` | CTMDP/DTMDP solvers: policy iteration (unichain & multichain, dense or sparse-iterative evaluation backend), value iteration, occupation-measure LPs |
 //! | [`model`] | `dpm-core` | the paper's power-management model and policy optimization; SYS generators assemble densely or directly into CSR |
 //! | [`sim`] | `dpm-sim` | the event-driven simulator, workloads and controllers |
 //!
-//! Large state spaces (queue capacities in the hundreds) should use the
-//! sparse pipeline — [`model`]'s `PmSystem::sparse_generator_for` feeding
-//! [`ctmc`]'s `stationary::solve_sparse` with `Method::Iterative` — which
-//! the `scaling` bench measures at 30–40× faster than dense LU by Q = 200
-//! while agreeing to ~1e-12.
+//! Large state spaces (queue capacities in the hundreds and beyond)
+//! should use the sparse pipeline — [`model`]'s
+//! `PmSystem::sparse_generator_for` feeding [`ctmc`]'s
+//! `stationary::Solver` with `Method::Iterative` or, from ~10⁴ states,
+//! the ILU(0)-preconditioned `Method::BiCgStab`/`Method::Gmres` tier —
+//! which the `scaling` bench measures at 30–40× faster than dense LU by
+//! Q = 200 while agreeing to ~1e-12.
 //!
 //! # Quickstart
 //!

@@ -105,7 +105,9 @@ fn facade_reexports_compose() {
         .rate(1, 0, 1.0)
         .build()
         .expect("valid");
-    let pi = dpm::ctmc::stationary::solve_gth(&g).expect("irreducible");
+    let (pi, _) = dpm::ctmc::stationary::Solver::new(dpm::ctmc::stationary::Method::Gth)
+        .solve(&g)
+        .expect("irreducible");
     assert!((pi[0] - 0.5).abs() < 1e-12);
     let mut p = dpm::lp::Problem::minimize(vec![1.0]).expect("non-empty");
     p.add_constraint(vec![1.0], dpm::lp::Relation::Ge, 2.0)
