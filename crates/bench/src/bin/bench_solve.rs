@@ -42,10 +42,7 @@
 //!     [--out results/BENCH_solve.json]
 //! ```
 
-// dpm-lint: allow(nondeterminism, reason = "this binary's whole purpose is wall-clock measurement; everything timed lands under the artifact's volatile timers key")
-use std::time::Instant;
-
-use dpm_bench::{row, rule};
+use dpm_bench::{row, rule, time_sweeps, timed};
 use dpm_core::{optimize, PmSystem, SpModel, SrModel};
 use dpm_ctmc::{
     stationary::{self, Method},
@@ -174,17 +171,6 @@ fn birth_death_sparse(n: usize) -> Result<SparseGenerator, Box<dyn std::error::E
     Ok(SparseGenerator::from_transitions(n, &transitions)?)
 }
 
-fn time_sweeps<T>(rounds: usize, mut body: impl FnMut() -> T) -> (T, f64) {
-    let mut out = body();
-    let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
-    for _ in 0..rounds {
-        out = body();
-    }
-    let total = start.elapsed().as_secs_f64();
-    #[allow(clippy::cast_precision_loss)]
-    (out, total / rounds.max(1) as f64)
-}
-
 #[allow(clippy::too_many_lines)]
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::from_env(&cli::with_resilience_flags(&[
@@ -262,10 +248,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             backend,
             ..average::Options::default()
         };
-        let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
-        let solution = average::policy_iteration_from(&ring_mdp, ring_start.clone(), &options)?;
-        let secs = start.elapsed().as_secs_f64();
-        backend_results.push((name, solution, secs));
+        let (solution, secs) =
+            timed(|| average::policy_iteration_from(&ring_mdp, ring_start.clone(), &options));
+        backend_results.push((name, solution?, secs));
     }
     let (_, reference_solution, dense_eval_secs) = &backend_results[0];
     let mut max_gain_diff = 0.0f64;
@@ -282,9 +267,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         backend: cli_backend,
         ..average::Options::default()
     };
-    let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
-    let cli_solution = average::policy_iteration_from(&ring_mdp, ring_start.clone(), &cli_options)?;
-    let cli_eval_secs = start.elapsed().as_secs_f64();
+    let (cli_solution, cli_eval_secs) =
+        timed(|| average::policy_iteration_from(&ring_mdp, ring_start.clone(), &cli_options));
+    let cli_solution = cli_solution?;
     let cli_gain_diff = (cli_solution.gain() - reference_solution.gain()).abs();
     let cli_backend_agrees =
         cli_solution.policy() == reference_solution.policy() && cli_gain_diff <= 1e-8;
@@ -312,12 +297,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             optimize::optimal_policy(&sweep_system, w).map_err(|e| e.to_string())
         })
     };
-    let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
-    let serial = run_sweep(1)?;
-    let serial_secs = start.elapsed().as_secs_f64();
-    let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
-    let parallel = run_sweep(solve_workers)?;
-    let parallel_secs = start.elapsed().as_secs_f64();
+    let (serial, serial_secs) = timed(|| run_sweep(1));
+    let serial = serial?;
+    let (parallel, parallel_secs) = timed(|| run_sweep(solve_workers));
+    let parallel = parallel?;
     let fingerprint = |records: &[solve::SolveRecord<optimize::OptimalSolution>]| {
         records
             .iter()
@@ -364,13 +347,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if method == Method::Lu && size > tier_direct_limit {
                 continue;
             }
-            let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "benchmark timer; lands under the volatile timers key")
-            let (pi, stats) = stationary::Solver::new(method)
-                .tolerance(solver_config.tolerance)
-                .restart(solver_config.restart)
-                .precond(solver_config.precond)
-                .solve(&chain)?;
-            let secs = start.elapsed().as_secs_f64();
+            let (solved, secs) = timed(|| {
+                stationary::Solver::new(method)
+                    .tolerance(solver_config.tolerance)
+                    .restart(solver_config.restart)
+                    .precond(solver_config.precond)
+                    .solve(&chain)
+            });
+            let (pi, stats) = solved?;
             let diff = match &reference {
                 None => {
                     reference = Some(pi);

@@ -130,6 +130,38 @@ pub fn counter_value(record: &TaskRecord, name: &str) -> Option<i128> {
     }
 }
 
+/// Wall-clock timing for the benchmark binaries.
+///
+/// The single sanctioned home for wall-clock reads in the workspace: the
+/// benchmark binaries measure here, and everything measured lands under
+/// an artifact's volatile `timers`/`provenance` keys, which
+/// `dpm_harness::artifact::diff` strips before comparing.
+pub mod timing {
+    use std::time::Instant; // dpm-lint: allow(nondeterminism, reason = "the shared benchmark timer; measurements land under volatile artifact keys only")
+
+    /// Runs `body` once, returning its output and the elapsed seconds.
+    pub fn timed<T>(body: impl FnOnce() -> T) -> (T, f64) {
+        let start = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "the shared benchmark timer; measurements land under volatile artifact keys only")
+        let out = body();
+        (out, start.elapsed().as_secs_f64())
+    }
+
+    /// Runs `body` once untimed (warm-up), then `rounds` timed repetitions;
+    /// returns the last output and the mean seconds per round.
+    pub fn time_sweeps<T>(rounds: usize, mut body: impl FnMut() -> T) -> (T, f64) {
+        let mut out = body();
+        let ((), total) = timed(|| {
+            for _ in 0..rounds {
+                out = body();
+            }
+        });
+        #[allow(clippy::cast_precision_loss)]
+        (out, total / rounds.max(1) as f64)
+    }
+}
+
+pub use timing::{time_sweeps, timed};
+
 /// Prints a fixed-width table row.
 pub fn row(cells: &[String], widths: &[usize]) {
     let line: Vec<String> = cells

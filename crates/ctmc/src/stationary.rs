@@ -47,9 +47,6 @@
 //! a backend produces a distribution passing the residual guard — a
 //! stalled Krylov solve degrades to the sparse direct and GTH tiers
 //! automatically.
-//!
-//! The pre-existing `solve*` free functions remain as deprecated one-line
-//! shims over [`Solver`].
 
 use dpm_linalg::krylov::{self, Ilu0, KrylovOptions};
 use dpm_linalg::{CsrMatrix, DVector, SparseLu};
@@ -1165,166 +1162,6 @@ pub fn mm1k_generator(lambda: f64, mu: f64, capacity: usize) -> Result<Generator
     b.build()
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated free-function shims over `Solver`.
-// ---------------------------------------------------------------------------
-
-/// Solves `πG = 0`, `Σπ = 1` with the selected backend.
-///
-/// # Errors
-///
-/// As [`Solver::solve`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use stationary::Solver::new(method).solve(generator)"
-)]
-pub fn solve(generator: &Generator, method: Method) -> Result<DVector, CtmcError> {
-    Solver::new(method).solve(generator).map(|(pi, _)| pi)
-}
-
-/// As `solve`, additionally reporting sweep count and final residual.
-///
-/// # Errors
-///
-/// As [`Solver::solve`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use stationary::Solver::new(method).solve(generator)"
-)]
-pub fn solve_with_stats(
-    generator: &Generator,
-    method: Method,
-) -> Result<(DVector, SolveStats), CtmcError> {
-    Solver::new(method).solve(generator)
-}
-
-/// Solves `πG = 0`, `Σπ = 1` on a sparse generator with the selected
-/// backend.
-///
-/// # Errors
-///
-/// As [`Solver::solve`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use stationary::Solver::new(method).solve(generator)"
-)]
-pub fn solve_sparse(generator: &SparseGenerator, method: Method) -> Result<DVector, CtmcError> {
-    Solver::new(method).solve(generator).map(|(pi, _)| pi)
-}
-
-/// As `solve_sparse`, additionally reporting sweep count and final
-/// residual.
-///
-/// # Errors
-///
-/// As [`Solver::solve`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use stationary::Solver::new(method).solve(generator)"
-)]
-pub fn solve_sparse_with_stats(
-    generator: &SparseGenerator,
-    method: Method,
-) -> Result<(DVector, SolveStats), CtmcError> {
-    Solver::new(method).solve(generator)
-}
-
-/// Solves with escalation through [`FALLBACK_CHAIN`].
-///
-/// # Errors
-///
-/// As [`Solver::solve`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use stationary::Solver::new(method).with_default_fallback().solve(generator)"
-)]
-pub fn solve_with_fallback(generator: &Generator) -> Result<(DVector, SolveStats), CtmcError> {
-    Solver::new(FALLBACK_CHAIN[0])
-        .with_default_fallback()
-        .solve(generator)
-}
-
-/// Sparse twin of `solve_with_fallback`, escalating through
-/// [`SPARSE_FALLBACK_CHAIN`].
-///
-/// # Errors
-///
-/// As [`Solver::solve`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use stationary::Solver::new(method).with_default_fallback().solve(generator)"
-)]
-pub fn solve_sparse_with_fallback(
-    generator: &SparseGenerator,
-) -> Result<(DVector, SolveStats), CtmcError> {
-    Solver::new(SPARSE_FALLBACK_CHAIN[0])
-        .with_default_fallback()
-        .solve(generator)
-}
-
-/// Direct dense LU solve of the balance equations.
-///
-/// # Errors
-///
-/// Returns [`CtmcError::Numerical`] if the linear system is singular, which
-/// for a validated generator indicates a reducible chain.
-#[deprecated(
-    since = "0.1.0",
-    note = "use stationary::Solver::new(Method::Lu).solve(generator)"
-)]
-pub fn solve_lu(generator: &Generator) -> Result<DVector, CtmcError> {
-    dense_lu(generator)
-}
-
-/// Solves with the numerically stable GTH elimination (via uniformization).
-///
-/// # Errors
-///
-/// Returns [`CtmcError::InvalidParameter`] for a chain with no transitions,
-/// or [`CtmcError::Numerical`] if elimination degenerates (reducible chain).
-#[deprecated(
-    since = "0.1.0",
-    note = "use stationary::Solver::new(Method::Gth).solve(generator)"
-)]
-pub fn solve_gth(generator: &Generator) -> Result<DVector, CtmcError> {
-    dense_gth(generator)
-}
-
-/// Solves by power iteration on the uniformized chain.
-///
-/// # Errors
-///
-/// Returns [`CtmcError::Numerical`] if iteration does not converge within
-/// `max_iterations`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use stationary::Solver::new(Method::Power).tolerance(..).max_iters(..).solve(generator)"
-)]
-pub fn solve_power(
-    generator: &Generator,
-    tolerance: f64,
-    max_iterations: usize,
-) -> Result<DVector, CtmcError> {
-    dense_power(generator, tolerance, max_iterations)
-}
-
-/// Verifies irreducibility, then solves with GTH (the most robust method).
-///
-/// # Errors
-///
-/// Returns [`CtmcError::Reducible`] for reducible chains, otherwise as
-/// [`Solver::solve`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use stationary::Solver::new(Method::Gth).check_irreducible().solve(generator)"
-)]
-pub fn solve_checked(generator: &Generator) -> Result<DVector, CtmcError> {
-    Solver::new(Method::Gth)
-        .check_irreducible()
-        .solve(generator)
-        .map(|(pi, _)| pi)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1874,82 +1711,6 @@ mod fallback_tests {
         // Class {0,1}: π = (2/3, 1/3) → gain 8/3; class {2,3}: π = (1/4, 3/4) → 6.
         assert!((gains[0] - 8.0 / 3.0).abs() < 1e-10);
         assert!((gains[2] - 6.0).abs() < 1e-10);
-    }
-}
-
-#[cfg(test)]
-#[allow(deprecated)]
-mod deprecated_shim_tests {
-    //! The deprecated free functions must keep returning exactly what the
-    //! `Solver` builder returns until they are removed.
-
-    use super::*;
-
-    fn three_state() -> Generator {
-        Generator::builder(3)
-            .rate(0, 1, 2.0)
-            .rate(1, 2, 1.0)
-            .rate(2, 0, 4.0)
-            .rate(1, 0, 0.5)
-            .build()
-            .unwrap()
-    }
-
-    #[test]
-    fn shims_match_the_solver_builder() {
-        let g = three_state();
-        let sparse = SparseGenerator::from_generator(&g);
-        for method in [Method::Lu, Method::Gth, Method::Power, Method::Iterative] {
-            assert_eq!(
-                solve(&g, method).unwrap(),
-                Solver::new(method).solve(&g).unwrap().0
-            );
-            assert_eq!(
-                solve_sparse(&sparse, method).unwrap(),
-                Solver::new(method).solve(&sparse).unwrap().0
-            );
-        }
-        assert_eq!(solve_lu(&g).unwrap(), solve(&g, Method::Lu).unwrap());
-        assert_eq!(solve_gth(&g).unwrap(), solve(&g, Method::Gth).unwrap());
-        assert_eq!(
-            solve_power(&g, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS).unwrap(),
-            solve(&g, Method::Power).unwrap()
-        );
-        assert_eq!(solve_checked(&g).unwrap(), solve(&g, Method::Gth).unwrap());
-        let (pi, stats) = solve_with_fallback(&g).unwrap();
-        let (pi_b, stats_b) = Solver::new(FALLBACK_CHAIN[0])
-            .with_default_fallback()
-            .solve(&g)
-            .unwrap();
-        assert_eq!(pi, pi_b);
-        assert_eq!(stats, stats_b);
-        let (pi_s, _) = solve_sparse_with_fallback(&sparse).unwrap();
-        let (pi_sb, _) = Solver::new(SPARSE_FALLBACK_CHAIN[0])
-            .with_default_fallback()
-            .solve(&sparse)
-            .unwrap();
-        assert_eq!(pi_s, pi_sb);
-        let (with_stats, _) = solve_with_stats(&g, Method::Iterative).unwrap();
-        assert_eq!(with_stats, solve(&g, Method::Iterative).unwrap());
-        let (sparse_stats, _) = solve_sparse_with_stats(&sparse, Method::Iterative).unwrap();
-        assert_eq!(
-            sparse_stats,
-            solve_sparse(&sparse, Method::Iterative).unwrap()
-        );
-    }
-
-    #[test]
-    fn checked_shim_still_rejects_reducible() {
-        let g = Generator::builder(3)
-            .rate(0, 1, 1.0)
-            .rate(1, 0, 1.0)
-            .rate(1, 2, 1.0)
-            .build()
-            .unwrap();
-        assert!(matches!(
-            solve_checked(&g),
-            Err(CtmcError::Reducible { classes: 2 })
-        ));
     }
 }
 

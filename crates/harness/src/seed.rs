@@ -23,6 +23,12 @@ const DOMAIN_TAG: u64 = 0x6470_6d2d_6861_726e; // "dpm-harn"
 /// collide with any first-attempt seed.
 const RETRY_TAG: u64 = 0x6470_6d2d_7274_7279; // "dpm-rtry"
 
+/// Domain-separation tag for the serving runtime's per-system streams
+/// (`dpm-serve` shards). Distinct from [`DOMAIN_TAG`] and [`RETRY_TAG`],
+/// so a serve fleet can never share a seed with a harness plan run from
+/// the same root.
+const SERVE_TAG: u64 = 0x6470_6d2d_7372_7665; // "dpm-srve"
+
 /// Keys a ChaCha8 stream with four little-endian words and draws one.
 fn keyed_word(words: [u64; 4]) -> u64 {
     let mut key = [0u8; 32];
@@ -54,6 +60,17 @@ pub fn derive_attempt_seed(root: u64, point: u64, replication: u64, attempt: u32
     keyed_word([root, point, replication, RETRY_TAG ^ u64::from(attempt)])
 }
 
+/// Derives the RNG seed for one simulated system in a `dpm-serve` fleet.
+///
+/// A pure function of `(root, system_index)` — never of the shard that
+/// happens to run the system — so partitioning a fleet across any number
+/// of shards feeds every system identical randomness and the merged
+/// output is bit-identical to a single-shard run.
+#[must_use]
+pub fn derive_serve_seed(root: u64, system: u64) -> u64 {
+    keyed_word([root, system, 0, SERVE_TAG])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +79,31 @@ mod tests {
     #[test]
     fn derivation_is_deterministic() {
         assert_eq!(derive_seed(7, 3, 1), derive_seed(7, 3, 1));
+    }
+
+    #[test]
+    fn serve_seeds_are_deterministic_and_distinct() {
+        let mut seen = HashSet::new();
+        for root in 0..4u64 {
+            for system in 0..500u64 {
+                let seed = derive_serve_seed(root, system);
+                assert_eq!(seed, derive_serve_seed(root, system));
+                assert!(seen.insert(seed), "collision at ({root}, {system})");
+            }
+        }
+    }
+
+    #[test]
+    fn serve_seeds_do_not_collide_with_plan_seeds() {
+        let mut plan: HashSet<u64> = HashSet::new();
+        for point in 0..40u64 {
+            for rep in 0..40u64 {
+                plan.insert(derive_seed(5, point, rep));
+            }
+        }
+        for system in 0..1600u64 {
+            assert!(!plan.contains(&derive_serve_seed(5, system)));
+        }
     }
 
     #[test]

@@ -1,0 +1,442 @@
+//! The sharded serving runtime: many simulated systems, few threads, one
+//! shared compiled policy, bit-identical output at any shard count.
+//!
+//! # Determinism argument
+//!
+//! Three properties compose into the shard-count invariance guarantee:
+//!
+//! 1. **Per-system seeding.** System `i` draws its randomness from
+//!    `dpm_harness::seed::derive_serve_seed(root, i)` — a pure function of
+//!    the fleet index, never of the shard or the interleaving.
+//! 2. **Closed per-system state.** Each [`dpm_sim::SimRun`] owns its RNG
+//!    and queue; stepping runs in any order cannot perturb one another, so
+//!    a shard batching 256 events of system A between batches of system B
+//!    produces exactly the serial event sequences.
+//! 3. **Associative merging.** Reports are stitched in fleet-index order
+//!    and folded through [`dpm_sim::MergedReport`], whose accumulators
+//!    ([`dpm_sim::ExactSum`]) are exactly associative — the per-shard
+//!    partial grouping cannot leak into the totals.
+//!
+//! The [`ServeOutcome`] additionally carries a fingerprint over every
+//! per-system report, so "N shards ≡ 1 shard" is checkable from the
+//! artifact alone.
+
+use std::sync::Arc;
+use std::thread;
+
+use dpm_core::PmSystem;
+use dpm_harness::{seed::derive_serve_seed, Json};
+use dpm_sim::workload::PoissonWorkload;
+use dpm_sim::{MergedReport, SimConfig, SimReport, SimRun, Simulator};
+
+use crate::{CompiledController, CompiledPolicy, ServeError};
+
+/// Format tag of the serialized serve outcome.
+pub const SERVE_OUTCOME_FORMAT: &str = "dpm-serve-outcome/v1";
+
+/// Configuration of a serving run: fleet size, shard count, per-system
+/// workload volume, and the batching grain.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    root_seed: u64,
+    systems: usize,
+    shards: usize,
+    requests_per_system: u64,
+    batch_events: usize,
+}
+
+impl ServeConfig {
+    /// A default fleet: 64 systems, 1 shard, 1000 requests each, events
+    /// batched 256 at a time.
+    #[must_use]
+    pub fn new(root_seed: u64) -> Self {
+        ServeConfig {
+            root_seed,
+            systems: 64,
+            shards: 1,
+            requests_per_system: 1_000,
+            batch_events: 256,
+        }
+    }
+
+    /// Sets the number of independent simulated systems.
+    #[must_use]
+    pub fn systems(mut self, n: usize) -> Self {
+        self.systems = n;
+        self
+    }
+
+    /// Sets the number of worker threads (shards).
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Sets the workload volume per system.
+    #[must_use]
+    pub fn requests_per_system(mut self, n: u64) -> Self {
+        self.requests_per_system = n;
+        self
+    }
+
+    /// Sets how many events a shard processes per system before moving to
+    /// the next (cache-friendliness knob; no effect on results).
+    #[must_use]
+    pub fn batch_events(mut self, n: usize) -> Self {
+        self.batch_events = n;
+        self
+    }
+}
+
+/// Merged result of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    root_seed: u64,
+    systems: usize,
+    shards: usize,
+    requests_per_system: u64,
+    merged: MergedReport,
+    fingerprint: u64,
+}
+
+impl ServeOutcome {
+    /// Deterministic aggregate over the whole fleet.
+    #[must_use]
+    pub fn merged(&self) -> &MergedReport {
+        &self.merged
+    }
+
+    /// FNV-1a digest over every per-system report in fleet order — equal
+    /// fingerprints mean bit-identical per-system results, not just equal
+    /// totals.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of systems served.
+    #[must_use]
+    pub fn systems(&self) -> usize {
+        self.systems
+    }
+
+    /// Number of shards the run used (does not affect results).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Serializes the outcome as versioned canonical JSON.
+    ///
+    /// The shard count lands under the volatile `provenance` key, so
+    /// artifacts from runs at different shard counts diff clean at
+    /// tolerance 0 (`dpm_harness::artifact::diff`) exactly when the
+    /// results are bit-identical.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let m = &self.merged;
+        let mut totals = Json::object();
+        totals.set("events", m.events());
+        totals.set("policy_lookups", m.consultations());
+        totals.set("arrivals", m.arrivals());
+        totals.set("completed", m.completed());
+        totals.set("lost", m.lost());
+        totals.set("switches", m.switches());
+        totals.set("sim_seconds", Json::num(m.duration()));
+        totals.set("energy_joules", Json::num(m.total_energy()));
+        totals.set("switch_energy_joules", Json::num(m.switch_energy()));
+        let mut averages = Json::object();
+        averages.set("power_watts", Json::num(m.average_power()));
+        averages.set("queue_length", Json::num(m.average_queue_length()));
+        averages.set("waiting_seconds", Json::num(m.average_waiting_time()));
+        averages.set("loss_fraction", Json::num(m.loss_fraction()));
+        let mut provenance = Json::object();
+        provenance.set("shards", self.shards);
+        let mut doc = Json::object();
+        doc.set("format", SERVE_OUTCOME_FORMAT);
+        doc.set("root_seed", self.root_seed);
+        doc.set("systems", self.systems);
+        doc.set("requests_per_system", self.requests_per_system);
+        doc.set("fingerprint", format!("{:016x}", self.fingerprint));
+        doc.set("totals", totals);
+        doc.set("averages", averages);
+        doc.set("provenance", provenance);
+        doc
+    }
+}
+
+/// Drives a fleet of independent simulated systems against one compiled
+/// policy, partitioned across `config.shards` threads.
+///
+/// Results are bit-identical for any shard count (see the module docs for
+/// the argument); the shard count only changes wall-clock time.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for an empty fleet or zero
+/// shards/batch, [`ServeError::Sim`] if any system's run fails (lowest
+/// fleet index wins when several fail), and [`ServeError::ShardPanic`] if
+/// a worker thread dies.
+pub fn serve(
+    system: &PmSystem,
+    policy: &CompiledPolicy,
+    config: &ServeConfig,
+) -> Result<ServeOutcome, ServeError> {
+    if config.systems == 0 || config.shards == 0 || config.batch_events == 0 {
+        return Err(ServeError::InvalidConfig {
+            reason: format!(
+                "systems ({}), shards ({}) and batch_events ({}) must all be positive",
+                config.systems, config.shards, config.batch_events
+            ),
+        });
+    }
+    let shared = Arc::new(policy.clone());
+    let shards = config.shards.min(config.systems);
+    let chunk = config.systems.div_ceil(shards);
+
+    let mut shard_results: Vec<Result<Vec<SimReport>, ServeError>> = Vec::with_capacity(shards);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let start = shard * chunk;
+            let end = ((shard + 1) * chunk).min(config.systems);
+            let shared = Arc::clone(&shared);
+            handles.push(scope.spawn(move || run_shard(system, &shared, config, start..end)));
+        }
+        for (shard, handle) in handles.into_iter().enumerate() {
+            shard_results.push(
+                handle
+                    .join()
+                    .unwrap_or(Err(ServeError::ShardPanic { shard })),
+            );
+        }
+    });
+
+    let mut merged = MergedReport::new();
+    let mut fingerprint: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for result in shard_results {
+        for report in result? {
+            absorb_fingerprint(&mut fingerprint, &report);
+            merged.absorb(&report);
+        }
+    }
+    Ok(ServeOutcome {
+        root_seed: config.root_seed,
+        systems: config.systems,
+        shards,
+        requests_per_system: config.requests_per_system,
+        merged,
+        fingerprint,
+    })
+}
+
+/// Runs one shard's contiguous block of systems with batched event
+/// processing, returning reports in fleet-index order.
+fn run_shard(
+    system: &PmSystem,
+    policy: &Arc<CompiledPolicy>,
+    config: &ServeConfig,
+    range: std::ops::Range<usize>,
+) -> Result<Vec<SimReport>, ServeError> {
+    let lambda = system.requestor().rate();
+    let mut runs: Vec<(usize, SimRun<PoissonWorkload, CompiledController>)> =
+        Vec::with_capacity(range.len());
+    for i in range {
+        let seed = derive_serve_seed(config.root_seed, i as u64);
+        let workload =
+            PoissonWorkload::new(lambda).map_err(|source| ServeError::Sim { system: i, source })?;
+        let run = Simulator::new(
+            system.provider().clone(),
+            system.capacity(),
+            workload,
+            CompiledController::new(Arc::clone(policy)),
+            SimConfig::new(seed).max_requests(config.requests_per_system),
+        )
+        .start()
+        .map_err(|source| ServeError::Sim { system: i, source })?;
+        runs.push((i, run));
+    }
+
+    // Round-robin over the block, `batch_events` events per system per
+    // visit: the shared policy tables stay hot while each system's state
+    // stays compact. Purely a scheduling choice — per-run results are
+    // interleaving-invariant.
+    let mut live = runs.len();
+    while live > 0 {
+        live = 0;
+        for (i, run) in &mut runs {
+            if run.is_finished() {
+                continue;
+            }
+            for _ in 0..config.batch_events {
+                match run.step() {
+                    Ok(true) => {}
+                    Ok(false) => break,
+                    Err(source) => return Err(ServeError::Sim { system: *i, source }),
+                }
+            }
+            if !run.is_finished() {
+                live += 1;
+            }
+        }
+    }
+    Ok(runs.into_iter().map(|(_, run)| run.into_report()).collect())
+}
+
+/// Folds one report into the running FNV-1a fleet fingerprint: every
+/// statistic a report exposes, bit-exact (floats by their IEEE bits).
+fn absorb_fingerprint(hash: &mut u64, report: &SimReport) {
+    let mut eat = |word: u64| {
+        for byte in word.to_le_bytes() {
+            *hash ^= u64::from(byte);
+            *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(report.seed());
+    eat(report.duration().to_bits());
+    eat(report.total_energy().to_bits());
+    eat(report.switch_energy().to_bits());
+    eat(report.average_queue_length().to_bits());
+    eat(report.average_waiting_time().to_bits());
+    eat(report.arrivals());
+    eat(report.completed());
+    eat(report.lost());
+    eat(report.switches());
+    eat(report.consultations());
+    eat(report.events());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::{PmPolicy, SpModel, SrModel};
+    use dpm_harness::artifact;
+
+    fn system() -> PmSystem {
+        PmSystem::builder()
+            .provider(SpModel::dac99_server().unwrap())
+            .requestor(SrModel::poisson(1.0 / 6.0).unwrap())
+            .capacity(5)
+            .build()
+            .unwrap()
+    }
+
+    fn compiled(system: &PmSystem) -> CompiledPolicy {
+        CompiledPolicy::compile(system, &PmPolicy::greedy(system).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn shard_count_is_bit_invariant() {
+        let system = system();
+        let policy = compiled(&system);
+        let outcome = |shards| {
+            serve(
+                &system,
+                &policy,
+                &ServeConfig::new(7)
+                    .systems(12)
+                    .requests_per_system(400)
+                    .shards(shards),
+            )
+            .unwrap()
+        };
+        let serial = outcome(1);
+        assert_eq!(serial.merged().runs(), 12);
+        assert!(serial.merged().events() > 0);
+        for shards in [2, 3, 5, 12, 64] {
+            let sharded = outcome(shards);
+            assert_eq!(
+                sharded.fingerprint(),
+                serial.fingerprint(),
+                "{shards} shards"
+            );
+            assert_eq!(sharded.merged(), serial.merged(), "{shards} shards");
+            // The canonical artifacts diff clean at tolerance 0 once the
+            // volatile provenance (which records the shard count) is out.
+            assert_eq!(
+                artifact::diff(&sharded.to_json(), &serial.to_json(), 0.0),
+                Vec::<String>::new()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_grain_does_not_change_results() {
+        let system = system();
+        let policy = compiled(&system);
+        let outcome = |batch| {
+            serve(
+                &system,
+                &policy,
+                &ServeConfig::new(3)
+                    .systems(6)
+                    .requests_per_system(300)
+                    .shards(2)
+                    .batch_events(batch),
+            )
+            .unwrap()
+        };
+        let base = outcome(256);
+        for batch in [1, 7, 1024] {
+            assert_eq!(outcome(batch), base, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn policy_lookups_count_every_consultation() {
+        let system = system();
+        let policy = compiled(&system);
+        let outcome = serve(
+            &system,
+            &policy,
+            &ServeConfig::new(11).systems(4).requests_per_system(200),
+        )
+        .unwrap();
+        // The compiled controller is consulted exactly once per engine
+        // consultation; the merged lookup count rides on that statistic.
+        assert!(outcome.merged().consultations() >= outcome.merged().events());
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let system = system();
+        let policy = compiled(&system);
+        for bad in [
+            ServeConfig::new(1).systems(0),
+            ServeConfig::new(1).shards(0),
+            ServeConfig::new(1).batch_events(0),
+        ] {
+            assert!(matches!(
+                serve(&system, &policy, &bad),
+                Err(ServeError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn outcome_artifact_has_the_documented_shape() {
+        let system = system();
+        let policy = compiled(&system);
+        let outcome = serve(
+            &system,
+            &policy,
+            &ServeConfig::new(5).systems(3).requests_per_system(100),
+        )
+        .unwrap();
+        let doc = outcome.to_json();
+        assert_eq!(
+            doc.get("format").and_then(Json::as_str),
+            Some(SERVE_OUTCOME_FORMAT)
+        );
+        for key in ["root_seed", "systems", "requests_per_system", "fingerprint"] {
+            assert!(doc.get(key).is_some(), "missing {key}");
+        }
+        let totals = doc.get("totals").unwrap();
+        for key in ["events", "policy_lookups", "sim_seconds", "energy_joules"] {
+            assert!(totals.get(key).is_some(), "missing totals.{key}");
+        }
+        // Round-trips through the canonical renderer.
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+    }
+}

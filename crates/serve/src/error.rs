@@ -1,0 +1,113 @@
+use std::error::Error;
+use std::fmt;
+
+use dpm_harness::HarnessError;
+use dpm_sim::SimError;
+
+/// Error type for policy compilation and the sharded serving runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The system has more modes than the compiled action encoding (one
+    /// byte per state) can address.
+    TooManyModes {
+        /// Modes in the provider.
+        n_modes: usize,
+    },
+    /// The policy does not fit the system it is being compiled against.
+    PolicyMismatch {
+        /// What was inconsistent.
+        reason: String,
+    },
+    /// A serve configuration parameter was rejected.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A serialized compiled-policy artifact could not be decoded.
+    Format {
+        /// What was malformed.
+        reason: String,
+    },
+    /// A simulated system failed inside a shard.
+    Sim {
+        /// Index of the failing system in the fleet.
+        system: usize,
+        /// The underlying engine error.
+        source: SimError,
+    },
+    /// A shard thread panicked (a bug — shard bodies are panic-free).
+    ShardPanic {
+        /// Index of the shard.
+        shard: usize,
+    },
+    /// Artifact serialization failed.
+    Harness(HarnessError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::TooManyModes { n_modes } => {
+                write!(
+                    f,
+                    "cannot compile: {n_modes} modes exceed the one-byte action encoding"
+                )
+            }
+            ServeError::PolicyMismatch { reason } => {
+                write!(f, "policy does not match the system: {reason}")
+            }
+            ServeError::InvalidConfig { reason } => {
+                write!(f, "invalid serve configuration: {reason}")
+            }
+            ServeError::Format { reason } => {
+                write!(f, "malformed compiled-policy artifact: {reason}")
+            }
+            ServeError::Sim { system, source } => {
+                write!(f, "system {system} failed: {source}")
+            }
+            ServeError::ShardPanic { shard } => write!(f, "shard {shard} panicked"),
+            ServeError::Harness(e) => write!(f, "artifact failure: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Sim { source, .. } => Some(source),
+            ServeError::Harness(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HarnessError> for ServeError {
+    fn from(e: HarnessError) -> Self {
+        ServeError::Harness(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(ServeError::TooManyModes { n_modes: 300 }
+            .to_string()
+            .contains("300"));
+        let e = ServeError::Sim {
+            system: 4,
+            source: SimError::EventBudgetExhausted { events: 9 },
+        };
+        assert!(e.to_string().contains("system 4"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

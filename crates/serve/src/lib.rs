@@ -1,0 +1,59 @@
+//! Policy serving: compiled artifacts and a sharded multi-core runtime.
+//!
+//! The solver stack (`dpm-mdp`, `dpm-lp`) produces an optimal
+//! power-management policy; this crate is what runs it at scale. It has
+//! two halves:
+//!
+//! * [`CompiledPolicy`] — a table policy lowered to dense constant-time
+//!   lookup arrays (mixed-radix stable index, minimal-perfect transfer
+//!   lookup, one-byte actions), versioned and serialized through the
+//!   harness's canonical JSON;
+//! * [`serve`] — a sharded event runtime: a fleet of independent
+//!   simulated systems partitioned across threads, each batching events
+//!   against the shared artifact, with per-system seeds from
+//!   `dpm_harness::seed::derive_serve_seed` and exactly-associative
+//!   report merging so N-shard output is **bit-identical** to 1-shard.
+//!
+//! # Examples
+//!
+//! Compile the greedy policy for the paper's server and serve a small
+//! fleet on two shards:
+//!
+//! ```
+//! use dpm_core::{PmPolicy, PmSystem, SpModel, SrModel};
+//! use dpm_serve::{serve, CompiledPolicy, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = PmSystem::builder()
+//!     .provider(SpModel::dac99_server()?)
+//!     .requestor(SrModel::poisson(1.0 / 6.0)?)
+//!     .capacity(5)
+//!     .build()?;
+//! let policy = CompiledPolicy::compile(&system, &PmPolicy::greedy(&system)?)?;
+//! let outcome = serve(
+//!     &system,
+//!     &policy,
+//!     &ServeConfig::new(42).systems(8).requests_per_system(500).shards(2),
+//! )?;
+//! assert_eq!(outcome.merged().runs(), 8);
+//! // Shard count never changes the numbers, only the wall clock:
+//! let serial = serve(
+//!     &system,
+//!     &policy,
+//!     &ServeConfig::new(42).systems(8).requests_per_system(500).shards(1),
+//! )?;
+//! assert_eq!(outcome.fingerprint(), serial.fingerprint());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compiled;
+mod engine;
+mod error;
+
+pub use compiled::{CompiledController, CompiledPolicy, COMPILED_POLICY_FORMAT};
+pub use engine::{serve, ServeConfig, ServeOutcome, SERVE_OUTCOME_FORMAT};
+pub use error::ServeError;

@@ -1,0 +1,132 @@
+//! Property tests: a compiled policy is indistinguishable from its source
+//! table over the whole state space of randomly generated systems, and
+//! the serialized artifact round-trips bit-for-bit.
+
+use dpm_core::{PmPolicy, PmSystem, SpModel, SrModel, SysState};
+use dpm_serve::CompiledPolicy;
+use proptest::prelude::*;
+
+/// Random provider: one active mode plus 1–2 inactive modes, fully
+/// connected switches with random times and energies.
+fn random_provider() -> impl Strategy<Value = SpModel> {
+    (
+        0.2f64..3.0,                                                // service rate
+        1.0f64..50.0,                                               // active power
+        prop::collection::vec((0.01f64..2.0, 0.0f64..20.0), 2..=6), // switch (time, energy) pool
+        1usize..=2,                                                 // number of inactive modes
+        0.01f64..5.0,                                               // inactive power scale
+    )
+        .prop_map(|(mu, pow_active, switches, n_inactive, pow_scale)| {
+            let mut b = SpModel::builder();
+            b.mode("active", mu, pow_active);
+            for k in 0..n_inactive {
+                b.mode(format!("inactive{k}"), 0.0, pow_scale * (k as f64 + 0.1));
+            }
+            let n = 1 + n_inactive;
+            let mut pool = switches.into_iter().cycle();
+            for from in 0..n {
+                for to in 0..n {
+                    if from != to {
+                        let (time, energy) = pool.next().expect("cycled pool");
+                        b.switch_time(from, to, time)
+                            .expect("positive time")
+                            .energy(from, to, energy)
+                            .expect("non-negative energy");
+                    }
+                }
+            }
+            b.build().expect("valid random provider")
+        })
+}
+
+fn random_system() -> impl Strategy<Value = PmSystem> {
+    (random_provider(), 0.05f64..1.5, 2usize..=5).prop_map(|(sp, lambda, capacity)| {
+        PmSystem::builder()
+            .provider(sp)
+            .requestor(SrModel::poisson(lambda).expect("positive rate"))
+            .capacity(capacity)
+            .build()
+            .expect("valid random system")
+    })
+}
+
+/// A deterministic pseudo-random valid policy: in each state, pick one of
+/// the state's legal destinations by a salted index.
+fn salted_policy(system: &PmSystem, salt: u64) -> PmPolicy {
+    let destinations = (0..system.n_states())
+        .map(|i| {
+            let dests = system.action_destinations(i);
+            dests[(i as u64).wrapping_mul(2654435761).wrapping_add(salt) as usize % dests.len()]
+        })
+        .collect();
+    PmPolicy::new(system, destinations).expect("destinations drawn from the action sets")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_action_pins_the_table_policy_everywhere(
+        system in random_system(),
+        salt in 0u64..1_000,
+    ) {
+        let policy = salted_policy(&system, salt);
+        let compiled = CompiledPolicy::compile(&system, &policy).expect("compiles");
+        prop_assert_eq!(compiled.n_states(), system.n_states());
+        // Every state of the space — stable and transfer/instant alike —
+        // answers exactly as the source table.
+        for i in 0..system.n_states() {
+            let state = system.state(i);
+            prop_assert_eq!(
+                compiled.action(state),
+                Some(policy.destination(i)),
+                "state {}: {:?}", i, state
+            );
+            prop_assert_eq!(
+                compiled.action(state),
+                policy.command(&system, state).ok(),
+                "state {}: {:?}", i, state
+            );
+        }
+    }
+
+    #[test]
+    fn states_outside_the_space_answer_none(system in random_system()) {
+        let policy = PmPolicy::greedy(&system).expect("greedy");
+        let compiled = CompiledPolicy::compile(&system, &policy).expect("compiles");
+        let q = system.capacity();
+        let n = system.provider().n_modes();
+        // Out-of-range queue/mode coordinates.
+        prop_assert_eq!(compiled.action(SysState::Stable { mode: n, jobs: 0 }), None);
+        prop_assert_eq!(compiled.action(SysState::Stable { mode: 0, jobs: q + 1 }), None);
+        prop_assert_eq!(compiled.action(SysState::Transfer { mode: 0, departing: 0 }), None);
+        prop_assert_eq!(compiled.action(SysState::Transfer { mode: 0, departing: q + 1 }), None);
+        // Transfer states of inactive modes are not part of the space.
+        for m in system.provider().inactive_modes() {
+            for departing in 1..=q {
+                prop_assert_eq!(
+                    compiled.action(SysState::Transfer { mode: m, departing }),
+                    None
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serialized_artifacts_round_trip(
+        system in random_system(),
+        salt in 0u64..1_000,
+    ) {
+        let policy = salted_policy(&system, salt);
+        let compiled = CompiledPolicy::compile(&system, &policy).expect("compiles");
+        let doc = compiled.to_json();
+        // Struct-level round trip…
+        let reloaded = CompiledPolicy::from_json(&doc).expect("well-formed");
+        prop_assert_eq!(&reloaded, &compiled);
+        // …and byte-level through the canonical renderer.
+        let text = doc.render();
+        let reparsed = dpm_harness::Json::parse(&text).expect("parses");
+        prop_assert_eq!(reparsed.render(), text);
+        prop_assert_eq!(CompiledPolicy::from_json(&reparsed).expect("well-formed"), compiled);
+    }
+}

@@ -135,7 +135,24 @@ impl<W: Workload, C: Controller> Simulator<W, C> {
     /// [`SimError::InvalidCommand`] if the controller commands an
     /// impossible switch, and [`SimError::EventBudgetExhausted`] if a
     /// controller stalls the clock.
-    pub fn run(mut self) -> Result<SimReport, SimError> {
+    pub fn run(self) -> Result<SimReport, SimError> {
+        let mut run = self.start()?;
+        while run.step()? {}
+        Ok(run.into_report())
+    }
+
+    /// Validates the configuration and returns a [`SimRun`] that can be
+    /// advanced one event at a time.
+    ///
+    /// Stepped execution processes exactly the same event sequence as
+    /// [`Simulator::run`] — each system owns its RNG, so interleaving
+    /// steps of *different* runs (as the `dpm-serve` sharded runtime does
+    /// for batched event processing) cannot perturb any individual run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for inconsistent setup.
+    pub fn start(mut self) -> Result<SimRun<W, C>, SimError> {
         if self.capacity == 0 {
             return Err(SimError::InvalidConfig {
                 reason: "queue capacity must be at least 1".to_owned(),
@@ -164,30 +181,6 @@ impl<W: Workload, C: Controller> Simulator<W, C> {
         };
 
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut time = 0.0f64;
-        let mut mode = initial_mode;
-        let mut in_transfer = false;
-        let mut queue: VecDeque<f64> = VecDeque::new();
-
-        // Statistics.
-        let mut occupancy_energy = 0.0f64;
-        let mut switch_energy = 0.0f64;
-        let mut queue_integral = 0.0f64;
-        let mut arrivals = 0u64;
-        let mut completed = 0u64;
-        let mut lost = 0u64;
-        let mut switches = 0u64;
-        let mut sojourn_sum = 0.0f64;
-        let mut snapshots: Vec<Snapshot> = Vec::with_capacity(BATCHES + 1);
-        let snapshot_every = (self.config.max_requests / BATCHES as u64).max(1);
-
-        // First arrival.
-        let mut next_arrival: Option<f64> = self
-            .workload
-            .next_interarrival(&mut rng)
-            .map(|gap| time + gap);
-        let mut last_event = SimEvent::Start;
-
         let event_budget = if self.config.event_budget > 0 {
             self.config.event_budget
         } else {
@@ -195,200 +188,327 @@ impl<W: Workload, C: Controller> Simulator<W, C> {
             // timer-heavy policies.
             1_000_000 + 200 * self.config.max_requests
         };
-        let mut events = 0u64;
-        let mut consultations = 0u64;
-        // Timer-only streak during the drain phase (workload exhausted):
-        // a controller that keeps requesting timers without ever serving
-        // the leftover queue would otherwise spin forever.
-        let mut drain_timer_streak = 0u32;
+        let snapshot_every = (self.config.max_requests / BATCHES as u64).max(1);
+        // First arrival.
+        let next_arrival: Option<f64> = self.workload.next_interarrival(&mut rng);
 
-        loop {
-            events += 1;
-            if events > event_budget {
-                return Err(SimError::EventBudgetExhausted { events });
-            }
+        Ok(SimRun {
+            sp: self.sp,
+            capacity: self.capacity,
+            workload: self.workload,
+            controller: self.controller,
+            config: self.config,
+            rng,
+            time: 0.0,
+            mode: initial_mode,
+            in_transfer: false,
+            queue: VecDeque::new(),
+            occupancy_energy: 0.0,
+            switch_energy: 0.0,
+            queue_integral: 0.0,
+            arrivals: 0,
+            completed: 0,
+            lost: 0,
+            switches: 0,
+            sojourn_sum: 0.0,
+            snapshots: Vec::with_capacity(BATCHES + 1),
+            snapshot_every,
+            next_arrival,
+            last_event: SimEvent::Start,
+            event_budget,
+            events: 0,
+            consultations: 0,
+            drain_timer_streak: 0,
+            finished: false,
+        })
+    }
+}
 
-            // Observe and consult the power manager (asynchronously: only
-            // here, at state changes).
-            let state = if in_transfer {
-                SysState::Transfer {
-                    mode,
-                    departing: queue.len() + 1,
-                }
-            } else {
-                SysState::Stable {
-                    mode,
-                    jobs: queue.len(),
-                }
-            };
-            let observation = Observation { time, state };
-            consultations += 1;
-            let command = self.controller.command(&observation, last_event, &mut rng);
-            if command.target >= self.sp.n_modes()
-                || (command.target != mode && !self.sp.can_switch(mode, command.target))
-            {
-                return Err(SimError::InvalidCommand {
-                    from: mode,
-                    to: command.target,
-                });
-            }
-            // Instantaneous self-switch completes the transfer in zero time.
-            if in_transfer && command.target == mode {
-                in_transfer = false;
-                last_event = SimEvent::SwitchComplete;
-                continue;
-            }
+/// An in-flight simulation: the state machine behind [`Simulator::run`],
+/// advanced one event at a time with [`SimRun::step`].
+///
+/// Obtained from [`Simulator::start`]. A run is *finished* once `step`
+/// returns `Ok(false)`; [`SimRun::into_report`] then yields exactly the
+/// report `Simulator::run` would have produced. Multiple independent runs
+/// may be stepped in any interleaving — each owns its seeded RNG, so the
+/// per-run event sequence is invariant under scheduling.
+#[derive(Debug)]
+pub struct SimRun<W, C> {
+    sp: SpModel,
+    capacity: usize,
+    workload: W,
+    controller: C,
+    config: SimConfig,
+    rng: ChaCha8Rng,
+    time: f64,
+    mode: usize,
+    in_transfer: bool,
+    queue: VecDeque<f64>,
+    occupancy_energy: f64,
+    switch_energy: f64,
+    queue_integral: f64,
+    arrivals: u64,
+    completed: u64,
+    lost: u64,
+    switches: u64,
+    sojourn_sum: f64,
+    snapshots: Vec<Snapshot>,
+    snapshot_every: u64,
+    next_arrival: Option<f64>,
+    last_event: SimEvent,
+    event_budget: u64,
+    events: u64,
+    consultations: u64,
+    drain_timer_streak: u32,
+    finished: bool,
+}
 
-            // Each command defines the timer until the next consultation
-            // (controllers that want a standing timer re-request it — the
-            // next consultation happens no later than the timer anyway).
-            let timer_deadline: Option<f64> = command.timer.map(|d| time + d.max(0.0));
+impl<W: Workload, C: Controller> SimRun<W, C> {
+    /// Processes one engine event (a controller consultation plus the
+    /// event race it decides). Returns `Ok(true)` while the run has more
+    /// events, `Ok(false)` once it has finished; stepping a finished run
+    /// is a no-op returning `Ok(false)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidCommand`] if the controller commands an
+    /// impossible switch, and [`SimError::EventBudgetExhausted`] if a
+    /// controller stalls the clock.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        if self.finished {
+            return Ok(false);
+        }
+        self.events += 1;
+        if self.events > self.event_budget {
+            return Err(SimError::EventBudgetExhausted {
+                events: self.events,
+            });
+        }
 
-            // Race the candidate events.
-            let mut winner: Option<(f64, NextEvent)> = None;
-            let mut consider = |t: f64, kind: NextEvent| {
-                if winner.is_none_or(|(wt, _)| t < wt) {
-                    winner = Some((t, kind));
-                }
-            };
-            if let Some(t) = next_arrival {
-                consider(t, NextEvent::Arrival);
+        // Observe and consult the power manager (asynchronously: only
+        // here, at state changes).
+        let state = if self.in_transfer {
+            SysState::Transfer {
+                mode: self.mode,
+                departing: self.queue.len() + 1,
             }
-            if !in_transfer && self.sp.service_rate(mode) > 0.0 && !queue.is_empty() {
-                consider(
-                    time + exponential(&mut rng, self.sp.service_rate(mode)),
-                    NextEvent::Service,
-                );
+        } else {
+            SysState::Stable {
+                mode: self.mode,
+                jobs: self.queue.len(),
             }
-            if command.target != mode {
-                consider(
-                    time + exponential(&mut rng, self.sp.switch_rate(mode, command.target)),
-                    NextEvent::Switch,
-                );
-            }
-            if let Some(t) = timer_deadline {
-                consider(t, NextEvent::Timer);
-            }
+        };
+        let observation = Observation {
+            time: self.time,
+            state,
+        };
+        self.consultations += 1;
+        let command = self
+            .controller
+            .command(&observation, self.last_event, &mut self.rng);
+        if command.target >= self.sp.n_modes()
+            || (command.target != self.mode && !self.sp.can_switch(self.mode, command.target))
+        {
+            return Err(SimError::InvalidCommand {
+                from: self.mode,
+                to: command.target,
+            });
+        }
+        // Instantaneous self-switch completes the transfer in zero time.
+        if self.in_transfer && command.target == self.mode {
+            self.in_transfer = false;
+            self.last_event = SimEvent::SwitchComplete;
+            return Ok(true);
+        }
 
-            let Some((event_time, kind)) = winner else {
-                // Nothing can ever happen again: drain and stop.
-                break;
-            };
-            let mut event_time = event_time;
-            let mut stop_after = false;
-            if let Some(limit) = self.config.max_time {
-                if event_time >= limit {
-                    event_time = limit;
-                    stop_after = true;
-                }
-            }
+        // Each command defines the timer until the next consultation
+        // (controllers that want a standing timer re-request it — the
+        // next consultation happens no later than the timer anyway).
+        let timer_deadline: Option<f64> = command.timer.map(|d| self.time + d.max(0.0));
 
-            // Integrate time-weighted statistics over the elapsed interval.
-            let dt = event_time - time;
-            occupancy_energy += self.sp.power(mode) * dt;
-            queue_integral += queue.len() as f64 * dt;
-            time = event_time;
-            if stop_after {
-                break;
+        // Race the candidate events.
+        let mut winner: Option<(f64, NextEvent)> = None;
+        let mut consider = |t: f64, kind: NextEvent| {
+            if winner.is_none_or(|(wt, _)| t < wt) {
+                winner = Some((t, kind));
             }
+        };
+        if let Some(t) = self.next_arrival {
+            consider(t, NextEvent::Arrival);
+        }
+        if !self.in_transfer && self.sp.service_rate(self.mode) > 0.0 && !self.queue.is_empty() {
+            consider(
+                self.time + exponential(&mut self.rng, self.sp.service_rate(self.mode)),
+                NextEvent::Service,
+            );
+        }
+        if command.target != self.mode {
+            consider(
+                self.time
+                    + exponential(
+                        &mut self.rng,
+                        self.sp.switch_rate(self.mode, command.target),
+                    ),
+                NextEvent::Switch,
+            );
+        }
+        if let Some(t) = timer_deadline {
+            consider(t, NextEvent::Timer);
+        }
 
-            match kind {
-                NextEvent::Arrival => {
-                    arrivals += 1;
-                    // Transfer states reserve the departing slot (model
-                    // boundary: q_{Q->Q-1} loses arrivals).
-                    let room = if in_transfer {
-                        self.capacity - 1
-                    } else {
-                        self.capacity
-                    };
-                    if queue.len() < room {
-                        queue.push_back(time);
-                    } else {
-                        lost += 1;
-                    }
-                    next_arrival = if arrivals < self.config.max_requests {
-                        self.workload
-                            .next_interarrival(&mut rng)
-                            .map(|gap| time + gap)
-                    } else {
-                        None
-                    };
-                    if arrivals.is_multiple_of(snapshot_every) {
-                        snapshots.push(Snapshot {
-                            time,
-                            energy: occupancy_energy + switch_energy,
-                            completed,
-                            sojourn_sum,
-                        });
-                    }
-                    last_event = SimEvent::Arrival;
-                }
-                NextEvent::Service => {
-                    // dpm-lint: allow(no_panic, reason = "a service completion can only be scheduled while the queue is non-empty")
-                    let arrived = queue.pop_front().expect("service implies a request");
-                    sojourn_sum += time - arrived;
-                    completed += 1;
-                    in_transfer = true;
-                    last_event = SimEvent::ServiceCompletion;
-                }
-                NextEvent::Switch => {
-                    switch_energy += self.sp.switch_energy(mode, command.target);
-                    switches += 1;
-                    mode = command.target;
-                    in_transfer = false;
-                    last_event = SimEvent::SwitchComplete;
-                }
-                NextEvent::Timer => {
-                    last_event = SimEvent::TimerFired;
-                }
-            }
-
-            if next_arrival.is_none() {
-                if kind == NextEvent::Timer {
-                    drain_timer_streak += 1;
-                    if drain_timer_streak > 1_000 {
-                        // The controller is idling on timers with work left
-                        // (e.g. a policy that never wakes): stop the run.
-                        break;
-                    }
-                } else {
-                    drain_timer_streak = 0;
-                }
-                if queue.is_empty() && !in_transfer {
-                    break;
-                }
+        let Some((event_time, kind)) = winner else {
+            // Nothing can ever happen again: drain and stop.
+            self.finished = true;
+            return Ok(false);
+        };
+        let mut event_time = event_time;
+        let mut stop_after = false;
+        if let Some(limit) = self.config.max_time {
+            if event_time >= limit {
+                event_time = limit;
+                stop_after = true;
             }
         }
 
-        let duration = time.max(f64::MIN_POSITIVE);
+        // Integrate time-weighted statistics over the elapsed interval.
+        let dt = event_time - self.time;
+        self.occupancy_energy += self.sp.power(self.mode) * dt;
+        self.queue_integral += self.queue.len() as f64 * dt;
+        self.time = event_time;
+        if stop_after {
+            self.finished = true;
+            return Ok(false);
+        }
+
+        match kind {
+            NextEvent::Arrival => {
+                self.arrivals += 1;
+                // Transfer states reserve the departing slot (model
+                // boundary: q_{Q->Q-1} loses arrivals).
+                let room = if self.in_transfer {
+                    self.capacity - 1
+                } else {
+                    self.capacity
+                };
+                if self.queue.len() < room {
+                    self.queue.push_back(self.time);
+                } else {
+                    self.lost += 1;
+                }
+                self.next_arrival = if self.arrivals < self.config.max_requests {
+                    let time = self.time;
+                    self.workload
+                        .next_interarrival(&mut self.rng)
+                        .map(|gap| time + gap)
+                } else {
+                    None
+                };
+                if self.arrivals.is_multiple_of(self.snapshot_every) {
+                    self.snapshots.push(Snapshot {
+                        time: self.time,
+                        energy: self.occupancy_energy + self.switch_energy,
+                        completed: self.completed,
+                        sojourn_sum: self.sojourn_sum,
+                    });
+                }
+                self.last_event = SimEvent::Arrival;
+            }
+            NextEvent::Service => {
+                // A service completion is only ever scheduled while the
+                // queue is non-empty (checked in the race above), so the
+                // `if let` always takes the populated branch.
+                if let Some(arrived) = self.queue.pop_front() {
+                    self.sojourn_sum += self.time - arrived;
+                    self.completed += 1;
+                    self.in_transfer = true;
+                    self.last_event = SimEvent::ServiceCompletion;
+                }
+            }
+            NextEvent::Switch => {
+                self.switch_energy += self.sp.switch_energy(self.mode, command.target);
+                self.switches += 1;
+                self.mode = command.target;
+                self.in_transfer = false;
+                self.last_event = SimEvent::SwitchComplete;
+            }
+            NextEvent::Timer => {
+                self.last_event = SimEvent::TimerFired;
+            }
+        }
+
+        if self.next_arrival.is_none() {
+            if kind == NextEvent::Timer {
+                self.drain_timer_streak += 1;
+                if self.drain_timer_streak > 1_000 {
+                    // The controller is idling on timers with work left
+                    // (e.g. a policy that never wakes): stop the run.
+                    self.finished = true;
+                    return Ok(false);
+                }
+            } else {
+                self.drain_timer_streak = 0;
+            }
+            if self.queue.is_empty() && !self.in_transfer {
+                self.finished = true;
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Returns `true` once the run has ended (step returned `Ok(false)`).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Engine events processed so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Borrows the controller driving this run (e.g. to read adaptive
+    /// estimates or lookup counters mid-flight).
+    #[must_use]
+    pub fn controller(&self) -> &C {
+        &self.controller
+    }
+
+    /// Finalizes the run into a [`SimReport`].
+    ///
+    /// Normally called once [`SimRun::step`] has returned `Ok(false)`;
+    /// calling earlier reports the statistics accumulated so far.
+    #[must_use]
+    pub fn into_report(self) -> SimReport {
+        let duration = self.time.max(f64::MIN_POSITIVE);
         let (power_ci, sojourn_ci) = batch_half_widths(
-            &snapshots,
+            &self.snapshots,
             Snapshot {
-                time,
-                energy: occupancy_energy + switch_energy,
-                completed,
-                sojourn_sum,
+                time: self.time,
+                energy: self.occupancy_energy + self.switch_energy,
+                completed: self.completed,
+                sojourn_sum: self.sojourn_sum,
             },
         );
 
-        Ok(SimReport {
+        SimReport {
             policy: self.controller.name(),
             seed: self.config.seed,
             duration,
-            occupancy_energy,
-            switch_energy,
-            queue_integral,
-            arrivals,
-            completed,
-            lost,
-            switches,
-            sojourn_sum,
-            consultations,
-            events,
+            occupancy_energy: self.occupancy_energy,
+            switch_energy: self.switch_energy,
+            queue_integral: self.queue_integral,
+            arrivals: self.arrivals,
+            completed: self.completed,
+            lost: self.lost,
+            switches: self.switches,
+            sojourn_sum: self.sojourn_sum,
+            consultations: self.consultations,
+            events: self.events,
             power_ci,
             sojourn_ci,
-        })
+        }
     }
 }
 
@@ -487,6 +607,59 @@ mod tests {
             .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stepped_run_matches_run_exactly() {
+        let sim = |seed| {
+            Simulator::new(
+                sp(),
+                5,
+                PoissonWorkload::new(0.2).unwrap(),
+                GreedyController::new(&sp()).unwrap(),
+                SimConfig::new(seed).max_requests(2_000),
+            )
+        };
+        let serial = sim(31).run().unwrap();
+        let mut run = sim(31).start().unwrap();
+        while run.step().unwrap() {}
+        assert!(run.is_finished());
+        assert_eq!(run.into_report(), serial);
+    }
+
+    #[test]
+    fn interleaved_stepping_is_invariant_per_run() {
+        // Step several independent runs round-robin in small batches (the
+        // serve shard schedule) and check each report is bit-identical to
+        // its serial run.
+        let sim = |seed| {
+            Simulator::new(
+                sp(),
+                5,
+                PoissonWorkload::new(0.2).unwrap(),
+                GreedyController::new(&sp()).unwrap(),
+                SimConfig::new(seed).max_requests(1_000),
+            )
+        };
+        let serial: Vec<_> = (10..14).map(|s| sim(s).run().unwrap()).collect();
+        let mut runs: Vec<_> = (10..14).map(|s| sim(s).start().unwrap()).collect();
+        let mut live = runs.len();
+        while live > 0 {
+            live = 0;
+            for run in &mut runs {
+                for _ in 0..64 {
+                    if !run.step().unwrap() {
+                        break;
+                    }
+                }
+                if !run.is_finished() {
+                    live += 1;
+                }
+            }
+        }
+        for (run, expected) in runs.into_iter().zip(&serial) {
+            assert_eq!(&run.into_report(), expected);
+        }
     }
 
     #[test]

@@ -55,11 +55,13 @@
 pub mod controller;
 mod engine;
 mod error;
+mod merge;
 mod report;
 mod rng;
 pub mod workload;
 
-pub use engine::{SimConfig, Simulator};
+pub use engine::{SimConfig, SimRun, Simulator};
 pub use error::SimError;
+pub use merge::{ExactSum, MergedReport};
 pub use report::SimReport;
 pub use rng::exponential;

@@ -32,17 +32,6 @@ if ./target/release/dpm-lint --baseline "$SMOKE_DIR/empty_baseline.json" > /dev/
     exit 1
 fi
 
-echo "=== deprecated stationary::solve* shims (workspace must use the Solver API) ==="
-# The ten deprecated free functions live (and are tested) only in
-# crates/ctmc/src/stationary.rs; everywhere else must go through
-# stationary::Solver. Exact word-bounded names: helpers like a test's
-# solve_sparse_with(..) do not match.
-SHIMS='\b(solve_with_stats|solve_sparse|solve_sparse_with_stats|solve_with_fallback|solve_sparse_with_fallback|solve_lu|solve_gth|solve_power|solve_checked)\b|stationary::solve\('
-if grep -rnE "$SHIMS" crates tests src examples --include="*.rs" | grep -v '^crates/ctmc/src/stationary.rs:'; then
-    echo "deprecated stationary::solve* shim used outside crates/ctmc/src/stationary.rs" >&2
-    exit 1
-fi
-
 echo "=== cargo test ==="
 cargo test --workspace -q
 
@@ -73,6 +62,29 @@ cargo build --release -q -p dpm-bench --bin fig4
 ./target/release/fig4 --workers 1 --solve-workers 2 --requests 500 --reps 1 \
     --seed 11 --out "$SMOKE_DIR/solve2.json" > /dev/null
 ./target/release/artifact_diff --a "$SMOKE_DIR/solve1.json" --b "$SMOKE_DIR/solve2.json"
+
+echo "=== serving smoke (1 vs N shards, determinism gate at tolerance 0) ==="
+cargo build --release -q -p dpm-bench --bin bench_serve
+# bench_serve self-checks bit-identity across its --shards list and fails
+# on any divergence; a small fleet keeps this fast on every host.
+./target/release/bench_serve --systems 32 --requests 300 --shards 1,2 \
+    --rounds 20 --lookup-capacity 50 --seed 7 \
+    --out "$SMOKE_DIR/bench_serve.json" \
+    --outcome-out "$SMOKE_DIR/serve1.json" > /dev/null
+CORES="$(nproc)"
+if [ "$CORES" -ge 4 ]; then
+    # Enough cores for real parallelism: diff the 4-shard outcome against
+    # the 1-shard outcome externally and record the measured speedup.
+    ./target/release/bench_serve --systems 32 --requests 300 --shards 4,1 \
+        --rounds 20 --lookup-capacity 50 --seed 7 \
+        --out "$SMOKE_DIR/bench_serve4.json" \
+        --outcome-out "$SMOKE_DIR/serve4.json" > /dev/null
+    ./target/release/artifact_diff --a "$SMOKE_DIR/serve1.json" --b "$SMOKE_DIR/serve4.json"
+    grep -o '"serve_4_shards_speedup_vs_1": [0-9.eE+-]*' "$SMOKE_DIR/bench_serve4.json" \
+        | sed 's/^/multi-worker /'
+else
+    echo "($CORES core(s): skipping the 4-shard speedup leg; bit-identity already gated above)"
+fi
 
 echo "=== criterion micro-bench smoke (kernels must stay compiling) ==="
 cargo bench --workspace --no-run -q

@@ -17,6 +17,7 @@
 //! | [`mdp`] | `dpm-mdp` | CTMDP/DTMDP solvers: policy iteration (unichain & multichain, dense or sparse-iterative evaluation backend), value iteration, occupation-measure LPs |
 //! | [`model`] | `dpm-core` | the paper's power-management model and policy optimization; SYS generators assemble densely or directly into CSR |
 //! | [`sim`] | `dpm-sim` | the event-driven simulator, workloads and controllers |
+//! | [`serve`] | `dpm-serve` | compiled-policy serving: `CompiledPolicy` artifacts and the sharded multi-core event runtime |
 //!
 //! Large state spaces (queue capacities in the hundreds and beyond)
 //! should use the sparse pipeline — [`model`]'s
@@ -51,6 +52,32 @@
 //! # }
 //! ```
 //!
+//! # Serving a compiled policy
+//!
+//! Once optimized, a policy can be lowered into a [`serve`]
+//! `CompiledPolicy` — a dense O(1) action table — and driven over a
+//! fleet of simulated systems by the sharded runtime. The outcome is
+//! bit-identical at every shard count:
+//!
+//! ```
+//! use dpm::model::{PmPolicy, PmSystem, SpModel, SrModel};
+//! use dpm::serve::{serve, CompiledPolicy, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = PmSystem::builder()
+//!     .provider(SpModel::dac99_server()?)
+//!     .requestor(SrModel::poisson(1.0 / 6.0)?)
+//!     .capacity(5)
+//!     .build()?;
+//! let compiled = CompiledPolicy::compile(&system, &PmPolicy::greedy(&system)?)?;
+//! let config = ServeConfig::new(7).systems(8).requests_per_system(200);
+//! let serial = serve(&system, &compiled, &config)?;
+//! let sharded = serve(&system, &compiled, &config.clone().shards(4))?;
+//! assert_eq!(serial.fingerprint(), sharded.fingerprint());
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! See the `examples/` directory for end-to-end scenarios and the
 //! `dpm-bench` crate for the binaries that regenerate every table and
 //! figure of the paper.
@@ -64,4 +91,5 @@ pub use dpm_harness as harness;
 pub use dpm_linalg as linalg;
 pub use dpm_lp as lp;
 pub use dpm_mdp as mdp;
+pub use dpm_serve as serve;
 pub use dpm_sim as sim;
