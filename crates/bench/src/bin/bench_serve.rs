@@ -19,14 +19,28 @@
 //! 3. **Artifact**: deterministic fields (`params`, `checks`, `serve`)
 //!    are canonical; wall-clock rates live under the `timers` key, which
 //!    the artifact diff strips. `--outcome-out` additionally writes the
-//!    serve outcome alone, which `scripts/ci.sh` diffs across shard
-//!    counts at tolerance 0 on multi-core hosts.
+//!    serve outcome alone (atomically: `artifact::write` stages a temp
+//!    file and renames), which `scripts/ci.sh` diffs across shard counts
+//!    at tolerance 0 on multi-core hosts.
+//!
+//! Passing any resilience flag (`--checkpoint`, `--resume`,
+//! `--inject-panic`, `--inject-error`, `--max-attempts`) switches the
+//! binary into **supervised chaos mode**: one supervised serve at the
+//! first `--shards` count, with faults given as `SYS@EVENTS[:ATTEMPTS]`
+//! (comma-separated; `max` = every attempt) and progress journaled for
+//! kill-and-resume. The mode self-gates: every served system that never
+//! left its original seed stream must report **field-for-field** what a
+//! fault-free fleet reports, and the binary exits nonzero otherwise. The
+//! sweep and microbench are skipped in this mode.
 //!
 //! ```text
 //! cargo run --release -p dpm-bench --bin bench_serve -- \
 //!     [--systems N] [--requests R] [--shards LIST] [--rounds K] \
 //!     [--lookup-capacity Q] [--weight W] [--seed S] \
-//!     [--out results/BENCH_serve.json] [--outcome-out PATH]
+//!     [--out results/BENCH_serve.json] [--outcome-out PATH] \
+//!     [--checkpoint J] [--resume J] [--max-attempts A] \
+//!     [--inject-panic SYS@EVENTS[:ATTEMPTS],...] \
+//!     [--inject-error SYS@EVENTS[:ATTEMPTS],...]
 //! ```
 
 use std::hint::black_box;
@@ -38,7 +52,7 @@ use dpm_harness::{
     cli::{self, Args},
     Json,
 };
-use dpm_serve::{serve, CompiledPolicy, ServeConfig, ServeOutcome};
+use dpm_serve::{serve, CompiledPolicy, RetryPolicy, ServeConfig, ServeFaultPlan, ServeOutcome};
 
 /// One serving measurement: shard count, outcome, wall seconds.
 struct ServeRow {
@@ -55,6 +69,128 @@ impl ServeRow {
     fn lookups_per_sec(&self) -> f64 {
         self.outcome.merged().consultations() as f64 / self.secs.max(f64::MIN_POSITIVE)
     }
+}
+
+/// One parsed fault site: `(system, events, attempts)`.
+type FaultSite = (usize, u64, u32);
+
+/// Parses a serve fault spec: comma-separated `SYS@EVENTS` or
+/// `SYS@EVENTS:ATTEMPTS` entries (`max` arms every attempt).
+fn parse_serve_faults(
+    spec: Option<&str>,
+    flag: &str,
+) -> Result<Vec<FaultSite>, Box<dyn std::error::Error>> {
+    let Some(spec) = spec else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        let bad = || format!("--{flag} expects SYS@EVENTS[:ATTEMPTS], got `{entry}`").into();
+        let Some((system, rest)) = entry.split_once('@') else {
+            return Err(bad());
+        };
+        let (events, attempts) = match rest.split_once(':') {
+            Some((events, attempts)) => (events, attempts),
+            None => (rest, "1"),
+        };
+        let system: usize = system.parse().map_err(|_| bad())?;
+        let events: u64 = events.parse().map_err(|_| bad())?;
+        let attempts: u32 = if attempts == "max" {
+            u32::MAX
+        } else {
+            attempts.parse().map_err(|_| bad())?
+        };
+        out.push((system, events, attempts));
+    }
+    Ok(out)
+}
+
+/// Supervised chaos mode: one supervised serve (faults, retry budgets,
+/// journal), self-gated against a fault-free fleet.
+#[allow(clippy::too_many_arguments)]
+fn run_supervised(
+    system: &PmSystem,
+    compiled: &CompiledPolicy,
+    args: &Args,
+    root_seed: u64,
+    systems: usize,
+    requests: u64,
+    shards: usize,
+    outcome_out: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut faults = ServeFaultPlan::new();
+    for (sys, events, attempts) in parse_serve_faults(args.get("inject-panic"), "inject-panic")? {
+        faults = faults.panic_at(sys, events, attempts);
+    }
+    for (sys, events, attempts) in parse_serve_faults(args.get("inject-error"), "inject-error")? {
+        faults = faults.error_at(sys, events, attempts);
+    }
+    let mut retry = RetryPolicy::new();
+    let max_attempts = args.get_u64("max-attempts", 0)?;
+    if max_attempts > 0 {
+        let attempts = u32::try_from(max_attempts).unwrap_or(u32::MAX);
+        retry = retry.panic_attempts(attempts).engine_attempts(attempts);
+    }
+    let mut config = ServeConfig::new(root_seed)
+        .systems(systems)
+        .requests_per_system(requests)
+        .shards(shards)
+        .faults(faults)
+        .retry(retry);
+    if let Some(path) = args.get("checkpoint") {
+        config = config.checkpoint(path);
+    }
+    if let Some(path) = args.get("resume") {
+        config = config.resume(path);
+    }
+
+    let (outcome, secs) = timed(|| serve(system, compiled, &config));
+    let outcome = outcome?;
+
+    // Self-gate: panic recoveries replay their original seed, so every
+    // served system still on seed stream 0 must report exactly what a
+    // never-faulted fleet reports for it. (Engine-class retries reseed
+    // and quarantined systems have no report; both are out of scope.)
+    let reference = serve(
+        system,
+        compiled,
+        &ServeConfig::new(root_seed)
+            .systems(systems)
+            .requests_per_system(requests)
+            .shards(shards),
+    )?;
+    let mut gated = 0usize;
+    let mut survivors_match = true;
+    for (record, clean) in outcome.records().iter().zip(reference.records()) {
+        if record.is_served() && record.seed_attempt() == 0 {
+            gated += 1;
+            survivors_match &= record.report() == clean.report();
+        }
+    }
+    let retried = outcome
+        .records()
+        .iter()
+        .filter(|r| r.attempts() > 1)
+        .count();
+    println!(
+        "supervised serve ({systems} systems x {requests} requests, {shards} shards): \
+         {} served, {} quarantined, {retried} retried in {secs:.3}s",
+        outcome.served(),
+        outcome.quarantined(),
+    );
+    println!(
+        "checks: surviving original-seed systems identical to fault-free fleet = \
+         {survivors_match} ({gated} gated)"
+    );
+    if !outcome_out.is_empty() {
+        artifact::write(outcome_out, &outcome.to_json())?;
+        println!("outcome artifact: {outcome_out}");
+    }
+    if !survivors_match {
+        return Err("supervised serve diverged from the fault-free fleet".into());
+    }
+    Ok(())
 }
 
 #[allow(clippy::too_many_lines)]
@@ -90,6 +226,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut serve_matches_table = true;
     for i in 0..system.n_states() {
         serve_matches_table &= compiled.action(system.state(i)) == Some(policy.destination(i));
+    }
+
+    // Any resilience flag switches to supervised chaos mode: one
+    // supervised fleet, self-gated, no sweep or microbench.
+    let supervised = [
+        "checkpoint",
+        "resume",
+        "inject-panic",
+        "inject-error",
+        "max-attempts",
+    ]
+    .iter()
+    .any(|flag| args.get(flag).is_some());
+    if supervised {
+        if !serve_matches_table {
+            return Err("compiled policy disagrees with its source table".into());
+        }
+        let shards = shard_counts.first().copied().unwrap_or(1).max(1);
+        return run_supervised(
+            &system,
+            &compiled,
+            &args,
+            root_seed,
+            systems,
+            requests,
+            shards,
+            &outcome_out,
+        );
     }
 
     // ------------------------------------------------------------------

@@ -29,6 +29,12 @@ const RETRY_TAG: u64 = 0x6470_6d2d_7274_7279; // "dpm-rtry"
 /// the same root.
 const SERVE_TAG: u64 = 0x6470_6d2d_7372_7665; // "dpm-srve"
 
+/// Domain-separation tag for serving-runtime retry attempts, XORed with
+/// the attempt number. Distinct from every other tag, so a retried
+/// system's stream can collide with neither another system's first
+/// attempt nor any harness-plan (or plan-retry) seed.
+const SERVE_RETRY_TAG: u64 = 0x6470_6d2d_7376_7274; // "dpm-svrt"
+
 /// Keys a ChaCha8 stream with four little-endian words and draws one.
 fn keyed_word(words: [u64; 4]) -> u64 {
     let mut key = [0u8; 32];
@@ -71,6 +77,23 @@ pub fn derive_serve_seed(root: u64, system: u64) -> u64 {
     keyed_word([root, system, 0, SERVE_TAG])
 }
 
+/// Derives the RNG seed for retry `attempt` of one serve-fleet system
+/// (0 = first try).
+///
+/// Attempt 0 is exactly [`derive_serve_seed`] — supervision changes
+/// nothing for systems that never fail. Later attempts draw fresh seeds
+/// from the dedicated `SERVE_RETRY_TAG` domain, a pure function of
+/// `(root, system, attempt)`, so a supervised fleet re-derives the same
+/// seed for every attempt of every system no matter which shard runs it
+/// or how often the process is killed and resumed.
+#[must_use]
+pub fn derive_serve_attempt_seed(root: u64, system: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        return derive_serve_seed(root, system);
+    }
+    keyed_word([root, system, 0, SERVE_RETRY_TAG ^ u64::from(attempt)])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +126,50 @@ mod tests {
         }
         for system in 0..1600u64 {
             assert!(!plan.contains(&derive_serve_seed(5, system)));
+        }
+    }
+
+    #[test]
+    fn serve_attempt_zero_matches_plain_serve_derivation() {
+        for system in 0..8 {
+            assert_eq!(
+                derive_serve_attempt_seed(7, system, 0),
+                derive_serve_seed(7, system)
+            );
+        }
+    }
+
+    #[test]
+    fn serve_attempts_draw_distinct_deterministic_seeds() {
+        let mut seen = HashSet::new();
+        for attempt in 0..16u32 {
+            let seed = derive_serve_attempt_seed(9, 4, attempt);
+            assert_eq!(seed, derive_serve_attempt_seed(9, 4, attempt));
+            assert!(seen.insert(seed), "attempt {attempt} collided");
+        }
+    }
+
+    #[test]
+    fn serve_retry_seeds_do_not_collide_with_other_domains() {
+        let mut others: HashSet<u64> = HashSet::new();
+        for point in 0..20u64 {
+            for rep in 0..20u64 {
+                others.insert(derive_seed(5, point, rep));
+                for attempt in 1..4u32 {
+                    others.insert(derive_attempt_seed(5, point, rep, attempt));
+                }
+            }
+        }
+        for system in 0..400u64 {
+            others.insert(derive_serve_seed(5, system));
+        }
+        for system in 0..400u64 {
+            for attempt in 1..4u32 {
+                assert!(
+                    !others.contains(&derive_serve_attempt_seed(5, system, attempt)),
+                    "serve retry seed collided at ({system}, {attempt})"
+                );
+            }
         }
     }
 

@@ -359,6 +359,13 @@ impl CompiledController {
     pub fn lookups(&self) -> u64 {
         self.lookups
     }
+
+    /// Atomically replaces the policy consulted from the next lookup on —
+    /// the hot-swap hook the serving runtime drives at its event-count
+    /// barriers. The lookup counter carries across the swap.
+    pub fn swap_policy(&mut self, policy: Arc<CompiledPolicy>) {
+        self.policy = policy;
+    }
 }
 
 impl Controller for CompiledController {
@@ -528,5 +535,29 @@ mod tests {
         };
         assert_eq!(ctl.command(&odd, SimEvent::Arrival, &mut rng).target, 77);
         assert_eq!(ctl.lookups(), 2);
+    }
+
+    #[test]
+    fn swapping_the_policy_changes_answers_but_keeps_the_counter() {
+        use rand::SeedableRng;
+        let system = system();
+        let greedy = Arc::new(
+            CompiledPolicy::compile(&system, &PmPolicy::greedy(&system).unwrap()).unwrap(),
+        );
+        let on = Arc::new(
+            CompiledPolicy::compile(&system, &PmPolicy::always_on(&system, 0).unwrap()).unwrap(),
+        );
+        let mut ctl = CompiledController::new(Arc::clone(&greedy));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let obs = Observation {
+            time: 0.0,
+            state: SysState::Stable { mode: 0, jobs: 0 },
+        };
+        let before = ctl.command(&obs, SimEvent::Arrival, &mut rng).target;
+        assert_eq!(Some(before), greedy.action(obs.state));
+        ctl.swap_policy(Arc::clone(&on));
+        let after = ctl.command(&obs, SimEvent::Arrival, &mut rng).target;
+        assert_eq!(Some(after), on.action(obs.state));
+        assert_eq!(ctl.lookups(), 2, "the counter survives the swap");
     }
 }

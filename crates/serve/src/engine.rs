@@ -1,13 +1,18 @@
 //! The sharded serving runtime: many simulated systems, few threads, one
-//! shared compiled policy, bit-identical output at any shard count.
+//! shared compiled policy, bit-identical output at any shard count — now
+//! wrapped in a supervision layer that isolates per-system failures,
+//! retries them under per-error-class budgets, checkpoints fleet progress
+//! to a JSONL journal, and hot-swaps the shared policy at deterministic
+//! event-count barriers.
 //!
 //! # Determinism argument
 //!
 //! Three properties compose into the shard-count invariance guarantee:
 //!
 //! 1. **Per-system seeding.** System `i` draws its randomness from
-//!    `dpm_harness::seed::derive_serve_seed(root, i)` — a pure function of
-//!    the fleet index, never of the shard or the interleaving.
+//!    `dpm_harness::seed::derive_serve_attempt_seed(root, i, a)` — a pure
+//!    function of the fleet index and the attempt's seed-stream index,
+//!    never of the shard or the interleaving.
 //! 2. **Closed per-system state.** Each [`dpm_sim::SimRun`] owns its RNG
 //!    and queue; stepping runs in any order cannot perturb one another, so
 //!    a shard batching 256 events of system A between batches of system B
@@ -17,25 +22,50 @@
 //!    ([`dpm_sim::ExactSum`]) are exactly associative — the per-shard
 //!    partial grouping cannot leak into the totals.
 //!
+//! The supervision layer preserves all three. Every recovery decision is
+//! a pure function of `(system, event count, attempt)`: panics are caught
+//! per batch with [`std::panic::catch_unwind`] and replayed from event
+//! zero under the *same* seed (so a recovered system's report is
+//! bit-identical to a never-faulted run); engine errors — deterministic
+//! in the seed — retry under a fresh seed stream; backoff skips
+//! round-robin *visits*, never wall-clock. Hot swaps apply when a
+//! system's own event counter crosses the scheduled barrier, which is the
+//! same event at every shard count and on every replay.
+//!
+//! Checkpointing follows the same logic: because the engine is
+//! deterministic in its seed, a journaled epoch (seed-stream index plus
+//! attempt count) is a complete checkpoint — restore is replay. Killing
+//! the process at *any* point and resuming from the journal therefore
+//! reproduces the uninterrupted run bit-for-bit, a claim
+//! `bench_serve --resume` and the CI chaos smoke check at tolerance 0.
+//!
 //! The [`ServeOutcome`] additionally carries a fingerprint over every
-//! per-system report, so "N shards ≡ 1 shard" is checkable from the
+//! served system's report, so "N shards ≡ 1 shard" is checkable from the
 //! artifact alone.
 
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 
 use dpm_core::PmSystem;
-use dpm_harness::{seed::derive_serve_seed, Json};
+use dpm_harness::{seed::derive_serve_attempt_seed, Json};
 use dpm_sim::workload::PoissonWorkload;
-use dpm_sim::{MergedReport, SimConfig, SimReport, SimRun, Simulator};
+use dpm_sim::{MergedReport, SimConfig, SimError, SimReport, SimRun, Simulator};
 
-use crate::{CompiledController, CompiledPolicy, ServeError};
+use crate::journal::{self, FleetJournal, Restored};
+use crate::supervise::SwapEntry;
+use crate::{
+    CompiledController, CompiledPolicy, ConfigError, ErrorClass, RetryPolicy, ServeError,
+    ServeFaultPlan, SwapOutcome, SwapPlan, SystemRecord, SystemStatus,
+};
 
 /// Format tag of the serialized serve outcome.
-pub const SERVE_OUTCOME_FORMAT: &str = "dpm-serve-outcome/v1";
+pub const SERVE_OUTCOME_FORMAT: &str = "dpm-serve-outcome/v2";
 
 /// Configuration of a serving run: fleet size, shard count, per-system
-/// workload volume, and the batching grain.
+/// workload volume, batching grain, and the supervision knobs (retry
+/// budgets, fault injection, swap schedule, checkpoint journal).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     root_seed: u64,
@@ -43,11 +73,18 @@ pub struct ServeConfig {
     shards: usize,
     requests_per_system: u64,
     batch_events: usize,
+    retry: RetryPolicy,
+    faults: ServeFaultPlan,
+    swaps: SwapPlan,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    checkpoint_every: u64,
 }
 
 impl ServeConfig {
     /// A default fleet: 64 systems, 1 shard, 1000 requests each, events
-    /// batched 256 at a time.
+    /// batched 256 at a time, default retry budgets, no faults, no swaps,
+    /// no journal, epoch records every 1024 events.
     #[must_use]
     pub fn new(root_seed: u64) -> Self {
         ServeConfig {
@@ -56,6 +93,12 @@ impl ServeConfig {
             shards: 1,
             requests_per_system: 1_000,
             batch_events: 256,
+            retry: RetryPolicy::new(),
+            faults: ServeFaultPlan::new(),
+            swaps: SwapPlan::new(),
+            checkpoint: None,
+            resume: None,
+            checkpoint_every: 1_024,
         }
     }
 
@@ -87,9 +130,77 @@ impl ServeConfig {
         self.batch_events = n;
         self
     }
+
+    /// Sets the per-error-class retry budgets and backoff schedule.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan (tests and chaos smokes).
+    #[must_use]
+    pub fn faults(mut self, faults: ServeFaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Schedules epoch-coordinated hot policy swaps.
+    #[must_use]
+    pub fn swaps(mut self, swaps: SwapPlan) -> Self {
+        self.swaps = swaps;
+        self
+    }
+
+    /// Writes a fleet checkpoint journal to `path` as the run progresses.
+    #[must_use]
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Resumes from the journal at `path`: settled systems are carried
+    /// forward verbatim, in-flight systems replay deterministically.
+    ///
+    /// The resume journal is read in full before a `checkpoint` journal is
+    /// created, so resuming from and checkpointing to the *same* path is
+    /// safe.
+    #[must_use]
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
+
+    /// Sets the epoch-record cadence (in per-system events; min 1). Epochs
+    /// bound the replay a resume performs; the journal also records every
+    /// retry and settlement immediately regardless of cadence.
+    #[must_use]
+    pub fn checkpoint_every(mut self, events: u64) -> Self {
+        self.checkpoint_every = events.max(1);
+        self
+    }
 }
 
-/// Merged result of a serving run.
+fn validate_config(config: &ServeConfig) -> Result<(), ConfigError> {
+    if config.systems == 0 {
+        return Err(ConfigError::NoSystems);
+    }
+    if config.shards == 0 {
+        return Err(ConfigError::NoShards);
+    }
+    if config.batch_events == 0 {
+        return Err(ConfigError::NoBatchEvents);
+    }
+    if config.shards > config.systems {
+        return Err(ConfigError::ShardsExceedSystems {
+            shards: config.shards,
+            systems: config.systems,
+        });
+    }
+    Ok(())
+}
+
+/// Merged result of a serving run, plus the per-system supervision trail.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOutcome {
     root_seed: u64,
@@ -98,24 +209,27 @@ pub struct ServeOutcome {
     requests_per_system: u64,
     merged: MergedReport,
     fingerprint: u64,
+    records: Vec<SystemRecord>,
+    swaps: Vec<SwapOutcome>,
 }
 
 impl ServeOutcome {
-    /// Deterministic aggregate over the whole fleet.
+    /// Deterministic aggregate over every *served* system (quarantined
+    /// systems are excluded).
     #[must_use]
     pub fn merged(&self) -> &MergedReport {
         &self.merged
     }
 
-    /// FNV-1a digest over every per-system report in fleet order — equal
-    /// fingerprints mean bit-identical per-system results, not just equal
-    /// totals.
+    /// FNV-1a digest over every served system's report in fleet order —
+    /// equal fingerprints mean bit-identical per-system results, not just
+    /// equal totals.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
 
-    /// Number of systems served.
+    /// Number of systems in the fleet (served or quarantined).
     #[must_use]
     pub fn systems(&self) -> usize {
         self.systems
@@ -127,12 +241,38 @@ impl ServeOutcome {
         self.shards
     }
 
+    /// Per-system supervision records, in fleet order.
+    #[must_use]
+    pub fn records(&self) -> &[SystemRecord] {
+        &self.records
+    }
+
+    /// Validation verdict for each scheduled hot swap, in plan order.
+    #[must_use]
+    pub fn swap_outcomes(&self) -> &[SwapOutcome] {
+        &self.swaps
+    }
+
+    /// Number of systems that ran to completion.
+    #[must_use]
+    pub fn served(&self) -> usize {
+        self.records.iter().filter(|r| r.is_served()).count()
+    }
+
+    /// Number of systems quarantined after exhausting their retry budget.
+    #[must_use]
+    pub fn quarantined(&self) -> usize {
+        self.systems - self.served()
+    }
+
     /// Serializes the outcome as versioned canonical JSON.
     ///
     /// The shard count lands under the volatile `provenance` key, so
     /// artifacts from runs at different shard counts diff clean at
     /// tolerance 0 (`dpm_harness::artifact::diff`) exactly when the
-    /// results are bit-identical.
+    /// results are bit-identical. The supervision trail (incident list,
+    /// swap verdicts) is canonical: it too is deterministic at any shard
+    /// count and across kill/resume cycles.
     #[must_use]
     pub fn to_json(&self) -> Json {
         let m = &self.merged;
@@ -151,6 +291,58 @@ impl ServeOutcome {
         averages.set("queue_length", Json::num(m.average_queue_length()));
         averages.set("waiting_seconds", Json::num(m.average_waiting_time()));
         averages.set("loss_fraction", Json::num(m.loss_fraction()));
+
+        let mut supervision = Json::object();
+        supervision.set("served", self.served());
+        supervision.set("quarantined", self.quarantined());
+        supervision.set(
+            "retried",
+            self.records.iter().filter(|r| r.attempts() > 1).count(),
+        );
+        supervision.set(
+            "incidents",
+            Json::Array(
+                self.records
+                    .iter()
+                    .filter(|r| r.attempts() > 1 || !r.is_served())
+                    .map(|r| {
+                        let mut incident = Json::object();
+                        incident.set("system", r.system());
+                        incident.set("attempts", u64::from(r.attempts()));
+                        incident.set("seed_attempt", u64::from(r.seed_attempt()));
+                        match r.status() {
+                            SystemStatus::Served(_) => {
+                                incident.set("status", "served");
+                            }
+                            SystemStatus::Quarantined { class, error } => {
+                                incident.set("status", "quarantined");
+                                incident.set("class", class.as_str());
+                                incident.set("error", error.clone());
+                            }
+                        }
+                        incident
+                    })
+                    .collect(),
+            ),
+        );
+        supervision.set(
+            "swaps",
+            Json::Array(
+                self.swaps
+                    .iter()
+                    .map(|s| {
+                        let mut swap = Json::object();
+                        swap.set("at_events", s.at_events());
+                        swap.set("accepted", s.accepted());
+                        if let Some(reason) = s.reason() {
+                            swap.set("reason", reason);
+                        }
+                        swap
+                    })
+                    .collect(),
+            ),
+        );
+
         let mut provenance = Json::object();
         provenance.set("shards", self.shards);
         let mut doc = Json::object();
@@ -161,48 +353,172 @@ impl ServeOutcome {
         doc.set("fingerprint", format!("{:016x}", self.fingerprint));
         doc.set("totals", totals);
         doc.set("averages", averages);
+        doc.set("supervision", supervision);
         doc.set("provenance", provenance);
         doc
     }
 }
 
+/// Validates every scheduled swap against the served system before the
+/// fleet starts. Rejected artifacts never enter the schedule — the run
+/// proceeds under the surviving entries and the rejection (with reason)
+/// is reported on the outcome.
+fn validate_swaps(
+    system: &PmSystem,
+    plan: &SwapPlan,
+) -> (Vec<(u64, Arc<CompiledPolicy>)>, Vec<SwapOutcome>) {
+    let mut schedule = Vec::with_capacity(plan.entries.len());
+    let mut outcomes = Vec::with_capacity(plan.entries.len());
+    for entry in &plan.entries {
+        match validate_swap_entry(system, entry) {
+            Ok(()) => {
+                schedule.push((entry.at_events, Arc::new(entry.policy.clone())));
+                outcomes.push(SwapOutcome {
+                    at_events: entry.at_events,
+                    accepted: true,
+                    reason: None,
+                });
+            }
+            Err(reason) => outcomes.push(SwapOutcome {
+                at_events: entry.at_events,
+                accepted: false,
+                reason: Some(reason),
+            }),
+        }
+    }
+    // Stable by barrier: entries scheduled at the same barrier apply in
+    // plan order, so the last one wins there — deterministically.
+    schedule.sort_by_key(|(at_events, _)| *at_events);
+    (schedule, outcomes)
+}
+
+fn validate_swap_entry(system: &PmSystem, entry: &SwapEntry) -> Result<(), String> {
+    if entry.at_events == 0 {
+        return Err(
+            "swap barrier must be positive (a swap at 0 would predate the fleet)".to_owned(),
+        );
+    }
+    let policy = &entry.policy;
+    let sp = system.provider();
+    if policy.n_modes() != sp.n_modes() {
+        return Err(format!(
+            "policy compiled for {} modes, system has {}",
+            policy.n_modes(),
+            sp.n_modes()
+        ));
+    }
+    if policy.capacity() != system.capacity() {
+        return Err(format!(
+            "policy compiled for capacity {}, system has {}",
+            policy.capacity(),
+            system.capacity()
+        ));
+    }
+    if policy.n_states() != system.n_states() {
+        return Err(format!(
+            "policy covers {} states, system has {}",
+            policy.n_states(),
+            system.n_states()
+        ));
+    }
+    if let Some(table) = &entry.table {
+        if table.destinations().len() != system.n_states() {
+            return Err(format!(
+                "source table covers {} states, system has {}",
+                table.destinations().len(),
+                system.n_states()
+            ));
+        }
+    }
+    for (index, &state) in system.states().iter().enumerate() {
+        let Some(dest) = policy.action(state) else {
+            return Err(format!("state {index} has no compiled action"));
+        };
+        if !system.action_destinations(index).contains(&dest) {
+            return Err(format!("state {index} commands invalid destination {dest}"));
+        }
+        if let Some(table) = &entry.table {
+            let expected = table.destination(index);
+            if expected != dest {
+                return Err(format!(
+                    "state {index}: compiled action {dest} disagrees with the source table ({expected})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Drives a fleet of independent simulated systems against one compiled
-/// policy, partitioned across `config.shards` threads.
+/// policy, partitioned across `config.shards` threads, under supervision:
+/// per-system failures are isolated, retried within their error class's
+/// budget, and quarantined on exhaustion; progress is journaled when a
+/// checkpoint path is configured; scheduled hot swaps replace the shared
+/// policy at deterministic per-system event barriers.
 ///
-/// Results are bit-identical for any shard count (see the module docs for
-/// the argument); the shard count only changes wall-clock time.
+/// Results are bit-identical for any shard count and across kill/resume
+/// cycles (see the module docs for the argument); the shard count only
+/// changes wall-clock time.
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::InvalidConfig`] for an empty fleet or zero
-/// shards/batch, [`ServeError::Sim`] if any system's run fails (lowest
-/// fleet index wins when several fail), and [`ServeError::ShardPanic`] if
-/// a worker thread dies.
+/// Returns [`ServeError::Config`] for a degenerate configuration (empty
+/// fleet, zero shards or batch, more shards than systems — see
+/// [`ConfigError`]), [`ServeError::Checkpoint`] if a journal cannot be
+/// read, validated or written, and [`ServeError::ShardPanic`] if a worker
+/// thread dies outside the supervised stepping closure (a bug —
+/// per-system panics are isolated and retried, not propagated).
 pub fn serve(
     system: &PmSystem,
     policy: &CompiledPolicy,
     config: &ServeConfig,
 ) -> Result<ServeOutcome, ServeError> {
-    if config.systems == 0 || config.shards == 0 || config.batch_events == 0 {
-        return Err(ServeError::InvalidConfig {
-            reason: format!(
-                "systems ({}), shards ({}) and batch_events ({}) must all be positive",
-                config.systems, config.shards, config.batch_events
-            ),
-        });
-    }
-    let shared = Arc::new(policy.clone());
-    let shards = config.shards.min(config.systems);
-    let chunk = config.systems.div_ceil(shards);
+    validate_config(config)?;
+    let (schedule, swap_results) = validate_swaps(system, &config.swaps);
+    let restored = match &config.resume {
+        Some(path) => journal::load_fleet(
+            path,
+            config.root_seed,
+            config.systems,
+            config.requests_per_system,
+        )?,
+        None => vec![Restored::Fresh; config.systems],
+    };
+    let journal = match &config.checkpoint {
+        Some(path) => {
+            let mut fleet_journal = FleetJournal::create(
+                path,
+                config.root_seed,
+                config.systems,
+                config.requests_per_system,
+            )?;
+            write_carried_forward(&mut fleet_journal, &restored, config.root_seed)?;
+            Some(Mutex::new(fleet_journal))
+        }
+        None => None,
+    };
 
-    let mut shard_results: Vec<Result<Vec<SimReport>, ServeError>> = Vec::with_capacity(shards);
+    let shared = Arc::new(policy.clone());
+    let shards = config.shards;
+    let chunk = config.systems.div_ceil(shards);
+    let ctx = ShardCtx {
+        system,
+        initial: &shared,
+        schedule: &schedule,
+        config,
+        journal: journal.as_ref(),
+        lambda: system.requestor().rate(),
+    };
+
+    let mut shard_results: Vec<Result<Vec<SystemRecord>, ServeError>> = Vec::with_capacity(shards);
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(shards);
         for shard in 0..shards {
             let start = shard * chunk;
             let end = ((shard + 1) * chunk).min(config.systems);
-            let shared = Arc::clone(&shared);
-            handles.push(scope.spawn(move || run_shard(system, &shared, config, start..end)));
+            let ctx = &ctx;
+            let restored = &restored;
+            handles.push(scope.spawn(move || run_shard(ctx, shard, start..end, restored)));
         }
         for (shard, handle) in handles.into_iter().enumerate() {
             shard_results.push(
@@ -213,12 +529,16 @@ pub fn serve(
         }
     });
 
+    let mut records: Vec<SystemRecord> = Vec::with_capacity(config.systems);
+    for result in shard_results {
+        records.extend(result?);
+    }
     let mut merged = MergedReport::new();
     let mut fingerprint: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
-    for result in shard_results {
-        for report in result? {
-            absorb_fingerprint(&mut fingerprint, &report);
-            merged.absorb(&report);
+    for record in &records {
+        if let Some(report) = record.report() {
+            absorb_fingerprint(&mut fingerprint, report);
+            merged.absorb(report);
         }
     }
     Ok(ServeOutcome {
@@ -228,60 +548,358 @@ pub fn serve(
         requests_per_system: config.requests_per_system,
         merged,
         fingerprint,
+        records,
+        swaps: swap_results,
     })
 }
 
-/// Runs one shard's contiguous block of systems with batched event
-/// processing, returning reports in fleet-index order.
-fn run_shard(
-    system: &PmSystem,
-    policy: &Arc<CompiledPolicy>,
-    config: &ServeConfig,
-    range: std::ops::Range<usize>,
-) -> Result<Vec<SimReport>, ServeError> {
-    let lambda = system.requestor().rate();
-    let mut runs: Vec<(usize, SimRun<PoissonWorkload, CompiledController>)> =
-        Vec::with_capacity(range.len());
-    for i in range {
-        let seed = derive_serve_seed(config.root_seed, i as u64);
+/// Seeds a fresh journal with everything the resume journal already
+/// settled — contiguous settled systems compact to one range record —
+/// plus one epoch per in-flight system carrying its attempt counters
+/// forward, so a second kill before new progress still resumes correctly.
+fn write_carried_forward(
+    journal: &mut FleetJournal,
+    restored: &[Restored],
+    root_seed: u64,
+) -> Result<(), ServeError> {
+    let mut i = 0;
+    while i < restored.len() {
+        match restored.get(i) {
+            Some(Restored::Settled(_)) => {
+                let start = i;
+                let mut run = Vec::new();
+                while let Some(Restored::Settled(record)) = restored.get(i) {
+                    run.push(record);
+                    i += 1;
+                }
+                journal.settled_run(start, &run)?;
+            }
+            Some(Restored::InFlight {
+                attempts,
+                seed_attempt,
+                events,
+            }) => {
+                let seed = derive_serve_attempt_seed(root_seed, i as u64, *seed_attempt);
+                journal.epoch(i, *events, *attempts, *seed_attempt, seed)?;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(())
+}
+
+/// Everything a shard needs to build, supervise and journal its systems.
+struct ShardCtx<'a> {
+    system: &'a PmSystem,
+    initial: &'a Arc<CompiledPolicy>,
+    schedule: &'a [(u64, Arc<CompiledPolicy>)],
+    config: &'a ServeConfig,
+    journal: Option<&'a Mutex<FleetJournal>>,
+    lambda: f64,
+}
+
+/// Supervision state of one system in a shard's round-robin.
+struct Slot {
+    system: usize,
+    /// Attempts started (1 = first try in progress).
+    attempts: u32,
+    /// Seed-stream index of the current attempt (engine retries advance
+    /// it; panic retries replay it).
+    seed_attempt: u32,
+    /// Consecutive failures, driving the backoff schedule.
+    failures: u32,
+    /// Round-robin visits left to skip before the next step batch.
+    cooldown: u64,
+    /// Event count of the last journaled epoch for this attempt.
+    last_epoch: u64,
+    /// Next unapplied entry in the swap schedule.
+    next_swap: usize,
+    run: Option<SimRun<PoissonWorkload, CompiledController>>,
+    record: Option<SystemRecord>,
+}
+
+impl Slot {
+    fn new(system: usize) -> Self {
+        Slot {
+            system,
+            attempts: 1,
+            seed_attempt: 0,
+            failures: 0,
+            cooldown: 0,
+            last_epoch: 0,
+            next_swap: 0,
+            run: None,
+            record: None,
+        }
+    }
+}
+
+impl ShardCtx<'_> {
+    fn with_journal<F>(&self, write: F) -> Result<(), ServeError>
+    where
+        F: FnOnce(&mut FleetJournal) -> Result<(), ServeError>,
+    {
+        match self.journal {
+            Some(mutex) => {
+                let mut guard = mutex.lock().unwrap_or_else(PoisonError::into_inner);
+                write(&mut guard)
+            }
+            None => Ok(()),
+        }
+    }
+
+    fn journal_epoch(&self, slot: &Slot, events: u64) -> Result<(), ServeError> {
+        let seed =
+            derive_serve_attempt_seed(self.config.root_seed, slot.system as u64, slot.seed_attempt);
+        let (system, attempts, seed_attempt) = (slot.system, slot.attempts, slot.seed_attempt);
+        self.with_journal(|j| j.epoch(system, events, attempts, seed_attempt, seed))
+    }
+
+    /// Builds (or rebuilds) a system's run for its current seed stream.
+    fn build(
+        &self,
+        system_index: usize,
+        seed_attempt: u32,
+    ) -> Result<SimRun<PoissonWorkload, CompiledController>, (ErrorClass, String)> {
+        if self.config.faults.setup_armed(system_index) {
+            return Err((
+                ErrorClass::Setup,
+                format!("injected setup failure for system {system_index}"),
+            ));
+        }
+        let seed =
+            derive_serve_attempt_seed(self.config.root_seed, system_index as u64, seed_attempt);
         let workload =
-            PoissonWorkload::new(lambda).map_err(|source| ServeError::Sim { system: i, source })?;
-        let run = Simulator::new(
-            system.provider().clone(),
-            system.capacity(),
+            PoissonWorkload::new(self.lambda).map_err(|e| (ErrorClass::Setup, e.to_string()))?;
+        Simulator::new(
+            self.system.provider().clone(),
+            self.system.capacity(),
             workload,
-            CompiledController::new(Arc::clone(policy)),
-            SimConfig::new(seed).max_requests(config.requests_per_system),
+            CompiledController::new(Arc::clone(self.initial)),
+            SimConfig::new(seed).max_requests(self.config.requests_per_system),
         )
         .start()
-        .map_err(|source| ServeError::Sim { system: i, source })?;
-        runs.push((i, run));
+        .map_err(|e| (ErrorClass::Setup, e.to_string()))
+    }
+
+    /// Settles a system as quarantined and journals the verdict.
+    fn quarantine(
+        &self,
+        slot: &mut Slot,
+        class: ErrorClass,
+        error: String,
+    ) -> Result<(), ServeError> {
+        slot.run = None;
+        let record = SystemRecord {
+            system: slot.system,
+            attempts: slot.attempts,
+            seed_attempt: slot.seed_attempt,
+            status: SystemStatus::Quarantined { class, error },
+        };
+        self.with_journal(|j| j.settled(&record))?;
+        slot.record = Some(record);
+        Ok(())
+    }
+
+    /// Handles one failure of `slot`'s current attempt: quarantine if the
+    /// class's budget is spent, otherwise rebuild for a retry — panics
+    /// replay the same seed stream, engine errors advance to a fresh one
+    /// (replaying a deterministic engine would fail identically), and a
+    /// logical backoff delays the retry by scheduling visits, not time.
+    fn fail(&self, slot: &mut Slot, class: ErrorClass, error: String) -> Result<(), ServeError> {
+        slot.failures = slot.failures.saturating_add(1);
+        if slot.attempts >= self.config.retry.budget(class) {
+            return self.quarantine(slot, class, error);
+        }
+        slot.attempts = slot.attempts.saturating_add(1);
+        if class == ErrorClass::Engine {
+            slot.seed_attempt = slot.seed_attempt.saturating_add(1);
+        }
+        slot.cooldown = self.config.retry.backoff_visits(slot.failures);
+        slot.next_swap = 0;
+        slot.last_epoch = 0;
+        match self.build(slot.system, slot.seed_attempt) {
+            Ok(run) => {
+                slot.run = Some(run);
+                // Persist the retry decision immediately: a kill right
+                // after this line resumes into the same attempt counters.
+                self.journal_epoch(slot, 0)
+            }
+            Err((class, message)) => self.quarantine(slot, class, message),
+        }
+    }
+}
+
+/// Builds a slot's first run (for its restored seed stream), routing a
+/// construction failure through the supervisor.
+fn init_run(ctx: &ShardCtx<'_>, slot: &mut Slot) -> Result<(), ServeError> {
+    match ctx.build(slot.system, slot.seed_attempt) {
+        Ok(run) => {
+            slot.run = Some(run);
+            Ok(())
+        }
+        Err((class, message)) => ctx.fail(slot, class, message),
+    }
+}
+
+/// Runs one shard's contiguous block of systems with batched event
+/// processing under supervision, returning settled records in fleet order.
+fn run_shard(
+    ctx: &ShardCtx<'_>,
+    shard: usize,
+    range: std::ops::Range<usize>,
+    restored: &[Restored],
+) -> Result<Vec<SystemRecord>, ServeError> {
+    let mut slots = Vec::with_capacity(range.len());
+    for i in range {
+        let mut slot = Slot::new(i);
+        match restored.get(i) {
+            Some(Restored::Settled(record)) => slot.record = Some(record.clone()),
+            Some(Restored::InFlight {
+                attempts,
+                seed_attempt,
+                events,
+            }) => {
+                slot.attempts = (*attempts).max(1);
+                slot.seed_attempt = *seed_attempt;
+                slot.failures = slot.attempts.saturating_sub(1);
+                // Epochs below the journaled progress are already on
+                // record (carried forward at journal creation).
+                slot.last_epoch = *events;
+                init_run(ctx, &mut slot)?;
+            }
+            _ => init_run(ctx, &mut slot)?,
+        }
+        slots.push(slot);
     }
 
     // Round-robin over the block, `batch_events` events per system per
     // visit: the shared policy tables stay hot while each system's state
     // stays compact. Purely a scheduling choice — per-run results are
-    // interleaving-invariant.
-    let mut live = runs.len();
+    // interleaving-invariant, so neither batching nor backoff (skipped
+    // visits) can change any system's numbers.
+    let mut live = slots.iter().filter(|s| s.run.is_some()).count();
     while live > 0 {
         live = 0;
-        for (i, run) in &mut runs {
-            if run.is_finished() {
+        for slot in &mut slots {
+            if slot.run.is_none() {
                 continue;
             }
-            for _ in 0..config.batch_events {
-                match run.step() {
-                    Ok(true) => {}
-                    Ok(false) => break,
-                    Err(source) => return Err(ServeError::Sim { system: *i, source }),
-                }
-            }
-            if !run.is_finished() {
+            if slot.cooldown > 0 {
+                slot.cooldown -= 1;
                 live += 1;
+                continue;
+            }
+            let system_index = slot.system;
+            let attempt_index = slot.attempts.saturating_sub(1);
+            let batch = {
+                let Slot { run, next_swap, .. } = slot;
+                let Some(run) = run.as_mut() else { continue };
+                catch_unwind(AssertUnwindSafe(|| {
+                    step_batch(run, system_index, next_swap, ctx, attempt_index)
+                }))
+            };
+            match batch {
+                Ok(Ok(true)) => {
+                    let events = slot.run.as_ref().map_or(0, SimRun::events);
+                    if ctx.journal.is_some()
+                        && events.saturating_sub(slot.last_epoch) >= ctx.config.checkpoint_every
+                    {
+                        ctx.journal_epoch(slot, events)?;
+                        slot.last_epoch = events;
+                    }
+                    live += 1;
+                }
+                Ok(Ok(false)) => {
+                    if let Some(run) = slot.run.take() {
+                        let record = SystemRecord {
+                            system: slot.system,
+                            attempts: slot.attempts,
+                            seed_attempt: slot.seed_attempt,
+                            status: SystemStatus::Served(run.into_report()),
+                        };
+                        ctx.with_journal(|j| j.settled(&record))?;
+                        slot.record = Some(record);
+                    }
+                }
+                Ok(Err(source)) => {
+                    ctx.fail(slot, ErrorClass::Engine, source.to_string())?;
+                    if slot.run.is_some() {
+                        live += 1;
+                    }
+                }
+                Err(payload) => {
+                    ctx.fail(slot, ErrorClass::Panic, panic_message(payload.as_ref()))?;
+                    if slot.run.is_some() {
+                        live += 1;
+                    }
+                }
             }
         }
     }
-    Ok(runs.into_iter().map(|(_, run)| run.into_report()).collect())
+    slots
+        .into_iter()
+        .map(|slot| slot.record.ok_or(ServeError::ShardPanic { shard }))
+        .collect()
+}
+
+/// Steps one system for up to `batch_events` events, applying due swaps
+/// and armed faults *before* each step so every decision keys off the
+/// system's own event counter — identical at any shard count, batch grain
+/// or replay. Returns `Ok(false)` once the run finishes.
+fn step_batch(
+    run: &mut SimRun<PoissonWorkload, CompiledController>,
+    system: usize,
+    next_swap: &mut usize,
+    ctx: &ShardCtx<'_>,
+    attempt_index: u32,
+) -> Result<bool, SimError> {
+    for _ in 0..ctx.config.batch_events {
+        // The swap barrier: entry (at, policy) applies once this system
+        // has processed `at` events, so event `at + 1` and everything
+        // after consult the new policy.
+        while let Some((at_events, policy)) = ctx.schedule.get(*next_swap) {
+            if run.events() < *at_events {
+                break;
+            }
+            run.controller_mut().swap_policy(Arc::clone(policy));
+            *next_swap += 1;
+        }
+        let upcoming = run.events().saturating_add(1);
+        if ctx
+            .config
+            .faults
+            .panic_armed(system, upcoming, attempt_index)
+        {
+            // dpm-lint: allow(no_panic, reason = "deterministic fault injection: this panic exists so tests and chaos smokes can exercise the supervisor's catch_unwind isolation")
+            panic!("injected panic in system {system} before event {upcoming}");
+        }
+        if ctx
+            .config
+            .faults
+            .error_armed(system, upcoming, attempt_index)
+        {
+            return Err(SimError::InvalidConfig {
+                reason: format!("injected engine error in system {system} before event {upcoming}"),
+            });
+        }
+        if !run.step()? || run.is_finished() {
+            return Ok(false);
+        }
+    }
+    Ok(!run.is_finished())
+}
+
+/// Renders a caught panic payload for the quarantine record.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "panic with a non-string payload".to_owned()
+    }
 }
 
 /// Folds one report into the running FNV-1a fleet fingerprint: every
@@ -343,8 +961,9 @@ mod tests {
         };
         let serial = outcome(1);
         assert_eq!(serial.merged().runs(), 12);
+        assert_eq!(serial.served(), 12);
         assert!(serial.merged().events() > 0);
-        for shards in [2, 3, 5, 12, 64] {
+        for shards in [2, 3, 5, 12] {
             let sharded = outcome(shards);
             assert_eq!(
                 sharded.fingerprint(),
@@ -352,6 +971,7 @@ mod tests {
                 "{shards} shards"
             );
             assert_eq!(sharded.merged(), serial.merged(), "{shards} shards");
+            assert_eq!(sharded.records(), serial.records(), "{shards} shards");
             // The canonical artifacts diff clean at tolerance 0 once the
             // volatile provenance (which records the shard count) is out.
             assert_eq!(
@@ -399,19 +1019,29 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_configs_are_rejected() {
+    fn degenerate_configs_are_rejected_with_typed_errors() {
         let system = system();
         let policy = compiled(&system);
-        for bad in [
-            ServeConfig::new(1).systems(0),
-            ServeConfig::new(1).shards(0),
+        let check =
+            |config: ServeConfig, expected: ConfigError| match serve(&system, &policy, &config) {
+                Err(ServeError::Config(e)) => assert_eq!(e, expected),
+                other => panic!("expected Config({expected:?}), got {other:?}"),
+            };
+        check(ServeConfig::new(1).systems(0), ConfigError::NoSystems);
+        check(ServeConfig::new(1).shards(0), ConfigError::NoShards);
+        check(
             ServeConfig::new(1).batch_events(0),
-        ] {
-            assert!(matches!(
-                serve(&system, &policy, &bad),
-                Err(ServeError::InvalidConfig { .. })
-            ));
-        }
+            ConfigError::NoBatchEvents,
+        );
+        // More shards than systems used to clamp silently; it now fails
+        // loudly so fleet sizing mistakes surface.
+        check(
+            ServeConfig::new(1).systems(3).shards(8),
+            ConfigError::ShardsExceedSystems {
+                shards: 8,
+                systems: 3,
+            },
+        );
     }
 
     #[test]
@@ -436,6 +1066,13 @@ mod tests {
         for key in ["events", "policy_lookups", "sim_seconds", "energy_joules"] {
             assert!(totals.get(key).is_some(), "missing totals.{key}");
         }
+        let supervision = doc.get("supervision").unwrap();
+        for key in ["served", "quarantined", "retried", "incidents", "swaps"] {
+            assert!(supervision.get(key).is_some(), "missing supervision.{key}");
+        }
+        // A clean run reports no incidents and full service.
+        assert_eq!(supervision.get("served"), Some(&Json::Int(3)));
+        assert_eq!(supervision.get("quarantined"), Some(&Json::Int(0)));
         // Round-trips through the canonical renderer.
         assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
     }

@@ -1,0 +1,622 @@
+//! The JSONL fleet checkpoint journal behind `serve()`'s kill-and-resume
+//! guarantee.
+//!
+//! A journal is one header line identifying the fleet (format tag, root
+//! seed, fleet size, per-system workload), then one compact JSON line per
+//! supervision event, appended and flushed as it happens:
+//!
+//! * `epoch` — a system reached event count `events` on attempt
+//!   `attempts` under seed stream `seed_attempt`. Epochs are *logical
+//!   checkpoints*: because the engine is deterministic in its seed,
+//!   restore is replay — rebuilding the run and re-stepping re-derives
+//!   the journaled state bit-exactly, so nothing beyond the counters
+//!   needs persisting.
+//! * `done` — the system finished; the full bit-exact report rides on
+//!   the record (floats in Rust's shortest round-trip form, which the
+//!   canonical JSON layer parses back to identical bits).
+//! * `quarantined` — the system exhausted its retry budget.
+//! * `settled_run` — compaction: when a resumed run rewrites its
+//!   journal, each maximal run of contiguous already-settled systems
+//!   becomes one range record (the fleet twin of the harness journal's
+//!   `run_start` records), so a long resume chain costs `O(gaps)` writes.
+//!
+//! Loading tolerates exactly one torn *trailing* line — the signature of
+//! a process killed mid-append. Interior corruption, header mismatches
+//! and seed-derivation mismatches are hard errors: silently dropping
+//! entries would break the bit-identical resume guarantee.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+
+use dpm_harness::{seed::derive_serve_attempt_seed, Json};
+use dpm_sim::{ReportParts, SimReport};
+
+use crate::{ErrorClass, ServeError, SystemRecord, SystemStatus};
+
+/// Value of the `format` field on the journal's header line.
+pub(crate) const JOURNAL_FORMAT: &str = "dpm-serve-checkpoint/v1";
+
+fn checkpoint_err(reason: impl Into<String>) -> ServeError {
+    ServeError::Checkpoint {
+        reason: reason.into(),
+    }
+}
+
+fn io_err(context: &str, e: &std::io::Error) -> ServeError {
+    checkpoint_err(format!("{context}: {e}"))
+}
+
+/// An open fleet journal being written by a supervised run.
+#[derive(Debug)]
+pub(crate) struct FleetJournal {
+    file: File,
+}
+
+impl FleetJournal {
+    /// Creates (truncating) the journal at `path` and writes the fleet
+    /// header.
+    pub(crate) fn create(
+        path: &Path,
+        root_seed: u64,
+        systems: usize,
+        requests_per_system: u64,
+    ) -> Result<FleetJournal, ServeError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| io_err("creating journal directory", &e))?;
+            }
+        }
+        let mut file = File::create(path).map_err(|e| io_err("creating journal", &e))?;
+        let mut header = Json::object();
+        header.set("format", JOURNAL_FORMAT);
+        header.set("root_seed", root_seed);
+        header.set("systems", systems);
+        header.set("requests_per_system", requests_per_system);
+        writeln!(file, "{}", header.render_compact()).map_err(|e| io_err("writing header", &e))?;
+        file.flush().map_err(|e| io_err("flushing header", &e))?;
+        Ok(FleetJournal { file })
+    }
+
+    fn line(&mut self, doc: &Json) -> Result<(), ServeError> {
+        writeln!(self.file, "{}", doc.render_compact())
+            .map_err(|e| io_err("appending to journal", &e))?;
+        self.file
+            .flush()
+            .map_err(|e| io_err("flushing journal", &e))
+    }
+
+    /// Appends one epoch record and flushes, so the entry survives a kill
+    /// immediately after.
+    pub(crate) fn epoch(
+        &mut self,
+        system: usize,
+        events: u64,
+        attempts: u32,
+        seed_attempt: u32,
+        seed: u64,
+    ) -> Result<(), ServeError> {
+        let mut doc = Json::object();
+        doc.set("kind", "epoch");
+        doc.set("system", system);
+        doc.set("events", events);
+        doc.set("attempts", u64::from(attempts));
+        doc.set("seed_attempt", u64::from(seed_attempt));
+        doc.set("seed", seed);
+        self.line(&doc)
+    }
+
+    /// Appends one settled (done or quarantined) system and flushes.
+    pub(crate) fn settled(&mut self, record: &SystemRecord) -> Result<(), ServeError> {
+        self.line(&record_to_json(record))
+    }
+
+    /// Appends one compacted range record covering the contiguous,
+    /// already-settled systems `start, start + 1, …` — one line, one
+    /// flush, however many systems the run spans.
+    pub(crate) fn settled_run(
+        &mut self,
+        start: usize,
+        records: &[&SystemRecord],
+    ) -> Result<(), ServeError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut doc = Json::object();
+        doc.set("kind", "settled_run");
+        doc.set("start", start);
+        doc.set(
+            "entries",
+            Json::Array(
+                records
+                    .iter()
+                    .map(|r| {
+                        let mut body = record_to_json(r);
+                        // The system index is implied by position.
+                        if let Json::Object(map) = &mut body {
+                            map.remove("system");
+                        }
+                        body
+                    })
+                    .collect(),
+            ),
+        );
+        self.line(&doc)
+    }
+}
+
+fn record_to_json(record: &SystemRecord) -> Json {
+    let mut doc = Json::object();
+    doc.set("system", record.system);
+    doc.set("attempts", u64::from(record.attempts));
+    doc.set("seed_attempt", u64::from(record.seed_attempt));
+    match &record.status {
+        SystemStatus::Served(report) => {
+            doc.set("kind", "done");
+            doc.set("report", report_to_json(report));
+        }
+        SystemStatus::Quarantined { class, error } => {
+            doc.set("kind", "quarantined");
+            doc.set("class", class.as_str());
+            doc.set("error", error.clone());
+        }
+    }
+    doc
+}
+
+fn report_to_json(report: &SimReport) -> Json {
+    let parts = report.parts();
+    let opt = |v: Option<f64>| v.map_or(Json::Null, Json::num);
+    let mut doc = Json::object();
+    doc.set("policy", parts.policy);
+    doc.set("seed", parts.seed);
+    doc.set("duration", Json::num(parts.duration));
+    doc.set("occupancy_energy", Json::num(parts.occupancy_energy));
+    doc.set("switch_energy", Json::num(parts.switch_energy));
+    doc.set("queue_integral", Json::num(parts.queue_integral));
+    doc.set("arrivals", parts.arrivals);
+    doc.set("completed", parts.completed);
+    doc.set("lost", parts.lost);
+    doc.set("switches", parts.switches);
+    doc.set("sojourn_sum", Json::num(parts.sojourn_sum));
+    doc.set("consultations", parts.consultations);
+    doc.set("events", parts.events);
+    doc.set("power_ci", opt(parts.power_ci));
+    doc.set("sojourn_ci", opt(parts.sojourn_ci));
+    doc
+}
+
+fn get_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    match doc.get(key) {
+        Some(&Json::Int(v)) if v >= 0 && v <= i128::from(u64::MAX) => Ok(v as u64),
+        other => Err(format!(
+            "{key}: expected a non-negative integer, got {other:?}"
+        )),
+    }
+}
+
+fn get_u32(doc: &Json, key: &str) -> Result<u32, String> {
+    let v = get_u64(doc, key)?;
+    u32::try_from(v).map_err(|_| format!("{key}: {v} does not fit u32"))
+}
+
+fn get_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{key}: expected a number"))
+}
+
+fn get_opt_f64(doc: &Json, key: &str) -> Result<Option<f64>, String> {
+    match doc.get(key) {
+        Some(Json::Null) => Ok(None),
+        _ => get_f64(doc, key).map(Some),
+    }
+}
+
+fn get_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{key}: expected a string"))
+}
+
+fn report_from_json(doc: &Json) -> Result<SimReport, String> {
+    Ok(SimReport::from_parts(ReportParts {
+        policy: get_str(doc, "policy")?,
+        seed: get_u64(doc, "seed")?,
+        duration: get_f64(doc, "duration")?,
+        occupancy_energy: get_f64(doc, "occupancy_energy")?,
+        switch_energy: get_f64(doc, "switch_energy")?,
+        queue_integral: get_f64(doc, "queue_integral")?,
+        arrivals: get_u64(doc, "arrivals")?,
+        completed: get_u64(doc, "completed")?,
+        lost: get_u64(doc, "lost")?,
+        switches: get_u64(doc, "switches")?,
+        sojourn_sum: get_f64(doc, "sojourn_sum")?,
+        consultations: get_u64(doc, "consultations")?,
+        events: get_u64(doc, "events")?,
+        power_ci: get_opt_f64(doc, "power_ci")?,
+        sojourn_ci: get_opt_f64(doc, "sojourn_ci")?,
+    }))
+}
+
+/// What the journal knows about one system.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Restored {
+    /// Never journaled: start from scratch.
+    Fresh,
+    /// Mid-flight at the kill: restart the attempt counters and replay.
+    InFlight {
+        /// Attempts started (≥ 1).
+        attempts: u32,
+        /// Seed-stream index of the in-flight attempt.
+        seed_attempt: u32,
+        /// Journaled event-count progress (informational: restore is
+        /// replay from event zero, which re-derives this state exactly).
+        events: u64,
+    },
+    /// Settled (served or quarantined): carry the record forward.
+    Settled(SystemRecord),
+}
+
+/// Parses one record line into `(system, restored)` updates.
+fn interpret_line(
+    doc: &Json,
+    root_seed: u64,
+    systems: usize,
+) -> Result<Vec<(usize, Restored)>, String> {
+    let kind = get_str(doc, "kind")?;
+    let one = |system: usize, restored: Restored| -> Result<Vec<(usize, Restored)>, String> {
+        if system >= systems {
+            return Err(format!(
+                "system {system} outside the {systems}-system fleet"
+            ));
+        }
+        Ok(vec![(system, restored)])
+    };
+    match kind.as_str() {
+        "epoch" => {
+            let system = usize::try_from(get_u64(doc, "system")?)
+                .map_err(|_| "system: does not fit usize".to_owned())?;
+            let attempts = get_u32(doc, "attempts")?;
+            let seed_attempt = get_u32(doc, "seed_attempt")?;
+            let seed = get_u64(doc, "seed")?;
+            let events = get_u64(doc, "events")?;
+            validate_counters(system, attempts, seed_attempt)?;
+            let expected = derive_serve_attempt_seed(root_seed, system as u64, seed_attempt);
+            if seed != expected {
+                return Err(format!(
+                    "system {system} epoch seed {seed:#x} does not match derived seed {expected:#x}"
+                ));
+            }
+            one(
+                system,
+                Restored::InFlight {
+                    attempts,
+                    seed_attempt,
+                    events,
+                },
+            )
+        }
+        "done" | "quarantined" => {
+            let system = usize::try_from(get_u64(doc, "system")?)
+                .map_err(|_| "system: does not fit usize".to_owned())?;
+            let record = settled_from_json(doc, &kind, system, root_seed)?;
+            one(system, Restored::Settled(record))
+        }
+        "settled_run" => {
+            let start = usize::try_from(get_u64(doc, "start")?)
+                .map_err(|_| "start: does not fit usize".to_owned())?;
+            let Some(Json::Array(entries)) = doc.get("entries") else {
+                return Err("entries: expected an array".to_owned());
+            };
+            let mut out = Vec::with_capacity(entries.len());
+            for (offset, entry) in entries.iter().enumerate() {
+                let system = start
+                    .checked_add(offset)
+                    .ok_or_else(|| "start + offset overflows".to_owned())?;
+                if system >= systems {
+                    return Err(format!(
+                        "system {system} outside the {systems}-system fleet"
+                    ));
+                }
+                let kind = get_str(entry, "kind")?;
+                if kind != "done" && kind != "quarantined" {
+                    return Err(format!("settled_run entry has kind {kind:?}"));
+                }
+                let record = settled_from_json(entry, &kind, system, root_seed)?;
+                out.push((system, Restored::Settled(record)));
+            }
+            Ok(out)
+        }
+        other => Err(format!("unknown record kind {other:?}")),
+    }
+}
+
+fn validate_counters(system: usize, attempts: u32, seed_attempt: u32) -> Result<(), String> {
+    if attempts == 0 {
+        return Err(format!("system {system}: attempts must be at least 1"));
+    }
+    if seed_attempt >= attempts {
+        return Err(format!(
+            "system {system}: seed_attempt {seed_attempt} not below attempts {attempts}"
+        ));
+    }
+    Ok(())
+}
+
+fn settled_from_json(
+    doc: &Json,
+    kind: &str,
+    system: usize,
+    root_seed: u64,
+) -> Result<SystemRecord, String> {
+    let attempts = get_u32(doc, "attempts")?;
+    let seed_attempt = get_u32(doc, "seed_attempt")?;
+    validate_counters(system, attempts, seed_attempt)?;
+    let status = if kind == "done" {
+        let report_doc = doc
+            .get("report")
+            .ok_or_else(|| "report: missing".to_owned())?;
+        let report = report_from_json(report_doc)?;
+        let expected = derive_serve_attempt_seed(root_seed, system as u64, seed_attempt);
+        if report.seed() != expected {
+            return Err(format!(
+                "system {system} report seed {:#x} does not match derived seed {expected:#x}",
+                report.seed()
+            ));
+        }
+        SystemStatus::Served(report)
+    } else {
+        let class_name = get_str(doc, "class")?;
+        let class = ErrorClass::parse(&class_name)
+            .ok_or_else(|| format!("class: unknown error class {class_name:?}"))?;
+        SystemStatus::Quarantined {
+            class,
+            error: get_str(doc, "error")?,
+        }
+    };
+    Ok(SystemRecord {
+        system,
+        attempts,
+        seed_attempt,
+        status,
+    })
+}
+
+/// Loads a fleet journal and restores the per-system state for a resume.
+///
+/// Later records supersede earlier ones for the same system (an append
+/// order the supervisor guarantees), so the last word on each system
+/// wins. Exactly one torn trailing line is tolerated.
+pub(crate) fn load_fleet(
+    path: &Path,
+    root_seed: u64,
+    systems: usize,
+    requests_per_system: u64,
+) -> Result<Vec<Restored>, ServeError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| io_err(&format!("reading {}", path.display()), &e))?;
+    let mut lines = text.lines();
+    let Some(header_line) = lines.next() else {
+        return Err(checkpoint_err("journal is empty (no header line)"));
+    };
+    let header = Json::parse(header_line)
+        .map_err(|e| checkpoint_err(format!("unreadable header line: {e}")))?;
+    let format = header.get("format").and_then(Json::as_str).unwrap_or("");
+    if format != JOURNAL_FORMAT {
+        return Err(checkpoint_err(format!(
+            "expected format {JOURNAL_FORMAT:?}, got {format:?}"
+        )));
+    }
+    let check = |key: &str, want: u64| -> Result<(), ServeError> {
+        let got = get_u64(&header, key).map_err(checkpoint_err)?;
+        if got != want {
+            return Err(checkpoint_err(format!(
+                "journal was written for {key} = {got}, this run has {key} = {want}"
+            )));
+        }
+        Ok(())
+    };
+    check("root_seed", root_seed)?;
+    check("systems", systems as u64)?;
+    check("requests_per_system", requests_per_system)?;
+
+    let records: Vec<&str> = lines.collect();
+    let mut restored = vec![Restored::Fresh; systems];
+    for (index, line) in records.iter().enumerate() {
+        let last = index + 1 == records.len();
+        let parsed = Json::parse(line)
+            .map_err(|e| e.to_string())
+            .and_then(|doc| interpret_line(&doc, root_seed, systems));
+        match parsed {
+            Ok(updates) => {
+                for (system, state) in updates {
+                    if let Some(slot) = restored.get_mut(system) {
+                        *slot = state;
+                    }
+                }
+            }
+            // A torn final line is the signature of a kill mid-append:
+            // the entry simply was not durable yet, so the system reruns.
+            Err(_) if last => break,
+            Err(reason) => {
+                return Err(checkpoint_err(format!(
+                    "corrupt interior record on line {}: {reason}",
+                    index + 2
+                )));
+            }
+        }
+    }
+    Ok(restored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_harness::seed::derive_serve_seed;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dpm-serve-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    fn sample_report(seed: u64) -> SimReport {
+        SimReport::from_parts(ReportParts {
+            policy: "compiled".to_owned(),
+            seed,
+            duration: 123.456_789_012_345_67,
+            occupancy_energy: 1.0e-3 + 1.0e-17,
+            switch_energy: 9.25,
+            queue_integral: 88.5,
+            arrivals: 400,
+            completed: 398,
+            lost: 2,
+            switches: 41,
+            sojourn_sum: 777.125,
+            consultations: 1200,
+            events: 1500,
+            power_ci: Some(0.062_5),
+            sojourn_ci: None,
+        })
+    }
+
+    #[test]
+    fn reports_round_trip_bit_exactly_through_record_lines() {
+        let report = sample_report(derive_serve_seed(3, 0));
+        let record = SystemRecord {
+            system: 0,
+            attempts: 2,
+            seed_attempt: 0,
+            status: SystemStatus::Served(report.clone()),
+        };
+        let doc = record_to_json(&record);
+        let reparsed = Json::parse(&doc.render_compact()).unwrap();
+        let restored = settled_from_json(&reparsed, "done", 0, 3).unwrap();
+        assert_eq!(restored, record);
+        assert_eq!(restored.report(), Some(&report));
+    }
+
+    #[test]
+    fn journal_round_trips_epochs_and_settled_records() {
+        let path = scratch("round-trip.jsonl");
+        let mut journal = FleetJournal::create(&path, 7, 4, 100).unwrap();
+        journal
+            .epoch(1, 512, 1, 0, derive_serve_seed(7, 1))
+            .unwrap();
+        let done = SystemRecord {
+            system: 2,
+            attempts: 1,
+            seed_attempt: 0,
+            status: SystemStatus::Served(sample_report(derive_serve_seed(7, 2))),
+        };
+        journal.settled(&done).unwrap();
+        let quarantined = SystemRecord {
+            system: 3,
+            attempts: 2,
+            seed_attempt: 1,
+            status: SystemStatus::Quarantined {
+                class: ErrorClass::Engine,
+                error: "injected".to_owned(),
+            },
+        };
+        journal.settled(&quarantined).unwrap();
+        drop(journal);
+
+        let restored = load_fleet(&path, 7, 4, 100).unwrap();
+        assert_eq!(restored[0], Restored::Fresh);
+        assert_eq!(
+            restored[1],
+            Restored::InFlight {
+                attempts: 1,
+                seed_attempt: 0,
+                events: 512
+            }
+        );
+        assert_eq!(restored[2], Restored::Settled(done));
+        assert_eq!(restored[3], Restored::Settled(quarantined));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compacted_runs_expand_by_position() {
+        let path = scratch("compacted.jsonl");
+        let mut journal = FleetJournal::create(&path, 9, 3, 50).unwrap();
+        let records: Vec<SystemRecord> = (0..2)
+            .map(|i| SystemRecord {
+                system: i,
+                attempts: 1,
+                seed_attempt: 0,
+                status: SystemStatus::Served(sample_report(derive_serve_seed(9, i as u64))),
+            })
+            .collect();
+        journal
+            .settled_run(0, &records.iter().collect::<Vec<_>>())
+            .unwrap();
+        drop(journal);
+        let restored = load_fleet(&path, 9, 3, 50).unwrap();
+        assert_eq!(restored[0], Restored::Settled(records[0].clone()));
+        assert_eq!(restored[1], Restored::Settled(records[1].clone()));
+        assert_eq!(restored[2], Restored::Fresh);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_tolerated_but_interior_corruption_is_fatal() {
+        let path = scratch("torn.jsonl");
+        let mut journal = FleetJournal::create(&path, 5, 2, 10).unwrap();
+        journal.epoch(0, 64, 1, 0, derive_serve_seed(5, 0)).unwrap();
+        drop(journal);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"kind\":\"epoch\",\"system\":1,\"eve");
+        std::fs::write(&path, &text).unwrap();
+        let restored = load_fleet(&path, 5, 2, 10).unwrap();
+        assert!(matches!(restored[0], Restored::InFlight { events: 64, .. }));
+        assert_eq!(restored[1], Restored::Fresh);
+
+        // The same junk followed by a valid line is interior corruption.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&format!(
+            "\n{{\"kind\":\"epoch\",\"system\":0,\"events\":128,\"attempts\":1,\
+             \"seed_attempt\":0,\"seed\":{}}}\n",
+            derive_serve_seed(5, 0)
+        ));
+        std::fs::write(&path, &text).unwrap();
+        assert!(matches!(
+            load_fleet(&path, 5, 2, 10),
+            Err(ServeError::Checkpoint { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn header_and_seed_mismatches_are_rejected() {
+        let path = scratch("mismatch.jsonl");
+        let mut journal = FleetJournal::create(&path, 11, 2, 10).unwrap();
+        journal
+            .epoch(0, 64, 1, 0, derive_serve_seed(11, 0))
+            .unwrap();
+        drop(journal);
+        // Wrong fleet parameters.
+        for (root, systems, requests) in [(12, 2, 10), (11, 3, 10), (11, 2, 99)] {
+            assert!(matches!(
+                load_fleet(&path, root, systems, requests),
+                Err(ServeError::Checkpoint { .. })
+            ));
+        }
+        // A tampered seed fails derivation validation (interior line).
+        let mut journal = FleetJournal::create(&path, 11, 2, 10).unwrap();
+        journal.epoch(0, 64, 1, 0, 0xdead_beef).unwrap();
+        journal
+            .epoch(1, 64, 1, 0, derive_serve_seed(11, 1))
+            .unwrap();
+        drop(journal);
+        assert!(matches!(
+            load_fleet(&path, 11, 2, 10),
+            Err(ServeError::Checkpoint { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

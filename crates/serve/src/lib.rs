@@ -1,8 +1,8 @@
-//! Policy serving: compiled artifacts and a sharded multi-core runtime.
+//! Policy serving: compiled artifacts and a supervised sharded runtime.
 //!
 //! The solver stack (`dpm-mdp`, `dpm-lp`) produces an optimal
 //! power-management policy; this crate is what runs it at scale. It has
-//! two halves:
+//! three layers:
 //!
 //! * [`CompiledPolicy`] — a table policy lowered to dense constant-time
 //!   lookup arrays (mixed-radix stable index, minimal-perfect transfer
@@ -11,17 +11,27 @@
 //! * [`serve`] — a sharded event runtime: a fleet of independent
 //!   simulated systems partitioned across threads, each batching events
 //!   against the shared artifact, with per-system seeds from
-//!   `dpm_harness::seed::derive_serve_seed` and exactly-associative
-//!   report merging so N-shard output is **bit-identical** to 1-shard.
+//!   `dpm_harness::seed::derive_serve_attempt_seed` and
+//!   exactly-associative report merging so N-shard output is
+//!   **bit-identical** to 1-shard;
+//! * supervision — a typed error taxonomy ([`ErrorClass`], [`ServeError`])
+//!   with per-class retry budgets and logical backoff ([`RetryPolicy`]),
+//!   per-system panic isolation, a JSONL fleet checkpoint journal
+//!   (`ServeConfig::checkpoint` / `ServeConfig::resume`) whose replay-based
+//!   restore makes kill-at-any-point + resume bit-identical, hot policy
+//!   swaps at deterministic event barriers ([`SwapPlan`]), and graceful
+//!   degradation: budget-exhausted systems are quarantined while the rest
+//!   of the fleet's results stay untouched ([`SystemRecord`]).
 //!
 //! # Examples
 //!
 //! Compile the greedy policy for the paper's server and serve a small
-//! fleet on two shards:
+//! fleet on two shards, checkpointing progress and hot-swapping to the
+//! always-on policy once each system has processed 400 events:
 //!
 //! ```
 //! use dpm_core::{PmPolicy, PmSystem, SpModel, SrModel};
-//! use dpm_serve::{serve, CompiledPolicy, ServeConfig};
+//! use dpm_serve::{serve, CompiledPolicy, ServeConfig, SwapPlan};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let system = PmSystem::builder()
@@ -30,19 +40,26 @@
 //!     .capacity(5)
 //!     .build()?;
 //! let policy = CompiledPolicy::compile(&system, &PmPolicy::greedy(&system)?)?;
-//! let outcome = serve(
-//!     &system,
-//!     &policy,
-//!     &ServeConfig::new(42).systems(8).requests_per_system(500).shards(2),
-//! )?;
+//! let replacement = CompiledPolicy::compile(&system, &PmPolicy::always_on(&system, 0)?)?;
+//! let journal = std::env::temp_dir().join(format!("dpm-serve-doc-{}.jsonl", std::process::id()));
+//! let config = ServeConfig::new(42)
+//!     .systems(8)
+//!     .requests_per_system(500)
+//!     .shards(2)
+//!     .swaps(SwapPlan::new().swap_at(400, replacement))
+//!     .checkpoint(&journal);
+//! let outcome = serve(&system, &policy, &config)?;
 //! assert_eq!(outcome.merged().runs(), 8);
-//! // Shard count never changes the numbers, only the wall clock:
-//! let serial = serve(
+//! assert!(outcome.swap_outcomes()[0].accepted());
+//! // The journal restores the finished fleet verbatim, and shard count
+//! // never changes the numbers, only the wall clock:
+//! let resumed = serve(
 //!     &system,
 //!     &policy,
-//!     &ServeConfig::new(42).systems(8).requests_per_system(500).shards(1),
+//!     &config.clone().shards(1).resume(&journal),
 //! )?;
-//! assert_eq!(outcome.fingerprint(), serial.fingerprint());
+//! assert_eq!(outcome.fingerprint(), resumed.fingerprint());
+//! # std::fs::remove_file(&journal).ok();
 //! # Ok(())
 //! # }
 //! ```
@@ -53,7 +70,12 @@
 mod compiled;
 mod engine;
 mod error;
+mod journal;
+mod supervise;
 
 pub use compiled::{CompiledController, CompiledPolicy, COMPILED_POLICY_FORMAT};
 pub use engine::{serve, ServeConfig, ServeOutcome, SERVE_OUTCOME_FORMAT};
-pub use error::ServeError;
+pub use error::{ConfigError, ErrorClass, ServeError};
+pub use supervise::{
+    RetryPolicy, ServeFaultPlan, SwapOutcome, SwapPlan, SystemRecord, SystemStatus,
+};

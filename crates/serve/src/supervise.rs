@@ -1,0 +1,411 @@
+//! Supervision vocabulary for the serving runtime: per-error-class retry
+//! budgets with deterministic logical backoff, deterministic fault
+//! injection, the epoch-coordinated hot-swap schedule, and the per-system
+//! status records a supervised run reports.
+//!
+//! Everything here is a pure function of fleet indices, event counts and
+//! attempt numbers — never of wall clock or thread scheduling — so a
+//! supervised run stays bit-identical at any shard count and across
+//! kill/resume cycles.
+
+use dpm_core::PmPolicy;
+use dpm_sim::SimReport;
+
+use crate::{CompiledPolicy, ErrorClass};
+
+/// Per-error-class retry budgets and the logical backoff schedule.
+///
+/// *Budgets* cap the number of attempts (first try included) a system may
+/// consume before it is quarantined; each [`ErrorClass`] has its own cap
+/// because each class has a different recovery story (see [`ErrorClass`]).
+/// *Backoff* is logical, not temporal: after a failure the system skips a
+/// number of round-robin scheduling visits that doubles per consecutive
+/// failure — deterministic, wall-clock-free, and (because per-system runs
+/// are interleaving-invariant) entirely without effect on the recovered
+/// system's results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    panic_attempts: u32,
+    engine_attempts: u32,
+    backoff_base: u32,
+    backoff_cap: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new()
+    }
+}
+
+impl RetryPolicy {
+    /// Defaults: 3 attempts for panics, 2 for engine errors, backoff of
+    /// 4 visits doubling up to 64.
+    #[must_use]
+    pub fn new() -> Self {
+        RetryPolicy {
+            panic_attempts: 3,
+            engine_attempts: 2,
+            backoff_base: 4,
+            backoff_cap: 64,
+        }
+    }
+
+    /// Sets the attempt budget for panic-class failures (min 1).
+    #[must_use]
+    pub fn panic_attempts(mut self, n: u32) -> Self {
+        self.panic_attempts = n.max(1);
+        self
+    }
+
+    /// Sets the attempt budget for engine-class failures (min 1).
+    #[must_use]
+    pub fn engine_attempts(mut self, n: u32) -> Self {
+        self.engine_attempts = n.max(1);
+        self
+    }
+
+    /// Sets the backoff schedule: `base` visits skipped after the first
+    /// failure, doubling per consecutive failure, capped at `cap`.
+    #[must_use]
+    pub fn backoff(mut self, base: u32, cap: u32) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap.max(base);
+        self
+    }
+
+    /// The attempt budget for one failure class. Setup failures get no
+    /// retry: they are deterministic in the configuration alone.
+    #[must_use]
+    pub fn budget(&self, class: ErrorClass) -> u32 {
+        match class {
+            ErrorClass::Panic => self.panic_attempts,
+            ErrorClass::Engine => self.engine_attempts,
+            ErrorClass::Setup => 1,
+        }
+    }
+
+    /// Scheduling visits to skip after the `failures`-th consecutive
+    /// failure (1-based): `base << (failures - 1)`, capped.
+    #[must_use]
+    pub fn backoff_visits(&self, failures: u32) -> u64 {
+        if failures == 0 {
+            return 0;
+        }
+        let shift = (failures - 1).min(16);
+        (u64::from(self.backoff_base) << shift).min(u64::from(self.backoff_cap))
+    }
+}
+
+/// One armed fault: sabotage `system` just before it processes event
+/// `events`, on its first `attempts` attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FaultSite {
+    system: usize,
+    events: u64,
+    attempts: u32,
+}
+
+/// Deterministic fault injection for the serving runtime — the serve
+/// twin of `dpm_harness`'s `FaultPlan`, keyed by `(system, event count,
+/// attempt)` instead of task index so every recovery path of the
+/// supervisor can be exercised from tests and CI smokes.
+///
+/// Faults fire *inside* the supervised stepping closure, before the
+/// engine processes the armed event, so the injected failure is
+/// indistinguishable from an organic one at the same point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    panics: Vec<FaultSite>,
+    errors: Vec<FaultSite>,
+    setup_failures: Vec<usize>,
+}
+
+impl ServeFaultPlan {
+    /// An empty plan: no faults.
+    #[must_use]
+    pub fn new() -> Self {
+        ServeFaultPlan::default()
+    }
+
+    /// Arms a panic in `system` just before event `events`, on its first
+    /// `attempts` attempts (`u32::MAX` = every attempt).
+    #[must_use]
+    pub fn panic_at(mut self, system: usize, events: u64, attempts: u32) -> Self {
+        self.panics.push(FaultSite {
+            system,
+            events,
+            attempts,
+        });
+        self
+    }
+
+    /// Arms an engine error in `system` just before event `events`, on
+    /// its first `attempts` attempts (`u32::MAX` = every attempt).
+    #[must_use]
+    pub fn error_at(mut self, system: usize, events: u64, attempts: u32) -> Self {
+        self.errors.push(FaultSite {
+            system,
+            events,
+            attempts,
+        });
+        self
+    }
+
+    /// Arms a construction failure for `system`: every attempt to build
+    /// its run fails (setup failures are never retried).
+    #[must_use]
+    pub fn setup_failure(mut self, system: usize) -> Self {
+        self.setup_failures.push(system);
+        self
+    }
+
+    /// True if the plan holds no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.panics.is_empty() && self.errors.is_empty() && self.setup_failures.is_empty()
+    }
+
+    /// Should a panic fire before `system` processes event `events` on
+    /// 0-based attempt `attempt`?
+    #[must_use]
+    pub(crate) fn panic_armed(&self, system: usize, events: u64, attempt: u32) -> bool {
+        armed(&self.panics, system, events, attempt)
+    }
+
+    /// Should an engine error fire before `system` processes event
+    /// `events` on 0-based attempt `attempt`?
+    #[must_use]
+    pub(crate) fn error_armed(&self, system: usize, events: u64, attempt: u32) -> bool {
+        armed(&self.errors, system, events, attempt)
+    }
+
+    /// Should constructing `system` fail?
+    #[must_use]
+    pub(crate) fn setup_armed(&self, system: usize) -> bool {
+        self.setup_failures.contains(&system)
+    }
+}
+
+fn armed(sites: &[FaultSite], system: usize, events: u64, attempt: u32) -> bool {
+    sites
+        .iter()
+        .any(|s| s.system == system && s.events == events && attempt < s.attempts)
+}
+
+/// One scheduled hot swap: replace the fleet's shared policy with
+/// `policy` once a system's own event counter reaches `at_events`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SwapEntry {
+    pub(crate) at_events: u64,
+    pub(crate) policy: CompiledPolicy,
+    pub(crate) table: Option<PmPolicy>,
+}
+
+/// A schedule of epoch-coordinated hot policy swaps.
+///
+/// Each entry names a deterministic **event-count barrier**: a system
+/// consults the old policy for its first `at_events` events and the new
+/// one from event `at_events + 1` on. The barrier is per-system (each
+/// system's own counter), so the swap point is identical at every shard
+/// count and across kill/resume replays.
+///
+/// Incoming artifacts are validated before the fleet starts — shape
+/// revalidation against the served system plus, for entries added with
+/// [`SwapPlan::swap_at_checked`], a compiled==table spot-check. Invalid
+/// entries are **rejected without disturbing the fleet**: the run
+/// proceeds under the surviving schedule and the rejection (with reason)
+/// is recorded on the outcome.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwapPlan {
+    pub(crate) entries: Vec<SwapEntry>,
+}
+
+impl SwapPlan {
+    /// An empty schedule: never swap.
+    #[must_use]
+    pub fn new() -> Self {
+        SwapPlan::default()
+    }
+
+    /// Schedules `policy` to take over at the `at_events` barrier.
+    #[must_use]
+    pub fn swap_at(mut self, at_events: u64, policy: CompiledPolicy) -> Self {
+        self.entries.push(SwapEntry {
+            at_events,
+            policy,
+            table: None,
+        });
+        self
+    }
+
+    /// Schedules `policy` with its source `table` attached: validation
+    /// additionally spot-checks that the compiled artifact answers
+    /// exactly like the table on every state.
+    #[must_use]
+    pub fn swap_at_checked(
+        mut self,
+        at_events: u64,
+        policy: CompiledPolicy,
+        table: PmPolicy,
+    ) -> Self {
+        self.entries.push(SwapEntry {
+            at_events,
+            policy,
+            table: Some(table),
+        });
+        self
+    }
+
+    /// True if no swaps are scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Validation verdict for one scheduled swap, in plan order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapOutcome {
+    pub(crate) at_events: u64,
+    pub(crate) accepted: bool,
+    pub(crate) reason: Option<String>,
+}
+
+impl SwapOutcome {
+    /// The event-count barrier the entry was scheduled for.
+    #[must_use]
+    pub fn at_events(&self) -> u64 {
+        self.at_events
+    }
+
+    /// True if the artifact passed validation and entered the schedule.
+    #[must_use]
+    pub fn accepted(&self) -> bool {
+        self.accepted
+    }
+
+    /// Why the artifact was rejected, if it was.
+    #[must_use]
+    pub fn reason(&self) -> Option<&str> {
+        self.reason.as_deref()
+    }
+}
+
+/// Final status of one supervised system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemStatus {
+    /// The system ran to completion (possibly after retries).
+    Served(SimReport),
+    /// The system exhausted its retry budget and was excluded from the
+    /// merged totals and the fleet fingerprint.
+    Quarantined {
+        /// Class of the final failure.
+        class: ErrorClass,
+        /// Message of the final failure.
+        error: String,
+    },
+}
+
+/// Per-system supervision record carried on the serve outcome: which
+/// attempt finally served (or quarantined) the system, and under which
+/// seed stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemRecord {
+    pub(crate) system: usize,
+    pub(crate) attempts: u32,
+    pub(crate) seed_attempt: u32,
+    pub(crate) status: SystemStatus,
+}
+
+impl SystemRecord {
+    /// Fleet index of the system.
+    #[must_use]
+    pub fn system(&self) -> usize {
+        self.system
+    }
+
+    /// Attempts consumed (1 = served first try).
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Index into the retry-seed sequence of the final attempt: 0 means
+    /// the original `derive_serve_seed` stream (panic-class retries
+    /// replay it), engine-class retries advance it.
+    #[must_use]
+    pub fn seed_attempt(&self) -> u32 {
+        self.seed_attempt
+    }
+
+    /// Final status.
+    #[must_use]
+    pub fn status(&self) -> &SystemStatus {
+        &self.status
+    }
+
+    /// The report, when the system was served.
+    #[must_use]
+    pub fn report(&self) -> Option<&SimReport> {
+        match &self.status {
+            SystemStatus::Served(report) => Some(report),
+            SystemStatus::Quarantined { .. } => None,
+        }
+    }
+
+    /// True when the system was served (not quarantined).
+    #[must_use]
+    pub fn is_served(&self) -> bool {
+        matches!(self.status, SystemStatus::Served(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_are_per_class_and_setup_never_retries() {
+        let policy = RetryPolicy::new().panic_attempts(5).engine_attempts(3);
+        assert_eq!(policy.budget(ErrorClass::Panic), 5);
+        assert_eq!(policy.budget(ErrorClass::Engine), 3);
+        assert_eq!(policy.budget(ErrorClass::Setup), 1);
+        // Budgets can never drop below one attempt.
+        assert_eq!(
+            RetryPolicy::new()
+                .panic_attempts(0)
+                .budget(ErrorClass::Panic),
+            1
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy::new().backoff(4, 64);
+        assert_eq!(policy.backoff_visits(0), 0);
+        assert_eq!(policy.backoff_visits(1), 4);
+        assert_eq!(policy.backoff_visits(2), 8);
+        assert_eq!(policy.backoff_visits(3), 16);
+        assert_eq!(policy.backoff_visits(5), 64);
+        assert_eq!(policy.backoff_visits(40), 64, "capped, no overflow");
+        // A zero base disables backoff entirely.
+        assert_eq!(RetryPolicy::new().backoff(0, 0).backoff_visits(3), 0);
+    }
+
+    #[test]
+    fn fault_sites_arm_by_system_event_and_attempt() {
+        let plan = ServeFaultPlan::new()
+            .panic_at(2, 100, 1)
+            .error_at(3, 50, u32::MAX)
+            .setup_failure(4);
+        assert!(plan.panic_armed(2, 100, 0));
+        assert!(!plan.panic_armed(2, 100, 1), "attempt past the budget");
+        assert!(!plan.panic_armed(2, 99, 0), "different event");
+        assert!(!plan.panic_armed(1, 100, 0), "different system");
+        assert!(plan.error_armed(3, 50, 7), "max arms every attempt");
+        assert!(plan.setup_armed(4));
+        assert!(!plan.setup_armed(2));
+        assert!(!plan.is_empty());
+        assert!(ServeFaultPlan::new().is_empty());
+    }
+}

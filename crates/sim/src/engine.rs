@@ -170,14 +170,14 @@ impl<W: Workload, C: Controller> Simulator<W, C> {
                 .active_modes()
                 .into_iter()
                 .max_by(|&a, &b| {
-                    self.sp
-                        .service_rate(a)
-                        .partial_cmp(&self.sp.service_rate(b))
-                        // dpm-lint: allow(no_panic, reason = "rates are validated finite when the model is constructed")
-                        .expect("finite rates")
+                    // Rates are validated finite at model construction, so
+                    // total_cmp agrees with the partial order here while
+                    // staying total (and panic-free) by construction.
+                    self.sp.service_rate(a).total_cmp(&self.sp.service_rate(b))
                 })
-                // dpm-lint: allow(no_panic, reason = "SpModel validation guarantees an active mode")
-                .expect("provider has an active mode"),
+                .ok_or_else(|| SimError::InvalidConfig {
+                    reason: "provider has no active mode".to_owned(),
+                })?,
         };
 
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
@@ -473,6 +473,20 @@ impl<W: Workload, C: Controller> SimRun<W, C> {
     #[must_use]
     pub fn controller(&self) -> &C {
         &self.controller
+    }
+
+    /// Mutably borrows the controller driving this run.
+    ///
+    /// This is the hook for epoch-coordinated hot policy swap: the
+    /// `dpm-serve` supervisor replaces a [`crate::controller::Controller`]'s
+    /// shared policy `Arc` between steps, at a deterministic event-count
+    /// barrier. Swapping controller internals mid-run is safe for
+    /// determinism as long as the mutation itself is a deterministic
+    /// function of the run's own progress (never of wall clock or shard
+    /// scheduling).
+    #[must_use]
+    pub fn controller_mut(&mut self) -> &mut C {
+        &mut self.controller
     }
 
     /// Finalizes the run into a [`SimReport`].

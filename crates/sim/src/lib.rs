@@ -63,5 +63,5 @@ pub mod workload;
 pub use engine::{SimConfig, SimRun, Simulator};
 pub use error::SimError;
 pub use merge::{ExactSum, MergedReport};
-pub use report::SimReport;
+pub use report::{ReportParts, SimReport};
 pub use rng::exponential;

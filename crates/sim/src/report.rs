@@ -27,7 +27,94 @@ pub struct SimReport {
     pub(crate) sojourn_ci: Option<f64>,
 }
 
+/// The raw accumulators behind a [`SimReport`] — a lossless, bit-exact
+/// decomposition with public fields.
+///
+/// Derived metrics ([`SimReport::average_power`] and friends) are
+/// quotients computed on demand, so round-tripping a report through its
+/// parts ([`SimReport::parts`] → [`SimReport::from_parts`]) reproduces
+/// every statistic to the bit. Checkpoint journals (the `dpm-serve` fleet
+/// journal) persist reports this way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportParts {
+    /// Name of the policy that ran.
+    pub policy: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Simulated duration in seconds.
+    pub duration: f64,
+    /// Energy integrated over mode occupancy.
+    pub occupancy_energy: f64,
+    /// Energy spent on mode switches.
+    pub switch_energy: f64,
+    /// Time integral of the queue length.
+    pub queue_integral: f64,
+    /// Requests generated.
+    pub arrivals: u64,
+    /// Requests serviced to completion.
+    pub completed: u64,
+    /// Requests lost to a full queue.
+    pub lost: u64,
+    /// Mode switches performed.
+    pub switches: u64,
+    /// Total sojourn time over completed requests.
+    pub sojourn_sum: f64,
+    /// Power-manager consultations.
+    pub consultations: u64,
+    /// Engine events processed.
+    pub events: u64,
+    /// Batch-means half-width for average power, when collected.
+    pub power_ci: Option<f64>,
+    /// Batch-means half-width for average waiting time, when collected.
+    pub sojourn_ci: Option<f64>,
+}
+
 impl SimReport {
+    /// Decomposes the report into its raw accumulators.
+    #[must_use]
+    pub fn parts(&self) -> ReportParts {
+        ReportParts {
+            policy: self.policy.clone(),
+            seed: self.seed,
+            duration: self.duration,
+            occupancy_energy: self.occupancy_energy,
+            switch_energy: self.switch_energy,
+            queue_integral: self.queue_integral,
+            arrivals: self.arrivals,
+            completed: self.completed,
+            lost: self.lost,
+            switches: self.switches,
+            sojourn_sum: self.sojourn_sum,
+            consultations: self.consultations,
+            events: self.events,
+            power_ci: self.power_ci,
+            sojourn_ci: self.sojourn_ci,
+        }
+    }
+
+    /// Reassembles a report from raw accumulators, inverting
+    /// [`SimReport::parts`] exactly.
+    #[must_use]
+    pub fn from_parts(parts: ReportParts) -> SimReport {
+        SimReport {
+            policy: parts.policy,
+            seed: parts.seed,
+            duration: parts.duration,
+            occupancy_energy: parts.occupancy_energy,
+            switch_energy: parts.switch_energy,
+            queue_integral: parts.queue_integral,
+            arrivals: parts.arrivals,
+            completed: parts.completed,
+            lost: parts.lost,
+            switches: parts.switches,
+            sojourn_sum: parts.sojourn_sum,
+            consultations: parts.consultations,
+            events: parts.events,
+            power_ci: parts.power_ci,
+            sojourn_ci: parts.sojourn_ci,
+        }
+    }
+
     /// Name of the policy that ran.
     #[must_use]
     pub fn policy(&self) -> &str {
@@ -217,6 +304,15 @@ mod tests {
         assert_eq!(r.waiting_half_width(), None);
         assert_eq!(r.seed(), 7);
         assert_eq!(r.policy(), "test");
+    }
+
+    #[test]
+    fn parts_round_trip_bit_exactly() {
+        let r = report();
+        assert_eq!(SimReport::from_parts(r.parts()), r);
+        let mut parts = r.parts();
+        parts.seed = 8;
+        assert_ne!(SimReport::from_parts(parts), r);
     }
 
     #[test]

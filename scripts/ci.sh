@@ -98,4 +98,33 @@ head -n 7 "$SMOKE_DIR/journal.jsonl" > "$SMOKE_DIR/partial.jsonl"
     --resume "$SMOKE_DIR/partial.jsonl" --out "$SMOKE_DIR/resumed.json" > /dev/null
 ./target/release/artifact_diff --a "$SMOKE_DIR/w1.json" --b "$SMOKE_DIR/resumed.json"
 
+echo "=== serve chaos smoke (mid-run SIGKILL, resume, tol-0 diff vs uninterrupted) ==="
+SERVE_CHAOS=(--systems 16 --requests 200000 --seed 99
+    --inject-panic 3@400,5@250:2 --inject-error 7@300:max --max-attempts 3)
+# The uninterrupted faulted reference: supervised serve, self-gated
+# internally against a fault-free fleet, outcome artifact written.
+./target/release/bench_serve "${SERVE_CHAOS[@]}" --shards 2 \
+    --outcome-out "$SMOKE_DIR/serve_chaos_ref.json" > /dev/null 2> /dev/null
+# The same run, SIGKILLed as soon as its journal shows progress.
+./target/release/bench_serve "${SERVE_CHAOS[@]}" --shards 2 \
+    --checkpoint "$SMOKE_DIR/serve_chaos.jsonl" \
+    --outcome-out "$SMOKE_DIR/serve_chaos_never.json" > /dev/null 2> /dev/null &
+CHAOS_PID=$!
+for _ in $(seq 1 500); do
+    [ -s "$SMOKE_DIR/serve_chaos.jsonl" ] && break
+    sleep 0.01
+done
+kill -9 "$CHAOS_PID" 2> /dev/null || true
+wait "$CHAOS_PID" 2> /dev/null || true
+if [ -e "$SMOKE_DIR/serve_chaos_never.json" ]; then
+    echo "(chaos run finished before the kill landed; resume leg still gates the journal)"
+fi
+# Resume from whatever the kill left behind — at a different shard count —
+# and require the outcome to match the uninterrupted reference bit-for-bit.
+./target/release/bench_serve "${SERVE_CHAOS[@]}" --shards 4 \
+    --resume "$SMOKE_DIR/serve_chaos.jsonl" \
+    --outcome-out "$SMOKE_DIR/serve_chaos_resumed.json" > /dev/null 2> /dev/null
+./target/release/artifact_diff --a "$SMOKE_DIR/serve_chaos_ref.json" \
+    --b "$SMOKE_DIR/serve_chaos_resumed.json"
+
 echo "CI checks passed."
