@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dpm-lint [--root DIR] [--deny] [--json PATH] [--baseline PATH] \
-//!          [--list-rules] [FILE...]
+//!          [--list-rules] [--fix-unused-allows [--apply]] [FILE...]
 //! ```
 //!
 //! With no `FILE` operands the whole workspace under `--root` (default:
@@ -10,17 +10,26 @@
 //! `--deny` turns findings into a nonzero exit status (the CI gate);
 //! `--json` additionally writes the canonical-JSON report.
 //!
-//! `--baseline PATH` reads a previous `--json` report and fails the run
-//! if any rule's *allow* count grew past it — allow drift: exemptions
-//! accumulating silently even while the findings list stays empty. Counts
-//! at or below the baseline pass (shrinkage is progress; refresh the
-//! baseline to lock it in).
+//! `--baseline PATH` reads a previous `--json` report and fails the run on
+//! drift: a rule whose *allow* count grew (exemptions accumulating
+//! silently), a rule whose *finding* count grew past the recorded
+//! `counts_by_rule` (new violations that were reasoned away at baseline
+//! time), or a schema id whose version moved backwards. Counts at or below
+//! the baseline pass (shrinkage is progress; refresh the baseline to lock
+//! it in).
+//!
+//! `--fix-unused-allows` rewrites files whose allow directives suppressed
+//! nothing. By default it prints the would-be changes as a diff and exits
+//! nonzero if any exist; with `--apply` it writes each rewrite atomically
+//! (temp file + rename) and exits zero.
 //!
 //! Exit status: 0 clean (or findings without `--deny`), 1 findings under
-//! `--deny` or allow drift past `--baseline`, 2 usage or I/O error.
+//! `--deny`, drift past `--baseline`, or pending `--fix-unused-allows`
+//! changes without `--apply`; 2 usage or I/O error.
 
 use dpm_harness::Json;
-use dpm_lint::{check_files, check_workspace, rules, LintError, Report};
+use dpm_lint::{check_files, check_workspace, fix, rules, LintError, Report};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -30,6 +39,8 @@ struct Options {
     json: Option<PathBuf>,
     baseline: Option<PathBuf>,
     list_rules: bool,
+    fix_unused: bool,
+    apply: bool,
     files: Vec<String>,
 }
 
@@ -40,6 +51,8 @@ fn parse_args(args: &[String]) -> Result<Options, LintError> {
         json: None,
         baseline: None,
         list_rules: false,
+        fix_unused: false,
+        apply: false,
         files: Vec::new(),
     };
     let mut iter = args.iter();
@@ -65,10 +78,12 @@ fn parse_args(args: &[String]) -> Result<Options, LintError> {
             }
             "--deny" => opts.deny = true,
             "--list-rules" => opts.list_rules = true,
+            "--fix-unused-allows" => opts.fix_unused = true,
+            "--apply" => opts.apply = true,
             "--help" | "-h" => {
                 return Err(LintError::Usage(
                     "dpm-lint [--root DIR] [--deny] [--json PATH] [--baseline PATH] \
-                     [--list-rules] [FILE...]"
+                     [--list-rules] [--fix-unused-allows [--apply]] [FILE...]"
                         .to_owned(),
                 ))
             }
@@ -77,6 +92,11 @@ fn parse_args(args: &[String]) -> Result<Options, LintError> {
             }
             file => opts.files.push(file.to_owned()),
         }
+    }
+    if opts.apply && !opts.fix_unused {
+        return Err(LintError::Usage(
+            "--apply only makes sense with --fix-unused-allows".to_owned(),
+        ));
     }
     Ok(opts)
 }
@@ -89,9 +109,9 @@ fn run(opts: &Options) -> Result<Report, LintError> {
     }
 }
 
-/// Compares the run's per-rule allow counts against a previous `--json`
-/// report. Returns one message per rule whose count *grew* — counts at or
-/// below the baseline (including rules that vanished) pass.
+/// Compares the run against a previous `--json` report. Returns one
+/// message per regression: an allow count or finding count that grew, or
+/// a schema version that moved backwards.
 fn baseline_drift(report: &Report, baseline_path: &Path) -> Result<Vec<String>, LintError> {
     let text =
         std::fs::read_to_string(baseline_path).map_err(|e| LintError::io(baseline_path, &e))?;
@@ -116,7 +136,96 @@ fn baseline_drift(report: &Report, baseline_path: &Path) -> Result<Vec<String>, 
             ));
         }
     }
+    // Findings drift: the baseline's zero-filled counts are the ceiling.
+    let mut finding_counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &report.findings {
+        *finding_counts.entry(f.rule).or_insert(0) += 1;
+    }
+    for rule in rules::all_rules() {
+        let now = finding_counts.get(rule).copied().unwrap_or(0);
+        let Some(then) = doc
+            .get("counts_by_rule")
+            .and_then(|counts| counts.get(rule))
+            .and_then(Json::as_f64)
+        else {
+            continue; // rule unknown to the baseline (pre-v2 report)
+        };
+        #[allow(clippy::cast_precision_loss)]
+        if now as f64 > then {
+            drift.push(format!(
+                "finding({rule}) count grew {then} -> {now}; fix the new \
+                 violations or annotate them with reasons"
+            ));
+        }
+    }
+    // Schema monotonicity: versions never move backwards.
+    if let Some(Json::Array(entries)) = doc.get("schema_registry") {
+        let then_versions: BTreeMap<String, f64> = entries
+            .iter()
+            .filter_map(|e| {
+                let base = e.get("base")?.as_str()?.to_owned();
+                let version = e.get("version")?.as_f64()?;
+                Some((base, version))
+            })
+            .collect();
+        for entry in &report.schema_registry {
+            if let Some(&then) = then_versions.get(&entry.base) {
+                #[allow(clippy::cast_precision_loss)]
+                if (entry.version as f64) < then {
+                    drift.push(format!(
+                        "schema `{}` regressed v{then} -> v{}; versions only move \
+                         forward",
+                        entry.base, entry.version
+                    ));
+                }
+            }
+        }
+    }
     Ok(drift)
+}
+
+/// Applies (or previews) removal of every `unused_allow` directive the
+/// report found. Returns the number of files with pending or applied
+/// changes.
+fn fix_unused_allows(opts: &Options, report: &Report) -> Result<usize, LintError> {
+    let mut by_path: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+    for f in &report.findings {
+        if f.rule == rules::UNUSED_ALLOW {
+            by_path.entry(&f.path).or_default().insert(f.line);
+        }
+    }
+    let mut touched = 0usize;
+    for (rel, lines) in by_path {
+        // Workspace runs report paths relative to --root; explicit file
+        // operands are reported as given.
+        let path = if opts.files.is_empty() {
+            opts.root.join(rel)
+        } else {
+            PathBuf::from(rel)
+        };
+        let source = std::fs::read_to_string(&path).map_err(|e| LintError::io(&path, &e))?;
+        if opts.apply {
+            let fixed = fix::remove_directives(&source, &lines);
+            let tmp = path.with_extension("rs.dpm-lint-fix");
+            std::fs::write(&tmp, &fixed).map_err(|e| LintError::io(&tmp, &e))?;
+            std::fs::rename(&tmp, &path).map_err(|e| LintError::io(&path, &e))?;
+            println!("fixed {rel}: removed {} unused allow(s)", lines.len());
+        } else {
+            println!("--- {rel}");
+            for change in fix::diff_lines(&source, &lines) {
+                match change {
+                    fix::DiffLine::Removed(line, old) => {
+                        println!("@@ line {line}\n-{old}");
+                    }
+                    fix::DiffLine::Rewritten(line, old, new) => {
+                        println!("@@ line {line}\n-{old}\n+{new}");
+                    }
+                }
+            }
+        }
+        touched += 1;
+    }
+    Ok(touched)
 }
 
 fn main() -> ExitCode {
@@ -141,6 +250,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.fix_unused {
+        return match fix_unused_allows(&opts, &report) {
+            Ok(0) => {
+                println!("dpm-lint: no unused allows to fix");
+                ExitCode::SUCCESS
+            }
+            Ok(_) if opts.apply => ExitCode::SUCCESS,
+            Ok(n) => {
+                println!("dpm-lint: {n} file(s) have unused allows; rerun with --apply to write");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("dpm-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     print!("{}", report.render_human());
     if let Some(json_path) = &opts.json {
         if let Err(e) = std::fs::write(json_path, report.render_json()) {

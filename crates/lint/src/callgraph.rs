@@ -1,0 +1,321 @@
+//! The approximate workspace call graph and panic-allow reachability.
+//!
+//! Edges are *name-matched*: inside each indexed function body, every
+//! identifier followed by `(` that is not a keyword, a macro invocation
+//! (`name!`), or a nested `fn` definition links the enclosing function to
+//! every indexed function of that name. When the callee is written with an
+//! explicit path qualifier (`Type::name(…)`) and some indexed function has
+//! exactly that qualified name, the edge narrows to those candidates.
+//!
+//! This over-approximates real dispatch — same-named methods on different
+//! types alias, trait calls fan out to every implementor — which is the
+//! safe direction for the reachability question asked of it: an allow
+//! classified *cold* truly has no name-plausible path from a hot root,
+//! while *hot* means "possibly reachable", never a proof of a call chain.
+
+use crate::report::PanicSite;
+use crate::symbols::{FileUnit, SymbolIndex};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Keywords and primitive heads that look like calls after blanking.
+const NON_CALL_WORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as", "fn",
+    "let", "move", "ref", "mut", "pub", "use", "impl", "struct", "enum", "trait", "type", "where",
+    "dyn", "box", "crate", "super", "static", "const", "extern", "mod", "unsafe", "async", "await",
+    "true", "false", "Some", "None", "Ok", "Err",
+];
+
+/// One function's call site as scanned from its body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name as written (last path segment).
+    pub name: String,
+    /// Byte offset of the callee identifier in the file's blanked text.
+    pub at: usize,
+    /// Byte offset just past the call's opening `(`.
+    pub args_at: usize,
+}
+
+/// The workspace call graph over [`SymbolIndex`] function nodes.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Per-function callee sets (indices into `SymbolIndex::fns`).
+    pub callees: Vec<BTreeSet<usize>>,
+    /// Per-function raw call sites (shared with the taint pass).
+    pub sites: Vec<Vec<CallSite>>,
+}
+
+/// Scans one blanked body slice for call-shaped identifiers.
+///
+/// `base` is the slice's byte offset into the whole file, so returned
+/// offsets address the file's blanked text directly.
+#[must_use]
+pub fn scan_calls(text: &str, base: usize) -> Vec<CallSite> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut prev_word: Option<(usize, usize)> = None;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if !(b.is_ascii_alphabetic() || b == b'_') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        let word = &text[start..i];
+        let mut j = i;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let is_call = bytes.get(j) == Some(&b'(')
+            && bytes.get(i) != Some(&b'!')
+            && !NON_CALL_WORDS.contains(&word)
+            && prev_word.is_none_or(|(s, e)| &text[s..e] != "fn");
+        if is_call {
+            out.push(CallSite {
+                name: word.to_owned(),
+                at: base + start,
+                args_at: base + j + 1,
+            });
+        }
+        prev_word = Some((start, i));
+    }
+    out
+}
+
+impl CallGraph {
+    /// Builds the graph by scanning every indexed function's body.
+    #[must_use]
+    pub fn build(units: &[FileUnit], index: &SymbolIndex) -> CallGraph {
+        let mut callees = Vec::with_capacity(index.fns.len());
+        let mut sites = Vec::with_capacity(index.fns.len());
+        for f in &index.fns {
+            let Some((start, end)) = f.body else {
+                callees.push(BTreeSet::new());
+                sites.push(Vec::new());
+                continue;
+            };
+            let text = &units[f.file].text.text;
+            let body = &text[start.min(text.len())..end.min(text.len())];
+            let found = scan_calls(body, start.min(text.len()));
+            let mut edges = BTreeSet::new();
+            for site in &found {
+                let candidates = index.named(&site.name);
+                if candidates.is_empty() {
+                    continue;
+                }
+                // `Type::name(` narrows to functions qualified `Type::name`
+                // when any exist; otherwise every same-named function links.
+                let qualified = path_qualifier(text, site.at).and_then(|q| {
+                    let qual = format!("{q}::{}", site.name);
+                    let narrowed: Vec<usize> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&c| index.fns[c].qual == qual)
+                        .collect();
+                    (!narrowed.is_empty()).then_some(narrowed)
+                });
+                match qualified {
+                    Some(narrowed) => edges.extend(narrowed),
+                    None => edges.extend(candidates.iter().copied()),
+                }
+            }
+            callees.push(edges);
+            sites.push(found);
+        }
+        CallGraph { callees, sites }
+    }
+
+    /// Every function reachable from `root` (inclusive) by following edges.
+    #[must_use]
+    pub fn reachable(&self, root: usize) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(f) = stack.pop() {
+            if !seen.insert(f) {
+                continue;
+            }
+            if let Some(edges) = self.callees.get(f) {
+                stack.extend(edges.iter().copied());
+            }
+        }
+        seen
+    }
+}
+
+/// The `Foo` of `Foo::name(` at `at` (the identifier's offset), if any.
+fn path_qualifier(text: &str, at: usize) -> Option<String> {
+    let head = &text[..at];
+    let rest = head.strip_suffix("::")?;
+    let bytes = rest.as_bytes();
+    let mut s = rest.len();
+    while s > 0 && (bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_') {
+        s -= 1;
+    }
+    (s < rest.len()).then(|| rest[s..].to_owned())
+}
+
+/// One panic-class allow directive's location, as collected by the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct AllowSite {
+    /// Index of the owning file in the unit slice.
+    pub file: usize,
+    /// The allowed rule (`no_panic` or `slice_index`).
+    pub rule: &'static str,
+    /// 1-based line the allow binds to.
+    pub line: usize,
+}
+
+/// Classifies every panic-class allow site against the hot-path roots:
+/// functions named `serve` or prefixed `run_plan`/`run_solve_plan` — the
+/// serving runtime and experiment-plan entry points whose crash is a run
+/// lost, not a bug report.
+#[must_use]
+pub fn panic_reachability(
+    units: &[FileUnit],
+    index: &SymbolIndex,
+    graph: &CallGraph,
+    sites: &[AllowSite],
+) -> Vec<PanicSite> {
+    let mut roots: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+    for (idx, f) in index.fns.iter().enumerate() {
+        if f.name == "serve" || f.name.starts_with("run_plan") || f.name == "run_solve_plan" {
+            roots
+                .entry(f.qual.clone())
+                .or_default()
+                .extend(graph.reachable(idx));
+        }
+    }
+    let mut out: Vec<PanicSite> = sites
+        .iter()
+        .map(|site| {
+            let enclosing = index.enclosing_fn_at_line(site.file, site.line);
+            let function = enclosing.map_or(String::new(), |f| index.fns[f].qual.clone());
+            let reachable_from = enclosing.map_or_else(Vec::new, |f| {
+                roots
+                    .iter()
+                    .filter(|(_, set)| set.contains(&f))
+                    .map(|(qual, _)| qual.clone())
+                    .collect()
+            });
+            PanicSite {
+                path: units[site.file].rel.clone(),
+                line: site.line,
+                rule: site.rule,
+                function,
+                reachable_from,
+            }
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::NO_PANIC;
+
+    fn unit(rel: &str, src: &str) -> FileUnit {
+        FileUnit::build(rel, crate::walk::classify(rel), src)
+    }
+
+    fn graph_of(units: &[FileUnit]) -> (SymbolIndex, CallGraph) {
+        let index = SymbolIndex::build(units);
+        let graph = CallGraph::build(units, &index);
+        (index, graph)
+    }
+
+    #[test]
+    fn calls_link_across_files_and_macros_do_not() {
+        let units = vec![
+            unit(
+                "crates/a/src/lib.rs",
+                "pub fn serve() {\n    helper();\n    println!(\"not a call\");\n}\n",
+            ),
+            unit("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ];
+        let (index, graph) = graph_of(&units);
+        let serve = index.named("serve")[0];
+        let helper = index.named("helper")[0];
+        assert!(graph.callees[serve].contains(&helper));
+        assert!(graph.reachable(serve).contains(&helper));
+    }
+
+    #[test]
+    fn nested_fn_definitions_are_not_call_sites() {
+        let units = vec![unit(
+            "crates/a/src/lib.rs",
+            "pub fn outer() {\n    fn inner(x: u64) {}\n}\npub fn inner(x: u64) {}\n",
+        )];
+        let (index, graph) = graph_of(&units);
+        let outer = index.named("outer")[0];
+        assert!(
+            graph.callees[outer].is_empty(),
+            "{:?}",
+            graph.callees[outer]
+        );
+    }
+
+    #[test]
+    fn path_qualified_calls_narrow_to_the_matching_impl() {
+        let units = vec![unit(
+            "crates/a/src/lib.rs",
+            "pub fn serve() {\n    Pool::grow();\n}\n\
+             pub struct Pool;\nimpl Pool {\n    pub fn grow() {}\n}\n\
+             pub struct Heap;\nimpl Heap {\n    pub fn grow() {}\n}\n",
+        )];
+        let (index, graph) = graph_of(&units);
+        let serve = index.named("serve")[0];
+        let quals: Vec<&str> = graph.callees[serve]
+            .iter()
+            .map(|&c| index.fns[c].qual.as_str())
+            .collect();
+        assert_eq!(quals, vec!["Pool::grow"]);
+    }
+
+    #[test]
+    fn unqualified_method_calls_fan_out_to_every_candidate() {
+        let units = vec![unit(
+            "crates/a/src/lib.rs",
+            "pub fn serve(p: Pool) {\n    p.grow();\n}\n\
+             pub struct Pool;\nimpl Pool {\n    pub fn grow() {}\n}\n\
+             pub struct Heap;\nimpl Heap {\n    pub fn grow() {}\n}\n",
+        )];
+        let (index, graph) = graph_of(&units);
+        let serve = index.named("serve")[0];
+        assert_eq!(graph.callees[serve].len(), 2, "over-approximate fan-out");
+    }
+
+    #[test]
+    fn allows_are_classified_hot_or_cold_per_root() {
+        let units = vec![unit(
+            "crates/a/src/lib.rs",
+            "pub fn serve() {\n    hot();\n}\n\
+             pub fn run_plan() {\n    hot();\n}\n\
+             fn hot() {\n    let v = x.unwrap();\n}\n\
+             fn cold() {\n    let v = y.unwrap();\n}\n",
+        )];
+        let (index, graph) = graph_of(&units);
+        let sites = vec![
+            AllowSite {
+                file: 0,
+                rule: NO_PANIC,
+                line: 8,
+            },
+            AllowSite {
+                file: 0,
+                rule: NO_PANIC,
+                line: 11,
+            },
+        ];
+        let classified = panic_reachability(&units, &index, &graph, &sites);
+        assert_eq!(classified[0].function, "hot");
+        assert_eq!(classified[0].reachable_from, vec!["run_plan", "serve"]);
+        assert_eq!(classified[1].function, "cold");
+        assert!(classified[1].reachable_from.is_empty());
+    }
+}

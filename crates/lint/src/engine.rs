@@ -1,9 +1,22 @@
-//! Orchestration: lex a file, run the rules, apply allow directives.
+//! Orchestration: lex and parse a file, run the rules, apply allow
+//! directives.
+//!
+//! Checking is a two-phase protocol so cross-file analyses can join in:
+//! [`analyze_source`] produces a per-file [`Analysis`] (lexed/parsed unit,
+//! bound directives, raw lexical findings); the caller may then run the
+//! workspace passes (seed provenance, schema registry) over all units and
+//! hand each file its share of cross-file findings; [`finalize`] merges
+//! both streams through the file's allow directives, so a
+//! `// dpm-lint: allow(seed_provenance, …)` suppresses a taint finding
+//! exactly like a lexical one — and an allow that suppresses neither is
+//! still flagged `unused_allow`.
 
+use crate::callgraph::CallGraph;
 use crate::directive::{self, Directive, ParseOutcome, Scope};
-use crate::lexer::LexedFile;
 use crate::report::Finding;
 use crate::rules::{self, INVALID_ALLOW, UNUSED_ALLOW};
+use crate::symbols::{self, FileUnit, SymbolIndex};
+use crate::taint;
 use crate::FileKind;
 use std::collections::BTreeMap;
 
@@ -19,27 +32,54 @@ pub struct FileOutcome {
     pub allows_by_rule: BTreeMap<&'static str, usize>,
 }
 
-/// Checks one file's source text against every applicable rule.
+/// One allow directive bound to its target line.
+#[derive(Debug, Clone)]
+pub struct DirectiveBinding {
+    /// The parsed directive.
+    pub directive: Directive,
+    /// The 1-based line it suppresses (0 for file scope).
+    pub target: usize,
+    /// Whether it suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Phase-one result for one file: everything the cross-file passes and
+/// [`finalize`] need.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The lexed and parsed file.
+    pub unit: FileUnit,
+    /// Every well-formed allow directive, bound to its target.
+    pub directives: Vec<DirectiveBinding>,
+    /// Directive-hygiene findings (malformed/unknown-rule) — never
+    /// suppressible.
+    pub hygiene: Vec<Finding>,
+    /// Raw single-file rule findings, not yet run through the directives.
+    pub raw: Vec<Finding>,
+}
+
+/// Phase one: lexes and parses one file, binds its directives, and runs
+/// the single-file lexical rules.
 #[must_use]
-pub fn check_source(rel_path: &str, kind: FileKind, source: &str) -> FileOutcome {
-    let lexed = LexedFile::lex(source);
-    let mut findings = Vec::new();
+pub fn analyze_source(rel_path: &str, kind: FileKind, source: &str) -> Analysis {
+    let unit = FileUnit::build(rel_path, kind, source);
+    let mut hygiene = Vec::new();
 
     // Directives live in *plain* line comments only: doc comments (`///`,
     // `//!`) are rendered documentation, where the grammar appears in
     // examples without being an annotation.
-    let mut directives: Vec<(Directive, usize, bool)> = Vec::new(); // (directive, target_line, used)
-    for comment in &lexed.comments {
+    let mut directives: Vec<DirectiveBinding> = Vec::new();
+    for comment in &unit.lexed.comments {
         if comment.text.starts_with('/') || comment.text.starts_with('!') {
             continue;
         }
-        if lexed.in_test(comment.line) {
+        if unit.lexed.in_test(comment.line) {
             continue;
         }
         match directive::parse(&comment.text, comment.line, comment.after_code) {
             ParseOutcome::NotADirective => {}
             ParseOutcome::Malformed(why) => {
-                findings.push(Finding::new(
+                hygiene.push(Finding::new(
                     INVALID_ALLOW,
                     rel_path,
                     comment.line,
@@ -49,7 +89,7 @@ pub fn check_source(rel_path: &str, kind: FileKind, source: &str) -> FileOutcome
             }
             ParseOutcome::Parsed(dir) => {
                 if !rules::is_allowable_rule(&dir.rule) {
-                    findings.push(Finding::new(
+                    hygiene.push(Finding::new(
                         INVALID_ALLOW,
                         rel_path,
                         comment.line,
@@ -63,23 +103,43 @@ pub fn check_source(rel_path: &str, kind: FileKind, source: &str) -> FileOutcome
                 } else if dir.after_code {
                     dir.comment_line
                 } else {
-                    lexed.next_code_line(dir.comment_line + 1).unwrap_or(0)
+                    unit.lexed.next_code_line(dir.comment_line + 1).unwrap_or(0)
                 };
-                directives.push((dir, target, false));
+                directives.push(DirectiveBinding {
+                    directive: dir,
+                    target,
+                    used: false,
+                });
             }
         }
     }
 
+    let raw = rules::raw_findings(&unit.lexed, kind, rel_path);
+    Analysis {
+        unit,
+        directives,
+        hygiene,
+        raw,
+    }
+}
+
+/// Phase two: merges the raw lexical findings with `cross` (this file's
+/// cross-file findings) through the allow directives.
+#[must_use]
+pub fn finalize(mut analysis: Analysis, cross: Vec<Finding>) -> FileOutcome {
+    let mut findings = analysis.hygiene;
     let mut allows_used = 0usize;
     let mut allows_by_rule: BTreeMap<&'static str, usize> = BTreeMap::new();
-    for finding in rules::raw_findings(&lexed, kind, rel_path) {
+    let mut candidates = analysis.raw;
+    candidates.extend(cross);
+    for finding in candidates {
         let mut suppressed = false;
-        for (dir, target, used) in &mut directives {
-            if dir.rule != finding.rule {
+        for binding in &mut analysis.directives {
+            if binding.directive.rule != finding.rule {
                 continue;
             }
-            if dir.scope == Scope::File || *target == finding.line {
-                *used = true;
+            if binding.directive.scope == Scope::File || binding.target == finding.line {
+                binding.used = true;
                 suppressed = true;
                 break;
             }
@@ -92,16 +152,16 @@ pub fn check_source(rel_path: &str, kind: FileKind, source: &str) -> FileOutcome
         }
     }
 
-    for (dir, _, used) in &directives {
-        if !used {
+    for binding in &analysis.directives {
+        if !binding.used {
             findings.push(Finding::new(
                 UNUSED_ALLOW,
-                rel_path,
-                dir.comment_line,
+                &analysis.unit.rel,
+                binding.directive.comment_line,
                 1,
                 &format!(
                     "allow({}) suppresses nothing here; remove it or fix its placement",
-                    dir.rule
+                    binding.directive.rule
                 ),
             ));
         }
@@ -113,6 +173,32 @@ pub fn check_source(rel_path: &str, kind: FileKind, source: &str) -> FileOutcome
         allows_used,
         allows_by_rule,
     }
+}
+
+/// This file's share of the cross-file findings, computed over a unit set
+/// that happens to contain only it. `docs` gates the schema-registry
+/// documentation-mention check.
+fn single_file_cross(unit: &FileUnit, docs: Option<&str>) -> Vec<Finding> {
+    let units = std::slice::from_ref(unit);
+    let index = SymbolIndex::build(units);
+    let graph = CallGraph::build(units, &index);
+    let mut cross: Vec<Finding> = taint::seed_provenance(units, &index, &graph)
+        .into_iter()
+        .map(|(_, f)| f)
+        .collect();
+    let (schema_findings, _) = symbols::schema_registry(units, docs);
+    cross.extend(schema_findings.into_iter().map(|(_, f)| f));
+    cross
+}
+
+/// Checks one file's source text against every applicable rule, including
+/// the cross-file rules evaluated over this file alone (the schema
+/// registry's documentation check is skipped — there is no workspace).
+#[must_use]
+pub fn check_source(rel_path: &str, kind: FileKind, source: &str) -> FileOutcome {
+    let analysis = analyze_source(rel_path, kind, source);
+    let cross = single_file_cross(&analysis.unit, None);
+    finalize(analysis, cross)
 }
 
 #[cfg(test)]

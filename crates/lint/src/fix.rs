@@ -1,0 +1,179 @@
+//! Mechanical removal of `unused_allow` directives.
+//!
+//! Backs the `dpm-lint --fix-unused-allows` flag: given the lines whose
+//! allow comments suppressed nothing (as reported by the engine), rewrite
+//! the source with those comments gone. A standalone directive line is
+//! deleted outright; a trailing directive is stripped back to the code
+//! that precedes it.
+//!
+//! The comment's start column is recovered from the lexer rather than
+//! re-tokenizing: the blanked line replaces comment text with spaces
+//! char-for-char, so the directive comment begins at the first `//` in the
+//! original line whose blanked counterpart is spaces from there to the end
+//! of the line. String literals containing `//` cannot fool this — their
+//! blanked form is also spaces, but the *comment* is always the last such
+//! run, and a `//` inside a string is never followed by an all-blank tail
+//! starting at the same column unless a real comment begins there.
+
+use crate::lexer::LexedFile;
+use std::collections::BTreeSet;
+
+/// The char index where the trailing line comment of `original` begins,
+/// validated against the blanked form (`blanked` must blank the comment to
+/// spaces). Returns `None` when no comment is found.
+fn comment_start(original: &str, blanked: &str) -> Option<usize> {
+    let orig: Vec<char> = original.chars().collect();
+    let blank: Vec<char> = blanked.chars().collect();
+    if orig.len() != blank.len() {
+        return None; // never happens for lexer output; refuse to guess
+    }
+    for i in 0..orig.len().saturating_sub(1) {
+        let is_comment_open =
+            orig[i] == '/' && orig[i + 1] == '/' && blank[i..].iter().all(|&c| c == ' ');
+        if is_comment_open {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Rewrites `source` with the line comments on the given 1-based `lines`
+/// removed. Lines whose comment cannot be located are left untouched.
+#[must_use]
+pub fn remove_directives(source: &str, lines: &BTreeSet<usize>) -> String {
+    let lexed = LexedFile::lex(source);
+    let mut out: Vec<String> = Vec::new();
+    for (idx, original) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        if !lines.contains(&line_no) {
+            out.push(original.to_owned());
+            continue;
+        }
+        let blanked = lexed
+            .lines
+            .get(idx)
+            .map_or_else(String::new, |l| l.code.clone());
+        match comment_start(original, &blanked) {
+            Some(at) => {
+                let prefix: String = original.chars().take(at).collect();
+                let prefix = prefix.trim_end();
+                if !prefix.is_empty() {
+                    out.push(prefix.to_owned());
+                }
+                // A bare directive line vanishes entirely.
+            }
+            None => out.push(original.to_owned()),
+        }
+    }
+    let mut text = out.join("\n");
+    if source.ends_with('\n') && !text.is_empty() {
+        text.push('\n');
+    }
+    text
+}
+
+/// One line of a dry-run diff for a single file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffLine {
+    /// A line removed outright (`- …`).
+    Removed(usize, String),
+    /// A line rewritten in place (`- old` / `+ new`).
+    Rewritten(usize, String, String),
+}
+
+/// The per-line dry-run diff between `source` and its rewrite.
+#[must_use]
+pub fn diff_lines(source: &str, lines: &BTreeSet<usize>) -> Vec<DiffLine> {
+    let lexed = LexedFile::lex(source);
+    let mut out = Vec::new();
+    for (idx, original) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        if !lines.contains(&line_no) {
+            continue;
+        }
+        let blanked = lexed
+            .lines
+            .get(idx)
+            .map_or_else(String::new, |l| l.code.clone());
+        if let Some(at) = comment_start(original, &blanked) {
+            let prefix: String = original.chars().take(at).collect();
+            let prefix = prefix.trim_end().to_owned();
+            if prefix.is_empty() {
+                out.push(DiffLine::Removed(line_no, original.to_owned()));
+            } else {
+                out.push(DiffLine::Rewritten(line_no, original.to_owned(), prefix));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::UNUSED_ALLOW;
+    use crate::FileKind;
+
+    /// The satellite's fixture: two unused allows (one standalone, one
+    /// trailing) around one genuinely used allow that must survive.
+    const FIXTURE: &str = include_str!("../tests/fixtures/unused_allows.rs");
+
+    fn unused_lines(source: &str) -> BTreeSet<usize> {
+        crate::check_source("crates/core/src/f.rs", FileKind::Library, source)
+            .findings
+            .iter()
+            .filter(|f| f.rule == UNUSED_ALLOW)
+            .map(|f| f.line)
+            .collect()
+    }
+
+    #[test]
+    fn fixture_rewrite_drops_only_the_unused_allows() {
+        let lines = unused_lines(FIXTURE);
+        assert_eq!(lines.len(), 2, "fixture plants exactly two unused allows");
+        let fixed = remove_directives(FIXTURE, &lines);
+        assert!(!fixed.contains("nothing on this line panics"));
+        assert!(!fixed.contains("stale trailing allow"));
+        assert!(
+            fixed.contains("allow(nondeterminism"),
+            "the used allow must survive:\n{fixed}"
+        );
+        // The rewrite converges: re-checking reports no unused allows.
+        assert!(unused_lines(&fixed).is_empty(), "{fixed}");
+    }
+
+    #[test]
+    fn trailing_directives_keep_their_code() {
+        let src = "let x = 1; // dpm-lint: allow(no_panic, reason = \"stale\")\n";
+        let fixed = remove_directives(src, &BTreeSet::from([1]));
+        assert_eq!(fixed, "let x = 1;\n");
+    }
+
+    #[test]
+    fn standalone_directive_lines_vanish() {
+        let src = "fn f() {}\n// dpm-lint: allow(no_panic, reason = \"stale\")\nfn g() {}\n";
+        let fixed = remove_directives(src, &BTreeSet::from([2]));
+        assert_eq!(fixed, "fn f() {}\nfn g() {}\n");
+    }
+
+    #[test]
+    fn string_literals_containing_slashes_do_not_truncate_code() {
+        let src = "let url = \"http://x\"; // dpm-lint: allow(no_panic, reason = \"stale\")\n";
+        let fixed = remove_directives(src, &BTreeSet::from([1]));
+        assert_eq!(fixed, "let url = \"http://x\";\n");
+    }
+
+    #[test]
+    fn diff_reports_removals_and_rewrites() {
+        let src = "// dpm-lint: allow(no_panic, reason = \"stale\")\nlet x = 1; // dpm-lint: allow(float_eq, reason = \"stale\")\n";
+        let diff = diff_lines(src, &BTreeSet::from([1, 2]));
+        assert!(matches!(&diff[0], DiffLine::Removed(1, _)));
+        assert!(matches!(&diff[1], DiffLine::Rewritten(2, _, new) if new == "let x = 1;"));
+    }
+
+    #[test]
+    fn untargeted_lines_pass_through_byte_identical() {
+        let src = "fn f() {}\n// a plain comment\n";
+        assert_eq!(remove_directives(src, &BTreeSet::new()), src);
+    }
+}

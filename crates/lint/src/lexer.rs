@@ -22,6 +22,20 @@ pub struct Comment {
     pub after_code: bool,
 }
 
+/// One string literal found in the source (plain, raw or byte form).
+///
+/// The blanked view erases literal contents so rules cannot fire on prose;
+/// analyses that legitimately care about literal *values* — the schema-id
+/// registry — read them from here instead, with test spans still exempt
+/// via [`LexedFile::in_test`] on [`StrLit::line`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// 1-based line the literal starts on.
+    pub line: usize,
+    /// The literal's contents as written (escapes not processed).
+    pub text: String,
+}
+
 /// One line of lexed source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Line {
@@ -38,6 +52,8 @@ pub struct LexedFile {
     pub lines: Vec<Line>,
     /// Every line comment, in source order.
     pub comments: Vec<Comment>,
+    /// Every string literal, in source order.
+    pub strings: Vec<StrLit>,
 }
 
 impl LexedFile {
@@ -47,6 +63,7 @@ impl LexedFile {
         let chars: Vec<char> = source.chars().collect();
         let mut blanked = String::with_capacity(source.len());
         let mut comments = Vec::new();
+        let mut strings = Vec::new();
         let mut line = 1usize;
         let mut after_code = false;
         let mut i = 0usize;
@@ -104,10 +121,24 @@ impl LexedFile {
                     }
                 }
                 '"' => {
-                    i = blank_quoted_string(&chars, i, &mut blanked, &mut line, &mut after_code);
+                    i = blank_quoted_string(
+                        &chars,
+                        i,
+                        &mut blanked,
+                        &mut line,
+                        &mut after_code,
+                        &mut strings,
+                    );
                 }
                 'r' | 'b' if is_literal_prefix(&chars, i) && !ident_char_before(&chars, i) => {
-                    i = blank_prefixed_literal(&chars, i, &mut blanked, &mut line, &mut after_code);
+                    i = blank_prefixed_literal(
+                        &chars,
+                        i,
+                        &mut blanked,
+                        &mut line,
+                        &mut after_code,
+                        &mut strings,
+                    );
                 }
                 '\'' => {
                     i = blank_char_or_lifetime(&chars, i, &mut blanked, &mut after_code);
@@ -130,7 +161,11 @@ impl LexedFile {
             })
             .collect();
         mark_test_spans(&mut lines);
-        LexedFile { lines, comments }
+        LexedFile {
+            lines,
+            comments,
+            strings,
+        }
     }
 
     /// The blanked code of 1-based line `line`, if it exists.
@@ -185,15 +220,18 @@ fn ident_char_before(chars: &[char], at: usize) -> bool {
 }
 
 /// Blanks a `"…"` string starting at `chars[at]`; returns the index after
-/// the closing quote.
+/// the closing quote. The literal's raw contents are recorded in `strings`.
 fn blank_quoted_string(
     chars: &[char],
     at: usize,
     blanked: &mut String,
     line: &mut usize,
     after_code: &mut bool,
+    strings: &mut Vec<StrLit>,
 ) -> usize {
     *after_code = true;
+    let start_line = *line;
+    let mut text = String::new();
     blanked.push(' ');
     let mut i = at + 1;
     while i < chars.len() {
@@ -202,41 +240,56 @@ fn blank_quoted_string(
                 // Escape: two chars, except `\` + newline (line continuation)
                 // where the newline must survive for line counting.
                 blanked.push(' ');
+                text.push(chars[i]);
                 i += 1;
                 if chars.get(i) == Some(&'\n') {
                     blanked.push('\n');
+                    text.push('\n');
                     *line += 1;
                 } else if i < chars.len() {
                     blanked.push(' ');
+                    text.push(chars[i]);
                 }
                 i += 1;
             }
             '"' => {
                 blanked.push(' ');
+                strings.push(StrLit {
+                    line: start_line,
+                    text,
+                });
                 return i + 1;
             }
             '\n' => {
                 blanked.push('\n');
+                text.push('\n');
                 *line += 1;
                 i += 1;
             }
-            _ => {
+            c => {
                 blanked.push(' ');
+                text.push(c);
                 i += 1;
             }
         }
     }
+    strings.push(StrLit {
+        line: start_line,
+        text,
+    });
     i
 }
 
 /// Blanks a raw/byte string (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`) or byte
-/// char (`b'x'`) starting at `chars[at]`; returns the index after it.
+/// char (`b'x'`) starting at `chars[at]`; returns the index after it. Raw
+/// and byte-string contents are recorded in `strings`.
 fn blank_prefixed_literal(
     chars: &[char],
     at: usize,
     blanked: &mut String,
     line: &mut usize,
     after_code: &mut bool,
+    strings: &mut Vec<StrLit>,
 ) -> usize {
     *after_code = true;
     let mut i = at;
@@ -274,25 +327,37 @@ fn blank_prefixed_literal(
         // Raw string: no escapes; closes on `"` followed by `hashes` hashes.
         blanked.push(' ');
         i += 1; // opening quote
+        let start_line = *line;
+        let mut text = String::new();
         while i < chars.len() {
             if chars[i] == '"' && closes_raw(chars, i, hashes) {
                 for _ in 0..=hashes {
                     blanked.push(' ');
                 }
+                strings.push(StrLit {
+                    line: start_line,
+                    text,
+                });
                 return i + 1 + hashes;
             }
             if chars[i] == '\n' {
                 blanked.push('\n');
+                text.push('\n');
                 *line += 1;
             } else {
                 blanked.push(' ');
+                text.push(chars[i]);
             }
             i += 1;
         }
+        strings.push(StrLit {
+            line: start_line,
+            text,
+        });
         return i;
     }
     // Plain b"…" byte string.
-    blank_quoted_string(chars, i, blanked, line, after_code)
+    blank_quoted_string(chars, i, blanked, line, after_code, strings)
 }
 
 /// Whether the `"` at `chars[at]` is followed by `hashes` `#` characters.
@@ -503,5 +568,66 @@ mod tests {
         let lexed = LexedFile::lex("// comment\n\nlet x = 1;\n");
         assert_eq!(lexed.next_code_line(1), Some(3));
         assert_eq!(lexed.next_code_line(4), None);
+    }
+
+    #[test]
+    fn string_contents_are_captured_with_lines() {
+        let src = "let a = \"dpm-x/v1\";\nlet b = r#\"raw \"body\"\"#;\nlet c = \"two\\nlines\";\n";
+        let lexed = LexedFile::lex(src);
+        let texts: Vec<(usize, &str)> = lexed
+            .strings
+            .iter()
+            .map(|s| (s.line, s.text.as_str()))
+            .collect();
+        assert_eq!(
+            texts,
+            vec![(1, "dpm-x/v1"), (2, "raw \"body\""), (3, "two\\nlines"),]
+        );
+    }
+
+    #[test]
+    fn raw_strings_inside_macro_invocations_blank_cleanly() {
+        // The macro bang and parens survive as code; the raw body (any hash
+        // depth) is blanked without derailing what follows.
+        let src = "writeln!(out, r#\"Instant \"{}\" SystemTime\"#, x)?;\nafter();\n";
+        let lexed = LexedFile::lex(src);
+        let code = lexed.code(1).unwrap();
+        assert!(
+            code.starts_with("writeln!(out, "),
+            "macro head lost: {code}"
+        );
+        assert!(!code.contains("Instant"), "raw body leaked: {code}");
+        assert!(code.contains(", x)?;"), "tail after literal lost: {code}");
+        assert_eq!(lexed.code(2), Some("after();"));
+        assert_eq!(lexed.strings.len(), 1);
+        assert_eq!(lexed.strings[0].text, "Instant \"{}\" SystemTime");
+    }
+
+    #[test]
+    fn nested_block_comment_terminating_at_eof_keeps_shape() {
+        // The inner comment never closes: everything to EOF is comment, and
+        // line/char accounting must survive the truncation.
+        let src = "keep();\n/* outer /* inner Instant\nstill comment";
+        let lexed = LexedFile::lex(src);
+        assert_eq!(lexed.lines.len(), 3);
+        assert_eq!(lexed.code(1), Some("keep();"));
+        for line in 2..=3 {
+            let code = lexed.code(line).unwrap();
+            assert!(
+                code.trim().is_empty(),
+                "line {line} should be blanked: {code:?}"
+            );
+            let original = src.split('\n').nth(line - 1).unwrap();
+            assert_eq!(code.chars().count(), original.chars().count());
+        }
+    }
+
+    #[test]
+    fn cfg_test_on_an_out_of_line_mod_ends_at_the_semicolon() {
+        let src = "#[cfg(test)]\nmod prop_harness;\nfn real() { maybe.unwrap(); }\n";
+        let lexed = LexedFile::lex(src);
+        assert!(lexed.in_test(1));
+        assert!(lexed.in_test(2));
+        assert!(!lexed.in_test(3), "span leaked past the `mod x;` item");
     }
 }

@@ -16,6 +16,22 @@
 //! * [`rules::FLOAT_EQ`] — `==`/`!=` against floating-point literals;
 //! * [`rules::SWALLOWED_ERROR`] — `let _ =` silently dropping a value.
 //!
+//! On top of the lexical rules, a lightweight item parser ([`parse`])
+//! feeds a workspace [symbol index](symbols) and an approximate
+//! [call graph](callgraph), enabling three cross-file analyses:
+//!
+//! * [`rules::SEED_PROVENANCE`] ([`taint`]) — every RNG sink in library
+//!   code must trace back, through `let` bindings and function
+//!   parameters, to a tagged `derive_*` domain in
+//!   `crates/harness/src/seed.rs`; literal and arithmetic seeds flag;
+//! * [`rules::SCHEMA_REGISTRY`] ([`symbols::schema_registry`]) — every
+//!   `dpm-*/vN` artifact schema id must be a single const definition,
+//!   version-monotone, and documented;
+//! * panic reachability ([`callgraph::panic_reachability`]) — each
+//!   panic-class allow is classified hot or cold by whether its function
+//!   is reachable from the `serve`/`run_plan*` roots, and reported per
+//!   root in the JSON `panic_reachability` block.
+//!
 //! Deliberate exceptions carry an inline annotation with a mandatory
 //! reason (see [`directive`]); a missing or hollow reason is itself a
 //! finding, as is an annotation that suppresses nothing. Matching runs on
@@ -25,24 +41,33 @@
 //!
 //! The `dpm-lint` binary walks every workspace crate (excluding `vendor/`,
 //! `target/`, tests, benches and examples), prints human-readable
-//! findings, optionally emits a canonical-JSON report, and exits nonzero
-//! under `--deny` — the CI gate (`scripts/ci.sh`).
+//! findings, optionally emits a canonical-JSON report (`dpm-lint/v2`),
+//! rewrites stale directives under `--fix-unused-allows`, and exits
+//! nonzero under `--deny` — the CI gate (`scripts/ci.sh`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod directive;
 pub mod engine;
 pub mod error;
+pub mod fix;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 pub mod walk;
 
 pub use engine::check_source;
 pub use error::LintError;
 pub use report::{Finding, Report};
 
+use crate::callgraph::{AllowSite, CallGraph};
+use crate::engine::Analysis;
+use crate::symbols::{FileUnit, SymbolIndex};
 use std::path::Path;
 
 /// How a file participates in the rule set.
@@ -55,61 +80,115 @@ pub enum FileKind {
     Bin,
 }
 
-/// Checks every governed file under `root` and aggregates a [`Report`].
+/// Runs the cross-file passes over a set of per-file analyses and
+/// aggregates the final [`Report`].
+///
+/// `docs` is the concatenated workspace documentation (DESIGN.md +
+/// EXPERIMENTS.md); `None` skips the schema-registry mention check.
+fn check_units(analyses: Vec<Analysis>, docs: Option<&str>) -> Report {
+    let units: Vec<FileUnit> = analyses.iter().map(|a| a.unit.clone()).collect();
+    let index = SymbolIndex::build(&units);
+    let graph = CallGraph::build(&units, &index);
+
+    let mut cross_per_file: Vec<Vec<Finding>> = vec![Vec::new(); units.len()];
+    for (file, finding) in taint::seed_provenance(&units, &index, &graph) {
+        cross_per_file[file].push(finding);
+    }
+    let (schema_findings, schema_registry) = symbols::schema_registry(&units, docs);
+    for (file, finding) in schema_findings {
+        cross_per_file[file].push(finding);
+    }
+
+    // Every panic-class allow site gets a reachability classification,
+    // whether or not it ended up used — the report answers "which of our
+    // audited panics sit on a hot path", not "which allows are stale".
+    let mut sites = Vec::new();
+    for (file, analysis) in analyses.iter().enumerate() {
+        for binding in &analysis.directives {
+            let rule = if binding.directive.rule == rules::NO_PANIC {
+                rules::NO_PANIC
+            } else if binding.directive.rule == rules::SLICE_INDEX {
+                rules::SLICE_INDEX
+            } else {
+                continue;
+            };
+            sites.push(AllowSite {
+                file,
+                rule,
+                line: binding.target,
+            });
+        }
+    }
+    let panic_reachability = callgraph::panic_reachability(&units, &index, &graph, &sites);
+
+    let mut findings = Vec::new();
+    let mut allows_used = 0usize;
+    let mut allows_by_rule = std::collections::BTreeMap::new();
+    let files_scanned = units.len();
+    for (analysis, cross) in analyses.into_iter().zip(cross_per_file) {
+        let outcome = engine::finalize(analysis, cross);
+        findings.extend(outcome.findings);
+        allows_used += outcome.allows_used;
+        for (rule, n) in outcome.allows_by_rule {
+            *allows_by_rule.entry(rule).or_insert(0) += n;
+        }
+    }
+    findings.sort();
+    Report {
+        findings,
+        files_scanned,
+        allows_used,
+        allows_by_rule,
+        schema_registry,
+        panic_reachability,
+    }
+}
+
+/// Reads the workspace docs the schema registry checks mentions against.
+fn workspace_docs(root: &Path) -> Option<String> {
+    let mut docs = String::new();
+    for name in ["DESIGN.md", "EXPERIMENTS.md"] {
+        if let Ok(text) = std::fs::read_to_string(root.join(name)) {
+            docs.push_str(&text);
+            docs.push('\n');
+        }
+    }
+    (!docs.is_empty()).then_some(docs)
+}
+
+/// Checks every governed file under `root` and aggregates a [`Report`],
+/// running the cross-file analyses (seed provenance, panic reachability,
+/// schema registry) over the whole set.
 ///
 /// # Errors
 ///
 /// Returns [`LintError::Io`] if the tree cannot be walked or a file read.
 pub fn check_workspace(root: &Path) -> Result<Report, LintError> {
     let files = walk::workspace_files(root)?;
-    let mut findings = Vec::new();
-    let mut allows_used = 0usize;
-    let mut allows_by_rule = std::collections::BTreeMap::new();
-    let files_scanned = files.len();
+    let mut analyses = Vec::with_capacity(files.len());
     for file in files {
         let source =
             std::fs::read_to_string(&file.path).map_err(|e| LintError::io(&file.path, &e))?;
-        let outcome = engine::check_source(&file.rel, file.kind, &source);
-        findings.extend(outcome.findings);
-        allows_used += outcome.allows_used;
-        for (rule, n) in outcome.allows_by_rule {
-            *allows_by_rule.entry(rule).or_insert(0) += n;
-        }
+        analyses.push(engine::analyze_source(&file.rel, file.kind, &source));
     }
-    findings.sort();
-    Ok(Report {
-        findings,
-        files_scanned,
-        allows_used,
-        allows_by_rule,
-    })
+    let docs = workspace_docs(root);
+    Ok(check_units(analyses, docs.as_deref()))
 }
 
 /// Checks an explicit list of files (used by the CI planted-violation
-/// smoke and ad-hoc runs). Paths are reported as given.
+/// smoke and ad-hoc runs). Paths are reported as given. The cross-file
+/// analyses run over exactly the given set; the schema-registry
+/// documentation check is skipped (no workspace root is known).
 ///
 /// # Errors
 ///
 /// Returns [`LintError::Io`] if a file cannot be read.
 pub fn check_files(paths: &[String]) -> Result<Report, LintError> {
-    let mut findings = Vec::new();
-    let mut allows_used = 0usize;
-    let mut allows_by_rule = std::collections::BTreeMap::new();
+    let mut analyses = Vec::with_capacity(paths.len());
     for rel in paths {
         let path = Path::new(rel);
         let source = std::fs::read_to_string(path).map_err(|e| LintError::io(path, &e))?;
-        let outcome = engine::check_source(rel, walk::classify(rel), &source);
-        findings.extend(outcome.findings);
-        allows_used += outcome.allows_used;
-        for (rule, n) in outcome.allows_by_rule {
-            *allows_by_rule.entry(rule).or_insert(0) += n;
-        }
+        analyses.push(engine::analyze_source(rel, walk::classify(rel), &source));
     }
-    findings.sort();
-    Ok(Report {
-        findings,
-        files_scanned: paths.len(),
-        allows_used,
-        allows_by_rule,
-    })
+    Ok(check_units(analyses, None))
 }

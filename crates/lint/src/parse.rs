@@ -1,0 +1,621 @@
+//! An item-level parser over blanked source.
+//!
+//! The cross-file analyses (seed provenance, panic reachability, the schema
+//! registry) need to know *which function* a line belongs to, what its
+//! parameters are called, and where its body starts and ends. A full Rust
+//! parser is out of scope for a dependency-free linter; instead this module
+//! runs a single linear scan over the [`crate::lexer`]'s blanked text —
+//! strings and comments already erased, so brace counting is reliable — and
+//! recovers the item skeleton:
+//!
+//! * `fn` items (free functions, impl/trait methods) with their name,
+//!   impl-qualified name, parameter names and body byte/line span;
+//! * `const`/`static` items with their declaration span;
+//! * `use` declarations (module edges for the symbol index);
+//! * `mod` declarations (inline and out-of-line).
+//!
+//! Known approximations (documented in `DESIGN.md`): closures are not
+//! items, macro-generated items are invisible, pattern parameters (tuples,
+//! `_`) contribute no names, and an `impl` header's self type is taken as
+//! the last path segment before the opening brace. Every consumer treats
+//! the output as *approximate* — the analyses built on it over-approximate
+//! reachability and under-approximate aliasing rather than guessing.
+
+use crate::lexer::LexedFile;
+
+/// Blanked source re-joined into one string with line-offset bookkeeping.
+#[derive(Debug, Clone)]
+pub struct BlankedText {
+    /// The blanked source, lines joined with `\n`.
+    pub text: String,
+    /// Byte offset of the start of each (1-based) line.
+    line_starts: Vec<usize>,
+}
+
+impl BlankedText {
+    /// Joins a lexed file's blanked lines back into one scanning buffer.
+    #[must_use]
+    pub fn new(lexed: &LexedFile) -> BlankedText {
+        let mut text = String::new();
+        let mut line_starts = Vec::with_capacity(lexed.lines.len());
+        for (i, line) in lexed.lines.iter().enumerate() {
+            if i > 0 {
+                text.push('\n');
+            }
+            line_starts.push(text.len());
+            text.push_str(&line.code);
+        }
+        BlankedText { text, line_starts }
+    }
+
+    /// The 1-based line containing byte `offset`.
+    #[must_use]
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx.max(1),
+        }
+    }
+}
+
+/// What kind of item a [`Item`] records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function or method.
+    Fn(FnItem),
+    /// A `const` or `static` with its declaration span.
+    Const {
+        /// The item's name.
+        name: String,
+        /// 1-based line of the terminating `;`.
+        end_line: usize,
+    },
+    /// A `use` declaration (the path text up to the `;`).
+    Use {
+        /// The imported path as written (whitespace collapsed).
+        path: String,
+    },
+    /// A `mod` declaration.
+    Mod {
+        /// The module's name.
+        name: String,
+        /// Whether the body is elsewhere (`mod x;`).
+        out_of_line: bool,
+    },
+}
+
+/// A function item's identity and shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The bare function name.
+    pub name: String,
+    /// `Type::name` for impl/trait methods, else the bare name.
+    pub qual: String,
+    /// Parameter names in declaration order (`self` and pattern
+    /// parameters are skipped).
+    pub params: Vec<String>,
+    /// Byte range of the body between (and excluding) its braces, into
+    /// [`BlankedText::text`]; `None` for bodyless trait-method signatures.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// The item's kind and payload.
+    pub kind: ItemKind,
+    /// 1-based line of the item keyword.
+    pub line: usize,
+}
+
+impl Item {
+    /// The function payload, if this item is a `fn`.
+    #[must_use]
+    pub fn as_fn(&self) -> Option<&FnItem> {
+        match &self.kind {
+            ItemKind::Fn(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Reads the identifier starting at `at`, if any.
+fn ident_at(bytes: &[u8], at: usize) -> Option<&str> {
+    let mut end = at;
+    while end < bytes.len() && is_ident_byte(bytes[end]) {
+        end += 1;
+    }
+    if end == at {
+        return None;
+    }
+    std::str::from_utf8(&bytes[at..end]).ok()
+}
+
+/// Skips whitespace (including newlines) from `at`.
+fn skip_ws(bytes: &[u8], mut at: usize) -> usize {
+    while at < bytes.len() && bytes[at].is_ascii_whitespace() {
+        at += 1;
+    }
+    at
+}
+
+/// Advances past a balanced `(…)` group starting at the opening paren,
+/// returning the index after the closing paren (or EOF).
+fn skip_parens(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Advances past a balanced `<…>` generics group starting at the opening
+/// angle. `->` never appears inside a generics list, so plain counting is
+/// sound there.
+fn skip_generics(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Splits a parameter list on top-level commas (parens, brackets and
+/// angles nest; the `>` of `->` does not close an angle).
+fn split_params(params: &str) -> Vec<&str> {
+    let bytes = params.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'<' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'>' if i == 0 || bytes[i - 1] != b'-' => depth -= 1,
+            b',' if depth == 0 => {
+                out.push(&params[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < params.len() {
+        out.push(&params[start..]);
+    }
+    out
+}
+
+/// Extracts the bindable name from one parameter declaration, if the
+/// pattern is a simple (possibly `mut`/`ref`) identifier.
+fn param_name(decl: &str) -> Option<String> {
+    let pattern = decl.split(':').next().unwrap_or("").trim();
+    let pattern = pattern
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim_start_matches("ref ")
+        .trim();
+    if pattern.is_empty() || pattern == "self" || pattern.starts_with('_') {
+        return None;
+    }
+    if pattern.bytes().all(is_ident_byte)
+        && !pattern.bytes().next().is_some_and(|b| b.is_ascii_digit())
+    {
+        Some(pattern.to_owned())
+    } else {
+        None
+    }
+}
+
+/// Extracts the self-type name from an `impl` header (the text between
+/// `impl` and its `{`): the last path segment of the type after `for` when
+/// present, else of the first type after the generics.
+fn impl_self_type(header: &str) -> Option<String> {
+    let header = header.trim();
+    // Drop a leading generics list: `impl<'a, T: Trait> …`.
+    let rest = if header.starts_with('<') {
+        let bytes = header.as_bytes();
+        &header[skip_generics(bytes, 0)..]
+    } else {
+        header
+    };
+    let rest = rest.trim();
+    let type_text = match rest.find(" for ") {
+        Some(at) => &rest[at + 5..],
+        None => rest,
+    };
+    let type_text = type_text.split(" where").next().unwrap_or(type_text).trim();
+    // Last path segment before any generics of the type itself.
+    let head = type_text.split('<').next().unwrap_or(type_text).trim();
+    let last = head.rsplit("::").next().unwrap_or(head).trim();
+    let name: String = last
+        .bytes()
+        .take_while(|&b| is_ident_byte(b))
+        .map(char::from)
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Keywords that precede `(`-groups or idents without being items.
+const NON_ITEM_WORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "let", "move", "ref", "mut", "where", "unsafe", "async", "dyn",
+];
+
+/// Parses every item in a blanked file.
+///
+/// Items whose keyword line sits inside a `#[cfg(test)]` span are skipped —
+/// the analyses govern shipping code only.
+#[must_use]
+pub fn items(lexed: &LexedFile, text: &BlankedText) -> Vec<Item> {
+    let bytes = text.text.as_bytes();
+    let mut out = Vec::new();
+    // Impl contexts: (brace_depth_at_body_open, type_name).
+    let mut impl_stack: Vec<(usize, String)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'{' {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if b == b'}' {
+            depth = depth.saturating_sub(1);
+            while impl_stack.last().is_some_and(|(d, _)| *d > depth) {
+                impl_stack.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if !is_ident_byte(b) {
+            i += 1;
+            continue;
+        }
+        let Some(word) = ident_at(bytes, i) else {
+            i += 1;
+            continue;
+        };
+        let word_start = i;
+        i += word.len();
+        if word_start > 0 && is_ident_byte(bytes[word_start - 1]) {
+            continue; // mid-identifier; not a keyword
+        }
+        let line = text.line_of(word_start);
+        match word {
+            "impl" => {
+                // Header runs to the opening brace (or a stray `;` for
+                // bodyless negative impls, which we skip).
+                let mut j = i;
+                while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'{' {
+                    if let Some(name) = impl_self_type(&text.text[i..j]) {
+                        impl_stack.push((depth + 1, name));
+                    }
+                }
+                // Do not consume the brace here; the main loop counts it.
+                i = j;
+            }
+            "fn" => {
+                let in_test = lexed.in_test(line);
+                let name_at = skip_ws(bytes, i);
+                let Some(name) = ident_at(bytes, name_at) else {
+                    continue;
+                };
+                let mut j = name_at + name.len();
+                j = skip_ws(bytes, j);
+                if bytes.get(j) == Some(&b'<') {
+                    j = skip_generics(bytes, j);
+                    j = skip_ws(bytes, j);
+                }
+                if bytes.get(j) != Some(&b'(') {
+                    continue; // not a declaration shape we understand
+                }
+                let params_open = j;
+                let params_close = skip_parens(bytes, params_open);
+                let params_text = &text.text[params_open + 1..params_close.saturating_sub(1)];
+                let params: Vec<String> = split_params(params_text)
+                    .iter()
+                    .filter_map(|p| param_name(p))
+                    .collect();
+                // After the signature: body `{…}` or a trait-decl `;`.
+                let mut k = params_close;
+                let mut body = None;
+                while k < bytes.len() {
+                    match bytes[k] {
+                        b'{' => {
+                            let close = skip_body(bytes, k);
+                            body = Some((k + 1, close.saturating_sub(1)));
+                            break;
+                        }
+                        b';' => break,
+                        _ => k += 1,
+                    }
+                }
+                if !in_test {
+                    let qual = match impl_stack.last() {
+                        Some((_, ty)) => format!("{ty}::{name}"),
+                        None => name.to_owned(),
+                    };
+                    out.push(Item {
+                        kind: ItemKind::Fn(FnItem {
+                            name: name.to_owned(),
+                            qual,
+                            params,
+                            body,
+                        }),
+                        line,
+                    });
+                }
+                // Resume after the signature; the main loop re-scans the
+                // body so nested items are found and braces counted.
+                i = params_close;
+            }
+            "const" | "static" => {
+                // `&'static str` and `*const u8` reuse the keywords inside
+                // types; neither declares an item.
+                if word_start > 0
+                    && (bytes[word_start - 1] == b'\'' || bytes[word_start - 1] == b'*')
+                {
+                    continue;
+                }
+                let mut name_at = skip_ws(bytes, i);
+                if let Some("mut") = ident_at(bytes, name_at) {
+                    name_at = skip_ws(bytes, name_at + 3);
+                }
+                let Some(name) = ident_at(bytes, name_at) else {
+                    continue; // `const` in `const fn` / const generics
+                };
+                if name == "fn" {
+                    continue;
+                }
+                // The declaration ends at the first `;` at this brace depth.
+                let mut j = name_at + name.len();
+                let mut inner = 0usize;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'{' | b'(' | b'[' => inner += 1,
+                        b'}' | b')' | b']' => inner = inner.saturating_sub(1),
+                        b';' if inner == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if !lexed.in_test(line) {
+                    out.push(Item {
+                        kind: ItemKind::Const {
+                            name: name.to_owned(),
+                            end_line: text.line_of(j.min(bytes.len().saturating_sub(1))),
+                        },
+                        line,
+                    });
+                }
+                i = j;
+            }
+            "use" => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j] != b';' {
+                    j += 1;
+                }
+                if !lexed.in_test(line) {
+                    let path: String = text.text[i..j]
+                        .split_whitespace()
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    out.push(Item {
+                        kind: ItemKind::Use { path },
+                        line,
+                    });
+                }
+                i = j;
+            }
+            "mod" => {
+                let name_at = skip_ws(bytes, i);
+                let Some(name) = ident_at(bytes, name_at) else {
+                    continue;
+                };
+                let mut j = name_at + name.len();
+                j = skip_ws(bytes, j);
+                let out_of_line = bytes.get(j) == Some(&b';');
+                if !lexed.in_test(line) {
+                    out.push(Item {
+                        kind: ItemKind::Mod {
+                            name: name.to_owned(),
+                            out_of_line,
+                        },
+                        line,
+                    });
+                }
+                i = name_at + name.len();
+            }
+            w if NON_ITEM_WORDS.contains(&w) => {}
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Advances past a balanced `{…}` body starting at the opening brace,
+/// returning the index after the closing brace (or EOF).
+fn skip_body(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> (Vec<Item>, BlankedText) {
+        let lexed = LexedFile::lex(src);
+        let text = BlankedText::new(&lexed);
+        (items(&lexed, &text), text)
+    }
+
+    fn fns(items: &[Item]) -> Vec<&FnItem> {
+        items.iter().filter_map(Item::as_fn).collect()
+    }
+
+    #[test]
+    fn free_functions_carry_names_params_and_bodies() {
+        let src = "pub fn derive(root: u64, point: u64) -> u64 {\n    root\n}\n";
+        let (items, text) = parse(src);
+        let f = fns(&items)[0];
+        assert_eq!(f.name, "derive");
+        assert_eq!(f.qual, "derive");
+        assert_eq!(f.params, vec!["root", "point"]);
+        let (start, end) = f.body.expect("has body");
+        assert!(text.text[start..end].contains("root"));
+        assert_eq!(items[0].line, 1);
+    }
+
+    #[test]
+    fn impl_methods_are_qualified_by_their_self_type() {
+        let src = "struct Plan;\nimpl Plan {\n    fn seed(&self, i: u64) -> u64 { i }\n}\nimpl Iterator for Plan {\n    fn next(&mut self) -> Option<u64> { None }\n}\n";
+        let (items, _) = parse(src);
+        let quals: Vec<&str> = fns(&items).iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["Plan::seed", "Plan::next"]);
+        assert_eq!(fns(&items)[0].params, vec!["i"]);
+    }
+
+    #[test]
+    fn generic_impls_and_where_clauses_resolve_the_self_type() {
+        let src =
+            "impl<'a, T: Clone> Runner<'a, T>\nwhere\n    T: Send,\n{\n    fn run(&self) {}\n}\n";
+        let (items, _) = parse(src);
+        assert_eq!(fns(&items)[0].qual, "Runner::run");
+    }
+
+    #[test]
+    fn nested_functions_and_impl_scope_exit() {
+        let src = "impl Outer {\n    fn a(&self) {\n        fn helper(x: u64) -> u64 { x }\n    }\n}\nfn free() {}\n";
+        let (items, _) = parse(src);
+        let quals: Vec<&str> = fns(&items).iter().map(|f| f.qual.as_str()).collect();
+        // `helper` is inside `a`'s body but still lexically inside the impl
+        // braces; `free` must NOT inherit the impl qualification.
+        assert_eq!(quals, vec!["Outer::a", "Outer::helper", "free"]);
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "trait Controller {\n    fn decide(&mut self, jobs: usize) -> usize;\n    fn named(&self) -> bool { true }\n}\n";
+        let (items, _) = parse(src);
+        let f = fns(&items);
+        assert_eq!(f[0].name, "decide");
+        assert!(f[0].body.is_none());
+        assert!(f[1].body.is_some());
+    }
+
+    #[test]
+    fn consts_statics_uses_and_mods_are_recorded() {
+        let src = "pub const FORMAT: &str =\n    \"dpm-x/v1\";\nstatic mut COUNTER: u64 = 0;\nuse std::collections::BTreeMap;\nmod detail;\nmod inline { }\n";
+        let (items, _) = parse(src);
+        let names: Vec<String> = items
+            .iter()
+            .map(|i| match &i.kind {
+                ItemKind::Const { name, .. } => format!("const {name}"),
+                ItemKind::Use { path } => format!("use {path}"),
+                ItemKind::Mod { name, out_of_line } => {
+                    format!("mod {name}{}", if *out_of_line { ";" } else { "" })
+                }
+                ItemKind::Fn(f) => format!("fn {}", f.name),
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "const FORMAT",
+                "const COUNTER",
+                "use std::collections::BTreeMap;".trim_end_matches(';'),
+                "mod detail;",
+                "mod inline",
+            ]
+        );
+        let ItemKind::Const { end_line, .. } = &items[0].kind else {
+            panic!("expected const");
+        };
+        assert_eq!(*end_line, 2, "multi-line const span must reach the `;`");
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "fn shipping() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    const X: u64 = 1;\n}\n";
+        let (items, _) = parse(src);
+        assert_eq!(fns(&items).len(), 1);
+        assert_eq!(fns(&items)[0].name, "shipping");
+        assert!(items
+            .iter()
+            .all(|i| !matches!(&i.kind, ItemKind::Const { name, .. } if name == "X")));
+    }
+
+    #[test]
+    fn const_fn_is_a_function_not_a_const() {
+        let src = "pub const fn width(q: usize) -> usize { q + 1 }\n";
+        let (items, _) = parse(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(fns(&items)[0].name, "width");
+        assert_eq!(fns(&items)[0].params, vec!["q"]);
+    }
+
+    #[test]
+    fn pattern_parameters_contribute_no_names() {
+        let src = "fn f((a, b): (u64, u64), _ignored: u64, mut c: u64, map: BTreeMap<(u32, u32), u64>) {}\n";
+        let (items, _) = parse(src);
+        assert_eq!(fns(&items)[0].params, vec!["c", "map"]);
+    }
+
+    #[test]
+    fn line_of_round_trips_offsets() {
+        let lexed = LexedFile::lex("one\ntwo\nthree\n");
+        let text = BlankedText::new(&lexed);
+        assert_eq!(text.line_of(0), 1);
+        assert_eq!(text.line_of(4), 2);
+        assert_eq!(text.line_of(8), 3);
+    }
+}

@@ -9,6 +9,11 @@ use dpm_harness::Json;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// The report's own artifact schema id. Bumped to v2 when the cross-file
+/// pass added `panic_reachability`, `schema_registry` and zero-filled
+/// `counts_by_rule` blocks (consumers keying on absent counts must adapt).
+pub const REPORT_SCHEMA: &str = "dpm-lint/v2";
+
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
@@ -44,6 +49,40 @@ impl Finding {
     }
 }
 
+/// One workspace schema id at its defining site, as collected by the
+/// `schema_registry` cross-file analysis.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SchemaEntry {
+    /// The id without its version suffix (e.g. `dpm-serve-outcome`).
+    pub base: String,
+    /// The highest version seen workspace-wide.
+    pub version: u64,
+    /// Workspace-relative path of the canonical (const) definition.
+    pub path: String,
+    /// 1-based line of the definition.
+    pub line: usize,
+}
+
+/// One `no_panic`/`slice_index` allow site classified by the call-graph
+/// reachability pass: which serving/plan entry points can reach the
+/// function holding the allow.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PanicSite {
+    /// Workspace-relative path of the allow directive.
+    pub path: String,
+    /// 1-based line the allow binds to.
+    pub line: usize,
+    /// The allowed rule (`no_panic` or `slice_index`).
+    pub rule: &'static str,
+    /// Qualified name of the enclosing function (empty at file scope).
+    pub function: String,
+    /// Sorted qualified names of hot-path roots (`serve`, `run_plan*`)
+    /// whose call-graph closure reaches [`PanicSite::function`]. Empty
+    /// means the allow is cold: unreachable from any serving or plan
+    /// entry point under the (over-approximate) name-matched graph.
+    pub reachable_from: Vec<String>,
+}
+
 /// The whole run's result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Report {
@@ -57,11 +96,18 @@ pub struct Report {
     /// and compared across runs by `dpm-lint --baseline` to catch allow
     /// drift: a rule whose count creeps up is accumulating exemptions.
     pub allows_by_rule: BTreeMap<&'static str, usize>,
+    /// Every workspace schema id (cross-file runs; empty for single-file
+    /// checks). Compared against the baseline for version monotonicity.
+    pub schema_registry: Vec<SchemaEntry>,
+    /// Every panic-class allow site with its hot-path classification
+    /// (cross-file runs; empty for single-file checks).
+    pub panic_reachability: Vec<PanicSite>,
 }
 
 impl Report {
     /// Renders the human-readable form: one line per finding, then a
-    /// summary line.
+    /// summary line (with a hot-allow tally when the reachability pass
+    /// ran).
     #[must_use]
     pub fn render_human(&self) -> String {
         let mut out = String::new();
@@ -79,13 +125,32 @@ impl Report {
             self.files_scanned,
             self.allows_used
         );
+        if !self.panic_reachability.is_empty() {
+            let hot = self
+                .panic_reachability
+                .iter()
+                .filter(|s| !s.reachable_from.is_empty())
+                .count();
+            let _ = writeln!(
+                out,
+                "dpm-lint: {hot} of {} panic-class allow(s) reachable from serve/run_plan roots",
+                self.panic_reachability.len()
+            );
+        }
         out
     }
 
     /// Renders the canonical JSON form.
+    ///
+    /// `counts_by_rule` is zero-filled over every known rule, so a clean
+    /// run serializes explicit zeros and `--baseline` can detect findings
+    /// drift (a rule going 0 → N) rather than only allow drift.
     #[must_use]
     pub fn render_json(&self) -> String {
         let mut counts: BTreeMap<&str, i64> = BTreeMap::new();
+        for rule in crate::rules::all_rules() {
+            counts.insert(rule, 0);
+        }
         for f in &self.findings {
             *counts.entry(f.rule).or_insert(0) += 1;
         }
@@ -110,13 +175,46 @@ impl Report {
         for (rule, n) in &self.allows_by_rule {
             allows_json.set(rule, *n);
         }
+        let registry: Vec<Json> = self
+            .schema_registry
+            .iter()
+            .map(|e| {
+                let mut o = Json::object();
+                o.set("base", e.base.as_str());
+                o.set("line", e.line);
+                o.set("path", e.path.as_str());
+                o.set("version", e.version);
+                o
+            })
+            .collect();
+        let reachability: Vec<Json> = self
+            .panic_reachability
+            .iter()
+            .map(|s| {
+                let mut o = Json::object();
+                o.set("function", s.function.as_str());
+                o.set("line", s.line);
+                o.set("path", s.path.as_str());
+                o.set(
+                    "reachable_from",
+                    s.reachable_from
+                        .iter()
+                        .map(|r| Json::from(r.as_str()))
+                        .collect::<Vec<Json>>(),
+                );
+                o.set("rule", s.rule);
+                o
+            })
+            .collect();
         let mut doc = Json::object();
         doc.set("allows_by_rule", allows_json);
         doc.set("allows_used", self.allows_used);
         doc.set("counts_by_rule", counts_json);
         doc.set("files_scanned", self.files_scanned);
         doc.set("findings", findings);
-        doc.set("schema", "dpm-lint/v1");
+        doc.set("panic_reachability", reachability);
+        doc.set("schema", REPORT_SCHEMA);
+        doc.set("schema_registry", registry);
         doc.render()
     }
 }

@@ -23,6 +23,12 @@ pub const FLOAT_EQ: &str = "float_eq";
 pub const SWALLOWED_ERROR: &str = "swallowed_error";
 /// `BTreeMap`/`BTreeSet` keyed on float bit patterns.
 pub const FLOAT_ORD_KEY: &str = "float_ord_key";
+/// RNG seeds in library paths that do not flow from a tagged derivation
+/// domain (`crates/harness/src/seed.rs`).
+pub const SEED_PROVENANCE: &str = "seed_provenance";
+/// Workspace schema-id registry violations: duplicate definitions, stale
+/// versions after a bump, loose (non-const) occurrences, missing docs.
+pub const SCHEMA_REGISTRY: &str = "schema_registry";
 /// A malformed allow directive (bad grammar, unknown rule, empty reason).
 pub const INVALID_ALLOW: &str = "invalid_allow";
 /// An allow directive that suppressed nothing.
@@ -54,12 +60,34 @@ pub const ALLOWABLE_RULES: &[(&str, &str)] = &[
          with numeric order (sign bit, -0.0 vs 0.0, NaN payloads), so iteration and \
          range queries are not numerically ordered",
     ),
+    (
+        SEED_PROVENANCE,
+        "an RNG sink (from_seed/seed_from_u64/SimConfig::new) fed by a literal or \
+         arithmetic seed instead of a derive_* domain from crates/harness/src/seed.rs",
+    ),
+    (
+        SCHEMA_REGISTRY,
+        "a dpm-*/vN schema id defined more than once, left at a stale version after a \
+         bump, used outside a const definition, or missing from the workspace docs",
+    ),
 ];
 
 /// Whether `name` is a rule an allow directive may reference.
 #[must_use]
 pub fn is_allowable_rule(name: &str) -> bool {
     ALLOWABLE_RULES.iter().any(|(n, _)| *n == name)
+}
+
+/// Every rule name the checker can emit, in sorted order — the key set the
+/// report zero-fills `counts_by_rule` with so baseline comparisons see an
+/// explicit `0` (not an absent key) for clean rules.
+#[must_use]
+pub fn all_rules() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = ALLOWABLE_RULES.iter().map(|(n, _)| *n).collect();
+    names.push(INVALID_ALLOW);
+    names.push(UNUSED_ALLOW);
+    names.sort_unstable();
+    names
 }
 
 /// A token pattern with word-boundary requirements.

@@ -1,0 +1,464 @@
+//! The workspace symbol index and the schema-id registry.
+//!
+//! [`SymbolIndex`] aggregates every file's parsed items ([`crate::parse`])
+//! into one queryable table: functions by bare name (the call graph's
+//! resolution key), plus enclosing-function lookup by byte offset or line.
+//! Resolution is name-based and therefore *over-approximate*: two methods
+//! that share a name alias to the same index entry set. The analyses built
+//! on top treat that as conservative fan-out, never as identity.
+//!
+//! [`schema_registry`] is the cross-file invariant gate for artifact schema
+//! ids. Every workspace artifact format is named by a `dpm-<name>/v<N>`
+//! string (`dpm-serve-outcome/v2`, `dpm-lint/v2`, …); the registry collects
+//! every such string-literal occurrence outside test spans and enforces:
+//! one `const`/`static` definition per id, no stale versions once a bump
+//! lands, versions start at v1, and a mention in the workspace docs
+//! (`DESIGN.md`/`EXPERIMENTS.md`) so consumers can find the format.
+
+use crate::lexer::LexedFile;
+use crate::parse::{BlankedText, Item, ItemKind};
+use crate::report::{Finding, SchemaEntry};
+use crate::rules::SCHEMA_REGISTRY;
+use crate::FileKind;
+use std::collections::BTreeMap;
+
+/// One file's lexed, parsed form — the unit the cross-file analyses share.
+#[derive(Debug, Clone)]
+pub struct FileUnit {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    /// Library or binary classification.
+    pub kind: FileKind,
+    /// The lexed source (blanked lines, comments, strings, test spans).
+    pub lexed: LexedFile,
+    /// The blanked source joined for byte-offset scanning.
+    pub text: BlankedText,
+    /// Every parsed item, in source order.
+    pub items: Vec<Item>,
+}
+
+impl FileUnit {
+    /// Lexes and parses one source file into an analysis unit.
+    #[must_use]
+    pub fn build(rel: &str, kind: FileKind, source: &str) -> FileUnit {
+        let lexed = LexedFile::lex(source);
+        let text = BlankedText::new(&lexed);
+        let items = crate::parse::items(&lexed, &text);
+        FileUnit {
+            rel: rel.to_owned(),
+            kind,
+            lexed,
+            text,
+            items,
+        }
+    }
+}
+
+/// One function in the workspace symbol table.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index of the owning file in the unit slice.
+    pub file: usize,
+    /// The bare name (call-graph resolution key).
+    pub name: String,
+    /// `Type::name` for methods, else the bare name.
+    pub qual: String,
+    /// Parameter names in declaration order (`self` skipped).
+    pub params: Vec<String>,
+    /// Body byte range into the owning file's blanked text.
+    pub body: Option<(usize, usize)>,
+    /// 1-based signature line.
+    pub line: usize,
+    /// 1-based body line span (signature line when bodyless).
+    pub body_lines: (usize, usize),
+}
+
+/// The workspace symbol index: every function, resolvable by bare name.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolIndex {
+    /// All function nodes, in (file, source) order.
+    pub fns: Vec<FnNode>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolIndex {
+    /// Builds the index over every unit's parsed items.
+    #[must_use]
+    pub fn build(units: &[FileUnit]) -> SymbolIndex {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (file, unit) in units.iter().enumerate() {
+            for item in &unit.items {
+                let Some(f) = item.as_fn() else { continue };
+                let body_lines = match f.body {
+                    Some((start, end)) => {
+                        (unit.text.line_of(start), unit.text.line_of(end.max(start)))
+                    }
+                    None => (item.line, item.line),
+                };
+                by_name.entry(f.name.clone()).or_default().push(fns.len());
+                fns.push(FnNode {
+                    file,
+                    name: f.name.clone(),
+                    qual: f.qual.clone(),
+                    params: f.params.clone(),
+                    body: f.body,
+                    line: item.line,
+                    body_lines,
+                });
+            }
+        }
+        SymbolIndex { fns, by_name }
+    }
+
+    /// Every function sharing `name`, in index order.
+    #[must_use]
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// The innermost function in `file` whose body contains byte `offset`.
+    #[must_use]
+    pub fn enclosing_fn(&self, file: usize, offset: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.file == file
+                    && f.body
+                        .is_some_and(|(start, end)| (start..=end).contains(&offset))
+            })
+            .min_by_key(|(_, f)| f.body.map_or(usize::MAX, |(start, end)| end - start))
+            .map(|(idx, _)| idx)
+    }
+
+    /// The innermost function in `file` whose span covers 1-based `line`
+    /// (the signature line counts as inside).
+    #[must_use]
+    pub fn enclosing_fn_at_line(&self, file: usize, line: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.file == file && f.line <= line && line <= f.body_lines.1.max(f.line))
+            .min_by_key(|(_, f)| f.body_lines.1.max(f.line) - f.line)
+            .map(|(idx, _)| idx)
+    }
+}
+
+/// One `dpm-*/vN` string occurrence.
+#[derive(Debug, Clone)]
+struct SchemaUse {
+    base: String,
+    version: u64,
+    file: usize,
+    line: usize,
+    is_def: bool,
+}
+
+/// Scans `text` for `dpm-<name>/v<N>` schema ids.
+fn scan_ids(text: &str) -> Vec<(String, u64)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for (at, _) in text.match_indices("dpm-") {
+        if at > 0 && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'-') {
+            continue;
+        }
+        let mut end = at + 4;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_lowercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'-')
+        {
+            end += 1;
+        }
+        if end == at + 4 || bytes.get(end) != Some(&b'/') || bytes.get(end + 1) != Some(&b'v') {
+            continue;
+        }
+        let mut v_end = end + 2;
+        while v_end < bytes.len() && bytes[v_end].is_ascii_digit() {
+            v_end += 1;
+        }
+        if v_end == end + 2 || bytes.get(v_end).is_some_and(u8::is_ascii_alphanumeric) {
+            continue;
+        }
+        let Ok(version) = text[end + 2..v_end].parse::<u64>() else {
+            continue;
+        };
+        out.push((text[at..end].to_owned(), version));
+    }
+    out
+}
+
+/// Collects every schema id in the unit set and checks the registry
+/// invariants, returning per-file findings plus the canonical registry
+/// (one entry per id, at its defining site).
+///
+/// `docs` is the concatenated text of the workspace documentation
+/// (`DESIGN.md` + `EXPERIMENTS.md`); when `None` — single-file runs with
+/// no workspace root — the documentation-mention check is skipped.
+#[must_use]
+pub fn schema_registry(
+    units: &[FileUnit],
+    docs: Option<&str>,
+) -> (Vec<(usize, Finding)>, Vec<SchemaEntry>) {
+    let mut uses: Vec<SchemaUse> = Vec::new();
+    for (file, unit) in units.iter().enumerate() {
+        for lit in &unit.lexed.strings {
+            if unit.lexed.in_test(lit.line) {
+                continue;
+            }
+            let is_def = unit.items.iter().any(|item| match &item.kind {
+                ItemKind::Const { end_line, .. } => item.line <= lit.line && lit.line <= *end_line,
+                _ => false,
+            });
+            for (base, version) in scan_ids(&lit.text) {
+                uses.push(SchemaUse {
+                    base,
+                    version,
+                    file,
+                    line: lit.line,
+                    is_def,
+                });
+            }
+        }
+    }
+    // Deterministic order: by (path, line) within each base.
+    uses.sort_by(|a, b| {
+        (&a.base, &units[a.file].rel, a.line).cmp(&(&b.base, &units[b.file].rel, b.line))
+    });
+
+    let mut findings: Vec<(usize, Finding)> = Vec::new();
+    let mut registry: Vec<SchemaEntry> = Vec::new();
+    let mut by_base: BTreeMap<&str, Vec<&SchemaUse>> = BTreeMap::new();
+    for u in &uses {
+        by_base.entry(&u.base).or_default().push(u);
+    }
+    for (base, occurrences) in by_base {
+        let max_version = occurrences.iter().map(|u| u.version).max().unwrap_or(0);
+        let defs: Vec<&&SchemaUse> = occurrences.iter().filter(|u| u.is_def).collect();
+        for u in &occurrences {
+            if !u.is_def {
+                findings.push((
+                    u.file,
+                    Finding::new(
+                        SCHEMA_REGISTRY,
+                        &units[u.file].rel,
+                        u.line,
+                        1,
+                        &format!(
+                            "schema id `{base}/v{}` appears outside a const/static \
+                             definition; define it once and reference the const",
+                            u.version
+                        ),
+                    ),
+                ));
+            }
+            if u.version == 0 {
+                findings.push((
+                    u.file,
+                    Finding::new(
+                        SCHEMA_REGISTRY,
+                        &units[u.file].rel,
+                        u.line,
+                        1,
+                        &format!("schema id `{base}/v0`: versions start at v1"),
+                    ),
+                ));
+            }
+            if u.version < max_version {
+                findings.push((
+                    u.file,
+                    Finding::new(
+                        SCHEMA_REGISTRY,
+                        &units[u.file].rel,
+                        u.line,
+                        1,
+                        &format!(
+                            "stale schema id `{base}/v{}`: `{base}/v{max_version}` also \
+                             exists in this workspace; finish the version bump",
+                            u.version
+                        ),
+                    ),
+                ));
+            }
+        }
+        for dup in defs.iter().skip(1) {
+            if dup.version == defs[0].version {
+                findings.push((
+                    dup.file,
+                    Finding::new(
+                        SCHEMA_REGISTRY,
+                        &units[dup.file].rel,
+                        dup.line,
+                        1,
+                        &format!(
+                            "duplicate definition of schema id `{base}/v{}` (first defined \
+                             at {}:{}); keep a single const definition",
+                            dup.version, units[defs[0].file].rel, defs[0].line
+                        ),
+                    ),
+                ));
+            }
+        }
+        let canonical = defs.first().map_or(occurrences[0], |d| **d);
+        if let Some(docs_text) = docs {
+            if !docs_text.contains(&format!("{base}/v{max_version}")) {
+                findings.push((
+                    canonical.file,
+                    Finding::new(
+                        SCHEMA_REGISTRY,
+                        &units[canonical.file].rel,
+                        canonical.line,
+                        1,
+                        &format!(
+                            "schema id `{base}/v{max_version}` is not mentioned in \
+                             DESIGN.md or EXPERIMENTS.md; document the artifact format"
+                        ),
+                    ),
+                ));
+            }
+        }
+        registry.push(SchemaEntry {
+            base: base.to_owned(),
+            version: max_version,
+            path: units[canonical.file].rel.clone(),
+            line: canonical.line,
+        });
+    }
+    (findings, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(rel: &str, src: &str) -> FileUnit {
+        FileUnit::build(rel, crate::walk::classify(rel), src)
+    }
+
+    #[test]
+    fn index_resolves_functions_by_name() {
+        let units = vec![
+            unit("crates/a/src/lib.rs", "pub fn serve(x: u64) {}\n"),
+            unit(
+                "crates/b/src/lib.rs",
+                "impl Pool {\n    fn serve(&self) {}\n    fn drain(&self) {}\n}\n",
+            ),
+        ];
+        let index = SymbolIndex::build(&units);
+        let serves = index.named("serve");
+        assert_eq!(serves.len(), 2);
+        assert_eq!(index.fns[serves[1]].qual, "Pool::serve");
+        assert!(index.named("missing").is_empty());
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_the_innermost_body() {
+        let src = "fn outer() {\n    fn inner() {\n        work();\n    }\n}\n";
+        let units = vec![unit("crates/a/src/lib.rs", src)];
+        let index = SymbolIndex::build(&units);
+        let at = index.enclosing_fn_at_line(0, 3).expect("inside inner");
+        assert_eq!(index.fns[at].name, "inner");
+        let at = index.enclosing_fn_at_line(0, 5).expect("inside outer");
+        assert_eq!(index.fns[at].name, "outer");
+        assert!(index.enclosing_fn_at_line(0, 99).is_none());
+    }
+
+    #[test]
+    fn schema_ids_are_scanned_with_boundaries() {
+        assert_eq!(
+            scan_ids("the dpm-serve-outcome/v2 schema"),
+            vec![("dpm-serve-outcome".to_owned(), 2)]
+        );
+        assert!(scan_ids("dpm-/v1").is_empty(), "empty base");
+        assert!(scan_ids("dpm-x/va").is_empty(), "no digits");
+        assert!(scan_ids("dpm-x/v1b").is_empty(), "trailing ident char");
+        assert_eq!(scan_ids("a dpm-a/v1 b dpm-b/v12.").len(), 2);
+    }
+
+    #[test]
+    fn a_single_documented_const_definition_is_clean() {
+        let units = vec![unit(
+            "crates/a/src/lib.rs",
+            "pub const FORMAT: &str = \"dpm-thing/v3\";\n",
+        )];
+        let (findings, registry) = schema_registry(&units, Some("… dpm-thing/v3 …"));
+        assert!(findings.is_empty(), "{findings:#?}");
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry[0].base, "dpm-thing");
+        assert_eq!(registry[0].version, 3);
+    }
+
+    #[test]
+    fn duplicate_definitions_and_loose_mentions_are_flagged() {
+        let units = vec![
+            unit(
+                "crates/a/src/lib.rs",
+                "pub const FORMAT: &str = \"dpm-thing/v1\";\n",
+            ),
+            unit(
+                "crates/b/src/lib.rs",
+                "pub const ALSO: &str = \"dpm-thing/v1\";\nfn f() -> &'static str { \"dpm-thing/v1\" }\n",
+            ),
+        ];
+        let (findings, registry) = schema_registry(&units, Some("dpm-thing/v1"));
+        let messages: Vec<&str> = findings.iter().map(|(_, f)| f.message.as_str()).collect();
+        assert!(
+            messages.iter().any(|m| m.contains("duplicate definition")),
+            "{messages:#?}"
+        );
+        assert!(
+            messages
+                .iter()
+                .any(|m| m.contains("outside a const/static")),
+            "{messages:#?}"
+        );
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn stale_versions_and_v0_are_flagged() {
+        let units = vec![unit(
+            "crates/a/src/lib.rs",
+            "pub const NEW: &str = \"dpm-thing/v2\";\npub const OLD: &str = \"dpm-thing/v1\";\npub const BAD: &str = \"dpm-zero/v0\";\n",
+        )];
+        let (findings, registry) = schema_registry(&units, Some("dpm-thing/v2 dpm-zero/v0"));
+        let messages: Vec<&str> = findings.iter().map(|(_, f)| f.message.as_str()).collect();
+        assert!(
+            messages
+                .iter()
+                .any(|m| m.contains("stale schema id `dpm-thing/v1`")),
+            "{messages:#?}"
+        );
+        assert!(
+            messages.iter().any(|m| m.contains("versions start at v1")),
+            "{messages:#?}"
+        );
+        let thing = registry.iter().find(|e| e.base == "dpm-thing").unwrap();
+        assert_eq!(thing.version, 2, "registry reports the max version");
+    }
+
+    #[test]
+    fn undocumented_ids_are_flagged_only_when_docs_are_present() {
+        let units = vec![unit(
+            "crates/a/src/lib.rs",
+            "pub const FORMAT: &str = \"dpm-thing/v1\";\n",
+        )];
+        let (none, _) = schema_registry(&units, None);
+        assert!(none.is_empty(), "no docs: check skipped");
+        let (missing, _) = schema_registry(&units, Some("unrelated docs"));
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].1.message.contains("not mentioned"));
+    }
+
+    #[test]
+    fn test_span_ids_are_exempt() {
+        let units = vec![unit(
+            "crates/a/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    const WRONG: &str = \"dpm-thing/v0\";\n}\n",
+        )];
+        let (findings, registry) = schema_registry(&units, Some(""));
+        assert!(findings.is_empty(), "{findings:#?}");
+        assert!(registry.is_empty());
+    }
+}

@@ -1,0 +1,466 @@
+//! Seed-provenance taint: RNG sinks must draw from tagged derivation
+//! domains.
+//!
+//! Every determinism guarantee in this workspace reduces to one rule: all
+//! randomness flows from `crates/harness/src/seed.rs`, whose `derive_*`
+//! functions key ChaCha8 streams with domain-separated tags. A stray
+//! `seed_from_u64(42)` — or `seed_from_u64(root ^ index)` — in a library
+//! path silently re-couples streams that the tags keep independent.
+//!
+//! The analysis is intraprocedural with one interprocedural step: at each
+//! RNG sink (`from_seed`, `seed_from_u64`, `SimConfig::new`) the seed
+//! argument is classified by walking `let` bindings inside the enclosing
+//! function; a seed that is a bare function parameter becomes a *carrier*,
+//! and the classification recurses into every library call site of that
+//! function (through further carriers, cycle-guarded). Unknown shapes
+//! classify as clean — the rule is built to never false-positive, at the
+//! cost of missing seeds laundered through fields or collections.
+
+use crate::callgraph::CallGraph;
+use crate::report::Finding;
+use crate::rules::SEED_PROVENANCE;
+use crate::symbols::{FileUnit, SymbolIndex};
+use crate::FileKind;
+use std::collections::BTreeSet;
+
+/// Seed expressions blessed as provenance roots: the tagged derivation
+/// domains of `crates/harness/src/seed.rs`.
+const APPROVED_SOURCES: &[&str] = &[
+    "derive_seed",
+    "derive_attempt_seed",
+    "derive_serve_seed",
+    "derive_serve_attempt_seed",
+];
+
+/// Sink callee names whose first argument is an RNG seed.
+const SINKS: &[&str] = &["from_seed", "seed_from_u64"];
+
+/// How a seed expression classifies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Seed {
+    /// Approved derivation, seed-named path, or unknown (conservative).
+    Clean,
+    /// A literal or arithmetic expression; the string names which.
+    Dirty(&'static str),
+    /// A bare parameter of the enclosing function (0-based position).
+    Carrier(usize),
+}
+
+/// Splits a call's arguments at top-level commas. `args_at` points just
+/// past the opening `(`. Returns `None` on an unbalanced tail.
+fn split_args(text: &str, args_at: usize) -> Option<Vec<String>> {
+    let bytes = text.as_bytes();
+    let mut depth = 0i32;
+    let mut args = Vec::new();
+    let mut start = args_at;
+    let mut i = args_at;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' if depth > 0 => depth -= 1,
+            b')' => {
+                args.push(text[start..i].trim().to_owned());
+                if args == [String::new()] {
+                    args.clear();
+                }
+                return Some(args);
+            }
+            b',' if depth == 0 => {
+                args.push(text[start..i].trim().to_owned());
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whether `expr` is an integer or array literal.
+fn is_literal(expr: &str) -> bool {
+    if expr.starts_with('[') {
+        return true;
+    }
+    let digits = expr
+        .strip_prefix("0x")
+        .or_else(|| expr.strip_prefix("0b"))
+        .unwrap_or(expr);
+    !digits.is_empty()
+        && digits
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() || c == '_' || c == 'u' || c == 'i' || c == '.')
+        && digits.starts_with(|c: char| c.is_ascii_digit())
+}
+
+/// Whether `expr` contains a top-level arithmetic operator.
+fn has_top_level_arithmetic(expr: &str) -> bool {
+    let bytes = expr.as_bytes();
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'+' | b'*' | b'/' | b'%' | b'^' if depth == 0 && i > 0 => return true,
+            b'-' if depth == 0
+                && i > 0
+                && bytes[i - 1] != b'-'
+                && bytes.get(i + 1) != Some(&b'>') =>
+            {
+                return true;
+            }
+            b'<' | b'>'
+                if depth == 0
+                    && i > 0
+                    && bytes[i - 1] == b
+                    && bytes.get(i.wrapping_sub(2)) != Some(&b) =>
+            {
+                return true; // << or >> shifts
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// The head callee name of `expr` when it is a single call `path(…)`.
+fn head_call(expr: &str) -> Option<&str> {
+    let open = expr.find('(')?;
+    if !expr.ends_with(')') {
+        return None;
+    }
+    let path = expr[..open].trim_end();
+    let seg = path.rsplit("::").next().unwrap_or(path);
+    let ok = !seg.is_empty() && seg.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    ok.then_some(seg)
+}
+
+/// Whether a path/field expression ends in a seed-named segment
+/// (`cfg.seed`, `self.config.seed`, `task.seed()`, `attempt_seed`).
+fn ends_in_seed_name(expr: &str) -> bool {
+    let last = expr.rsplit('.').next().unwrap_or(expr);
+    let last = last.strip_suffix("()").unwrap_or(last).trim();
+    (last == "seed" || last.ends_with("_seed"))
+        && last.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Whether `expr` is one bare identifier.
+fn bare_ident(expr: &str) -> bool {
+    !expr.is_empty()
+        && expr.starts_with(|c: char| c.is_ascii_lowercase() || c == '_')
+        && expr.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Finds `let [mut] name = <rhs>;` inside the function body and returns
+/// the right-hand side.
+fn let_binding<'t>(body: &'t str, name: &str) -> Option<&'t str> {
+    for (at, _) in body.match_indices("let ") {
+        if at > 0 && body.as_bytes()[at - 1].is_ascii_alphanumeric() {
+            continue;
+        }
+        let rest = body[at + 4..].trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let Some(tail) = rest.strip_prefix(name) else {
+            continue;
+        };
+        let tail = tail.trim_start();
+        let Some(rhs) = tail.strip_prefix('=') else {
+            continue;
+        };
+        if rhs.starts_with('=') {
+            continue; // `==` comparison, not a binding
+        }
+        let end = rhs.find(';').unwrap_or(rhs.len());
+        return Some(rhs[..end].trim());
+    }
+    None
+}
+
+/// Classifies one seed expression in the context of function `fn_idx`.
+fn classify(
+    expr: &str,
+    fn_idx: usize,
+    units: &[FileUnit],
+    index: &SymbolIndex,
+    depth: usize,
+) -> Seed {
+    if depth > 4 {
+        return Seed::Clean;
+    }
+    let expr = expr.trim();
+    let expr = expr.split(" as ").next().unwrap_or(expr).trim();
+    if expr.is_empty() {
+        return Seed::Clean;
+    }
+    if let Some(head) = head_call(expr) {
+        if APPROVED_SOURCES.contains(&head) {
+            return Seed::Clean;
+        }
+    }
+    if is_literal(expr) {
+        return Seed::Dirty("a literal expression");
+    }
+    if has_top_level_arithmetic(expr) {
+        return Seed::Dirty("an arithmetic expression");
+    }
+    if bare_ident(expr) {
+        let f = &index.fns[fn_idx];
+        if let Some(pos) = f.params.iter().position(|p| p == expr) {
+            return Seed::Carrier(pos);
+        }
+        if let Some((start, end)) = f.body {
+            let body = &units[f.file].text.text[start..end];
+            if let Some(rhs) = let_binding(body, expr) {
+                return classify(rhs, fn_idx, units, index, depth + 1);
+            }
+        }
+    }
+    if ends_in_seed_name(expr) {
+        return Seed::Clean;
+    }
+    Seed::Clean
+}
+
+/// A sink whose seed argument is a parameter: chases every library caller
+/// of the enclosing function and returns the first dirty feed, as
+/// `(caller_fn, call_line, why)`.
+fn chase_carrier(
+    fn_idx: usize,
+    pos: usize,
+    units: &[FileUnit],
+    index: &SymbolIndex,
+    graph: &CallGraph,
+    visited: &mut BTreeSet<(usize, usize)>,
+) -> Option<(usize, usize, &'static str)> {
+    if !visited.insert((fn_idx, pos)) {
+        return None;
+    }
+    let arity = index.fns[fn_idx].params.len();
+    let callee_name = index.fns[fn_idx].name.as_str();
+    for (caller, edges) in graph.callees.iter().enumerate() {
+        if !edges.contains(&fn_idx) || units[index.fns[caller].file].kind != FileKind::Library {
+            continue;
+        }
+        for site in &graph.sites[caller] {
+            if site.name != callee_name {
+                continue;
+            }
+            let text = &units[index.fns[caller].file].text;
+            let Some(args) = split_args(&text.text, site.args_at) else {
+                continue;
+            };
+            if args.len() != arity {
+                continue; // different arity: a same-named function elsewhere
+            }
+            match classify(&args[pos], caller, units, index, 0) {
+                Seed::Dirty(why) => {
+                    return Some((caller, text.line_of(site.at), why));
+                }
+                Seed::Carrier(next_pos) => {
+                    if let Some(hit) = chase_carrier(caller, next_pos, units, index, graph, visited)
+                    {
+                        return Some(hit);
+                    }
+                }
+                Seed::Clean => {}
+            }
+        }
+    }
+    None
+}
+
+/// Runs the seed-provenance analysis over every library function,
+/// returning `(file_index, finding)` pairs for the engine to route
+/// through that file's allow directives.
+#[must_use]
+pub fn seed_provenance(
+    units: &[FileUnit],
+    index: &SymbolIndex,
+    graph: &CallGraph,
+) -> Vec<(usize, Finding)> {
+    let mut findings = Vec::new();
+    for (fn_idx, f) in index.fns.iter().enumerate() {
+        if units[f.file].kind != FileKind::Library {
+            continue;
+        }
+        for site in &graph.sites[fn_idx] {
+            let is_sim_config =
+                site.name == "new" && units[f.file].text.text[..site.at].ends_with("SimConfig::");
+            if !SINKS.contains(&site.name.as_str()) && !is_sim_config {
+                continue;
+            }
+            let text = &units[f.file].text;
+            let Some(args) = split_args(&text.text, site.args_at) else {
+                continue;
+            };
+            let Some(seed_arg) = args.first() else {
+                continue;
+            };
+            let line = text.line_of(site.at);
+            let sink = if is_sim_config {
+                "SimConfig::new"
+            } else {
+                &site.name
+            };
+            match classify(seed_arg, fn_idx, units, index, 0) {
+                Seed::Dirty(why) => findings.push((
+                    f.file,
+                    Finding::new(
+                        SEED_PROVENANCE,
+                        &units[f.file].rel,
+                        line,
+                        1,
+                        &format!(
+                            "seed fed to `{sink}` is {why}; library RNG \
+                             streams must come from a tagged derivation domain in \
+                             crates/harness/src/seed.rs (derive_seed, derive_serve_seed, …)"
+                        ),
+                    ),
+                )),
+                Seed::Carrier(pos) => {
+                    let mut visited = BTreeSet::new();
+                    if let Some((caller, call_line, why)) =
+                        chase_carrier(fn_idx, pos, units, index, graph, &mut visited)
+                    {
+                        let caller_fn = &index.fns[caller];
+                        findings.push((
+                            f.file,
+                            Finding::new(
+                                SEED_PROVENANCE,
+                                &units[f.file].rel,
+                                line,
+                                1,
+                                &format!(
+                                    "seed fed to `{sink}` arrives through parameter \
+                                     `{}` of `{}`, which `{}` feeds a {why} expression \
+                                     at {}:{call_line}; derive it from a tagged domain \
+                                     in crates/harness/src/seed.rs instead",
+                                    f.params.get(pos).map_or("_", String::as_str),
+                                    f.qual,
+                                    caller_fn.qual,
+                                    units[caller_fn.file].rel,
+                                ),
+                            ),
+                        ));
+                    }
+                }
+                Seed::Clean => {}
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+
+    fn run(files: &[(&str, &str)]) -> Vec<(usize, Finding)> {
+        let units: Vec<FileUnit> = files
+            .iter()
+            .map(|(rel, src)| FileUnit::build(rel, crate::walk::classify(rel), src))
+            .collect();
+        let index = SymbolIndex::build(&units);
+        let graph = CallGraph::build(&units, &index);
+        seed_provenance(&units, &index, &graph)
+    }
+
+    #[test]
+    fn literal_and_arithmetic_seeds_are_dirty() {
+        let findings = run(&[(
+            "crates/a/src/lib.rs",
+            "fn bad() {\n    let rng = ChaCha8Rng::seed_from_u64(42);\n}\n\
+             fn worse(root: u64, i: u64) {\n    let rng = ChaCha8Rng::seed_from_u64(root ^ i);\n}\n",
+        )]);
+        assert_eq!(findings.len(), 2, "{findings:#?}");
+        assert!(findings[0].1.message.contains("literal"));
+        assert_eq!(findings[0].1.line, 2);
+        assert!(findings[1].1.message.contains("arithmetic"));
+    }
+
+    #[test]
+    fn derive_calls_and_seed_named_paths_are_clean() {
+        let findings = run(&[(
+            "crates/a/src/lib.rs",
+            "fn good(root: u64, point: u64, rep: u64) {\n\
+             \x20   let rng = ChaCha8Rng::seed_from_u64(derive_seed(root, point, rep));\n\
+             \x20   let rng = ChaCha8Rng::seed_from_u64(self.config.seed);\n\
+             \x20   let sim = SimConfig::new(seed::derive_serve_seed(root, point));\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn let_bindings_are_traced_inside_the_function() {
+        let findings = run(&[(
+            "crates/a/src/lib.rs",
+            "fn traced() {\n    let chosen = 7;\n    let rng = ChaCha8Rng::seed_from_u64(chosen);\n}\n\
+             fn fine(root: u64) {\n    let s = derive_serve_seed(root, 0);\n    let rng = ChaCha8Rng::seed_from_u64(s);\n}\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].1.line, 3);
+    }
+
+    #[test]
+    fn dirty_seeds_propagate_through_library_callers() {
+        let findings = run(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn simulate(seed: u64) {\n    let rng = ChaCha8Rng::seed_from_u64(seed);\n}\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn driver() {\n    simulate(1234);\n}\n",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].0, 0, "reported at the sink file");
+        assert!(findings[0].1.message.contains("crates/b/src/lib.rs:2"));
+    }
+
+    #[test]
+    fn clean_callers_and_bin_callers_do_not_flag_carriers() {
+        let findings = run(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn simulate(seed: u64) {\n    let rng = ChaCha8Rng::seed_from_u64(seed);\n}\n\
+                 pub fn relay(seed: u64) {\n    simulate(seed);\n}\n\
+                 pub fn clean_driver(root: u64) {\n    relay(derive_seed(root, 0, 0));\n}\n",
+            ),
+            (
+                "crates/a/src/bin/tool.rs",
+                "fn main() {\n    simulate(99);\n}\n",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn sinks_in_bin_files_are_exempt() {
+        let findings = run(&[(
+            "crates/a/src/bin/tool.rs",
+            "fn main() {\n    let rng = ChaCha8Rng::seed_from_u64(5);\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn from_seed_array_literals_are_dirty() {
+        let findings = run(&[(
+            "crates/a/src/lib.rs",
+            "fn key() {\n    let rng = ChaCha8Rng::from_seed([0u8; 32]);\n}\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].1.message.contains("literal"));
+    }
+
+    #[test]
+    fn carrier_cycles_terminate() {
+        let findings = run(&[(
+            "crates/a/src/lib.rs",
+            "pub fn ping(seed: u64) {\n    let rng = ChaCha8Rng::seed_from_u64(seed);\n    pong(seed);\n}\n\
+             pub fn pong(seed: u64) {\n    ping(seed);\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: blanking preserves source shape.
+//!
+//! Every downstream consumer — rule matching, the item parser, the
+//! byte-offset call scanner, `--fix-unused-allows`'s column recovery —
+//! assumes the blanked view is the source with comment bodies and literal
+//! contents replaced by spaces *char-for-char*: same line count, same
+//! per-line char length, hence identical line numbers and (for ASCII
+//! sources) identical byte offsets. Fuzz that invariant over adversarial
+//! token soups: unterminated strings, raw strings with hash guards,
+//! nested block comments, lifetimes next to char literals, multi-line
+//! literals — the lexer must keep shape on all of them, even the ones
+//! rustc would reject.
+
+use dpm_lint::lexer::LexedFile;
+use dpm_lint::parse::BlankedText;
+use proptest::prelude::*;
+
+/// Lexically spicy fragments; indices into this pool are the generated
+/// value, so every regression is reproducible from the seed.
+const TOKENS: &[&str] = &[
+    "fn main() {",
+    "}",
+    "let x = 1;",
+    "\"plain string\"",
+    "\"escaped \\\" quote\"",
+    "\"unterminated",
+    "r\"raw\"",
+    "r#\"raw with \"quotes\" inside\"#",
+    "r#\"multi\nline raw\"#",
+    "// line comment with \" quote",
+    "/* block */",
+    "/* nested /* deep */ still open",
+    "/* spans\ntwo lines */",
+    "'c'",
+    "'\\n'",
+    "&'static str",
+    "b\"bytes\"",
+    "#[cfg(test)]",
+    "mod tests {",
+    "let s = \"caf\u{e9} \u{3bb}\";",
+    "seed_from_u64(42)",
+    "\n",
+    "\n\n",
+    "    ",
+];
+
+fn source() -> impl Strategy<Value = String> {
+    prop::collection::vec(0..TOKENS.len(), 0..40)
+        .prop_map(|picks| picks.into_iter().map(|i| TOKENS[i]).collect::<String>())
+}
+
+/// Same pool minus the non-ASCII fragment, for the byte-exactness check.
+fn ascii_source() -> impl Strategy<Value = String> {
+    source().prop_map(|src| {
+        src.split('\n')
+            .map(|line| if line.is_ascii() { line } else { "" })
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn blanking_preserves_line_count_and_char_lengths(src in source()) {
+        let lexed = LexedFile::lex(&src);
+        let text = BlankedText::new(&lexed);
+        let original: Vec<&str> = src.split('\n').collect();
+        let blanked: Vec<&str> = text.text.split('\n').collect();
+        prop_assert_eq!(original.len(), blanked.len(), "line count changed");
+        for (i, (o, b)) in original.iter().zip(&blanked).enumerate() {
+            prop_assert_eq!(
+                o.chars().count(),
+                b.chars().count(),
+                "line {} changed char length:\n  orig: {:?}\n  blank: {:?}",
+                i + 1,
+                o,
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn blanked_lines_round_trip_through_line_of(src in source()) {
+        let lexed = LexedFile::lex(&src);
+        let text = BlankedText::new(&lexed);
+        // The byte offset of each line start maps back to that 1-based
+        // line — the contract the call scanner and taint pass lean on.
+        let mut offset = 0usize;
+        for (i, line) in text.text.split('\n').enumerate() {
+            prop_assert_eq!(text.line_of(offset), i + 1);
+            offset += line.len() + 1;
+        }
+    }
+
+    #[test]
+    fn recorded_comments_and_strings_cite_real_lines(src in source()) {
+        let lexed = LexedFile::lex(&src);
+        let lines = src.split('\n').count();
+        for c in &lexed.comments {
+            prop_assert!((1..=lines).contains(&c.line), "comment line {} of {lines}", c.line);
+        }
+        for s in &lexed.strings {
+            prop_assert!((1..=lines).contains(&s.line), "string line {} of {lines}", s.line);
+        }
+    }
+
+    #[test]
+    fn ascii_sources_keep_byte_offsets_exactly(src in ascii_source()) {
+        let lexed = LexedFile::lex(&src);
+        let text = BlankedText::new(&lexed);
+        prop_assert_eq!(src.len(), text.text.len(), "byte length changed");
+        for (i, (o, b)) in src.bytes().zip(text.text.bytes()).enumerate() {
+            prop_assert!(
+                b == o || b == b' ',
+                "byte {i} rewritten to non-space: {:?} -> {:?}",
+                o as char,
+                b as char
+            );
+        }
+    }
+}

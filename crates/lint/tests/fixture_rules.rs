@@ -149,6 +149,50 @@ fn planted_instant_fixture_trips_the_deny_gate_input() {
 }
 
 #[test]
+fn seed_taint_fixture_flags_only_the_underived_seeds() {
+    let out = check("seed_taint.rs", FileKind::Library, "crates/core/src/f.rs");
+    assert_eq!(
+        rule_names(&out),
+        vec![rules::SEED_PROVENANCE; 3],
+        "{:#?}",
+        out.findings
+    );
+    // One allow with a reason suppresses the audited ChaCha8 key site.
+    assert_eq!(out.allows_used, 1);
+    let bin = check("seed_taint.rs", FileKind::Bin, "crates/core/src/bin/f.rs");
+    assert!(
+        !bin.findings
+            .iter()
+            .any(|f| f.rule == rules::SEED_PROVENANCE),
+        "{:#?}",
+        bin.findings
+    );
+}
+
+#[test]
+fn schema_dup_fixture_flags_duplicates_stale_versions_and_loose_ids() {
+    let out = check("schema_dup.rs", FileKind::Library, "crates/core/src/f.rs");
+    let schema: Vec<&str> = out
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::SCHEMA_REGISTRY)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        schema.iter().any(|m| m.contains("duplicate definition")),
+        "{schema:#?}"
+    );
+    assert!(
+        schema.iter().any(|m| m.contains("stale schema id")),
+        "{schema:#?}"
+    );
+    assert!(
+        schema.iter().any(|m| m.contains("outside a const/static")),
+        "{schema:#?}"
+    );
+}
+
+#[test]
 fn reports_render_deterministically() {
     let render = |_: ()| {
         let out = check(
@@ -161,11 +205,30 @@ fn reports_render_deterministically() {
             files_scanned: 1,
             allows_used: out.allows_used,
             allows_by_rule: out.allows_by_rule,
+            schema_registry: vec![dpm_lint::report::SchemaEntry {
+                base: "dpm-fixture".to_owned(),
+                version: 1,
+                path: "crates/core/src/f.rs".to_owned(),
+                line: 1,
+            }],
+            panic_reachability: vec![dpm_lint::report::PanicSite {
+                path: "crates/core/src/f.rs".to_owned(),
+                line: 3,
+                rule: rules::NO_PANIC,
+                function: "f".to_owned(),
+                reachable_from: vec!["serve".to_owned()],
+            }],
         }
         .render_json()
     };
     let first = render(());
     assert_eq!(first, render(()));
-    assert!(first.contains("\"schema\": \"dpm-lint/v1\""), "{first}");
+    assert!(first.contains("\"schema\": \"dpm-lint/v2\""), "{first}");
     assert!(first.contains("\"nondeterminism\": 8"), "{first}");
+    // counts_by_rule is zero-filled: rules with no findings serialize as 0.
+    assert!(first.contains("\"seed_provenance\": 0"), "{first}");
+    assert!(first.contains("\"schema_registry\": 0"), "{first}");
+    assert!(first.contains("\"reachable_from\": ["), "{first}");
+    assert!(first.contains("\"serve\""), "{first}");
+    assert!(first.contains("\"base\": \"dpm-fixture\""), "{first}");
 }

@@ -1,0 +1,12 @@
+//! Planted schema-registry violations: a duplicated id, a stale version
+//! left behind after a bump, and an id used outside any const.
+
+pub const FORMAT: &str = "dpm-dup/v1";
+pub const FORMAT_AGAIN: &str = "dpm-dup/v1";
+
+pub const NEW: &str = "dpm-stale/v2";
+pub const OLD: &str = "dpm-stale/v1";
+
+fn loose() -> &'static str {
+    "dpm-loose/v1"
+}

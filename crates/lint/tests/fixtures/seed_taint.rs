@@ -1,0 +1,29 @@
+//! Planted seed-provenance violations: literal and arithmetic seeds at
+//! RNG sinks, one audited exemption, and one properly derived seed.
+
+fn literal_seed() {
+    let rng = ChaCha8Rng::seed_from_u64(42);
+    drop(rng);
+}
+
+fn arithmetic_seed(root: u64, index: u64) {
+    let rng = ChaCha8Rng::seed_from_u64(root ^ index);
+    drop(rng);
+}
+
+fn sim_literal() {
+    let cfg = SimConfig::new(7);
+    drop(cfg);
+}
+
+fn audited_key() {
+    let mut key = [0u8; 32];
+    key[0] = 1;
+    let rng = ChaCha8Rng::from_seed(key); // dpm-lint: allow(seed_provenance, reason = "fixture: audited fixed key")
+    drop(rng);
+}
+
+fn derived(root: u64, point: u64, rep: u64) {
+    let rng = ChaCha8Rng::seed_from_u64(derive_seed(root, point, rep));
+    drop(rng);
+}

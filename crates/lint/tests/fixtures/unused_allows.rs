@@ -1,0 +1,12 @@
+//! Fixture for `--fix-unused-allows`: two stale allows (one standalone,
+//! one trailing) bracketing one genuinely used allow that must survive.
+
+// dpm-lint: allow(no_panic, reason = "nothing on this line panics")
+fn quiet() -> u64 {
+    7
+}
+
+fn timed() {
+    let t = Instant::now(); // dpm-lint: allow(nondeterminism, reason = "bench-only timer")
+    drop(t); // dpm-lint: allow(no_panic, reason = "stale trailing allow")
+}

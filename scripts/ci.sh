@@ -23,12 +23,26 @@ if ./target/release/dpm-lint --deny crates/lint/tests/fixtures/planted_instant.r
     exit 1
 fi
 
+echo "=== dpm-lint seed-provenance smoke (raw seed_from_u64 in a library path must fail) ==="
+if ./target/release/dpm-lint --deny crates/lint/tests/fixtures/seed_taint.rs > /dev/null; then
+    echo "dpm-lint missed the planted underived seed" >&2
+    exit 1
+fi
+
 echo "=== dpm-lint baseline-drift smoke (empty baseline must fail the gate) ==="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 printf '{"allows_by_rule": {}}\n' > "$SMOKE_DIR/empty_baseline.json"
 if ./target/release/dpm-lint --baseline "$SMOKE_DIR/empty_baseline.json" > /dev/null; then
     echo "dpm-lint missed allow-count drift past the baseline" >&2
+    exit 1
+fi
+
+echo "=== dpm-lint schema-registry smoke (schema id defined in two files must fail) ==="
+printf 'pub const FORMAT: &str = "dpm-smoke/v1";\n' > "$SMOKE_DIR/schema_a.rs"
+printf 'pub const FORMAT_COPY: &str = "dpm-smoke/v1";\n' > "$SMOKE_DIR/schema_b.rs"
+if ./target/release/dpm-lint --deny "$SMOKE_DIR/schema_a.rs" "$SMOKE_DIR/schema_b.rs" > /dev/null; then
+    echo "dpm-lint missed the duplicated schema-id definition" >&2
     exit 1
 fi
 
