@@ -1,0 +1,76 @@
+//! Error type for the cluster layer.
+
+use std::error::Error;
+use std::fmt;
+
+use dpm_ctmc::CtmcError;
+use dpm_linalg::LinalgError;
+use dpm_mdp::MdpError;
+
+/// Errors raised while building or solving cluster models.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A model parameter failed validation.
+    InvalidModel {
+        /// What was violated.
+        reason: String,
+    },
+    /// A state space would overflow `usize` or an index was out of range.
+    StateSpace {
+        /// What overflowed or which index was out of range.
+        reason: String,
+    },
+    /// A solve step failed to converge or produced a non-distribution.
+    Solve {
+        /// Which step and why.
+        reason: String,
+    },
+    /// A linear-algebra step failed.
+    Linalg(LinalgError),
+    /// A Markov-chain step failed.
+    Ctmc(CtmcError),
+    /// A decision-process step failed.
+    Mdp(MdpError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidModel { reason } => write!(f, "invalid cluster model: {reason}"),
+            ClusterError::StateSpace { reason } => write!(f, "state-space error: {reason}"),
+            ClusterError::Solve { reason } => write!(f, "cluster solve failed: {reason}"),
+            ClusterError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            ClusterError::Ctmc(e) => write!(f, "markov chain failure: {e}"),
+            ClusterError::Mdp(e) => write!(f, "decision process failure: {e}"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Linalg(e) => Some(e),
+            ClusterError::Ctmc(e) => Some(e),
+            ClusterError::Mdp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ClusterError {
+    fn from(e: LinalgError) -> ClusterError {
+        ClusterError::Linalg(e)
+    }
+}
+
+impl From<CtmcError> for ClusterError {
+    fn from(e: CtmcError) -> ClusterError {
+        ClusterError::Ctmc(e)
+    }
+}
+
+impl From<MdpError> for ClusterError {
+    fn from(e: MdpError) -> ClusterError {
+        ClusterError::Mdp(e)
+    }
+}

@@ -1,0 +1,360 @@
+//! The exchangeable-fleet model: one local generator shared by every
+//! server plus pairwise interaction terms.
+//!
+//! A cluster of `K` statistically identical servers is described by
+//!
+//! * a **local generator** `Q` — each server's own CTMC (service
+//!   completions, mode switches, queue dynamics), and
+//! * **coupling terms** — pairwise interactions in Kronecker form: at rate
+//!   `γ`, a *donor* server makes a `D`-transition while a *receiver*
+//!   server simultaneously makes an `R`-transition (work stealing, load
+//!   migration, failover). Every ordered pair of distinct servers couples
+//!   identically, which is exactly what makes the fleet exchangeable and
+//!   the occupancy lumping of [`crate::lumped`] exact.
+//!
+//! The joint generator this induces on the `n^K` tuple space is
+//!
+//! ```text
+//! G = ⊕ᵢ Q  +  Σ_terms γ Σ_{i≠j} [ D⁽ⁱ⁾ ⊗ R⁽ʲ⁾ − diag(D·1)⁽ⁱ⁾ ⊗ diag(R·1)⁽ʲ⁾ ]
+//! ```
+//!
+//! where the second (diagonal) part compensates the added outflow so rows
+//! still sum to zero. [`ClusterModel::joint_operator`] builds it as an
+//! implicit [`KroneckerOp`] whose storage is factor-sized — the `n^K`
+//! matrix itself is never formed.
+
+use dpm_ctmc::SparseGenerator;
+use dpm_linalg::{CsrMatrix, KroneckerOp};
+
+use crate::error::ClusterError;
+use crate::multiset::MultisetIndex;
+
+/// One pairwise interaction: donor transition pattern `D`, receiver
+/// pattern `R`, applied at rate `rate` to every ordered pair of distinct
+/// servers.
+#[derive(Debug, Clone)]
+pub struct CouplingTerm {
+    rate: f64,
+    donor: CsrMatrix,
+    receiver: CsrMatrix,
+}
+
+impl CouplingTerm {
+    /// Builds a coupling term.
+    ///
+    /// `donor` and `receiver` must be square with zero diagonals and
+    /// non-negative finite entries: entry `M[a, a']` is the propensity for
+    /// that endpoint to jump `a → a'` when the interaction fires. The
+    /// effective joint rate of `(a, b) → (a', b')` is
+    /// `rate · D[a, a'] · R[b, b']`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidModel`] for a non-positive or non-finite
+    /// rate, rectangular patterns, mismatched sizes, negative or
+    /// non-finite entries, or nonzero diagonal entries.
+    pub fn new(
+        rate: f64,
+        donor: CsrMatrix,
+        receiver: CsrMatrix,
+    ) -> Result<CouplingTerm, ClusterError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(ClusterError::InvalidModel {
+                reason: format!("coupling rate {rate} must be finite and positive"),
+            });
+        }
+        for (name, m) in [("donor", &donor), ("receiver", &receiver)] {
+            if !m.is_square() {
+                return Err(ClusterError::InvalidModel {
+                    reason: format!("{name} pattern is not square: {:?}", m.shape()),
+                });
+            }
+            for (i, j, v) in m.iter() {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(ClusterError::InvalidModel {
+                        reason: format!("{name} entry ({i}, {j}) = {v} must be finite and >= 0"),
+                    });
+                }
+                if i == j {
+                    return Err(ClusterError::InvalidModel {
+                        reason: format!(
+                            "{name} pattern has a diagonal entry at state {i}; \
+                             interactions must move both endpoints"
+                        ),
+                    });
+                }
+            }
+        }
+        if donor.nrows() != receiver.nrows() {
+            return Err(ClusterError::InvalidModel {
+                reason: format!(
+                    "donor covers {} states, receiver {}",
+                    donor.nrows(),
+                    receiver.nrows()
+                ),
+            });
+        }
+        Ok(CouplingTerm {
+            rate,
+            donor,
+            receiver,
+        })
+    }
+
+    /// The interaction rate `γ`.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The donor transition pattern `D`.
+    #[must_use]
+    pub fn donor(&self) -> &CsrMatrix {
+        &self.donor
+    }
+
+    /// The receiver transition pattern `R`.
+    #[must_use]
+    pub fn receiver(&self) -> &CsrMatrix {
+        &self.receiver
+    }
+
+    /// Diagonal compensation factors `diag(D·1)` and `diag(R·1)` as CSR
+    /// matrices, used to zero the joint row sums.
+    fn compensation(&self) -> Result<(CsrMatrix, CsrMatrix), ClusterError> {
+        let n = self.donor.nrows();
+        let row_sums = |m: &CsrMatrix| -> Result<CsrMatrix, ClusterError> {
+            let mut sums = vec![0.0f64; n];
+            for (i, _, v) in m.iter() {
+                sums[i] += v;
+            }
+            let triplets: Vec<(usize, usize, f64)> =
+                sums.iter().enumerate().map(|(i, &s)| (i, i, s)).collect();
+            CsrMatrix::from_triplets(n, n, &triplets).map_err(ClusterError::Linalg)
+        };
+        Ok((row_sums(&self.donor)?, row_sums(&self.receiver)?))
+    }
+}
+
+/// A fleet of `k` exchangeable servers: shared local generator plus
+/// pairwise couplings.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_cluster::ClusterModel;
+/// use dpm_ctmc::SparseGenerator;
+///
+/// # fn main() -> Result<(), dpm_cluster::ClusterError> {
+/// let local = SparseGenerator::from_transitions(2, &[(0, 1, 1.0), (1, 0, 2.0)])?;
+/// let fleet = ClusterModel::new(local, 3)?;
+/// assert_eq!(fleet.joint_states(), Some(8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    local: SparseGenerator,
+    couplings: Vec<CouplingTerm>,
+    k: usize,
+}
+
+impl ClusterModel {
+    /// Builds a fleet of `k` servers sharing `local` dynamics and no
+    /// couplings; add interactions with [`ClusterModel::with_coupling`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidModel`] if the local chain is empty or
+    /// `k == 0`.
+    pub fn new(local: SparseGenerator, k: usize) -> Result<ClusterModel, ClusterError> {
+        if local.n_states() == 0 {
+            return Err(ClusterError::InvalidModel {
+                reason: "local generator has no states".to_owned(),
+            });
+        }
+        if k == 0 {
+            return Err(ClusterError::InvalidModel {
+                reason: "cluster has zero servers".to_owned(),
+            });
+        }
+        Ok(ClusterModel {
+            local,
+            couplings: Vec::new(),
+            k,
+        })
+    }
+
+    /// Adds a pairwise interaction term.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidModel`] if the term's local space does not
+    /// match the model's.
+    pub fn with_coupling(mut self, term: CouplingTerm) -> Result<ClusterModel, ClusterError> {
+        if term.donor.nrows() != self.local.n_states() {
+            return Err(ClusterError::InvalidModel {
+                reason: format!(
+                    "coupling covers {} states, local chain has {}",
+                    term.donor.nrows(),
+                    self.local.n_states()
+                ),
+            });
+        }
+        self.couplings.push(term);
+        Ok(self)
+    }
+
+    /// The shared local generator.
+    #[must_use]
+    pub fn local(&self) -> &SparseGenerator {
+        &self.local
+    }
+
+    /// The pairwise interaction terms.
+    #[must_use]
+    pub fn couplings(&self) -> &[CouplingTerm] {
+        &self.couplings
+    }
+
+    /// Fleet size.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Local state count per server.
+    #[must_use]
+    pub fn n_local(&self) -> usize {
+        self.local.n_states()
+    }
+
+    /// Joint tuple-space size `n^K`, or `None` if it overflows `usize`.
+    #[must_use]
+    pub fn joint_states(&self) -> Option<usize> {
+        let exp = u32::try_from(self.k).ok()?;
+        self.local.n_states().checked_pow(exp)
+    }
+
+    /// The occupancy index for this fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MultisetIndex::new`] validation.
+    pub fn multiset_index(&self) -> Result<MultisetIndex, ClusterError> {
+        MultisetIndex::new(self.local.n_states(), self.k)
+    }
+
+    /// Assembles the joint generator as an implicit [`KroneckerOp`]:
+    /// `K` tensor-sum terms for the independent local dynamics plus, per
+    /// coupling and ordered server pair `(i, j)`, a transition term
+    /// `γ D⁽ⁱ⁾ ⊗ R⁽ʲ⁾` and its diagonal compensation
+    /// `−γ diag(D·1)⁽ⁱ⁾ ⊗ diag(R·1)⁽ʲ⁾`.
+    ///
+    /// Storage is factor-sized: `O(K · nnz(Q) + K² · nnz(D, R))` floats
+    /// regardless of the `n^K` joint dimension.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::StateSpace`] if `n^K` overflows, plus propagated
+    /// operator validation.
+    pub fn joint_operator(&self) -> Result<KroneckerOp, ClusterError> {
+        let factors: Vec<CsrMatrix> = (0..self.k).map(|_| self.local.csr().clone()).collect();
+        let mut op = KroneckerOp::kron_sum_of(&factors).map_err(ClusterError::Linalg)?;
+        for term in &self.couplings {
+            let (comp_d, comp_r) = term.compensation()?;
+            for i in 0..self.k {
+                for j in 0..self.k {
+                    if i == j {
+                        continue;
+                    }
+                    let mut move_factors: Vec<Option<CsrMatrix>> = vec![None; self.k];
+                    move_factors[i] = Some(term.donor.clone());
+                    move_factors[j] = Some(term.receiver.clone());
+                    op.add_product(term.rate, move_factors)
+                        .map_err(ClusterError::Linalg)?;
+                    let mut comp_factors: Vec<Option<CsrMatrix>> = vec![None; self.k];
+                    comp_factors[i] = Some(comp_d.clone());
+                    comp_factors[j] = Some(comp_r.clone());
+                    op.add_product(-term.rate, comp_factors)
+                        .map_err(ClusterError::Linalg)?;
+                }
+            }
+        }
+        Ok(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_linalg::DVector;
+
+    fn two_state_local() -> SparseGenerator {
+        SparseGenerator::from_transitions(2, &[(0, 1, 1.0), (1, 0, 2.0)]).unwrap()
+    }
+
+    fn steal() -> CouplingTerm {
+        // Donor drops 1 -> 0 while receiver climbs 0 -> 1.
+        let donor = CsrMatrix::from_triplets(2, 2, &[(1, 0, 1.0)]).unwrap();
+        let receiver = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
+        CouplingTerm::new(0.5, donor, receiver).unwrap()
+    }
+
+    #[test]
+    fn joint_operator_rows_sum_to_zero() {
+        let fleet = ClusterModel::new(two_state_local(), 3)
+            .unwrap()
+            .with_coupling(steal())
+            .unwrap();
+        let op = fleet.joint_operator().unwrap();
+        let ones = DVector::constant(op.dim(), 1.0);
+        let row_sums = op.mul_vec(&ones);
+        for i in 0..op.dim() {
+            assert!(row_sums[i].abs() < 1e-12, "row {i} sums to {}", row_sums[i]);
+        }
+    }
+
+    #[test]
+    fn joint_operator_matches_materialized_on_coupled_pair() {
+        let fleet = ClusterModel::new(two_state_local(), 2)
+            .unwrap()
+            .with_coupling(steal())
+            .unwrap();
+        let op = fleet.joint_operator().unwrap();
+        let dense = op.materialize().unwrap().to_dense();
+        // Joint (1, 0) -> (0, 1): donor at axis 0, receiver at axis 1,
+        // plus the swap with roles exchanged is impossible (receiver can't
+        // leave 0 as donor-pattern has only 1->0). Rate = 0.5.
+        assert!((dense[(2, 1)] - 0.5).abs() < 1e-12);
+        // Off-diagonal entries are non-negative.
+        for r in 0..4 {
+            for c in 0..4 {
+                if r != c {
+                    assert!(dense[(r, c)] >= -1e-15, "entry ({r}, {c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_validation_rejects_bad_terms() {
+        let donor = CsrMatrix::from_triplets(2, 2, &[(1, 0, 1.0)]).unwrap();
+        let receiver = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
+        assert!(CouplingTerm::new(0.0, donor.clone(), receiver.clone()).is_err());
+        assert!(CouplingTerm::new(f64::NAN, donor.clone(), receiver.clone()).is_err());
+        let diagonal = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
+        assert!(CouplingTerm::new(1.0, diagonal, receiver.clone()).is_err());
+        let negative = CsrMatrix::from_triplets(2, 2, &[(1, 0, -1.0)]).unwrap();
+        assert!(CouplingTerm::new(1.0, negative, receiver).is_err());
+    }
+
+    #[test]
+    fn model_validation() {
+        assert!(ClusterModel::new(two_state_local(), 0).is_err());
+        let three =
+            SparseGenerator::from_transitions(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap();
+        let mismatch = ClusterModel::new(three, 2).unwrap().with_coupling(steal());
+        assert!(mismatch.is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! Multiset (occupancy) indexing for exchangeable server fleets.
+//!
+//! K statistically identical servers, each with `n` local states, have a
+//! joint state space of `n^K` tuples, but exchangeability means only the
+//! *occupancy vector* — how many servers sit in each local state — affects
+//! the dynamics. This module gives the occupancy space a dense stable
+//! index, the cluster-layer analogue of the mixed-radix state index the
+//! serving runtime uses for compiled policies: ranks are assigned by
+//! lexicographic order of the count vector, so the mapping is reproducible
+//! across processes and releases.
+//!
+//! The space has `C(n + K - 1, K)` points (stars and bars) — for 8 servers
+//! with 6 local states that is 1 287 occupancies standing in for 1 679 616
+//! joint tuples.
+
+use crate::error::ClusterError;
+
+/// Number of ways to distribute `r` indistinguishable balls over `m`
+/// distinguishable boxes: `C(m + r - 1, r)`. Computed in `u128` and
+/// range-checked on the way out so callers never see a silent wrap.
+fn compositions(m: usize, r: usize) -> Result<usize, ClusterError> {
+    if m == 0 {
+        // Zero boxes hold zero balls exactly one way, anything else zero
+        // ways.
+        return Ok(usize::from(r == 0));
+    }
+    let mut acc: u128 = 1;
+    for i in 1..=r {
+        let numer = (m - 1 + i) as u128;
+        acc = acc
+            .checked_mul(numer)
+            .ok_or_else(|| ClusterError::StateSpace {
+                reason: format!("C({}, {r}) overflows u128", m + r - 1),
+            })?;
+        // The running product of i consecutive binomial steps is always
+        // divisible by i, so this division is exact.
+        acc /= i as u128;
+    }
+    usize::try_from(acc).map_err(|_| ClusterError::StateSpace {
+        reason: format!("C({}, {r}) exceeds usize", m + r - 1),
+    })
+}
+
+/// Dense stable index over occupancy vectors of `k` servers across
+/// `n_local` local states.
+///
+/// Ranks follow lexicographic order of the count vector `(c_0, …,
+/// c_{n-1})`: rank 0 is `(0, …, 0, k)` (all servers in the last local
+/// state) and the final rank is `(k, 0, …, 0)`.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_cluster::MultisetIndex;
+///
+/// # fn main() -> Result<(), dpm_cluster::ClusterError> {
+/// let idx = MultisetIndex::new(3, 2)?;
+/// assert_eq!(idx.len(), 6); // C(4, 2)
+/// let counts = idx.unrank(idx.rank(&[1, 0, 1])?)?;
+/// assert_eq!(counts, vec![1, 0, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultisetIndex {
+    n_local: usize,
+    k: usize,
+    len: usize,
+}
+
+impl MultisetIndex {
+    /// Builds the index for `k` servers over `n_local` local states.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidModel`] for an empty local space or zero
+    /// servers; [`ClusterError::StateSpace`] if the occupancy count
+    /// overflows `usize`.
+    pub fn new(n_local: usize, k: usize) -> Result<MultisetIndex, ClusterError> {
+        if n_local == 0 {
+            return Err(ClusterError::InvalidModel {
+                reason: "local state space is empty".to_owned(),
+            });
+        }
+        if k == 0 {
+            return Err(ClusterError::InvalidModel {
+                reason: "cluster has zero servers".to_owned(),
+            });
+        }
+        let len = compositions(n_local, k)?;
+        Ok(MultisetIndex { n_local, k, len })
+    }
+
+    /// Number of local states per server.
+    #[must_use]
+    pub fn n_local(&self) -> usize {
+        self.n_local
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of occupancy vectors (`C(n_local + k - 1, k)`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`: the constructor rejects empty spaces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rank of an occupancy vector.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::StateSpace`] if `counts` has the wrong length or
+    /// does not sum to `k`.
+    pub fn rank(&self, counts: &[usize]) -> Result<usize, ClusterError> {
+        if counts.len() != self.n_local {
+            return Err(ClusterError::StateSpace {
+                reason: format!(
+                    "occupancy vector has {} entries, index covers {}",
+                    counts.len(),
+                    self.n_local
+                ),
+            });
+        }
+        let total: usize = counts.iter().sum();
+        if total != self.k {
+            return Err(ClusterError::StateSpace {
+                reason: format!("occupancy sums to {total}, cluster has {} servers", self.k),
+            });
+        }
+        let mut rank = 0usize;
+        let mut rem = self.k;
+        for (i, &c) in counts.iter().enumerate().take(self.n_local - 1) {
+            // Vectors that agree on the prefix but hold fewer servers in
+            // state `i` precede this one; each choice of `v < c` leaves
+            // `rem - v` servers for the remaining states.
+            for v in 0..c {
+                rank += compositions(self.n_local - 1 - i, rem - v)?;
+            }
+            rem -= c;
+        }
+        Ok(rank)
+    }
+
+    /// Occupancy vector of a rank.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::StateSpace`] if `rank >= len()`.
+    pub fn unrank(&self, rank: usize) -> Result<Vec<usize>, ClusterError> {
+        if rank >= self.len {
+            return Err(ClusterError::StateSpace {
+                reason: format!("rank {rank} out of range for {} occupancies", self.len),
+            });
+        }
+        let mut counts = vec![0usize; self.n_local];
+        let mut rest = rank;
+        let mut rem = self.k;
+        let last = self.n_local - 1;
+        for (i, slot) in counts.iter_mut().enumerate().take(last) {
+            let mut v = 0usize;
+            loop {
+                let block = compositions(last - i, rem - v)?;
+                if rest < block {
+                    break;
+                }
+                rest -= block;
+                v += 1;
+            }
+            *slot = v;
+            rem -= v;
+        }
+        counts[last] = rem;
+        Ok(counts)
+    }
+
+    /// Number of joint tuples collapsing onto an occupancy vector: the
+    /// multinomial `k! / Π c_s!`, as `f64` (exact for every fleet size
+    /// whose joint space fits in memory).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::StateSpace`] if `counts` is malformed or the
+    /// multinomial overflows `u128`.
+    pub fn multiplicity(&self, counts: &[usize]) -> Result<f64, ClusterError> {
+        if counts.len() != self.n_local || counts.iter().sum::<usize>() != self.k {
+            return Err(ClusterError::StateSpace {
+                reason: "occupancy vector malformed for multiplicity".to_owned(),
+            });
+        }
+        // Multinomial as a product of binomials: k! / Π c_i! =
+        // Π C(c_0 + … + c_i, c_i), each factor exact in u128.
+        let mut acc: u128 = 1;
+        let mut placed = 0usize;
+        for &c in counts {
+            placed += c;
+            let mut binom: u128 = 1;
+            for j in 1..=c {
+                binom = binom.checked_mul((placed - c + j) as u128).ok_or_else(|| {
+                    ClusterError::StateSpace {
+                        reason: "multiplicity overflows u128".to_owned(),
+                    }
+                })?;
+                binom /= j as u128;
+            }
+            acc = acc
+                .checked_mul(binom)
+                .ok_or_else(|| ClusterError::StateSpace {
+                    reason: "multiplicity overflows u128".to_owned(),
+                })?;
+        }
+        Ok(acc as f64)
+    }
+
+    /// Occupancy vector of a joint mixed-radix tuple index (axis 0 varies
+    /// slowest, matching the Kronecker layout).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::StateSpace`] if the tuple index is out of range.
+    pub fn counts_of_joint(&self, joint: usize) -> Result<Vec<usize>, ClusterError> {
+        let dim = self.n_local.checked_pow(u32::try_from(self.k).map_err(|_| {
+            ClusterError::StateSpace {
+                reason: format!("fleet size {} exceeds u32", self.k),
+            }
+        })?);
+        let dim = dim.ok_or_else(|| ClusterError::StateSpace {
+            reason: format!("joint space {}^{} overflows usize", self.n_local, self.k),
+        })?;
+        if joint >= dim {
+            return Err(ClusterError::StateSpace {
+                reason: format!("joint index {joint} out of range for {dim} tuples"),
+            });
+        }
+        let mut counts = vec![0usize; self.n_local];
+        let mut rest = joint;
+        for _ in 0..self.k {
+            counts[rest % self.n_local] += 1;
+            rest /= self.n_local;
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stars_and_bars_sizes() {
+        assert_eq!(MultisetIndex::new(3, 2).unwrap().len(), 6);
+        assert_eq!(MultisetIndex::new(6, 8).unwrap().len(), 1287);
+        assert_eq!(MultisetIndex::new(1, 5).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rank_is_lexicographic() {
+        let idx = MultisetIndex::new(3, 2).unwrap();
+        // Lexicographic ascending on (c0, c1, c2).
+        let expected = [
+            vec![0, 0, 2],
+            vec![0, 1, 1],
+            vec![0, 2, 0],
+            vec![1, 0, 1],
+            vec![1, 1, 0],
+            vec![2, 0, 0],
+        ];
+        for (r, counts) in expected.iter().enumerate() {
+            assert_eq!(idx.rank(counts).unwrap(), r);
+            assert_eq!(&idx.unrank(r).unwrap(), counts);
+        }
+    }
+
+    #[test]
+    fn round_trip_all_ranks() {
+        let idx = MultisetIndex::new(4, 5).unwrap();
+        for r in 0..idx.len() {
+            let counts = idx.unrank(r).unwrap();
+            assert_eq!(counts.iter().sum::<usize>(), 5);
+            assert_eq!(idx.rank(&counts).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn multiplicities_sum_to_joint_space() {
+        let idx = MultisetIndex::new(3, 4).unwrap();
+        let mut total = 0.0;
+        for r in 0..idx.len() {
+            total += idx.multiplicity(&idx.unrank(r).unwrap()).unwrap();
+        }
+        let joint = 3f64.powi(4);
+        assert!((total - joint).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_decode_counts_digits() {
+        let idx = MultisetIndex::new(3, 2).unwrap();
+        // Joint tuple (s0, s1) = (2, 1) has index 2*3 + 1 = 7.
+        assert_eq!(idx.counts_of_joint(7).unwrap(), vec![0, 1, 1]);
+        assert_eq!(idx.counts_of_joint(0).unwrap(), vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        let idx = MultisetIndex::new(3, 2).unwrap();
+        assert!(idx.rank(&[1, 1]).is_err());
+        assert!(idx.rank(&[3, 0, 0]).is_err());
+        assert!(idx.unrank(6).is_err());
+        assert!(idx.counts_of_joint(9).is_err());
+        assert!(MultisetIndex::new(0, 2).is_err());
+        assert!(MultisetIndex::new(2, 0).is_err());
+    }
+}

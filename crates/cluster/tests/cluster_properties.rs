@@ -1,0 +1,120 @@
+//! Property pins for the cluster layer.
+//!
+//! Two invariants carry the whole construction:
+//!
+//! 1. the multiset index is a bijection (`rank ∘ unrank = id` and the
+//!    multiplicities tile the joint space), and
+//! 2. the exchangeability lumping is *exact*: refining the lumped
+//!    stationary distribution uniformly over each occupancy class
+//!    reproduces the joint distribution computed matrix-free on the full
+//!    `n^K` space.
+
+use dpm_cluster::{
+    solve_joint_matrix_free, solve_lumped, ClusterModel, CouplingTerm, JointOptions, MultisetIndex,
+};
+use dpm_ctmc::SparseGenerator;
+use dpm_linalg::CsrMatrix;
+use proptest::prelude::*;
+
+/// Random irreducible local generator on `n` states: a full cycle plus
+/// random extra transitions, all with rates in (0, 5].
+fn local_chain(n: usize) -> impl Strategy<Value = SparseGenerator> {
+    (
+        prop::collection::vec(1usize..=50, n),
+        prop::collection::vec(1usize..=50, n * n),
+    )
+        .prop_map(move |(cycle, extra)| {
+            let mut transitions = Vec::new();
+            for (i, &r) in cycle.iter().enumerate() {
+                transitions.push((i, (i + 1) % n, r as f64 / 10.0));
+            }
+            for (k, &r) in extra.iter().enumerate() {
+                let (i, j) = (k / n, k % n);
+                // Keep the extra rates sparse-ish and skip self-loops.
+                if i != j && r <= 12 {
+                    transitions.push((i, j, r as f64 / 10.0));
+                }
+            }
+            SparseGenerator::from_transitions(n, &transitions).expect("valid transitions")
+        })
+}
+
+/// Random work-stealing-shaped coupling on `n` states: the donor moves
+/// down one state while the receiver moves up one.
+fn coupling(n: usize) -> impl Strategy<Value = Option<CouplingTerm>> {
+    (0usize..3, 1usize..=20).prop_map(move |(kind, rate)| {
+        if kind == 0 || n < 2 {
+            return None;
+        }
+        let donor = CsrMatrix::from_triplets(n, n, &[(n - 1, n - 2, 1.0)]).expect("donor");
+        let receiver = CsrMatrix::from_triplets(n, n, &[(0, 1, 1.0)]).expect("receiver");
+        Some(CouplingTerm::new(rate as f64 / 10.0, donor, receiver).expect("coupling"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn multiset_rank_unrank_round_trips(
+        (n, k) in (1usize..6, 1usize..7)
+    ) {
+        let idx = MultisetIndex::new(n, k).expect("index");
+        let mut total = 0.0;
+        for r in 0..idx.len() {
+            let counts = idx.unrank(r).expect("unrank");
+            prop_assert_eq!(counts.iter().sum::<usize>(), k);
+            prop_assert_eq!(idx.rank(&counts).expect("rank"), r);
+            total += idx.multiplicity(&counts).expect("multiplicity");
+        }
+        // The occupancy classes tile the joint tuple space exactly.
+        prop_assert!((total - (n as f64).powi(k as i32)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn joint_tuples_decode_onto_their_class(
+        (n, k, tuple_bits) in (2usize..4, 2usize..4, prop::collection::vec(0usize..64, 4))
+    ) {
+        let idx = MultisetIndex::new(n, k).expect("index");
+        let dim = n.pow(k as u32);
+        for &bits in &tuple_bits {
+            let joint = bits % dim;
+            let counts = idx.counts_of_joint(joint).expect("decode");
+            prop_assert_eq!(counts.iter().sum::<usize>(), k);
+            // Rank must be in range — the decoded class is a real class.
+            prop_assert!(idx.rank(&counts).expect("rank") < idx.len());
+        }
+    }
+}
+
+proptest! {
+    // The refinement pin solves two stationary systems per case; keep the
+    // case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lumped_refinement_reproduces_joint_distribution(
+        (model_parts, k) in (2usize..4)
+            .prop_flat_map(|n| ((local_chain(n), coupling(n)), 2usize..4))
+    ) {
+        let (local, maybe_coupling) = model_parts;
+        let mut model = ClusterModel::new(local, k).expect("model");
+        if let Some(term) = maybe_coupling {
+            model = model.with_coupling(term).expect("coupling fits");
+        }
+        let lumped = solve_lumped(&model).expect("lumped solve");
+        let joint = solve_joint_matrix_free(&model, &JointOptions::default())
+            .expect("joint solve");
+        let refined = lumped.refine_joint().expect("refine");
+        prop_assert_eq!(refined.len(), joint.pi().len());
+        for x in 0..refined.len() {
+            prop_assert!(
+                (refined[x] - joint.pi()[x]).abs() < 1e-8,
+                "tuple {} disagrees: lumped-refined {} vs joint {}",
+                x,
+                refined[x],
+                joint.pi()[x]
+            );
+        }
+    }
+}

@@ -450,6 +450,7 @@ impl Solver {
             }
         }
         let chain = self.effective_chain(generator);
+        let (chain, guard_escalation) = guard_krylov(chain, generator, self.check_irreducible);
         match generator {
             GeneratorRef::Dense(g) => {
                 if let [method] = chain.as_slice() {
@@ -461,13 +462,14 @@ impl Solver {
                             method: *method,
                             sweeps,
                             residual,
-                            escalation: Vec::new(),
+                            escalation: guard_escalation,
                         },
                     ));
                 }
                 run_fallback(
                     &chain,
                     max_abs_diagonal(g),
+                    guard_escalation,
                     |method| attempt_dense(g, method, &self.config),
                     |pi| residual(g, pi),
                 )
@@ -482,13 +484,14 @@ impl Solver {
                             method: *method,
                             sweeps,
                             residual,
-                            escalation: Vec::new(),
+                            escalation: guard_escalation,
                         },
                     ));
                 }
                 run_fallback(
                     &chain,
                     g.max_exit_rate(),
+                    guard_escalation,
                     |method| attempt_sparse(g, method, &self.config),
                     |pi| residual_sparse(g, pi),
                 )
@@ -539,13 +542,61 @@ fn distribution_flaw(pi: &DVector, residual: f64, scale: f64) -> Option<String> 
     None
 }
 
+/// Krylov methods are only reliable on *irreducible* generators — on a
+/// reducible chain the normalization system is singular and BiCGSTAB can
+/// diverge outright (the measured gap from the Krylov tier's bench). When
+/// an unchecked solve is about to dispatch a Krylov method, run the
+/// Tarjan SCC pass up front; on a reducible generator every Krylov entry
+/// is dropped from the chain (each recorded as an escalation) and
+/// Gauss–Seidel is guaranteed a slot as the substitute workhorse.
+///
+/// `already_checked` short-circuits the pass when
+/// [`Solver::check_irreducible`] has established irreducibility (or
+/// errored) before dispatch.
+fn guard_krylov(
+    chain: Vec<Method>,
+    generator: GeneratorRef<'_>,
+    already_checked: bool,
+) -> (Vec<Method>, Vec<(Method, String)>) {
+    if already_checked || !chain.iter().any(|m| m.is_krylov()) {
+        return (chain, Vec::new());
+    }
+    let classes = match generator {
+        GeneratorRef::Dense(g) => graph::communicating_classes(g).len(),
+        GeneratorRef::Sparse(g) => graph::communicating_classes_sparse(g).len(),
+    };
+    if classes == 1 {
+        return (chain, Vec::new());
+    }
+    let mut escalation = Vec::new();
+    let mut guarded = Vec::new();
+    for method in chain {
+        if method.is_krylov() {
+            escalation.push((
+                method,
+                format!(
+                    "generator is reducible ({classes} communicating classes); \
+                     krylov dispatch skipped, gauss-seidel substituted"
+                ),
+            ));
+        } else {
+            guarded.push(method);
+        }
+    }
+    if !guarded.contains(&Method::Iterative) {
+        guarded.push(Method::Iterative);
+    }
+    (guarded, escalation)
+}
+
 fn run_fallback(
     methods: &[Method],
     scale: f64,
+    initial_escalation: Vec<(Method, String)>,
     mut attempt: impl FnMut(Method) -> Result<(DVector, usize), CtmcError>,
     residual_of: impl Fn(&DVector) -> f64,
 ) -> Result<(DVector, SolveStats), CtmcError> {
-    let mut escalation: Vec<(Method, String)> = Vec::new();
+    let mut escalation: Vec<(Method, String)> = initial_escalation;
     for &method in methods {
         match attempt(method) {
             Ok((pi, sweeps)) => {
@@ -1257,6 +1308,66 @@ mod tests {
             Solver::new(Method::BiCgStab).check_irreducible().solve(&g),
             Err(CtmcError::Reducible { classes: 2 })
         ));
+    }
+
+    /// Reducible with a unique stationary distribution: `{0,1}` is
+    /// transient, `{2,3}` the single closed class, every state keeps a
+    /// positive exit rate so Gauss–Seidel stays applicable.
+    fn sparse_reducible_unichain() -> SparseGenerator {
+        SparseGenerator::from_transitions(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 2.0),
+                (3, 2, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn krylov_guard_escalates_to_gauss_seidel_on_reducible() {
+        let g = sparse_reducible_unichain();
+        let (pi, stats) = Solver::new(Method::BiCgStab).solve(&g).unwrap();
+        // The guard swapped the reducible Krylov dispatch for Gauss–Seidel
+        // and recorded the escalation.
+        assert_eq!(stats.method(), Method::Iterative);
+        assert!(stats.escalated());
+        assert_eq!(stats.escalation()[0].0, Method::BiCgStab);
+        assert!(stats.escalation()[0].1.contains("reducible"));
+        // Hand-balanced reference: mass concentrates on the closed class
+        // `{2,3}` with detailed balance `2 π₂ = π₃`.
+        let reference = [0.0, 0.0, 1.0 / 3.0, 2.0 / 3.0];
+        for i in 0..4 {
+            assert!((pi[i] - reference[i]).abs() < 1e-8, "state {i}: {}", pi[i]);
+        }
+    }
+
+    #[test]
+    fn krylov_guard_leaves_irreducible_chains_alone() {
+        let g = SparseGenerator::from_generator(&three_state());
+        let (_, stats) = Solver::new(Method::BiCgStab).solve(&g).unwrap();
+        assert_eq!(stats.method(), Method::BiCgStab);
+        assert!(!stats.escalated());
+    }
+
+    #[test]
+    fn krylov_guard_reshapes_the_fallback_chain() {
+        let g = sparse_reducible_unichain();
+        let (pi, stats) = Solver::new(Method::BiCgStab)
+            .with_default_fallback()
+            .solve(&g)
+            .unwrap();
+        // BiCGSTAB (and every other Krylov member) was never dispatched;
+        // the escalation log leads with the guard's entry.
+        assert!(stats
+            .escalation()
+            .iter()
+            .any(|(m, why)| { *m == Method::BiCgStab && why.contains("reducible") }));
+        assert!(!stats.method().is_krylov());
+        assert!((pi.sum() - 1.0).abs() < 1e-8);
     }
 
     #[test]

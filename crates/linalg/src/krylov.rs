@@ -15,6 +15,16 @@
 //! `x = M⁻¹u`) so the reported residual is the *true* residual `b − Ax`,
 //! not a preconditioned surrogate.
 //!
+//! # Matrix-free operation
+//!
+//! The solvers only touch `A` through matrix–vector products, so each has
+//! an operator-generic twin — [`bicgstab_op`] / [`gmres_op`] — taking any
+//! [`LinearOperator`] and any [`Precondition`] implementation. The
+//! [`CsrMatrix`] entry points are thin wrappers over those twins and
+//! produce bit-identical iterates; implicit operators (e.g.
+//! [`crate::KroneckerOp`] over a Kronecker-factored joint generator) use
+//! the `_op` forms directly and never materialize a matrix.
+//!
 //! # Determinism
 //!
 //! Every breakdown is handled deterministically: BiCGSTAB restarts from
@@ -47,6 +57,7 @@
 //! ```
 
 use crate::error::LinalgError;
+use crate::op::{LinearOperator, Precondition};
 use crate::sparse::CsrMatrix;
 use crate::vector::DVector;
 
@@ -253,15 +264,21 @@ impl Ilu0 {
     }
 }
 
+impl Precondition for Ilu0 {
+    fn precondition(&self, r: &DVector) -> Result<DVector, LinalgError> {
+        self.apply(r)
+    }
+}
+
 /// Applies `m` if present, else copies `r` (identity preconditioner).
-fn precondition(m: Option<&Ilu0>, r: &DVector) -> Result<DVector, LinalgError> {
+fn precondition(m: Option<&dyn Precondition>, r: &DVector) -> Result<DVector, LinalgError> {
     match m {
-        Some(m) => m.apply(r),
+        Some(m) => m.precondition(r),
         None => Ok(r.clone()),
     }
 }
 
-fn check_system(a: &CsrMatrix, b: &DVector) -> Result<(), LinalgError> {
+fn check_system(a: &dyn LinearOperator, b: &DVector) -> Result<(), LinalgError> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare { shape: a.shape() });
     }
@@ -281,8 +298,8 @@ fn check_system(a: &CsrMatrix, b: &DVector) -> Result<(), LinalgError> {
 }
 
 /// `‖b − Ax‖₂` computed fresh (not from solver recursions).
-fn true_residual(a: &CsrMatrix, x: &DVector, b: &DVector) -> f64 {
-    (b - &a.mul_vec(x)).norm()
+fn true_residual(a: &dyn LinearOperator, x: &DVector, b: &DVector) -> f64 {
+    (b - &a.apply(x)).norm()
 }
 
 /// Solves `Ax = b` with right-preconditioned BiCGSTAB.
@@ -303,6 +320,24 @@ pub fn bicgstab(
     a: &CsrMatrix,
     b: &DVector,
     m: Option<&Ilu0>,
+    options: &KrylovOptions,
+) -> Result<KrylovResult, LinalgError> {
+    bicgstab_op(a, b, m.map(|p| p as &dyn Precondition), options)
+}
+
+/// Operator-generic BiCGSTAB: identical algorithm to [`bicgstab`], but
+/// `A` is any [`LinearOperator`] and `M` any [`Precondition`] — this is
+/// the matrix-free entry point for implicit (e.g. Kronecker-factored)
+/// systems. [`bicgstab`] delegates here, so both paths are bit-identical
+/// on assembled matrices.
+///
+/// # Errors
+///
+/// Same contract as [`bicgstab`].
+pub fn bicgstab_op(
+    a: &dyn LinearOperator,
+    b: &DVector,
+    m: Option<&dyn Precondition>,
     options: &KrylovOptions,
 ) -> Result<KrylovResult, LinalgError> {
     check_system(a, b)?;
@@ -342,7 +377,7 @@ pub fn bicgstab(
         if *restarts > MAX_BICGSTAB_RESTARTS {
             return false;
         }
-        *r = b - &a.mul_vec(x);
+        *r = b - &a.apply(x);
         *r_hat = r.clone();
         *v = DVector::zeros(n);
         *p = DVector::zeros(n);
@@ -416,7 +451,7 @@ pub fn bicgstab(
         }
         rho = rho_new;
         let p_hat = precondition(m, &p)?;
-        v = a.mul_vec(&p_hat);
+        v = a.apply(&p_hat);
         iterations += 1;
         let denom = r_hat.dot(&v);
         if denom.abs() <= BREAKDOWN_TOL.max(f64::EPSILON * rho_scale) {
@@ -448,7 +483,7 @@ pub fn bicgstab(
             break;
         }
         let s_hat = precondition(m, &s)?;
-        let t = a.mul_vec(&s_hat);
+        let t = a.apply(&s_hat);
         iterations += 1;
         let tt = t.dot(&t);
         if tt <= BREAKDOWN_TOL {
@@ -537,6 +572,22 @@ pub fn gmres(
     m: Option<&Ilu0>,
     options: &KrylovOptions,
 ) -> Result<KrylovResult, LinalgError> {
+    gmres_op(a, b, m.map(|p| p as &dyn Precondition), options)
+}
+
+/// Operator-generic GMRES(m): identical algorithm to [`gmres`] over any
+/// [`LinearOperator`] / [`Precondition`] pair — the matrix-free entry
+/// point. [`gmres`] delegates here.
+///
+/// # Errors
+///
+/// Same contract as [`gmres`].
+pub fn gmres_op(
+    a: &dyn LinearOperator,
+    b: &DVector,
+    m: Option<&dyn Precondition>,
+    options: &KrylovOptions,
+) -> Result<KrylovResult, LinalgError> {
     check_system(a, b)?;
     let n = b.len();
     let b_norm = b.norm();
@@ -552,7 +603,7 @@ pub fn gmres(
     let restart = options.restart.clamp(1, n.max(1));
     let mut iterations = 0usize;
     while iterations < options.max_iterations {
-        let mut r = b - &a.mul_vec(&x);
+        let mut r = b - &a.apply(&x);
         let beta = r.norm();
         if !beta.is_finite() {
             // A non-finite update poisoned the iterate; no further cycle
@@ -580,7 +631,7 @@ pub fn gmres(
                 break;
             }
             let z = precondition(m, &basis[j])?;
-            let mut w = a.mul_vec(&z);
+            let mut w = a.apply(&z);
             iterations += 1;
             let mut col = vec![0.0f64; j + 2];
             for (i, v_i) in basis.iter().enumerate() {

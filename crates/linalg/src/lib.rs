@@ -12,7 +12,15 @@
 //! * [`SparseLu`] — sparse direct LU over CSR rows, for stiff
 //!   generator-shaped systems where iterative sweeps are impractical;
 //! * [`kron`] / [`kron_sum`] — the Kronecker (tensor) product and sum used by
-//!   the paper's compositional generator construction (Definition 4.4);
+//!   the paper's compositional generator construction (Definition 4.4), with
+//!   sparse CSR twins [`kron_sparse`] / [`kron_sum_sparse`];
+//! * [`KroneckerOp`] — an *implicit* sum of Kronecker-product terms with a
+//!   shuffle-algorithm matvec, the matrix-free representation of
+//!   cluster-joint generators (`⊕ᵢ Qᵢ + Σⱼ cⱼ ⊗ᵢ Cⱼᵢ`);
+//! * [`LinearOperator`] / [`Precondition`] — the operator and
+//!   preconditioner abstractions the Krylov tier is generic over, with
+//!   [`Jacobi`] and [`BlockJacobi`] as structure-exploiting
+//!   preconditioners for implicit operators;
 //! * [`CsrMatrix`] — compressed sparse row storage with `y = Ax` / `y = Aᵀx`
 //!   products, transposition and row iteration, for generator matrices whose
 //!   nonzero count grows linearly in the state count;
@@ -46,9 +54,11 @@
 mod error;
 pub mod iterative;
 mod kron;
+mod kron_op;
 pub mod krylov;
 mod lu;
 mod matrix;
+pub mod op;
 pub mod sparse;
 mod sparse_lu;
 mod vector;
@@ -57,9 +67,11 @@ pub use error::LinalgError;
 pub use iterative::{
     gauss_seidel, gauss_seidel_csr, jacobi, jacobi_csr, IterativeOptions, IterativeResult,
 };
-pub use kron::{kron, kron_sum};
+pub use kron::{kron, kron_sparse, kron_sum, kron_sum_sparse};
+pub use kron_op::KroneckerOp;
 pub use lu::Lu;
 pub use matrix::DMatrix;
+pub use op::{BlockJacobi, Jacobi, LinearOperator, Precondition};
 pub use sparse::CsrMatrix;
 pub use sparse_lu::SparseLu;
 pub use vector::DVector;

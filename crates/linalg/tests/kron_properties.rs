@@ -1,0 +1,134 @@
+//! Property-based tests pinning the sparse Kronecker tools to the dense
+//! reference, and the implicit [`KroneckerOp`] to its materialization.
+//!
+//! The operator tests draw integer-valued factors so every product and
+//! partial sum is exactly representable: the shuffle-algorithm matvec and
+//! the assembled matvec must then agree at tolerance **zero**, which pins
+//! the evaluation order freedoms (per-axis application vs. row-major
+//! accumulation) as exactly equivalent, not merely close.
+
+use dpm_linalg::{
+    kron, kron_sparse, kron_sum, kron_sum_sparse, CsrMatrix, DMatrix, DVector, KroneckerOp,
+};
+use proptest::prelude::*;
+
+/// Random dense matrix with float entries.
+fn dense(rows: usize, cols: usize) -> impl Strategy<Value = DMatrix> {
+    prop::collection::vec(-5.0f64..5.0, rows * cols)
+        .prop_map(move |data| DMatrix::from_row_major(rows, cols, data).expect("sized data"))
+}
+
+/// Random square matrix with small *integer* entries (as f64), so all
+/// downstream arithmetic is exact.
+fn int_square(n: usize) -> impl Strategy<Value = CsrMatrix> {
+    prop::collection::vec(0usize..9, n * n).prop_map(move |data| {
+        let triplets: Vec<(usize, usize, f64)> = data
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (k / n, k % n, v as f64 - 4.0))
+            .collect();
+        CsrMatrix::from_triplets(n, n, &triplets).expect("valid triplets")
+    })
+}
+
+/// Random integer-valued vector.
+fn int_vector(n: usize) -> impl Strategy<Value = DVector> {
+    prop::collection::vec(0usize..17, n)
+        .prop_map(|data| DVector::from_vec(data.into_iter().map(|v| v as f64 - 8.0).collect()))
+}
+
+proptest! {
+    #[test]
+    fn sparse_kron_matches_dense(
+        (a, b) in (1usize..5, 1usize..5, 1usize..5, 1usize..5)
+            .prop_flat_map(|(ar, ac, br, bc)| (dense(ar, ac), dense(br, bc)))
+    ) {
+        let sa = CsrMatrix::from_dense(&a);
+        let sb = CsrMatrix::from_dense(&b);
+        let sparse = kron_sparse(&sa, &sb).expect("sparse kron");
+        let reference = kron(&a, &b);
+        prop_assert_eq!(sparse.shape(), reference.shape());
+        for r in 0..reference.nrows() {
+            for c in 0..reference.ncols() {
+                // Each entry is one product in both assemblies: exact.
+                prop_assert_eq!(sparse.get(r, c), reference[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_kron_sum_matches_dense(
+        (a, b) in (1usize..5, 1usize..5)
+            .prop_flat_map(|(na, nb)| (dense(na, na), dense(nb, nb)))
+    ) {
+        let sa = CsrMatrix::from_dense(&a);
+        let sb = CsrMatrix::from_dense(&b);
+        let sparse = kron_sum_sparse(&sa, &sb).expect("sparse kron_sum");
+        let reference = kron_sum(&a, &b);
+        for r in 0..reference.nrows() {
+            for c in 0..reference.ncols() {
+                // Diagonal collisions are the same two-operand sum in
+                // both assemblies: exact.
+                prop_assert_eq!(sparse.get(r, c), reference[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn kron_op_two_factor_matvec_is_exact(
+        (a, b, x, c0, c1) in (1usize..5, 1usize..5)
+            .prop_flat_map(|(na, nb)| (
+                int_square(na),
+                int_square(nb),
+                int_vector(na * nb),
+                0usize..7,
+                0usize..7,
+            ))
+    ) {
+        let mut op = KroneckerOp::kron_sum_of(&[a.clone(), b.clone()]).expect("kron sum");
+        // A coupling-shaped product term rides along with the sum terms.
+        op.add_product(c0 as f64 - 3.0, vec![Some(a), Some(b)]).expect("product term");
+        op.add_product(c1 as f64 - 3.0, vec![None, None]).expect("identity term");
+        let materialized = op.materialize().expect("materialize");
+        prop_assert_eq!(
+            op.mul_vec(&x).as_slice(),
+            materialized.mul_vec(&x).as_slice()
+        );
+    }
+
+    #[test]
+    fn kron_op_three_factor_matvec_is_exact(
+        (a, b, c, x) in (1usize..4, 1usize..4, 1usize..4)
+            .prop_flat_map(|(na, nb, nc)| (
+                int_square(na),
+                int_square(nb),
+                int_square(nc),
+                int_vector(na * nb * nc),
+            ))
+    ) {
+        let mut op = KroneckerOp::kron_sum_of(&[a.clone(), b.clone(), c.clone()])
+            .expect("kron sum");
+        op.add_product(2.0, vec![Some(a), None, Some(c)]).expect("product term");
+        let materialized = op.materialize().expect("materialize");
+        prop_assert_eq!(
+            op.mul_vec(&x).as_slice(),
+            materialized.mul_vec(&x).as_slice()
+        );
+        // The factored diagonal matches the assembled one exactly too.
+        let diag = op.diagonal();
+        for i in 0..op.dim() {
+            prop_assert_eq!(diag[i], materialized.get(i, i));
+        }
+    }
+
+    #[test]
+    fn kron_op_transpose_matches_materialized_transpose(
+        (a, b) in (1usize..5, 1usize..5)
+            .prop_flat_map(|(na, nb)| (int_square(na), int_square(nb)))
+    ) {
+        let op = KroneckerOp::kron_sum_of(&[a, b]).expect("kron sum");
+        let lhs = op.transpose().materialize().expect("materialize transpose");
+        let rhs = op.materialize().expect("materialize").transpose();
+        prop_assert_eq!(lhs.max_abs_diff(&rhs), 0.0);
+    }
+}

@@ -100,6 +100,17 @@ else
     echo "($CORES core(s): skipping the 4-shard speedup leg; bit-identity already gated above)"
 fi
 
+echo "=== cluster smoke (K=2: matrix-free == materialized == lumped-refined) ==="
+cargo build --release -q -p dpm-bench --bin bench_cluster
+# bench_cluster self-gates the three solve paths against each other and
+# exits non-zero on any disagreement; K=2 keeps the joint gate tiny, and
+# the K=8 fleet leg is lumped-only (1287 states) so it stays cheap while
+# still exercising the >1e6-joint-states check.
+./target/release/bench_cluster --gate-k 2 --fleet-k 2,8 \
+    --out "$SMOKE_DIR/bench_cluster.json" > /dev/null
+grep -q '"matrix_free_matches_materialized": true' "$SMOKE_DIR/bench_cluster.json"
+grep -q '"lumping_refines_to_joint": true' "$SMOKE_DIR/bench_cluster.json"
+
 echo "=== criterion micro-bench smoke (kernels must stay compiling) ==="
 cargo bench --workspace --no-run -q
 

@@ -18,6 +18,7 @@
 //! | [`model`] | `dpm-core` | the paper's power-management model and policy optimization; SYS generators assemble densely or directly into CSR |
 //! | [`sim`] | `dpm-sim` | the event-driven simulator, workloads and controllers |
 //! | [`serve`] | `dpm-serve` | compiled-policy serving: `CompiledPolicy` artifacts and the sharded multi-core event runtime |
+//! | [`cluster`] | `dpm-cluster` | K-server fleets: matrix-free Kronecker joint solves, exchangeability lumping, two-level cluster CTMDP control |
 //!
 //! Large state spaces (queue capacities in the hundreds and beyond)
 //! should use the sparse pipeline — [`model`]'s
@@ -85,6 +86,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use dpm_cluster as cluster;
 pub use dpm_core as model;
 pub use dpm_ctmc as ctmc;
 pub use dpm_harness as harness;
